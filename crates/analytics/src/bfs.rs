@@ -1,0 +1,48 @@
+//! Distributed BFS — "a special case of k-hop, where k → ∞" (§2).
+
+use cgraph_core::engine::DistributedEngine;
+use cgraph_graph::VertexId;
+
+/// Number of vertices reachable from `source` (including itself).
+pub fn bfs_count(engine: &DistributedEngine, source: VertexId) -> u64 {
+    engine.run_traversal_batch(&[source], &[u32::MAX]).per_lane_visited[0]
+}
+
+/// Vertices first reached at each BFS level (`[0]` = the source).
+pub fn bfs_levels(engine: &DistributedEngine, source: VertexId) -> Vec<u64> {
+    engine
+        .run_traversal_batch(&[source], &[u32::MAX])
+        .per_level
+        .iter()
+        .map(|row| row[0])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::config::EngineConfig;
+    use cgraph_graph::EdgeList;
+
+    #[test]
+    fn levels_on_binary_tree() {
+        // Perfect binary tree of depth 3: levels 1, 2, 4, 8.
+        let mut g = EdgeList::new();
+        for v in 0..7u64 {
+            g.push_pair(v, 2 * v + 1);
+            g.push_pair(v, 2 * v + 2);
+        }
+        let e = DistributedEngine::new(&g, EngineConfig::new(2));
+        assert_eq!(bfs_levels(&e, 0), vec![1, 2, 4, 8]);
+        assert_eq!(bfs_count(&e, 0), 15);
+    }
+
+    #[test]
+    fn disconnected_component_not_counted() {
+        let mut g: EdgeList = [(0u64, 1u64), (5, 6)].into_iter().collect();
+        g.set_num_vertices(7);
+        let e = DistributedEngine::new(&g, EngineConfig::new(2));
+        assert_eq!(bfs_count(&e, 0), 2);
+        assert_eq!(bfs_count(&e, 5), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Hop plot and effective diameter — the analysis behind Fig. 1.
+//!
+//! Fig. 1 shows the cumulative distribution of pairwise distances in
+//! the Slashdot Zoo graph: δ (diameter) = 12, δ₀.₅ = 3.51, δ₀.₉ = 4.71,
+//! so "most of the network will be visited with less than 5 hops" —
+//! the empirical justification for k-hop queries with small k.
+//!
+//! Computing all-pairs distances exactly is O(V·E); like KONECT we
+//! estimate by running BFS from a uniform sample of sources and
+//! accumulating the distance histogram. Effective diameters use the
+//! standard linear interpolation between integer hop counts.
+
+use cgraph_core::engine::DistributedEngine;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The estimated distance distribution of a graph.
+#[derive(Clone, Debug)]
+pub struct HopPlot {
+    /// `pairs_within[d]` = number of sampled (source, target) pairs at
+    /// distance ≤ d.
+    pub pairs_within: Vec<u64>,
+    /// Number of BFS sources sampled.
+    pub sources_sampled: usize,
+}
+
+impl HopPlot {
+    /// Cumulative fraction of reachable pairs within each hop count
+    /// (the y-axis of Fig. 1, as 0..=1 fractions).
+    pub fn cumulative_fractions(&self) -> Vec<f64> {
+        let total = *self.pairs_within.last().unwrap_or(&0);
+        if total == 0 {
+            return vec![];
+        }
+        self.pairs_within.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Maximum observed distance (diameter lower bound δ).
+    pub fn diameter(&self) -> usize {
+        self.pairs_within.len().saturating_sub(1)
+    }
+
+    /// Effective diameter at percentile `q` (e.g. 0.5, 0.9), linearly
+    /// interpolated between hop counts as in KONECT.
+    pub fn effective_diameter(&self, q: f64) -> f64 {
+        let cdf = self.cumulative_fractions();
+        if cdf.is_empty() {
+            return 0.0;
+        }
+        if cdf[0] >= q {
+            return 0.0;
+        }
+        for d in 1..cdf.len() {
+            if cdf[d] >= q {
+                let lo = cdf[d - 1];
+                let hi = cdf[d];
+                return (d - 1) as f64 + (q - lo) / (hi - lo);
+            }
+        }
+        (cdf.len() - 1) as f64
+    }
+}
+
+/// Estimates the hop plot by BFS from `num_sources` uniformly sampled
+/// vertices (deterministic under `seed`).
+pub fn hop_plot(engine: &DistributedEngine, num_sources: usize, seed: u64) -> HopPlot {
+    let n = engine.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all: Vec<u64> = (0..n).collect();
+    all.shuffle(&mut rng);
+    all.truncate(num_sources.min(n as usize));
+
+    let mut per_distance: Vec<u64> = Vec::new();
+    for chunk in all.chunks(cgraph_graph::bitmap::LANES) {
+        let ks = vec![u32::MAX; chunk.len()];
+        let r = engine.run_traversal_batch(chunk, &ks);
+        for (d, row) in r.per_level.iter().enumerate() {
+            if d >= per_distance.len() {
+                per_distance.resize(d + 1, 0);
+            }
+            per_distance[d] += row.iter().sum::<u64>();
+        }
+    }
+    // Distance 0 pairs (source to itself) are excluded from the plot.
+    if !per_distance.is_empty() {
+        per_distance[0] = 0;
+    }
+    let mut pairs_within = per_distance;
+    for d in 1..pairs_within.len() {
+        pairs_within[d] += pairs_within[d - 1];
+    }
+    // Trim the leading zero level so diameter() reads naturally.
+    HopPlot { pairs_within, sources_sampled: all.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::config::EngineConfig;
+    use cgraph_graph::EdgeList;
+
+    #[test]
+    fn path_graph_distances() {
+        // 0->1->2->3: from all 4 sources, pair distances are known.
+        let g: EdgeList = [(0u64, 1u64), (1, 2), (2, 3)].into_iter().collect();
+        let e = DistributedEngine::new(&g, EngineConfig::new(1));
+        let hp = hop_plot(&e, 4, 0);
+        // pairs at distance ≤1: (0,1),(1,2),(2,3) = 3
+        assert_eq!(hp.pairs_within[1], 3);
+        // ≤2: +(0,2),(1,3) = 5 ; ≤3: +(0,3) = 6
+        assert_eq!(hp.pairs_within[2], 5);
+        assert_eq!(hp.pairs_within[3], 6);
+        assert_eq!(hp.diameter(), 3);
+    }
+
+    #[test]
+    fn effective_diameter_interpolates() {
+        let hp = HopPlot { pairs_within: vec![0, 50, 100], sources_sampled: 10 };
+        // cdf = [0, 0.5, 1.0]; δ₀.₅ = 1.0 exactly, δ₀.₇₅ = 1.5
+        assert!((hp.effective_diameter(0.5) - 1.0).abs() < 1e-9);
+        assert!((hp.effective_diameter(0.75) - 1.5).abs() < 1e-9);
+        assert!((hp.effective_diameter(0.9) - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_world_has_small_effective_diameter() {
+        let raw = cgraph_gen::small_world(2000, 8, 0.2, 42);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&raw);
+        let g = b.build().edges;
+        let e = DistributedEngine::new(&g, EngineConfig::new(2));
+        let hp = hop_plot(&e, 30, 7);
+        let d90 = hp.effective_diameter(0.9);
+        assert!(d90 < 8.0, "small-world δ₀.₉ = {d90}");
+        assert!(hp.diameter() >= 3);
+    }
+
+    #[test]
+    fn empty_plot_is_safe() {
+        let hp = HopPlot { pairs_within: vec![], sources_sampled: 0 };
+        assert_eq!(hp.effective_diameter(0.5), 0.0);
+        assert!(hp.cumulative_fractions().is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! High-level k-hop helpers over the engine.
+
+use cgraph_core::engine::DistributedEngine;
+use cgraph_graph::bitmap::LANES;
+use cgraph_graph::VertexId;
+
+/// Vertices reachable within `k` hops of `source` (source included).
+pub fn khop_count(engine: &DistributedEngine, source: VertexId, k: u32) -> u64 {
+    engine.run_traversal_batch(&[source], &[k]).per_lane_visited[0]
+}
+
+/// Batched k-hop counts for many sources, exploiting lane sharing.
+/// Returns one count per source, in order.
+pub fn khop_counts_batch(engine: &DistributedEngine, sources: &[VertexId], k: u32) -> Vec<u64> {
+    let mut out = Vec::with_capacity(sources.len());
+    for chunk in sources.chunks(LANES) {
+        let ks = vec![k; chunk.len()];
+        let r = engine.run_traversal_batch(chunk, &ks);
+        out.extend(r.per_lane_visited);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::config::EngineConfig;
+    use cgraph_graph::EdgeList;
+
+    #[test]
+    fn batch_matches_singles() {
+        let g = cgraph_gen::graph500(8, 6, 21);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e = DistributedEngine::new(&g, EngineConfig::new(2));
+        let sources: Vec<u64> = (0..70u64).collect(); // spans 2 batches
+        let batched = khop_counts_batch(&e, &sources, 2);
+        for (i, &src) in sources.iter().enumerate().step_by(17) {
+            assert_eq!(batched[i], khop_count(&e, src, 2), "src {src}");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_just_the_source() {
+        let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let e = DistributedEngine::new(&g, EngineConfig::new(1));
+        assert_eq!(khop_count(&e, 0, 0), 1);
+    }
+}

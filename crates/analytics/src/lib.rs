@@ -1,0 +1,48 @@
+//! # cgraph-analytics — graph algorithms on the C-Graph API
+//!
+//! The paper positions k-hop as "an intermediate operator between
+//! low-level database and high-level algorithms" (§1). This crate is
+//! that higher level: algorithms written against the cgraph-core
+//! engine and the partition-centric model.
+//!
+//! * [`bfs`] / [`khop`] — traversal wrappers over the engine,
+//! * [`sssp`](mod@sssp) — weighted shortest paths as a partition-centric program
+//!   (Listing 1 API), with distance-constrained path queries (the
+//!   SDN/QoS use case of the introduction),
+//! * [`pagerank`](mod@pagerank) — Listing 3 GAS PageRank with a convergence driver,
+//! * [`wcc`] — weakly connected components by partition-centric label
+//!   propagation,
+//! * [`triangles`] — triangle counting, "equivalent to finding vertices
+//!   that are within 1 and 2-hop neighbors of the same vertex" (§1),
+//! * [`hopplot`] — the hop plot / effective-diameter estimator behind
+//!   Fig. 1,
+//! * [`kcore`] — distributed k-core decomposition (iterative peeling
+//!   on the partition-centric API),
+//! * [`closeness`] — closeness-centrality estimation batched through
+//!   the 64-lane concurrent traversal engine,
+//! * [`vertex_programs`] — ready-made Pregel-style vertex programs for
+//!   the vertex-centric model of §3.3.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod closeness;
+pub mod hopplot;
+pub mod kcore;
+pub mod khop;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;
+pub mod vertex_programs;
+pub mod wcc;
+
+pub use bfs::{bfs_count, bfs_levels};
+pub use closeness::{closeness_of, top_closeness, Closeness};
+pub use kcore::kcore_decomposition;
+pub use hopplot::{hop_plot, HopPlot};
+pub use khop::{khop_count, khop_counts_batch};
+pub use pagerank::{pagerank, pagerank_converged};
+pub use sssp::{sssp, sssp_within};
+pub use triangles::count_triangles;
+pub use vertex_programs::{VcBfs, VcHopSssp, VcMinLabel};
+pub use wcc::weakly_connected_components;

@@ -1,0 +1,173 @@
+//! Ready-made vertex-centric programs (§3.3's "vertex-centric model").
+//!
+//! These are the classic Pregel formulations, exposed as reusable
+//! building blocks for users who prefer per-vertex thinking over the
+//! partition-centric API. They intentionally duplicate algorithms the
+//! optimized engine paths already provide (BFS depths, components) —
+//! the duplication is the point: the same answer from an independent
+//! model is both a teaching aid and a cross-check (the integration
+//! tests assert agreement).
+
+use cgraph_core::vcm::{VertexProgram, VertexScope};
+use cgraph_graph::VertexId;
+
+/// Vertex-centric BFS: computes the hop distance from a source
+/// (`u64::MAX` = unreachable).
+pub struct VcBfs {
+    /// BFS root.
+    pub source: VertexId,
+}
+
+impl VertexProgram for VcBfs {
+    type Value = u64;
+
+    fn init(&self, _v: VertexId) -> u64 {
+        u64::MAX
+    }
+
+    fn compute(
+        &self,
+        scope: &mut VertexScope<'_, '_>,
+        v: VertexId,
+        value: &mut u64,
+        messages: &[u64],
+    ) {
+        let proposal = if scope.superstep() == 1 && v == self.source {
+            Some(0)
+        } else {
+            messages.iter().min().copied()
+        };
+        if let Some(d) = proposal {
+            if d < *value {
+                *value = d;
+                for t in scope.out_neighbors(v) {
+                    scope.send_to(t, d + 1);
+                }
+            }
+        }
+        scope.vote_to_halt();
+    }
+}
+
+/// Vertex-centric min-label propagation over out-edges *and* explicit
+/// reverse notifications — computes weakly connected components when
+/// the input graph is symmetric; over a directed graph it computes
+/// forward-reachability label minima.
+pub struct VcMinLabel;
+
+impl VertexProgram for VcMinLabel {
+    type Value = u64;
+
+    fn init(&self, v: VertexId) -> u64 {
+        v
+    }
+
+    fn compute(
+        &self,
+        scope: &mut VertexScope<'_, '_>,
+        v: VertexId,
+        value: &mut u64,
+        messages: &[u64],
+    ) {
+        let best = messages.iter().copied().min().unwrap_or(u64::MAX).min(*value);
+        if best < *value || scope.superstep() == 1 {
+            *value = best;
+            for t in scope.out_neighbors(v) {
+                scope.send_to(t, best);
+            }
+        }
+        scope.vote_to_halt();
+    }
+}
+
+/// Vertex-centric single-source shortest paths over unit weights
+/// encoded as hop counts scaled by 1000 (the message word is integral);
+/// a didactic variant — use [`crate::sssp()`] for real weighted SSSP.
+pub struct VcHopSssp {
+    /// SSSP root.
+    pub source: VertexId,
+}
+
+impl VertexProgram for VcHopSssp {
+    type Value = u64;
+
+    fn init(&self, _v: VertexId) -> u64 {
+        u64::MAX
+    }
+
+    fn compute(
+        &self,
+        scope: &mut VertexScope<'_, '_>,
+        v: VertexId,
+        value: &mut u64,
+        messages: &[u64],
+    ) {
+        let proposal = if scope.superstep() == 1 && v == self.source {
+            Some(0)
+        } else {
+            messages.iter().min().copied()
+        };
+        if let Some(d) = proposal {
+            if d < *value {
+                *value = d;
+                for (t, _w) in scope.out_neighbors_weighted(v) {
+                    scope.send_to(t, d + 1000);
+                }
+            }
+        }
+        scope.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::config::EngineConfig;
+    use cgraph_core::DistributedEngine;
+    use cgraph_graph::EdgeList;
+
+    fn engine(seed: u64, p: usize) -> (EdgeList, DistributedEngine) {
+        let raw = cgraph_gen::graph500(7, 5, seed);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&raw);
+        let g = b.build().edges;
+        let e = DistributedEngine::new(&g, EngineConfig::new(p));
+        (g, e)
+    }
+
+    #[test]
+    fn vc_bfs_agrees_with_engine() {
+        let (_, e) = engine(51, 3);
+        let depths = e.run_vertex_program(&VcBfs { source: 2 });
+        let batch = e.run_traversal_batch(&[2], &[u32::MAX]);
+        let reached = depths.iter().filter(|&&d| d != u64::MAX).count() as u64;
+        assert_eq!(reached, batch.per_lane_visited[0]);
+    }
+
+    #[test]
+    fn vc_min_label_on_symmetric_graph_is_wcc() {
+        let raw = cgraph_gen::erdos_renyi(60, 120, 5);
+        let mut b = cgraph_graph::GraphBuilder::with_options(cgraph_graph::BuildOptions {
+            symmetrize: true,
+            ..Default::default()
+        });
+        b.add_edge_list(&raw);
+        let g = b.build().edges;
+        let e = DistributedEngine::new(&g, EngineConfig::new(2));
+        let vc = e.run_vertex_program(&VcMinLabel);
+        let pcm = cgraph_core_wcc(&e);
+        assert_eq!(vc, pcm);
+    }
+
+    fn cgraph_core_wcc(e: &DistributedEngine) -> Vec<u64> {
+        crate::weakly_connected_components(e)
+    }
+
+    #[test]
+    fn vc_hop_sssp_scales_depths() {
+        let g: EdgeList = [(0u64, 1u64), (1, 2)].into_iter().collect();
+        let e = DistributedEngine::new(&g, EngineConfig::new(1));
+        let d = e.run_vertex_program(&VcHopSssp { source: 0 });
+        assert_eq!(d, vec![0, 1000, 2000]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # cgraph-baselines — the comparison systems of §4
+//!
+//! The paper evaluates C-Graph against two baselines; both are
+//! reimplemented here honestly (no artificial sleeps — their slowness
+//! comes from the same structural sources as the originals'):
+//!
+//! * [`titan`] — a miniature **property-graph database** in the style
+//!   of Titan/JanusGraph: every vertex and edge is a record with a
+//!   serialized property payload, adjacency is an ordered index keyed
+//!   by (vertex, direction, edge id), reads go through a transactional
+//!   lock, and traversal pays per-edge record decoding. This reproduces
+//!   the "complexity of the software stack … such as the data storage
+//!   layers" the paper blames for Titan's latency (§4.2).
+//!
+//! * [`gemini`] — a **fast single-query engine** in the style of
+//!   Gemini: flat CSR, frontier-based BFS/k-hop with rayon parallelism
+//!   inside one query, but *no concurrent-query support*: a batch of
+//!   queries is executed serially in request order, so "a query's
+//!   response time will be determined by any backlogged queries in
+//!   addition to the execution time for the current query" (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod gemini;
+pub mod titan;
+
+pub use gemini::GeminiEngine;
+pub use titan::{TitanDb, TitanServer};

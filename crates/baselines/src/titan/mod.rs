@@ -1,0 +1,23 @@
+//! A miniature Titan/JanusGraph-style property-graph database.
+//!
+//! Structure mirrors the layering of the original system:
+//!
+//! * [`store`] — the storage layer: vertex/edge *records* whose
+//!   properties live as serialized JSON bytes (decoded on every read,
+//!   as a columnar KV backend like Cassandra forces), and an ordered
+//!   adjacency index (`BTreeMap`) rather than packed arrays.
+//! * [`tx`] — the transaction layer: all reads run inside a
+//!   [`tx::ReadTx`] holding a shared lock on the store.
+//! * [`traversal`] — Gremlin-style k-hop traversal: per-query
+//!   `HashSet` visited set, record lookups per edge.
+//! * [`server`] — the multi-user front end: a thread pool executes
+//!   concurrent queries (Titan's one strength — it *does* accept
+//!   concurrent load, it is just slow per query).
+
+pub mod server;
+pub mod store;
+pub mod traversal;
+pub mod tx;
+
+pub use server::TitanServer;
+pub use store::TitanDb;

@@ -1,0 +1,169 @@
+//! The storage layer: records with serialized properties and an
+//! ordered adjacency index.
+//!
+//! Titan stores each edge as a row in a distributed KV store
+//! (Cassandra/HBase): property values are serialized bytes that must be
+//! decoded on access, and adjacency is a sorted row scan, not an array
+//! walk. We reproduce both costs: [`EdgeRecord`] keeps its properties
+//! as JSON bytes decoded per read, and adjacency is a `BTreeMap` from
+//! vertex to its sorted edge-ID list.
+
+use cgraph_graph::{Edge, EdgeList, VertexId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Properties carried by every edge record (what a minimal social-graph
+/// schema stores per edge).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EdgeProps {
+    /// Edge label (relation type).
+    pub label: String,
+    /// Edge weight.
+    pub weight: f32,
+    /// Creation timestamp (epoch seconds) — typical audit field.
+    pub created_at: u64,
+}
+
+/// One stored edge: endpoints in the clear (the index needs them),
+/// properties as serialized bytes (the KV layer's value).
+#[derive(Clone, Debug)]
+pub struct EdgeRecord {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Serialized [`EdgeProps`].
+    pub payload: Vec<u8>,
+}
+
+impl EdgeRecord {
+    /// Decodes the property payload (the per-read cost every traversal
+    /// pays in a record-store design).
+    pub fn props(&self) -> EdgeProps {
+        serde_json::from_slice(&self.payload).expect("corrupt edge payload")
+    }
+}
+
+/// Vertex record: a property document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VertexProps {
+    /// External ID string (graph DBs key vertices by opaque IDs).
+    pub external_id: String,
+    /// Vertex label.
+    pub label: String,
+}
+
+pub(crate) struct StoreInner {
+    pub(crate) edges: Vec<EdgeRecord>,
+    /// vertex -> sorted edge-ID list (out-adjacency index).
+    pub(crate) out_index: BTreeMap<VertexId, Vec<u32>>,
+    pub(crate) vertices: BTreeMap<VertexId, Vec<u8>>,
+}
+
+/// The database handle: a lock-guarded record store.
+pub struct TitanDb {
+    pub(crate) inner: RwLock<StoreInner>,
+}
+
+impl TitanDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(StoreInner {
+                edges: Vec::new(),
+                out_index: BTreeMap::new(),
+                vertices: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Bulk-loads an edge list (the "graph ingestion" step the paper
+    /// notes "took hours" on the real Titan — ours is merely slow
+    /// relative to CSR construction).
+    pub fn load(edges: &EdgeList) -> Self {
+        let db = Self::new();
+        {
+            let mut inner = db.inner.write();
+            for e in edges.edges() {
+                Self::insert_locked(&mut inner, *e);
+            }
+            for v in 0..edges.num_vertices() {
+                inner.vertices.entry(v).or_insert_with(|| {
+                    serde_json::to_vec(&VertexProps {
+                        external_id: format!("v{v}"),
+                        label: "user".to_string(),
+                    })
+                    .expect("serialize vertex")
+                });
+            }
+        }
+        db
+    }
+
+    fn insert_locked(inner: &mut StoreInner, e: Edge) {
+        let id = inner.edges.len() as u32;
+        let payload = serde_json::to_vec(&EdgeProps {
+            label: "knows".to_string(),
+            weight: e.weight,
+            created_at: 1_500_000_000 + id as u64,
+        })
+        .expect("serialize edge");
+        inner.edges.push(EdgeRecord { src: e.src, dst: e.dst, payload });
+        inner.out_index.entry(e.src).or_default().push(id);
+    }
+
+    /// Inserts a single edge transactionally.
+    pub fn insert_edge(&self, e: Edge) {
+        Self::insert_locked(&mut self.inner.write(), e);
+    }
+
+    /// Number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.inner.read().edges.len()
+    }
+
+    /// Number of stored vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.read().vertices.len()
+    }
+}
+
+impl Default for TitanDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_count() {
+        let list: EdgeList = [(0u64, 1u64), (1, 2), (0, 2)].into_iter().collect();
+        let db = TitanDb::load(&list);
+        assert_eq!(db.num_edges(), 3);
+        assert_eq!(db.num_vertices(), 3);
+    }
+
+    #[test]
+    fn edge_payload_roundtrips() {
+        let list: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let db = TitanDb::load(&list);
+        let inner = db.inner.read();
+        let rec = &inner.edges[0];
+        let props = rec.props();
+        assert_eq!(props.label, "knows");
+        assert_eq!(props.weight, 1.0);
+    }
+
+    #[test]
+    fn insert_edge_updates_index() {
+        let db = TitanDb::new();
+        db.insert_edge(Edge::unweighted(5, 9));
+        let inner = db.inner.read();
+        assert_eq!(inner.out_index.get(&5).unwrap().len(), 1);
+        assert!(!inner.out_index.contains_key(&9));
+    }
+}

@@ -1,0 +1,82 @@
+//! The transaction layer: reads run inside a shared-lock transaction.
+//!
+//! Titan wraps every Gremlin traversal in a transaction. Our
+//! [`ReadTx`] holds the store's read lock for its lifetime and exposes
+//! record-at-a-time access — the interface the traversal layer is
+//! forced to use (no bulk array access, unlike C-Graph's shards).
+
+use super::store::{EdgeProps, StoreInner, TitanDb, VertexProps};
+use cgraph_graph::VertexId;
+use parking_lot::RwLockReadGuard;
+
+/// A read transaction over the store.
+pub struct ReadTx<'db> {
+    guard: RwLockReadGuard<'db, StoreInner>,
+}
+
+impl TitanDb {
+    /// Opens a read transaction.
+    pub fn read_tx(&self) -> ReadTx<'_> {
+        ReadTx { guard: self.inner.read() }
+    }
+}
+
+impl ReadTx<'_> {
+    /// Edge IDs leaving `v` (empty when the vertex has no out-edges).
+    pub fn out_edges(&self, v: VertexId) -> &[u32] {
+        self.guard.out_index.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The destination of edge `id`.
+    pub fn edge_dst(&self, id: u32) -> VertexId {
+        self.guard.edges[id as usize].dst
+    }
+
+    /// Decodes the property document of edge `id` (per-read decode —
+    /// the record-store cost).
+    pub fn edge_props(&self, id: u32) -> EdgeProps {
+        self.guard.edges[id as usize].props()
+    }
+
+    /// Decodes the property document of vertex `v`.
+    pub fn vertex_props(&self, v: VertexId) -> Option<VertexProps> {
+        self.guard
+            .vertices
+            .get(&v)
+            .map(|bytes| serde_json::from_slice(bytes).expect("corrupt vertex payload"))
+    }
+
+    /// True when the vertex exists.
+    pub fn has_vertex(&self, v: VertexId) -> bool {
+        self.guard.vertices.contains_key(&v) || self.guard.out_index.contains_key(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::EdgeList;
+
+    #[test]
+    fn tx_reads_records() {
+        let list: EdgeList = [(0u64, 1u64), (0, 2)].into_iter().collect();
+        let db = TitanDb::load(&list);
+        let tx = db.read_tx();
+        let ids = tx.out_edges(0);
+        assert_eq!(ids.len(), 2);
+        let dsts: Vec<_> = ids.iter().map(|&id| tx.edge_dst(id)).collect();
+        assert_eq!(dsts, vec![1, 2]);
+        assert!(tx.has_vertex(2));
+        assert!(!tx.has_vertex(99));
+        assert_eq!(tx.vertex_props(1).unwrap().external_id, "v1");
+    }
+
+    #[test]
+    fn concurrent_read_txs_allowed() {
+        let list: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let db = TitanDb::load(&list);
+        let t1 = db.read_tx();
+        let t2 = db.read_tx();
+        assert_eq!(t1.out_edges(0).len(), t2.out_edges(0).len());
+    }
+}

@@ -1,0 +1,15 @@
+//! # cgraph-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index) plus criterion ablation benches. This library holds the
+//! shared machinery: dataset caching, source sampling, result tables
+//! and CSV dumps.
+//!
+//! All binaries print the paper's rows/series to stdout and write CSV
+//! under `target/experiments/` for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,141 @@
+//! Minimal argument parsing (positional + `--flag value` pairs).
+
+/// Parsed command arguments: positionals in order, flags by name.
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Splits raw arguments into positionals, `--key value` flags and
+    /// repeated `-e value` options.
+    pub fn new(raw: Vec<String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if a.starts_with('-') && a.len() > 1 && !a.chars().nth(1).unwrap().is_ascii_digit()
+            {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.push((a, it.next().unwrap()));
+                    }
+                    _ => switches.push(a),
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { positional, flags, switches }
+    }
+
+    /// Positional argument `i`.
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Required positional with an error message.
+    pub fn require(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.pos(i).ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Number of positionals.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// True when no positionals were given.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.positional.is_empty()
+    }
+
+    /// Last value of a flag (e.g. `flag("-o")`).
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeated flag (e.g. `-e stmt -e stmt`).
+    pub fn flag_all(&self, name: &str) -> Vec<&str> {
+        self.flags.iter().filter(|(k, _)| k == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    /// Parses a flag value, with default.
+    pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v:?}")),
+        }
+    }
+
+    /// True when a bare switch (no value) was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Rejects any flag/switch not in `known` (catches typos like
+    /// `--machines` instead of `-p`).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown option {k:?} (expected one of {known:?})"));
+            }
+        }
+        for k in &self.switches {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown option {k:?} (expected one of {known:?})"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a positional value.
+    pub fn pos_parse<T: std::str::FromStr>(&self, i: usize, what: &str) -> Result<T, String> {
+        let raw = self.require(i, what)?;
+        raw.parse().map_err(|_| format!("invalid {what}: {raw:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::new(s.split_whitespace().map(str::to_string).collect())
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = args("graph500 15 16 --seed 7 -o out.cg");
+        assert_eq!(a.pos(0), Some("graph500"));
+        assert_eq!(a.pos_parse::<u32>(1, "scale").unwrap(), 15);
+        assert_eq!(a.flag("--seed"), Some("7"));
+        assert_eq!(a.flag("-o"), Some("out.cg"));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn repeated_flags() {
+        let a = args("g.cg -e STATS -e COMPONENTS");
+        assert_eq!(a.flag_all("-e"), vec!["STATS", "COMPONENTS"]);
+    }
+
+    #[test]
+    fn negative_numbers_are_positional() {
+        let a = args("-5 foo");
+        assert_eq!(a.pos(0), Some("-5"));
+        assert_eq!(a.pos(1), Some("foo"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = args("x");
+        assert_eq!(a.flag_parse("-p", 3usize).unwrap(), 3);
+        assert!(a.require(5, "path").is_err());
+        let b = args("x -p nope y");
+        assert!(b.flag_parse::<usize>("-p", 1).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Command implementations.
+
+use crate::args::Args;
+use crate::{build_engine, load_graph, run_bench, save_graph, summary};
+use cgraph_ql::Session;
+use std::io::Read;
+
+/// `cgraph generate <MODEL> [ARGS..] [--seed S] -o <FILE>`
+pub fn generate(args: Args) -> Result<(), String> {
+    args.reject_unknown(&["--seed", "-o", "--raw"])?;
+    let model = args.require(0, "model name")?.to_string();
+    let seed: u64 = args.flag_parse("--seed", 42)?;
+    let out = args.flag("-o").ok_or("missing -o <FILE>")?.to_string();
+    let list = match model.as_str() {
+        "graph500" => {
+            let scale: u32 = args.pos_parse(1, "scale")?;
+            let ef: usize = args.pos_parse(2, "edge factor")?;
+            cgraph_gen::graph500(scale, ef, seed)
+        }
+        "rmat" => {
+            let scale: u32 = args.pos_parse(1, "scale")?;
+            let edges: usize = args.pos_parse(2, "edge count")?;
+            cgraph_gen::rmat(scale, edges, cgraph_gen::RmatParams::GRAPH500, seed)
+        }
+        "er" => {
+            let n: u64 = args.pos_parse(1, "vertex count")?;
+            let m: usize = args.pos_parse(2, "edge count")?;
+            cgraph_gen::erdos_renyi(n, m, seed)
+        }
+        "smallworld" => {
+            let n: u64 = args.pos_parse(1, "vertex count")?;
+            let k: usize = args.pos_parse(2, "ring degree k")?;
+            let beta: f64 = args.pos_parse(3, "rewire probability")?;
+            cgraph_gen::small_world(n, k, beta, seed)
+        }
+        "ba" => {
+            let n: u64 = args.pos_parse(1, "vertex count")?;
+            let m: usize = args.pos_parse(2, "attachments per vertex")?;
+            cgraph_gen::pref_attach(n, m, seed)
+        }
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    // Clean before writing (dedup, drop loops) unless told otherwise.
+    let list = if args.switch("--raw") {
+        list
+    } else {
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&list);
+        b.build().edges
+    };
+    save_graph(&out, &list)?;
+    println!("wrote {} vertices, {} edges to {out}", list.num_vertices(), list.len());
+    Ok(())
+}
+
+/// `cgraph stats <FILE>`
+pub fn stats(args: Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let path = args.require(0, "graph file")?;
+    let edges = load_graph(path)?;
+    let (s, hist) = summary(&edges);
+    println!("graph     : {path}");
+    println!("vertices  : {}", s.num_vertices);
+    println!("edges     : {}", s.num_edges);
+    println!("E/V ratio : {:.2}", s.edge_vertex_ratio());
+    println!(
+        "out-degree: min {}, median {}, mean {:.1}, max {}, isolated {}",
+        s.degrees.min, s.degrees.median, s.degrees.mean, s.degrees.max, s.degrees.isolated
+    );
+    println!("degree histogram (2^i buckets):");
+    for (i, count) in hist.iter().enumerate() {
+        if *count > 0 {
+            let lo = if i == 0 { 0 } else { 1usize << i };
+            println!("  [{lo:>8}, {:>8}) : {count}", 1usize << (i + 1));
+        }
+    }
+    Ok(())
+}
+
+/// `cgraph convert <IN> <OUT>`
+pub fn convert(args: Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let input = args.require(0, "input file")?;
+    let output = args.require(1, "output file")?.to_string();
+    let edges = load_graph(input)?;
+    save_graph(&output, &edges)?;
+    println!("converted {input} -> {output} ({} edges)", edges.len());
+    Ok(())
+}
+
+/// `cgraph query <FILE> [-p MACHINES] [-e STATEMENT]...`
+pub fn query(args: Args) -> Result<(), String> {
+    args.reject_unknown(&["-p", "-e"])?;
+    let path = args.require(0, "graph file")?;
+    let machines: usize = args.flag_parse("-p", 3)?;
+    let edges = load_graph(path)?;
+    let engine = build_engine(&edges, machines);
+    let session = Session::new(&engine);
+
+    let program = {
+        let inline = args.flag_all("-e");
+        if inline.is_empty() {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        } else {
+            inline.join("\n")
+        }
+    };
+    let queries = cgraph_ql::parse_program(&program).map_err(|e| e.to_string())?;
+    if queries.is_empty() {
+        return Err("no statements given (use -e or stdin)".into());
+    }
+    let answers = session.execute_batch(queries);
+    for a in &answers {
+        println!("[{}] {}  ({:?})", a.index, a.output, a.response_time);
+    }
+    Ok(())
+}
+
+/// `cgraph bench <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS]`
+pub fn bench(args: Args) -> Result<(), String> {
+    args.reject_unknown(&["-p", "-q", "-k"])?;
+    let path = args.require(0, "graph file")?;
+    let machines: usize = args.flag_parse("-p", 3)?;
+    let queries: usize = args.flag_parse("-q", 100)?;
+    let k: u32 = args.flag_parse("-k", 3)?;
+    let edges = load_graph(path)?;
+    println!("{}", run_bench(&edges, machines, queries, k));
+    Ok(())
+}

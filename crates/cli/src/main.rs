@@ -1,0 +1,129 @@
+//! `cgraph` — the command-line face of the C-Graph engine.
+//!
+//! ```text
+//! cgraph generate <MODEL> [ARGS..] -o graph.cg     synthesize a graph
+//! cgraph stats <graph.{cg,el}>                     summary + degree histogram
+//! cgraph convert <in> <out>                        text <-> binary edge lists
+//! cgraph query <graph> [-p MACHINES] [-e STMT..]   run query statements
+//! cgraph bench <graph> [-p M] [-q N] [-k K]        concurrent k-hop benchmark
+//! ```
+//!
+//! Models for `generate`: `graph500 <scale> <edge_factor>`,
+//! `rmat <scale> <edges>`, `er <vertices> <edges>`,
+//! `smallworld <vertices> <k> <beta>`, `ba <vertices> <m>`.
+//! Seeds default to 42 (`--seed` overrides). File format is chosen by
+//! extension: `.cg` binary, anything else text.
+
+use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery, QueryScheduler, SchedulerConfig};
+use cgraph_graph::{Csr, EdgeList, GraphStats};
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    // Die quietly on a closed pipe (`cgraph stats | head`) instead of
+    // panicking: restore the default SIGPIPE disposition Rust masks.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::from(2);
+    };
+    let args = Args::new(rest.to_vec());
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(args),
+        "stats" => commands::stats(args),
+        "convert" => commands::convert(args),
+        "query" => commands::query(args),
+        "bench" => commands::bench(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cgraph: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+cgraph — concurrent graph reachability queries (C-Graph, ICPP'18)
+
+USAGE:
+  cgraph generate <MODEL> [MODEL-ARGS..] [--seed S] -o <FILE>
+  cgraph stats <FILE>
+  cgraph convert <IN> <OUT>
+  cgraph query <FILE> [-p MACHINES] [-e STATEMENT]...  (or statements on stdin)
+  cgraph bench <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS]
+
+MODELS:
+  graph500 <scale> <edge_factor>
+  rmat <scale> <edges>
+  er <vertices> <edges>
+  smallworld <vertices> <k> <beta>
+  ba <vertices> <m>";
+
+/// Loads an edge list by extension (`.cg` binary, otherwise text).
+pub fn load_graph(path: &str) -> Result<EdgeList, String> {
+    let loaded = if path.ends_with(".cg") {
+        cgraph_gen::io::read_binary(path)
+    } else {
+        cgraph_gen::io::read_text(path)
+    };
+    loaded.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Saves an edge list by extension.
+pub fn save_graph(path: &str, list: &EdgeList) -> Result<(), String> {
+    let saved = if path.ends_with(".cg") {
+        cgraph_gen::io::write_binary(path, list)
+    } else {
+        cgraph_gen::io::write_text(path, list)
+    };
+    saved.map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Builds an engine over `p` simulated machines.
+pub fn build_engine(edges: &EdgeList, p: usize) -> DistributedEngine {
+    DistributedEngine::new(edges, EngineConfig::new(p))
+}
+
+/// Shared pieces used by the `stats` and `bench` commands.
+pub fn summary(edges: &EdgeList) -> (GraphStats, Vec<usize>) {
+    let csr = Csr::from_edges(edges.num_vertices(), edges.edges());
+    (GraphStats::from_csr(&csr), cgraph_graph::stats::degree_histogram(&csr))
+}
+
+/// Runs the concurrent k-hop benchmark used by `cgraph bench`.
+pub fn run_bench(edges: &EdgeList, machines: usize, queries: usize, k: u32) -> String {
+    let engine = build_engine(edges, machines);
+    let n = edges.num_vertices();
+    let qs: Vec<KhopQuery> = (0..queries)
+        .map(|i| KhopQuery::single(i, (i as u64).wrapping_mul(0x9E37) % n, k))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let results = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&qs);
+    let wall = t0.elapsed();
+    let stats = cgraph_core::ResponseStats::new(
+        results.iter().map(|r| r.response_time).collect::<Vec<_>>(),
+    );
+    let visited: u64 = results.iter().map(|r| r.visited).sum();
+    format!(
+        "{queries} concurrent {k}-hop queries on {machines} machine(s): \
+         total {wall:?}, mean response {:?}, p95 {:?}, max {:?}, {visited} vertices visited",
+        stats.mean(),
+        stats.quantile(0.95),
+        stats.max()
+    )
+}

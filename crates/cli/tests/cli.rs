@@ -1,0 +1,117 @@
+//! End-to-end tests of the `cgraph` binary: generate → stats →
+//! convert → query → bench, through real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cgraph(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cgraph"))
+        .args(args)
+        .output()
+        .expect("spawn cgraph binary")
+}
+
+fn cgraph_stdin(args: &[&str], stdin: &str) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cgraph"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cgraph binary");
+    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    child.wait_with_output().expect("wait for cgraph")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cgraph-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_pipeline() {
+    let bin = tmpfile("pipe.cg");
+    let txt = tmpfile("pipe.el");
+    let bin_s = bin.to_str().unwrap();
+    let txt_s = txt.to_str().unwrap();
+
+    // generate
+    let out = cgraph(&["generate", "graph500", "10", "8", "--seed", "5", "-o", bin_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+
+    // stats
+    let out = cgraph(&["stats", bin_s]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("vertices"), "{stdout}");
+    assert!(stdout.contains("degree histogram"), "{stdout}");
+
+    // convert to text and back
+    let out = cgraph(&["convert", bin_s, txt_s]);
+    assert!(out.status.success());
+    assert!(txt.exists());
+
+    // query via -e
+    let out = cgraph(&["query", bin_s, "-p", "2", "-e", "STATS", "-e", "KHOP 0 2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[0]"), "{stdout}");
+    assert!(stdout.contains("[1]"), "{stdout}");
+    assert!(stdout.contains("reachable"), "{stdout}");
+
+    // query via stdin
+    let out = cgraph_stdin(&["query", bin_s], "COMPONENTS\n");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[0]"), "{stdout}");
+
+    // bench
+    let out = cgraph(&["bench", bin_s, "-p", "2", "-q", "10", "-k", "2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("10 concurrent 2-hop queries"), "{stdout}");
+
+    std::fs::remove_file(bin).ok();
+    std::fs::remove_file(txt).ok();
+}
+
+#[test]
+fn errors_are_reported() {
+    // unknown command
+    let out = cgraph(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // missing file
+    let out = cgraph(&["stats", "/nonexistent/graph.cg"]);
+    assert!(!out.status.success());
+
+    // bad model
+    let out = cgraph(&["generate", "nonsense", "-o", "/tmp/x.cg"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+
+    // parse error in query
+    let bin = tmpfile("err.cg");
+    let bin_s = bin.to_str().unwrap();
+    assert!(cgraph(&["generate", "er", "50", "100", "-o", bin_s]).status.success());
+    let out = cgraph(&["query", bin_s, "-e", "BOGUS 1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    std::fs::remove_file(bin).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cgraph(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    // No args at all → usage on stderr, exit code 2.
+    let out = cgraph(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}

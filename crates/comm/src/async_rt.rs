@@ -1,0 +1,148 @@
+//! Quiescence detection for the asynchronous update mode.
+//!
+//! §3.3: boundary-vertex values "will be asynchronously updated and the
+//! traversal on that vertex will be performed based on the new depth" —
+//! machines process incoming tasks as they arrive instead of in
+//! supersteps. Without barriers, termination must be *detected*: the
+//! computation is done when every machine is idle **and** no message is
+//! in flight.
+//!
+//! [`TerminationDetector`] implements message-credit counting: the
+//! in-flight counter is incremented *before* a send and decremented
+//! only *after* the receiver has fully processed the message (including
+//! any sends that processing performed). Under that discipline,
+//! `all idle ∧ in_flight == 0` is a stable property — no future work
+//! can appear — so observing it once is a sound termination test.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// Distributed-termination detector for `p` machines.
+#[derive(Debug)]
+pub struct TerminationDetector {
+    in_flight: AtomicI64,
+    idle: Vec<AtomicBool>,
+}
+
+impl TerminationDetector {
+    /// Creates a detector for `p` machines, all initially *busy*
+    /// (machines must explicitly go idle).
+    pub fn new(p: usize) -> Self {
+        Self {
+            in_flight: AtomicI64::new(0),
+            idle: (0..p).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Must be called *before* handing a message to the channel.
+    #[inline]
+    pub fn on_send(&self) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Must be called *after* the message has been fully processed
+    /// (and any messages that processing produced have been on_send'd).
+    #[inline]
+    pub fn on_processed(&self) {
+        let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "more messages processed than sent");
+    }
+
+    /// Marks machine `id` idle (its local queue is empty).
+    #[inline]
+    pub fn set_idle(&self, id: usize, idle: bool) {
+        self.idle[id].store(idle, Ordering::SeqCst);
+    }
+
+    /// Current in-flight message count (diagnostics).
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// True when every machine is idle and no message is in flight.
+    ///
+    /// Sound under the send/process discipline above: a machine only
+    /// becomes non-idle because a message arrived, and that message
+    /// kept `in_flight > 0` until it was processed.
+    pub fn quiescent(&self) -> bool {
+        // Check idles first, then in-flight: if a message is produced
+        // after we read an idle flag, the in-flight counter (read
+        // later, SeqCst) will still be > 0.
+        self.idle.iter().all(|b| b.load(Ordering::SeqCst))
+            && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_detector_not_quiescent() {
+        let d = TerminationDetector::new(2);
+        assert!(!d.quiescent()); // machines start busy
+    }
+
+    #[test]
+    fn idle_without_messages_is_quiescent() {
+        let d = TerminationDetector::new(2);
+        d.set_idle(0, true);
+        d.set_idle(1, true);
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn in_flight_blocks_quiescence() {
+        let d = TerminationDetector::new(1);
+        d.set_idle(0, true);
+        d.on_send();
+        assert!(!d.quiescent());
+        d.on_processed();
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn concurrent_ping_pong_terminates() {
+        // Two workers bounce a counter down to zero through channels;
+        // detector must see quiescence exactly when all work is done.
+        let d = Arc::new(TerminationDetector::new(2));
+        let (tx0, rx0) = crossbeam_channel::unbounded::<u32>();
+        let (tx1, rx1) = crossbeam_channel::unbounded::<u32>();
+        d.on_send();
+        tx0.send(64).unwrap();
+
+        let spawn = |id: usize,
+                     rx: crossbeam_channel::Receiver<u32>,
+                     tx: crossbeam_channel::Sender<u32>,
+                     d: Arc<TerminationDetector>| {
+            std::thread::spawn(move || {
+                let mut processed = 0u32;
+                loop {
+                    match rx.try_recv() {
+                        Ok(n) => {
+                            d.set_idle(id, false);
+                            if n > 0 {
+                                d.on_send();
+                                tx.send(n - 1).unwrap();
+                            }
+                            processed += 1;
+                            d.on_processed();
+                        }
+                        Err(_) => {
+                            d.set_idle(id, true);
+                            if d.quiescent() {
+                                return processed;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        };
+        let h0 = spawn(0, rx0, tx1, d.clone());
+        let h1 = spawn(1, rx1, tx0, d.clone());
+        let total = h0.join().unwrap() + h1.join().unwrap();
+        assert_eq!(total, 65); // 64 hops + the initial message
+        assert!(d.quiescent());
+    }
+}

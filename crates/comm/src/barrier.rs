@@ -1,0 +1,194 @@
+//! A sense-reversing barrier that all-reduces a `u64` sum.
+//!
+//! The synchronous update model synchronises machines "after each
+//! iteration" (Fig. 5) and must agree on global termination ("vote to
+//! halt"): each machine contributes its count of active work (frontier
+//! size + messages sent); when the global sum is zero, every machine
+//! sees zero and halts on the same superstep.
+//!
+//! Built on parking_lot `Mutex`/`Condvar` (per the Atomics-and-Locks
+//! guidance: use well-tested blocking primitives for rendezvous rather
+//! than hand-rolled spin loops).
+
+use parking_lot::{Condvar, Mutex};
+
+/// The combined result of one barrier generation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Reduction {
+    /// Wrapping sum of all contributions.
+    pub sum: u64,
+    /// Maximum contribution.
+    pub max: u64,
+    /// Bitwise OR of all contributions (per-lane activity masks).
+    pub or: u64,
+}
+
+struct State {
+    /// Threads still to arrive in the current generation.
+    remaining: usize,
+    /// Accumulated sum contribution of the current generation.
+    sum: u64,
+    /// Accumulated max contribution of the current generation.
+    max: u64,
+    /// Accumulated bitwise-OR contribution of the current generation.
+    or: u64,
+    /// Results of the last completed generation.
+    result: Reduction,
+    /// Flips every generation (sense reversal).
+    generation: u64,
+}
+
+/// A reusable barrier over `parties` threads carrying a `u64` sum.
+pub struct ReduceBarrier {
+    parties: usize,
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+impl ReduceBarrier {
+    /// Creates a barrier for `parties` threads.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0);
+        Self {
+            parties,
+            state: Mutex::new(State {
+                remaining: parties,
+                sum: 0,
+                max: 0,
+                or: 0,
+                result: Reduction::default(),
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all parties have called, then returns the combined
+    /// sum/max/or over every party's `contribution` for this
+    /// generation.
+    pub fn wait_reduce(&self, contribution: u64) -> Reduction {
+        let mut s = self.state.lock();
+        let gen = s.generation;
+        s.sum = s.sum.wrapping_add(contribution);
+        s.max = s.max.max(contribution);
+        s.or |= contribution;
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            // Last arriver publishes the result and opens the next
+            // generation.
+            s.result = Reduction { sum: s.sum, max: s.max, or: s.or };
+            s.sum = 0;
+            s.max = 0;
+            s.or = 0;
+            s.remaining = self.parties;
+            s.generation = gen.wrapping_add(1);
+            self.cvar.notify_all();
+            s.result
+        } else {
+            while s.generation == gen {
+                self.cvar.wait(&mut s);
+            }
+            s.result
+        }
+    }
+
+    /// Blocks until all parties have called, then returns the sum of
+    /// every party's `contribution` for this generation.
+    pub fn wait_sum(&self, contribution: u64) -> u64 {
+        self.wait_reduce(contribution).sum
+    }
+
+    /// Plain barrier (no payload).
+    pub fn wait(&self) {
+        self.wait_sum(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = ReduceBarrier::new(1);
+        assert_eq!(b.wait_sum(5), 5);
+        assert_eq!(b.wait_sum(7), 7);
+    }
+
+    #[test]
+    fn sums_across_threads() {
+        let b = Arc::new(ReduceBarrier::new(4));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || b.wait_sum(i + 1)));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1 + 2 + 3 + 4);
+        }
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(ReduceBarrier::new(2));
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            for round in 0..50u64 {
+                out.push(b2.wait_sum(round));
+            }
+            out
+        });
+        let mut mine = Vec::new();
+        for round in 0..50u64 {
+            mine.push(b.wait_sum(round * 10));
+        }
+        let theirs = t.join().unwrap();
+        for (round, (a, c)) in mine.iter().zip(&theirs).enumerate() {
+            let expect = round as u64 + round as u64 * 10;
+            assert_eq!(*a, expect);
+            assert_eq!(*c, expect);
+        }
+    }
+
+    #[test]
+    fn reduce_returns_sum_and_max() {
+        let b = Arc::new(ReduceBarrier::new(3));
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                let b = b.clone();
+                std::thread::spawn(move || b.wait_reduce([4, 9, 2][i as usize]))
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!((r.sum, r.max, r.or), (15, 9, 4 | 9 | 2));
+        }
+    }
+
+    #[test]
+    fn stress_many_threads() {
+        let parties = 8;
+        let rounds = 200u64;
+        let b = Arc::new(ReduceBarrier::new(parties));
+        let handles: Vec<_> = (0..parties)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for r in 0..rounds {
+                        assert_eq!(b.wait_sum(r), r * parties as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

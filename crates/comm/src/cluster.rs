@@ -1,0 +1,364 @@
+//! The simulated cluster: `p` machine threads with all-to-all channels.
+//!
+//! [`Cluster::run`] is the entry point: it spawns one scoped thread per
+//! machine, hands each a [`CommHandle`], and joins them, returning every
+//! machine's result. Each machine owns its shard exclusively — the
+//! paper's "each processing unit computes on its own subgraph shard" —
+//! and all cross-machine traffic goes through the handles.
+
+use crate::async_rt::TerminationDetector;
+use crate::barrier::{ReduceBarrier, Reduction};
+use crate::message::{Envelope, WireSize};
+use crate::netmodel::{NetModel, NetStats};
+use crate::MachineId;
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+/// A machine's endpoint into the cluster fabric.
+pub struct CommHandle<M> {
+    id: MachineId,
+    p: usize,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    barrier: Arc<ReduceBarrier>,
+    term: Arc<TerminationDetector>,
+    model: NetModel,
+    stats: Arc<NetStats>,
+}
+
+impl<M: WireSize> CommHandle<M> {
+    /// This machine's ID.
+    #[inline]
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Number of machines in the cluster.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.p
+    }
+
+    /// Sends `payload` to machine `to`. Self-sends are legal (they
+    /// loop back through the local inbox) but cost no simulated
+    /// network time.
+    pub fn send(&self, to: MachineId, payload: M) {
+        if to != self.id {
+            self.stats.record_send(&self.model, payload.wire_size());
+        }
+        self.term.on_send();
+        // Unbounded channel: send can only fail if the receiver was
+        // dropped, which means a peer machine panicked — propagate.
+        self.senders[to]
+            .send(Envelope::new(self.id, to, payload))
+            .expect("peer machine hung up (panicked?)");
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// The caller must call [`CommHandle::message_processed`] after
+    /// fully handling the returned envelope (async mode relies on it;
+    /// sync mode can use [`CommHandle::drain`] instead).
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.receiver.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Acknowledges that a message obtained from [`CommHandle::try_recv`]
+    /// has been fully processed (including any sends that processing
+    /// performed).
+    pub fn message_processed(&self) {
+        self.term.on_processed();
+    }
+
+    /// Drains everything currently in the inbox, acknowledging each
+    /// message. Used by the synchronous engine right after a barrier,
+    /// when all peers' sends for the superstep are already visible.
+    pub fn drain(&self) -> Vec<Envelope<M>> {
+        let mut out = Vec::new();
+        while let Some(env) = self.try_recv() {
+            self.term.on_processed();
+            out.push(env);
+        }
+        out
+    }
+
+    /// Superstep barrier carrying an all-reduced `u64` (typically the
+    /// machine's count of active work; a global sum of 0 means halt).
+    pub fn barrier_sum(&self, contribution: u64) -> u64 {
+        self.barrier.wait_sum(contribution)
+    }
+
+    /// Superstep barrier returning the combined sum/max/or over all
+    /// machines' contributions.
+    pub fn barrier_reduce(&self, contribution: u64) -> Reduction {
+        self.barrier.wait_reduce(contribution)
+    }
+
+    /// Plain barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Marks this machine idle/busy for async termination detection.
+    pub fn set_idle(&self, idle: bool) {
+        self.term.set_idle(self.id, idle);
+    }
+
+    /// True when the whole cluster is quiescent (async mode exit test).
+    pub fn quiescent(&self) -> bool {
+        self.term.quiescent()
+    }
+
+    /// This machine's traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The interconnect model in force.
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+}
+
+/// Aggregated per-machine traffic report returned by [`Cluster::run`].
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Per-machine (msgs_sent, bytes_sent, sim_net_ns).
+    pub per_machine: Vec<(u64, u64, u64)>,
+}
+
+impl TrafficReport {
+    /// Total messages across machines.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.0).sum()
+    }
+
+    /// Total payload bytes across machines.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.1).sum()
+    }
+
+    /// Max simulated network time across machines (the straggler).
+    pub fn max_sim_net_ns(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.2).max().unwrap_or(0)
+    }
+}
+
+/// A factory for machine handles plus the scoped-thread driver.
+///
+/// ```
+/// use cgraph_comm::Cluster;
+/// let cluster = Cluster::new(3);
+/// // Each machine sends its id to machine 0 and all-reduces a sum.
+/// let (sums, traffic) = cluster.run::<u64, u64, _>(|h| {
+///     if h.id() != 0 {
+///         h.send(0, h.id() as u64);
+///     }
+///     h.barrier();
+///     let received: u64 = h.drain().iter().map(|e| e.payload).sum();
+///     h.barrier_sum(received)
+/// });
+/// assert_eq!(sums, vec![3, 3, 3]); // 1 + 2, agreed everywhere
+/// assert_eq!(traffic.total_msgs(), 2);
+/// ```
+pub struct Cluster {
+    p: usize,
+    model: NetModel,
+}
+
+impl Cluster {
+    /// Creates a cluster of `p` machines with the default (10 GbE-like)
+    /// network model.
+    pub fn new(p: usize) -> Self {
+        Self::with_model(p, NetModel::default())
+    }
+
+    /// Creates a cluster with an explicit network model.
+    pub fn with_model(p: usize, model: NetModel) -> Self {
+        assert!(p > 0, "cluster needs at least one machine");
+        Self { p, model }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.p
+    }
+
+    /// Builds the all-to-all fabric and returns one handle per machine.
+    /// Most callers use [`Cluster::run`] instead.
+    pub fn handles<M: WireSize>(&self) -> Vec<CommHandle<M>> {
+        let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(self.p);
+        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(self.p);
+        for _ in 0..self.p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(ReduceBarrier::new(self.p));
+        let term = Arc::new(TerminationDetector::new(self.p));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, receiver)| CommHandle {
+                id,
+                p: self.p,
+                senders: senders.clone(),
+                receiver,
+                barrier: barrier.clone(),
+                term: term.clone(),
+                model: self.model,
+                stats: Arc::new(NetStats::new()),
+            })
+            .collect()
+    }
+
+    /// Spawns one thread per machine running `worker(handle)`, joins
+    /// them all, and returns `(per-machine results, traffic report)`.
+    ///
+    /// A panic on any machine propagates to the caller after all
+    /// threads are joined (scoped threads guarantee no leaks).
+    pub fn run<M, R, F>(&self, worker: F) -> (Vec<R>, TrafficReport)
+    where
+        M: WireSize + Send + 'static,
+        R: Send,
+        F: Fn(CommHandle<M>) -> R + Sync,
+    {
+        let handles = self.handles::<M>();
+        let stats: Vec<Arc<NetStats>> = handles.iter().map(|h| h.stats.clone()).collect();
+        let results = std::thread::scope(|s| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    let worker = &worker;
+                    s.spawn(move || worker(h))
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("machine thread panicked"))
+                .collect::<Vec<R>>()
+        });
+        let report = TrafficReport {
+            per_machine: stats
+                .iter()
+                .map(|st| (st.msgs_sent(), st.bytes_sent(), st.sim_net_ns()))
+                .collect(),
+        };
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_sums() {
+        // Each machine sends its id to the next; everyone receives one
+        // message after a barrier.
+        let cluster = Cluster::new(4);
+        let (results, report) = cluster.run::<u64, u64, _>(|h| {
+            let next = (h.id() + 1) % h.num_machines();
+            h.send(next, h.id() as u64);
+            h.barrier();
+            let got = h.drain();
+            assert_eq!(got.len(), 1);
+            got[0].payload
+        });
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(report.total_msgs(), 4);
+        assert_eq!(report.total_bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn self_send_costs_no_network() {
+        let cluster = Cluster::new(1);
+        let (_, report) = cluster.run::<u64, (), _>(|h| {
+            h.send(0, 99);
+            let got = h.drain();
+            assert_eq!(got[0].payload, 99);
+        });
+        assert_eq!(report.total_msgs(), 0); // self-sends not billed
+    }
+
+    #[test]
+    fn barrier_sum_agrees_everywhere() {
+        let cluster = Cluster::new(3);
+        let (results, _) = cluster.run::<(), u64, _>(|h| h.barrier_sum(h.id() as u64 + 1));
+        assert_eq!(results, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn multi_superstep_message_flow() {
+        // 3 supersteps; each machine forwards an accumulating token.
+        let cluster = Cluster::new(3);
+        let (results, _) = cluster.run::<u64, u64, _>(|h| {
+            let mut acc = 0u64;
+            let mut token = h.id() as u64;
+            for _ in 0..3 {
+                h.send((h.id() + 1) % 3, token);
+                h.barrier();
+                let msgs = h.drain();
+                assert_eq!(msgs.len(), 1);
+                token = msgs[0].payload + 1;
+                acc += token;
+                h.barrier();
+            }
+            acc
+        });
+        // Tokens rotate and increment once per hop; after 3 supersteps
+        // every machine has accumulated 9 (worked out by hand).
+        assert_eq!(results, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn async_quiescence_across_machines() {
+        let cluster = Cluster::new(3);
+        let (results, _) = cluster.run::<u64, u64, _>(|h| {
+            // machine 0 seeds a countdown token
+            if h.id() == 0 {
+                h.send(1, 20);
+            }
+            let mut processed = 0u64;
+            loop {
+                match h.try_recv() {
+                    Some(env) => {
+                        h.set_idle(false);
+                        if env.payload > 0 {
+                            h.send((h.id() + 1) % 3, env.payload - 1);
+                        }
+                        processed += 1;
+                        h.message_processed();
+                    }
+                    None => {
+                        h.set_idle(true);
+                        if h.quiescent() {
+                            return processed;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        });
+        assert_eq!(results.iter().sum::<u64>(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine thread panicked")]
+    fn worker_panic_propagates() {
+        let cluster = Cluster::new(2);
+        cluster.run::<(), (), _>(|h| {
+            if h.id() == 1 {
+                panic!("boom");
+            }
+            // Machine 0 must not deadlock waiting on a barrier here —
+            // it simply returns.
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-thread CPU time — the busy-time metric for simulated machines.
+//!
+//! A simulated machine is a thread; when the host has fewer cores than
+//! machines, wall-clock intervals measured inside a machine include
+//! time spent descheduled while *other* machines run, which destroys
+//! any scaling signal. `CLOCK_THREAD_CPUTIME_ID` counts only cycles
+//! this thread actually executed, and blocking waits (the barrier's
+//! condvar, channel parks) cost none of it — so
+//! `thread_cpu_time()` deltas are exactly the per-machine *busy time*
+//! a real cluster node would spend.
+
+use std::time::Duration;
+
+/// CPU time consumed by the calling thread since it started.
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_time() -> Duration {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: ts is a valid out-pointer; CLOCK_THREAD_CPUTIME_ID is
+    // always supported on Linux.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0);
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+/// Fallback for non-Linux targets: wall clock from an arbitrary epoch
+/// (scaling figures degrade gracefully but remain monotone).
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_time() -> Duration {
+    use std::time::Instant;
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_advances_under_work() {
+        let a = thread_cpu_time();
+        // Burn a little CPU.
+        let mut x = 1u64;
+        for i in 1..2_000_000u64 {
+            x = x.wrapping_mul(i) ^ i;
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_time();
+        assert!(b > a, "CPU time must advance under compute: {a:?} -> {b:?}");
+    }
+
+    #[test]
+    fn sleeping_costs_no_cpu() {
+        let a = thread_cpu_time();
+        std::thread::sleep(Duration::from_millis(50));
+        let b = thread_cpu_time();
+        assert!(
+            (b - a) < Duration::from_millis(20),
+            "sleep consumed {:?} CPU",
+            b - a
+        );
+    }
+
+    #[test]
+    fn independent_per_thread() {
+        // A busy sibling thread must not advance this thread's clock.
+        let before = thread_cpu_time();
+        let h = std::thread::spawn(|| {
+            let mut x = 1u64;
+            for i in 1..5_000_000u64 {
+                x = x.wrapping_mul(i) ^ i;
+            }
+            std::hint::black_box(x);
+        });
+        h.join().unwrap();
+        let after = thread_cpu_time();
+        assert!((after - before) < Duration::from_millis(30));
+    }
+}

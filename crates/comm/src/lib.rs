@@ -1,0 +1,50 @@
+//! # cgraph-comm — the simulated distributed substrate
+//!
+//! The paper runs C-Graph on a 9-node Xeon cluster over MPI/sockets.
+//! This crate reproduces that infrastructure in-process: each
+//! *machine* is an OS thread owning its subgraph shard exclusively,
+//! and machines exchange messages over per-pair channels — the "inbox
+//! buffer for incoming tasks and an outbox buffer for outgoing tasks"
+//! of Fig. 5.
+//!
+//! Provided pieces:
+//!
+//! * [`cluster::Cluster`] / [`cluster::CommHandle`] — spawn `p` machine
+//!   threads, each holding a handle that can send to any peer and drain
+//!   its own inbox.
+//! * [`barrier::ReduceBarrier`] — a sense-reversing barrier that also
+//!   all-reduces a `u64` contribution (used for superstep termination:
+//!   "the visited vertices are synchronized after each iteration").
+//! * [`async_rt::TerminationDetector`] — message-credit quiescence
+//!   detection for the asynchronous update mode (§3.3 supports both
+//!   synchronous and asynchronous communication).
+//! * [`netmodel::NetModel`] / [`netmodel::NetStats`] — an analytic
+//!   latency/bandwidth model that *accounts* simulated network time per
+//!   message without sleeping, so wall-clock benches stay meaningful
+//!   while scaling analyses can still report communication volume.
+//! * [`collectives`] — allreduce/broadcast built on the barrier.
+//!
+//! Nothing in this crate knows about graphs; it is a generic
+//! message-passing substrate tested in isolation.
+
+#![warn(missing_docs)]
+
+pub mod async_rt;
+pub mod barrier;
+pub mod cluster;
+pub mod collectives;
+pub mod cputime;
+pub mod mailbox;
+pub mod message;
+pub mod netmodel;
+
+pub use async_rt::TerminationDetector;
+pub use barrier::{ReduceBarrier, Reduction};
+pub use cluster::{Cluster, CommHandle};
+pub use cputime::thread_cpu_time;
+pub use mailbox::Outbox;
+pub use message::{Envelope, WireSize};
+pub use netmodel::{NetModel, NetStats};
+
+/// Identifier of a simulated machine (= partition).
+pub type MachineId = usize;

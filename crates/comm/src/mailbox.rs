@@ -1,0 +1,111 @@
+//! Outbox buffering — Fig. 5's "outbox buffer for outgoing tasks".
+//!
+//! In the synchronous update model each machine buffers remote tasks
+//! per destination during a superstep and flushes them in one batch at
+//! the barrier, amortising per-message overhead (the same reason MPI
+//! codes aggregate small messages). [`Outbox`] is that per-destination
+//! staging area.
+
+use crate::MachineId;
+
+/// Per-destination staging buffers for outgoing payloads.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    buffers: Vec<Vec<M>>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an outbox with one buffer per machine.
+    pub fn new(num_machines: usize) -> Self {
+        Self { buffers: (0..num_machines).map(|_| Vec::new()).collect() }
+    }
+
+    /// Stages `payload` for machine `to`.
+    #[inline]
+    pub fn push(&mut self, to: MachineId, payload: M) {
+        self.buffers[to].push(payload);
+    }
+
+    /// Number of machines addressable.
+    pub fn num_machines(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Total staged payloads across all destinations.
+    pub fn staged(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.iter().all(Vec::is_empty)
+    }
+
+    /// Drains each destination's buffer, invoking `send(to, batch)` for
+    /// every non-empty one; returns the number of payloads flushed.
+    pub fn flush(&mut self, mut send: impl FnMut(MachineId, Vec<M>)) -> usize {
+        let mut flushed = 0;
+        for (to, buf) in self.buffers.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                flushed += buf.len();
+                send(to, std::mem::take(buf));
+            }
+        }
+        flushed
+    }
+
+    /// Drops all staged payloads (e.g. when a query is cancelled).
+    pub fn clear(&mut self) {
+        for buf in &mut self.buffers {
+            buf.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_flush_batches_per_destination() {
+        let mut o: Outbox<u64> = Outbox::new(3);
+        o.push(0, 1);
+        o.push(2, 2);
+        o.push(2, 3);
+        assert_eq!(o.staged(), 3);
+        let mut seen = Vec::new();
+        let flushed = o.flush(|to, batch| seen.push((to, batch)));
+        assert_eq!(flushed, 3);
+        assert_eq!(seen, vec![(0, vec![1]), (2, vec![2, 3])]);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn flush_skips_empty_destinations() {
+        let mut o: Outbox<u8> = Outbox::new(4);
+        o.push(1, 9);
+        let mut calls = 0;
+        o.flush(|_, _| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn clear_discards() {
+        let mut o: Outbox<u8> = Outbox::new(2);
+        o.push(0, 1);
+        o.clear();
+        assert!(o.is_empty());
+        assert_eq!(o.flush(|_, _| panic!("nothing to flush")), 0);
+    }
+
+    #[test]
+    fn buffers_reusable_after_flush() {
+        let mut o: Outbox<u8> = Outbox::new(1);
+        o.push(0, 1);
+        o.flush(|_, _| {});
+        o.push(0, 2);
+        let mut got = Vec::new();
+        o.flush(|_, b| got = b);
+        assert_eq!(got, vec![2]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Message envelopes and wire-size accounting.
+//!
+//! Messages are strongly typed (`M` is chosen by the engine); the only
+//! requirement is [`WireSize`] so the network model can attribute
+//! bytes. In the real system a message is "the boundary vertex ID with
+//! its value along a traverse operator" (§3.3) — a few words — and the
+//! simulated sizes mirror that.
+
+use crate::MachineId;
+
+/// What a message would cost on the wire, in bytes.
+pub trait WireSize {
+    /// Serialized size in bytes (headers excluded; the
+    /// [`crate::netmodel::NetModel`] adds a fixed per-message header).
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl WireSize for (u64, u64) {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        self.iter().map(WireSize::wire_size).sum()
+    }
+}
+
+/// A routed message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<M> {
+    /// Sending machine.
+    pub from: MachineId,
+    /// Receiving machine.
+    pub to: MachineId,
+    /// Payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope.
+    pub fn new(from: MachineId, to: MachineId, payload: M) -> Self {
+        Self { from, to, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(7u64.wire_size(), 8);
+        assert_eq!((1u64, 2u64).wire_size(), 16);
+        assert_eq!(vec![1u64, 2, 3].wire_size(), 24);
+    }
+
+    #[test]
+    fn envelope_fields() {
+        let e = Envelope::new(0, 2, 42u64);
+        assert_eq!((e.from, e.to, e.payload), (0, 2, 42));
+    }
+}

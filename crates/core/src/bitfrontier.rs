@@ -1,0 +1,329 @@
+//! Bit-packed concurrent traversal state (§3.5, Fig. 6).
+//!
+//! Up to 64 queries form a *batch*; each query owns one bit lane. Per
+//! local vertex the shard keeps three words — `frontier`, `next`
+//! (frontierNext) and `visited` — so one memory load reads a vertex's
+//! membership in all 64 concurrent frontiers at once. A traversal hop
+//! is then:
+//!
+//! 1. **Scan**: for every tile row `v` with `frontier[v] != 0`, OR the
+//!    word into `next[t]` for each local neighbour `t`, or emit
+//!    `(t, word)` to the owner machine for remote neighbours. Shared
+//!    neighbours of shared frontiers cost a single pass — the
+//!    "one traversal on these two vertices" sharing of Fig. 3b.
+//! 2. **Absorb**: OR remote words received from peers into `next`.
+//! 3. **Advance**: `new = next & !visited`; `visited |= new`;
+//!    `frontier = new`; count newly visited vertices per lane.
+//!
+//! The state is per-shard; [`crate::engine`] wires shards together.
+
+use crate::shard::Shard;
+use cgraph_graph::bitmap::{LaneMatrix, LANES};
+use cgraph_graph::VertexId;
+
+/// Per-shard traversal state for one 64-query batch.
+#[derive(Debug)]
+pub struct BitFrontier {
+    frontier: LaneMatrix,
+    next: LaneMatrix,
+    visited: LaneMatrix,
+    base: VertexId,
+    num_local: usize,
+}
+
+/// Outcome of one [`BitFrontier::advance`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvanceResult {
+    /// OR of all new frontier words: bit `q` set ⇔ query `q` still has
+    /// local frontier vertices.
+    pub active_lanes: u64,
+    /// Newly visited vertices per lane this hop.
+    pub new_per_lane: Vec<u64>,
+    /// Total local frontier vertices after the advance.
+    pub frontier_vertices: u64,
+}
+
+impl BitFrontier {
+    /// Creates zeroed state for a shard's local range.
+    pub fn new(shard: &Shard) -> Self {
+        let num_local = shard.num_local();
+        Self {
+            frontier: LaneMatrix::new(num_local),
+            next: LaneMatrix::new(num_local),
+            visited: LaneMatrix::new(num_local),
+            base: shard.local_range().start,
+            num_local,
+        }
+    }
+
+    /// Seeds query lane `lane` at local-owned global vertex `v`: the
+    /// source enters both `frontier` and `visited`.
+    pub fn seed(&mut self, v: VertexId, lane: usize) {
+        debug_assert!(lane < LANES);
+        let l = (v - self.base) as usize;
+        self.frontier.set(l, lane);
+        self.visited.set(l, lane);
+    }
+
+    /// True when no lane has local frontier vertices.
+    pub fn frontier_empty(&self) -> bool {
+        self.frontier.all_zero()
+    }
+
+    /// The frontier word of a local-owned global vertex (tests).
+    pub fn frontier_word(&self, v: VertexId) -> u64 {
+        self.frontier.word((v - self.base) as usize)
+    }
+
+    /// The visited word of a local-owned global vertex.
+    pub fn visited_word(&self, v: VertexId) -> u64 {
+        self.visited.word((v - self.base) as usize)
+    }
+
+    /// Clears every frontier lane not present in `keep` — used by the
+    /// engine to retire lanes whose hop budget (`k`) is exhausted while
+    /// other lanes in the batch keep traversing.
+    pub fn mask_frontier(&mut self, keep: u64) {
+        if keep != u64::MAX {
+            for w in self.frontier.words_mut() {
+                *w &= keep;
+            }
+        }
+    }
+
+    /// Scan phase: walks the shard's edge-set tiles in row-major order.
+    /// Local destinations accumulate into `next`; remote destinations
+    /// are handed to `remote` as `(global_dst, lane_word)` — the
+    /// engine coalesces them per owner into the remote task buffer.
+    ///
+    /// Returns the number of (row, tile) pairs actually scanned — the
+    /// work metric the edge-set ablation reports.
+    pub fn scan(&mut self, shard: &Shard, mut remote: impl FnMut(VertexId, u64)) -> u64 {
+        let mut scanned = 0u64;
+        let base = self.base;
+        let next = &mut self.next;
+        let frontier = &self.frontier;
+        for set in shard.out_sets().sets() {
+            // Restrict to rows in the frontier: iterate the tile's row
+            // range and skip zero words early — one branch per row.
+            let row_start = set.row_range.start;
+            let row_end = set.row_range.end;
+            for v in row_start..row_end {
+                let w = frontier.word((v - base) as usize);
+                if w == 0 {
+                    continue;
+                }
+                let ts = set.neighbors(v);
+                if ts.is_empty() {
+                    continue;
+                }
+                scanned += 1;
+                for &t in ts {
+                    if shard.is_local(t) {
+                        next.or_new((t - base) as usize, w);
+                    } else {
+                        remote(t, w);
+                    }
+                }
+            }
+        }
+        scanned
+    }
+
+    /// Absorb phase: ORs a remote word into `next` for a local-owned
+    /// destination.
+    #[inline]
+    pub fn absorb(&mut self, v: VertexId, word: u64) {
+        self.next.or_new((v - self.base) as usize, word);
+    }
+
+    /// Advance phase: filters `next` against `visited`, promotes the
+    /// survivors to the new frontier, and counts per-lane discoveries.
+    pub fn advance(&mut self) -> AdvanceResult {
+        let mut active = 0u64;
+        let mut per_lane = vec![0u64; LANES];
+        let mut frontier_vertices = 0u64;
+        let frontier = self.frontier.words_mut();
+        let next = self.next.words_mut();
+        let visited = self.visited.words_mut();
+        for i in 0..self.num_local {
+            let new = next[i] & !visited[i];
+            next[i] = 0;
+            frontier[i] = new;
+            if new != 0 {
+                visited[i] |= new;
+                active |= new;
+                frontier_vertices += 1;
+                let mut bits = new;
+                while bits != 0 {
+                    per_lane[bits.trailing_zeros() as usize] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        AdvanceResult { active_lanes: active, new_per_lane: per_lane, frontier_vertices }
+    }
+
+    /// Per-lane counts of *currently visited* local vertices.
+    pub fn visited_per_lane(&self) -> Vec<u64> {
+        let mut per_lane = vec![0u64; LANES];
+        for &w in self.visited.words() {
+            let mut bits = w;
+            while bits != 0 {
+                per_lane[bits.trailing_zeros() as usize] += 1;
+                bits &= bits - 1;
+            }
+        }
+        per_lane
+    }
+
+    /// Resets all state for batch reuse (dynamic resource allocation:
+    /// the three matrices are the only per-batch memory, recycled
+    /// rather than reallocated).
+    pub fn reset(&mut self) {
+        self.frontier.clear_all();
+        self.next.clear_all();
+        self.visited.clear_all();
+    }
+
+    /// Heap bytes held (3 words per local vertex).
+    pub fn size_bytes(&self) -> usize {
+        self.frontier.size_bytes() + self.next.size_bytes() + self.visited.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RangePartition;
+    use cgraph_graph::{ConsolidationPolicy, EdgeList};
+
+    /// Single-shard helper over a small graph.
+    fn single_shard(edges: &EdgeList) -> Shard {
+        let part = RangePartition::by_vertices(edges.num_vertices(), 1);
+        Shard::build(0, &part, edges.edges(), ConsolidationPolicy::default(), false)
+    }
+
+    #[test]
+    fn one_query_one_hop() {
+        // 0 -> 1 -> 2
+        let g: EdgeList = [(0u64, 1u64), (1, 2)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        bf.scan(&shard, |_, _| panic!("no remote on single shard"));
+        let r = bf.advance();
+        assert_eq!(r.active_lanes, 1);
+        assert_eq!(r.new_per_lane[0], 1); // vertex 1
+        assert_eq!(bf.frontier_word(1), 1);
+        // second hop reaches 2
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(r.new_per_lane[0], 1);
+        // third hop: nothing new
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(r.active_lanes, 0);
+    }
+
+    #[test]
+    fn two_queries_share_one_scan() {
+        // Diamond: 0 -> 2, 1 -> 2, 2 -> 3. Queries from 0 and 1 meet at
+        // 2 and must both discover 3 in the same pass.
+        let g: EdgeList = [(0u64, 2u64), (1, 2), (2, 3)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        bf.seed(1, 1);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(bf.frontier_word(2), 0b11, "both lanes reached vertex 2");
+        assert_eq!(r.new_per_lane[0], 1);
+        assert_eq!(r.new_per_lane[1], 1);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(bf.visited_word(3), 0b11);
+        assert_eq!(r.new_per_lane[0], 1);
+        assert_eq!(r.new_per_lane[1], 1);
+    }
+
+    #[test]
+    fn visited_not_revisited() {
+        // Cycle 0 -> 1 -> 0: after visiting both, traversal stops.
+        let g: EdgeList = [(0u64, 1u64), (1, 0)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 5);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(r.new_per_lane[5], 1);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(r.active_lanes, 0, "source must not be revisited");
+    }
+
+    #[test]
+    fn remote_destinations_emitted_with_mask() {
+        let g: EdgeList = [(0u64, 5u64), (1, 5)].into_iter().collect();
+        let mut g = g;
+        g.set_num_vertices(10);
+        let part = RangePartition::by_vertices(10, 2);
+        let shard = Shard::build(0, &part, g.edges(), ConsolidationPolicy::default(), false);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        bf.seed(1, 1);
+        let mut remote = Vec::new();
+        bf.scan(&shard, |t, w| remote.push((t, w)));
+        remote.sort_unstable();
+        assert_eq!(remote, vec![(5, 0b01), (5, 0b10)]);
+    }
+
+    #[test]
+    fn absorb_feeds_next_frontier() {
+        let g: EdgeList = [(5u64, 6u64)].into_iter().collect();
+        let mut g = g;
+        g.set_num_vertices(10);
+        let part = RangePartition::by_vertices(10, 2);
+        let shard = Shard::build(1, &part, g.edges(), ConsolidationPolicy::default(), false);
+        let mut bf = BitFrontier::new(&shard);
+        bf.absorb(5, 0b100);
+        let r = bf.advance();
+        assert_eq!(r.active_lanes, 0b100);
+        assert_eq!(bf.frontier_word(5), 0b100);
+        // the absorbed vertex now traverses locally
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(bf.visited_word(6), 0b100);
+        assert_eq!(r.new_per_lane[2], 1);
+    }
+
+    #[test]
+    fn per_lane_counts_match_visited() {
+        let g: EdgeList =
+            [(0u64, 1u64), (0, 2), (1, 3), (2, 3), (3, 4)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        let mut total = [1u64; 1]; // source counted
+        for _ in 0..4 {
+            bf.scan(&shard, |_, _| unreachable!());
+            let r = bf.advance();
+            total[0] += r.new_per_lane[0];
+        }
+        assert_eq!(total[0], 5);
+        assert_eq!(bf.visited_per_lane()[0], 5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        bf.scan(&shard, |_, _| unreachable!());
+        bf.advance();
+        bf.reset();
+        assert!(bf.frontier_empty());
+        assert_eq!(bf.visited_per_lane()[0], 0);
+    }
+}

@@ -1,0 +1,990 @@
+//! The distributed engine: shards + cluster + superstep drivers (§3.3).
+//!
+//! [`DistributedEngine`] owns the partitioned graph (one [`Shard`] per
+//! simulated machine) and exposes the execution paths of the paper:
+//!
+//! * [`DistributedEngine::run_traversal_batch`] — the optimized
+//!   concurrent path: up to 64 k-hop traversals as bit lanes over the
+//!   shared edge-set scan (§3.5),
+//! * [`DistributedEngine::run_single_queue`] — the queue-based
+//!   `Traverse` of Listing 2, one query at a time, in synchronous or
+//!   asynchronous mode (§3.3),
+//! * [`DistributedEngine::run_gas`] — iterative computation via the
+//!   GAS interface of Listing 3 (PageRank),
+//! * [`DistributedEngine::run_program`] — arbitrary partition-centric
+//!   programs (Listing 1).
+//!
+//! Every run spins a [`Cluster`] of `p` machine threads; shards are
+//! shared immutably, all mutable state is thread-local, and traffic is
+//! exchanged through the inbox/outbox fabric of Fig. 4/5.
+
+use crate::bitfrontier::BitFrontier;
+use crate::config::{EngineConfig, UpdateMode};
+use crate::gas::Gas;
+use crate::partition::RangePartition;
+use crate::pcm::{PartitionCtx, PartitionProgram};
+use crate::shard::{build_shards, Shard};
+use crate::traverse::{QueueTraversal, ValueMode};
+use cgraph_comm::cluster::TrafficReport;
+use cgraph_comm::{Cluster, WireSize};
+use cgraph_graph::bitmap::LANES;
+use cgraph_graph::{EdgeList, VertexId};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Messages exchanged between machines.
+#[derive(Clone, Debug)]
+pub enum EngineMsg {
+    /// Batched remote frontier updates: `(global dst, lane mask)` —
+    /// the remote task buffer of the bit-frontier path.
+    Frontier(Vec<(u64, u64)>),
+    /// Batched remote tasks `(global dst, depth)` — queue-based path.
+    Task(Vec<(u64, u32)>),
+    /// Partition-centric messages `(dst vertex, payload word)`.
+    Pcm(Vec<(u64, u64)>),
+    /// Scatter-value broadcast `(vertex, f64 bits)` — GAS path.
+    Ranks(Vec<(u64, u64)>),
+}
+
+impl WireSize for EngineMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            EngineMsg::Frontier(v) => v.len() * 16,
+            EngineMsg::Task(v) => v.len() * 12,
+            EngineMsg::Pcm(v) => v.len() * 16,
+            EngineMsg::Ranks(v) => v.len() * 16,
+        }
+    }
+}
+
+/// Result of one 64-lane traversal batch.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Number of lanes actually used.
+    pub lanes: usize,
+    /// Distinct vertices reached per lane (sources included).
+    pub per_lane_visited: Vec<u64>,
+    /// `per_level[h][lane]` = vertices first reached at hop `h`
+    /// (`per_level[0]` counts the sources).
+    pub per_level: Vec<Vec<u64>>,
+    /// Per-lane completion time since batch start (a lane completes
+    /// when its global frontier empties or its hop budget is spent).
+    pub lane_completion: Vec<Duration>,
+    /// Supersteps executed.
+    pub supersteps: u32,
+    /// Wall-clock execution time of the whole batch.
+    pub exec_time: Duration,
+    /// Per-machine busy time: compute + message handling, excluding
+    /// barrier waits. On a host with fewer cores than simulated
+    /// machines this — not wall clock — is the scaling-relevant time.
+    pub per_machine_busy: Vec<Duration>,
+    /// Cross-machine traffic.
+    pub traffic: TrafficReport,
+}
+
+impl BatchResult {
+    /// Simulated cluster execution time: the straggler machine's busy
+    /// time plus its simulated network time. This is what a real
+    /// p-node cluster would take when machines run truly in parallel;
+    /// wall clock on an oversubscribed host approaches the *sum* of
+    /// busy times instead.
+    pub fn sim_exec_time(&self) -> Duration {
+        let busy = self.per_machine_busy.iter().copied().max().unwrap_or_default();
+        busy + Duration::from_nanos(self.traffic.max_sim_net_ns())
+    }
+}
+
+/// Result of one queue-based query.
+#[derive(Clone, Debug)]
+pub struct SingleResult {
+    /// Distinct vertices reached (sources included).
+    pub visited: u64,
+    /// Vertices first reached per hop (`[0]` counts sources).
+    pub per_level: Vec<u64>,
+    /// Supersteps (sync) or total tasks processed (async).
+    pub supersteps: u64,
+    /// Wall-clock execution time.
+    pub exec_time: Duration,
+    /// Cross-machine traffic.
+    pub traffic: TrafficReport,
+    /// Peak live vertex-value entries across machines — the memory
+    /// metric of the dynamic-allocation ablation (A5).
+    pub peak_value_entries: usize,
+}
+
+/// Result of a GAS run.
+#[derive(Clone, Debug)]
+pub struct GasResult {
+    /// Final vertex values, indexed by global vertex ID.
+    pub values: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Wall-clock execution time.
+    pub exec_time: Duration,
+    /// Per-machine busy time (compute + message handling, excluding
+    /// barrier waits).
+    pub per_machine_busy: Vec<Duration>,
+    /// Cross-machine traffic.
+    pub traffic: TrafficReport,
+}
+
+impl GasResult {
+    /// Simulated cluster execution time (straggler busy time + its
+    /// simulated network time); see [`BatchResult::sim_exec_time`].
+    pub fn sim_exec_time(&self) -> Duration {
+        let busy = self.per_machine_busy.iter().copied().max().unwrap_or_default();
+        busy + Duration::from_nanos(self.traffic.max_sim_net_ns())
+    }
+}
+
+/// The C-Graph distributed engine.
+pub struct DistributedEngine {
+    partition: RangePartition,
+    shards: Vec<Shard>,
+    config: EngineConfig,
+}
+
+impl DistributedEngine {
+    /// Partitions `edges` across `config.num_machines` machines and
+    /// builds every shard.
+    pub fn new(edges: &EdgeList, config: EngineConfig) -> Self {
+        let partition = RangePartition::from_edges_total_degree(
+            edges.num_vertices(),
+            edges.edges(),
+            config.num_machines,
+        );
+        Self::with_partition(edges, partition, config)
+    }
+
+    /// Builds the engine over an explicit partitioning (ablations and
+    /// custom balancing strategies). `partition.num_partitions()` must
+    /// equal `config.num_machines`.
+    pub fn with_partition(
+        edges: &EdgeList,
+        partition: RangePartition,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(
+            partition.num_partitions(),
+            config.num_machines,
+            "partition count must match machine count"
+        );
+        assert_eq!(partition.num_vertices(), edges.num_vertices());
+        let shards = build_shards(
+            &partition,
+            edges.edges(),
+            config.edge_set_policy,
+            config.build_in_edges,
+        );
+        Self { partition, shards, config }
+    }
+
+    /// The partitioning map.
+    pub fn partition(&self) -> &RangePartition {
+        &self.partition
+    }
+
+    /// The per-machine shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.config.num_machines
+    }
+
+    /// Number of vertices in the graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.partition.num_vertices()
+    }
+
+    /// Total shard memory (bytes) — the "cached subgraph shard" cost.
+    pub fn shard_bytes(&self) -> usize {
+        self.shards.iter().map(Shard::size_bytes).sum()
+    }
+
+    fn cluster(&self) -> Cluster {
+        Cluster::with_model(self.config.num_machines, self.config.net_model)
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-frontier batched traversal (§3.5)
+    // ------------------------------------------------------------------
+
+    /// Runs up to 64 concurrent k-hop traversals as one shared batch.
+    ///
+    /// `sources[i]` and `ks[i]` define lane `i`'s source vertex and hop
+    /// budget (`u32::MAX` = full BFS). All lanes share every edge-set
+    /// scan — the core concurrency optimization of the paper.
+    pub fn run_traversal_batch(&self, sources: &[VertexId], ks: &[u32]) -> BatchResult {
+        assert!(!sources.is_empty() && sources.len() <= LANES, "1..=64 lanes per batch");
+        assert_eq!(sources.len(), ks.len());
+        let lanes = sources.len();
+        let all_lanes_mask: u64 =
+            if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+
+        struct MachineOut {
+            per_level_local: Vec<Vec<u64>>,
+            visited_local: Vec<u64>,
+            lane_completion: Vec<Duration>,
+            supersteps: u32,
+            busy: Duration,
+        }
+
+        let start = Instant::now();
+        let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+            let shard = &self.shards[h.id()];
+            let t0 = Instant::now();
+            let mut bf = BitFrontier::new(shard);
+            for (lane, &src) in sources.iter().enumerate() {
+                if shard.is_local(src) {
+                    bf.seed(src, lane);
+                }
+            }
+            let mut per_level_local: Vec<Vec<u64>> = Vec::new();
+            let mut lane_completion = vec![Duration::ZERO; lanes];
+            let mut completed = 0u64; // lanes recorded complete
+            let mut outbox: Vec<HashMap<u64, u64>> =
+                (0..h.num_machines()).map(|_| HashMap::new()).collect();
+            let cpu0 = cgraph_comm::thread_cpu_time();
+            let mut hop: u32 = 0;
+            let mut supersteps = 0u32;
+            loop {
+                // Lanes whose hop budget remains for this expansion.
+                let mut k_mask = 0u64;
+                for (lane, &k) in ks.iter().enumerate() {
+                    if k > hop {
+                        k_mask |= 1u64 << lane;
+                    }
+                }
+                let k_mask = k_mask & all_lanes_mask;
+                bf.mask_frontier(k_mask);
+
+                bf.scan(shard, |t, w| {
+                    let owner = self.partition.owner(t);
+                    *outbox[owner].entry(t).or_insert(0) |= w;
+                });
+                for (m, buf) in outbox.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        h.send(m, EngineMsg::Frontier(buf.drain().collect()));
+                    }
+                }
+                h.barrier();
+                for env in h.drain() {
+                    if let EngineMsg::Frontier(batch) = env.payload {
+                        for (v, w) in batch {
+                            bf.absorb(v, w);
+                        }
+                    }
+                }
+                let adv = bf.advance();
+                per_level_local.push(adv.new_per_lane[..lanes].to_vec());
+                supersteps += 1;
+                hop += 1;
+
+                let global_active = h.barrier_reduce(adv.active_lanes).or;
+                // Next expansion only serves lanes with hop budget left.
+                let mut next_mask = 0u64;
+                for (lane, &k) in ks.iter().enumerate() {
+                    if k > hop {
+                        next_mask |= 1u64 << lane;
+                    }
+                }
+                let live = global_active & next_mask & all_lanes_mask;
+                // Record completion for lanes that just went quiet.
+                let newly_done = all_lanes_mask & !live & !completed;
+                if newly_done != 0 {
+                    let now = t0.elapsed();
+                    let mut bits = newly_done;
+                    while bits != 0 {
+                        lane_completion[bits.trailing_zeros() as usize] = now;
+                        bits &= bits - 1;
+                    }
+                    completed |= newly_done;
+                }
+                if live == 0 {
+                    break;
+                }
+            }
+            MachineOut {
+                per_level_local,
+                visited_local: bf.visited_per_lane()[..lanes].to_vec(),
+                lane_completion,
+                supersteps,
+                busy: cgraph_comm::thread_cpu_time() - cpu0,
+            }
+        });
+        let exec_time = start.elapsed();
+
+        // Stitch machine-local counts into global per-level/per-lane.
+        let supersteps = outs[0].supersteps;
+        let levels = outs.iter().map(|o| o.per_level_local.len()).max().unwrap_or(0);
+        let mut per_level = vec![vec![0u64; lanes]; levels + 1];
+        // level 0: sources.
+        per_level[0][..lanes].fill(1);
+        let mut per_lane_visited = vec![0u64; lanes];
+        for o in &outs {
+            for (h, row) in o.per_level_local.iter().enumerate() {
+                for (lane, &c) in row.iter().enumerate() {
+                    per_level[h + 1][lane] += c;
+                }
+            }
+            for (lane, &c) in o.visited_local.iter().enumerate() {
+                per_lane_visited[lane] += c;
+            }
+        }
+        // Trim trailing all-zero levels (the final empty superstep).
+        while per_level.len() > 1 && per_level.last().unwrap().iter().all(|&c| c == 0) {
+            per_level.pop();
+        }
+        BatchResult {
+            lanes,
+            per_lane_visited,
+            per_level,
+            lane_completion: outs[0].lane_completion.clone(),
+            supersteps,
+            exec_time,
+            per_machine_busy: outs.iter().map(|o| o.busy).collect(),
+            traffic,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queue-based traversal (Listing 2)
+    // ------------------------------------------------------------------
+
+    /// Runs one k-hop query through the queue-based `Traverse` path,
+    /// honouring [`EngineConfig::mode`] (sync supersteps or async
+    /// free-running).
+    pub fn run_single_queue(
+        &self,
+        sources: &[VertexId],
+        k: u32,
+        value_mode: ValueMode,
+    ) -> SingleResult {
+        match self.config.mode {
+            UpdateMode::Sync => self.run_single_queue_sync(sources, k, value_mode),
+            UpdateMode::Async => self.run_single_queue_async(sources, k),
+        }
+    }
+
+    fn run_single_queue_sync(
+        &self,
+        sources: &[VertexId],
+        k: u32,
+        value_mode: ValueMode,
+    ) -> SingleResult {
+        struct MachineOut {
+            visited: u64,
+            per_level: Vec<u64>,
+            supersteps: u64,
+            peak_entries: usize,
+        }
+        let start = Instant::now();
+        let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+            let shard = &self.shards[h.id()];
+            let mut qt = QueueTraversal::new(shard, k, value_mode);
+            let mut seeded = 0u64;
+            for &s in sources {
+                if shard.is_local(s) {
+                    qt.seed(s);
+                    seeded += 1;
+                }
+            }
+            let mut per_level = vec![seeded];
+            let mut peak_entries = qt.live_value_entries();
+            let mut outbox: Vec<Vec<(u64, u32)>> =
+                (0..h.num_machines()).map(|_| Vec::new()).collect();
+            let mut supersteps = 0u64;
+            loop {
+                let mut new_local = qt.step(shard, |v, d| {
+                    outbox[self.partition.owner(v)].push((v, d));
+                });
+                for (m, buf) in outbox.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        h.send(m, EngineMsg::Task(std::mem::take(buf)));
+                    }
+                }
+                h.barrier();
+                for env in h.drain() {
+                    if let EngineMsg::Task(batch) = env.payload {
+                        for (v, d) in batch {
+                            if qt.absorb(v, d) {
+                                new_local += 1;
+                            }
+                        }
+                    }
+                }
+                per_level.push(new_local);
+                let qsize = qt.advance_level() as u64;
+                peak_entries = peak_entries.max(qt.live_value_entries());
+                supersteps += 1;
+                if h.barrier_sum(qsize) == 0 {
+                    break;
+                }
+            }
+            MachineOut { visited: qt.visited_count(), per_level, supersteps, peak_entries }
+        });
+        let exec_time = start.elapsed();
+        let levels = outs.iter().map(|o| o.per_level.len()).max().unwrap_or(0);
+        let mut per_level = vec![0u64; levels];
+        for o in &outs {
+            for (i, &c) in o.per_level.iter().enumerate() {
+                per_level[i] += c;
+            }
+        }
+        while per_level.len() > 1 && *per_level.last().unwrap() == 0 {
+            per_level.pop();
+        }
+        SingleResult {
+            visited: outs.iter().map(|o| o.visited).sum(),
+            per_level,
+            supersteps: outs[0].supersteps,
+            exec_time,
+            traffic,
+            peak_value_entries: outs.iter().map(|o| o.peak_entries).max().unwrap_or(0),
+        }
+    }
+
+    /// Asynchronous k-hop: label-correcting expansion with eager sends
+    /// and quiescence-based termination. Depths may be improved after a
+    /// first visit (a vertex reached at depth 3 and later at depth 2 is
+    /// re-expanded), which keeps the reachable set exact without
+    /// supersteps.
+    fn run_single_queue_async(&self, sources: &[VertexId], k: u32) -> SingleResult {
+        struct MachineOut {
+            visited: u64,
+            tasks: u64,
+            per_level: Vec<u64>,
+        }
+        let start = Instant::now();
+        let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+            let shard = &self.shards[h.id()];
+            let base = shard.local_range().start;
+            let n_local = shard.num_local();
+            let mut depth = vec![u32::MAX; n_local];
+            let mut queue: Vec<(u64, u32)> = Vec::new();
+            for &s in sources {
+                if shard.is_local(s) {
+                    depth[(s - base) as usize] = 0;
+                    queue.push((s, 0));
+                }
+            }
+            let mut tasks = 0u64;
+            loop {
+                // Prefer local work.
+                if let Some((v, d)) = queue.pop() {
+                    h.set_idle(false);
+                    tasks += 1;
+                    if d < k {
+                        for set in shard.out_sets().sets() {
+                            for &t in set.neighbors(v) {
+                                let nd = d + 1;
+                                if shard.is_local(t) {
+                                    let l = (t - base) as usize;
+                                    if nd < depth[l] {
+                                        depth[l] = nd;
+                                        queue.push((t, nd));
+                                    }
+                                } else {
+                                    h.send(
+                                        self.partition.owner(t),
+                                        EngineMsg::Task(vec![(t, nd)]),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // Queue empty: poll the inbox.
+                match h.try_recv() {
+                    Some(env) => {
+                        // Mark busy *before* acknowledging, so the
+                        // cluster can't look quiescent while the work
+                        // this message carries is still in our queue.
+                        h.set_idle(false);
+                        if let EngineMsg::Task(batch) = env.payload {
+                            for (v, d) in batch {
+                                let l = (v - base) as usize;
+                                if d < depth[l] {
+                                    depth[l] = d;
+                                    queue.push((v, d));
+                                }
+                            }
+                        }
+                        h.message_processed();
+                    }
+                    None => {
+                        h.set_idle(true);
+                        if h.quiescent() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            let mut per_level = vec![0u64; k.saturating_add(1).min(1_000_000) as usize];
+            let mut visited = 0u64;
+            for &d in &depth {
+                if d != u32::MAX {
+                    visited += 1;
+                    if (d as usize) < per_level.len() {
+                        per_level[d as usize] += 1;
+                    }
+                }
+            }
+            MachineOut { visited, tasks, per_level }
+        });
+        let exec_time = start.elapsed();
+        let levels = outs.iter().map(|o| o.per_level.len()).max().unwrap_or(0);
+        let mut per_level = vec![0u64; levels];
+        for o in &outs {
+            for (i, &c) in o.per_level.iter().enumerate() {
+                per_level[i] += c;
+            }
+        }
+        while per_level.len() > 1 && *per_level.last().unwrap() == 0 {
+            per_level.pop();
+        }
+        SingleResult {
+            visited: outs.iter().map(|o| o.visited).sum(),
+            per_level,
+            supersteps: outs.iter().map(|o| o.tasks).sum(),
+            exec_time,
+            traffic,
+            peak_value_entries: 0,
+        }
+    }
+
+    /// Queue-based k-hop with **local chaining**: within one superstep
+    /// each machine expands its local queue *transitively* (not just
+    /// one level), so a superstep is only needed when the traversal
+    /// crosses a partition boundary. This is the property that makes
+    /// the partition-centric model "generally require fewer supersteps
+    /// to converge compared to the vertex-centric model" (§3.3).
+    ///
+    /// Local chaining can first reach a vertex via a longer local path
+    /// than its true distance, so depths are label-correcting: an
+    /// improvement re-expands the vertex. Results (visited set and
+    /// per-level counts) are exactly those of the level-synchronous
+    /// path.
+    pub fn run_single_queue_chained(&self, sources: &[VertexId], k: u32) -> SingleResult {
+        struct MachineOut {
+            depth: Vec<u32>,
+            supersteps: u64,
+        }
+        let start = Instant::now();
+        let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+            let shard = &self.shards[h.id()];
+            let base = shard.local_range().start;
+            let mut depth = vec![u32::MAX; shard.num_local()];
+            let mut queue: Vec<(u64, u32)> = Vec::new();
+            for &s in sources {
+                if shard.is_local(s) {
+                    depth[(s - base) as usize] = 0;
+                    queue.push((s, 0));
+                }
+            }
+            let mut outbox: Vec<Vec<(u64, u32)>> =
+                (0..h.num_machines()).map(|_| Vec::new()).collect();
+            let mut supersteps = 0u64;
+            loop {
+                // Drain the local queue transitively (the chain).
+                while let Some((v, d)) = queue.pop() {
+                    if d > depth[(v - base) as usize] || d >= k {
+                        continue; // stale or budget exhausted
+                    }
+                    for set in shard.out_sets().sets() {
+                        for &t in set.neighbors(v) {
+                            let nd = d + 1;
+                            if shard.is_local(t) {
+                                let l = (t - base) as usize;
+                                if nd < depth[l] {
+                                    depth[l] = nd;
+                                    queue.push((t, nd));
+                                }
+                            } else {
+                                outbox[self.partition.owner(t)].push((t, nd));
+                            }
+                        }
+                    }
+                }
+                // Exchange boundary tasks; superstep boundary.
+                let mut sent = 0u64;
+                for (m, buf) in outbox.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        sent += buf.len() as u64;
+                        h.send(m, EngineMsg::Task(std::mem::take(buf)));
+                    }
+                }
+                h.barrier();
+                for env in h.drain() {
+                    if let EngineMsg::Task(batch) = env.payload {
+                        for (v, d) in batch {
+                            let l = (v - base) as usize;
+                            if d < depth[l] {
+                                depth[l] = d;
+                                queue.push((v, d));
+                            }
+                        }
+                    }
+                }
+                supersteps += 1;
+                if h.barrier_sum(sent + queue.len() as u64) == 0 {
+                    break;
+                }
+            }
+            MachineOut { depth, supersteps }
+        });
+        let exec_time = start.elapsed();
+        let mut per_level = vec![0u64; 1];
+        let mut visited = 0u64;
+        for o in &outs {
+            for &d in &o.depth {
+                if d != u32::MAX {
+                    visited += 1;
+                    if d as usize >= per_level.len() {
+                        per_level.resize(d as usize + 1, 0);
+                    }
+                    per_level[d as usize] += 1;
+                }
+            }
+        }
+        SingleResult {
+            visited,
+            per_level,
+            supersteps: outs[0].supersteps,
+            exec_time,
+            traffic,
+            peak_value_entries: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GAS iterative computation (Listing 3)
+    // ------------------------------------------------------------------
+
+    /// Runs `iterations` of a GAS program (e.g. [`crate::gas::PageRank`])
+    /// over the partitioned graph. Requires shards built with in-edges.
+    pub fn run_gas<G: Gas>(&self, gas: &G, iterations: u32) -> GasResult {
+        assert!(
+            self.shards.iter().all(Shard::has_in_edges),
+            "run_gas requires EngineConfig::build_in_edges"
+        );
+        let n = self.partition.num_vertices();
+        let start = Instant::now();
+        let (outs, traffic) = self.cluster().run::<EngineMsg, (Vec<f64>, Duration), _>(|h| {
+            let cpu0 = cgraph_comm::thread_cpu_time();
+            let shard = &self.shards[h.id()];
+            let local = shard.local_range();
+            let base = local.start;
+            // Local vertex values + a global scatter view refreshed per
+            // iteration (the "local read" synchronisation of §3.3).
+            let mut values: Vec<f64> =
+                local.iter().map(|v| gas.init(v, n)).collect();
+            let mut scatter = vec![0.0f64; n as usize];
+
+            // Broadcast initial scatter values.
+            let publish = |h: &cgraph_comm::CommHandle<EngineMsg>,
+                           values: &[f64],
+                           scatter: &mut Vec<f64>| {
+                let pairs: Vec<(u64, u64)> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &val)| {
+                        let v = base + l as u64;
+                        let s = gas.scatter(v, val, shard.global_out_degree(v));
+                        (v, s.to_bits())
+                    })
+                    .collect();
+                for (v, bits) in &pairs {
+                    scatter[*v as usize] = f64::from_bits(*bits);
+                }
+                for m in 0..h.num_machines() {
+                    if m != h.id() {
+                        h.send(m, EngineMsg::Ranks(pairs.clone()));
+                    }
+                }
+            };
+            let absorb = |h: &cgraph_comm::CommHandle<EngineMsg>, scatter: &mut Vec<f64>| {
+                for env in h.drain() {
+                    if let EngineMsg::Ranks(batch) = env.payload {
+                        for (v, bits) in batch {
+                            scatter[v as usize] = f64::from_bits(bits);
+                        }
+                    }
+                }
+            };
+
+            publish(&h, &values, &mut scatter);
+            h.barrier();
+            absorb(&h, &mut scatter);
+            h.barrier();
+
+            for _ in 0..iterations {
+                // Gather + apply over local vertices. Sequential per
+                // machine: the machine thread *is* the processing unit,
+                // which keeps per-thread CPU accounting exact (a shared
+                // rayon pool would let machines steal each other's work
+                // and corrupt the busy-time metric).
+                let in_edges = shard.in_edges();
+                let new_values: Vec<f64> = (0..values.len())
+                    .map(|l| {
+                        let v = base + l as u64;
+                        let mut sum = 0.0;
+                        for (src, w) in in_edges.in_neighbors_weighted(v) {
+                            sum = gas.gather(sum, scatter[src as usize], w);
+                        }
+                        gas.apply(v, sum)
+                    })
+                    .collect();
+                values = new_values;
+                publish(&h, &values, &mut scatter);
+                h.barrier();
+                absorb(&h, &mut scatter);
+                h.barrier();
+            }
+            (values, cgraph_comm::thread_cpu_time() - cpu0)
+        });
+        let exec_time = start.elapsed();
+        let mut values = vec![0.0f64; n as usize];
+        let mut per_machine_busy = Vec::with_capacity(outs.len());
+        for (i, (local_vals, busy)) in outs.into_iter().enumerate() {
+            let range = self.partition.range(i);
+            for (l, v) in local_vals.into_iter().enumerate() {
+                values[(range.start + l as u64) as usize] = v;
+            }
+            per_machine_busy.push(busy);
+        }
+        GasResult { values, iterations, exec_time, per_machine_busy, traffic }
+    }
+
+    // ------------------------------------------------------------------
+    // Partition-centric programs (Listing 1)
+    // ------------------------------------------------------------------
+
+    /// Runs a partition-centric program to global termination and
+    /// returns each partition's output.
+    pub fn run_program<P, F>(&self, factory: F) -> Vec<P::Out>
+    where
+        P: PartitionProgram,
+        F: Fn(usize) -> P + Sync,
+        P::Out: Send,
+    {
+        let (outs, _traffic) = self.cluster().run::<EngineMsg, P::Out, _>(|h| {
+            let shard = &self.shards[h.id()];
+            let mut program = factory(h.id());
+            let mut ctx = PartitionCtx::new(shard, &self.partition);
+            program.init(&mut ctx);
+            loop {
+                // Flush staged sends, grouped by owner.
+                let staged = ctx.take_outbox();
+                let sent = staged.len() as u64;
+                let mut per_owner: Vec<Vec<(u64, u64)>> =
+                    (0..h.num_machines()).map(|_| Vec::new()).collect();
+                for (v, msg) in staged {
+                    per_owner[self.partition.owner(v)].push((v, msg));
+                }
+                for (m, buf) in per_owner.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        h.send(m, EngineMsg::Pcm(buf));
+                    }
+                }
+                let active = u64::from(!ctx.halted());
+                let total = h.barrier_sum(sent + active);
+                // Pregel-style aggregator: one extra reduce per
+                // superstep, delivered before the next compute.
+                let aggregate = h.barrier_sum(program.aggregate_contribution());
+                program.receive_aggregate(aggregate);
+                let mut incoming: Vec<(VertexId, u64)> = Vec::new();
+                for env in h.drain() {
+                    if let EngineMsg::Pcm(batch) = env.payload {
+                        incoming.extend(batch);
+                    }
+                }
+                if total == 0 {
+                    break;
+                }
+                if !incoming.is_empty() {
+                    ctx.un_halt();
+                }
+                if !ctx.halted() {
+                    ctx.advance_superstep();
+                    program.compute(&mut ctx, &incoming);
+                }
+            }
+            program.finish(&ctx)
+        });
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::PageRank;
+    use cgraph_graph::ConsolidationPolicy;
+
+    fn ring(n: u64) -> EdgeList {
+        (0..n).map(|v| (v, (v + 1) % n)).collect()
+    }
+
+    fn engine(edges: &EdgeList, p: usize) -> DistributedEngine {
+        DistributedEngine::new(edges, EngineConfig::new(p))
+    }
+
+    #[test]
+    fn batch_khop_on_ring() {
+        let g = ring(20);
+        let e = engine(&g, 3);
+        let r = e.run_traversal_batch(&[0, 10], &[3, 5]);
+        // Ring: k hops reach exactly k new vertices.
+        assert_eq!(r.per_lane_visited, vec![4, 6]);
+        assert_eq!(r.per_level[0], vec![1, 1]);
+        assert_eq!(r.per_level[1], vec![1, 1]);
+        assert_eq!(r.per_level.len(), 6); // hops 0..=5
+        assert_eq!(r.per_level[4], vec![0, 1]); // lane 0 exhausted at k=3
+    }
+
+    #[test]
+    fn batch_bfs_covers_component() {
+        let g = ring(30);
+        let e = engine(&g, 4);
+        let r = e.run_traversal_batch(&[5], &[u32::MAX]);
+        assert_eq!(r.per_lane_visited, vec![30]);
+        assert_eq!(r.supersteps, 30); // 29 hops + final empty check
+    }
+
+    #[test]
+    fn batch_matches_queue_single() {
+        let g = cgraph_gen::graph500(9, 8, 12);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e = engine(&g, 3);
+        for src in [1u64, 7, 100] {
+            let qr = e.run_single_queue(&[src], 3, ValueMode::TwoLevel);
+            let br = e.run_traversal_batch(&[src], &[3]);
+            assert_eq!(br.per_lane_visited[0], qr.visited, "src {src}");
+        }
+    }
+
+    #[test]
+    fn sync_and_async_agree() {
+        let g = cgraph_gen::graph500(8, 6, 5);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let sync_e = DistributedEngine::new(&g, EngineConfig::new(3));
+        let async_e = DistributedEngine::new(&g, EngineConfig::new(3).asynchronous());
+        for src in [0u64, 3, 50] {
+            let s = sync_e.run_single_queue(&[src], 4, ValueMode::TwoLevel);
+            let a = async_e.run_single_queue(&[src], 4, ValueMode::TwoLevel);
+            assert_eq!(s.visited, a.visited, "src {src}");
+            assert_eq!(s.per_level, a.per_level, "src {src}");
+        }
+    }
+
+    #[test]
+    fn multi_source_queue_query() {
+        let g = ring(20);
+        let e = engine(&g, 2);
+        let r = e.run_single_queue(&[0, 10], 2, ValueMode::TwoLevel);
+        assert_eq!(r.visited, 6); // two disjoint 3-vertex arcs
+        assert_eq!(r.per_level, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn pagerank_sums_preserved_shape() {
+        // On a ring every vertex is symmetric: all ranks equal 1.0
+        // under Listing 3's formula.
+        let g = ring(12);
+        let e = engine(&g, 3);
+        let r = e.run_gas(&PageRank::default(), 20);
+        for (v, val) in r.values.iter().enumerate() {
+            assert!((val - 1.0).abs() < 1e-6, "vertex {v} rank {val}");
+        }
+    }
+
+    #[test]
+    fn pagerank_machine_count_invariant() {
+        let g = cgraph_gen::graph500(8, 6, 3);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let r1 = DistributedEngine::new(&g, EngineConfig::new(1))
+            .run_gas(&PageRank::default(), 10);
+        let r4 = DistributedEngine::new(&g, EngineConfig::new(4))
+            .run_gas(&PageRank::default(), 10);
+        for (a, b) in r1.values.iter().zip(&r4.values) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn traffic_reported_for_cross_machine_runs() {
+        let g = ring(20);
+        let e = engine(&g, 4);
+        let r = e.run_traversal_batch(&[0], &[u32::MAX]);
+        assert!(r.traffic.total_msgs() > 0, "ring BFS must cross machines");
+    }
+
+    #[test]
+    fn chained_matches_level_synchronous() {
+        let g = cgraph_gen::graph500(9, 8, 44);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e = engine(&g, 3);
+        for src in [0u64, 9, 77] {
+            for k in [1u32, 3, u32::MAX] {
+                let level = e.run_single_queue(&[src], k, ValueMode::TwoLevel);
+                let chained = e.run_single_queue_chained(&[src], k);
+                assert_eq!(chained.visited, level.visited, "src {src} k {k}");
+                assert_eq!(chained.per_level, level.per_level, "src {src} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaining_needs_fewer_supersteps_than_level_sync() {
+        // A long ring split over 2 machines: level-synchronous BFS
+        // needs ~one superstep per hop (ring length), while the chained
+        // partition-centric traversal needs ~one per boundary crossing
+        // (a handful) — the §3.3 "fewer supersteps" claim.
+        let g: EdgeList = (0..200u64).map(|v| (v, (v + 1) % 200)).collect();
+        let e = engine(&g, 2);
+        let level = e.run_single_queue(&[0], u32::MAX, ValueMode::TwoLevel);
+        let chained = e.run_single_queue_chained(&[0], u32::MAX);
+        assert_eq!(level.visited, chained.visited);
+        assert!(
+            chained.supersteps * 10 < level.supersteps,
+            "chained {} vs level-sync {}",
+            chained.supersteps,
+            level.supersteps
+        );
+    }
+
+    #[test]
+    fn flat_edge_set_policy_equivalent() {
+        let g = cgraph_gen::graph500(8, 4, 7);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let blocked = DistributedEngine::new(&g, EngineConfig::new(2));
+        let flat = DistributedEngine::new(
+            &g,
+            EngineConfig::new(2).with_edge_set_policy(ConsolidationPolicy::flat()),
+        );
+        let rb = blocked.run_traversal_batch(&[0, 9], &[3, 3]);
+        let rf = flat.run_traversal_batch(&[0, 9], &[3, 3]);
+        assert_eq!(rb.per_lane_visited, rf.per_lane_visited);
+    }
+}

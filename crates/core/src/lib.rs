@@ -1,0 +1,50 @@
+//! # cgraph-core — the C-Graph concurrent query framework
+//!
+//! This crate implements the primary contribution of *C-Graph: A Highly
+//! Efficient Concurrent Graph Reachability Query Framework* (Zhou,
+//! Chen, Xia, Teodorescu — ICPP 2018):
+//!
+//! * [`partition`] — range-based graph partitioning balanced by edge
+//!   count (§3.1),
+//! * [`shard`] — the per-machine subgraph shard: edge-set blocked
+//!   out-edges, CSC in-edges, boundary-vertex accounting (§3.1–3.2),
+//! * [`pcm`] — the partition-centric programming abstraction of
+//!   Listing 1 (`compute`/`sendTo`/`voteToHalt`/…, §3.4),
+//! * [`traverse`] — the queue-based `Traverse` engine of Listing 2 with
+//!   dynamic (two-level) vertex-value allocation (§3.3),
+//! * [`bitfrontier`] — the MS-BFS style bit-packed concurrent traversal
+//!   state (§3.5, Fig. 6),
+//! * [`engine`] — the distributed engine: synchronous supersteps and
+//!   asynchronous free-running execution over a
+//!   [`cgraph_comm::Cluster`],
+//! * [`gas`] — the Gather-Apply-Scatter interface of Listing 3 and the
+//!   iterative-computation driver (PageRank),
+//! * [`scheduler`] — the concurrent-query front end: batches queries
+//!   into 64-lane groups, shares subgraph traversals inside a batch,
+//!   and enforces a memory budget (§3.3, §3.5),
+//! * [`metrics`] — response-time distributions (the quantity every
+//!   figure of §4 reports).
+
+#![warn(missing_docs)]
+
+pub mod bitfrontier;
+pub mod config;
+pub mod engine;
+pub mod gas;
+pub mod metrics;
+pub mod partition;
+pub mod pcm;
+pub mod query;
+pub mod scheduler;
+pub mod shard;
+pub mod traverse;
+pub mod vcm;
+
+pub use config::{EngineConfig, UpdateMode};
+pub use engine::{DistributedEngine, EngineMsg};
+pub use metrics::ResponseStats;
+pub use partition::RangePartition;
+pub use query::{KhopQuery, QueryResult};
+pub use scheduler::{QueryScheduler, SchedulerConfig};
+pub use shard::Shard;
+pub use vcm::{VertexProgram, VertexScope};

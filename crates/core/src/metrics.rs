@@ -1,0 +1,178 @@
+//! Response-time distributions — the measurement machinery behind
+//! every figure of §4.
+//!
+//! Figures 7/9 plot per-query response times sorted ascending; Fig. 8
+//! shows distribution summaries (box plots); Figs. 11/12 show
+//! cumulative histograms with fixed bucket edges (0.2 s … 2.0 s).
+//! [`ResponseStats`] computes all three views from one sample vector.
+
+use std::time::Duration;
+
+/// Summary statistics over a set of response-time samples.
+#[derive(Clone, Debug)]
+pub struct ResponseStats {
+    samples_sorted: Vec<Duration>,
+}
+
+impl ResponseStats {
+    /// Builds stats from raw samples (any order).
+    pub fn new(mut samples: Vec<Duration>) -> Self {
+        samples.sort_unstable();
+        Self { samples_sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_sorted.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_sorted.is_empty()
+    }
+
+    /// Samples sorted ascending (the series Figs. 7 and 9 plot).
+    pub fn sorted(&self) -> &[Duration] {
+        &self.samples_sorted
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Duration {
+        self.samples_sorted.first().copied().unwrap_or_default()
+    }
+
+    /// Maximum sample (the "upper bound of query response time").
+    pub fn max(&self) -> Duration {
+        self.samples_sorted.last().copied().unwrap_or_default()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Duration {
+        if self.samples_sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples_sorted.iter().sum();
+        total / self.samples_sorted.len() as u32
+    }
+
+    /// Quantile `q` in `[0, 1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.samples_sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples_sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.samples_sorted[idx]
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> Duration {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples at or below `threshold` — e.g. "85% queries
+    /// return within 0.4 second".
+    pub fn fraction_within(&self, threshold: Duration) -> f64 {
+        if self.samples_sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples_sorted.partition_point(|&d| d <= threshold);
+        n as f64 / self.samples_sorted.len() as f64
+    }
+
+    /// Cumulative histogram over the given bucket edges: `result[i]` is
+    /// the percentage (0–100) of samples ≤ `edges[i]` (Figs. 11/12's
+    /// presentation).
+    pub fn cumulative_histogram(&self, edges: &[Duration]) -> Vec<f64> {
+        edges.iter().map(|&e| self.fraction_within(e) * 100.0).collect()
+    }
+
+    /// Five-number summary (min, q1, median, q3, max) — the box plot of
+    /// Fig. 8.
+    pub fn five_number(&self) -> [Duration; 5] {
+        [self.min(), self.quantile(0.25), self.median(), self.quantile(0.75), self.max()]
+    }
+}
+
+/// Speedup of `baseline` over `ours` per sorted-rank position, as the
+/// paper reports "21x-74x speedup over Titan" (rank-wise on the sorted
+/// curves of Fig. 7).
+pub fn rankwise_speedup(ours: &ResponseStats, baseline: &ResponseStats) -> Vec<f64> {
+    ours.sorted()
+        .iter()
+        .zip(baseline.sorted())
+        .map(|(a, b)| b.as_secs_f64() / a.as_secs_f64().max(1e-12))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: &[u64]) -> ResponseStats {
+        ResponseStats::new(v.iter().map(|&x| Duration::from_millis(x)).collect())
+    }
+
+    #[test]
+    fn order_statistics() {
+        let s = ms(&[50, 10, 30, 20, 40]);
+        assert_eq!(s.min(), Duration::from_millis(10));
+        assert_eq!(s.max(), Duration::from_millis(50));
+        assert_eq!(s.median(), Duration::from_millis(30));
+        assert_eq!(s.mean(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = ms(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(s.quantile(0.0), Duration::from_millis(1));
+        assert_eq!(s.quantile(1.0), Duration::from_millis(10));
+        assert_eq!(s.quantile(0.25), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn fraction_within_threshold() {
+        let s = ms(&[100, 200, 300, 400]);
+        assert_eq!(s.fraction_within(Duration::from_millis(250)), 0.5);
+        assert_eq!(s.fraction_within(Duration::from_millis(400)), 1.0);
+        assert_eq!(s.fraction_within(Duration::from_millis(50)), 0.0);
+    }
+
+    #[test]
+    fn cumulative_histogram_percentages() {
+        let s = ms(&[100, 300, 500, 700]);
+        let edges: Vec<Duration> = [200u64, 400, 600, 800]
+            .iter()
+            .map(|&x| Duration::from_millis(x))
+            .collect();
+        assert_eq!(s.cumulative_histogram(&edges), vec![25.0, 50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = ResponseStats::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.quantile(0.5), Duration::ZERO);
+        assert_eq!(s.fraction_within(Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn speedup_rankwise() {
+        let ours = ms(&[10, 20]);
+        let base = ms(&[100, 400]);
+        let sp = rankwise_speedup(&ours, &base);
+        assert_eq!(sp.len(), 2);
+        assert!((sp[0] - 10.0).abs() < 1e-9);
+        assert!((sp[1] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let s = ms(&[1, 2, 3, 4, 5]);
+        let f = s.five_number();
+        assert_eq!(f[0], Duration::from_millis(1));
+        assert_eq!(f[2], Duration::from_millis(3));
+        assert_eq!(f[4], Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,98 @@
+//! Query descriptors and results.
+//!
+//! The paper's workload unit (§4.2): "We run 100 concurrent queries …
+//! with each query containing 10 source vertices", each query a k-hop
+//! traversal (most experiments use k = 3; full BFS is "a special case
+//! of k-hop, where k → ∞").
+
+use cgraph_graph::VertexId;
+use std::time::Duration;
+
+/// Marker value for "unbounded hops" — full BFS.
+pub const UNBOUNDED_HOPS: u32 = u32::MAX;
+
+/// One k-hop reachability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KhopQuery {
+    /// Caller-assigned identifier (unique within a submission).
+    pub id: usize,
+    /// Source vertices (the paper issues 10 per query; any number ≥ 1
+    /// works — each source is traversed independently and the response
+    /// time averaged, mirroring §4.2's methodology).
+    pub sources: Vec<VertexId>,
+    /// Maximum hop count `k` ([`UNBOUNDED_HOPS`] = full BFS).
+    pub k: u32,
+}
+
+impl KhopQuery {
+    /// Single-source k-hop query.
+    pub fn single(id: usize, source: VertexId, k: u32) -> Self {
+        Self { id, sources: vec![source], k }
+    }
+
+    /// Multi-source k-hop query.
+    pub fn multi(id: usize, sources: Vec<VertexId>, k: u32) -> Self {
+        assert!(!sources.is_empty(), "query needs at least one source");
+        Self { id, sources, k }
+    }
+
+    /// Full-BFS query (k unbounded).
+    pub fn bfs(id: usize, source: VertexId) -> Self {
+        Self::single(id, source, UNBOUNDED_HOPS)
+    }
+}
+
+/// Result of one k-hop query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The query's caller-assigned ID.
+    pub id: usize,
+    /// Total distinct vertices reached (including the sources).
+    pub visited: u64,
+    /// Vertices first reached at each hop; `per_level[0]` counts the
+    /// sources, `per_level[h]` the vertices at distance exactly `h`.
+    pub per_level: Vec<u64>,
+    /// End-to-end response time: queue wait + execution (what a user
+    /// of the concurrent system observes — the metric of Figs. 7–13).
+    pub response_time: Duration,
+    /// Execution time only (excludes scheduler queue wait).
+    pub exec_time: Duration,
+}
+
+impl QueryResult {
+    /// Hops actually traversed (levels beyond the sources).
+    pub fn depth(&self) -> usize {
+        self.per_level.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let q = KhopQuery::single(1, 42, 3);
+        assert_eq!(q.sources, vec![42]);
+        let b = KhopQuery::bfs(2, 7);
+        assert_eq!(b.k, UNBOUNDED_HOPS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sources_rejected() {
+        KhopQuery::multi(0, vec![], 3);
+    }
+
+    #[test]
+    fn depth_counts_levels_after_source() {
+        let r = QueryResult {
+            id: 0,
+            visited: 6,
+            per_level: vec![1, 2, 3],
+            response_time: Duration::ZERO,
+            exec_time: Duration::ZERO,
+        };
+        assert_eq!(r.depth(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! The per-machine subgraph shard (§3, Fig. 2).
+//!
+//! "Each subgraph shard contains a range of vertices called local
+//! vertices … Each subgraph shard stores all the associated in/out
+//! edges as well as the property of the subgraph." Out-edges are kept
+//! in the edge-set blocked layout (for traversal scans); in-edges in
+//! CSC over local destinations (for GAS gathers, so "all edges of a
+//! vertex are local" in the gather phase). Boundary vertices — remote
+//! vertices reachable by a local out-edge — are precomputed for
+//! boundary-traffic accounting.
+
+use crate::partition::RangePartition;
+use cgraph_graph::types::{PartitionId, VertexRange};
+use cgraph_graph::{ConsolidationPolicy, Csc, Edge, EdgeSetGraph, VertexId};
+
+/// One machine's shard: local vertex range plus all associated edges.
+#[derive(Debug)]
+pub struct Shard {
+    id: PartitionId,
+    local: VertexRange,
+    num_global_vertices: u64,
+    /// Out-edges of local vertices, edge-set blocked (rows = local
+    /// range, cols = all vertices).
+    out_sets: EdgeSetGraph,
+    /// In-edges of local vertices (built only when GAS programs run).
+    in_edges: Option<Csc>,
+    /// Sorted global IDs of boundary vertices: remote endpoints of
+    /// local out-edges.
+    boundary: Vec<VertexId>,
+    /// Global out-degree of every vertex (shared knowledge each machine
+    /// keeps for GAS scatter normalisation).
+    global_out_degrees: Vec<u32>,
+    /// Groups of edge-set indices with pairwise-disjoint column ranges
+    /// inside each group — tiles in one group can be processed in
+    /// parallel without write conflicts on destination state.
+    dst_disjoint_groups: Vec<Vec<usize>>,
+}
+
+impl Shard {
+    /// Builds the shard for partition `id` from the full edge list.
+    ///
+    /// `edges` is the *global* edge list; the shard keeps out-edges
+    /// whose source is local and (optionally) in-edges whose
+    /// destination is local.
+    pub fn build(
+        id: PartitionId,
+        partition: &RangePartition,
+        edges: &[Edge],
+        policy: ConsolidationPolicy,
+        build_in_edges: bool,
+    ) -> Self {
+        let local = partition.range(id);
+        let n = partition.num_vertices();
+
+        let mut out_edges: Vec<Edge> = Vec::new();
+        let mut in_local: Vec<Edge> = Vec::new();
+        let mut global_out_degrees = vec![0u32; n as usize];
+        for e in edges {
+            global_out_degrees[e.src as usize] += 1;
+            if local.contains(e.src) {
+                out_edges.push(*e);
+            }
+            if build_in_edges && local.contains(e.dst) {
+                in_local.push(*e);
+            }
+        }
+
+        let mut boundary: Vec<VertexId> =
+            out_edges.iter().map(|e| e.dst).filter(|&d| !local.contains(d)).collect();
+        boundary.sort_unstable();
+        boundary.dedup();
+
+        let out_sets =
+            EdgeSetGraph::build(&out_edges, local, VertexRange::new(0, n), policy);
+
+        // CSC over the full vertex space, but only local-dst edges are
+        // inserted — in_neighbors(v) is meaningful for local v only.
+        let in_edges = build_in_edges.then(|| Csc::from_edges(n, &in_local));
+
+        let dst_disjoint_groups = Self::compute_disjoint_groups(&out_sets);
+
+        Self {
+            id,
+            local,
+            num_global_vertices: n,
+            out_sets,
+            in_edges,
+            boundary,
+            global_out_degrees,
+            dst_disjoint_groups,
+        }
+    }
+
+    /// Greedily clusters tiles into groups whose column ranges are
+    /// pairwise disjoint, enabling race-free parallel destination
+    /// updates within a group.
+    fn compute_disjoint_groups(sets: &EdgeSetGraph) -> Vec<Vec<usize>> {
+        type Group = (Vec<(u64, u64)>, Vec<usize>);
+        let mut groups: Vec<Group> = Vec::new();
+        for (i, s) in sets.sets().iter().enumerate() {
+            let span = (s.col_range.start, s.col_range.end);
+            let slot = groups.iter_mut().find(|(spans, _)| {
+                spans.iter().all(|&(a, b)| span.1 <= a || span.0 >= b)
+            });
+            match slot {
+                Some((spans, idxs)) => {
+                    spans.push(span);
+                    idxs.push(i);
+                }
+                None => groups.push((vec![span], vec![i])),
+            }
+        }
+        groups.into_iter().map(|(_, idxs)| idxs).collect()
+    }
+
+    /// Partition ID of this shard.
+    #[inline]
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Local vertex range.
+    #[inline]
+    pub fn local_range(&self) -> VertexRange {
+        self.local
+    }
+
+    /// Number of local vertices.
+    #[inline]
+    pub fn num_local(&self) -> usize {
+        self.local.len() as usize
+    }
+
+    /// Number of vertices in the whole graph.
+    #[inline]
+    pub fn num_global_vertices(&self) -> u64 {
+        self.num_global_vertices
+    }
+
+    /// True when `v` is a local vertex of this shard.
+    #[inline]
+    pub fn is_local(&self, v: VertexId) -> bool {
+        self.local.contains(v)
+    }
+
+    /// True when `v` is a boundary vertex of this shard (remote, but
+    /// adjacent to a local vertex).
+    pub fn is_boundary(&self, v: VertexId) -> bool {
+        self.boundary.binary_search(&v).is_ok()
+    }
+
+    /// Global-to-local index of a local vertex.
+    #[inline]
+    pub fn to_local(&self, v: VertexId) -> u32 {
+        self.local.to_local(v)
+    }
+
+    /// Local-to-global ID.
+    #[inline]
+    pub fn to_global(&self, l: u32) -> VertexId {
+        self.local.to_global(l)
+    }
+
+    /// The blocked out-edge view.
+    #[inline]
+    pub fn out_sets(&self) -> &EdgeSetGraph {
+        &self.out_sets
+    }
+
+    /// Tile-index groups with disjoint destination ranges (parallel
+    /// processing units).
+    #[inline]
+    pub fn dst_disjoint_groups(&self) -> &[Vec<usize>] {
+        &self.dst_disjoint_groups
+    }
+
+    /// In-edges of local vertices (panics if built traversal-only).
+    #[inline]
+    pub fn in_edges(&self) -> &Csc {
+        self.in_edges.as_ref().expect("shard built without in-edges (traversal_only)")
+    }
+
+    /// True when the CSC view exists.
+    pub fn has_in_edges(&self) -> bool {
+        self.in_edges.is_some()
+    }
+
+    /// Sorted boundary vertices.
+    #[inline]
+    pub fn boundary_vertices(&self) -> &[VertexId] {
+        &self.boundary
+    }
+
+    /// Global out-degree of any vertex (local or remote).
+    #[inline]
+    pub fn global_out_degree(&self, v: VertexId) -> u32 {
+        self.global_out_degrees[v as usize]
+    }
+
+    /// Number of out-edges stored in this shard.
+    pub fn num_out_edges(&self) -> usize {
+        self.out_sets.num_edges()
+    }
+
+    /// Out-neighbours of a local vertex (collected across tiles; hot
+    /// loops iterate tiles directly instead).
+    pub fn out_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        debug_assert!(self.is_local(v));
+        self.out_sets.out_neighbors(v)
+    }
+
+    /// Out-neighbours of a local vertex with edge weights.
+    pub fn out_neighbors_weighted(&self, v: VertexId) -> Vec<(VertexId, f32)> {
+        debug_assert!(self.is_local(v));
+        let mut out: Vec<(VertexId, f32)> = self
+            .out_sets
+            .sets()
+            .iter()
+            .flat_map(|s| {
+                s.neighbors(v)
+                    .iter()
+                    .copied()
+                    .zip(s.neighbor_weights(v).iter().copied())
+            })
+            .collect();
+        out.sort_unstable_by_key(|a| a.0);
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.out_sets.size_bytes()
+            + self.in_edges.as_ref().map_or(0, |c| c.size_bytes())
+            + self.boundary.len() * 8
+            + self.global_out_degrees.len() * 4
+    }
+}
+
+/// Builds all `p` shards for a graph (helper used by the engine and by
+/// tests; shards are independent, so this parallelises trivially — but
+/// build cost is dominated by the per-shard edge scans, which rayon
+/// already parallelises inside `EdgeSetGraph::build`'s sort).
+pub fn build_shards(
+    partition: &RangePartition,
+    edges: &[Edge],
+    policy: ConsolidationPolicy,
+    build_in_edges: bool,
+) -> Vec<Shard> {
+    (0..partition.num_partitions())
+        .map(|i| Shard::build(i, partition, edges, policy, build_in_edges))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::EdgeList;
+
+    fn ring(n: u64) -> EdgeList {
+        (0..n).map(|v| (v, (v + 1) % n)).collect()
+    }
+
+    #[test]
+    fn shards_partition_edges_exactly() {
+        let g = ring(20);
+        let part = RangePartition::from_edges(20, g.edges(), 3);
+        let shards = build_shards(&part, g.edges(), ConsolidationPolicy::default(), true);
+        let total: usize = shards.iter().map(|s| s.num_out_edges()).sum();
+        assert_eq!(total, 20);
+        for s in &shards {
+            for v in s.local_range().iter() {
+                assert_eq!(s.out_neighbors(v), vec![(v + 1) % 20]);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_vertices_are_remote_neighbors() {
+        let g = ring(10);
+        let part = RangePartition::by_vertices(10, 2);
+        let shards = build_shards(&part, g.edges(), ConsolidationPolicy::default(), false);
+        // shard 0 = [0,5): its only remote neighbour is 5 (from vertex 4)
+        assert_eq!(shards[0].boundary_vertices(), &[5]);
+        assert!(shards[0].is_boundary(5));
+        assert!(!shards[0].is_boundary(3));
+        // shard 1 = [5,10): remote neighbour is 0 (from vertex 9)
+        assert_eq!(shards[1].boundary_vertices(), &[0]);
+    }
+
+    #[test]
+    fn in_edges_cover_local_destinations() {
+        let g = ring(10);
+        let part = RangePartition::by_vertices(10, 2);
+        let shards = build_shards(&part, g.edges(), ConsolidationPolicy::default(), true);
+        // vertex 5 is local to shard 1 and has in-edge from 4
+        assert_eq!(shards[1].in_edges().in_neighbors(5), &[4]);
+        // shard 0 has no in-edge info for vertex 5
+        assert!(shards[0].in_edges().in_neighbors(5).is_empty());
+    }
+
+    #[test]
+    fn traversal_only_skips_csc() {
+        let g = ring(6);
+        let part = RangePartition::by_vertices(6, 2);
+        let s = Shard::build(0, &part, g.edges(), ConsolidationPolicy::default(), false);
+        assert!(!s.has_in_edges());
+    }
+
+    #[test]
+    fn global_out_degrees_known_everywhere() {
+        let mut g = ring(8);
+        g.push_pair(0, 3);
+        g.push_pair(0, 5);
+        let part = RangePartition::by_vertices(8, 2);
+        let shards = build_shards(&part, g.edges(), ConsolidationPolicy::default(), false);
+        for s in &shards {
+            assert_eq!(s.global_out_degree(0), 3);
+            assert_eq!(s.global_out_degree(1), 1);
+        }
+    }
+
+    #[test]
+    fn disjoint_groups_are_disjoint_and_complete() {
+        let g = ring(64);
+        let part = RangePartition::by_vertices(64, 2);
+        let s = Shard::build(0, &part, g.edges(), ConsolidationPolicy::grid(4), false);
+        let groups = s.dst_disjoint_groups();
+        let mut seen = vec![false; s.out_sets().sets().len()];
+        for group in groups {
+            for &i in group {
+                assert!(!seen[i], "tile {i} in two groups");
+                seen[i] = true;
+            }
+            // pairwise disjoint col ranges within the group
+            for (a_pos, &a) in group.iter().enumerate() {
+                for &b in &group[a_pos + 1..] {
+                    let ra = s.out_sets().sets()[a].col_range;
+                    let rb = s.out_sets().sets()[b].col_range;
+                    assert!(ra.end <= rb.start || rb.end <= ra.start, "{ra:?} overlaps {rb:?}");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "some tile missing from groups");
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let g = ring(10);
+        let part = RangePartition::by_vertices(10, 3);
+        let s = Shard::build(1, &part, g.edges(), ConsolidationPolicy::default(), false);
+        for v in s.local_range().iter() {
+            assert_eq!(s.to_global(s.to_local(v)), v);
+        }
+    }
+}

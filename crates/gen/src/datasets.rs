@@ -1,0 +1,185 @@
+//! Named dataset recipes mirroring Table 1 of the paper at laptop
+//! scale.
+//!
+//! | Paper dataset | Paper size | Recipe here | Approx size |
+//! |---|---|---|---|
+//! | Orkut (OR-100M) | 3.07M V, 117M E | `OR` — Graph 500 scale 15, ef 32 | 33K V, ~1M E |
+//! | Friendster (FR-1B) | 65.6M V, 1.8B E | `FR` — Graph 500 scale 17, ef 28 | 131K V, ~3.7M E |
+//! | FRS-72B | 131M V, 72B E | `FRS-A` — FR scaled ×2 | 262K V, ~7.3M E |
+//! | FRS-100B | 984M V, 106B E | `FRS-B` — FR scaled ×4 | 524K V, ~14.7M E |
+//!
+//! The scale-down keeps (a) heavy-tailed degree distributions,
+//! (b) small effective diameter, and (c) the relative size ordering
+//! OR < FR < FRS-A < FRS-B — the properties the paper's experiments
+//! actually exercise. Absolute sizes are ~50× smaller so every
+//! experiment runs on one machine in seconds.
+
+use crate::graph500::graph500;
+use crate::scaler::scale_graph;
+use cgraph_graph::{BuildOptions, EdgeList, GraphBuilder, ReindexMode};
+
+/// A named dataset recipe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Orkut analogue (smallest).
+    Or,
+    /// Friendster analogue.
+    Fr,
+    /// Friendster-Synthetic ×2 analogue (FRS-72B in the paper).
+    FrsA,
+    /// Friendster-Synthetic ×4 analogue (FRS-100B in the paper).
+    FrsB,
+    /// A tiny graph for smoke tests and examples.
+    Tiny,
+}
+
+/// Parameters resolved from a [`Dataset`] name.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Human-readable name (paper's name for the analogue).
+    pub name: &'static str,
+    /// The paper's dataset this stands in for.
+    pub paper_name: &'static str,
+    /// Graph 500 scale of the base graph.
+    pub scale: u32,
+    /// Edge factor of the base graph.
+    pub edge_factor: usize,
+    /// Semi-synthetic multiplying factor (1 = base graph itself).
+    pub multiply: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// Resolves the recipe parameters.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Or => DatasetSpec {
+                name: "OR",
+                paper_name: "Orkut (OR-100M)",
+                scale: 15,
+                edge_factor: 32,
+                multiply: 1,
+                seed: 0xC0FFEE,
+            },
+            Dataset::Fr => DatasetSpec {
+                name: "FR",
+                paper_name: "Friendster (FR-1B)",
+                scale: 17,
+                edge_factor: 28,
+                multiply: 1,
+                seed: 0xFEED,
+            },
+            Dataset::FrsA => DatasetSpec {
+                name: "FRS-A",
+                paper_name: "Friendster-Synthetic (FRS-72B)",
+                scale: 17,
+                edge_factor: 28,
+                multiply: 2,
+                seed: 0xFEED,
+            },
+            Dataset::FrsB => DatasetSpec {
+                name: "FRS-B",
+                paper_name: "Friendster-Synthetic (FRS-100B)",
+                scale: 17,
+                edge_factor: 28,
+                multiply: 4,
+                seed: 0xFEED,
+            },
+            Dataset::Tiny => DatasetSpec {
+                name: "TINY",
+                paper_name: "(smoke test)",
+                scale: 10,
+                edge_factor: 16,
+                multiply: 1,
+                seed: 0xBEEF,
+            },
+        }
+    }
+
+    /// Generates the raw edge list (duplicates/loops not yet removed).
+    pub fn generate_raw(self) -> EdgeList {
+        let s = self.spec();
+        let base = graph500(s.scale, s.edge_factor, s.seed);
+        if s.multiply > 1 {
+            scale_graph(&base, s.multiply, s.seed ^ 0xA5A5)
+        } else {
+            base
+        }
+    }
+
+    /// Generates and ingests the dataset: dedup, drop loops,
+    /// compact re-index — ready for partitioning.
+    pub fn generate(self) -> EdgeList {
+        let raw = self.generate_raw();
+        let mut b = GraphBuilder::with_options(BuildOptions {
+            reindex: ReindexMode::Compact,
+            dedup: true,
+            drop_loops: true,
+            symmetrize: false,
+        });
+        b.add_edge_list(&raw);
+        b.build().edges
+    }
+}
+
+/// Looks a dataset up by its CLI name (`OR`, `FR`, `FRS-A`, `FRS-B`,
+/// `TINY`; case-insensitive).
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    match name.to_ascii_uppercase().as_str() {
+        "OR" => Some(Dataset::Or),
+        "FR" => Some(Dataset::Fr),
+        "FRS-A" | "FRSA" => Some(Dataset::FrsA),
+        "FRS-B" | "FRSB" => Some(Dataset::FrsB),
+        "TINY" => Some(Dataset::Tiny),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::{Csr, GraphStats};
+
+    #[test]
+    fn tiny_generates_clean() {
+        let g = Dataset::Tiny.generate();
+        assert!(g.len() > 1000);
+        // no loops
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+        // no duplicates
+        let mut pairs: Vec<_> = g.edges().iter().map(|e| (e.src, e.dst)).collect();
+        pairs.sort_unstable();
+        let before = pairs.len();
+        pairs.dedup();
+        assert_eq!(before, pairs.len());
+    }
+
+    #[test]
+    fn size_ordering_matches_table1() {
+        // Compare raw budgets without generating the big ones.
+        let or = Dataset::Or.spec();
+        let fr = Dataset::Fr.spec();
+        let fa = Dataset::FrsA.spec();
+        let fb = Dataset::FrsB.spec();
+        let size = |s: &DatasetSpec| (1u64 << s.scale) * s.edge_factor as u64 * s.multiply;
+        assert!(size(&or) < size(&fr));
+        assert!(size(&fr) < size(&fa));
+        assert!(size(&fa) < size(&fb));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(dataset_by_name("or"), Some(Dataset::Or));
+        assert_eq!(dataset_by_name("FRS-B"), Some(Dataset::FrsB));
+        assert_eq!(dataset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn tiny_has_social_shape() {
+        let g = Dataset::Tiny.generate();
+        let csr = Csr::from_edges(g.num_vertices(), g.edges());
+        let s = GraphStats::from_csr(&csr);
+        assert!(s.degrees.max as f64 > 5.0 * s.degrees.mean, "no skew: {:?}", s.degrees);
+    }
+}

@@ -1,0 +1,108 @@
+//! Graph 500 style generator: R-MAT with the reference parameters plus
+//! vertex scrambling.
+//!
+//! The raw R-MAT process correlates vertex ID with degree (hubs sit at
+//! low IDs). Graph 500 permutes vertex labels so that data layouts
+//! cannot exploit the generator's bias — important here because
+//! C-Graph's *range-based* partitioning (§3.1) would otherwise get an
+//! artificially easy, hub-concentrated layout.
+
+use crate::rmat::{rmat, RmatParams};
+use cgraph_graph::EdgeList;
+
+/// Generates a Graph 500-style graph: `2^scale` vertices,
+/// `edge_factor * 2^scale` directed edges, scrambled labels.
+///
+/// ```
+/// let g = cgraph_gen::graph500(8, 4, 42);
+/// assert_eq!(g.num_vertices(), 256);
+/// assert_eq!(g.len(), 1024);
+/// assert_eq!(g.edges(), cgraph_gen::graph500(8, 4, 42).edges()); // deterministic
+/// ```
+pub fn graph500(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    let n = 1u64 << scale;
+    let num_edges = edge_factor * n as usize;
+    let mut list = rmat(scale, num_edges, RmatParams::GRAPH500, seed);
+    scramble(&mut list, scale, seed ^ 0xD1B5_4A32_D192_ED03);
+    list
+}
+
+/// Applies a deterministic pseudo-random permutation to vertex labels.
+///
+/// We use a 2-round Feistel-style bijection on `scale` bits instead of
+/// materialising a permutation vector — O(1) memory, same effect.
+fn scramble(list: &mut EdgeList, scale: u32, key: u64) {
+    let n = list.num_vertices();
+    for e in list.edges_mut() {
+        e.src = permute(e.src, scale, key);
+        e.dst = permute(e.dst, scale, key);
+        debug_assert!(e.src < n && e.dst < n);
+    }
+}
+
+/// Bijective mixing of `v` within `[0, 2^scale)`.
+///
+/// Each round applies an affine map with an odd multiplier (bijective
+/// modulo a power of two) followed by a xorshift by half the width
+/// (bijective on its own). Three rounds diffuse every input bit across
+/// the output.
+fn permute(v: u64, scale: u32, key: u64) -> u64 {
+    let mask = if scale >= 64 { u64::MAX } else { (1u64 << scale) - 1 };
+    let shift = (scale / 2).max(1);
+    let mut x = v & mask;
+    for round in 0..3u64 {
+        let k = splitmix(key.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mult = k | 1; // odd multiplier → bijective mod 2^scale
+        x = x.wrapping_mul(mult).wrapping_add(k >> 32) & mask;
+        x ^= x >> shift; // high-to-low diffusion, bijective
+    }
+    x & mask
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn permute_is_bijective() {
+        for scale in [1u32, 4, 7, 10] {
+            let n = 1u64 << scale;
+            let seen: HashSet<u64> = (0..n).map(|v| permute(v, scale, 0xABCD)).collect();
+            assert_eq!(seen.len(), n as usize, "scale {scale} not bijective");
+            assert!(seen.iter().all(|&v| v < n), "scale {scale} out of range");
+        }
+    }
+
+    #[test]
+    fn graph500_shape() {
+        let g = graph500(10, 8, 99);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.len(), 8 * 1024);
+    }
+
+    #[test]
+    fn graph500_deterministic() {
+        let a = graph500(8, 4, 5);
+        let b = graph500(8, 4, 5);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn scrambling_spreads_hubs() {
+        // After scrambling, total degree mass in the low-ID half should
+        // be near 50%, not concentrated like raw RMAT.
+        let g = graph500(12, 10, 17);
+        let n = g.num_vertices();
+        let low: usize = g.edges().iter().filter(|e| e.src < n / 2).count();
+        let frac = low as f64 / g.len() as f64;
+        assert!((0.35..=0.65).contains(&frac), "low-half fraction {frac}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Edge-list I/O: whitespace-separated text (the SNAP interchange
+//! format the paper's datasets ship in) and a compact little-endian
+//! binary format for fast reload of generated graphs.
+
+use cgraph_graph::{Edge, EdgeList};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic header of the binary format.
+const MAGIC: &[u8; 8] = b"CGRAPH01";
+
+/// Writes `src dst [weight]` lines; weight is omitted when exactly 1.0.
+/// Lines starting with `#` are comments on read.
+pub fn write_text<P: AsRef<Path>>(path: P, list: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# cgraph edge list: {} vertices, {} edges", list.num_vertices(), list.len())?;
+    for e in list.edges() {
+        if e.weight == 1.0 {
+            writeln!(w, "{} {}", e.src, e.dst)?;
+        } else {
+            writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a text edge list (SNAP style): `src dst [weight]` per line,
+/// `#`-prefixed comment lines skipped. Tabs and spaces both accepted.
+pub fn read_text<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    let r = BufReader::new(File::open(path)?);
+    let mut list = EdgeList::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<f64> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing {what}", lineno + 1),
+                )
+            })?
+            .parse::<f64>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}: {e}", lineno + 1),
+                )
+            })
+        };
+        let src = parse(it.next(), "src")? as u64;
+        let dst = parse(it.next(), "dst")? as u64;
+        let weight = match it.next() {
+            Some(tok) => parse(Some(tok), "weight")? as f32,
+            None => 1.0,
+        };
+        list.push(Edge::weighted(src, dst, weight));
+    }
+    Ok(list)
+}
+
+/// Writes the compact binary format: header, vertex count, edge count,
+/// then `(u64 src, u64 dst, f32 weight)` triples.
+pub fn write_binary<P: AsRef<Path>>(path: P, list: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&list.num_vertices().to_le_bytes())?;
+    w.write_all(&(list.len() as u64).to_le_bytes())?;
+    for e in list.edges() {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+        w.write_all(&e.weight.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format written by [`write_binary`].
+pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8);
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8);
+    let mut list = EdgeList::with_num_vertices(n);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf8)?;
+        let src = u64::from_le_bytes(buf8);
+        r.read_exact(&mut buf8)?;
+        let dst = u64::from_le_bytes(buf8);
+        r.read_exact(&mut buf4)?;
+        let weight = f32::from_le_bytes(buf4);
+        list.push(Edge::weighted(src, dst, weight));
+    }
+    list.set_num_vertices(n);
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erdos_renyi;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cgraph-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = erdos_renyi(50, 200, 3);
+        let p = tmp("text.el");
+        write_text(&p, &g).unwrap();
+        let back = read_text(&p).unwrap();
+        assert_eq!(back.edges(), g.edges());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_universe() {
+        let mut g = erdos_renyi(50, 100, 4);
+        g.set_num_vertices(1000); // trailing isolated vertices
+        let p = tmp("bin.cg");
+        write_binary(&p, &g).unwrap();
+        let back = read_binary(&p).unwrap();
+        assert_eq!(back.edges(), g.edges());
+        assert_eq!(back.num_vertices(), 1000);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn text_skips_comments_and_weights() {
+        let p = tmp("cmt.el");
+        std::fs::write(&p, "# header\n0 1\n1 2 0.5\n\n# done\n").unwrap();
+        let g = read_text(&p).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edges()[1].weight, 0.5);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let p = tmp("bad.el");
+        std::fs::write(&p, "0 x\n").unwrap();
+        assert!(read_text(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("magic.cg");
+        std::fs::write(&p, b"NOTMAGIC........").unwrap();
+        assert!(read_binary(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+}

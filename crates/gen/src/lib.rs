@@ -1,0 +1,40 @@
+//! # cgraph-gen — workload generators and graph I/O for C-Graph
+//!
+//! The paper evaluates on two real social networks (Orkut, Friendster)
+//! and two *semi-synthetic* graphs produced by "the Graph 500 generator
+//! with Friendster" (§4.1). This crate supplies deterministic,
+//! seed-driven stand-ins for all of them:
+//!
+//! * [`rmat`] — the recursive-matrix (Kronecker) generator underlying
+//!   Graph 500; skewed degree distributions like real social graphs.
+//! * [`graph500`] — the Graph 500 parameterisation (A=.57, B=.19,
+//!   C=.19, D=.05) with vertex scrambling.
+//! * [`erdos_renyi`], [`small_world`], [`pref_attach`] — classic models
+//!   used by tests and the hop-plot experiment.
+//! * [`scaler`] — the paper's semi-synthetic construction: scale a base
+//!   graph by a multiplying factor `m`, keeping its edge/vertex ratio.
+//! * [`io`] — plain-text and binary edge-list readers/writers.
+//! * [`datasets`] — named recipes (`OR`, `FR`, `FRS-A`, `FRS-B`)
+//!   mirroring Table 1 at laptop scale.
+//!
+//! Every generator takes an explicit seed and is reproducible
+//! bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod erdos_renyi;
+pub mod graph500;
+pub mod io;
+pub mod pref_attach;
+pub mod rmat;
+pub mod scaler;
+pub mod small_world;
+
+pub use datasets::{dataset_by_name, Dataset, DatasetSpec};
+pub use erdos_renyi::erdos_renyi;
+pub use graph500::graph500;
+pub use pref_attach::pref_attach;
+pub use rmat::{rmat, RmatParams};
+pub use scaler::scale_graph;
+pub use small_world::small_world;

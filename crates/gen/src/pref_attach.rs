@@ -1,0 +1,86 @@
+//! Barabási–Albert preferential attachment generator.
+//!
+//! Grows a graph one vertex at a time, attaching each newcomer to `m`
+//! existing vertices chosen proportionally to degree. Produces the
+//! power-law degree distribution typical of real friendship networks;
+//! used as an alternative social-graph stand-in in tests and examples.
+
+use cgraph_graph::EdgeList;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a preferential-attachment graph of `num_vertices` vertices
+/// with `m` out-edges per newcomer (the first `m + 1` vertices form a
+/// seed clique).
+pub fn pref_attach(num_vertices: u64, m: usize, seed: u64) -> EdgeList {
+    assert!(m >= 1);
+    assert!(num_vertices > m as u64, "need more vertices than m");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut list = EdgeList::with_num_vertices(num_vertices);
+    // Repeated-endpoint urn: attaching proportionally to degree is
+    // equivalent to sampling a uniform element of the endpoint list.
+    let mut urn: Vec<u64> = Vec::new();
+    // Seed clique over vertices 0..=m.
+    for i in 0..=(m as u64) {
+        for j in 0..=(m as u64) {
+            if i != j {
+                list.push_pair(i, j);
+                urn.push(i);
+                urn.push(j);
+            }
+        }
+    }
+    for v in (m as u64 + 1)..num_vertices {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            list.push_pair(v, t);
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    list.set_num_vertices(num_vertices);
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::{Csr, DegreeStats};
+
+    #[test]
+    fn edge_count() {
+        let g = pref_attach(100, 3, 1);
+        // clique: 4*3 = 12 edges; newcomers: 96 * 3
+        assert_eq!(g.len(), 12 + 96 * 3);
+    }
+
+    #[test]
+    fn heavy_tail() {
+        let g = pref_attach(2000, 2, 5);
+        // In-degree skew: early vertices accumulate most attachments.
+        let mut l = EdgeList::with_num_vertices(g.num_vertices());
+        for e in g.edges() {
+            l.push_pair(e.dst, e.src); // reverse to measure in-degree as out
+        }
+        let csr = Csr::from_edges(l.num_vertices(), l.edges());
+        let s = DegreeStats::from_csr(&csr);
+        assert!(s.max as f64 > 8.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(pref_attach(200, 2, 9).edges(), pref_attach(200, 2, 9).edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = pref_attach(300, 3, 2);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+    }
+}

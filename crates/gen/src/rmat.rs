@@ -1,0 +1,158 @@
+//! R-MAT / Kronecker edge generator.
+//!
+//! The recursive-matrix model drops each edge into one quadrant of the
+//! adjacency matrix with probabilities (A, B, C, D) and recurses on the
+//! chosen quadrant. With the Graph 500 parameters it yields the heavy-
+//! tailed degree distribution and small effective diameter of social
+//! networks — the structural properties that govern k-hop query cost
+//! and that our scaled-down stand-ins for Orkut/Friendster must keep.
+//!
+//! Generation is parallelised per-edge with rayon; each edge derives
+//! its own RNG stream from `(seed, edge_index)` so the output is
+//! deterministic regardless of thread schedule.
+
+use cgraph_graph::{Edge, EdgeList};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Quadrant probabilities for the recursive matrix model.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Perturbation applied per level to avoid exact self-similarity
+    /// (standard Graph 500 "noise" trick; 0.0 disables).
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph 500 reference parameters.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 };
+
+    /// A milder skew closer to measured social networks.
+    pub const SOCIAL: RmatParams = RmatParams { a: 0.45, b: 0.22, c: 0.22, noise: 0.05 };
+
+    /// The implicit bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Validates that probabilities form a distribution.
+    pub fn validate(&self) {
+        assert!(self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0, "bad rmat params {self:?}");
+        assert!(self.d() >= 0.0, "quadrant probabilities exceed 1: {self:?}");
+    }
+}
+
+/// Generates `num_edges` directed edges over `2^scale` vertices.
+///
+/// Duplicates and self loops are *not* removed — feed the result
+/// through [`cgraph_graph::GraphBuilder`] (as real pipelines do) or use
+/// [`crate::datasets`] which does it for you.
+pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> EdgeList {
+    params.validate();
+    assert!(scale < 63, "scale too large");
+    let n = 1u64 << scale;
+    let edges: Vec<Edge> = (0..num_edges)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let (src, dst) = rmat_one(scale, params, &mut rng);
+            Edge::unweighted(src, dst)
+        })
+        .collect();
+    let mut list = EdgeList::with_num_vertices(n);
+    for e in edges {
+        list.push(e);
+    }
+    list.set_num_vertices(n);
+    list
+}
+
+/// Samples a single (src, dst) pair by recursive quadrant descent.
+fn rmat_one(scale: u32, p: RmatParams, rng: &mut impl Rng) -> (u64, u64) {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    let (mut a, mut b, mut c) = (p.a, p.b, p.c);
+    for level in 0..scale {
+        let d = 1.0 - a - b - c;
+        let r: f64 = rng.gen();
+        let bit = 1u64 << (scale - 1 - level);
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            dst |= bit;
+        } else if r < a + b + c {
+            src |= bit;
+        } else {
+            let _ = d;
+            src |= bit;
+            dst |= bit;
+        }
+        if p.noise > 0.0 {
+            // Multiplicative noise, renormalised, keeps the marginal
+            // distribution but breaks exact self-similarity.
+            let na = a * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+            let nb = b * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+            let nc = c * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+            let nd = d * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+            let sum = na + nb + nc + nd;
+            a = na / sum;
+            b = nb / sum;
+            c = nc / sum;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::{Csr, DegreeStats};
+
+    #[test]
+    fn deterministic() {
+        let g1 = rmat(10, 5000, RmatParams::GRAPH500, 42);
+        let g2 = rmat(10, 5000, RmatParams::GRAPH500, 42);
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = rmat(10, 1000, RmatParams::GRAPH500, 1);
+        let g2 = rmat(10, 1000, RmatParams::GRAPH500, 2);
+        assert_ne!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn vertex_universe_is_power_of_two() {
+        let g = rmat(8, 100, RmatParams::GRAPH500, 7);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.edges().iter().all(|e| e.src < 256 && e.dst < 256));
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        // Graph 500 parameters must produce a hub far above the mean.
+        let g = rmat(12, 40_000, RmatParams::GRAPH500, 3);
+        let csr = Csr::from_edges(g.num_vertices(), g.edges());
+        let s = DegreeStats::from_csr(&csr);
+        assert!(
+            s.max as f64 > 10.0 * s.mean,
+            "expected heavy tail: max {} mean {}",
+            s.max,
+            s.mean
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_params_rejected() {
+        rmat(4, 10, RmatParams { a: 0.9, b: 0.2, c: 0.2, noise: 0.0 }, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! A ring lattice with `k` neighbours per side, each edge rewired with
+//! probability `beta`. Small-world graphs have the short-path-length
+//! profile that Fig. 1 of the paper illustrates with the Slashdot Zoo
+//! hop plot (δ₀.₅ ≈ 3.5, δ₀.₉ ≈ 4.7) — the `fig01_hopplot` experiment
+//! uses this model.
+
+use cgraph_graph::EdgeList;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a directed small-world graph: each vertex links to its
+/// `k` clockwise ring successors; each link rewires to a uniform random
+/// target with probability `beta`.
+pub fn small_world(num_vertices: u64, k: usize, beta: f64, seed: u64) -> EdgeList {
+    assert!(num_vertices > 1);
+    assert!((k as u64) < num_vertices, "k must be < n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut list = EdgeList::with_num_vertices(num_vertices);
+    for v in 0..num_vertices {
+        for j in 1..=k as u64 {
+            let t = if rng.gen::<f64>() < beta {
+                // rewire: uniform target other than v
+                let mut t = rng.gen_range(0..num_vertices - 1);
+                if t >= v {
+                    t += 1;
+                }
+                t
+            } else {
+                (v + j) % num_vertices
+            };
+            list.push_pair(v, t);
+        }
+    }
+    list.set_num_vertices(num_vertices);
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rewiring_gives_ring() {
+        let g = small_world(10, 2, 0.0, 0);
+        assert_eq!(g.len(), 20);
+        assert!(g.edges().iter().all(|e| {
+            let d = (e.dst + 10 - e.src) % 10;
+            d == 1 || d == 2
+        }));
+    }
+
+    #[test]
+    fn full_rewiring_breaks_ring() {
+        let g = small_world(1000, 2, 1.0, 3);
+        let ring_edges = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                let d = (e.dst + 1000 - e.src) % 1000;
+                d == 1 || d == 2
+            })
+            .count();
+        // Uniform targets hit ring positions rarely.
+        assert!(ring_edges < g.len() / 20, "{ring_edges} ring edges of {}", g.len());
+    }
+
+    #[test]
+    fn never_self_loop_when_rewired() {
+        let g = small_world(50, 3, 1.0, 7);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small_world(64, 4, 0.1, 11).edges(), small_world(64, 4, 0.1, 11).edges());
+    }
+}

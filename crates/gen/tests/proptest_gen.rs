@@ -1,0 +1,88 @@
+//! Property-based tests for the generators and I/O.
+
+use cgraph_graph::{Edge, EdgeList};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rmat_edges_stay_in_universe(scale in 3u32..10, edges in 1usize..500, seed: u64) {
+        let g = cgraph_gen::rmat(scale, edges, cgraph_gen::RmatParams::GRAPH500, seed);
+        let n = 1u64 << scale;
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.len(), edges);
+        prop_assert!(g.edges().iter().all(|e| e.src < n && e.dst < n));
+    }
+
+    #[test]
+    fn graph500_deterministic_per_seed(scale in 3u32..9, ef in 1usize..8, seed: u64) {
+        let a = cgraph_gen::graph500(scale, ef, seed);
+        let b = cgraph_gen::graph500(scale, ef, seed);
+        prop_assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn binary_io_roundtrips_weighted(edges in prop::collection::vec(
+        (0u64..1000, 0u64..1000, 0.0f32..100.0), 0..200), extra_universe in 0u64..5000) {
+        let mut list = EdgeList::new();
+        for (s, t, w) in &edges {
+            list.push(Edge::weighted(*s, *t, *w));
+        }
+        list.set_num_vertices(extra_universe);
+        let path = std::env::temp_dir().join(format!(
+            "cgraph-prop-{}-{:x}.cg", std::process::id(),
+            edges.len() as u64 * 31 + extra_universe));
+        cgraph_gen::io::write_binary(&path, &list).unwrap();
+        let back = cgraph_gen::io::read_binary(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.edges(), list.edges());
+        prop_assert_eq!(back.num_vertices(), list.num_vertices());
+    }
+
+    #[test]
+    fn text_io_roundtrips(edges in prop::collection::vec((0u64..500, 0u64..500), 0..150)) {
+        let mut list = EdgeList::new();
+        for (s, t) in &edges {
+            list.push_pair(*s, *t);
+        }
+        let path = std::env::temp_dir().join(format!(
+            "cgraph-prop-text-{}-{}.el", std::process::id(), edges.len()));
+        cgraph_gen::io::write_text(&path, &list).unwrap();
+        let back = cgraph_gen::io::read_text(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.edges(), list.edges());
+    }
+
+    #[test]
+    fn scaler_multiplies_vertices_exactly(scale in 4u32..8, m in 1u64..5, seed: u64) {
+        let base = cgraph_gen::graph500(scale, 4, seed);
+        let scaled = cgraph_gen::scale_graph(&base, m, seed ^ 1);
+        prop_assert_eq!(scaled.num_vertices(), base.num_vertices() * m);
+        // Ratio preserved within the documented 3% fill tolerance + rounding.
+        let br = base.len() as f64 / base.num_vertices() as f64;
+        let sr = scaled.len() as f64 / scaled.num_vertices() as f64;
+        prop_assert!((sr - br).abs() / br < 0.08, "ratio drift {br} -> {sr}");
+    }
+
+    #[test]
+    fn small_world_degree_regular(n in 10u64..200, k in 1usize..5, seed: u64) {
+        let g = cgraph_gen::small_world(n, k, 0.3, seed);
+        // Every vertex has exactly k out-edges by construction.
+        let mut deg = vec![0usize; n as usize];
+        for e in g.edges() {
+            deg[e.src as usize] += 1;
+        }
+        prop_assert!(deg.iter().all(|&d| d == k));
+    }
+
+    #[test]
+    fn pref_attach_edge_budget(n in 10u64..150, m in 1usize..4, seed: u64) {
+        prop_assume!(n > m as u64 + 1);
+        let g = cgraph_gen::pref_attach(n, m, seed);
+        let clique = (m + 1) * m;
+        let newcomers = (n - m as u64 - 1) as usize * m;
+        prop_assert_eq!(g.len(), clique + newcomers);
+        prop_assert!(g.edges().iter().all(|e| !e.is_loop()));
+    }
+}

@@ -1,0 +1,128 @@
+//! The multi-modal adjacency: CSR (out-edges) + CSC (in-edges) built
+//! over the same edge set (§3.2, "multi-modal graph representations …
+//! to accommodate different access patterns").
+//!
+//! Traversal-style algorithms (k-hop, BFS) read the CSR; gather-style
+//! iterative computations (PageRank) read the CSC so every edge of a
+//! vertex is local to the reader ("our implementation does not generate
+//! additional traffic in the gather phase since all edges of a vertex
+//! are local", §3.4).
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::edge::Edge;
+use crate::types::{VertexId, Weight};
+
+/// Both directed views of one graph.
+#[derive(Clone, Debug, Default)]
+pub struct Adjacency {
+    out: Csr,
+    inn: Csc,
+}
+
+impl Adjacency {
+    /// Builds both views from an edge slice.
+    pub fn from_edges(num_vertices: u64, edges: &[Edge]) -> Self {
+        Self { out: Csr::from_edges(num_vertices, edges), inn: Csc::from_edges(num_vertices, edges) }
+    }
+
+    /// Builds only the out-edge (CSR) view; the in-edge view is left
+    /// empty. Traversal-only deployments use this to halve memory — the
+    /// paper stores in-edges only "when running graph algorithms such
+    /// as PageRank" (§3.1).
+    pub fn out_only(num_vertices: u64, edges: &[Edge]) -> Self {
+        Self { out: Csr::from_edges(num_vertices, edges), inn: Csc::default() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.out.num_vertices()
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// True when the in-edge view was built.
+    #[inline]
+    pub fn has_in_view(&self) -> bool {
+        self.inn.num_vertices() != 0 || self.out.num_vertices() == 0
+    }
+
+    /// The out-edge (CSR) view.
+    #[inline]
+    pub fn out(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The in-edge (CSC) view; empty if built with [`Adjacency::out_only`].
+    #[inline]
+    pub fn inn(&self) -> &Csc {
+        &self.inn
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// Out-neighbour/weight pairs of `v`.
+    #[inline]
+    pub fn neighbors_weighted(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.out.neighbors_weighted(v)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.out.size_bytes() + self.inn.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeList;
+
+    #[test]
+    fn views_agree_on_edge_count() {
+        let l: EdgeList = [(0u64, 1u64), (1, 2), (2, 0)].into_iter().collect();
+        let a = Adjacency::from_edges(l.num_vertices(), l.edges());
+        assert_eq!(a.out().num_edges(), a.inn().num_edges());
+        assert_eq!(a.neighbors(0), &[1]);
+        assert_eq!(a.inn().in_neighbors(0), &[2]);
+        assert!(a.has_in_view());
+    }
+
+    #[test]
+    fn out_only_skips_csc() {
+        let l: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let a = Adjacency::out_only(l.num_vertices(), l.edges());
+        assert!(!a.has_in_view());
+        assert_eq!(a.num_edges(), 1);
+    }
+
+    #[test]
+    fn every_out_edge_is_an_in_edge() {
+        let l: EdgeList =
+            [(0u64, 1u64), (0, 2), (3, 1), (2, 3), (1, 0)].into_iter().collect();
+        let a = Adjacency::from_edges(l.num_vertices(), l.edges());
+        for v in 0..a.num_vertices() {
+            for &t in a.neighbors(v) {
+                assert!(a.inn().in_neighbors(t).contains(&v), "{v}->{t} missing from CSC");
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Bit-level vertex state.
+//!
+//! §3.5: "Instead of maintaining a task queue or set, we implement the
+//! approach introduced in MS-BFS to track concurrent graph traversal
+//! frontier and visited status … For each query, we use 2 bits to
+//! indicate if a vertex exists in the current or next frontier, and 1
+//! bit to track if it has been visited. … The frontier, frontierNext
+//! and visited are stored in arrays for each vertex to provide
+//! constant-time access."
+//!
+//! Two layouts live here:
+//!
+//! * [`Bitmap`] — one bit per vertex, used for single-query frontiers
+//!   and the shared global visited state.
+//! * [`LaneMatrix`] — one 64-bit word per vertex, one *lane* (bit
+//!   position) per query in a concurrent batch. A whole batch's
+//!   frontier membership for a vertex is read/ORed in a single load,
+//!   which is exactly the data-locality argument of Fig. 6.
+
+/// A fixed-size bitmap over vertices `0..len`.
+///
+/// ```
+/// use cgraph_graph::Bitmap;
+/// let mut visited = Bitmap::new(100);
+/// assert!(!visited.set(42)); // first visit
+/// assert!(visited.set(42));  // already visited
+/// assert_eq!(visited.iter_ones().collect::<Vec<_>>(), vec![42]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap covering `len` vertices.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers zero vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Gets bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Sets bit `i` to 1; returns its previous value (handy for
+    /// "was this the first visit?" checks).
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        let old = *w & mask != 0;
+        *w |= mask;
+        old
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Zeroes the whole bitmap (keeps capacity).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union: `self |= other`. Panics on length mismatch.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`. Panics on length mismatch.
+    pub fn subtract(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some((wi << 6) | bit)
+                }
+            })
+        })
+    }
+
+    /// Raw word storage (read-only).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Number of query lanes packed in one [`LaneMatrix`] word. The paper
+/// sizes the batch from "hardware parameters, for example, the length
+/// of the cache line"; one 64-bit word per vertex is the MS-BFS choice.
+pub const LANES: usize = 64;
+
+/// A `num_vertices × 64` bit matrix: `word(v)` holds, for vertex `v`,
+/// one bit per query lane. Used for `frontier`, `frontierNext` and
+/// `visited` in the concurrent (batched) traversal engine.
+///
+/// ```
+/// use cgraph_graph::LaneMatrix;
+/// let mut frontier = LaneMatrix::new(10);
+/// frontier.set(3, 0);                      // query 0's frontier holds vertex 3
+/// frontier.set(3, 7);                      // so does query 7's
+/// assert_eq!(frontier.word(3), 0b1000_0001);
+/// assert_eq!(frontier.or_new(3, 0b11), 0b10); // only lane 1 is new
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneMatrix {
+    words: Vec<u64>,
+}
+
+impl LaneMatrix {
+    /// Creates an all-zero matrix for `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self { words: vec![0; num_vertices] }
+    }
+
+    /// Number of vertices (rows).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The full lane word of vertex `v`.
+    #[inline]
+    pub fn word(&self, v: usize) -> u64 {
+        self.words[v]
+    }
+
+    /// ORs `mask` into vertex `v`'s word, returning the bits that were
+    /// newly set (i.e. `mask & !old`).
+    #[inline]
+    pub fn or_new(&mut self, v: usize, mask: u64) -> u64 {
+        let old = self.words[v];
+        self.words[v] = old | mask;
+        mask & !old
+    }
+
+    /// Overwrites vertex `v`'s word.
+    #[inline]
+    pub fn set_word(&mut self, v: usize, word: u64) {
+        self.words[v] = word;
+    }
+
+    /// Tests lane `q` of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: usize, q: usize) -> bool {
+        debug_assert!(q < LANES);
+        self.words[v] & (1u64 << q) != 0
+    }
+
+    /// Sets lane `q` of vertex `v`.
+    #[inline]
+    pub fn set(&mut self, v: usize, q: usize) {
+        debug_assert!(q < LANES);
+        self.words[v] |= 1u64 << q;
+    }
+
+    /// Zeroes every word (keeps capacity) — used when recycling the
+    /// matrix between query batches (dynamic resource allocation, §3.3).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// True if every word is zero (batch traversal has terminated).
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Total number of set (vertex, lane) pairs.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates `(vertex, word)` rows whose word is non-zero.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words.iter().copied().enumerate().filter(|&(_, w)| w != 0)
+    }
+
+    /// Swaps storage with another matrix (frontier ↔ frontierNext flip
+    /// at the end of each hop).
+    pub fn swap(&mut self, other: &mut LaneMatrix) {
+        std::mem::swap(&mut self.words, &mut other.words);
+    }
+
+    /// Raw words (read-only), indexed by vertex.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw words, for engine inner loops.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        assert!(!b.set(0));
+        assert!(b.set(0)); // second set reports previously-set
+        assert!(b.get(0));
+        b.set(129);
+        assert!(b.get(129));
+        b.clear(129);
+        assert!(!b.get(129));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn bitmap_iter_ones() {
+        let mut b = Bitmap::new(200);
+        for i in [0usize, 63, 64, 65, 199] {
+            b.set(i);
+        }
+        let ones: Vec<_> = b.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn bitmap_union_subtract() {
+        let mut a = Bitmap::new(70);
+        let mut b = Bitmap::new(70);
+        a.set(1);
+        b.set(1);
+        b.set(69);
+        a.union_with(&b);
+        assert!(a.get(69));
+        a.subtract(&b);
+        assert!(a.all_zero());
+    }
+
+    #[test]
+    fn lane_or_new_reports_fresh_bits() {
+        let mut m = LaneMatrix::new(4);
+        assert_eq!(m.or_new(2, 0b1010), 0b1010);
+        assert_eq!(m.or_new(2, 0b1100), 0b0100); // 0b1000 already set
+        assert_eq!(m.word(2), 0b1110);
+    }
+
+    #[test]
+    fn lane_get_set() {
+        let mut m = LaneMatrix::new(2);
+        m.set(1, 63);
+        assert!(m.get(1, 63));
+        assert!(!m.get(1, 62));
+        assert!(!m.get(0, 63));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn lane_swap_and_clear() {
+        let mut a = LaneMatrix::new(3);
+        let mut b = LaneMatrix::new(3);
+        a.set_word(0, 7);
+        a.swap(&mut b);
+        assert!(a.all_zero());
+        assert_eq!(b.word(0), 7);
+        b.clear_all();
+        assert!(b.all_zero());
+    }
+
+    #[test]
+    fn lane_iter_nonzero() {
+        let mut m = LaneMatrix::new(5);
+        m.set_word(1, 3);
+        m.set_word(4, 8);
+        let rows: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(rows, vec![(1, 3), (4, 8)]);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert!(b.all_zero());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

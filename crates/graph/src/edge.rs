@@ -1,0 +1,217 @@
+//! Edge records and edge lists — the ingestion-time representation.
+//!
+//! The paper defines an edge as `e = {s, t, w}`: a directed link from
+//! `s` to `t` with weight `w` (§2). [`EdgeList`] is the mutable staging
+//! area used by [`crate::GraphBuilder`] before conversion into the
+//! compressed formats.
+
+use crate::types::{VertexId, Weight};
+
+/// A directed, weighted edge `{s, t, w}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (1.0 for unweighted graphs).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates an unweighted (weight 1.0) edge.
+    #[inline]
+    pub fn unweighted(src: VertexId, dst: VertexId) -> Self {
+        Self { src, dst, weight: 1.0 }
+    }
+
+    /// Creates a weighted edge.
+    #[inline]
+    pub fn weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Self { src, dst, weight }
+    }
+
+    /// The same edge with endpoints swapped (used to derive the
+    /// in-edge view and to symmetrize undirected inputs).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Self { src: self.dst, dst: self.src, weight: self.weight }
+    }
+
+    /// True if the edge is a self loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// A growable list of edges plus the (max vertex + 1) bound seen so far.
+///
+/// The vertex count is tracked eagerly so generators can emit edges in
+/// streaming fashion without a second pass.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    edges: Vec<Edge>,
+    num_vertices: u64,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty edge list with a known vertex-universe size.
+    pub fn with_num_vertices(n: u64) -> Self {
+        Self { edges: Vec::new(), num_vertices: n }
+    }
+
+    /// Creates an edge list with capacity for `cap` edges.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { edges: Vec::with_capacity(cap), num_vertices: 0 }
+    }
+
+    /// Appends an edge, growing the vertex universe if needed.
+    #[inline]
+    pub fn push(&mut self, e: Edge) {
+        self.num_vertices = self.num_vertices.max(e.src + 1).max(e.dst + 1);
+        self.edges.push(e);
+    }
+
+    /// Appends an unweighted edge.
+    #[inline]
+    pub fn push_pair(&mut self, src: VertexId, dst: VertexId) {
+        self.push(Edge::unweighted(src, dst));
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges have been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Size of the vertex universe (max endpoint + 1, or an explicit
+    /// larger bound set via [`EdgeList::with_num_vertices`] /
+    /// [`EdgeList::set_num_vertices`]).
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Forces the vertex universe to at least `n` (isolated trailing
+    /// vertices are legal — the generators use this).
+    pub fn set_num_vertices(&mut self, n: u64) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Immutable view of the edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable view of the edges (used by in-place reindexing).
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut [Edge] {
+        &mut self.edges
+    }
+
+    /// Consumes the list, returning the raw edge vector.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Appends every edge's reverse, turning a directed edge list into
+    /// a symmetric (undirected) one. Self loops are not duplicated.
+    pub fn symmetrize(&mut self) {
+        let n = self.edges.len();
+        self.edges.reserve(n);
+        for i in 0..n {
+            let e = self.edges[i];
+            if !e.is_loop() {
+                self.edges.push(e.reversed());
+            }
+        }
+    }
+
+    /// Extends from an iterator of (src, dst) pairs.
+    pub fn extend_pairs<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, it: I) {
+        for (s, t) in it {
+            self.push_pair(s, t);
+        }
+    }
+}
+
+impl FromIterator<Edge> for EdgeList {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        let mut l = EdgeList::new();
+        for e in iter {
+            l.push(e);
+        }
+        l
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for EdgeList {
+    fn from_iter<T: IntoIterator<Item = (VertexId, VertexId)>>(iter: T) -> Self {
+        let mut l = EdgeList::new();
+        l.extend_pairs(iter);
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_universe() {
+        let mut l = EdgeList::new();
+        l.push_pair(3, 7);
+        assert_eq!(l.num_vertices(), 8);
+        l.push_pair(10, 2);
+        assert_eq!(l.num_vertices(), 11);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn set_num_vertices_only_grows() {
+        let mut l = EdgeList::new();
+        l.push_pair(0, 5);
+        l.set_num_vertices(3);
+        assert_eq!(l.num_vertices(), 6);
+        l.set_num_vertices(100);
+        assert_eq!(l.num_vertices(), 100);
+    }
+
+    #[test]
+    fn symmetrize_doubles_non_loops() {
+        let mut l: EdgeList = [(0u64, 1u64), (1, 2), (2, 2)].into_iter().collect();
+        l.symmetrize();
+        assert_eq!(l.len(), 5); // 2 reversed + original 3
+        assert!(l.edges().contains(&Edge::unweighted(1, 0)));
+        assert!(l.edges().contains(&Edge::unweighted(2, 1)));
+    }
+
+    #[test]
+    fn reversed_keeps_weight() {
+        let e = Edge::weighted(1, 2, 0.5);
+        let r = e.reversed();
+        assert_eq!(r.src, 2);
+        assert_eq!(r.dst, 1);
+        assert_eq!(r.weight, 0.5);
+    }
+
+    #[test]
+    fn from_iter_edges() {
+        let l: EdgeList = vec![Edge::unweighted(0, 1)].into_iter().collect();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.num_vertices(), 2);
+    }
+}

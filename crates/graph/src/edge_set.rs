@@ -1,0 +1,555 @@
+//! Edge-set based graph representation (§3.2).
+//!
+//! Each subgraph partition is "further converted into a set of
+//! edge-sets. Each edge-set contains vertices within a certain range by
+//! vertex ID" — i.e. the adjacency matrix is blocked into a 2D grid of
+//! (source-range × destination-range) tiles, each tile stored as a
+//! small CSR. Traversing out-edges scans tiles left-to-right within a
+//! row stripe (Fig. 3a), so all destination writes of one tile land in
+//! one destination range — the cache-locality argument of the paper.
+//!
+//! Row stripes are chosen by *evenly distributing the degrees* ("we
+//! divide the vertices of each subgraph into a set of ranges by evenly
+//! distributing the degrees", §3.2); column ranges split the
+//! destination span evenly by vertex count.
+//!
+//! Real sparse graphs leave many tiles nearly empty, so the paper
+//! **consolidates** small adjacent tiles "both horizontally and
+//! vertically". [`ConsolidationPolicy`] controls the threshold; the
+//! build performs a horizontal pass (within a stripe) and then a
+//! vertical pass (across stripes, same column range).
+
+use crate::edge::Edge;
+use crate::types::{VertexId, VertexRange, Weight};
+
+/// One edge-set tile: a CSR over `row_range × col_range`.
+#[derive(Clone, Debug)]
+pub struct EdgeSet {
+    /// Source vertices covered (global IDs).
+    pub row_range: VertexRange,
+    /// Destination vertices covered (global IDs).
+    pub col_range: VertexRange,
+    /// `row_offsets[r]..row_offsets[r+1]` indexes `targets` for local
+    /// row `r` (`row_range.start + r` globally).
+    row_offsets: Vec<u32>,
+    /// Destination vertices, **global** IDs, sorted per row.
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl EdgeSet {
+    fn build(row_range: VertexRange, col_range: VertexRange, mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable_by_key(|a| (a.src, a.dst));
+        let nrows = row_range.len() as usize;
+        let mut row_offsets = vec![0u32; nrows + 1];
+        for e in &edges {
+            row_offsets[row_range.to_local(e.src) as usize + 1] += 1;
+        }
+        for r in 0..nrows {
+            row_offsets[r + 1] += row_offsets[r];
+        }
+        let targets = edges.iter().map(|e| e.dst).collect();
+        let weights = edges.iter().map(|e| e.weight).collect();
+        Self { row_range, col_range, row_offsets, targets, weights }
+    }
+
+    /// Number of edges in the tile.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of global source `v` that land in this tile's
+    /// column range. Empty if `v` is outside the row range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        if !self.row_range.contains(v) {
+            return &[];
+        }
+        let r = self.row_range.to_local(v) as usize;
+        &self.targets[self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize]
+    }
+
+    /// Weights aligned with [`EdgeSet::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> &[Weight] {
+        if !self.row_range.contains(v) {
+            return &[];
+        }
+        let r = self.row_range.to_local(v) as usize;
+        &self.weights[self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize]
+    }
+
+    /// Iterates `(local_row, neighbors, weights)` for non-empty rows.
+    pub fn iter_rows(
+        &self,
+    ) -> impl Iterator<Item = (VertexId, &[VertexId], &[Weight])> + '_ {
+        (0..self.row_range.len() as usize).filter_map(move |r| {
+            let a = self.row_offsets[r] as usize;
+            let b = self.row_offsets[r + 1] as usize;
+            if a == b {
+                None
+            } else {
+                Some((
+                    self.row_range.to_global(r as u32),
+                    &self.targets[a..b],
+                    &self.weights[a..b],
+                ))
+            }
+        })
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.row_offsets.len() * 4 + self.targets.len() * 8 + self.weights.len() * 4
+    }
+
+    /// The raw storage arrays `(row_offsets, targets, weights)` — used
+    /// by the out-of-core tile store for serialization.
+    pub fn raw_parts(&self) -> (&[u32], &[VertexId], &[Weight]) {
+        (&self.row_offsets, &self.targets, &self.weights)
+    }
+
+    /// Reassembles a tile from raw parts (inverse of
+    /// [`EdgeSet::raw_parts`]). Panics if the arrays are inconsistent.
+    pub fn from_raw_parts(
+        row_range: VertexRange,
+        col_range: VertexRange,
+        row_offsets: Vec<u32>,
+        targets: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        assert_eq!(row_offsets.len() as u64, row_range.len() + 1, "offset table length");
+        assert_eq!(targets.len(), weights.len(), "targets/weights mismatch");
+        assert_eq!(
+            *row_offsets.last().expect("non-empty offsets") as usize,
+            targets.len(),
+            "final offset must equal edge count"
+        );
+        Self { row_range, col_range, row_offsets, targets, weights }
+    }
+}
+
+/// Tile sizing and consolidation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsolidationPolicy {
+    /// Target number of edges per tile before consolidation — the
+    /// paper sizes this so "the vertex values and associated edges fit
+    /// into the last level cache".
+    pub target_edges_per_set: usize,
+    /// Tiles smaller than this are merged with a neighbour.
+    pub min_edges_per_set: usize,
+    /// Enable the horizontal (same stripe, adjacent column ranges) pass.
+    pub horizontal: bool,
+    /// Enable the vertical (adjacent stripes, same column range) pass.
+    pub vertical: bool,
+}
+
+impl Default for ConsolidationPolicy {
+    fn default() -> Self {
+        Self {
+            // ~ (vertex values + edges) of one tile ≈ a few MB LLC slice
+            target_edges_per_set: 1 << 18,
+            min_edges_per_set: 1 << 12,
+            horizontal: true,
+            vertical: true,
+        }
+    }
+}
+
+impl ConsolidationPolicy {
+    /// A policy that produces exactly one tile — the flat-CSR ablation
+    /// baseline (A3 in DESIGN.md).
+    pub fn flat() -> Self {
+        Self {
+            target_edges_per_set: usize::MAX,
+            min_edges_per_set: 0,
+            horizontal: false,
+            vertical: false,
+        }
+    }
+
+    /// No consolidation, explicit tile target — used by tests that
+    /// verify raw grid structure.
+    pub fn grid(target_edges_per_set: usize) -> Self {
+        Self { target_edges_per_set, min_edges_per_set: 0, horizontal: false, vertical: false }
+    }
+}
+
+/// The stripe/column skeleton computed before tiling.
+#[derive(Clone, Debug)]
+pub struct EdgeSetLayout {
+    /// Row stripes (source ranges), even by degree mass.
+    pub row_ranges: Vec<VertexRange>,
+    /// Column ranges (destination ranges), even by vertex count.
+    pub col_ranges: Vec<VertexRange>,
+}
+
+/// A blocked out-edge view of a (sub)graph: edge-set tiles in row-major
+/// order (all tiles of stripe 0 left→right, then stripe 1, …).
+#[derive(Clone, Debug)]
+pub struct EdgeSetGraph {
+    sets: Vec<EdgeSet>,
+    layout: EdgeSetLayout,
+    row_span: VertexRange,
+    col_span: VertexRange,
+    num_edges: usize,
+}
+
+/// Splits `span` into ranges of roughly equal total `weight(v)` mass,
+/// with at most `target` mass per range (always ≥ 1 vertex per range).
+fn split_by_mass(
+    span: VertexRange,
+    mass: impl Fn(VertexId) -> u64,
+    target: u64,
+) -> Vec<VertexRange> {
+    let mut ranges = Vec::new();
+    let mut start = span.start;
+    let mut acc = 0u64;
+    for v in span.iter() {
+        let m = mass(v);
+        if acc > 0 && acc + m > target {
+            ranges.push(VertexRange::new(start, v));
+            start = v;
+            acc = 0;
+        }
+        acc += m;
+    }
+    if start < span.end || ranges.is_empty() {
+        ranges.push(VertexRange::new(start, span.end));
+    }
+    ranges
+}
+
+/// Splits `span` into `k` ranges of (nearly) equal vertex count.
+fn split_even(span: VertexRange, k: usize) -> Vec<VertexRange> {
+    let k = k.max(1) as u64;
+    let n = span.len();
+    let base = n / k;
+    let rem = n % k;
+    let mut ranges = Vec::with_capacity(k as usize);
+    let mut start = span.start;
+    for i in 0..k {
+        let sz = base + if i < rem { 1 } else { 0 };
+        let end = start + sz;
+        ranges.push(VertexRange::new(start, end));
+        start = end;
+    }
+    ranges
+}
+
+impl EdgeSetGraph {
+    /// Builds the blocked representation for edges whose sources fall
+    /// in `row_span` and destinations in `col_span`.
+    ///
+    /// Panics (debug) if an edge endpoint lies outside its span.
+    pub fn build(
+        edges: &[Edge],
+        row_span: VertexRange,
+        col_span: VertexRange,
+        policy: ConsolidationPolicy,
+    ) -> Self {
+        // 1. Row degrees ("we first obtain vertex degrees …").
+        let nrows = row_span.len() as usize;
+        let mut deg = vec![0u64; nrows];
+        for e in edges {
+            debug_assert!(row_span.contains(e.src) && col_span.contains(e.dst));
+            deg[row_span.to_local(e.src) as usize] += 1;
+        }
+        // 2. Stripe rows by even degree mass; split columns evenly so
+        //    the grid is roughly square in edge mass.
+        let total = edges.len() as u64;
+        let target = (policy.target_edges_per_set as u64).max(1);
+        let row_ranges = split_by_mass(row_span, |v| deg[row_span.to_local(v) as usize], target);
+        let ncols = if policy.target_edges_per_set == usize::MAX {
+            1
+        } else {
+            ((total / target.max(1)) as usize).clamp(1, 256).max(row_ranges.len().min(16))
+        };
+        let col_ranges = split_even(col_span, ncols);
+        let layout = EdgeSetLayout { row_ranges: row_ranges.clone(), col_ranges: col_ranges.clone() };
+
+        // 3. Bucket edges into grid cells ("we scan the edge list again
+        //    and allocate each edge to an edge-set").
+        let col_of = |d: VertexId| -> usize {
+            // Column ranges are even-by-count: O(1) lookup.
+            let n = col_span.len();
+            let k = col_ranges.len() as u64;
+            let base = n / k;
+            let rem = n % k;
+            let off = d - col_span.start;
+            let boundary = rem * (base + 1);
+            if off < boundary {
+                (off / (base + 1)) as usize
+            } else {
+                (rem + (off - boundary) / base.max(1)) as usize
+            }
+        };
+        let row_of = |s: VertexId| -> usize {
+            row_ranges.partition_point(|r| r.end <= s)
+        };
+        let mut cells: Vec<Vec<Edge>> = vec![Vec::new(); row_ranges.len() * col_ranges.len()];
+        for &e in edges {
+            cells[row_of(e.src) * col_ranges.len() + col_of(e.dst)].push(e);
+        }
+
+        // 4. Consolidate horizontally within each stripe.
+        #[derive(Debug)]
+        struct ProtoSet {
+            row: VertexRange,
+            cols: (usize, usize), // inclusive col index range
+            edges: Vec<Edge>,
+        }
+        let mut protos: Vec<Vec<ProtoSet>> = Vec::with_capacity(row_ranges.len());
+        for (ri, row) in row_ranges.iter().enumerate() {
+            let mut stripe: Vec<ProtoSet> = Vec::new();
+            for ci in 0..col_ranges.len() {
+                let edges = std::mem::take(&mut cells[ri * col_ranges.len() + ci]);
+                let merge = policy.horizontal
+                    && !stripe.is_empty()
+                    && (edges.len() < policy.min_edges_per_set
+                        || stripe.last().unwrap().edges.len() < policy.min_edges_per_set);
+                if merge {
+                    let last = stripe.last_mut().unwrap();
+                    last.cols.1 = ci;
+                    last.edges.extend(edges);
+                } else {
+                    stripe.push(ProtoSet { row: *row, cols: (ci, ci), edges });
+                }
+            }
+            protos.push(stripe);
+        }
+
+        // 5. Consolidate vertically: a small stripe-cell merges into the
+        //    col-aligned cell of the previous stripe when both are small.
+        if policy.vertical {
+            for ri in 1..protos.len() {
+                let (head, tail) = protos.split_at_mut(ri);
+                let prev = &mut head[ri - 1];
+                let cur = &mut tail[0];
+                if prev.len() == 1 && cur.len() == 1 {
+                    let small = prev[0].edges.len() < policy.min_edges_per_set
+                        || cur[0].edges.len() < policy.min_edges_per_set;
+                    let aligned = prev[0].cols == cur[0].cols
+                        && prev[0].row.end == cur[0].row.start;
+                    if small && aligned {
+                        let mut merged = prev.pop().unwrap();
+                        let top = cur.remove(0);
+                        merged.row = VertexRange::new(merged.row.start, top.row.end);
+                        merged.edges.extend(top.edges);
+                        cur.push(merged);
+                    }
+                }
+            }
+            protos.retain(|s| !s.is_empty());
+        }
+
+        // 6. Materialise tiles (row-major).
+        let mut sets = Vec::new();
+        for stripe in protos {
+            for p in stripe {
+                if p.edges.is_empty() {
+                    continue;
+                }
+                let col = VertexRange::new(
+                    col_ranges[p.cols.0].start,
+                    col_ranges[p.cols.1].end,
+                );
+                sets.push(EdgeSet::build(p.row, col, p.edges));
+            }
+        }
+        Self { sets, layout, row_span, col_span, num_edges: edges.len() }
+    }
+
+    /// Builds with one tile per graph — flat CSR equivalent.
+    pub fn flat(edges: &[Edge], row_span: VertexRange, col_span: VertexRange) -> Self {
+        Self::build(edges, row_span, col_span, ConsolidationPolicy::flat())
+    }
+
+    /// All tiles in row-major scan order (the "left to right" traversal
+    /// order of Fig. 3a).
+    #[inline]
+    pub fn sets(&self) -> &[EdgeSet] {
+        &self.sets
+    }
+
+    /// The stripe/column skeleton.
+    #[inline]
+    pub fn layout(&self) -> &EdgeSetLayout {
+        &self.layout
+    }
+
+    /// Source span covered.
+    #[inline]
+    pub fn row_span(&self) -> VertexRange {
+        self.row_span
+    }
+
+    /// Destination span covered.
+    #[inline]
+    pub fn col_span(&self) -> VertexRange {
+        self.col_span
+    }
+
+    /// Total edges stored.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Collects the out-neighbours of `v` across all tiles (test /
+    /// debugging aid — engine loops iterate tiles directly).
+    pub fn out_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> =
+            self.sets.iter().flat_map(|s| s.neighbors(v).iter().copied()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.sets.iter().map(|s| s.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeList;
+
+    fn edges(n: u64, pairs: &[(u64, u64)]) -> (EdgeList, VertexRange) {
+        let mut l = EdgeList::with_num_vertices(n);
+        for &(s, t) in pairs {
+            l.push_pair(s, t);
+        }
+        (l, VertexRange::new(0, n))
+    }
+
+    #[test]
+    fn flat_matches_input() {
+        let (l, span) = edges(6, &[(0, 1), (0, 5), (2, 3), (5, 0)]);
+        let g = EdgeSetGraph::flat(l.edges(), span, span);
+        assert_eq!(g.sets().len(), 1);
+        assert_eq!(g.out_neighbors(0), vec![1, 5]);
+        assert_eq!(g.out_neighbors(5), vec![0]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn grid_preserves_all_edges() {
+        let (l, span) = edges(
+            32,
+            &(0..32u64).flat_map(|s| (0..32u64).filter(move |t| (s * 7 + t) % 5 == 0).map(move |t| (s, t)))
+                .collect::<Vec<_>>(),
+        );
+        let g = EdgeSetGraph::build(l.edges(), span, span, ConsolidationPolicy::grid(16));
+        assert!(g.sets().len() > 1, "expected multiple tiles");
+        let total: usize = g.sets().iter().map(|s| s.num_edges()).sum();
+        assert_eq!(total, l.len());
+        // Per-vertex adjacency identical to flat.
+        let flat = EdgeSetGraph::flat(l.edges(), span, span);
+        for v in 0..32u64 {
+            assert_eq!(g.out_neighbors(v), flat.out_neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn tiles_respect_ranges() {
+        let (l, span) = edges(
+            64,
+            &(0..64u64).map(|v| (v, (v * 17 + 3) % 64)).collect::<Vec<_>>(),
+        );
+        let g = EdgeSetGraph::build(l.edges(), span, span, ConsolidationPolicy::grid(8));
+        for s in g.sets() {
+            for (src, ts, _) in s.iter_rows() {
+                assert!(s.row_range.contains(src));
+                for &t in ts {
+                    assert!(s.col_range.contains(t), "{t} outside {:?}", s.col_range);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consolidation_reduces_tile_count() {
+        // Sparse graph → tiny tiles → consolidation should merge them.
+        let pairs: Vec<(u64, u64)> = (0..256u64).map(|v| (v, (v + 1) % 256)).collect();
+        let (l, span) = edges(256, &pairs);
+        let grid = EdgeSetGraph::build(l.edges(), span, span, ConsolidationPolicy::grid(16));
+        let consolidated = EdgeSetGraph::build(
+            l.edges(),
+            span,
+            span,
+            ConsolidationPolicy {
+                target_edges_per_set: 16,
+                min_edges_per_set: 8,
+                horizontal: true,
+                vertical: true,
+            },
+        );
+        assert!(
+            consolidated.sets().len() < grid.sets().len(),
+            "{} !< {}",
+            consolidated.sets().len(),
+            grid.sets().len()
+        );
+        // Still lossless.
+        for v in 0..256u64 {
+            assert_eq!(consolidated.out_neighbors(v), grid.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn subgraph_row_span() {
+        // Rows restricted to [4, 8): a partition's local vertices.
+        let mut l = EdgeList::with_num_vertices(16);
+        for s in 4..8u64 {
+            l.push_pair(s, (s + 5) % 16);
+            l.push_pair(s, (s + 9) % 16);
+        }
+        let g = EdgeSetGraph::build(
+            l.edges(),
+            VertexRange::new(4, 8),
+            VertexRange::new(0, 16),
+            ConsolidationPolicy::default(),
+        );
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_neighbors(4), vec![9, 13]);
+        assert!(g.out_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn empty_rows_skipped_in_iter() {
+        let (l, span) = edges(8, &[(0, 1)]);
+        let g = EdgeSetGraph::flat(l.edges(), span, span);
+        let rows: Vec<_> = g.sets()[0].iter_rows().map(|(v, _, _)| v).collect();
+        assert_eq!(rows, vec![0]);
+    }
+
+    #[test]
+    fn split_even_covers_span() {
+        let span = VertexRange::new(3, 20);
+        let ranges = split_even(span, 5);
+        assert_eq!(ranges.len(), 5);
+        assert_eq!(ranges[0].start, 3);
+        assert_eq!(ranges.last().unwrap().end, 20);
+        let total: u64 = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, span.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn split_by_mass_respects_target() {
+        let span = VertexRange::new(0, 10);
+        let mass = [5u64, 5, 5, 5, 1, 1, 1, 1, 1, 1];
+        let ranges = split_by_mass(span, |v| mass[v as usize], 10);
+        // Each range's mass ≤ 10 except possibly singletons.
+        for r in &ranges {
+            let m: u64 = r.iter().map(|v| mass[v as usize]).sum();
+            assert!(m <= 10 || r.len() == 1, "range {r:?} mass {m}");
+        }
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<u64>(), 10);
+    }
+}

@@ -1,0 +1,51 @@
+//! # cgraph-graph — graph data structures for C-Graph
+//!
+//! This crate is the storage substrate of the C-Graph reproduction
+//! (Zhou, Chen, Xia, Teodorescu — ICPP 2018). It provides the
+//! *multi-modal, edge-set based* graph representations of §3.2 of the
+//! paper:
+//!
+//! * [`Csr`] — compressed sparse row, the out-edge view of a graph,
+//! * [`Csc`] — compressed sparse column, the in-edge view,
+//! * [`Adjacency`] — the multi-modal pairing of both views,
+//! * [`EdgeSetGraph`] — the 2D-blocked "edge-set" layout with
+//!   horizontal/vertical consolidation of small blocks,
+//! * [`GraphBuilder`] — ingestion: dedup, (optional) re-indexing,
+//!   degree accounting,
+//! * [`Bitmap`] / [`LaneMatrix`] — bit-level state used by the MS-BFS
+//!   style concurrent traversals of §3.5,
+//! * [`VertexProps`] / [`EdgeProps`] — columnar property storage
+//!   (vertex values, edge weights),
+//! * [`TileStore`] / [`TileCache`] — out-of-core edge-set persistence
+//!   with an LRU tile cache ("a subgraph shard does not necessarily
+//!   need to fit in memory", §3).
+//!
+//! The crate is deliberately independent of any execution engine: it
+//! contains no threads and no channels, only memory layouts and their
+//! invariants, so it can be tested and property-tested in isolation.
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod bitmap;
+pub mod builder;
+pub mod csc;
+pub mod csr;
+pub mod edge;
+pub mod edge_set;
+pub mod props;
+pub mod stats;
+pub mod tile_store;
+pub mod types;
+
+pub use adjacency::Adjacency;
+pub use bitmap::{Bitmap, LaneMatrix};
+pub use builder::{BuildOptions, GraphBuilder, ReindexMode};
+pub use csc::Csc;
+pub use csr::Csr;
+pub use edge::{Edge, EdgeList};
+pub use edge_set::{ConsolidationPolicy, EdgeSet, EdgeSetGraph, EdgeSetLayout};
+pub use props::{EdgeProps, VertexProps};
+pub use stats::{DegreeStats, GraphStats};
+pub use tile_store::{TileCache, TileCacheStats, TileStore};
+pub use types::{LocalVertexId, VertexId, Weight, INVALID_VERTEX};

@@ -1,0 +1,231 @@
+//! Columnar property storage ("the graph property includes vertex
+//! values, and edge weights", §3).
+//!
+//! [`VertexProps`] is a dense value-per-vertex column used by iterative
+//! computations (PageRank ranks, SSSP distances). [`SparseLevelProps`]
+//! implements the paper's *dynamic resource allocation* (§3.3): during a
+//! traversal "we only need to keep vertex values for those in previous
+//! and current levels, instead of saving value per vertex during the
+//! entire query" — it stores two level maps and swaps them each hop.
+
+use crate::types::VertexId;
+use std::collections::HashMap;
+
+/// Dense per-vertex values of type `T`.
+#[derive(Clone, Debug)]
+pub struct VertexProps<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Default> VertexProps<T> {
+    /// Creates a column of `n` default values.
+    pub fn new(n: usize) -> Self {
+        Self { values: vec![T::default(); n] }
+    }
+
+    /// Creates a column of `n` copies of `init`.
+    pub fn filled(n: usize, init: T) -> Self {
+        Self { values: vec![init; n] }
+    }
+}
+
+impl<T> VertexProps<T> {
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> &T {
+        &self.values[v as usize]
+    }
+
+    /// Mutable value of vertex `v`.
+    #[inline]
+    pub fn get_mut(&mut self, v: VertexId) -> &mut T {
+        &mut self.values[v as usize]
+    }
+
+    /// Sets the value of vertex `v`.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, val: T) {
+        self.values[v as usize] = val;
+    }
+
+    /// The raw column.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The raw mutable column.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+}
+
+/// Per-edge values of type `T`, aligned with a CSR's edge order.
+#[derive(Clone, Debug)]
+pub struct EdgeProps<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Default> EdgeProps<T> {
+    /// Creates a column of `m` default values.
+    pub fn new(m: usize) -> Self {
+        Self { values: vec![T::default(); m] }
+    }
+}
+
+impl<T> EdgeProps<T> {
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of edge slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        &self.values[i]
+    }
+
+    /// Sets the value of edge slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, val: T) {
+        self.values[i] = val;
+    }
+}
+
+/// Two-level sparse vertex values: the previous and current traversal
+/// levels only (dynamic resource allocation, §3.3).
+///
+/// Memory is proportional to the frontier sizes, not to |V| — the
+/// mechanism that lets "a single instance" run hundreds of concurrent
+/// queries without exhausting memory.
+#[derive(Clone, Debug, Default)]
+pub struct SparseLevelProps<T> {
+    prev: HashMap<VertexId, T>,
+    cur: HashMap<VertexId, T>,
+}
+
+impl<T> SparseLevelProps<T> {
+    /// Creates empty level maps.
+    pub fn new() -> Self {
+        Self { prev: HashMap::new(), cur: HashMap::new() }
+    }
+
+    /// Records a value for `v` in the *current* level.
+    pub fn insert(&mut self, v: VertexId, val: T) {
+        self.cur.insert(v, val);
+    }
+
+    /// Looks `v` up in the current level, falling back to the previous.
+    pub fn get(&self, v: VertexId) -> Option<&T> {
+        self.cur.get(&v).or_else(|| self.prev.get(&v))
+    }
+
+    /// Value of `v` in the previous level only.
+    pub fn get_prev(&self, v: VertexId) -> Option<&T> {
+        self.prev.get(&v)
+    }
+
+    /// Ends the hop: current becomes previous, previous is dropped.
+    pub fn advance_level(&mut self) {
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        self.cur.clear();
+    }
+
+    /// Entries retained (prev + cur) — the live memory footprint.
+    pub fn live_entries(&self) -> usize {
+        self.prev.len() + self.cur.len()
+    }
+
+    /// Iterates the current level.
+    pub fn iter_current(&self) -> impl Iterator<Item = (&VertexId, &T)> {
+        self.cur.iter()
+    }
+
+    /// Drops everything (query finished).
+    pub fn clear(&mut self) {
+        self.prev.clear();
+        self.cur.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_props_roundtrip() {
+        let mut p: VertexProps<f64> = VertexProps::new(4);
+        p.set(2, 1.5);
+        assert_eq!(*p.get(2), 1.5);
+        assert_eq!(*p.get(0), 0.0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn vertex_props_filled() {
+        let p = VertexProps::filled(3, 7u32);
+        assert!(p.as_slice().iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn edge_props_roundtrip() {
+        let mut p: EdgeProps<u8> = EdgeProps::new(2);
+        p.set(1, 9);
+        assert_eq!(*p.get(1), 9);
+    }
+
+    #[test]
+    fn sparse_levels_drop_old_data() {
+        let mut s: SparseLevelProps<u32> = SparseLevelProps::new();
+        s.insert(1, 10);
+        s.advance_level(); // level 0 -> prev
+        s.insert(2, 20);
+        assert_eq!(s.get(1), Some(&10)); // prev still visible
+        assert_eq!(s.get(2), Some(&20));
+        s.advance_level(); // level 1 -> prev, level 0 dropped
+        assert_eq!(s.get(1), None, "two-level window must forget old levels");
+        assert_eq!(s.get(2), Some(&20));
+        assert_eq!(s.live_entries(), 1);
+    }
+
+    #[test]
+    fn sparse_current_shadows_prev() {
+        let mut s: SparseLevelProps<u32> = SparseLevelProps::new();
+        s.insert(5, 1);
+        s.advance_level();
+        s.insert(5, 2);
+        assert_eq!(s.get(5), Some(&2));
+        assert_eq!(s.get_prev(5), Some(&1));
+    }
+
+    #[test]
+    fn sparse_clear() {
+        let mut s: SparseLevelProps<u32> = SparseLevelProps::new();
+        s.insert(1, 1);
+        s.advance_level();
+        s.insert(2, 2);
+        s.clear();
+        assert_eq!(s.live_entries(), 0);
+        assert_eq!(s.get(1), None);
+    }
+}

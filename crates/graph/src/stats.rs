@@ -1,0 +1,129 @@
+//! Graph statistics: degree distributions and summary numbers used by
+//! Table 1 of the paper ("the response time highly depends on the
+//! average degree of root vertices", §4.2) and by the dataset recipes.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// Degree summary of a graph (out-degrees over a CSR view).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Median out-degree.
+    pub median: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Computes degree stats from a CSR.
+    pub fn from_csr(g: &Csr) -> Self {
+        let n = g.num_vertices() as usize;
+        if n == 0 {
+            return Self { min: 0, max: 0, mean: 0.0, median: 0, isolated: 0 };
+        }
+        let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+        degs.sort_unstable();
+        let isolated = degs.iter().take_while(|&&d| d == 0).count();
+        Self {
+            min: degs[0],
+            max: degs[n - 1],
+            mean: g.num_edges() as f64 / n as f64,
+            median: degs[n / 2],
+            isolated,
+        }
+    }
+}
+
+/// Top-level summary used by dataset tables.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: u64,
+    /// Edge count.
+    pub num_edges: usize,
+    /// Degree summary.
+    pub degrees: DegreeStats,
+}
+
+impl GraphStats {
+    /// Computes stats from a CSR.
+    pub fn from_csr(g: &Csr) -> Self {
+        Self {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            degrees: DegreeStats::from_csr(g),
+        }
+    }
+
+    /// Edge/vertex ratio — the invariant the paper's semi-synthetic
+    /// scaling preserves ("keeping the edge/vertex ratio of the
+    /// Friendster", §4.1).
+    pub fn edge_vertex_ratio(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+/// Out-degree histogram with power-of-two buckets: `hist[i]` counts
+/// vertices with degree in `[2^i, 2^(i+1))`; bucket 0 holds degree 0–1.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; 1];
+    for v in 0..g.num_vertices() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeList;
+
+    fn star(n: u64) -> Csr {
+        let l: EdgeList = (1..n).map(|t| (0u64, t)).collect();
+        Csr::from_edges(n, l.edges())
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = star(11);
+        let s = GraphStats::from_csr(&g);
+        assert_eq!(s.num_vertices, 11);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.degrees.max, 10);
+        assert_eq!(s.degrees.min, 0);
+        assert_eq!(s.degrees.isolated, 10); // all leaves have out-degree 0
+        assert!((s.edge_vertex_ratio() - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::from_edges(0, &[]);
+        let s = GraphStats::from_csr(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.edge_vertex_ratio(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = star(10); // one vertex of degree 9, nine of degree 0
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 9);
+        // degree 9 → bucket floor(log2(9)) = 3
+        assert_eq!(h[3], 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Fundamental identifier and scalar types shared across the workspace.
+//!
+//! The paper distinguishes *global* vertex IDs (assigned once at
+//! ingestion, after re-indexing) from *local* vertex IDs inside a
+//! partition or edge-set ("local vertex IDs calculated from global
+//! vertex ID and partition offset", §3.2). We mirror that split:
+//! globals are `u64` so that graphs beyond 4B vertices are expressible
+//! (the paper targets up to 100B edges), while locals are `u32` —
+//! a partition never holds more than 4B vertices, and halving the index
+//! width doubles the number of adjacency entries per cache line.
+
+/// Global vertex identifier, dense in `0..num_vertices` after ingestion.
+pub type VertexId = u64;
+
+/// Vertex identifier local to a partition or edge-set block.
+pub type LocalVertexId = u32;
+
+/// Edge weight ("property of edge e" in the paper's terminology).
+pub type Weight = f32;
+
+/// Sentinel for "no vertex" (e.g. unreached parent pointers).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Sentinel for "no local vertex".
+pub const INVALID_LOCAL: LocalVertexId = LocalVertexId::MAX;
+
+/// Identifier of a partition (one per simulated machine).
+pub type PartitionId = usize;
+
+/// Identifier of a query within a concurrent batch.
+pub type QueryId = usize;
+
+/// A half-open global vertex range `[start, end)`, the unit of
+/// range-based partitioning (§3.1) and of edge-set blocking (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VertexRange {
+    /// First vertex in the range.
+    pub start: VertexId,
+    /// One past the last vertex in the range.
+    pub end: VertexId,
+}
+
+impl VertexRange {
+    /// Creates a range; panics if `start > end`.
+    pub fn new(start: VertexId, end: VertexId) -> Self {
+        assert!(start <= end, "invalid vertex range {start}..{end}");
+        Self { start, end }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range covers no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `v` falls inside the range.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        v >= self.start && v < self.end
+    }
+
+    /// Converts a global vertex ID into a local offset within the
+    /// range. Panics (debug) if the vertex is out of range.
+    #[inline]
+    pub fn to_local(&self, v: VertexId) -> LocalVertexId {
+        debug_assert!(self.contains(v), "{v} not in {self:?}");
+        (v - self.start) as LocalVertexId
+    }
+
+    /// Converts a local offset back into a global vertex ID.
+    #[inline]
+    pub fn to_global(&self, l: LocalVertexId) -> VertexId {
+        self.start + l as VertexId
+    }
+
+    /// Iterates all global vertex IDs in the range.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> {
+        self.start..self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = VertexRange::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn range_local_global_roundtrip() {
+        let r = VertexRange::new(100, 200);
+        for v in [100u64, 150, 199] {
+            assert_eq!(r.to_global(r.to_local(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = VertexRange::new(5, 5);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        VertexRange::new(3, 2);
+    }
+
+    #[test]
+    fn range_iter_order() {
+        let r = VertexRange::new(2, 6);
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v, vec![2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Line-oriented parser for the query language.
+//!
+//! Grammar is deliberately flat (one statement per line, tokens split
+//! on whitespace, `--` comments); errors carry the line number and a
+//! human-readable reason.
+
+use crate::ast::Query;
+
+/// A parse failure with location info.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ParseError {
+    ParseError { line, reason: reason.into() }
+}
+
+fn want<T: std::str::FromStr>(
+    tok: Option<&&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    let tok = tok.ok_or_else(|| err(line, format!("missing {what}")))?;
+    tok.parse().map_err(|_| err(line, format!("invalid {what}: {tok:?}")))
+}
+
+/// Parses one statement (line numbers start at `line` for messages).
+pub fn parse_line(input: &str, line: usize) -> Result<Option<Query>, ParseError> {
+    let stripped = match input.find("--") {
+        Some(i) => &input[..i],
+        None => input,
+    };
+    let tokens: Vec<&str> = stripped.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Ok(None);
+    }
+    let mut it = tokens.iter();
+    let verb = it.next().unwrap().to_ascii_uppercase();
+    let q = match verb.as_str() {
+        "KHOP" => {
+            let source = want(it.next(), line, "source vertex")?;
+            let k = want(it.next(), line, "hop count k")?;
+            let list_levels = match it.next() {
+                None => 0,
+                Some(tok) if tok.eq_ignore_ascii_case("LIST") => {
+                    want(it.next(), line, "LIST count")?
+                }
+                Some(tok) => return Err(err(line, format!("unexpected token {tok:?}"))),
+            };
+            Query::Khop { source, k, list_levels }
+        }
+        "BFS" => Query::Bfs { source: want(it.next(), line, "source vertex")? },
+        "REACHABLE" => Query::Reachable {
+            source: want(it.next(), line, "source vertex")?,
+            target: want(it.next(), line, "target vertex")?,
+            k: want(it.next(), line, "hop count k")?,
+        },
+        "SSSP" => {
+            let source = want(it.next(), line, "source vertex")?;
+            let bound = match it.next() {
+                None => None,
+                Some(tok) => Some(
+                    tok.parse::<f32>()
+                        .map_err(|_| err(line, format!("invalid bound {tok:?}")))?,
+                ),
+            };
+            Query::Sssp { source, bound }
+        }
+        "PAGERANK" => Query::PageRank { iterations: want(it.next(), line, "iterations")? },
+        "COMPONENTS" => Query::Components,
+        "KCORE" => Query::KCore { k: want(it.next(), line, "coreness k")? },
+        "STATS" => Query::Stats,
+        other => return Err(err(line, format!("unknown command {other:?}"))),
+    };
+    if let Some(extra) = it.next() {
+        return Err(err(line, format!("trailing token {extra:?}")));
+    }
+    Ok(Some(q))
+}
+
+/// Parses one statement from a single line.
+///
+/// ```
+/// use cgraph_ql::{parse, Query};
+/// assert_eq!(parse("KHOP 5 3").unwrap(),
+///            Query::Khop { source: 5, k: 3, list_levels: 0 });
+/// assert!(parse("NONSENSE").is_err());
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    parse_line(input, 1)?.ok_or_else(|| err(1, "empty statement"))
+}
+
+/// Parses a multi-line program; blank lines and comments are skipped.
+pub fn parse_program(input: &str) -> Result<Vec<Query>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(q) = parse_line(line, i + 1)? {
+            out.push(q);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse("KHOP 5 3").unwrap(),
+            Query::Khop { source: 5, k: 3, list_levels: 0 }
+        );
+        assert_eq!(
+            parse("khop 5 3 list 4").unwrap(),
+            Query::Khop { source: 5, k: 3, list_levels: 4 }
+        );
+        assert_eq!(parse("BFS 9").unwrap(), Query::Bfs { source: 9 });
+        assert_eq!(
+            parse("REACHABLE 1 2 4").unwrap(),
+            Query::Reachable { source: 1, target: 2, k: 4 }
+        );
+        assert_eq!(parse("SSSP 0").unwrap(), Query::Sssp { source: 0, bound: None });
+        assert_eq!(
+            parse("SSSP 0 2.5").unwrap(),
+            Query::Sssp { source: 0, bound: Some(2.5) }
+        );
+        assert_eq!(parse("PAGERANK 10").unwrap(), Query::PageRank { iterations: 10 });
+        assert_eq!(parse("COMPONENTS").unwrap(), Query::Components);
+        assert_eq!(parse("KCORE 3").unwrap(), Query::KCore { k: 3 });
+        assert_eq!(parse("STATS").unwrap(), Query::Stats);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("FROBNICATE 1").is_err());
+        assert!(parse("KHOP").is_err());
+        assert!(parse("KHOP x 3").is_err());
+        assert!(parse("KHOP 1 2 3").is_err()); // trailing token
+        assert!(parse("BFS 1 2").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let program = "KHOP 1 2\nBOGUS\n";
+        let e = parse_program(program).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let program = "\n-- a comment\nKHOP 1 2 -- trailing comment\n\nSTATS\n";
+        let qs = parse_program(program).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0], Query::Khop { source: 1, k: 2, list_levels: 0 });
+        assert_eq!(qs[1], Query::Stats);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the query-language parser.
+
+use cgraph_ql::{parse, parse_program, Query};
+use proptest::prelude::*;
+
+/// Strategy producing a valid statement and its expected AST.
+fn valid_statement() -> impl Strategy<Value = (String, Query)> {
+    prop_oneof![
+        (0u64..10_000, 0u32..20).prop_map(|(s, k)| {
+            (format!("KHOP {s} {k}"), Query::Khop { source: s, k, list_levels: 0 })
+        }),
+        (0u64..10_000, 0u32..20, 1usize..8).prop_map(|(s, k, n)| {
+            (
+                format!("KHOP {s} {k} LIST {n}"),
+                Query::Khop { source: s, k, list_levels: n },
+            )
+        }),
+        (0u64..10_000).prop_map(|s| (format!("BFS {s}"), Query::Bfs { source: s })),
+        (0u64..10_000, 0u64..10_000, 0u32..20).prop_map(|(s, t, k)| {
+            (
+                format!("REACHABLE {s} {t} {k}"),
+                Query::Reachable { source: s, target: t, k },
+            )
+        }),
+        (0u64..10_000).prop_map(|s| (format!("SSSP {s}"), Query::Sssp { source: s, bound: None })),
+        (1u32..100).prop_map(|n| (format!("PAGERANK {n}"), Query::PageRank { iterations: n })),
+        Just(("COMPONENTS".to_string(), Query::Components)),
+        (0u32..50).prop_map(|k| (format!("KCORE {k}"), Query::KCore { k })),
+        Just(("STATS".to_string(), Query::Stats)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_statements_parse((text, expected) in valid_statement()) {
+        prop_assert_eq!(parse(&text).unwrap(), expected);
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive((text, expected) in valid_statement(),
+                                       pad in 0usize..4) {
+        let mangled = format!("{}{}{}", " ".repeat(pad), text.to_lowercase(), "\t".repeat(pad));
+        let parsed = parse(&mangled).unwrap();
+        prop_assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn trailing_comment_ignored((text, expected) in valid_statement(),
+                                comment in "[ -~]{0,30}") {
+        let with_comment = format!("{text} --{comment}");
+        let parsed = parse(&with_comment).unwrap();
+        prop_assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn programs_preserve_statement_order(stmts in prop::collection::vec(valid_statement(), 1..20)) {
+        let text: String = stmts.iter().map(|(t, _)| format!("{t}\n")).collect();
+        let parsed = parse_program(&text).unwrap();
+        prop_assert_eq!(parsed.len(), stmts.len());
+        for ((_, expected), got) in stmts.iter().zip(&parsed) {
+            prop_assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(junk in "[ -~]{0,60}") {
+        // Any printable input either parses or errors — no panics.
+        let _ = parse(&junk);
+        let _ = parse_program(&junk);
+    }
+
+    #[test]
+    fn unknown_verbs_rejected(verb in "[A-Z]{3,10}", arg in 0u64..100) {
+        prop_assume!(!matches!(
+            verb.as_str(),
+            "KHOP" | "BFS" | "REACHABLE" | "SSSP" | "PAGERANK" | "COMPONENTS" | "KCORE"
+                | "STATS"
+        ));
+        let stmt = format!("{verb} {arg}");
+        prop_assert!(parse(&stmt).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! SDN/QoS routing scenario (§1 of the paper).
+//!
+//! "In weighted graphs, such as those used in modeling software-
+//! defined-networks (SDNs), a path query must be subject to some
+//! distance constraints in order to meet quality-of-service latency
+//! requirements."
+//!
+//! This example models a 5000-switch network as a weighted small-world
+//! graph (link weight = latency in ms), then answers QoS questions
+//! with distance-bounded shortest paths: which switches are reachable
+//! from an ingress within a 10 ms latency budget?
+//!
+//! Run with: `cargo run --release --example sdn_routing`
+
+use cgraph::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Build the network: ring-lattice locality + random long links.
+    let topo = cgraph::gen::small_world(5_000, 4, 0.05, 4242);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    let mut edges = EdgeList::with_num_vertices(5_000);
+    for e in topo.edges() {
+        // Latency: local links 1-3 ms, rewired long-haul links 5-15 ms.
+        let ring_dist = (e.dst + 5_000 - e.src) % 5_000;
+        let latency = if ring_dist <= 4 {
+            rng.gen_range(1.0..3.0)
+        } else {
+            rng.gen_range(5.0..15.0)
+        };
+        edges.push(Edge::weighted(e.src, e.dst, latency));
+        edges.push(Edge::weighted(e.dst, e.src, latency)); // full duplex
+    }
+
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+
+    let ingress = 0u64;
+    println!("network: 5000 switches, {} directed links", edges.len());
+
+    // Exact latency map from the ingress (partition-centric SSSP).
+    let dist = sssp(&engine, ingress);
+    let reachable = dist.iter().filter(|d| d.is_finite()).count();
+    let max_lat = dist.iter().filter(|d| d.is_finite()).fold(0.0f32, |a, &b| a.max(b));
+    println!(
+        "from switch {ingress}: {reachable} switches reachable, worst-case latency {max_lat:.1} ms"
+    );
+
+    // QoS-constrained queries: latency budgets of 5/10/20 ms. The
+    // bounded traversal never expands past the budget (the paper's
+    // "distance constraints" on path queries).
+    for budget in [5.0f32, 10.0, 20.0] {
+        let within = sssp_within(&engine, ingress, budget);
+        let n = within.iter().filter(|d| d.is_finite()).count();
+        println!(
+            "  ≤ {budget:>4.0} ms budget: {n:>4} switches \
+             ({:.1}% of network)",
+            100.0 * n as f64 / 5_000.0
+        );
+    }
+
+    // Unweighted k-hop is the hop-budget analogue used for fast
+    // feasibility pre-checks (is the target within 3 switch hops?).
+    let hops3 = khop_count(&engine, ingress, 3);
+    println!("\nfeasibility pre-check: {hops3} switches within 3 hops of ingress");
+
+    // Consistency: every switch within the 5 ms budget must also be
+    // within the 20 ms budget.
+    let within5 = sssp_within(&engine, ingress, 5.0);
+    let within20 = sssp_within(&engine, ingress, 20.0);
+    let consistent = within5
+        .iter()
+        .zip(&within20)
+        .all(|(a, b)| !a.is_finite() || (b.is_finite() && b <= a));
+    assert!(consistent, "budget monotonicity violated");
+    println!("budget monotonicity check passed");
+}

@@ -1,0 +1,122 @@
+//! Semantics of concurrency: a wave of queries must return exactly
+//! what the same queries return in isolation, regardless of batch
+//! packing, lane order, machine count, or which execution path serves
+//! them — the correctness contract underneath every performance claim
+//! in the paper.
+
+use cgraph::prelude::*;
+use cgraph::ql::{parse_program, Session};
+
+fn social_graph(seed: u64) -> EdgeList {
+    let raw = cgraph::gen::graph500(10, 8, seed);
+    let mut b = GraphBuilder::new();
+    b.add_edge_list(&raw);
+    b.build().edges
+}
+
+#[test]
+fn wave_results_independent_of_submission_order() {
+    let edges = social_graph(61);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+    let scheduler = QueryScheduler::new(&engine, SchedulerConfig::default());
+
+    let forward: Vec<KhopQuery> =
+        (0..90).map(|i| KhopQuery::single(i, (i as u64 * 17) % 1024, 3)).collect();
+    let mut backward = forward.clone();
+    backward.reverse();
+
+    let rf = scheduler.execute(&forward);
+    let mut rb = scheduler.execute(&backward);
+    rb.sort_by_key(|r| r.id);
+    for (a, b) in rf.iter().zip(&rb) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.visited, b.visited, "query {}", a.id);
+        assert_eq!(a.per_level, b.per_level, "query {}", a.id);
+    }
+}
+
+#[test]
+fn mixed_k_wave_matches_isolated_runs() {
+    let edges = social_graph(62);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
+    let scheduler = QueryScheduler::new(&engine, SchedulerConfig::default());
+    // Mixed hop budgets in one wave, including full BFS lanes.
+    let queries: Vec<KhopQuery> = (0..48)
+        .map(|i| {
+            let k = match i % 4 {
+                0 => 1,
+                1 => 2,
+                2 => 3,
+                _ => u32::MAX,
+            };
+            KhopQuery::single(i, (i as u64 * 31) % 1024, k)
+        })
+        .collect();
+    let wave = scheduler.execute(&queries);
+    for q in queries.iter().step_by(7) {
+        let solo = scheduler.execute(std::slice::from_ref(q));
+        let in_wave = wave.iter().find(|r| r.id == q.id).unwrap();
+        assert_eq!(in_wave.visited, solo[0].visited, "query {}", q.id);
+    }
+}
+
+#[test]
+fn ql_wave_matches_library_calls() {
+    let edges = social_graph(63);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+    let session = Session::new(&engine);
+    let program = "
+        KHOP 5 2
+        KHOP 10 3
+        BFS 7
+        COMPONENTS
+    ";
+    let answers = session.execute_batch(parse_program(program).unwrap());
+    assert_eq!(
+        answers[0].output.to_string(),
+        format!("{} vertices reachable", khop_count(&engine, 5, 2))
+    );
+    assert_eq!(
+        answers[1].output.to_string(),
+        format!("{} vertices reachable", khop_count(&engine, 10, 3))
+    );
+    assert_eq!(
+        answers[2].output.to_string(),
+        format!("{} vertices reachable", bfs_count(&engine, 7))
+    );
+    let labels = weakly_connected_components(&engine);
+    let mut uniq = labels;
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(answers[3].output.to_string(), uniq.len().to_string());
+}
+
+#[test]
+fn repeated_waves_are_deterministic_in_results() {
+    let edges = social_graph(64);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(4));
+    let scheduler = QueryScheduler::new(&engine, SchedulerConfig::default());
+    let queries: Vec<KhopQuery> =
+        (0..70).map(|i| KhopQuery::single(i, (i as u64 * 11) % 1024, 3)).collect();
+    let a = scheduler.execute(&queries);
+    let b = scheduler.execute(&queries);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.visited, y.visited);
+        assert_eq!(x.per_level, y.per_level);
+    }
+}
+
+#[test]
+fn engine_paths_agree_under_concurrent_reuse() {
+    // One engine serving traversal batches, GAS and PCM programs in
+    // sequence must keep returning consistent answers (no state leaks
+    // between runs — each run builds fresh per-machine state).
+    let edges = social_graph(65);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+    let before = khop_count(&engine, 3, 3);
+    let _ranks = pagerank(&engine, 5);
+    let _labels = weakly_connected_components(&engine);
+    let _core = kcore_decomposition(&engine);
+    let after = khop_count(&engine, 3, 3);
+    assert_eq!(before, after, "engine state must not leak across runs");
+}

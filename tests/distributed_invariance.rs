@@ -1,0 +1,101 @@
+//! Results must be invariant to deployment choices: machine count,
+//! edge-set tiling policy, partitioning strategy and update mode are
+//! performance knobs, never semantics.
+
+use cgraph::prelude::*;
+use cgraph_graph::ConsolidationPolicy;
+
+fn test_graph(seed: u64) -> EdgeList {
+    let raw = cgraph::gen::graph500(9, 8, seed);
+    let mut b = GraphBuilder::new();
+    b.add_edge_list(&raw);
+    b.build().edges
+}
+
+#[test]
+fn machine_count_invariance_khop() {
+    let edges = test_graph(41);
+    let reference: Vec<u64> = {
+        let e = DistributedEngine::new(&edges, EngineConfig::new(1));
+        (0..40u64).map(|src| khop_count(&e, src * 7 % edges.num_vertices(), 3)).collect()
+    };
+    for p in [2usize, 3, 5, 9] {
+        let e = DistributedEngine::new(&edges, EngineConfig::new(p));
+        for (i, &expect) in reference.iter().enumerate() {
+            let src = (i as u64) * 7 % edges.num_vertices();
+            assert_eq!(khop_count(&e, src, 3), expect, "p={p}, src={src}");
+        }
+    }
+}
+
+#[test]
+fn edge_set_policy_invariance() {
+    let edges = test_graph(42);
+    let policies = [
+        ConsolidationPolicy::default(),
+        ConsolidationPolicy::flat(),
+        ConsolidationPolicy::grid(1 << 10),
+        ConsolidationPolicy {
+            target_edges_per_set: 1 << 10,
+            min_edges_per_set: 1 << 8,
+            horizontal: true,
+            vertical: false,
+        },
+    ];
+    let mut reference: Option<Vec<u64>> = None;
+    for policy in policies {
+        let e = DistributedEngine::new(
+            &edges,
+            EngineConfig::new(3).with_edge_set_policy(policy),
+        );
+        let counts: Vec<u64> =
+            (0..20u64).map(|src| khop_count(&e, src * 11 % edges.num_vertices(), 3)).collect();
+        match &reference {
+            None => reference = Some(counts),
+            Some(r) => assert_eq!(&counts, r, "policy {policy:?}"),
+        }
+    }
+}
+
+#[test]
+fn pagerank_invariant_to_machines_and_policy() {
+    let edges = test_graph(43);
+    let r1 = pagerank(&DistributedEngine::new(&edges, EngineConfig::new(1)), 8);
+    let r9 = pagerank(
+        &DistributedEngine::new(
+            &edges,
+            EngineConfig::new(9).with_edge_set_policy(ConsolidationPolicy::flat()),
+        ),
+        8,
+    );
+    for (a, b) in r1.iter().zip(&r9) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn sssp_invariant_to_update_mode_semantics() {
+    // Sync SSSP via PCM; compare against 1-machine run.
+    let edges = test_graph(44);
+    let d1 = sssp(&DistributedEngine::new(&edges, EngineConfig::new(1)), 5);
+    let d4 = sssp(&DistributedEngine::new(&edges, EngineConfig::new(4)), 5);
+    assert_eq!(d1, d4);
+}
+
+#[test]
+fn wcc_invariant_to_machines() {
+    let edges = test_graph(45);
+    let l1 =
+        weakly_connected_components(&DistributedEngine::new(&edges, EngineConfig::new(1)));
+    let l5 =
+        weakly_connected_components(&DistributedEngine::new(&edges, EngineConfig::new(5)));
+    assert_eq!(l1, l5);
+}
+
+#[test]
+fn hop_plot_invariant_to_machines() {
+    let edges = test_graph(46);
+    let hp2 = hop_plot(&DistributedEngine::new(&edges, EngineConfig::new(2)), 16, 9);
+    let hp4 = hop_plot(&DistributedEngine::new(&edges, EngineConfig::new(4)), 16, 9);
+    assert_eq!(hp2.pairs_within, hp4.pairs_within);
+}

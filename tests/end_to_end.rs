@@ -1,0 +1,110 @@
+//! End-to-end pipeline test: generate → ingest → partition → engine →
+//! concurrent queries → validate against an independent reference BFS.
+
+use cgraph::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference sequential k-hop over a CSR (independent of all engine
+/// code paths).
+fn reference_khop(csr: &Csr, source: VertexId, k: u32) -> u64 {
+    let n = csr.num_vertices() as usize;
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[source as usize] = true;
+    q.push_back((source, 0u32));
+    let mut count = 1u64;
+    while let Some((v, d)) = q.pop_front() {
+        if d >= k {
+            continue;
+        }
+        for &t in csr.neighbors(v) {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                count += 1;
+                q.push_back((t, d + 1));
+            }
+        }
+    }
+    count
+}
+
+fn test_graph(seed: u64) -> EdgeList {
+    let raw = cgraph::gen::graph500(10, 10, seed);
+    let mut b = GraphBuilder::new();
+    b.add_edge_list(&raw);
+    b.build().edges
+}
+
+#[test]
+fn concurrent_queries_match_reference() {
+    let edges = test_graph(11);
+    let csr = Csr::from_edges(edges.num_vertices(), edges.edges());
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+    let queries: Vec<KhopQuery> = (0..100)
+        .map(|i| KhopQuery::single(i, (i as u64 * 13) % edges.num_vertices(), 3))
+        .collect();
+    let results = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
+    for (i, r) in results.iter().enumerate() {
+        let expect = reference_khop(&csr, (i as u64 * 13) % edges.num_vertices(), 3);
+        assert_eq!(r.visited, expect, "query {i}");
+    }
+}
+
+#[test]
+fn per_level_counts_sum_to_visited() {
+    let edges = test_graph(12);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
+    let queries: Vec<KhopQuery> =
+        (0..32).map(|i| KhopQuery::single(i, i as u64 * 3, 4)).collect();
+    let results = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
+    for r in &results {
+        assert_eq!(r.per_level.iter().sum::<u64>(), r.visited, "query {}", r.id);
+        assert!(r.depth() <= 4);
+    }
+}
+
+#[test]
+fn full_bfs_equals_unbounded_khop() {
+    let edges = test_graph(13);
+    let csr = Csr::from_edges(edges.num_vertices(), edges.edges());
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+    for src in [0u64, 17, 200] {
+        assert_eq!(bfs_count(&engine, src), reference_khop(&csr, src, u32::MAX));
+    }
+}
+
+#[test]
+fn reingested_graph_preserves_query_results() {
+    // Write to disk, read back, rebuild engine: results identical.
+    let edges = test_graph(14);
+    let path = std::env::temp_dir().join(format!("cgraph-e2e-{}.cg", std::process::id()));
+    cgraph::gen::io::write_binary(&path, &edges).unwrap();
+    let reread = cgraph::gen::io::read_binary(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let e1 = DistributedEngine::new(&edges, EngineConfig::new(2));
+    let e2 = DistributedEngine::new(&reread, EngineConfig::new(2));
+    for src in [1u64, 99] {
+        assert_eq!(khop_count(&e1, src, 3), khop_count(&e2, src, 3));
+    }
+}
+
+#[test]
+fn analytics_stack_runs_on_one_engine() {
+    // One engine instance serves traversals, GAS and PCM programs.
+    let edges = test_graph(15);
+    let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+
+    let ranks = pagerank(&engine, 5);
+    assert_eq!(ranks.len(), edges.num_vertices() as usize);
+    assert!(ranks.iter().all(|r| *r >= 0.15 - 1e-9));
+
+    let labels = weakly_connected_components(&engine);
+    assert_eq!(labels.len(), edges.num_vertices() as usize);
+
+    let d = sssp(&engine, 0);
+    assert_eq!(d[0], 0.0);
+
+    let hp = hop_plot(&engine, 16, 3);
+    assert!(hp.diameter() >= 1);
+}

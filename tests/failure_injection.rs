@@ -1,0 +1,124 @@
+//! Failure-injection and robustness tests: what happens when a
+//! machine panics, when inputs are degenerate, and when the system is
+//! pushed past its sizing assumptions.
+
+use cgraph::prelude::*;
+use cgraph_comm::Cluster;
+
+#[test]
+fn machine_panic_propagates_not_hangs() {
+    // A panicking machine must surface as a panic in the driver, not a
+    // deadlock (the other machine never reaches a barrier here).
+    let result = std::panic::catch_unwind(|| {
+        let cluster = Cluster::new(2);
+        cluster.run::<(), (), _>(|h| {
+            if h.id() == 0 {
+                panic!("injected fault");
+            }
+            // Machine 1 does independent work and returns.
+        });
+    });
+    assert!(result.is_err(), "driver must observe the machine panic");
+}
+
+#[test]
+fn empty_graph_queries_are_safe() {
+    let mut g = EdgeList::new();
+    g.set_num_vertices(4); // vertices but no edges
+    let e = DistributedEngine::new(&g, EngineConfig::new(2));
+    assert_eq!(khop_count(&e, 0, 3), 1, "isolated source reaches only itself");
+    let r = QueryScheduler::new(&e, SchedulerConfig::default())
+        .execute(&[KhopQuery::single(0, 2, 5)]);
+    assert_eq!(r[0].visited, 1);
+    assert_eq!(r[0].per_level, vec![1]);
+}
+
+#[test]
+fn single_vertex_graph() {
+    let mut g = EdgeList::new();
+    g.set_num_vertices(1);
+    let e = DistributedEngine::new(&g, EngineConfig::new(1));
+    assert_eq!(bfs_count(&e, 0), 1);
+    let ranks = pagerank(&e, 3);
+    assert_eq!(ranks.len(), 1);
+}
+
+#[test]
+fn more_machines_than_vertices() {
+    let g: EdgeList = [(0u64, 1u64), (1, 2)].into_iter().collect();
+    // 8 machines, 3 vertices: most shards are empty ranges.
+    let e = DistributedEngine::new(&g, EngineConfig::new(8));
+    assert_eq!(bfs_count(&e, 0), 3);
+    assert_eq!(khop_count(&e, 0, 1), 2);
+    let labels = weakly_connected_components(&e);
+    assert!(labels.iter().all(|&l| l == 0));
+}
+
+#[test]
+fn self_loop_heavy_input_survives_ingestion() {
+    let mut b = GraphBuilder::new();
+    for v in 0..50u64 {
+        b.add_pair(v, v); // all self loops
+        b.add_pair(v, (v + 1) % 50);
+    }
+    let g = b.build().edges; // loops dropped
+    assert_eq!(g.len(), 50);
+    let e = DistributedEngine::new(&g, EngineConfig::new(3));
+    assert_eq!(bfs_count(&e, 0), 50);
+}
+
+#[test]
+fn zero_hop_batch_touches_nothing() {
+    let g: EdgeList = (0..64u64).map(|v| (v, (v + 1) % 64)).collect();
+    let e = DistributedEngine::new(&g, EngineConfig::new(2));
+    let sources: Vec<u64> = (0..64).collect();
+    let ks = vec![0u32; 64];
+    let r = e.run_traversal_batch(&sources, &ks);
+    assert!(r.per_lane_visited.iter().all(|&v| v == 1), "{:?}", r.per_lane_visited);
+}
+
+#[test]
+fn duplicate_sources_in_one_batch() {
+    // The same source in multiple lanes must produce identical,
+    // independent results (lanes never bleed into each other).
+    let g: EdgeList = (0..32u64).map(|v| (v, (v + 1) % 32)).collect();
+    let e = DistributedEngine::new(&g, EngineConfig::new(2));
+    let sources = vec![5u64; 10];
+    let ks: Vec<u32> = (1..=10).collect();
+    let r = e.run_traversal_batch(&sources, &ks);
+    for (lane, &k) in ks.iter().enumerate() {
+        assert_eq!(r.per_lane_visited[lane], k as u64 + 1, "lane {lane}");
+    }
+}
+
+#[test]
+fn memory_budget_of_zero_still_makes_progress() {
+    let g: EdgeList = (0..100u64).map(|v| (v, (v + 1) % 100)).collect();
+    let e = DistributedEngine::new(&g, EngineConfig::new(2));
+    let s = QueryScheduler::new(
+        &e,
+        SchedulerConfig { memory_budget_bytes: Some(0), ..Default::default() },
+    );
+    assert_eq!(s.effective_lanes(), 1, "degrades to serial, never to zero");
+    let r = s.execute(&[KhopQuery::single(0, 0, 3)]);
+    assert_eq!(r[0].visited, 4);
+}
+
+#[test]
+fn titan_empty_db_queries() {
+    let db = cgraph::baselines::TitanDb::new();
+    db.insert_edge(Edge::unweighted(0, 1));
+    assert_eq!(db.khop(0, 5, "knows").visited, 2);
+    assert_eq!(db.khop(7, 5, "knows").visited, 1, "unknown vertex is its own world");
+}
+
+#[test]
+fn async_mode_on_disconnected_graph_terminates() {
+    // Quiescence detection must fire even when a query dies instantly
+    // on an isolated source.
+    let mut g: EdgeList = [(0u64, 1u64)].into_iter().collect();
+    g.set_num_vertices(10);
+    let e = DistributedEngine::new(&g, EngineConfig::new(3).asynchronous());
+    let r = e.run_single_queue(&[7], 5, cgraph::core::traverse::ValueMode::TwoLevel);
+    assert_eq!(r.visited, 1);
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the core invariants, driven by random
+//! graphs and query parameters.
+
+use cgraph::prelude::*;
+use cgraph_core::RangePartition;
+use cgraph_graph::{Bitmap, ConsolidationPolicy, EdgeSetGraph};
+use cgraph_graph::types::VertexRange;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Strategy: a random directed graph as (num_vertices, edge pairs).
+fn graph_strategy(max_v: u64, max_e: usize) -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
+    (2..max_v).prop_flat_map(move |n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..max_e);
+        (Just(n), edges)
+    })
+}
+
+fn build_list(n: u64, pairs: &[(u64, u64)]) -> EdgeList {
+    let mut l = EdgeList::with_num_vertices(n);
+    for &(s, t) in pairs {
+        if s != t {
+            l.push_pair(s, t);
+        }
+    }
+    l.set_num_vertices(n);
+    let mut b = GraphBuilder::new();
+    b.add_edge_list(&l);
+    b.build().edges
+}
+
+fn reference_khop(csr: &Csr, source: VertexId, k: u32) -> u64 {
+    let mut seen = vec![false; csr.num_vertices() as usize];
+    let mut q = VecDeque::new();
+    seen[source as usize] = true;
+    q.push_back((source, 0u32));
+    let mut count = 1u64;
+    while let Some((v, d)) = q.pop_front() {
+        if d >= k {
+            continue;
+        }
+        for &t in csr.neighbors(v) {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                count += 1;
+                q.push_back((t, d + 1));
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_khop_matches_reference((n, pairs) in graph_strategy(120, 400),
+                                     src_pick in 0u64..120,
+                                     k in 0u32..6,
+                                     machines in 1usize..5) {
+        let edges = build_list(n, &pairs);
+        let src = src_pick % n;
+        let csr = Csr::from_edges(edges.num_vertices(), edges.edges());
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(machines));
+        let expect = reference_khop(&csr, src, k);
+        prop_assert_eq!(khop_count(&engine, src, k), expect);
+    }
+
+    #[test]
+    fn khop_is_monotone_in_k((n, pairs) in graph_strategy(80, 300), src_pick in 0u64..80) {
+        let edges = build_list(n, &pairs);
+        let src = src_pick % n;
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
+        let mut prev = 0u64;
+        for k in 0..5u32 {
+            let c = khop_count(&engine, src, k);
+            prop_assert!(c >= prev, "k-hop set must grow with k");
+            prev = c;
+        }
+        // ... and bounded by the vertex count.
+        prop_assert!(prev <= n);
+    }
+
+    #[test]
+    fn partition_covers_and_balances((n, pairs) in graph_strategy(200, 500),
+                                     p in 1usize..10) {
+        let edges = build_list(n, &pairs);
+        let part = RangePartition::from_edges(edges.num_vertices(), edges.edges(), p);
+        // Full disjoint coverage.
+        let covered: u64 = part.ranges().iter().map(|r| r.len()).sum();
+        prop_assert_eq!(covered, edges.num_vertices());
+        for v in 0..edges.num_vertices() {
+            let o = part.owner(v);
+            prop_assert!(part.range(o).contains(v));
+        }
+    }
+
+    #[test]
+    fn edge_set_blocking_is_lossless((n, pairs) in graph_strategy(100, 400),
+                                     target in 1usize..64) {
+        let edges = build_list(n, &pairs);
+        let span = VertexRange::new(0, edges.num_vertices());
+        let blocked = EdgeSetGraph::build(
+            edges.edges(), span, span, ConsolidationPolicy::grid(target));
+        let flat = EdgeSetGraph::flat(edges.edges(), span, span);
+        for v in 0..edges.num_vertices() {
+            prop_assert_eq!(blocked.out_neighbors(v), flat.out_neighbors(v));
+        }
+        let total: usize = blocked.sets().iter().map(|s| s.num_edges()).sum();
+        prop_assert_eq!(total, edges.len());
+    }
+
+    #[test]
+    fn bitmap_behaves_like_hashset(ops in prop::collection::vec((0usize..300, any::<bool>()), 1..200)) {
+        let mut bm = Bitmap::new(300);
+        let mut set = std::collections::HashSet::new();
+        for (i, insert) in ops {
+            if insert {
+                bm.set(i);
+                set.insert(i);
+            } else {
+                bm.clear(i);
+                set.remove(&i);
+            }
+        }
+        prop_assert_eq!(bm.count_ones(), set.len());
+        let from_bm: std::collections::HashSet<usize> = bm.iter_ones().collect();
+        prop_assert_eq!(from_bm, set);
+    }
+
+    #[test]
+    fn sssp_respects_edge_relaxation((n, pairs) in graph_strategy(60, 200)) {
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
+        let dist = sssp(&engine, 0);
+        // Relaxed fixed point: no edge can improve any distance.
+        for e in edges.edges() {
+            let ds = dist[e.src as usize];
+            let dt = dist[e.dst as usize];
+            if ds.is_finite() {
+                prop_assert!(dt <= ds + e.weight + 1e-4,
+                    "edge {}->{} violates triangle inequality", e.src, e.dst);
+            }
+        }
+        prop_assert_eq!(dist[0], 0.0);
+    }
+
+    #[test]
+    fn wcc_labels_are_consistent_with_edges((n, pairs) in graph_strategy(80, 250)) {
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
+        let labels = weakly_connected_components(&engine);
+        // Endpoint of every edge shares a label.
+        for e in edges.edges() {
+            prop_assert_eq!(labels[e.src as usize], labels[e.dst as usize]);
+        }
+        // Labels are canonical: the label is the min vertex of its class.
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l <= v as u64);
+            prop_assert_eq!(labels[l as usize], l);
+        }
+    }
+
+    #[test]
+    fn scheduler_preserves_query_identity((n, pairs) in graph_strategy(100, 300),
+                                          count in 1usize..80) {
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
+        let queries: Vec<KhopQuery> = (0..count)
+            .map(|i| KhopQuery::single(i * 3, (i as u64 * 7) % n, 2))
+            .collect();
+        let results = QueryScheduler::new(&engine, SchedulerConfig::default())
+            .execute(&queries);
+        prop_assert_eq!(results.len(), count);
+        for (q, r) in queries.iter().zip(&results) {
+            prop_assert_eq!(r.id, q.id);
+            prop_assert_eq!(r.visited, khop_count(&engine, q.sources[0], q.k));
+        }
+    }
+}
