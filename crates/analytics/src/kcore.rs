@@ -211,8 +211,7 @@ mod tests {
     #[test]
     fn triangle_plus_tail() {
         // Triangle 0-1-2 (core 2) with a tail 2-3 (vertex 3: core 1).
-        let g: EdgeList =
-            [(0u64, 1u64), (1, 2), (2, 0), (2, 3)].into_iter().collect();
+        let g: EdgeList = [(0u64, 1u64), (1, 2), (2, 0), (2, 3)].into_iter().collect();
         let e = DistributedEngine::new(&g, EngineConfig::new(2));
         let core = kcore_decomposition(&e);
         assert_eq!(core, vec![2, 2, 2, 1]);

@@ -38,8 +38,8 @@ pub mod wcc;
 
 pub use bfs::{bfs_count, bfs_levels};
 pub use closeness::{closeness_of, top_closeness, Closeness};
-pub use kcore::kcore_decomposition;
 pub use hopplot::{hop_plot, HopPlot};
+pub use kcore::kcore_decomposition;
 pub use khop::{khop_count, khop_counts_batch};
 pub use pagerank::{pagerank, pagerank_converged};
 pub use sssp::{sssp, sssp_within};

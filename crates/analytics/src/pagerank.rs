@@ -24,8 +24,7 @@ pub fn pagerank_converged(
     let mut iters = 1;
     while iters < max_iterations {
         let next = engine.run_gas(&PageRank::default(), iters + 1).values;
-        let delta: f64 =
-            prev.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = prev.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         prev = next;
         iters += 1;
         if delta < epsilon {

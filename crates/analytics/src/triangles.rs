@@ -79,10 +79,7 @@ pub fn count_triangles_khop(edges: &EdgeList) -> u64 {
             // A triangle through u = a vertex that is both a 1-hop
             // neighbour of u and a 1-hop neighbour of one of u's
             // neighbours (i.e. in u's 2-hop set via that neighbour).
-            one_hop
-                .iter()
-                .map(|&v| intersection_count(one_hop, csr.neighbors(v)))
-                .sum::<u64>()
+            one_hop.iter().map(|&v| intersection_count(one_hop, csr.neighbors(v))).sum::<u64>()
         })
         .sum();
     // Each triangle was counted 6 times (3 apex choices × 2 neighbour
@@ -127,8 +124,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_reverse_edges_do_not_inflate() {
-        let g: EdgeList =
-            [(0u64, 1u64), (1, 0), (1, 2), (2, 0), (0, 2)].into_iter().collect();
+        let g: EdgeList = [(0u64, 1u64), (1, 0), (1, 2), (2, 0), (0, 2)].into_iter().collect();
         assert_eq!(count_triangles(&g), 1);
     }
 }

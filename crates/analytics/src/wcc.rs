@@ -74,11 +74,8 @@ impl PartitionProgram for WccProgram {
 /// Component label per vertex (the minimum vertex ID in each weakly
 /// connected component).
 pub fn weakly_connected_components(engine: &DistributedEngine) -> Vec<u64> {
-    let outs = engine.run_program(|_| WccProgram {
-        label: Vec::new(),
-        base: 0,
-        frontier: Vec::new(),
-    });
+    let outs =
+        engine.run_program(|_| WccProgram { label: Vec::new(), base: 0, frontier: Vec::new() });
     let mut labels = vec![0u64; engine.num_vertices() as usize];
     for (i, local) in outs.into_iter().enumerate() {
         let range = engine.partition().range(i);
@@ -133,10 +130,8 @@ mod tests {
         let mut b = cgraph_graph::GraphBuilder::new();
         b.add_edge_list(&g);
         let g = b.build().edges;
-        let l1 =
-            weakly_connected_components(&DistributedEngine::new(&g, EngineConfig::new(1)));
-        let l4 =
-            weakly_connected_components(&DistributedEngine::new(&g, EngineConfig::new(4)));
+        let l1 = weakly_connected_components(&DistributedEngine::new(&g, EngineConfig::new(1)));
+        let l4 = weakly_connected_components(&DistributedEngine::new(&g, EngineConfig::new(4)));
         assert_eq!(l1, l4);
     }
 }

@@ -64,9 +64,11 @@ impl GeminiEngine {
             let next: Vec<VertexId> = frontier
                 .par_iter()
                 .flat_map_iter(|&v| {
-                    self.csr.neighbors(v).iter().copied().filter(|&t| {
-                        visited[t as usize].swap(1, Ordering::Relaxed) == 0
-                    })
+                    self.csr
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&t| visited[t as usize].swap(1, Ordering::Relaxed) == 0)
                 })
                 .collect();
             total += next.len() as u64;

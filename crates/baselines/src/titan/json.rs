@@ -1,0 +1,230 @@
+//! A tiny in-tree JSON codec for the record payloads.
+//!
+//! The Titan baseline deliberately pays a serialize-on-write /
+//! parse-on-read cost per record, like a KV-backed property store.
+//! The build environment has no registry access, so instead of
+//! `serde_json` this module hand-rolls the small subset the store
+//! needs: flat objects whose values are strings or numbers. The
+//! parser does real work per read (byte scanning, escape handling,
+//! number parsing), keeping the modeled decode cost honest.
+
+use std::collections::BTreeMap;
+
+/// A decoded JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// Any JSON number (stored as f64, as in JavaScript).
+    Num(f64),
+}
+
+impl Value {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Str(_) => None,
+            Value::Num(n) => Some(*n),
+        }
+    }
+}
+
+/// Serializes a flat object (`&[(key, value)]`) to JSON bytes.
+pub fn encode_object(fields: &[(&str, Value)]) -> Vec<u8> {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_string(&mut out, k);
+        out.push(':');
+        match v {
+            Value::Str(s) => encode_string(&mut out, s),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+        }
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+fn encode_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a flat JSON object with string/number values.
+/// Returns `None` on any syntax error (corrupt payload).
+pub fn decode_object(bytes: &[u8]) -> Option<BTreeMap<String, Value>> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut p = Parser { chars: text.char_indices().peekable(), text };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.next();
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let val = p.parse_value()?;
+            map.insert(key, val);
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return None,
+            }
+        }
+    }
+    p.skip_ws();
+    if p.peek().is_some() {
+        return None; // trailing garbage
+    }
+    Some(map)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Option<()> {
+        (self.next() == Some(want)).then_some(())
+    }
+
+    fn parse_value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            '"' => Some(Value::Str(self.parse_string()?)),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                '"' => return Some(out),
+                '\\' => match self.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + self.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<Value> {
+        let start = self.chars.peek()?.0;
+        let mut end = start;
+        while matches!(self.peek(), Some('0'..='9' | '-' | '+' | '.' | 'e' | 'E')) {
+            let (i, c) = self.chars.next()?;
+            end = i + c.len_utf8();
+        }
+        self.text[start..end].parse().ok().map(Value::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_flat_object() {
+        let bytes = encode_object(&[
+            ("label", Value::Str("knows".into())),
+            ("weight", Value::Num(2.5)),
+            ("created_at", Value::Num(1_500_000_123.0)),
+        ]);
+        assert_eq!(
+            std::str::from_utf8(&bytes).unwrap(),
+            r#"{"label":"knows","weight":2.5,"created_at":1500000123}"#
+        );
+        let obj = decode_object(&bytes).unwrap();
+        assert_eq!(obj["label"], Value::Str("knows".into()));
+        assert_eq!(obj["weight"], Value::Num(2.5));
+        assert_eq!(obj["created_at"].as_f64(), Some(1_500_000_123.0));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let tricky = "a\"b\\c\nd\te\u{1}";
+        let bytes = encode_object(&[("s", Value::Str(tricky.into()))]);
+        let obj = decode_object(&bytes).unwrap();
+        assert_eq!(obj["s"].as_str(), Some(tricky));
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(decode_object(b"").is_none());
+        assert!(decode_object(b"{").is_none());
+        assert!(decode_object(b"{\"a\":}").is_none());
+        assert!(decode_object(b"{\"a\":1} x").is_none());
+        assert!(decode_object(&[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let obj = decode_object(b" { \"a\" : 1 , \"b\" : \"x\" } ").unwrap();
+        assert_eq!(obj["a"], Value::Num(1.0));
+        assert_eq!(obj["b"].as_str(), Some("x"));
+    }
+}

@@ -14,6 +14,7 @@
 //!   concurrent queries (Titan's one strength — it *does* accept
 //!   concurrent load, it is just slow per query).
 
+pub mod json;
 pub mod server;
 pub mod store;
 pub mod traversal;

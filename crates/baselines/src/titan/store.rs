@@ -8,14 +8,14 @@
 //! as JSON bytes decoded per read, and adjacency is a `BTreeMap` from
 //! vertex to its sorted edge-ID list.
 
+use super::json::{self, Value};
 use cgraph_graph::{Edge, EdgeList, VertexId};
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Properties carried by every edge record (what a minimal social-graph
 /// schema stores per edge).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EdgeProps {
     /// Edge label (relation type).
     pub label: String,
@@ -23,6 +23,27 @@ pub struct EdgeProps {
     pub weight: f32,
     /// Creation timestamp (epoch seconds) — typical audit field.
     pub created_at: u64,
+}
+
+impl EdgeProps {
+    /// Serializes to the stored JSON payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        json::encode_object(&[
+            ("label", Value::Str(self.label.clone())),
+            ("weight", Value::Num(self.weight as f64)),
+            ("created_at", Value::Num(self.created_at as f64)),
+        ])
+    }
+
+    /// Decodes from a stored JSON payload.
+    pub fn from_payload(bytes: &[u8]) -> Option<Self> {
+        let obj = json::decode_object(bytes)?;
+        Some(Self {
+            label: obj.get("label")?.as_str()?.to_string(),
+            weight: obj.get("weight")?.as_f64()? as f32,
+            created_at: obj.get("created_at")?.as_f64()? as u64,
+        })
+    }
 }
 
 /// One stored edge: endpoints in the clear (the index needs them),
@@ -41,17 +62,36 @@ impl EdgeRecord {
     /// Decodes the property payload (the per-read cost every traversal
     /// pays in a record-store design).
     pub fn props(&self) -> EdgeProps {
-        serde_json::from_slice(&self.payload).expect("corrupt edge payload")
+        EdgeProps::from_payload(&self.payload).expect("corrupt edge payload")
     }
 }
 
 /// Vertex record: a property document.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct VertexProps {
     /// External ID string (graph DBs key vertices by opaque IDs).
     pub external_id: String,
     /// Vertex label.
     pub label: String,
+}
+
+impl VertexProps {
+    /// Serializes to the stored JSON payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        json::encode_object(&[
+            ("external_id", Value::Str(self.external_id.clone())),
+            ("label", Value::Str(self.label.clone())),
+        ])
+    }
+
+    /// Decodes from a stored JSON payload.
+    pub fn from_payload(bytes: &[u8]) -> Option<Self> {
+        let obj = json::decode_object(bytes)?;
+        Some(Self {
+            external_id: obj.get("external_id")?.as_str()?.to_string(),
+            label: obj.get("label")?.as_str()?.to_string(),
+        })
+    }
 }
 
 pub(crate) struct StoreInner {
@@ -90,11 +130,8 @@ impl TitanDb {
             }
             for v in 0..edges.num_vertices() {
                 inner.vertices.entry(v).or_insert_with(|| {
-                    serde_json::to_vec(&VertexProps {
-                        external_id: format!("v{v}"),
-                        label: "user".to_string(),
-                    })
-                    .expect("serialize vertex")
+                    VertexProps { external_id: format!("v{v}"), label: "user".to_string() }
+                        .to_payload()
                 });
             }
         }
@@ -103,12 +140,12 @@ impl TitanDb {
 
     fn insert_locked(inner: &mut StoreInner, e: Edge) {
         let id = inner.edges.len() as u32;
-        let payload = serde_json::to_vec(&EdgeProps {
+        let payload = EdgeProps {
             label: "knows".to_string(),
             weight: e.weight,
             created_at: 1_500_000_000 + id as u64,
-        })
-        .expect("serialize edge");
+        }
+        .to_payload();
         inner.edges.push(EdgeRecord { src: e.src, dst: e.dst, payload });
         inner.out_index.entry(e.src).or_default().push(id);
     }

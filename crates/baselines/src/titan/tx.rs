@@ -43,7 +43,7 @@ impl ReadTx<'_> {
         self.guard
             .vertices
             .get(&v)
-            .map(|bytes| serde_json::from_slice(bytes).expect("corrupt vertex payload"))
+            .map(|bytes| VertexProps::from_payload(bytes).expect("corrupt vertex payload"))
     }
 
     /// True when the vertex exists.

@@ -25,31 +25,19 @@ fn bench_partition(c: &mut Criterion) {
 
     let strategies: Vec<(&str, RangePartition)> = vec![
         ("by_vertices", RangePartition::by_vertices(edges.num_vertices(), p)),
-        (
-            "by_out_degree",
-            RangePartition::from_edges(edges.num_vertices(), edges.edges(), p),
-        ),
+        ("by_out_degree", RangePartition::from_edges(edges.num_vertices(), edges.edges(), p)),
         (
             "by_total_degree",
-            RangePartition::from_edges_total_degree(
-                edges.num_vertices(),
-                edges.edges(),
-                p,
-            ),
+            RangePartition::from_edges_total_degree(edges.num_vertices(), edges.edges(), p),
         ),
     ];
 
     let mut group = c.benchmark_group("partition_pagerank_5iter");
     group.sample_size(10);
     for (name, partition) in strategies {
-        let engine = DistributedEngine::with_partition(
-            &edges,
-            partition,
-            EngineConfig::new(p),
-        );
+        let engine = DistributedEngine::with_partition(&edges, partition, EngineConfig::new(p));
         // Report the edge imbalance this strategy produces.
-        let edges_per: Vec<usize> =
-            engine.shards().iter().map(|s| s.num_out_edges()).collect();
+        let edges_per: Vec<usize> = engine.shards().iter().map(|s| s.num_out_edges()).collect();
         let max = *edges_per.iter().max().unwrap() as f64;
         let mean = edges_per.iter().sum::<usize>() as f64 / p as f64;
         let sim = engine.run_gas(&PageRank::default(), 5).sim_exec_time();
@@ -58,9 +46,7 @@ fn bench_partition(c: &mut Criterion) {
              (straggler {:.2}x mean; simulated cluster time {sim:?})",
             max / mean
         );
-        group.bench_function(name, |bch| {
-            bch.iter(|| engine.run_gas(&PageRank::default(), 5))
-        });
+        group.bench_function(name, |bch| bch.iter(|| engine.run_gas(&PageRank::default(), 5)));
     }
     group.finish();
 }

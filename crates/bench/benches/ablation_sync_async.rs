@@ -15,8 +15,7 @@ fn bench_sync_async(c: &mut Criterion) {
     let mut b = cgraph_graph::GraphBuilder::new();
     b.add_edge_list(&raw);
     let edges = b.build().edges;
-    let sync_engine =
-        DistributedEngine::new(&edges, EngineConfig::new(3).traversal_only());
+    let sync_engine = DistributedEngine::new(&edges, EngineConfig::new(3).traversal_only());
     let async_engine =
         DistributedEngine::new(&edges, EngineConfig::new(3).traversal_only().asynchronous());
     let src = 5u64;

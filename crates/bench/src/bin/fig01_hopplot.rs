@@ -24,10 +24,8 @@ fn main() {
     for (name, edges) in [
         ("small-world", {
             let raw = cgraph_gen::small_world(50_000, 6, 0.1, 0x51A5);
-            let mut b = GraphBuilder::with_options(BuildOptions {
-                symmetrize: true,
-                ..Default::default()
-            });
+            let mut b =
+                GraphBuilder::with_options(BuildOptions { symmetrize: true, ..Default::default() });
             b.add_edge_list(&raw);
             b.build().edges
         }),
@@ -44,12 +42,7 @@ fn main() {
         let d50 = hp.effective_diameter(0.5);
         let d90 = hp.effective_diameter(0.9);
         println!("  δ = {d}   δ0.5 = {d50:.2}   δ0.9 = {d90:.2}");
-        rows.push(vec![
-            name.to_string(),
-            d.to_string(),
-            format!("{d50:.2}"),
-            format!("{d90:.2}"),
-        ]);
+        rows.push(vec![name.to_string(), d.to_string(), format!("{d50:.2}"), format!("{d90:.2}")]);
     }
     print_table(
         "Figure 1 summary (paper: δ=12, δ0.5=3.51, δ0.9=4.71)",

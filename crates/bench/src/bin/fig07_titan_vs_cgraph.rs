@@ -31,9 +31,7 @@ fn main() {
     // --- C-Graph: batched concurrent execution on 1 machine ---------
     let engine = DistributedEngine::new(&edges, EngineConfig::new(1).traversal_only());
     let queries: Vec<KhopQuery> = (0..num_queries)
-        .map(|q| {
-            KhopQuery::multi(q, sources[q * per_query..(q + 1) * per_query].to_vec(), k)
-        })
+        .map(|q| KhopQuery::multi(q, sources[q * per_query..(q + 1) * per_query].to_vec(), k))
         .collect();
     let cg = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
     let mut cg_times: Vec<Duration> = cg.iter().map(|r| r.response_time).collect();

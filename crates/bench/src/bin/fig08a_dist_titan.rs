@@ -50,13 +50,9 @@ fn main() {
     );
     let titan_queries: Vec<(u64, u32)> = sources.iter().map(|&s| (s, k)).collect();
     let titan_out = server.run_concurrent_khop(&titan_queries);
-    let titan_stats =
-        ResponseStats::new(titan_out.iter().map(|o| o.response_time).collect());
+    let titan_stats = ResponseStats::new(titan_out.iter().map(|o| o.response_time).collect());
 
-    let rows = vec![
-        five_number_row("C-Graph", &cg_stats),
-        five_number_row("Titan", &titan_stats),
-    ];
+    let rows = vec![five_number_row("C-Graph", &cg_stats), five_number_row("Titan", &titan_stats)];
     print_table(
         "Figure 8a: distribution (min/q1/median/q3/max/mean)",
         &["system", "min", "q1", "median", "q3", "max", "mean"],

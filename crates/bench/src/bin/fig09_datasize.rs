@@ -27,8 +27,7 @@ fn main() {
         let name = ds.spec().name;
         let edges = load_dataset(ds);
         eprintln!("[fig09] building engine for {name} ({} edges)...", edges.len());
-        let engine =
-            DistributedEngine::new(&edges, EngineConfig::new(machines).traversal_only());
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(machines).traversal_only());
         let sources = random_sources(&edges, num_queries, 0xF1609);
         let queries: Vec<KhopQuery> =
             sources.iter().enumerate().map(|(i, &s)| KhopQuery::single(i, s, k)).collect();
@@ -55,11 +54,7 @@ fn main() {
             fmt_dur(max),
         ]);
         for (i, t) in times.iter().enumerate() {
-            csv_rows.push(vec![
-                name.to_string(),
-                i.to_string(),
-                t.as_secs_f64().to_string(),
-            ]);
+            csv_rows.push(vec![name.to_string(), i.to_string(), t.as_secs_f64().to_string()]);
         }
     }
     print_table(

@@ -40,16 +40,14 @@ fn main() {
             SchedulerConfig { use_sim_time: true, ..Default::default() },
         )
         .execute(&queries);
-        let stats =
-            ResponseStats::new(res.iter().map(|r| r.response_time).collect::<Vec<_>>());
+        let stats = ResponseStats::new(res.iter().map(|r| r.response_time).collect::<Vec<_>>());
         all_stats.push((p, stats));
     }
     let overall_max =
         all_stats.iter().map(|(_, s)| s.max()).max().unwrap_or(Duration::from_millis(10));
     let step = (overall_max / 10 + Duration::from_nanos(1)).max(Duration::from_micros(100));
     let edges_buckets: Vec<Duration> = (1..=10u32).map(|i| step * i).collect();
-    let labels: Vec<String> =
-        edges_buckets.iter().map(|d| format!("≤{}", fmt_dur(*d))).collect();
+    let labels: Vec<String> = edges_buckets.iter().map(|d| format!("≤{}", fmt_dur(*d))).collect();
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();

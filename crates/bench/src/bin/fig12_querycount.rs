@@ -34,18 +34,14 @@ fn main() {
     let mut all_stats = Vec::new();
     for count in [20usize, 50, 100, 350] {
         eprintln!("[fig12] {count} concurrent queries...");
-        let queries: Vec<KhopQuery> = sources[..count]
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| KhopQuery::single(i, s, k))
-            .collect();
+        let queries: Vec<KhopQuery> =
+            sources[..count].iter().enumerate().map(|(i, &s)| KhopQuery::single(i, s, k)).collect();
         let res = QueryScheduler::new(
             &engine,
             SchedulerConfig { use_sim_time: true, ..Default::default() },
         )
         .execute(&queries);
-        let stats =
-            ResponseStats::new(res.iter().map(|r| r.response_time).collect::<Vec<_>>());
+        let stats = ResponseStats::new(res.iter().map(|r| r.response_time).collect::<Vec<_>>());
         all_stats.push((count, stats));
     }
     let overall_max =

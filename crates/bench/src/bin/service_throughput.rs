@@ -1,0 +1,172 @@
+//! Service throughput — persistent cluster vs per-batch thread spawn.
+//!
+//! The serving path's whole reason to exist: a long-lived
+//! [`cgraph_comm::PersistentCluster`] amortises machine-thread start-up
+//! across the stream, where the closed-batch path pays
+//! `Cluster::new` + `p` thread spawns + joins for *every* batch.
+//!
+//! Two measurements over the identical 1k-query stream:
+//!
+//! 1. **substrate** — the same pre-packed batch sequence executed via
+//!    `run_traversal_batch` (spawn per batch) and via
+//!    `run_traversal_batch_on` (persistent), isolating the substrate
+//!    cost with identical work;
+//! 2. **open loop** — the stream pushed through a live
+//!    [`cgraph_core::QueryService`] by concurrent submitters, reporting
+//!    end-to-end queries/sec and the latency distribution.
+
+use cgraph_bench::*;
+use cgraph_comm::PersistentCluster;
+use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery, QueryService, ServiceConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machines = arg_usize(&args, "--machines", 3);
+    let queries = arg_usize(&args, "--queries", 1000);
+    let k = arg_usize(&args, "--k", 3) as u32;
+    let submitters = arg_usize(&args, "--submitters", 4);
+    banner(
+        "Service throughput: persistent cluster vs per-batch spawn",
+        "serving extension (not a paper figure): same stream, two substrates",
+        "1k-query open stream; batches identical across both paths",
+    );
+
+    let edges = load_dataset_by_name(&arg_string(&args, "--dataset", "TINY"));
+    // A few hundred distinct sources reused round-robin: plenty of
+    // variety without outrunning small datasets' non-isolated vertices.
+    let sources = random_sources(&edges, queries.min(256), 0x5E21);
+    let engine =
+        Arc::new(DistributedEngine::new(&edges, EngineConfig::new(machines).traversal_only()));
+    let stream: Vec<KhopQuery> =
+        (0..queries).map(|i| KhopQuery::single(i, sources[i % sources.len()], k)).collect();
+
+    // --- 1. substrate comparison: identical pre-packed batches -------
+    let batches: Vec<(Vec<u64>, Vec<u32>)> = stream
+        .chunks(64)
+        .map(|c| (c.iter().map(|q| q.sources[0]).collect(), c.iter().map(|q| q.k).collect()))
+        .collect();
+
+    eprintln!("[service] spawn-per-batch substrate ({} batches)...", batches.len());
+    let t0 = Instant::now();
+    let mut visited_spawn = 0u64;
+    for (srcs, ks) in &batches {
+        visited_spawn += engine.run_traversal_batch(srcs, ks).per_lane_visited.iter().sum::<u64>();
+    }
+    let spawn_wall = t0.elapsed();
+
+    eprintln!("[service] persistent-cluster substrate...");
+    let cluster = PersistentCluster::with_model(machines, engine.config().net_model);
+    let t0 = Instant::now();
+    let mut visited_persist = 0u64;
+    for (srcs, ks) in &batches {
+        visited_persist += engine
+            .run_traversal_batch_on(&cluster, srcs, ks)
+            .expect("batch failed")
+            .per_lane_visited
+            .iter()
+            .sum::<u64>();
+    }
+    let persist_wall = t0.elapsed();
+    cluster.shutdown();
+    assert_eq!(visited_spawn, visited_persist, "substrates must agree on results");
+
+    let qps_spawn = queries as f64 / spawn_wall.as_secs_f64().max(1e-12);
+    let qps_persist = queries as f64 / persist_wall.as_secs_f64().max(1e-12);
+    let ratio = qps_persist / qps_spawn.max(1e-12);
+
+    // --- 2. open-loop stream through the live service ----------------
+    // --rate caps each submitter's arrival process (queries/sec across
+    // all submitters, 0 = as fast as possible): open loop, so arrivals
+    // never wait for responses.
+    let rate = arg_usize(&args, "--rate", 0);
+    eprintln!("[service] open-loop stream, {submitters} submitters, rate {rate} q/s...");
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig { max_batch_delay: Duration::from_micros(500), ..Default::default() },
+    ));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..submitters)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let mine: Vec<KhopQuery> = stream.iter().skip(t).step_by(submitters).cloned().collect();
+            let per_thread_rate = rate as f64 / submitters as f64;
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let mut visited = 0u64;
+                let mut tickets = Vec::with_capacity(mine.len());
+                for (i, q) in mine.into_iter().enumerate() {
+                    if per_thread_rate > 0.0 {
+                        let due = start + Duration::from_secs_f64(i as f64 / per_thread_rate);
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                    }
+                    tickets.push(service.submit(q).expect("service must accept"));
+                }
+                for ticket in tickets {
+                    visited += ticket.wait().expect("service query failed").visited;
+                }
+                visited
+            })
+        })
+        .collect();
+    let service_visited: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let service_wall = t0.elapsed();
+    assert_eq!(service_visited, visited_spawn, "service must agree on results");
+    let stats = service.stats();
+    let qps_service = queries as f64 / service_wall.as_secs_f64().max(1e-12);
+    service.shutdown();
+
+    let rows = vec![
+        vec![
+            "spawn-per-batch".into(),
+            fmt_dur(spawn_wall),
+            format!("{qps_spawn:.0}"),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "persistent".into(),
+            fmt_dur(persist_wall),
+            format!("{qps_persist:.0}"),
+            "-".into(),
+            format!("{ratio:.2}x"),
+        ],
+        vec![
+            "service (open loop)".into(),
+            fmt_dur(service_wall),
+            format!("{qps_service:.0}"),
+            format!(
+                "p50 {} / p99 {}",
+                fmt_dur(stats.response.median()),
+                fmt_dur(stats.response.quantile(0.99))
+            ),
+            "-".into(),
+        ],
+    ];
+    print_table(
+        &format!("{queries} x {k}-hop stream, {machines} machines"),
+        &["path", "wall", "queries/s", "latency", "vs spawn"],
+        &rows,
+    );
+    write_csv(
+        "service_throughput",
+        &["path", "wall_s", "qps"],
+        &[
+            vec!["spawn".into(), spawn_wall.as_secs_f64().to_string(), qps_spawn.to_string()],
+            vec![
+                "persistent".into(),
+                persist_wall.as_secs_f64().to_string(),
+                qps_persist.to_string(),
+            ],
+            vec!["service".into(), service_wall.as_secs_f64().to_string(), qps_service.to_string()],
+        ],
+    );
+    println!(
+        "\npersistent cluster sustains {ratio:.2}x the spawn-per-batch throughput \
+         ({qps_persist:.0} vs {qps_spawn:.0} queries/s)"
+    );
+}

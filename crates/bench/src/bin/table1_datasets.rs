@@ -17,9 +17,7 @@ fn main() {
         ("Friendster-Synthetic (FRS-100B)", 984_125_490, 106_557_960_965),
     ];
     let mut rows = Vec::new();
-    for (i, ds) in [Dataset::Or, Dataset::Fr, Dataset::FrsA, Dataset::FrsB]
-        .into_iter()
-        .enumerate()
+    for (i, ds) in [Dataset::Or, Dataset::Fr, Dataset::FrsA, Dataset::FrsB].into_iter().enumerate()
     {
         let spec = ds.spec();
         let g = load_dataset(ds);

@@ -16,8 +16,7 @@ impl Args {
         let mut switches = Vec::new();
         let mut it = raw.into_iter().peekable();
         while let Some(a) = it.next() {
-            if a.starts_with('-') && a.len() > 1 && !a.chars().nth(1).unwrap().is_ascii_digit()
-            {
+            if a.starts_with('-') && a.len() > 1 && !a.chars().nth(1).unwrap().is_ascii_digit() {
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
                         flags.push((a, it.next().unwrap()));

@@ -2,8 +2,11 @@
 
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
+use cgraph_core::{KhopQuery, QueryService, ServiceConfig};
 use cgraph_ql::Session;
 use std::io::Read;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// `cgraph generate <MODEL> [ARGS..] [--seed S] -o <FILE>`
 pub fn generate(args: Args) -> Result<(), String> {
@@ -129,5 +132,154 @@ pub fn bench(args: Args) -> Result<(), String> {
     let k: u32 = args.flag_parse("-k", 3)?;
     let edges = load_graph(path)?;
     println!("{}", run_bench(&edges, machines, queries, k));
+    Ok(())
+}
+
+/// Builds a running [`QueryService`] from common serve/replay flags.
+fn start_service(args: &Args, path: &str) -> Result<QueryService, String> {
+    let machines: usize = args.flag_parse("-p", 3)?;
+    let delay_us: u64 = args.flag_parse("--delay-us", 2000)?;
+    let depth: usize = args.flag_parse("--depth", 1024)?;
+    let edges = load_graph(path)?;
+    let engine = Arc::new(build_engine(&edges, machines));
+    Ok(QueryService::start(
+        engine,
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(delay_us),
+            max_queue_depth: depth,
+            ..Default::default()
+        },
+    ))
+}
+
+/// Prints the service's lifetime latency summary.
+fn print_service_stats(service: &QueryService) {
+    let s = service.stats();
+    println!(
+        "served {} queries ({} failed) in {} batches; \
+         wait p50 {:?}, response p50 {:?} / p95 {:?} / max {:?}",
+        s.queries_completed,
+        s.queries_failed,
+        s.batches_dispatched,
+        s.admission_wait.median(),
+        s.response.median(),
+        s.response.quantile(0.95),
+        s.response.max(),
+    );
+}
+
+/// `cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]`
+///
+/// Reads queries from stdin, one per line: one or more source vertices
+/// followed by the hop count (`7 3` = 3 hops from vertex 7;
+/// `1 2 3 4` = 4 hops from sources 1, 2, 3). Queries are answered as
+/// the streaming service packs them into batches; results print in
+/// submission order. EOF drains the queue and prints a latency summary.
+pub fn serve(args: Args) -> Result<(), String> {
+    args.reject_unknown(&["-p", "--delay-us", "--depth"])?;
+    let path = args.require(0, "graph file")?;
+    let service = Arc::new(start_service(&args, path)?);
+
+    // Printer thread: redeems tickets in submission order so output
+    // is deterministic while batching continues behind it.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, cgraph_core::QueryTicket)>();
+    let printer = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            for (id, ticket) in rx {
+                match ticket.wait() {
+                    Ok(r) => println!(
+                        "[{id}] visited {} (depth {}), response {:?}",
+                        r.visited,
+                        r.depth(),
+                        r.response_time
+                    ),
+                    Err(e) => println!("[{id}] error: {e}"),
+                }
+            }
+            print_service_stats(&service);
+        })
+    };
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    let mut id = 0usize;
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("cannot read stdin: {e}")),
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() || tokens[0].starts_with('#') {
+            continue;
+        }
+        if tokens.len() < 2 {
+            eprintln!("cgraph: need `<SRC>... <K>`, got {:?}", line.trim());
+            continue;
+        }
+        let parse = |t: &str| t.parse::<u64>().map_err(|_| format!("bad number {t:?}"));
+        let k = parse(tokens[tokens.len() - 1])? as u32;
+        let sources: Vec<u64> =
+            tokens[..tokens.len() - 1].iter().map(|t| parse(t)).collect::<Result<_, _>>()?;
+        let ticket = service.submit(KhopQuery::multi(id, sources, k)).map_err(|e| e.to_string())?;
+        tx.send((id, ticket)).expect("printer thread alive");
+        id += 1;
+    }
+    drop(tx);
+    printer.join().expect("printer thread panicked");
+    service.shutdown();
+    Ok(())
+}
+
+/// `cgraph replay <FILE> [-p M] [-q N] [-k K] [--rate QPS] [--delay-us D] [--depth N]`
+///
+/// Open-loop load generator: replays a deterministic stream of `N`
+/// k-hop queries through the streaming service at `--rate` queries/sec
+/// (0 = as fast as possible), then reports throughput and the latency
+/// distribution. The open loop means submission times never wait for
+/// responses — exactly how an external client population behaves.
+pub fn replay(args: Args) -> Result<(), String> {
+    args.reject_unknown(&["-p", "-q", "-k", "--rate", "--delay-us", "--depth"])?;
+    let path = args.require(0, "graph file")?;
+    let queries: usize = args.flag_parse("-q", 1000)?;
+    let k: u32 = args.flag_parse("-k", 3)?;
+    let rate: f64 = args.flag_parse("--rate", 0.0)?;
+    let service = start_service(&args, path)?;
+    let n = {
+        let edges = load_graph(path)?;
+        edges.num_vertices()
+    };
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(queries);
+    for i in 0..queries {
+        if rate > 0.0 {
+            let due = start + Duration::from_secs_f64(i as f64 / rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let source = (i as u64).wrapping_mul(0x9E37) % n;
+        tickets.push(service.submit(KhopQuery::single(i, source, k)).map_err(|e| e.to_string())?);
+    }
+    let mut visited = 0u64;
+    let mut failed = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(r) => visited += r.visited,
+            Err(_) => failed += 1,
+        }
+    }
+    let wall = start.elapsed();
+    println!(
+        "replayed {queries} x {k}-hop queries in {wall:?} \
+         ({:.0} queries/s), {visited} vertices visited, {failed} failed",
+        queries as f64 / wall.as_secs_f64().max(1e-12)
+    );
+    print_service_stats(&service);
+    service.shutdown();
     Ok(())
 }

@@ -6,6 +6,8 @@
 //! cgraph convert <in> <out>                        text <-> binary edge lists
 //! cgraph query <graph> [-p MACHINES] [-e STMT..]   run query statements
 //! cgraph bench <graph> [-p M] [-q N] [-k K]        concurrent k-hop benchmark
+//! cgraph serve <graph> [-p M]                      streaming service on stdin
+//! cgraph replay <graph> [-p M] [-q N] [--rate R]   open-loop stream replay
 //! ```
 //!
 //! Models for `generate`: `graph500 <scale> <edge_factor>`,
@@ -42,6 +44,8 @@ fn main() -> ExitCode {
         "convert" => commands::convert(args),
         "query" => commands::query(args),
         "bench" => commands::bench(args),
+        "serve" => commands::serve(args),
+        "replay" => commands::replay(args),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -66,6 +70,8 @@ USAGE:
   cgraph convert <IN> <OUT>
   cgraph query <FILE> [-p MACHINES] [-e STATEMENT]...  (or statements on stdin)
   cgraph bench <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS]
+  cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]   (queries on stdin: \"SRC.. K\")
+  cgraph replay <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS] [--rate QPS]
 
 MODELS:
   graph500 <scale> <edge_factor>

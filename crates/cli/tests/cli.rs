@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn cgraph(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_cgraph"))
-        .args(args)
-        .output()
-        .expect("spawn cgraph binary")
+    Command::new(env!("CARGO_BIN_EXE_cgraph")).args(args).output().expect("spawn cgraph binary")
 }
 
 fn cgraph_stdin(args: &[&str], stdin: &str) -> Output {

@@ -21,6 +21,9 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 pub struct TerminationDetector {
     in_flight: AtomicI64,
     idle: Vec<AtomicBool>,
+    /// Set when a machine died: quiescence can never be reached
+    /// honestly, so polling machines must abort instead of spinning.
+    poisoned: AtomicBool,
 }
 
 impl TerminationDetector {
@@ -30,7 +33,21 @@ impl TerminationDetector {
         Self {
             in_flight: AtomicI64::new(0),
             idle: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// Marks the detector poisoned: a participating machine died, so
+    /// global quiescence is unreachable. Every subsequent
+    /// [`TerminationDetector::quiescent`] poll panics, turning peers'
+    /// idle spin loops into contained failures instead of livelock.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`TerminationDetector::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
     }
 
     /// Must be called *before* handing a message to the channel.
@@ -63,7 +80,17 @@ impl TerminationDetector {
     /// Sound under the send/process discipline above: a machine only
     /// becomes non-idle because a message arrived, and that message
     /// kept `in_flight > 0` until it was processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector is [poisoned](TerminationDetector::poison):
+    /// a peer machine died, so no honest quiescence is coming and the
+    /// caller's poll loop would otherwise spin forever.
     pub fn quiescent(&self) -> bool {
+        assert!(
+            !self.poisoned.load(Ordering::SeqCst),
+            "termination detector poisoned: a peer machine died mid-computation"
+        );
         // Check idles first, then in-flight: if a message is produced
         // after we read an idle flag, the in-flight counter (read
         // later, SeqCst) will still be > 0.
@@ -99,6 +126,15 @@ mod tests {
         assert!(!d.quiescent());
         d.on_processed();
         assert!(d.quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "termination detector poisoned")]
+    fn poisoned_quiescence_poll_panics() {
+        let d = TerminationDetector::new(1);
+        d.set_idle(0, true);
+        d.poison();
+        let _ = d.quiescent();
     }
 
     #[test]

@@ -36,6 +36,10 @@ struct State {
     result: Reduction,
     /// Flips every generation (sense reversal).
     generation: u64,
+    /// Set when a participant died mid-computation; every current and
+    /// future waiter panics instead of deadlocking on a peer that will
+    /// never arrive.
+    poisoned: bool,
 }
 
 /// A reusable barrier over `parties` threads carrying a `u64` sum.
@@ -58,6 +62,7 @@ impl ReduceBarrier {
                 or: 0,
                 result: Reduction::default(),
                 generation: 0,
+                poisoned: false,
             }),
             cvar: Condvar::new(),
         }
@@ -68,11 +73,33 @@ impl ReduceBarrier {
         self.parties
     }
 
+    /// Marks the barrier unusable: every thread currently parked in
+    /// [`ReduceBarrier::wait_reduce`] wakes up and panics, and every
+    /// later waiter panics immediately. Called when a participating
+    /// machine dies so its peers fail fast instead of waiting forever
+    /// for an arrival that cannot happen.
+    pub fn poison(&self) {
+        let mut s = self.state.lock();
+        s.poisoned = true;
+        self.cvar.notify_all();
+    }
+
+    /// True once [`ReduceBarrier::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+
     /// Blocks until all parties have called, then returns the combined
     /// sum/max/or over every party's `contribution` for this
     /// generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of deadlocking) if the barrier is
+    /// [poisoned](ReduceBarrier::poison) before or during the wait.
     pub fn wait_reduce(&self, contribution: u64) -> Reduction {
         let mut s = self.state.lock();
+        assert!(!s.poisoned, "barrier poisoned: a peer machine died mid-computation");
         let gen = s.generation;
         s.sum = s.sum.wrapping_add(contribution);
         s.max = s.max.max(contribution);
@@ -90,9 +117,13 @@ impl ReduceBarrier {
             self.cvar.notify_all();
             s.result
         } else {
-            while s.generation == gen {
+            while s.generation == gen && !s.poisoned {
                 self.cvar.wait(&mut s);
             }
+            assert!(
+                s.generation != gen,
+                "barrier poisoned while waiting: a peer machine died mid-computation"
+            );
             s.result
         }
     }
@@ -170,6 +201,34 @@ mod tests {
             let r = h.join().unwrap();
             assert_eq!((r.sum, r.max, r.or), (15, 9, 4 | 9 | 2));
         }
+    }
+
+    #[test]
+    fn poison_wakes_parked_waiters() {
+        let b = Arc::new(ReduceBarrier::new(2));
+        let b2 = b.clone();
+        let waiter = std::thread::spawn(move || b2.wait_sum(1));
+        // Give the waiter time to park, then poison instead of arriving.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        assert!(waiter.join().is_err(), "poisoned waiter must panic, not hang");
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier poisoned")]
+    fn wait_after_poison_panics_immediately() {
+        let b = ReduceBarrier::new(2);
+        b.poison();
+        b.wait_sum(0);
+    }
+
+    #[test]
+    fn completed_generation_survives_later_poison() {
+        let b = ReduceBarrier::new(1);
+        assert_eq!(b.wait_sum(3), 3);
+        b.poison();
+        assert!(b.is_poisoned());
     }
 
     #[test]

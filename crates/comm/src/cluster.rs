@@ -132,6 +132,15 @@ pub struct TrafficReport {
 }
 
 impl TrafficReport {
+    pub(crate) fn from_stats(stats: &[Arc<NetStats>]) -> Self {
+        Self {
+            per_machine: stats
+                .iter()
+                .map(|st| (st.msgs_sent(), st.bytes_sent(), st.sim_net_ns()))
+                .collect(),
+        }
+    }
+
     /// Total messages across machines.
     pub fn total_msgs(&self) -> u64 {
         self.per_machine.iter().map(|m| m.0).sum()
@@ -145,6 +154,48 @@ impl TrafficReport {
     /// Max simulated network time across machines (the straggler).
     pub fn max_sim_net_ns(&self) -> u64 {
         self.per_machine.iter().map(|m| m.2).max().unwrap_or(0)
+    }
+}
+
+/// One job's communication fabric: the per-machine handles plus the
+/// shared pieces a supervisor needs to keep hold of (the barrier and
+/// termination detector for poisoning on machine failure, the traffic
+/// counters for reporting). Built fresh per run/job so a poisoned
+/// fabric never leaks into the next batch.
+pub(crate) struct Fabric<M> {
+    pub(crate) handles: Vec<CommHandle<M>>,
+    pub(crate) barrier: Arc<ReduceBarrier>,
+    pub(crate) term: Arc<TerminationDetector>,
+    pub(crate) stats: Vec<Arc<NetStats>>,
+}
+
+impl<M: WireSize> Fabric<M> {
+    pub(crate) fn build(p: usize, model: NetModel) -> Self {
+        let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(ReduceBarrier::new(p));
+        let term = Arc::new(TerminationDetector::new(p));
+        let handles: Vec<CommHandle<M>> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, receiver)| CommHandle {
+                id,
+                p,
+                senders: senders.clone(),
+                receiver,
+                barrier: barrier.clone(),
+                term: term.clone(),
+                model,
+                stats: Arc::new(NetStats::new()),
+            })
+            .collect();
+        let stats = handles.iter().map(|h| h.stats.clone()).collect();
+        Self { handles, barrier, term, stats }
     }
 }
 
@@ -191,29 +242,7 @@ impl Cluster {
     /// Builds the all-to-all fabric and returns one handle per machine.
     /// Most callers use [`Cluster::run`] instead.
     pub fn handles<M: WireSize>(&self) -> Vec<CommHandle<M>> {
-        let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(self.p);
-        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(self.p);
-        for _ in 0..self.p {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let barrier = Arc::new(ReduceBarrier::new(self.p));
-        let term = Arc::new(TerminationDetector::new(self.p));
-        receivers
-            .into_iter()
-            .enumerate()
-            .map(|(id, receiver)| CommHandle {
-                id,
-                p: self.p,
-                senders: senders.clone(),
-                receiver,
-                barrier: barrier.clone(),
-                term: term.clone(),
-                model: self.model,
-                stats: Arc::new(NetStats::new()),
-            })
-            .collect()
+        Fabric::build(self.p, self.model).handles
     }
 
     /// Spawns one thread per machine running `worker(handle)`, joins
@@ -227,10 +256,11 @@ impl Cluster {
         R: Send,
         F: Fn(CommHandle<M>) -> R + Sync,
     {
-        let handles = self.handles::<M>();
-        let stats: Vec<Arc<NetStats>> = handles.iter().map(|h| h.stats.clone()).collect();
+        let fabric = Fabric::<M>::build(self.p, self.model);
+        let stats = fabric.stats;
         let results = std::thread::scope(|s| {
-            let joins: Vec<_> = handles
+            let joins: Vec<_> = fabric
+                .handles
                 .into_iter()
                 .map(|h| {
                     let worker = &worker;
@@ -242,13 +272,7 @@ impl Cluster {
                 .map(|j| j.join().expect("machine thread panicked"))
                 .collect::<Vec<R>>()
         });
-        let report = TrafficReport {
-            per_machine: stats
-                .iter()
-                .map(|st| (st.msgs_sent(), st.bytes_sent(), st.sim_net_ns()))
-                .collect(),
-        };
-        (results, report)
+        (results, TrafficReport::from_stats(&stats))
     }
 }
 

@@ -53,11 +53,7 @@ mod tests {
         let a = thread_cpu_time();
         std::thread::sleep(Duration::from_millis(50));
         let b = thread_cpu_time();
-        assert!(
-            (b - a) < Duration::from_millis(20),
-            "sleep consumed {:?} CPU",
-            b - a
-        );
+        assert!((b - a) < Duration::from_millis(20), "sleep consumed {:?} CPU", b - a);
     }
 
     #[test]

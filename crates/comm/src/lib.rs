@@ -18,6 +18,11 @@
 //! * [`async_rt::TerminationDetector`] — message-credit quiescence
 //!   detection for the asynchronous update mode (§3.3 supports both
 //!   synchronous and asynchronous communication).
+//! * [`persistent::PersistentCluster`] — the serving-path variant:
+//!   machine threads are spawned once and park between jobs, each job
+//!   getting a fresh fabric; machine panics poison the job's barrier
+//!   and detector so the batch fails cleanly while the cluster
+//!   survives for the next one.
 //! * [`netmodel::NetModel`] / [`netmodel::NetStats`] — an analytic
 //!   latency/bandwidth model that *accounts* simulated network time per
 //!   message without sleeping, so wall-clock benches stay meaningful
@@ -37,6 +42,7 @@ pub mod cputime;
 pub mod mailbox;
 pub mod message;
 pub mod netmodel;
+pub mod persistent;
 
 pub use async_rt::TerminationDetector;
 pub use barrier::{ReduceBarrier, Reduction};
@@ -45,6 +51,7 @@ pub use cputime::thread_cpu_time;
 pub use mailbox::Outbox;
 pub use message::{Envelope, WireSize};
 pub use netmodel::{NetModel, NetStats};
+pub use persistent::{ClusterError, PersistentCluster};
 
 /// Identifier of a simulated machine (= partition).
 pub type MachineId = usize;

@@ -1,0 +1,400 @@
+//! A reusable cluster: long-lived machine threads serving many jobs.
+//!
+//! [`Cluster::run`](crate::cluster::Cluster::run) spawns and joins `p`
+//! OS threads per call — fine for one-shot batch experiments, but a
+//! streaming query service dispatches thousands of small batches and
+//! cannot pay thread creation/teardown per batch. A
+//! [`PersistentCluster`] spawns the machine threads **once**; between
+//! jobs they park on their job channel, and each submitted job gets a
+//! fresh communication fabric (channels, barrier, termination
+//! detector) so state — including poison from a failed job — never
+//! leaks across batches.
+//!
+//! Failure containment: each machine runs its job under
+//! `catch_unwind`. The first machine to observe a panic poisons the
+//! job's barrier and termination detector, which wakes or aborts every
+//! peer parked on them; those peers' induced panics are caught the
+//! same way. [`PersistentCluster::submit`] then returns
+//! [`ClusterError::MachinePanicked`] — and the machine threads,
+//! having caught everything, park again ready for the next job.
+
+use crate::cluster::{CommHandle, Fabric, TrafficReport};
+use crate::message::WireSize;
+use crate::netmodel::NetModel;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// [`PersistentCluster::shutdown`] already ran; no machine threads
+    /// remain to execute jobs.
+    ShutDown,
+    /// A machine's worker panicked during the job. Peer machines were
+    /// unblocked via fabric poisoning; the cluster itself survives and
+    /// accepts further jobs.
+    MachinePanicked {
+        /// The first machine observed to fail.
+        machine: usize,
+        /// Its panic payload, rendered as text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ShutDown => write!(f, "cluster is shut down"),
+            ClusterError::MachinePanicked { machine, message } => {
+                write!(f, "machine {machine} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A job as seen by a machine thread: type- and lifetime-erased.
+/// Safety contract: the submitter blocks until the job has run, so the
+/// erased borrows outlive every use (the scoped-thread-pool argument).
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Inner {
+    /// One job channel per machine; `None` after shutdown (dropping
+    /// the senders is what releases the parked threads).
+    job_txs: Option<Vec<Sender<Job>>>,
+    /// Machines acknowledge job completion here.
+    ack_rx: Receiver<usize>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// `p` long-lived machine threads executing submitted jobs.
+///
+/// ```
+/// use cgraph_comm::PersistentCluster;
+/// let cluster = PersistentCluster::new(3);
+/// for round in 0..4u64 {
+///     let (sums, _traffic) = cluster
+///         .submit::<u64, u64, _>(|h| {
+///             h.send((h.id() + 1) % h.num_machines(), round);
+///             h.barrier();
+///             h.drain().iter().map(|e| e.payload).sum::<u64>()
+///         })
+///         .unwrap();
+///     assert_eq!(sums, vec![round; 3]);
+/// }
+/// cluster.shutdown();
+/// assert!(cluster.submit::<u64, (), _>(|_| ()).is_err());
+/// ```
+pub struct PersistentCluster {
+    p: usize,
+    model: NetModel,
+    inner: Mutex<Inner>,
+    /// Completed-job count — the job "generation". Each generation
+    /// corresponds to one fabric; machines of generation `g` can never
+    /// touch generation `g+1` state.
+    generation: AtomicU64,
+}
+
+impl PersistentCluster {
+    /// Spawns `p` machine threads with the default network model.
+    pub fn new(p: usize) -> Self {
+        Self::with_model(p, NetModel::default())
+    }
+
+    /// Spawns `p` machine threads with an explicit network model.
+    pub fn with_model(p: usize, model: NetModel) -> Self {
+        assert!(p > 0, "cluster needs at least one machine");
+        let (ack_tx, ack_rx) = unbounded::<usize>();
+        let mut job_txs = Vec::with_capacity(p);
+        let mut threads = Vec::with_capacity(p);
+        for id in 0..p {
+            let (tx, rx) = unbounded::<Job>();
+            job_txs.push(tx);
+            let ack = ack_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cgraph-machine-{id}"))
+                    .spawn(move || {
+                        // Park on the job channel; a disconnect (all
+                        // senders dropped at shutdown) ends the thread.
+                        while let Ok(job) = rx.recv() {
+                            job(); // never unwinds: jobs catch internally
+                            if ack.send(id).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn machine thread"),
+            );
+        }
+        Self {
+            p,
+            model,
+            inner: Mutex::new(Inner { job_txs: Some(job_txs), ack_rx, threads }),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.p
+    }
+
+    /// Number of jobs completed so far.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Runs `worker(handle)` on every machine over a fresh fabric and
+    /// blocks until all machines finish, returning per-machine results
+    /// and the job's traffic report.
+    ///
+    /// Concurrent submitters are serialized: one job occupies the
+    /// whole cluster at a time (batches are cluster-wide by design).
+    ///
+    /// On a machine panic the remaining machines are unblocked through
+    /// fabric poisoning, the error is returned, and the cluster stays
+    /// usable for subsequent jobs.
+    pub fn submit<M, R, F>(&self, worker: F) -> Result<(Vec<R>, TrafficReport), ClusterError>
+    where
+        M: WireSize + Send,
+        R: Send,
+        F: Fn(CommHandle<M>) -> R + Sync,
+    {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job_txs) = inner.job_txs.as_ref() else {
+            return Err(ClusterError::ShutDown);
+        };
+
+        let fabric = Fabric::<M>::build(self.p, self.model);
+        let stats = fabric.stats;
+        let barrier = fabric.barrier;
+        let term = fabric.term;
+        // One result slot per machine, written exactly once per job.
+        let results: Mutex<Vec<Option<Result<R, String>>>> =
+            Mutex::new((0..self.p).map(|_| None).collect());
+
+        let worker = &worker;
+        let results_ref = &results;
+        for (id, (handle, tx)) in fabric.handles.into_iter().zip(job_txs).enumerate() {
+            let barrier = barrier.clone();
+            let term = term.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| worker(handle)));
+                let entry = match outcome {
+                    Ok(r) => Ok(r),
+                    Err(payload) => {
+                        // Wake peers parked on this job's fabric so
+                        // they fail fast instead of waiting forever.
+                        barrier.poison();
+                        term.poison();
+                        Err(panic_message(payload))
+                    }
+                };
+                results_ref.lock().unwrap_or_else(|e| e.into_inner())[id] = Some(entry);
+            });
+            // SAFETY: erase the borrow lifetimes (worker, results).
+            // The ack loop below blocks this function until every
+            // machine has finished and dropped its job closure, so no
+            // erased borrow outlives its referent — the standard
+            // scoped-thread-pool argument.
+            unsafe fn erase<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+                std::mem::transmute(job)
+            }
+            let job: Job = unsafe { erase(job) };
+            tx.send(job).expect("machine thread exited unexpectedly");
+        }
+
+        for _ in 0..self.p {
+            inner.ack_rx.recv().expect("machine thread exited unexpectedly");
+        }
+        self.generation.fetch_add(1, Ordering::SeqCst);
+
+        let slots = results.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(self.p);
+        let mut failure: Option<(usize, String)> = None;
+        // Peers of a dead machine die too, from the poisoned barrier /
+        // detector. Report the root cause, not a cascade victim.
+        let cascade = "a peer machine died mid-computation";
+        for (machine, slot) in slots.into_iter().enumerate() {
+            match slot.expect("machine finished without reporting a result") {
+                Ok(r) => out.push(r),
+                Err(message) => {
+                    let prefer = match &failure {
+                        None => true,
+                        Some((_, kept)) => kept.contains(cascade) && !message.contains(cascade),
+                    };
+                    if prefer {
+                        failure = Some((machine, message));
+                    }
+                }
+            }
+        }
+        if let Some((machine, message)) = failure {
+            return Err(ClusterError::MachinePanicked { machine, message });
+        }
+        Ok((out, TrafficReport::from_stats(&stats)))
+    }
+
+    /// Gracefully stops the machine threads: parked machines wake on
+    /// channel disconnect and exit; all threads are joined. Idempotent.
+    /// Subsequent [`PersistentCluster::submit`] calls return
+    /// [`ClusterError::ShutDown`].
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.job_txs = None; // disconnects every job channel
+        for t in inner.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PersistentCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reusable_across_many_jobs() {
+        let cluster = PersistentCluster::new(3);
+        for round in 0..20u64 {
+            let (results, traffic) = cluster
+                .submit::<u64, u64, _>(|h| {
+                    let next = (h.id() + 1) % h.num_machines();
+                    h.send(next, round * 10 + h.id() as u64);
+                    h.barrier();
+                    let got = h.drain();
+                    assert_eq!(got.len(), 1);
+                    got[0].payload
+                })
+                .unwrap();
+            let mut sorted = results;
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..3).map(|i| round * 10 + i).collect::<Vec<_>>());
+            assert_eq!(traffic.total_msgs(), 3);
+        }
+        assert_eq!(cluster.generation(), 20);
+    }
+
+    #[test]
+    fn panic_fails_job_but_cluster_survives() {
+        let cluster = PersistentCluster::new(4);
+        // Healthy machines enter a barrier the panicking machine never
+        // reaches — exactly the deadlock poisoning must break.
+        let err = cluster
+            .submit::<u64, u64, _>(|h| {
+                if h.id() == 2 {
+                    panic!("injected failure");
+                }
+                h.barrier_sum(1)
+            })
+            .unwrap_err();
+        match err {
+            ClusterError::MachinePanicked { machine: _, message } => {
+                // The first-reported machine may be the injected one or
+                // a peer that panicked on the poisoned barrier.
+                assert!(
+                    message.contains("injected failure") || message.contains("poisoned"),
+                    "unexpected message: {message}"
+                );
+            }
+            other => panic!("expected MachinePanicked, got {other:?}"),
+        }
+        // The same cluster immediately serves the next job.
+        let (sums, _) = cluster.submit::<u64, u64, _>(|h| h.barrier_sum(1)).unwrap();
+        assert_eq!(sums, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn async_style_job_poisoned_on_panic() {
+        let cluster = PersistentCluster::new(3);
+        let err = cluster
+            .submit::<u64, u64, _>(|h| {
+                if h.id() == 0 {
+                    panic!("async worker died");
+                }
+                // Peers idle-poll quiescence, as the async engine does;
+                // poison must turn this loop into a contained panic.
+                let mut polls = 0u64;
+                loop {
+                    h.set_idle(true);
+                    if h.quiescent() {
+                        return polls;
+                    }
+                    polls += 1;
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::MachinePanicked { .. }));
+        // Cluster still alive.
+        let (ok, _) = cluster.submit::<u64, u64, _>(|h| h.id() as u64).unwrap();
+        assert_eq!(ok, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let cluster = PersistentCluster::new(2);
+        let (r, _) = cluster.submit::<u64, usize, _>(|h| h.id()).unwrap();
+        assert_eq!(r, vec![0, 1]);
+        cluster.shutdown();
+        cluster.shutdown(); // idempotent
+        assert_eq!(cluster.submit::<u64, (), _>(|_| ()).unwrap_err(), ClusterError::ShutDown);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize() {
+        let cluster = std::sync::Arc::new(PersistentCluster::new(2));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = cluster.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let (sums, _) = c.submit::<u64, u64, _>(|h| h.barrier_sum(1)).unwrap();
+                        assert_eq!(sums, vec![2, 2]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cluster.generation(), 40);
+    }
+
+    #[test]
+    fn borrowed_state_visible_to_jobs() {
+        // Jobs may capture non-'static borrows (the engine's shards);
+        // verify reads and writes through such borrows.
+        let cluster = PersistentCluster::new(2);
+        let data = [10u64, 20u64];
+        let acc = Mutex::new(0u64);
+        let (_, _) = cluster
+            .submit::<u64, (), _>(|h| {
+                let v = data[h.id()];
+                *acc.lock().unwrap() += v;
+            })
+            .unwrap();
+        assert_eq!(*acc.lock().unwrap(), 30);
+    }
+}

@@ -299,8 +299,7 @@ mod tests {
 
     #[test]
     fn per_lane_counts_match_visited() {
-        let g: EdgeList =
-            [(0u64, 1u64), (0, 2), (1, 3), (2, 3), (3, 4)].into_iter().collect();
+        let g: EdgeList = [(0u64, 1u64), (0, 2), (1, 3), (2, 3), (3, 4)].into_iter().collect();
         let shard = single_shard(&g);
         let mut bf = BitFrontier::new(&shard);
         bf.seed(0, 0);

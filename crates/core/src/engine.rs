@@ -26,7 +26,7 @@ use crate::pcm::{PartitionCtx, PartitionProgram};
 use crate::shard::{build_shards, Shard};
 use crate::traverse::{QueueTraversal, ValueMode};
 use cgraph_comm::cluster::TrafficReport;
-use cgraph_comm::{Cluster, WireSize};
+use cgraph_comm::{Cluster, ClusterError, CommHandle, PersistentCluster, WireSize};
 use cgraph_graph::bitmap::LANES;
 use cgraph_graph::{EdgeList, VertexId};
 use std::collections::HashMap;
@@ -137,6 +137,16 @@ impl GasResult {
     }
 }
 
+/// One machine's private output from a bit-frontier batch, merged by
+/// [`DistributedEngine::stitch_batch`].
+struct MachineOut {
+    per_level_local: Vec<Vec<u64>>,
+    visited_local: Vec<u64>,
+    lane_completion: Vec<Duration>,
+    supersteps: u32,
+    busy: Duration,
+}
+
 /// The C-Graph distributed engine.
 pub struct DistributedEngine {
     partition: RangePartition,
@@ -170,12 +180,8 @@ impl DistributedEngine {
             "partition count must match machine count"
         );
         assert_eq!(partition.num_vertices(), edges.num_vertices());
-        let shards = build_shards(
-            &partition,
-            edges.edges(),
-            config.edge_set_policy,
-            config.build_in_edges,
-        );
+        let shards =
+            build_shards(&partition, edges.edges(), config.edge_set_policy, config.build_in_edges);
         Self { partition, shards, config }
     }
 
@@ -223,22 +229,79 @@ impl DistributedEngine {
     /// budget (`u32::MAX` = full BFS). All lanes share every edge-set
     /// scan — the core concurrency optimization of the paper.
     pub fn run_traversal_batch(&self, sources: &[VertexId], ks: &[u32]) -> BatchResult {
+        let lanes = Self::check_batch(sources, ks);
+        let start = Instant::now();
+        let (outs, traffic) = self
+            .cluster()
+            .run::<EngineMsg, MachineOut, _>(|h| self.batch_worker(sources, ks, None, h));
+        self.stitch_batch(outs, traffic, lanes, start.elapsed())
+    }
+
+    /// [`DistributedEngine::run_traversal_batch`] on a caller-provided
+    /// [`PersistentCluster`] instead of per-batch spawned threads —
+    /// the serving path: the streaming query service dispatches every
+    /// packed batch through the same long-lived machine threads.
+    ///
+    /// Errors instead of panicking when a machine dies mid-batch, so a
+    /// service can fail the affected queries and keep serving.
+    pub fn run_traversal_batch_on(
+        &self,
+        cluster: &PersistentCluster,
+        sources: &[VertexId],
+        ks: &[u32],
+    ) -> Result<BatchResult, ClusterError> {
+        self.run_traversal_batch_on_hooked(cluster, sources, ks, None)
+    }
+
+    /// [`DistributedEngine::run_traversal_batch_on`] with an optional
+    /// per-machine hook invoked with the machine id at the start of
+    /// each machine's share of the batch. The hook is the
+    /// fault-injection seam: a hook that panics on a chosen machine
+    /// reproduces "a machine died mid-batch" end to end (the panic is
+    /// caught, the batch's barrier and detector are poisoned, and the
+    /// call returns [`ClusterError::MachinePanicked`]).
+    pub fn run_traversal_batch_on_hooked(
+        &self,
+        cluster: &PersistentCluster,
+        sources: &[VertexId],
+        ks: &[u32],
+        hook: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Result<BatchResult, ClusterError> {
+        let lanes = Self::check_batch(sources, ks);
+        assert_eq!(
+            cluster.num_machines(),
+            self.config.num_machines,
+            "cluster width must match the engine's machine count"
+        );
+        let start = Instant::now();
+        let (outs, traffic) = cluster
+            .submit::<EngineMsg, MachineOut, _>(|h| self.batch_worker(sources, ks, hook, h))?;
+        Ok(self.stitch_batch(outs, traffic, lanes, start.elapsed()))
+    }
+
+    /// Validates batch shape; returns the lane count.
+    fn check_batch(sources: &[VertexId], ks: &[u32]) -> usize {
         assert!(!sources.is_empty() && sources.len() <= LANES, "1..=64 lanes per batch");
         assert_eq!(sources.len(), ks.len());
-        let lanes = sources.len();
-        let all_lanes_mask: u64 =
-            if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        sources.len()
+    }
 
-        struct MachineOut {
-            per_level_local: Vec<Vec<u64>>,
-            visited_local: Vec<u64>,
-            lane_completion: Vec<Duration>,
-            supersteps: u32,
-            busy: Duration,
+    /// One machine's share of a bit-frontier batch: seed local lanes,
+    /// then alternate shared edge-set scans with frontier exchange
+    /// until every lane is globally quiet or out of hop budget.
+    fn batch_worker(
+        &self,
+        sources: &[VertexId],
+        ks: &[u32],
+        hook: Option<&(dyn Fn(usize) + Sync)>,
+        h: CommHandle<EngineMsg>,
+    ) -> MachineOut {
+        if let Some(hook) = hook {
+            hook(h.id());
         }
-
-        let start = Instant::now();
-        let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+        let lanes = sources.len();
+        let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        {
             let shard = &self.shards[h.id()];
             let t0 = Instant::now();
             let mut bf = BitFrontier::new(shard);
@@ -319,9 +382,17 @@ impl DistributedEngine {
                 supersteps,
                 busy: cgraph_comm::thread_cpu_time() - cpu0,
             }
-        });
-        let exec_time = start.elapsed();
+        }
+    }
 
+    /// Merges per-machine batch outputs into the global [`BatchResult`].
+    fn stitch_batch(
+        &self,
+        outs: Vec<MachineOut>,
+        traffic: TrafficReport,
+        lanes: usize,
+        exec_time: Duration,
+    ) -> BatchResult {
         // Stitch machine-local counts into global per-level/per-lane.
         let supersteps = outs[0].supersteps;
         let levels = outs.iter().map(|o| o.per_level_local.len()).max().unwrap_or(0);
@@ -493,10 +564,7 @@ impl DistributedEngine {
                                         queue.push((t, nd));
                                     }
                                 } else {
-                                    h.send(
-                                        self.partition.owner(t),
-                                        EngineMsg::Task(vec![(t, nd)]),
-                                    );
+                                    h.send(self.partition.owner(t), EngineMsg::Task(vec![(t, nd)]));
                                 }
                             }
                         }
@@ -687,32 +755,30 @@ impl DistributedEngine {
             let base = local.start;
             // Local vertex values + a global scatter view refreshed per
             // iteration (the "local read" synchronisation of §3.3).
-            let mut values: Vec<f64> =
-                local.iter().map(|v| gas.init(v, n)).collect();
+            let mut values: Vec<f64> = local.iter().map(|v| gas.init(v, n)).collect();
             let mut scatter = vec![0.0f64; n as usize];
 
             // Broadcast initial scatter values.
-            let publish = |h: &cgraph_comm::CommHandle<EngineMsg>,
-                           values: &[f64],
-                           scatter: &mut Vec<f64>| {
-                let pairs: Vec<(u64, u64)> = values
-                    .iter()
-                    .enumerate()
-                    .map(|(l, &val)| {
-                        let v = base + l as u64;
-                        let s = gas.scatter(v, val, shard.global_out_degree(v));
-                        (v, s.to_bits())
-                    })
-                    .collect();
-                for (v, bits) in &pairs {
-                    scatter[*v as usize] = f64::from_bits(*bits);
-                }
-                for m in 0..h.num_machines() {
-                    if m != h.id() {
-                        h.send(m, EngineMsg::Ranks(pairs.clone()));
+            let publish =
+                |h: &cgraph_comm::CommHandle<EngineMsg>, values: &[f64], scatter: &mut Vec<f64>| {
+                    let pairs: Vec<(u64, u64)> = values
+                        .iter()
+                        .enumerate()
+                        .map(|(l, &val)| {
+                            let v = base + l as u64;
+                            let s = gas.scatter(v, val, shard.global_out_degree(v));
+                            (v, s.to_bits())
+                        })
+                        .collect();
+                    for (v, bits) in &pairs {
+                        scatter[*v as usize] = f64::from_bits(*bits);
                     }
-                }
-            };
+                    for m in 0..h.num_machines() {
+                        if m != h.id() {
+                            h.send(m, EngineMsg::Ranks(pairs.clone()));
+                        }
+                    }
+                };
             let absorb = |h: &cgraph_comm::CommHandle<EngineMsg>, scatter: &mut Vec<f64>| {
                 for env in h.drain() {
                     if let EngineMsg::Ranks(batch) = env.payload {
@@ -919,10 +985,8 @@ mod tests {
         let mut b = cgraph_graph::GraphBuilder::new();
         b.add_edge_list(&g);
         let g = b.build().edges;
-        let r1 = DistributedEngine::new(&g, EngineConfig::new(1))
-            .run_gas(&PageRank::default(), 10);
-        let r4 = DistributedEngine::new(&g, EngineConfig::new(4))
-            .run_gas(&PageRank::default(), 10);
+        let r1 = DistributedEngine::new(&g, EngineConfig::new(1)).run_gas(&PageRank::default(), 10);
+        let r4 = DistributedEngine::new(&g, EngineConfig::new(4)).run_gas(&PageRank::default(), 10);
         for (a, b) in r1.values.iter().zip(&r4.values) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }

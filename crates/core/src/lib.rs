@@ -22,6 +22,9 @@
 //! * [`scheduler`] — the concurrent-query front end: batches queries
 //!   into 64-lane groups, shares subgraph traversals inside a batch,
 //!   and enforces a memory budget (§3.3, §3.5),
+//! * [`service`] — the persistent streaming front end: an admission
+//!   queue with backpressure, fill-or-deadline batch packing, and
+//!   execution on a long-lived [`cgraph_comm::PersistentCluster`],
 //! * [`metrics`] — response-time distributions (the quantity every
 //!   figure of §4 reports).
 
@@ -36,6 +39,7 @@ pub mod partition;
 pub mod pcm;
 pub mod query;
 pub mod scheduler;
+pub mod service;
 pub mod shard;
 pub mod traverse;
 pub mod vcm;
@@ -46,5 +50,6 @@ pub use metrics::ResponseStats;
 pub use partition::RangePartition;
 pub use query::{KhopQuery, QueryResult};
 pub use scheduler::{QueryScheduler, SchedulerConfig};
+pub use service::{QueryService, QueryTicket, ServiceConfig, ServiceError, ServiceStats};
 pub use shard::Shard;
 pub use vcm::{VertexProgram, VertexScope};

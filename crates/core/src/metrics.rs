@@ -141,10 +141,8 @@ mod tests {
     #[test]
     fn cumulative_histogram_percentages() {
         let s = ms(&[100, 300, 500, 700]);
-        let edges: Vec<Duration> = [200u64, 400, 600, 800]
-            .iter()
-            .map(|&x| Duration::from_millis(x))
-            .collect();
+        let edges: Vec<Duration> =
+            [200u64, 400, 600, 800].iter().map(|&x| Duration::from_millis(x)).collect();
         assert_eq!(s.cumulative_histogram(&edges), vec![25.0, 50.0, 75.0, 100.0]);
     }
 

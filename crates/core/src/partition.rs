@@ -224,8 +224,7 @@ mod tests {
 
     #[test]
     fn from_edges_counts_out_degrees() {
-        let edges =
-            vec![Edge::unweighted(0, 1), Edge::unweighted(0, 2), Edge::unweighted(3, 0)];
+        let edges = vec![Edge::unweighted(0, 1), Edge::unweighted(0, 2), Edge::unweighted(3, 0)];
         let p = RangePartition::from_edges(4, &edges, 2);
         // vertex 0 carries 2 of 3 edges → partition 0 should be small.
         assert!(p.range(0).len() <= 2, "{:?}", p.ranges());

@@ -185,12 +185,8 @@ mod tests {
     fn ctx_fixture() -> (RangePartition, Vec<Shard>) {
         let g: EdgeList = (0..10u64).map(|v| (v, (v + 1) % 10)).collect();
         let part = RangePartition::by_vertices(10, 2);
-        let shards = crate::shard::build_shards(
-            &part,
-            g.edges(),
-            ConsolidationPolicy::default(),
-            false,
-        );
+        let shards =
+            crate::shard::build_shards(&part, g.edges(), ConsolidationPolicy::default(), false);
         (part, shards)
     }
 

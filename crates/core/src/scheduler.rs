@@ -105,13 +105,8 @@ impl<'e> QueryScheduler<'e> {
                 // buffers scale with lanes. We approximate: full width
                 // needs `base`; each lane adds queue/result overhead of
                 // ~64 B per machine-level. Shrink proportionally.
-                let max_local = self
-                    .engine
-                    .shards()
-                    .iter()
-                    .map(|s| s.num_local())
-                    .max()
-                    .unwrap_or(0);
+                let max_local =
+                    self.engine.shards().iter().map(|s| s.num_local()).max().unwrap_or(0);
                 let base = 3 * 8 * max_local;
                 if budget >= base {
                     want
@@ -193,10 +188,8 @@ impl<'e> QueryScheduler<'e> {
             .map(|(qi, q)| {
                 let idxs = std::mem::take(&mut per_query_idxs[qi]);
                 let n = idxs.len() as u32;
-                let response_time =
-                    idxs.iter().map(|&i| t_resp[i]).sum::<Duration>() / n.max(1);
-                let exec_time =
-                    idxs.iter().map(|&i| t_exec[i]).sum::<Duration>() / n.max(1);
+                let response_time = idxs.iter().map(|&i| t_resp[i]).sum::<Duration>() / n.max(1);
+                let exec_time = idxs.iter().map(|&i| t_exec[i]).sum::<Duration>() / n.max(1);
                 let visited = idxs.iter().map(|&i| t_visited[i]).sum::<u64>();
                 let levels = idxs.iter().map(|&i| t_levels[i].len()).max().unwrap_or(0);
                 let mut per_level = vec![0u64; levels];
@@ -213,8 +206,7 @@ impl<'e> QueryScheduler<'e> {
     /// Estimated per-machine bytes for one batch of the effective lane
     /// width (reported by the memory ablation).
     pub fn batch_state_bytes(&self) -> usize {
-        let max_local =
-            self.engine.shards().iter().map(|s| s.num_local()).max().unwrap_or(0);
+        let max_local = self.engine.shards().iter().map(|s| s.num_local()).max().unwrap_or(0);
         3 * 8 * max_local
     }
 }
@@ -302,16 +294,12 @@ mod tests {
     fn response_includes_queue_wait() {
         let e = ring_engine(300, 2);
         // 130 single-source queries → 3 batches of ≤64.
-        let queries: Vec<KhopQuery> =
-            (0..130).map(|i| KhopQuery::single(i, i as u64, 3)).collect();
+        let queries: Vec<KhopQuery> = (0..130).map(|i| KhopQuery::single(i, i as u64, 3)).collect();
         let r = QueryScheduler::new(&e, SchedulerConfig::default()).execute(&queries);
         let first_batch_mean: Duration =
             r[..64].iter().map(|q| q.response_time).sum::<Duration>() / 64;
         let last_batch_mean: Duration =
             r[128..].iter().map(|q| q.response_time).sum::<Duration>() / 2;
-        assert!(
-            last_batch_mean > first_batch_mean,
-            "{last_batch_mean:?} vs {first_batch_mean:?}"
-        );
+        assert!(last_batch_mean > first_batch_mean, "{last_batch_mean:?} vs {first_batch_mean:?}");
     }
 }

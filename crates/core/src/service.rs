@@ -1,0 +1,621 @@
+//! The persistent streaming query service — the serving-path
+//! extension of §3.3.
+//!
+//! [`crate::scheduler::QueryScheduler`] answers one *closed* batch of
+//! queries handed over all at once. A serving deployment instead sees
+//! an **open stream**: queries arrive at arbitrary times from many
+//! client threads and each wants an answer as soon as possible.
+//! [`QueryService`] bridges the two worlds:
+//!
+//! * an **admission queue** collects incoming [`KhopQuery`]s from any
+//!   number of submitter threads, applying queue-depth backpressure
+//!   ([`ServiceConfig::max_queue_depth`]): submitters block while the
+//!   queue is full, so an overloaded service slows producers instead
+//!   of growing without bound;
+//! * a **dispatcher thread** packs queued traversals into bit-frontier
+//!   batches with a *fill-or-deadline* policy — a batch goes out as
+//!   soon as [`QueryService::effective_lanes`] traversals are waiting,
+//!   or when the oldest admitted traversal has waited
+//!   [`ServiceConfig::max_batch_delay`], whichever comes first. The
+//!   lane width honours [`SchedulerConfig::memory_budget_bytes`]
+//!   exactly like the closed-batch scheduler;
+//! * batches execute on a long-lived
+//!   [`cgraph_comm::PersistentCluster`] via
+//!   [`DistributedEngine::run_traversal_batch_on`], so no machine
+//!   threads are spawned per batch — the serving path amortises thread
+//!   start-up across the whole stream;
+//! * per-query latency — admission wait plus batch execution — flows
+//!   into [`ResponseStats`], the same distributions every figure of §4
+//!   reports.
+//!
+//! A machine panic mid-batch fails only that batch's queries (each
+//! waiter gets [`ServiceError::BatchFailed`]); the cluster and the
+//! service survive and keep serving the stream.
+
+use crate::engine::DistributedEngine;
+use crate::metrics::ResponseStats;
+use crate::query::{KhopQuery, QueryResult};
+use crate::scheduler::{QueryScheduler, SchedulerConfig};
+use cgraph_comm::PersistentCluster;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a submitted query could not be answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service has been shut down (or its dispatcher is gone); no
+    /// further queries are accepted.
+    ShutDown,
+    /// The batch carrying this query failed — a machine of the
+    /// persistent cluster panicked mid-execution. The message is the
+    /// panic payload; the service itself keeps serving.
+    BatchFailed(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShutDown => write!(f, "query service is shut down"),
+            ServiceError::BatchFailed(msg) => {
+                write!(f, "batch execution failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Batch shaping shared with the closed-batch scheduler: lane
+    /// width, subgraph sharing, and the memory budget that narrows the
+    /// effective lane count. (`use_sim_time` is ignored — a serving
+    /// latency is inherently wall clock.)
+    pub scheduler: SchedulerConfig,
+    /// How long the oldest admitted traversal may wait before a
+    /// partially-filled batch is flushed anyway. Trades per-query
+    /// latency against batch fill (throughput).
+    pub max_batch_delay: Duration,
+    /// Admission-queue depth, in traversals, above which submitters
+    /// block. A query's traversals are always admitted together, so
+    /// the queue may transiently overshoot by one query's source count.
+    pub max_queue_depth: usize,
+    /// Fault-injection seam for tests: called with the machine id at
+    /// the start of every machine's share of every batch. A hook that
+    /// panics reproduces a machine dying mid-batch.
+    pub fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerConfig::default(),
+            max_batch_delay: Duration::from_millis(2),
+            max_queue_depth: 1024,
+            fault_hook: None,
+        }
+    }
+}
+
+impl fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("scheduler", &self.scheduler)
+            .field("max_batch_delay", &self.max_batch_delay)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// Handle to one in-flight query: redeem it with
+/// [`QueryTicket::wait`] for the result.
+pub struct QueryTicket {
+    rx: crossbeam_channel::Receiver<Result<QueryResult, ServiceError>>,
+}
+
+impl fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryTicket").finish_non_exhaustive()
+    }
+}
+
+impl QueryTicket {
+    /// Blocks until the query's batch (or batches) completed and
+    /// returns its result.
+    pub fn wait(self) -> Result<QueryResult, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShutDown))
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    pub fn try_wait(&self) -> Option<Result<QueryResult, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Latency and volume counters accumulated over the service lifetime.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Queries answered successfully.
+    pub queries_completed: u64,
+    /// Queries failed by a dying batch.
+    pub queries_failed: u64,
+    /// Batches dispatched to the persistent cluster (successful ones).
+    pub batches_dispatched: u64,
+    /// Per-query admission wait: submission → batch dispatch (mean
+    /// over the query's traversals).
+    pub admission_wait: ResponseStats,
+    /// Per-query execution time: the lane-completion share of its
+    /// batch, exactly as the closed-batch scheduler accounts it.
+    pub exec: ResponseStats,
+    /// Per-query end-to-end response: admission wait + execution —
+    /// what a client of the service observes.
+    pub response: ResponseStats,
+}
+
+/// One admitted traversal (queries are exploded on admission, exactly
+/// like [`QueryScheduler::execute`] explodes its closed batch).
+struct Traversal {
+    source: u64,
+    k: u32,
+    submitted: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// Shared completion state of one query across its traversals.
+struct TicketState {
+    id: usize,
+    total: usize,
+    acc: Mutex<TicketAcc>,
+    reply: crossbeam_channel::Sender<Result<QueryResult, ServiceError>>,
+}
+
+#[derive(Default)]
+struct TicketAcc {
+    done: usize,
+    failed: Option<ServiceError>,
+    visited: u64,
+    per_level: Vec<u64>,
+    wait_sum: Duration,
+    exec_sum: Duration,
+    resp_sum: Duration,
+}
+
+struct QueueState {
+    queue: VecDeque<Traversal>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct MetricsAcc {
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    wait: Vec<Duration>,
+    exec: Vec<Duration>,
+    response: Vec<Duration>,
+}
+
+struct Shared {
+    engine: Arc<DistributedEngine>,
+    config: ServiceConfig,
+    lanes: usize,
+    state: Mutex<QueueState>,
+    /// Wakes the dispatcher (work arrived / service closed).
+    work: Condvar,
+    /// Wakes blocked submitters (queue space freed / service closed).
+    space: Condvar,
+    metrics: Mutex<MetricsAcc>,
+}
+
+/// A long-running query-serving front end over a
+/// [`DistributedEngine`] and a [`cgraph_comm::PersistentCluster`].
+///
+/// ```
+/// use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery,
+///                   QueryService, ServiceConfig};
+/// use std::sync::Arc;
+/// let edges: cgraph_graph::EdgeList = (0..20u64).map(|v| (v, (v + 1) % 20)).collect();
+/// let engine = Arc::new(DistributedEngine::new(&edges, EngineConfig::new(2)));
+/// let service = QueryService::start(engine, ServiceConfig::default());
+/// let r = service.query(KhopQuery::single(0, 0, 3)).unwrap();
+/// assert_eq!(r.visited, 4); // ring: k hops reach k + 1 vertices
+/// service.shutdown();
+/// ```
+pub struct QueryService {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Spawns the persistent cluster (one parked thread per engine
+    /// machine) and the dispatcher, then starts accepting queries.
+    pub fn start(engine: Arc<DistributedEngine>, config: ServiceConfig) -> Self {
+        let lanes = QueryScheduler::new(&engine, config.scheduler).effective_lanes();
+        let cluster =
+            PersistentCluster::with_model(engine.num_machines(), engine.config().net_model);
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            lanes,
+            state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            metrics: Mutex::new(MetricsAcc::default()),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cgraph-dispatcher".into())
+                .spawn(move || dispatch_loop(&shared, cluster))
+                .expect("spawn dispatcher thread")
+        };
+        Self { shared, dispatcher: Mutex::new(Some(dispatcher)) }
+    }
+
+    /// Lanes per batch after the memory budget (fixed at start-up).
+    pub fn effective_lanes(&self) -> usize {
+        self.shared.lanes
+    }
+
+    /// Admits `query`, blocking while the admission queue is full.
+    /// Returns a ticket redeemable for the result, or
+    /// [`ServiceError::ShutDown`] once the service is closed.
+    pub fn submit(&self, query: KhopQuery) -> Result<QueryTicket, ServiceError> {
+        let shared = &self.shared;
+        let mut st = lock(&shared.state);
+        while !st.closed && st.queue.len() >= shared.config.max_queue_depth {
+            st = wait(&shared.space, st);
+        }
+        if st.closed {
+            return Err(ServiceError::ShutDown);
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let ticket = Arc::new(TicketState {
+            id: query.id,
+            total: query.sources.len(),
+            acc: Mutex::new(TicketAcc::default()),
+            reply: tx,
+        });
+        let now = Instant::now();
+        for &source in &query.sources {
+            st.queue.push_back(Traversal {
+                source,
+                k: query.k,
+                submitted: now,
+                ticket: Arc::clone(&ticket),
+            });
+        }
+        shared.work.notify_all();
+        Ok(QueryTicket { rx })
+    }
+
+    /// Submits `query` and blocks for its result (submit + wait).
+    pub fn query(&self, query: KhopQuery) -> Result<QueryResult, ServiceError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Snapshot of the lifetime latency/volume counters.
+    pub fn stats(&self) -> ServiceStats {
+        let m = lock(&self.shared.metrics);
+        ServiceStats {
+            queries_completed: m.completed,
+            queries_failed: m.failed,
+            batches_dispatched: m.batches,
+            admission_wait: ResponseStats::new(m.wait.clone()),
+            exec: ResponseStats::new(m.exec.clone()),
+            response: ResponseStats::new(m.response.clone()),
+        }
+    }
+
+    /// Stops admission, drains every already-admitted query, then
+    /// parks the cluster and joins all service threads. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.closed = true;
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+        }
+        if let Some(h) = lock(&self.dispatcher).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Lock helper that survives a poisoned mutex (a dispatcher panic must
+/// not cascade into every submitter).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// The dispatcher: block for work, pack a batch under the
+/// fill-or-deadline policy, execute it on the persistent cluster,
+/// fan results back out to tickets. Exits once closed *and* drained.
+fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
+    loop {
+        let batch = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.queue.is_empty() {
+                    if st.closed {
+                        drop(st);
+                        cluster.shutdown();
+                        return;
+                    }
+                    st = wait(&shared.work, st);
+                    continue;
+                }
+                if st.queue.len() >= shared.lanes || st.closed {
+                    break; // filled (or draining after shutdown)
+                }
+                let age = st.queue.front().expect("non-empty").submitted.elapsed();
+                if age >= shared.config.max_batch_delay {
+                    break; // deadline: flush the partial batch
+                }
+                let (g, _) = shared
+                    .work
+                    .wait_timeout(st, shared.config.max_batch_delay - age)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+            }
+            let n = st.queue.len().min(shared.lanes);
+            let batch: Vec<Traversal> = st.queue.drain(..n).collect();
+            shared.space.notify_all();
+            batch
+        };
+        execute_batch(shared, &cluster, batch);
+    }
+}
+
+fn execute_batch(shared: &Shared, cluster: &PersistentCluster, batch: Vec<Traversal>) {
+    let sources: Vec<u64> = batch.iter().map(|t| t.source).collect();
+    let ks: Vec<u32> = batch.iter().map(|t| t.k).collect();
+    let hook = shared.config.fault_hook.as_ref().map(|h| &**h as &(dyn Fn(usize) + Sync));
+    let dispatched = Instant::now();
+    match shared.engine.run_traversal_batch_on_hooked(cluster, &sources, &ks, hook) {
+        Ok(br) => {
+            lock(&shared.metrics).batches += 1;
+            let batch_dur = br.exec_time;
+            for (lane, t) in batch.into_iter().enumerate() {
+                // A lane finishes after its completion point within the
+                // batch — the same accounting as the closed-batch
+                // scheduler's per-lane fraction.
+                let done = br.lane_completion[lane].min(br.exec_time);
+                let frac = if br.exec_time.is_zero() {
+                    1.0
+                } else {
+                    done.as_secs_f64() / br.exec_time.as_secs_f64()
+                };
+                let exec = batch_dur.mul_f64(frac);
+                let wait = dispatched.duration_since(t.submitted);
+                let levels: Vec<u64> = br.per_level.iter().map(|row| row[lane]).collect();
+                complete_traversal(
+                    shared,
+                    &t.ticket,
+                    Ok((br.per_lane_visited[lane], levels, wait, exec)),
+                );
+            }
+        }
+        Err(e) => {
+            let err = ServiceError::BatchFailed(e.to_string());
+            for t in &batch {
+                complete_traversal(shared, &t.ticket, Err(err.clone()));
+            }
+        }
+    }
+}
+
+type TraversalOutcome = (u64, Vec<u64>, Duration, Duration);
+
+/// Folds one traversal's outcome into its query; when the last
+/// traversal lands, emits the query result (scheduler fold semantics:
+/// visited = sum, per-level = elementwise sum, times = mean) and
+/// records latency into the service metrics.
+fn complete_traversal(
+    shared: &Shared,
+    ticket: &TicketState,
+    outcome: Result<TraversalOutcome, ServiceError>,
+) {
+    let mut acc = lock(&ticket.acc);
+    acc.done += 1;
+    match outcome {
+        Ok((visited, levels, wait, exec)) => {
+            acc.visited += visited;
+            if acc.per_level.len() < levels.len() {
+                acc.per_level.resize(levels.len(), 0);
+            }
+            for (h, c) in levels.into_iter().enumerate() {
+                acc.per_level[h] += c;
+            }
+            acc.wait_sum += wait;
+            acc.exec_sum += exec;
+            acc.resp_sum += wait + exec;
+        }
+        Err(e) => {
+            acc.failed.get_or_insert(e);
+        }
+    }
+    if acc.done < ticket.total {
+        return;
+    }
+    let n = ticket.total as u32;
+    let mut metrics = lock(&shared.metrics);
+    let reply = match acc.failed.take() {
+        Some(e) => {
+            metrics.failed += 1;
+            Err(e)
+        }
+        None => {
+            // Canonical level profile: a lane's level vector is padded
+            // to its *batch's* depth, which depends on how the stream
+            // happened to pack — trim so results are packing-invariant.
+            while acc.per_level.last() == Some(&0) {
+                acc.per_level.pop();
+            }
+            let wait = acc.wait_sum / n;
+            let exec = acc.exec_sum / n;
+            let response = acc.resp_sum / n;
+            metrics.completed += 1;
+            metrics.wait.push(wait);
+            metrics.exec.push(exec);
+            metrics.response.push(response);
+            Ok(QueryResult {
+                id: ticket.id,
+                visited: acc.visited,
+                per_level: std::mem::take(&mut acc.per_level),
+                response_time: response,
+                exec_time: exec,
+            })
+        }
+    };
+    // The submitter may have dropped its ticket; that is fine.
+    let _ = ticket.reply.send(reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use cgraph_graph::EdgeList;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn ring_engine(n: u64, p: usize) -> Arc<DistributedEngine> {
+        let g: EdgeList = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Arc::new(DistributedEngine::new(&g, EngineConfig::new(p)))
+    }
+
+    #[test]
+    fn service_matches_scheduler_counts() {
+        let engine = ring_engine(60, 2);
+        let queries: Vec<KhopQuery> =
+            (0..12).map(|i| KhopQuery::single(i, (i * 5) as u64, 4)).collect();
+        let expected = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
+
+        let service = QueryService::start(Arc::clone(&engine), ServiceConfig::default());
+        let tickets: Vec<QueryTicket> =
+            queries.iter().map(|q| service.submit(q.clone()).unwrap()).collect();
+        for (ticket, exp) in tickets.into_iter().zip(&expected) {
+            let got = ticket.wait().unwrap();
+            assert_eq!(got.id, exp.id);
+            assert_eq!(got.visited, exp.visited);
+            assert_eq!(got.per_level, exp.per_level);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_completed, 12);
+        assert_eq!(stats.queries_failed, 0);
+        assert!(stats.batches_dispatched >= 1);
+        assert_eq!(stats.response.len(), 12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn multi_source_query_folds_traversals() {
+        let engine = ring_engine(40, 2);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let r = service.query(KhopQuery::multi(3, vec![0, 20], 2)).unwrap();
+        assert_eq!(r.visited, 6); // two independent 3-vertex traversals
+        assert_eq!(r.per_level, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let engine = ring_engine(30, 1);
+        let config =
+            ServiceConfig { max_batch_delay: Duration::from_millis(1), ..Default::default() };
+        let service = QueryService::start(engine, config);
+        // One traversal nowhere near 64 lanes: only the deadline can
+        // flush it.
+        let r = service.query(KhopQuery::single(0, 0, 3)).unwrap();
+        assert_eq!(r.visited, 4);
+        assert!(r.response_time >= r.exec_time);
+    }
+
+    #[test]
+    fn backpressure_blocks_but_everything_completes() {
+        let engine = ring_engine(50, 2);
+        let config = ServiceConfig {
+            max_queue_depth: 2,
+            max_batch_delay: Duration::from_micros(200),
+            ..Default::default()
+        };
+        let service = Arc::new(QueryService::start(engine, config));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    (0..8)
+                        .map(|i| {
+                            let q = KhopQuery::single(t * 8 + i, ((t * 8 + i) % 50) as u64, 2);
+                            service.query(q).unwrap().visited
+                        })
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 4 * 8 * 3); // every 2-hop ring query reaches 3
+        assert_eq!(service.stats().queries_completed, 32);
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let engine = ring_engine(20, 1);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        service.shutdown();
+        let err = service.submit(KhopQuery::single(0, 0, 2)).unwrap_err();
+        assert_eq!(err, ServiceError::ShutDown);
+        service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn fault_hook_fails_batch_but_service_survives() {
+        let engine = ring_engine(40, 2);
+        let blow_once = Arc::new(AtomicBool::new(true));
+        let hook = {
+            let blow_once = Arc::clone(&blow_once);
+            Arc::new(move |machine: usize| {
+                if machine == 1 && blow_once.swap(false, Ordering::SeqCst) {
+                    panic!("injected machine fault");
+                }
+            })
+        };
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_hook: Some(hook),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+
+        let err = service.query(KhopQuery::single(0, 0, 3)).unwrap_err();
+        match err {
+            ServiceError::BatchFailed(msg) => {
+                assert!(msg.contains("injected machine fault"), "{msg}")
+            }
+            other => panic!("expected BatchFailed, got {other:?}"),
+        }
+        // The hook disarmed itself: the very next query succeeds on the
+        // same (surviving) persistent cluster.
+        let ok = service.query(KhopQuery::single(1, 0, 3)).unwrap();
+        assert_eq!(ok.visited, 4);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 1);
+        assert_eq!(stats.queries_completed, 1);
+        service.shutdown();
+    }
+}

@@ -70,8 +70,7 @@ impl Shard {
         boundary.sort_unstable();
         boundary.dedup();
 
-        let out_sets =
-            EdgeSetGraph::build(&out_edges, local, VertexRange::new(0, n), policy);
+        let out_sets = EdgeSetGraph::build(&out_edges, local, VertexRange::new(0, n), policy);
 
         // CSC over the full vertex space, but only local-dst edges are
         // inserted — in_neighbors(v) is meaningful for local v only.
@@ -99,9 +98,9 @@ impl Shard {
         let mut groups: Vec<Group> = Vec::new();
         for (i, s) in sets.sets().iter().enumerate() {
             let span = (s.col_range.start, s.col_range.end);
-            let slot = groups.iter_mut().find(|(spans, _)| {
-                spans.iter().all(|&(a, b)| span.1 <= a || span.0 >= b)
-            });
+            let slot = groups
+                .iter_mut()
+                .find(|(spans, _)| spans.iter().all(|&(a, b)| span.1 <= a || span.0 >= b));
             match slot {
                 Some((spans, idxs)) => {
                     spans.push(span);
@@ -216,12 +215,7 @@ impl Shard {
             .out_sets
             .sets()
             .iter()
-            .flat_map(|s| {
-                s.neighbors(v)
-                    .iter()
-                    .copied()
-                    .zip(s.neighbor_weights(v).iter().copied())
-            })
+            .flat_map(|s| s.neighbors(v).iter().copied().zip(s.neighbor_weights(v).iter().copied()))
             .collect();
         out.sort_unstable_by_key(|a| a.0);
         out

@@ -61,7 +61,8 @@ pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> Edge
     let edges: Vec<Edge> = (0..num_edges)
         .into_par_iter()
         .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let (src, dst) = rmat_one(scale, params, &mut rng);
             Edge::unweighted(src, dst)
         })
@@ -142,12 +143,7 @@ mod tests {
         let g = rmat(12, 40_000, RmatParams::GRAPH500, 3);
         let csr = Csr::from_edges(g.num_vertices(), g.edges());
         let s = DegreeStats::from_csr(&csr);
-        assert!(
-            s.max as f64 > 10.0 * s.mean,
-            "expected heavy tail: max {} mean {}",
-            s.max,
-            s.mean
-        );
+        assert!(s.max as f64 > 10.0 * s.mean, "expected heavy tail: max {} mean {}", s.max, s.mean);
     }
 
     #[test]

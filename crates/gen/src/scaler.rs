@@ -83,10 +83,7 @@ mod tests {
         let scaled = scale_graph(&base, 3, 5);
         for rep in 0..3u64 {
             let off = rep * 3;
-            assert!(scaled
-                .edges()
-                .iter()
-                .any(|e| e.src == off && e.dst == off + 1));
+            assert!(scaled.edges().iter().any(|e| e.src == off && e.dst == off + 1));
         }
     }
 

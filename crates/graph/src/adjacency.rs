@@ -23,7 +23,10 @@ pub struct Adjacency {
 impl Adjacency {
     /// Builds both views from an edge slice.
     pub fn from_edges(num_vertices: u64, edges: &[Edge]) -> Self {
-        Self { out: Csr::from_edges(num_vertices, edges), inn: Csc::from_edges(num_vertices, edges) }
+        Self {
+            out: Csr::from_edges(num_vertices, edges),
+            inn: Csc::from_edges(num_vertices, edges),
+        }
     }
 
     /// Builds only the out-edge (CSR) view; the in-edge view is left
@@ -78,10 +81,7 @@ impl Adjacency {
 
     /// Out-neighbour/weight pairs of `v`.
     #[inline]
-    pub fn neighbors_weighted(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         self.out.neighbors_weighted(v)
     }
 
@@ -116,8 +116,7 @@ mod tests {
 
     #[test]
     fn every_out_edge_is_an_in_edge() {
-        let l: EdgeList =
-            [(0u64, 1u64), (0, 2), (3, 1), (2, 3), (1, 0)].into_iter().collect();
+        let l: EdgeList = [(0u64, 1u64), (0, 2), (3, 1), (2, 3), (1, 0)].into_iter().collect();
         let a = Adjacency::from_edges(l.num_vertices(), l.edges());
         for v in 0..a.num_vertices() {
             for &t in a.neighbors(v) {

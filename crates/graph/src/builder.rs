@@ -159,8 +159,7 @@ impl GraphBuilder {
                         next += 1;
                     }
                 }
-                let remapped =
-                    remap(edges, &map);
+                let remapped = remap(edges, &map);
                 (remapped, Some(map), next)
             }
             ReindexMode::ByDegreeDesc => {
@@ -211,20 +210,16 @@ mod tests {
 
     #[test]
     fn keep_loops_when_asked() {
-        let mut b = GraphBuilder::with_options(BuildOptions {
-            drop_loops: false,
-            ..Default::default()
-        });
+        let mut b =
+            GraphBuilder::with_options(BuildOptions { drop_loops: false, ..Default::default() });
         b.add_pair(2, 2);
         assert_eq!(b.build().edges.len(), 1);
     }
 
     #[test]
     fn symmetrize_then_dedup() {
-        let mut b = GraphBuilder::with_options(BuildOptions {
-            symmetrize: true,
-            ..Default::default()
-        });
+        let mut b =
+            GraphBuilder::with_options(BuildOptions { symmetrize: true, ..Default::default() });
         // (0,1) and (1,0) both present: symmetrizing creates duplicates
         // that dedup must collapse.
         b.add_pair(0, 1).add_pair(1, 0);

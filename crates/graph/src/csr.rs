@@ -143,10 +143,7 @@ impl Csr {
 
     /// Neighbour/weight pairs of `v`.
     #[inline]
-    pub fn neighbors_weighted(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
     }
 

@@ -81,20 +81,14 @@ impl EdgeSet {
     }
 
     /// Iterates `(local_row, neighbors, weights)` for non-empty rows.
-    pub fn iter_rows(
-        &self,
-    ) -> impl Iterator<Item = (VertexId, &[VertexId], &[Weight])> + '_ {
+    pub fn iter_rows(&self) -> impl Iterator<Item = (VertexId, &[VertexId], &[Weight])> + '_ {
         (0..self.row_range.len() as usize).filter_map(move |r| {
             let a = self.row_offsets[r] as usize;
             let b = self.row_offsets[r + 1] as usize;
             if a == b {
                 None
             } else {
-                Some((
-                    self.row_range.to_global(r as u32),
-                    &self.targets[a..b],
-                    &self.weights[a..b],
-                ))
+                Some((self.row_range.to_global(r as u32), &self.targets[a..b], &self.weights[a..b]))
             }
         })
     }
@@ -267,7 +261,8 @@ impl EdgeSetGraph {
             ((total / target.max(1)) as usize).clamp(1, 256).max(row_ranges.len().min(16))
         };
         let col_ranges = split_even(col_span, ncols);
-        let layout = EdgeSetLayout { row_ranges: row_ranges.clone(), col_ranges: col_ranges.clone() };
+        let layout =
+            EdgeSetLayout { row_ranges: row_ranges.clone(), col_ranges: col_ranges.clone() };
 
         // 3. Bucket edges into grid cells ("we scan the edge list again
         //    and allocate each edge to an edge-set").
@@ -285,9 +280,7 @@ impl EdgeSetGraph {
                 (rem + (off - boundary) / base.max(1)) as usize
             }
         };
-        let row_of = |s: VertexId| -> usize {
-            row_ranges.partition_point(|r| r.end <= s)
-        };
+        let row_of = |s: VertexId| -> usize { row_ranges.partition_point(|r| r.end <= s) };
         let mut cells: Vec<Vec<Edge>> = vec![Vec::new(); row_ranges.len() * col_ranges.len()];
         for &e in edges {
             cells[row_of(e.src) * col_ranges.len() + col_of(e.dst)].push(e);
@@ -330,8 +323,8 @@ impl EdgeSetGraph {
                 if prev.len() == 1 && cur.len() == 1 {
                     let small = prev[0].edges.len() < policy.min_edges_per_set
                         || cur[0].edges.len() < policy.min_edges_per_set;
-                    let aligned = prev[0].cols == cur[0].cols
-                        && prev[0].row.end == cur[0].row.start;
+                    let aligned =
+                        prev[0].cols == cur[0].cols && prev[0].row.end == cur[0].row.start;
                     if small && aligned {
                         let mut merged = prev.pop().unwrap();
                         let top = cur.remove(0);
@@ -351,10 +344,7 @@ impl EdgeSetGraph {
                 if p.edges.is_empty() {
                     continue;
                 }
-                let col = VertexRange::new(
-                    col_ranges[p.cols.0].start,
-                    col_ranges[p.cols.1].end,
-                );
+                let col = VertexRange::new(col_ranges[p.cols.0].start, col_ranges[p.cols.1].end);
                 sets.push(EdgeSet::build(p.row, col, p.edges));
             }
         }
@@ -439,7 +429,8 @@ mod tests {
     fn grid_preserves_all_edges() {
         let (l, span) = edges(
             32,
-            &(0..32u64).flat_map(|s| (0..32u64).filter(move |t| (s * 7 + t) % 5 == 0).map(move |t| (s, t)))
+            &(0..32u64)
+                .flat_map(|s| (0..32u64).filter(move |t| (s * 7 + t) % 5 == 0).map(move |t| (s, t)))
                 .collect::<Vec<_>>(),
         );
         let g = EdgeSetGraph::build(l.edges(), span, span, ConsolidationPolicy::grid(16));
@@ -455,10 +446,7 @@ mod tests {
 
     #[test]
     fn tiles_respect_ranges() {
-        let (l, span) = edges(
-            64,
-            &(0..64u64).map(|v| (v, (v * 17 + 3) % 64)).collect::<Vec<_>>(),
-        );
+        let (l, span) = edges(64, &(0..64u64).map(|v| (v, (v * 17 + 3) % 64)).collect::<Vec<_>>());
         let g = EdgeSetGraph::build(l.edges(), span, span, ConsolidationPolicy::grid(8));
         for s in g.sets() {
             for (src, ts, _) in s.iter_rows() {

@@ -440,8 +440,7 @@ mod tests {
         let p1 = tmp("fine.ts");
         let p2 = tmp("consolidated.ts");
         let mut fine_cache = TileCache::new(TileStore::create(&p1, &fine).unwrap(), 4);
-        let mut cons_cache =
-            TileCache::new(TileStore::create(&p2, &consolidated).unwrap(), 4);
+        let mut cons_cache = TileCache::new(TileStore::create(&p2, &consolidated).unwrap(), 4);
         let (c1, io1) = fine_cache.ooc_khop(0, 5).unwrap();
         let (c2, io2) = cons_cache.ooc_khop(0, 5).unwrap();
         assert_eq!(c1, c2, "same traversal result");

@@ -10,9 +10,7 @@ use cgraph_graph::{
 use proptest::prelude::*;
 
 fn graph_strategy(max_v: u64, max_e: usize) -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
-    (2..max_v).prop_flat_map(move |n| {
-        (Just(n), prop::collection::vec((0..n, 0..n), 0..max_e))
-    })
+    (2..max_v).prop_flat_map(move |n| (Just(n), prop::collection::vec((0..n, 0..n), 0..max_e)))
 }
 
 fn to_list(n: u64, pairs: &[(u64, u64)]) -> EdgeList {

@@ -152,8 +152,7 @@ impl<'e> Session<'e> {
                     Some(b) => cgraph_analytics::sssp_within(self.engine, *source, *b),
                     None => cgraph_analytics::sssp(self.engine, *source),
                 };
-                let finite: Vec<f32> =
-                    dist.into_iter().filter(|d| d.is_finite()).collect();
+                let finite: Vec<f32> = dist.into_iter().filter(|d| d.is_finite()).collect();
                 QueryOutput::Distances {
                     reachable: finite.len() as u64 - 1, // exclude the source
                     max_distance: finite.iter().copied().fold(0.0, f32::max),
@@ -181,20 +180,14 @@ impl<'e> Session<'e> {
             Query::Stats => {
                 let max_degree = (0..self.engine.num_vertices())
                     .map(|v| {
-                        let shard =
-                            &self.engine.shards()[self.engine.partition().owner(v)];
+                        let shard = &self.engine.shards()[self.engine.partition().owner(v)];
                         shard.global_out_degree(v) as u64
                     })
                     .max()
                     .unwrap_or(0);
                 QueryOutput::Summary {
                     vertices: self.engine.num_vertices(),
-                    edges: self
-                        .engine
-                        .shards()
-                        .iter()
-                        .map(|s| s.num_out_edges() as u64)
-                        .sum(),
+                    edges: self.engine.shards().iter().map(|s| s.num_out_edges() as u64).sum(),
                     max_degree,
                 }
             }
@@ -236,10 +229,7 @@ mod tests {
         let e = ring_engine(10);
         let s = Session::new(&e);
         assert_eq!(s.execute(parse("REACHABLE 0 3 3").unwrap()).output, QueryOutput::Bool(true));
-        assert_eq!(
-            s.execute(parse("REACHABLE 0 4 3").unwrap()).output,
-            QueryOutput::Bool(false)
-        );
+        assert_eq!(s.execute(parse("REACHABLE 0 4 3").unwrap()).output, QueryOutput::Bool(false));
         assert_eq!(s.execute(parse("REACHABLE 5 5 0").unwrap()).output, QueryOutput::Bool(true));
     }
 
@@ -265,10 +255,14 @@ mod tests {
         let a = s.execute(parse("KHOP 99 2").unwrap());
         assert!(matches!(a.output, QueryOutput::Error(_)), "{:?}", a.output);
         // The rest of a wave still executes.
-        let answers =
-            s.execute_batch(parse_program("BFS 99
+        let answers = s.execute_batch(
+            parse_program(
+                "BFS 99
 KHOP 0 1
-").unwrap());
+",
+            )
+            .unwrap(),
+        );
         assert!(matches!(answers[0].output, QueryOutput::Error(_)));
         assert_eq!(answers[1].output, QueryOutput::Reach { visited: 2, levels: vec![] });
     }

@@ -72,8 +72,7 @@ pub fn parse_line(input: &str, line: usize) -> Result<Option<Query>, ParseError>
             let bound = match it.next() {
                 None => None,
                 Some(tok) => Some(
-                    tok.parse::<f32>()
-                        .map_err(|_| err(line, format!("invalid bound {tok:?}")))?,
+                    tok.parse::<f32>().map_err(|_| err(line, format!("invalid bound {tok:?}")))?,
                 ),
             };
             Query::Sssp { source, bound }
@@ -119,10 +118,7 @@ mod tests {
 
     #[test]
     fn parses_every_verb() {
-        assert_eq!(
-            parse("KHOP 5 3").unwrap(),
-            Query::Khop { source: 5, k: 3, list_levels: 0 }
-        );
+        assert_eq!(parse("KHOP 5 3").unwrap(), Query::Khop { source: 5, k: 3, list_levels: 0 });
         assert_eq!(
             parse("khop 5 3 list 4").unwrap(),
             Query::Khop { source: 5, k: 3, list_levels: 4 }
@@ -133,10 +129,7 @@ mod tests {
             Query::Reachable { source: 1, target: 2, k: 4 }
         );
         assert_eq!(parse("SSSP 0").unwrap(), Query::Sssp { source: 0, bound: None });
-        assert_eq!(
-            parse("SSSP 0 2.5").unwrap(),
-            Query::Sssp { source: 0, bound: Some(2.5) }
-        );
+        assert_eq!(parse("SSSP 0 2.5").unwrap(), Query::Sssp { source: 0, bound: Some(2.5) });
         assert_eq!(parse("PAGERANK 10").unwrap(), Query::PageRank { iterations: 10 });
         assert_eq!(parse("COMPONENTS").unwrap(), Query::Components);
         assert_eq!(parse("KCORE 3").unwrap(), Query::KCore { k: 3 });

@@ -10,17 +10,11 @@ fn valid_statement() -> impl Strategy<Value = (String, Query)> {
             (format!("KHOP {s} {k}"), Query::Khop { source: s, k, list_levels: 0 })
         }),
         (0u64..10_000, 0u32..20, 1usize..8).prop_map(|(s, k, n)| {
-            (
-                format!("KHOP {s} {k} LIST {n}"),
-                Query::Khop { source: s, k, list_levels: n },
-            )
+            (format!("KHOP {s} {k} LIST {n}"), Query::Khop { source: s, k, list_levels: n })
         }),
         (0u64..10_000).prop_map(|s| (format!("BFS {s}"), Query::Bfs { source: s })),
         (0u64..10_000, 0u64..10_000, 0u32..20).prop_map(|(s, t, k)| {
-            (
-                format!("REACHABLE {s} {t} {k}"),
-                Query::Reachable { source: s, target: t, k },
-            )
+            (format!("REACHABLE {s} {t} {k}"), Query::Reachable { source: s, target: t, k })
         }),
         (0u64..10_000).prop_map(|s| (format!("SSSP {s}"), Query::Sssp { source: s, bound: None })),
         (1u32..100).prop_map(|n| (format!("PAGERANK {n}"), Query::PageRank { iterations: n })),

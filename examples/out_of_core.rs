@@ -48,10 +48,7 @@ fn main() {
         let store = TileStore::create(&path, graph).expect("persist tiles");
         println!("\n[{name}] {} tiles persisted to {}", store.num_tiles(), path.display());
         for cache_tiles in [2usize, 8, 32] {
-            let mut cache = TileCache::new(
-                TileStore::open(&path).expect("reopen"),
-                cache_tiles,
-            );
+            let mut cache = TileCache::new(TileStore::open(&path).expect("reopen"), cache_tiles);
             let (visited, io) = cache.ooc_khop(0, 3).expect("ooc traversal");
             println!(
                 "  cache {cache_tiles:>2} tiles: 3-hop visited {visited}, \

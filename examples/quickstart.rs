@@ -12,11 +12,7 @@ fn main() {
     let mut builder = GraphBuilder::new();
     builder.add_edge_list(&raw);
     let edges = builder.build().edges;
-    println!(
-        "graph: {} vertices, {} edges",
-        edges.num_vertices(),
-        edges.len()
-    );
+    println!("graph: {} vertices, {} edges", edges.num_vertices(), edges.len());
 
     // 2. Build the C-Graph engine over a 3-machine simulated cluster:
     //    range partitioning balanced by edges, edge-set blocked shards.
@@ -34,9 +30,8 @@ fn main() {
 
     // 3. Issue 128 concurrent 3-hop queries. The scheduler packs them
     //    into 64-lane bit-frontier batches that share every edge scan.
-    let queries: Vec<KhopQuery> = (0..128)
-        .map(|i| KhopQuery::single(i, (i as u64 * 31) % edges.num_vertices(), 3))
-        .collect();
+    let queries: Vec<KhopQuery> =
+        (0..128).map(|i| KhopQuery::single(i, (i as u64 * 31) % edges.num_vertices(), 3)).collect();
     let results = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
 
     // 4. Summarize.
@@ -49,17 +44,11 @@ fn main() {
     );
     println!("total vertices visited across queries: {total_visited}");
     let r0 = &results[0];
-    println!(
-        "query 0: visited {} vertices; per-hop discoveries {:?}",
-        r0.visited, r0.per_level
-    );
+    println!("query 0: visited {} vertices; per-hop discoveries {:?}", r0.visited, r0.per_level);
 
     // 5. The same engine also runs iterative analytics (Listing 3 GAS).
     let ranks = pagerank(&engine, 10);
-    let (top_v, top_r) = ranks
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (top_v, top_r) =
+        ranks.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     println!("\nPageRank (10 iters): top vertex {top_v} with rank {top_r:.2}");
 }

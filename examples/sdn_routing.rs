@@ -23,11 +23,8 @@ fn main() {
     for e in topo.edges() {
         // Latency: local links 1-3 ms, rewired long-haul links 5-15 ms.
         let ring_dist = (e.dst + 5_000 - e.src) % 5_000;
-        let latency = if ring_dist <= 4 {
-            rng.gen_range(1.0..3.0)
-        } else {
-            rng.gen_range(5.0..15.0)
-        };
+        let latency =
+            if ring_dist <= 4 { rng.gen_range(1.0..3.0) } else { rng.gen_range(5.0..15.0) };
         edges.push(Edge::weighted(e.src, e.dst, latency));
         edges.push(Edge::weighted(e.dst, e.src, latency)); // full duplex
     }
@@ -67,10 +64,8 @@ fn main() {
     // within the 20 ms budget.
     let within5 = sssp_within(&engine, ingress, 5.0);
     let within20 = sssp_within(&engine, ingress, 20.0);
-    let consistent = within5
-        .iter()
-        .zip(&within20)
-        .all(|(a, b)| !a.is_finite() || (b.is_finite() && b <= a));
+    let consistent =
+        within5.iter().zip(&within20).all(|(a, b)| !a.is_finite() || (b.is_finite() && b <= a));
     assert!(consistent, "budget monotonicity violated");
     println!("budget monotonicity check passed");
 }

@@ -40,10 +40,7 @@ fn main() {
         // Influence score: hop-1 candidates weigh 1.0, hop-2 weigh 0.5
         // ("the influence of a vertex decreases as hops increase").
         let score = one_hop as f64 + 0.5 * two_hop as f64;
-        println!(
-            "{:>5} | {:>15} | {:>26} | {:>14.1}",
-            users[i], one_hop, two_hop, score
-        );
+        println!("{:>5} | {:>15} | {:>26} | {:>14.1}", users[i], one_hop, two_hop, score);
     }
 
     // Aggregate: how much of the network is inside the 2-hop small

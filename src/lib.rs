@@ -55,15 +55,16 @@ pub use cgraph_ql as ql;
 /// The names most programs need.
 pub mod prelude {
     pub use cgraph_analytics::{
-        bfs_count, bfs_levels, closeness_of, count_triangles, hop_plot,
-        kcore_decomposition, khop_count, khop_counts_batch, pagerank, sssp, sssp_within,
-        top_closeness, weakly_connected_components,
+        bfs_count, bfs_levels, closeness_of, count_triangles, hop_plot, kcore_decomposition,
+        khop_count, khop_counts_batch, pagerank, sssp, sssp_within, top_closeness,
+        weakly_connected_components,
     };
     pub use cgraph_core::gas::{Gas, PageRank};
     pub use cgraph_core::traverse::ValueMode;
     pub use cgraph_core::{
-        DistributedEngine, EngineConfig, KhopQuery, QueryResult, QueryScheduler,
-        ResponseStats, SchedulerConfig, UpdateMode, VertexProgram,
+        DistributedEngine, EngineConfig, KhopQuery, QueryResult, QueryScheduler, QueryService,
+        ResponseStats, SchedulerConfig, ServiceConfig, ServiceError, ServiceStats, UpdateMode,
+        VertexProgram,
     };
     pub use cgraph_gen::Dataset;
     pub use cgraph_graph::{

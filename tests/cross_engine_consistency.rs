@@ -19,18 +19,15 @@ fn test_graph(seed: u64) -> EdgeList {
 fn five_implementations_agree() {
     let edges = test_graph(31);
     let sync_engine = DistributedEngine::new(&edges, EngineConfig::new(3));
-    let async_engine =
-        DistributedEngine::new(&edges, EngineConfig::new(3).asynchronous());
+    let async_engine = DistributedEngine::new(&edges, EngineConfig::new(3).asynchronous());
     let titan = TitanDb::load(&edges);
     let gemini = GeminiEngine::new(&edges);
 
     for src in [0u64, 7, 63, 200] {
         for k in [1u32, 2, 3] {
             let batch = sync_engine.run_traversal_batch(&[src], &[k]).per_lane_visited[0];
-            let queue =
-                sync_engine.run_single_queue(&[src], k, ValueMode::TwoLevel).visited;
-            let asynch =
-                async_engine.run_single_queue(&[src], k, ValueMode::TwoLevel).visited;
+            let queue = sync_engine.run_single_queue(&[src], k, ValueMode::TwoLevel).visited;
+            let asynch = async_engine.run_single_queue(&[src], k, ValueMode::TwoLevel).visited;
             let t = titan.khop(src, k, "knows").visited;
             let g = gemini.khop(src, k);
             assert_eq!(batch, queue, "batch vs queue (src {src}, k {k})");

@@ -44,10 +44,7 @@ fn edge_set_policy_invariance() {
     ];
     let mut reference: Option<Vec<u64>> = None;
     for policy in policies {
-        let e = DistributedEngine::new(
-            &edges,
-            EngineConfig::new(3).with_edge_set_policy(policy),
-        );
+        let e = DistributedEngine::new(&edges, EngineConfig::new(3).with_edge_set_policy(policy));
         let counts: Vec<u64> =
             (0..20u64).map(|src| khop_count(&e, src * 11 % edges.num_vertices(), 3)).collect();
         match &reference {
@@ -85,10 +82,8 @@ fn sssp_invariant_to_update_mode_semantics() {
 #[test]
 fn wcc_invariant_to_machines() {
     let edges = test_graph(45);
-    let l1 =
-        weakly_connected_components(&DistributedEngine::new(&edges, EngineConfig::new(1)));
-    let l5 =
-        weakly_connected_components(&DistributedEngine::new(&edges, EngineConfig::new(5)));
+    let l1 = weakly_connected_components(&DistributedEngine::new(&edges, EngineConfig::new(1)));
+    let l5 = weakly_connected_components(&DistributedEngine::new(&edges, EngineConfig::new(5)));
     assert_eq!(l1, l5);
 }
 

@@ -40,9 +40,8 @@ fn concurrent_queries_match_reference() {
     let edges = test_graph(11);
     let csr = Csr::from_edges(edges.num_vertices(), edges.edges());
     let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
-    let queries: Vec<KhopQuery> = (0..100)
-        .map(|i| KhopQuery::single(i, (i as u64 * 13) % edges.num_vertices(), 3))
-        .collect();
+    let queries: Vec<KhopQuery> =
+        (0..100).map(|i| KhopQuery::single(i, (i as u64 * 13) % edges.num_vertices(), 3)).collect();
     let results = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
     for (i, r) in results.iter().enumerate() {
         let expect = reference_khop(&csr, (i as u64 * 13) % edges.num_vertices(), 3);
@@ -54,8 +53,7 @@ fn concurrent_queries_match_reference() {
 fn per_level_counts_sum_to_visited() {
     let edges = test_graph(12);
     let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
-    let queries: Vec<KhopQuery> =
-        (0..32).map(|i| KhopQuery::single(i, i as u64 * 3, 4)).collect();
+    let queries: Vec<KhopQuery> = (0..32).map(|i| KhopQuery::single(i, i as u64 * 3, 4)).collect();
     let results = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
     for r in &results {
         assert_eq!(r.per_level.iter().sum::<u64>(), r.visited, "query {}", r.id);

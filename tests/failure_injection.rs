@@ -3,7 +3,10 @@
 //! pushed past its sizing assumptions.
 
 use cgraph::prelude::*;
-use cgraph_comm::Cluster;
+use cgraph_comm::{Cluster, ClusterError, PersistentCluster};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 #[test]
 fn machine_panic_propagates_not_hangs() {
@@ -27,8 +30,8 @@ fn empty_graph_queries_are_safe() {
     g.set_num_vertices(4); // vertices but no edges
     let e = DistributedEngine::new(&g, EngineConfig::new(2));
     assert_eq!(khop_count(&e, 0, 3), 1, "isolated source reaches only itself");
-    let r = QueryScheduler::new(&e, SchedulerConfig::default())
-        .execute(&[KhopQuery::single(0, 2, 5)]);
+    let r =
+        QueryScheduler::new(&e, SchedulerConfig::default()).execute(&[KhopQuery::single(0, 2, 5)]);
     assert_eq!(r[0].visited, 1);
     assert_eq!(r[0].per_level, vec![1]);
 }
@@ -110,6 +113,124 @@ fn titan_empty_db_queries() {
     db.insert_edge(Edge::unweighted(0, 1));
     assert_eq!(db.khop(0, 5, "knows").visited, 2);
     assert_eq!(db.khop(7, 5, "knows").visited, 1, "unknown vertex is its own world");
+}
+
+#[test]
+fn persistent_batch_panic_errors_and_cluster_survives() {
+    // A machine dying inside a real engine batch on the persistent
+    // cluster must come back as an error — and the *same* cluster must
+    // serve the next batch correctly.
+    let g: EdgeList = (0..48u64).map(|v| (v, (v + 1) % 48)).collect();
+    let e = DistributedEngine::new(&g, EngineConfig::new(3));
+    let cluster = PersistentCluster::new(3);
+
+    let boom: &(dyn Fn(usize) + Sync) = &|machine| {
+        if machine == 2 {
+            panic!("injected batch fault");
+        }
+    };
+    let err = e
+        .run_traversal_batch_on_hooked(&cluster, &[0, 24], &[3, 3], Some(boom))
+        .expect_err("faulted batch must error");
+    match err {
+        ClusterError::MachinePanicked { machine, message } => {
+            assert_eq!(machine, 2, "root cause, not a poison-cascade victim");
+            assert!(message.contains("injected batch fault"), "{message}");
+        }
+        other => panic!("expected MachinePanicked, got {other:?}"),
+    }
+
+    let br = e
+        .run_traversal_batch_on(&cluster, &[0, 24], &[3, 3])
+        .expect("cluster must survive a failed batch");
+    assert_eq!(br.per_lane_visited, vec![4, 4]);
+    cluster.shutdown();
+}
+
+#[test]
+fn service_machine_panic_fails_inflight_then_shuts_down_clean() {
+    // Every in-flight query of a dying batch gets an error (nobody
+    // blocks forever on a ticket), the service keeps accepting work,
+    // and shutdown afterwards joins every parked thread.
+    let g: EdgeList = (0..60u64).map(|v| (v, (v + 1) % 60)).collect();
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
+
+    // Fail exactly the first batch, then heal.
+    let failures_left = Arc::new(AtomicUsize::new(1));
+    let hook = {
+        let failures_left = Arc::clone(&failures_left);
+        Arc::new(move |machine: usize| {
+            if machine == 1
+                && failures_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("injected service fault");
+            }
+        })
+    };
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_hook: Some(hook),
+            ..Default::default()
+        },
+    ));
+
+    // Concurrent submitters during the faulty phase: each must get a
+    // definite answer — result or BatchFailed — never a hang.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.query(KhopQuery::single(i, i as u64, 3)))
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let failed = outcomes.iter().filter(|o| o.is_err()).count();
+    assert!(failed >= 1, "at least the first batch must have died");
+    for o in &outcomes {
+        if let Err(e) = o {
+            assert!(
+                matches!(e, ServiceError::BatchFailed(msg) if msg.contains("injected service fault")),
+                "unexpected error {e:?}"
+            );
+        }
+    }
+
+    // The hook is spent: the service must answer correctly again.
+    let r = service.query(KhopQuery::single(100, 0, 4)).expect("service must heal");
+    assert_eq!(r.visited, 5);
+
+    let stats = service.stats();
+    assert_eq!(stats.queries_failed, failed as u64);
+    assert_eq!(stats.queries_completed, (outcomes.len() - failed) as u64 + 1);
+
+    // Shutdown must return (joins dispatcher + machine threads): a
+    // deadlocked parked thread would hang the test harness here.
+    service.shutdown();
+    assert!(matches!(service.submit(KhopQuery::single(0, 0, 1)), Err(ServiceError::ShutDown)));
+}
+
+#[test]
+fn service_submit_after_shutdown_is_an_error_not_a_hang() {
+    let g: EdgeList = (0..10u64).map(|v| (v, (v + 1) % 10)).collect();
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(1)));
+    let service = QueryService::start(engine, ServiceConfig::default());
+    // Queries admitted before shutdown are still answered (drained).
+    let ticket = service.submit(KhopQuery::single(7, 0, 2)).unwrap();
+    service.shutdown();
+    assert_eq!(ticket.wait().unwrap().visited, 3);
+    assert_eq!(service.submit(KhopQuery::single(8, 0, 2)).unwrap_err(), ServiceError::ShutDown);
+    service.shutdown(); // idempotent
+}
+
+#[test]
+fn persistent_submit_after_shutdown_errors() {
+    let cluster = PersistentCluster::new(2);
+    cluster.shutdown();
+    let err = cluster.submit::<(), (), _>(|_h| ()).expect_err("submit after shutdown must error");
+    assert!(matches!(err, ClusterError::ShutDown));
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use cgraph::prelude::*;
 use cgraph_core::RangePartition;
-use cgraph_graph::{Bitmap, ConsolidationPolicy, EdgeSetGraph};
 use cgraph_graph::types::VertexRange;
+use cgraph_graph::{Bitmap, ConsolidationPolicy, EdgeSetGraph};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 

@@ -1,0 +1,178 @@
+//! Streaming equivalence: the persistent [`QueryService`] must return
+//! exactly what the closed-batch [`QueryScheduler`] returns for the
+//! same queries — same reach counts, same per-level profiles — no
+//! matter how many submitter threads race, how the stream gets packed
+//! into batches, how many machines serve it, or which update mode the
+//! engine runs.
+
+use cgraph::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic but irregular query mix: single- and multi-source,
+/// varying k, sources spread over the vertex range.
+fn query_mix(n_queries: usize, n_vertices: u64) -> Vec<KhopQuery> {
+    (0..n_queries)
+        .map(|i| {
+            let base = (i as u64 * 13) % n_vertices;
+            let k = (i % 5) as u32 + 1;
+            if i % 3 == 0 {
+                let s2 = (base + n_vertices / 2) % n_vertices;
+                let s3 = (base + 7) % n_vertices;
+                KhopQuery::multi(i, vec![base, s2, s3], k)
+            } else {
+                KhopQuery::single(i, base, k)
+            }
+        })
+        .collect()
+}
+
+/// Power-law-ish deterministic graph: ring backbone plus long chords,
+/// so traversals cross machine boundaries at every hop count.
+fn chordal_graph(n: u64) -> EdgeList {
+    let mut edges: Vec<(u64, u64)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    for v in (0..n).step_by(3) {
+        edges.push((v, (v * 7 + 5) % n));
+    }
+    for v in (0..n).step_by(11) {
+        edges.push(((v * 3) % n, v));
+    }
+    edges.into_iter().collect()
+}
+
+/// Drops the trailing all-zero levels a batch pads onto its shallower
+/// lanes (the service already reports the trimmed form).
+fn trim(mut per_level: Vec<u64>) -> Vec<u64> {
+    while per_level.last() == Some(&0) {
+        per_level.pop();
+    }
+    per_level
+}
+
+fn check_equivalence(p: usize, asynchronous: bool, submitters: usize) {
+    let n = 120u64;
+    let graph = chordal_graph(n);
+    let config =
+        if asynchronous { EngineConfig::new(p).asynchronous() } else { EngineConfig::new(p) };
+    let engine = Arc::new(DistributedEngine::new(&graph, config));
+    let queries = query_mix(40, n);
+
+    // The scheduler pads a lane's level vector to its batch's depth;
+    // the service reports the packing-invariant (trimmed) profile, so
+    // compare trimmed.
+    let expected: HashMap<usize, (u64, Vec<u64>)> =
+        QueryScheduler::new(&engine, SchedulerConfig::default())
+            .execute(&queries)
+            .into_iter()
+            .map(|r| (r.id, (r.visited, trim(r.per_level))))
+            .collect();
+
+    // Short deadline so the open stream actually exercises partial
+    // (deadline-flushed) batches, not one giant 64-lane batch.
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig { max_batch_delay: Duration::from_micros(300), ..Default::default() },
+    ));
+
+    // N submitter threads race interleaved slices of the stream.
+    let mut handles = Vec::new();
+    for t in 0..submitters {
+        let service = Arc::clone(&service);
+        let mine: Vec<KhopQuery> = queries.iter().skip(t).step_by(submitters).cloned().collect();
+        handles.push(std::thread::spawn(move || {
+            mine.into_iter()
+                .map(|q| {
+                    let id = q.id;
+                    let r = q.clone();
+                    let got = service.query(q).unwrap_or_else(|e| {
+                        panic!("query {id} ({r:?}) failed: {e}");
+                    });
+                    (id, (got.visited, got.per_level))
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut got: HashMap<usize, (u64, Vec<u64>)> = HashMap::new();
+    for h in handles {
+        got.extend(h.join().expect("submitter thread panicked"));
+    }
+
+    assert_eq!(got.len(), expected.len());
+    for (id, exp) in &expected {
+        assert_eq!(
+            got.get(id),
+            Some(exp),
+            "query {id} diverged (p={p}, async={asynchronous}, submitters={submitters})"
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.queries_completed, queries.len() as u64);
+    assert_eq!(stats.queries_failed, 0);
+    assert_eq!(stats.response.len(), queries.len());
+    // Response = admission wait + exec, so the whole distribution must
+    // dominate the exec distribution rank by rank.
+    for (r, e) in stats.response.sorted().iter().zip(stats.exec.sorted()) {
+        assert!(r >= e, "response {r:?} < exec {e:?}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn service_equals_scheduler_p1_sync() {
+    check_equivalence(1, false, 4);
+}
+
+#[test]
+fn service_equals_scheduler_p2_sync() {
+    check_equivalence(2, false, 4);
+}
+
+#[test]
+fn service_equals_scheduler_p4_sync() {
+    check_equivalence(4, false, 3);
+}
+
+#[test]
+fn service_equals_scheduler_p1_async() {
+    check_equivalence(1, true, 4);
+}
+
+#[test]
+fn service_equals_scheduler_p2_async() {
+    check_equivalence(2, true, 4);
+}
+
+#[test]
+fn service_equals_scheduler_p4_async() {
+    check_equivalence(4, true, 3);
+}
+
+#[test]
+fn service_respects_memory_budget_lane_narrowing() {
+    let graph = chordal_graph(400);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let full_bytes = QueryScheduler::new(&engine, SchedulerConfig::default()).batch_state_bytes();
+    let scheduler_cfg =
+        SchedulerConfig { memory_budget_bytes: Some(full_bytes / 4), ..Default::default() };
+    let narrowed = QueryScheduler::new(&engine, scheduler_cfg).effective_lanes();
+    assert!((1..64).contains(&narrowed), "lanes = {narrowed}");
+
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig { scheduler: scheduler_cfg, ..Default::default() },
+    );
+    assert_eq!(service.effective_lanes(), narrowed);
+
+    // More queries than the narrowed width: forced multi-batch, counts
+    // still exact.
+    let queries = query_mix(2 * narrowed + 3, 400);
+    let expected = QueryScheduler::new(&engine, scheduler_cfg).execute(&queries);
+    for (q, exp) in queries.iter().zip(&expected) {
+        let got = service.query(q.clone()).unwrap();
+        assert_eq!(got.visited, exp.visited, "query {}", q.id);
+        assert_eq!(got.per_level, trim(exp.per_level.clone()), "query {}", q.id);
+    }
+    service.shutdown();
+}

@@ -1,0 +1,96 @@
+//! Vendored `crossbeam-channel` API subset backed by `std::sync::mpsc`.
+//!
+//! The build environment cannot reach crates.io; the workspace only
+//! needs multi-producer/single-consumer unbounded channels with
+//! `try_recv`/`recv`/`recv_timeout`, which std's mpsc provides. Types
+//! and error enums mirror crossbeam's names so call sites compile
+//! unchanged.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel (clonable).
+pub struct Sender<T>(mpsc::Sender<T>);
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only when the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    /// Drains and returns everything currently queued.
+    pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+        self.0.try_iter()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_producer_fan_in() {
+        let (tx, rx) = unbounded::<u32>();
+        let senders: Vec<_> = (0..4).map(|_| tx.clone()).collect();
+        let handles: Vec<_> = senders
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| std::thread::spawn(move || s.send(i as u32).unwrap()))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+    }
+}

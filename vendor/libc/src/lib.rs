@@ -1,0 +1,58 @@
+//! Vendored subset of the `libc` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the few foreign items it actually uses: `signal`
+//! (SIGPIPE handling in the CLI) and `clock_gettime` with
+//! `CLOCK_THREAD_CPUTIME_ID` (per-thread busy-time accounting in
+//! `cgraph-comm`). Declarations match the Linux x86-64/aarch64 ABI.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long`.
+pub type c_long = i64;
+/// POSIX `time_t` (64-bit on modern Linux).
+pub type time_t = i64;
+/// Signal-handler slot: an address-sized integer, so the special
+/// values `SIG_DFL`/`SIG_IGN` and real function pointers both fit.
+pub type sighandler_t = usize;
+
+/// Default signal disposition.
+pub const SIG_DFL: sighandler_t = 0;
+/// Ignore-signal disposition.
+pub const SIG_IGN: sighandler_t = 1;
+/// Broken-pipe signal number (Linux).
+pub const SIGPIPE: c_int = 13;
+/// Per-thread CPU-time clock id (Linux).
+pub const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
+
+/// `struct timespec` as used by `clock_gettime`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    /// POSIX `signal(2)`.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: c_int, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_gettime_thread_cputime_works() {
+        let mut ts = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_nsec < 1_000_000_000);
+    }
+}

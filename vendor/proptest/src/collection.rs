@@ -1,0 +1,50 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a sampled length.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector whose length is drawn from `len` and whose elements are
+/// drawn independently from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_bounds() {
+        let strat = vec(0u64..100, 3..17);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..17).contains(&v.len()), "{}", v.len());
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn empty_len_range_yields_start() {
+        let strat = vec(0u64..5, 0..0);
+        let mut rng = TestRng::from_seed(1);
+        assert!(strat.generate(&mut rng).is_empty());
+    }
+}

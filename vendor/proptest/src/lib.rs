@@ -1,0 +1,287 @@
+//! Vendored mini `proptest` — an offline, deterministic subset.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the slice of the proptest API the workspace actually
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range / tuple / `Just` / union / collection / regex-subset
+//! strategies, `any::<T>()`, the `proptest!` macro (including
+//! `#![proptest_config(..)]` and both `pat in strategy` and
+//! `name: Type` parameter forms), and the `prop_assert*` family.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **Deterministic.** Case seeds derive from the test's module path
+//!   via a fixed hash — every run, every machine, the same inputs.
+//!   `PROPTEST_CASES` overrides the case count; there is no wall-clock
+//!   or OS entropy anywhere.
+//! - **No shrinking.** On failure the exact inputs and the case seed
+//!   are printed; the seed can be committed to the
+//!   `proptest-regressions/` corpus, which is replayed before the
+//!   random cases on every run.
+//! - **Regex strategies** support only the subset the tests use:
+//!   sequences of literals and `[class]` atoms with optional `{m}` /
+//!   `{m,n}` repetition.
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    /// Upstream's prelude aliases the crate root as `prop` so tests
+    /// can write `prop::collection::vec(..)`.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                __l,
+                __r,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must share one
+/// value type). Upstream's per-arm weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions whose
+/// parameters are either `pattern in strategy` or `name: Type`
+/// (sugar for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` inside `proptest!` into a runner call.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run(
+                &__cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                stringify!($name),
+                file!(),
+                |__rng: &mut $crate::test_runner::TestRng| {
+                    $crate::__proptest_bind!(__rng, __dbg, $($params)*);
+                    let __out = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            $body;
+                            ::std::result::Result::Ok(())
+                        }),
+                    );
+                    let __res = match __out {
+                        ::std::result::Result::Ok(r) => r,
+                        ::std::result::Result::Err(p) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::from_panic(p),
+                        ),
+                    };
+                    (__dbg, __res)
+                },
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: binds `proptest!` parameters from strategies, recording a
+/// debug rendering of every generated value for failure reports.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $dbg:ident, $($params:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $dbg = ::std::string::String::new();
+        $crate::__proptest_bind_inner!($rng, $dbg, $($params)*);
+    };
+}
+
+/// Internal: tt-muncher over the parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_inner {
+    ($rng:ident, $dbg:ident $(,)?) => {};
+    ($rng:ident, $dbg:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_bind_one!($rng, $dbg, $pat, $strat);
+        $crate::__proptest_bind_inner!($rng, $dbg, $($rest)*);
+    };
+    ($rng:ident, $dbg:ident, $pat:pat in $strat:expr) => {
+        $crate::__proptest_bind_one!($rng, $dbg, $pat, $strat);
+    };
+    ($rng:ident, $dbg:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_bind_one!($rng, $dbg, $name, $crate::arbitrary::any::<$ty>());
+        $crate::__proptest_bind_inner!($rng, $dbg, $($rest)*);
+    };
+    ($rng:ident, $dbg:ident, $name:ident : $ty:ty) => {
+        $crate::__proptest_bind_one!($rng, $dbg, $name, $crate::arbitrary::any::<$ty>());
+    };
+}
+
+/// Internal: generates one value, records it, and binds the pattern.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_one {
+    ($rng:ident, $dbg:ident, $pat:pat, $strat:expr) => {
+        let __v = $crate::strategy::Strategy::generate(&$strat, $rng);
+        if !$dbg.is_empty() {
+            $dbg.push_str(", ");
+        }
+        $dbg.push_str(&format!("{} = {:?}", stringify!($pat), __v));
+        let $pat = __v;
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategy_respects_class_and_length() {
+        let mut rng = crate::test_runner::TestRng::from_seed(9);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Z]{3,10}", &mut rng);
+            assert!((3..=10).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()), "{s:?}");
+            let t = Strategy::generate(&"[ -~]{0,30}", &mut rng);
+            assert!(t.len() <= 30);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(2u64..120), &mut rng);
+            assert!((2..120).contains(&v));
+            let (a, b, c) = Strategy::generate(&(0u64..10, 5u32..6, 0.0f32..1.0), &mut rng);
+            assert!(a < 10 && b == 5 && (0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut r1 = crate::test_runner::TestRng::from_seed(77);
+        let mut r2 = crate::test_runner::TestRng::from_seed(77);
+        let strat = prop::collection::vec((0u64..50, 0u64..50), 1..20);
+        for _ in 0..20 {
+            assert_eq!(Strategy::generate(&strat, &mut r1), Strategy::generate(&strat, &mut r2));
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_all_arms() {
+        let strat = prop_oneof![Just(0usize), (1usize..2).prop_map(|x| x), Just(2usize),];
+        let mut rng = crate::test_runner::TestRng::from_seed(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[Strategy::generate(&strat, &mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_both_param_forms((a, b) in (0u64..100, 0u64..100),
+                                        flip: bool,
+                                        len in 0usize..8) {
+            let sum = if flip { a + b } else { b.wrapping_add(a) };
+            prop_assert_eq!(sum, a + b);
+            prop_assert!(len < 8, "len {} out of range", len);
+            prop_assume!(a != 99); // exercise the reject path
+        }
+
+        #[test]
+        fn flat_map_dependent_values(pair in (1u64..50).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, below) = pair;
+            prop_assert!(below < n);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Vendored `rayon` API subset — sequential fallback.
+//!
+//! The build environment cannot reach crates.io. The workspace uses
+//! rayon only for data-parallel conveniences (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `flat_map_iter`) whose results
+//! never depend on parallel execution, so this shim maps each entry
+//! point onto the equivalent sequential `std::iter` adaptor. Hot-path
+//! parallelism in cgraph comes from the simulated machine threads in
+//! `cgraph-comm`, not from rayon, and the engine deliberately avoids
+//! rayon inside machine workers to keep per-thread CPU accounting
+//! exact — so the sequential fallback changes no measured quantity's
+//! meaning.
+
+/// What `use rayon::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIteratorExt,
+    };
+}
+
+/// By-value conversion (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator standing in for rayon's parallel one.
+    type Iter: Iterator;
+
+    /// Consumes `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Shared-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The (sequential) iterator standing in for rayon's parallel one.
+    type Iter: Iterator;
+
+    /// Iterates over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Exclusive-reference conversion (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The (sequential) iterator standing in for rayon's parallel one.
+    type Iter: Iterator;
+
+    /// Iterates over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon-specific adaptor names not present on `std::iter::Iterator`.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// Rayon's `flat_map_iter` — sequentially identical to `flat_map`.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// Rayon's chunking hint — a no-op sequentially.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 9900);
+        let v: Vec<u32> = vec![3, 1, 2].into_par_iter().collect();
+        assert_eq!(v, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn par_iter_and_mut_on_slices() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut w = vec![1u32, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(w, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = vec![1u32, 2].par_iter().flat_map_iter(|&x| vec![x, x]).collect();
+        assert_eq!(out, vec![1, 1, 2, 2]);
+    }
+}
