@@ -49,8 +49,20 @@ pub fn encode_object(fields: &[(&str, Value)]) -> Vec<u8> {
         match v {
             Value::Str(s) => encode_string(&mut out, s),
             Value::Num(n) => {
+                // JSON has no NaN/Infinity; `format!` would emit them
+                // verbatim and this module's own `decode_object` would
+                // then reject the record as corrupt. Clamp to the
+                // nearest representable finite value so every encoded
+                // record round-trips.
+                let n = if n.is_finite() {
+                    *n
+                } else if n.is_nan() {
+                    0.0
+                } else {
+                    f64::MAX.copysign(*n)
+                };
                 if n.fract() == 0.0 && n.abs() < 9e15 {
-                    out.push_str(&format!("{}", *n as i64));
+                    out.push_str(&format!("{}", n as i64));
                 } else {
                     out.push_str(&format!("{n}"));
                 }
@@ -210,6 +222,19 @@ mod tests {
         let bytes = encode_object(&[("s", Value::Str(tricky.into()))]);
         let obj = decode_object(&bytes).unwrap();
         assert_eq!(obj["s"].as_str(), Some(tricky));
+    }
+
+    #[test]
+    fn non_finite_numbers_still_roundtrip() {
+        let bytes = encode_object(&[
+            ("nan", Value::Num(f64::NAN)),
+            ("pinf", Value::Num(f64::INFINITY)),
+            ("ninf", Value::Num(f64::NEG_INFINITY)),
+        ]);
+        let obj = decode_object(&bytes).expect("clamped encoding must stay parseable");
+        assert_eq!(obj["nan"].as_f64(), Some(0.0));
+        assert_eq!(obj["pinf"].as_f64(), Some(f64::MAX));
+        assert_eq!(obj["ninf"].as_f64(), Some(f64::MIN));
     }
 
     #[test]

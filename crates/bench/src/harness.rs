@@ -24,10 +24,13 @@ pub fn datasets_dir() -> PathBuf {
 }
 
 /// Loads a named dataset, generating and caching it (binary format)
-/// on first use so repeated experiment runs are fast.
+/// on first use so repeated experiment runs are fast. The cache name
+/// carries [`cgraph_gen::RNG_STREAM_VERSION`], so datasets generated
+/// by a different (e.g. upstream-`rand_chacha`) stream are never
+/// silently mixed with this build's.
 pub fn load_dataset(ds: Dataset) -> EdgeList {
     let spec = ds.spec();
-    let path = datasets_dir().join(format!("{}.cg", spec.name));
+    let path = datasets_dir().join(format!("{}.{}.cg", spec.name, cgraph_gen::RNG_STREAM_VERSION));
     if path.exists() {
         if let Ok(list) = cgraph_gen::io::read_binary(&path) {
             return list;

@@ -17,6 +17,11 @@
 //! same way. [`PersistentCluster::submit`] then returns
 //! [`ClusterError::MachinePanicked`] — and the machine threads,
 //! having caught everything, park again ready for the next job.
+//!
+//! Because submitted jobs borrow the submitter's stack frame (their
+//! lifetimes are erased under a scoped-thread-pool argument), `submit`
+//! aborts the process rather than unwinding if a machine thread itself
+//! ever dies mid-protocol — see `protocol_fatal`.
 
 use crate::cluster::{CommHandle, Fabric, TrafficReport};
 use crate::message::WireSize;
@@ -57,6 +62,22 @@ impl std::fmt::Display for ClusterError {
 }
 
 impl std::error::Error for ClusterError {}
+
+/// Last resort for a broken submit protocol: a machine thread vanished
+/// (its job channel or the ack channel disconnected) while `submit`
+/// had jobs outstanding. Machine threads catch every job panic, so
+/// this is unreachable unless a thread was killed externally — and at
+/// that point unwinding out of `submit` would be *unsound*: dispatched
+/// jobs borrow `submit`'s stack frame through erased lifetimes
+/// (use-after-free once the frame unwinds), and any acks left
+/// unconsumed would let the next `submit` return while this job's
+/// closures still run. Abort instead of unwinding.
+fn protocol_fatal(what: &str) -> ! {
+    eprintln!(
+        "cgraph-comm fatal: {what}; aborting — cannot unwind while borrowed jobs are in flight"
+    );
+    std::process::abort();
+}
 
 fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -212,16 +233,24 @@ impl PersistentCluster {
             // The ack loop below blocks this function until every
             // machine has finished and dropped its job closure, so no
             // erased borrow outlives its referent — the standard
-            // scoped-thread-pool argument.
+            // scoped-thread-pool argument. For that argument to hold,
+            // `submit` must not unwind between the first `send` and the
+            // last ack: the only fallible operations in that window are
+            // the channel send/recv below, and both abort (not panic)
+            // on failure via `protocol_fatal`.
             unsafe fn erase<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
                 std::mem::transmute(job)
             }
             let job: Job = unsafe { erase(job) };
-            tx.send(job).expect("machine thread exited unexpectedly");
+            if tx.send(job).is_err() {
+                protocol_fatal("machine thread exited with jobs in flight");
+            }
         }
 
         for _ in 0..self.p {
-            inner.ack_rx.recv().expect("machine thread exited unexpectedly");
+            if inner.ack_rx.recv().is_err() {
+                protocol_fatal("machine thread exited before acknowledging its job");
+            }
         }
         self.generation.fetch_add(1, Ordering::SeqCst);
 

@@ -43,7 +43,7 @@ impl KhopQuery {
 }
 
 /// Result of one k-hop query.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryResult {
     /// The query's caller-assigned ID.
     pub id: usize,

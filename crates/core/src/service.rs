@@ -132,8 +132,15 @@ impl QueryTicket {
     }
 
     /// Non-blocking poll; `None` while the query is still in flight.
+    /// A dead dispatcher (result channel disconnected before a reply
+    /// arrived) yields `Some(Err(ServiceError::ShutDown))`, so pollers
+    /// never spin on a query that can no longer complete.
     pub fn try_wait(&self) -> Option<Result<QueryResult, ServiceError>> {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(crossbeam_channel::TryRecvError::Empty) => None,
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(ServiceError::ShutDown)),
+        }
     }
 }
 
@@ -273,6 +280,22 @@ impl QueryService {
         }
         if st.closed {
             return Err(ServiceError::ShutDown);
+        }
+        if query.sources.is_empty() {
+            // Nothing to traverse: complete immediately instead of
+            // enqueueing zero traversals (whose ticket would otherwise
+            // never be replied to and read as a shutdown).
+            drop(st);
+            let (tx, rx) = crossbeam_channel::unbounded();
+            lock(&shared.metrics).completed += 1;
+            let _ = tx.send(Ok(QueryResult {
+                id: query.id,
+                visited: 0,
+                per_level: Vec::new(),
+                response_time: Duration::ZERO,
+                exec_time: Duration::ZERO,
+            }));
+            return Ok(QueryTicket { rx });
         }
         let (tx, rx) = crossbeam_channel::unbounded();
         let ticket = Arc::new(TicketState {
@@ -571,6 +594,57 @@ mod tests {
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 4 * 8 * 3); // every 2-hop ring query reaches 3
         assert_eq!(service.stats().queries_completed, 32);
+    }
+
+    #[test]
+    fn empty_source_query_completes_immediately() {
+        let engine = ring_engine(20, 1);
+        // `KhopQuery::multi` rejects empty sources, but the fields are
+        // public, so the service must still handle the case.
+        let empty = KhopQuery { id: 9, sources: Vec::new(), k: 3 };
+        // Scheduler semantics for zero sources: an all-zero result.
+        let expected = QueryScheduler::new(&engine, SchedulerConfig::default())
+            .execute(std::slice::from_ref(&empty));
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let ticket = service.submit(empty).unwrap();
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.id, expected[0].id);
+        assert_eq!(got.visited, expected[0].visited);
+        assert_eq!(got.per_level, expected[0].per_level);
+        assert_eq!(got.response_time, Duration::ZERO);
+        assert_eq!(service.stats().queries_completed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_polls_to_completion() {
+        let engine = ring_engine(20, 1);
+        let config =
+            ServiceConfig { max_batch_delay: Duration::from_micros(100), ..Default::default() };
+        let service = QueryService::start(engine, config);
+        let ticket = service.submit(KhopQuery::single(0, 0, 3)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            match ticket.try_wait() {
+                Some(reply) => break reply.unwrap(),
+                None => {
+                    assert!(Instant::now() < deadline, "query never completed");
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(got.visited, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_reports_shutdown_on_disconnect() {
+        // A ticket whose reply channel died without a reply must not
+        // read as "still in flight" — pollers would spin forever.
+        let (tx, rx) = crossbeam_channel::unbounded();
+        drop(tx);
+        let ticket = QueryTicket { rx };
+        assert_eq!(ticket.try_wait(), Some(Err(ServiceError::ShutDown)));
     }
 
     #[test]

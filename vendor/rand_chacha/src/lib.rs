@@ -5,7 +5,11 @@
 //! across platforms (pure integer arithmetic, little-endian keystream
 //! extraction) — exactly the property the graph generators and tests
 //! rely on. Streams are **not** bit-compatible with upstream
-//! `rand_chacha`; nothing in the workspace depends on specific values.
+//! `rand_chacha`; nothing in the workspace depends on specific values,
+//! but seeded datasets consequently differ from ones generated with
+//! the upstream crate. This break is version-tagged as
+//! `cgraph_gen::RNG_STREAM_VERSION` and documented in the README's
+//! reproducibility section.
 
 use rand::{RngCore, SeedableRng};
 

@@ -1,103 +1,338 @@
-//! Vendored `rayon` API subset — sequential fallback.
+//! Vendored `rayon` API subset — real multi-threaded execution.
 //!
-//! The build environment cannot reach crates.io. The workspace uses
-//! rayon only for data-parallel conveniences (`par_iter`,
-//! `par_iter_mut`, `into_par_iter`, `flat_map_iter`) whose results
-//! never depend on parallel execution, so this shim maps each entry
-//! point onto the equivalent sequential `std::iter` adaptor. Hot-path
-//! parallelism in cgraph comes from the simulated machine threads in
-//! `cgraph-comm`, not from rayon, and the engine deliberately avoids
-//! rayon inside machine workers to keep per-thread CPU accounting
-//! exact — so the sequential fallback changes no measured quantity's
-//! meaning.
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the small rayon surface the workspace uses (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `map`, `flat_map_iter`, `collect`,
+//! `sum`, `for_each`, `with_min_len`) with genuine data parallelism:
+//! the input is split into contiguous chunks — at most one per
+//! available core, never finer than `with_min_len` — and each chunk
+//! runs on its own [`std::thread::scope`] thread. This matters for
+//! benchmark honesty: the Gemini baseline's measured profile is a
+//! frontier BFS "using every core", so a sequential stand-in would
+//! silently handicap the competitor every C-Graph figure compares
+//! against. Differences from upstream rayon: a scoped thread is
+//! spawned per chunk instead of using a persistent work-stealing pool
+//! (slightly higher dispatch overhead, no stealing between uneven
+//! chunks), and adaptor closures must be `Clone` (trivially true for
+//! closures capturing only `Copy` data or references).
+//!
+//! Semantics preserved from rayon: `collect` keeps input order,
+//! panics inside workers propagate to the caller, and results are
+//! identical to sequential execution for the order-insensitive
+//! reductions used here.
+
+use std::thread;
 
 /// What `use rayon::prelude::*` brings in.
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelIteratorExt,
-    };
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+fn num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Ceil-div chunk size, never zero.
+fn chunk_size(len: usize, chunks: usize) -> usize {
+    len.div_ceil(chunks.max(1)).max(1)
+}
+
+/// A data source that can be split into independently consumable,
+/// order-contiguous chunks — the parallel analogue of `IntoIterator`.
+pub trait ParSource: Send + Sized {
+    /// Element type produced by each chunk.
+    type Item: Send;
+    /// Sequential iterator over one chunk; sent to a worker thread.
+    type Chunk: Iterator<Item = Self::Item> + Send;
+
+    /// Total number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into at most `chunks` contiguous pieces, preserving
+    /// order (concatenating the chunks yields the original sequence).
+    fn split(self, chunks: usize) -> Vec<Self::Chunk>;
+}
+
+impl<'a, T: Sync + 'a> ParSource for &'a [T] {
+    type Item = &'a T;
+    type Chunk = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn split(self, chunks: usize) -> Vec<Self::Chunk> {
+        let size = chunk_size(self.len(), chunks);
+        self.chunks(size).map(|c| c.iter()).collect()
+    }
+}
+
+impl<'a, T: Send + 'a> ParSource for &'a mut [T] {
+    type Item = &'a mut T;
+    type Chunk = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn split(self, chunks: usize) -> Vec<Self::Chunk> {
+        let size = chunk_size(self.len(), chunks);
+        self.chunks_mut(size).map(|c| c.iter_mut()).collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> ParSource for &'a Vec<T> {
+    type Item = &'a T;
+    type Chunk = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn split(self, chunks: usize) -> Vec<Self::Chunk> {
+        ParSource::split(self.as_slice(), chunks)
+    }
+}
+
+impl<'a, T: Send + 'a> ParSource for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Chunk = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn split(self, chunks: usize) -> Vec<Self::Chunk> {
+        ParSource::split(self.as_mut_slice(), chunks)
+    }
+}
+
+impl<T: Send> ParSource for Vec<T> {
+    type Item = T;
+    type Chunk = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn split(mut self, chunks: usize) -> Vec<Self::Chunk> {
+        let size = chunk_size(self.len(), chunks);
+        let mut out = Vec::new();
+        while !self.is_empty() {
+            let take = self.len().min(size);
+            let rest = self.split_off(take);
+            out.push(std::mem::replace(&mut self, rest).into_iter());
+        }
+        out
+    }
+}
+
+macro_rules! range_par_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for std::ops::Range<$t> {
+            type Item = $t;
+            type Chunk = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+
+            fn split(self, chunks: usize) -> Vec<Self::Chunk> {
+                let size = chunk_size(ParSource::len(&self), chunks) as $t;
+                let mut out = Vec::new();
+                let mut lo = self.start;
+                while lo < self.end {
+                    let hi = lo.saturating_add(size).min(self.end);
+                    out.push(lo..hi);
+                    lo = hi;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+range_par_source!(u32, u64, usize);
+
+/// A parallel pipeline: a splittable source plus a per-chunk adaptor
+/// stack (`op` turns one chunk into the chunk's output iterator).
+pub struct Par<S, F> {
+    source: S,
+    min_len: usize,
+    op: F,
+}
+
+/// The pipeline type conversions produce: chunks pass through
+/// unchanged until adaptors are stacked on.
+pub type BasePar<S> = Par<S, fn(<S as ParSource>::Chunk) -> <S as ParSource>::Chunk>;
+
+fn base<S: ParSource>(source: S) -> BasePar<S> {
+    fn identity<C>(c: C) -> C {
+        c
+    }
+    Par { source, min_len: 1, op: identity::<S::Chunk> }
 }
 
 /// By-value conversion (`into_par_iter`).
 pub trait IntoParallelIterator {
-    /// The (sequential) iterator standing in for rayon's parallel one.
-    type Iter: Iterator;
+    /// The splittable source backing the pipeline.
+    type Source: ParSource;
 
-    /// Consumes `self` into an iterator.
-    fn into_par_iter(self) -> Self::Iter;
+    /// Consumes `self` into a parallel pipeline.
+    fn into_par_iter(self) -> BasePar<Self::Source>;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
+impl<S: ParSource> IntoParallelIterator for S {
+    type Source = S;
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> BasePar<S> {
+        base(self)
     }
 }
 
 /// Shared-reference conversion (`par_iter`).
 pub trait IntoParallelRefIterator<'a> {
-    /// The (sequential) iterator standing in for rayon's parallel one.
-    type Iter: Iterator;
+    /// The splittable source backing the pipeline.
+    type Source: ParSource;
 
-    /// Iterates over `&self`.
-    fn par_iter(&'a self) -> Self::Iter;
+    /// Parallel iteration over `&self`.
+    fn par_iter(&'a self) -> BasePar<Self::Source>;
 }
 
 impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
 where
-    &'a C: IntoIterator,
+    &'a C: ParSource,
 {
-    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Source = &'a C;
 
-    fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'a self) -> BasePar<&'a C> {
+        base(self)
     }
 }
 
 /// Exclusive-reference conversion (`par_iter_mut`).
 pub trait IntoParallelRefMutIterator<'a> {
-    /// The (sequential) iterator standing in for rayon's parallel one.
-    type Iter: Iterator;
+    /// The splittable source backing the pipeline.
+    type Source: ParSource;
 
-    /// Iterates over `&mut self`.
-    fn par_iter_mut(&'a mut self) -> Self::Iter;
+    /// Parallel iteration over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> BasePar<Self::Source>;
 }
 
 impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
 where
-    &'a mut C: IntoIterator,
+    &'a mut C: ParSource,
 {
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    type Source = &'a mut C;
 
-    fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter_mut(&'a mut self) -> BasePar<&'a mut C> {
+        base(self)
     }
 }
 
-/// Rayon-specific adaptor names not present on `std::iter::Iterator`.
-pub trait ParallelIteratorExt: Iterator + Sized {
-    /// Rayon's `flat_map_iter` — sequentially identical to `flat_map`.
-    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-    where
-        U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
-    {
-        self.flat_map(f)
-    }
-
-    /// Rayon's chunking hint — a no-op sequentially.
-    fn with_min_len(self, _min: usize) -> Self {
+impl<S, F, I> Par<S, F>
+where
+    S: ParSource,
+    F: Fn(S::Chunk) -> I + Sync,
+    I: Iterator,
+    I::Item: Send,
+{
+    /// Lower bound on items per chunk — rayon's granularity hint.
+    /// Inputs smaller than this run inline without spawning threads.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
-}
 
-impl<I: Iterator> ParallelIteratorExt for I {}
+    /// Rayon's `map`.
+    pub fn map<G, R>(self, g: G) -> Par<S, impl Fn(S::Chunk) -> std::iter::Map<I, G> + Sync>
+    where
+        G: Fn(I::Item) -> R + Clone + Sync,
+        R: Send,
+    {
+        let Par { source, min_len, op } = self;
+        Par { source, min_len, op: move |c| op(c).map(g.clone()) }
+    }
+
+    /// Rayon's `flat_map_iter`: `g` returns a *sequential* iterator
+    /// flattened into the chunk's output stream.
+    pub fn flat_map_iter<G, U>(
+        self,
+        g: G,
+    ) -> Par<S, impl Fn(S::Chunk) -> std::iter::FlatMap<I, U, G> + Sync>
+    where
+        G: Fn(I::Item) -> U + Clone + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        let Par { source, min_len, op } = self;
+        Par { source, min_len, op: move |c| op(c).flat_map(g.clone()) }
+    }
+
+    /// Collects all items, preserving input order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.drive(|it| it.collect::<Vec<_>>()).into_iter().flatten().collect()
+    }
+
+    /// Sums all items (chunk partial sums, then a sum of sums).
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<I::Item> + std::iter::Sum<T> + Send,
+    {
+        self.drive(|it| it.sum::<T>()).into_iter().sum()
+    }
+
+    /// Applies `g` to every item.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(I::Item) + Sync,
+    {
+        self.drive(|it| it.for_each(&g));
+    }
+
+    /// Splits the source and runs `per_chunk` over each chunk's output
+    /// iterator — on scoped worker threads when more than one chunk
+    /// exists, inline otherwise. Chunk results come back in input
+    /// order; a worker panic is re-raised on the caller.
+    fn drive<T, K>(self, per_chunk: K) -> Vec<T>
+    where
+        T: Send,
+        K: Fn(I) -> T + Sync,
+    {
+        let Par { source, min_len, op } = self;
+        let len = source.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let chunks = num_threads().min(len.div_ceil(min_len)).max(1);
+        let parts = source.split(chunks);
+        if parts.len() <= 1 {
+            return parts.into_iter().map(|c| per_chunk(op(c))).collect();
+        }
+        thread::scope(|sc| {
+            let op = &op;
+            let per_chunk = &per_chunk;
+            let handles: Vec<_> =
+                parts.into_iter().map(|c| sc.spawn(move || per_chunk(op(c)))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::{available_parallelism, current, ThreadId};
 
     #[test]
     fn into_par_iter_on_range_and_vec() {
@@ -118,8 +353,52 @@ mod tests {
     }
 
     #[test]
-    fn flat_map_iter_flattens() {
+    fn flat_map_iter_flattens_in_order() {
         let out: Vec<u32> = vec![1u32, 2].par_iter().flat_map_iter(|&x| vec![x, x]).collect();
         assert_eq!(out, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_many_chunks() {
+        let expected: Vec<usize> = (0..10_000).map(|x| x * 3).collect();
+        let got: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!((0u64..0).into_par_iter().sum::<u64>(), 0);
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn one_worker_thread_per_chunk() {
+        let threads = available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        (0..threads * 4).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(current().id());
+        });
+        // One chunk per core: a single-core host runs inline on the
+        // caller; multi-core hosts use exactly `threads` workers.
+        assert_eq!(ids.lock().unwrap().len(), threads);
+    }
+
+    #[test]
+    fn with_min_len_coalesces_to_inline() {
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        (0..100usize).into_par_iter().with_min_len(100).for_each(|_| {
+            ids.lock().unwrap().insert(current().id());
+        });
+        assert_eq!(*ids.lock().unwrap(), HashSet::from([current().id()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| if i == 33 { panic!("boom") } else { i })
+            .collect();
     }
 }
