@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
-use cgraph_core::{KhopQuery, QueryService, ServiceConfig};
+use cgraph_core::{FaultPlan, KhopQuery, QueryService, RecoveryConfig, ServiceConfig};
 use cgraph_ql::Session;
 use std::io::Read;
 use std::sync::Arc;
@@ -135,11 +135,31 @@ pub fn bench(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags shared by `serve` and `replay` for [`start_service`].
+const SERVICE_FLAGS: &[&str] = &[
+    "-p",
+    "--delay-us",
+    "--depth",
+    "--chaos",
+    "--deadline-ms",
+    "--retries",
+    "--ckpt-interval",
+    "--degrade-after",
+];
+
 /// Builds a running [`QueryService`] from common serve/replay flags.
 fn start_service(args: &Args, path: &str) -> Result<QueryService, String> {
     let machines: usize = args.flag_parse("-p", 3)?;
     let delay_us: u64 = args.flag_parse("--delay-us", 2000)?;
     let depth: usize = args.flag_parse("--depth", 1024)?;
+    let fault_plan = match args.flag("--chaos") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --chaos spec: {e}"))?),
+        None => None,
+    };
+    let deadline_ms: u64 = args.flag_parse("--deadline-ms", 0)?;
+    let max_retries: u32 = args.flag_parse("--retries", 2)?;
+    let ckpt: u32 = args.flag_parse("--ckpt-interval", 4)?;
+    let degrade: u32 = args.flag_parse("--degrade-after", 0)?;
     let edges = load_graph(path)?;
     let engine = Arc::new(build_engine(&edges, machines));
     Ok(QueryService::start(
@@ -147,6 +167,11 @@ fn start_service(args: &Args, path: &str) -> Result<QueryService, String> {
         ServiceConfig {
             max_batch_delay: Duration::from_micros(delay_us),
             max_queue_depth: depth,
+            fault_plan,
+            query_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            max_retries,
+            recovery: RecoveryConfig { checkpoint_interval: ckpt, ..Default::default() },
+            degrade_after: (degrade > 0).then_some(degrade),
             ..Default::default()
         },
     ))
@@ -156,19 +181,35 @@ fn start_service(args: &Args, path: &str) -> Result<QueryService, String> {
 fn print_service_stats(service: &QueryService) {
     let s = service.stats();
     println!(
-        "served {} queries ({} failed) in {} batches; \
+        "served {} queries ({} failed, {} past deadline) in {} batches; \
          wait p50 {:?}, response p50 {:?} / p95 {:?} / max {:?}",
         s.queries_completed,
         s.queries_failed,
+        s.queries_deadline_exceeded,
         s.batches_dispatched,
         s.admission_wait.median(),
         s.response.median(),
         s.response.quantile(0.95),
         s.response.max(),
     );
+    if s.retries + s.recoveries + s.full_rollbacks + s.degraded_generations > 0 {
+        println!(
+            "robustness: {} retries, {} recoveries ({} checkpoints taken, {} restored, \
+             {} partitions replayed, {} full rollbacks), {} degradations",
+            s.retries,
+            s.recoveries,
+            s.checkpoints_taken,
+            s.checkpoints_restored,
+            s.partitions_replayed,
+            s.full_rollbacks,
+            s.degraded_generations,
+        );
+    }
 }
 
-/// `cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]`
+/// `cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]
+/// [--chaos SPEC] [--deadline-ms MS] [--retries N] [--ckpt-interval K]
+/// [--degrade-after N]`
 ///
 /// Reads queries from stdin, one per line: one or more source vertices
 /// followed by the hop count (`7 3` = 3 hops from vertex 7;
@@ -176,7 +217,7 @@ fn print_service_stats(service: &QueryService) {
 /// the streaming service packs them into batches; results print in
 /// submission order. EOF drains the queue and prints a latency summary.
 pub fn serve(args: Args) -> Result<(), String> {
-    args.reject_unknown(&["-p", "--delay-us", "--depth"])?;
+    args.reject_unknown(SERVICE_FLAGS)?;
     let path = args.require(0, "graph file")?;
     let service = Arc::new(start_service(&args, path)?);
 
@@ -233,7 +274,9 @@ pub fn serve(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `cgraph replay <FILE> [-p M] [-q N] [-k K] [--rate QPS] [--delay-us D] [--depth N]`
+/// `cgraph replay <FILE> [-p M] [-q N] [-k K] [--rate QPS] [--delay-us D]
+/// [--depth N] [--chaos SPEC] [--deadline-ms MS] [--retries N]
+/// [--ckpt-interval K] [--degrade-after N]`
 ///
 /// Open-loop load generator: replays a deterministic stream of `N`
 /// k-hop queries through the streaming service at `--rate` queries/sec
@@ -241,7 +284,9 @@ pub fn serve(args: Args) -> Result<(), String> {
 /// distribution. The open loop means submission times never wait for
 /// responses — exactly how an external client population behaves.
 pub fn replay(args: Args) -> Result<(), String> {
-    args.reject_unknown(&["-p", "-q", "-k", "--rate", "--delay-us", "--depth"])?;
+    let mut known: Vec<&str> = SERVICE_FLAGS.to_vec();
+    known.extend(["-q", "-k", "--rate"]);
+    args.reject_unknown(&known)?;
     let path = args.require(0, "graph file")?;
     let queries: usize = args.flag_parse("-q", 1000)?;
     let k: u32 = args.flag_parse("-k", 3)?;

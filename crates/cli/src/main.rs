@@ -73,6 +73,14 @@ USAGE:
   cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]   (queries on stdin: \"SRC.. K\")
   cgraph replay <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS] [--rate QPS]
 
+SERVICE ROBUSTNESS (serve & replay):
+  --chaos SPEC       deterministic fault plan, e.g.
+                     \"seed=7,crash=1@3,drop=0.01,heal=1,jobs=0..4\"
+  --deadline-ms MS   per-query deadline (0 = none)
+  --retries N        whole-batch retries with backoff (default 2)
+  --ckpt-interval K  checkpoint every K supersteps (default 4)
+  --degrade-after N  drop to p-1 machines after N same-machine crashes (0 = never)
+
 MODELS:
   graph500 <scale> <edge_factor>
   rmat <scale> <edges>

@@ -42,6 +42,19 @@ struct State {
     poisoned: bool,
 }
 
+/// Error returned by the `try_wait*` barrier variants when the barrier
+/// was [poisoned](ReduceBarrier::poison) by a dying peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+impl std::fmt::Display for BarrierPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "barrier poisoned: a peer machine died mid-computation")
+    }
+}
+
+impl std::error::Error for BarrierPoisoned {}
+
 /// A reusable barrier over `parties` threads carrying a `u64` sum.
 pub struct ReduceBarrier {
     parties: usize,
@@ -98,8 +111,27 @@ impl ReduceBarrier {
     /// Panics (instead of deadlocking) if the barrier is
     /// [poisoned](ReduceBarrier::poison) before or during the wait.
     pub fn wait_reduce(&self, contribution: u64) -> Reduction {
+        match self.try_wait_reduce(contribution) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`ReduceBarrier::wait_reduce`], but returns
+    /// `Err(BarrierPoisoned)` instead of panicking when the barrier is
+    /// poisoned — before contributing, or while parked waiting for
+    /// peers. Recovery-aware workers use this to notice a peer's death
+    /// as an orderly event (save state, unwind cleanly) rather than a
+    /// panic of their own.
+    ///
+    /// An `Err` after parking means this party's contribution was
+    /// consumed by a generation that never completed; the barrier is
+    /// unusable from then on, matching the panic path.
+    pub fn try_wait_reduce(&self, contribution: u64) -> Result<Reduction, BarrierPoisoned> {
         let mut s = self.state.lock();
-        assert!(!s.poisoned, "barrier poisoned: a peer machine died mid-computation");
+        if s.poisoned {
+            return Err(BarrierPoisoned);
+        }
         let gen = s.generation;
         s.sum = s.sum.wrapping_add(contribution);
         s.max = s.max.max(contribution);
@@ -115,17 +147,26 @@ impl ReduceBarrier {
             s.remaining = self.parties;
             s.generation = gen.wrapping_add(1);
             self.cvar.notify_all();
-            s.result
+            Ok(s.result)
         } else {
             while s.generation == gen && !s.poisoned {
                 self.cvar.wait(&mut s);
             }
-            assert!(
-                s.generation != gen,
-                "barrier poisoned while waiting: a peer machine died mid-computation"
-            );
-            s.result
+            if s.generation == gen {
+                return Err(BarrierPoisoned);
+            }
+            Ok(s.result)
         }
+    }
+
+    /// Non-panicking variant of [`ReduceBarrier::wait_sum`].
+    pub fn try_wait_sum(&self, contribution: u64) -> Result<u64, BarrierPoisoned> {
+        self.try_wait_reduce(contribution).map(|r| r.sum)
+    }
+
+    /// Non-panicking variant of [`ReduceBarrier::wait`].
+    pub fn try_wait(&self) -> Result<(), BarrierPoisoned> {
+        self.try_wait_reduce(0).map(|_| ())
     }
 
     /// Blocks until all parties have called, then returns the sum of
@@ -229,6 +270,28 @@ mod tests {
         assert_eq!(b.wait_sum(3), 3);
         b.poison();
         assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn try_wait_reports_poison_without_panicking() {
+        let b = Arc::new(ReduceBarrier::new(2));
+        let b2 = b.clone();
+        let waiter = std::thread::spawn(move || b2.try_wait_sum(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        assert_eq!(waiter.join().unwrap(), Err(BarrierPoisoned));
+        assert_eq!(b.try_wait(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn try_wait_matches_wait_when_healthy() {
+        let b = Arc::new(ReduceBarrier::new(2));
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || b2.try_wait_reduce(9).unwrap());
+        let mine = b.try_wait_reduce(4).unwrap();
+        let theirs = t.join().unwrap();
+        assert_eq!(mine, theirs);
+        assert_eq!((mine.sum, mine.max, mine.or), (13, 9, 9 | 4));
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Deterministic fault injection: the chaos plane.
+//!
+//! Production graph services meet machine crashes, lossy links, and
+//! packet reordering; a reproduction that only ever runs on a healthy
+//! simulated cluster cannot claim the "serving heavy traffic" story of
+//! the paper's setting. This module makes failure a *first-class,
+//! testable input*: a [`FaultPlan`] describes — deterministically,
+//! from a seed — which machine crashes at which superstep, which
+//! messages are dropped, duplicated, reordered, or slowed, and for how
+//! many attempts the faults persist before "healing".
+//!
+//! Determinism is the load-bearing property. Fault decisions are *not*
+//! drawn from a shared RNG stream (whose consumption order would
+//! depend on thread interleaving); each decision is a pure
+//! [splitmix64] hash of `(seed, job, attempt, machine, counter)`, so
+//! the same plan over the same job produces the same faults regardless
+//! of scheduling — and a *retry* (higher `attempt`) deterministically
+//! sees a fresh, independent fault pattern. [`FaultPlan::heal_after`]
+//! makes "fails N times then succeeds" plans expressible, which is
+//! what recovery tests need.
+//!
+//! The plane is wired into
+//! [`PersistentCluster::submit_with_chaos`](crate::PersistentCluster::submit_with_chaos):
+//! the per-job [`ChaosRun`] threads an armed plan into every
+//! [`CommHandle`](crate::CommHandle), where sends consult it and
+//! crash points ([`CommHandle::fault_point`](crate::CommHandle::fault_point))
+//! panic on schedule.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A scripted machine crash: machine `machine` panics when it reaches
+/// the fault point of superstep `superstep`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The machine that dies.
+    pub machine: usize,
+    /// The superstep at whose start it dies.
+    pub superstep: u32,
+}
+
+/// A simulated slow link: every message from `from` to `to` is billed
+/// `extra_ns` additional simulated network nanoseconds on top of the
+/// [`NetModel`](crate::NetModel) cost. Layered accounting only — like
+/// the base model, it never sleeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowLink {
+    /// Sending machine.
+    pub from: usize,
+    /// Receiving machine.
+    pub to: usize,
+    /// Extra simulated nanoseconds per message.
+    pub extra_ns: u64,
+}
+
+/// A deterministic, seedable fault schedule for cluster jobs.
+///
+/// The plan is inert data; it takes effect when passed to
+/// [`PersistentCluster::submit_with_chaos`](crate::PersistentCluster::submit_with_chaos)
+/// inside a [`ChaosRun`], which also carries the `(job, attempt)`
+/// coordinates that scope and salt every decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed salting every fault decision.
+    pub seed: u64,
+    /// Scripted machine crashes.
+    pub crashes: Vec<CrashFault>,
+    /// Probability (0..=1) that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability (0..=1) that a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability (0..=1) that a message is held back and delivered
+    /// after the sender's next message (or at the next barrier).
+    pub reorder_prob: f64,
+    /// Slow links layered on the network model.
+    pub slow_links: Vec<SlowLink>,
+    /// Faults only fire while `attempt < heal_after`; `None` means the
+    /// plan never heals. `Some(1)` expresses "fail once, then recover".
+    pub heal_after: Option<u32>,
+    /// Jobs (by caller-assigned job number) in which the plan is
+    /// armed; `None` arms every job. Scoping a destructive plan to a
+    /// job window lets the rest of a stream run clean.
+    pub armed_jobs: Option<Range<u64>>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            crashes: Vec::new(),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            slow_links: Vec::new(),
+            heal_after: None,
+            armed_jobs: None,
+        }
+    }
+
+    /// Adds a scripted crash of `machine` at `superstep`.
+    pub fn crash(mut self, machine: usize, superstep: u32) -> Self {
+        self.crashes.push(CrashFault { machine, superstep });
+        self
+    }
+
+    /// Sets the message-drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the message-duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Sets the message-reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder_prob = p;
+        self
+    }
+
+    /// Adds a slow link from `from` to `to` costing `extra_ns` per
+    /// message.
+    pub fn slow_link(mut self, from: usize, to: usize, extra_ns: u64) -> Self {
+        self.slow_links.push(SlowLink { from, to, extra_ns });
+        self
+    }
+
+    /// Faults stop firing once the per-job attempt counter reaches
+    /// `attempts` — "fail `attempts` times, then recover".
+    pub fn heal_after(mut self, attempts: u32) -> Self {
+        self.heal_after = Some(attempts);
+        self
+    }
+
+    /// Restricts the plan to jobs whose number falls in `jobs`.
+    pub fn arm_jobs(mut self, jobs: Range<u64>) -> Self {
+        self.armed_jobs = Some(jobs);
+        self
+    }
+
+    /// True when the plan can fire for this `(job, attempt)` pair.
+    pub fn is_armed(&self, job: u64, attempt: u32) -> bool {
+        self.armed_jobs.as_ref().is_none_or(|r| r.contains(&job))
+            && self.heal_after.is_none_or(|h| attempt < h)
+    }
+
+    /// True when the plan can lose messages (message loss taints all
+    /// state derived after the drop, which recovery must respect).
+    pub fn lossy(&self) -> bool {
+        self.drop_prob > 0.0
+    }
+
+    /// True when no fault of any kind is configured.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.slow_links.is_empty()
+    }
+
+    /// Parses a compact spec string, e.g.
+    /// `"seed=7,crash=0@2,drop=0.1,dup=0.05,reorder=0.1,slow=0>1@5000,heal=1,jobs=2..5"`.
+    ///
+    /// Fields (comma-separated, each optional, repeated `crash=`/`slow=`
+    /// accumulate): `seed=<u64>`, `crash=<machine>@<superstep>`,
+    /// `drop=<p>`, `dup=<p>`, `reorder=<p>`,
+    /// `slow=<from>><to>@<extra_ns>`, `heal=<attempts>`,
+    /// `jobs=<start>..<end>`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new(0);
+        for field in spec.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("chaos field {field:?} is not key=value"))?;
+            let bad = |what: &str| format!("invalid chaos {what} in {field:?}");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| bad("seed"))?,
+                "crash" => {
+                    let (m, s) = value.split_once('@').ok_or_else(|| bad("crash (m@s)"))?;
+                    plan.crashes.push(CrashFault {
+                        machine: m.parse().map_err(|_| bad("crash machine"))?,
+                        superstep: s.parse().map_err(|_| bad("crash superstep"))?,
+                    });
+                }
+                "drop" => plan.drop_prob = parse_prob(value).ok_or_else(|| bad("drop"))?,
+                "dup" => plan.dup_prob = parse_prob(value).ok_or_else(|| bad("dup"))?,
+                "reorder" => plan.reorder_prob = parse_prob(value).ok_or_else(|| bad("reorder"))?,
+                "slow" => {
+                    let (link, ns) = value.split_once('@').ok_or_else(|| bad("slow (f>t@ns)"))?;
+                    let (f, t) = link.split_once('>').ok_or_else(|| bad("slow link (f>t)"))?;
+                    plan.slow_links.push(SlowLink {
+                        from: f.parse().map_err(|_| bad("slow from"))?,
+                        to: t.parse().map_err(|_| bad("slow to"))?,
+                        extra_ns: ns.parse().map_err(|_| bad("slow extra_ns"))?,
+                    });
+                }
+                "heal" => plan.heal_after = Some(value.parse().map_err(|_| bad("heal"))?),
+                "jobs" => {
+                    let (a, b) = value.split_once("..").ok_or_else(|| bad("jobs (a..b)"))?;
+                    let start = a.parse().map_err(|_| bad("jobs start"))?;
+                    let end = b.parse().map_err(|_| bad("jobs end"))?;
+                    plan.armed_jobs = Some(start..end);
+                }
+                other => return Err(format!("unknown chaos field {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for c in &self.crashes {
+            write!(f, ",crash={}@{}", c.machine, c.superstep)?;
+        }
+        if self.drop_prob > 0.0 {
+            write!(f, ",drop={}", self.drop_prob)?;
+        }
+        if self.dup_prob > 0.0 {
+            write!(f, ",dup={}", self.dup_prob)?;
+        }
+        if self.reorder_prob > 0.0 {
+            write!(f, ",reorder={}", self.reorder_prob)?;
+        }
+        for l in &self.slow_links {
+            write!(f, ",slow={}>{}@{}", l.from, l.to, l.extra_ns)?;
+        }
+        if let Some(h) = self.heal_after {
+            write!(f, ",heal={h}")?;
+        }
+        if let Some(r) = &self.armed_jobs {
+            write!(f, ",jobs={}..{}", r.start, r.end)?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_prob(v: &str) -> Option<f64> {
+    let p: f64 = v.parse().ok()?;
+    (0.0..=1.0).contains(&p).then_some(p)
+}
+
+/// One job's chaos coordinates: the plan plus the `(job, attempt)`
+/// pair that scopes its arming and salts its decisions. Create one per
+/// submission; read [`ChaosRun::dropped`] afterwards to learn whether
+/// the job lost messages (a completed-but-lossy job is reported as
+/// [`ClusterError::MessagesLost`](crate::ClusterError::MessagesLost),
+/// but a job that *also* panicked reports the panic, and the caller
+/// still needs the drop count to plan recovery).
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// Caller-assigned job number ([`FaultPlan::armed_jobs`] scope).
+    pub job: u64,
+    /// Caller-assigned attempt number ([`FaultPlan::heal_after`]
+    /// scope; also salts every probabilistic decision, so retries see
+    /// fresh fault patterns).
+    pub attempt: u32,
+    dropped: Arc<AtomicU64>,
+}
+
+impl ChaosRun {
+    /// Binds `plan` to a `(job, attempt)` pair.
+    pub fn new(plan: FaultPlan, job: u64, attempt: u32) -> Self {
+        Self { plan, job, attempt, dropped: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Messages dropped during the submission this run was passed to.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn job_state(&self, p: usize) -> ChaosJob {
+        ChaosJob {
+            plan: self.plan.clone(),
+            armed: self.plan.is_armed(self.job, self.attempt),
+            job: self.job,
+            attempt: self.attempt,
+            dropped: Arc::clone(&self.dropped),
+            counters: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Per-job chaos state shared by every [`CommHandle`](crate::CommHandle)
+/// of one fabric.
+#[derive(Debug)]
+pub(crate) struct ChaosJob {
+    plan: FaultPlan,
+    armed: bool,
+    job: u64,
+    attempt: u32,
+    dropped: Arc<AtomicU64>,
+    /// Per-machine decision counters: each machine consumes its own
+    /// deterministic decision stream, independent of thread timing.
+    counters: Vec<AtomicU64>,
+}
+
+impl ChaosJob {
+    /// True when any probabilistic/crash fault can fire this job.
+    #[cfg(test)]
+    pub(crate) fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// True when the plan needs per-send probabilistic decisions.
+    pub(crate) fn perturbs_messages(&self) -> bool {
+        self.armed
+            && (self.plan.drop_prob > 0.0
+                || self.plan.dup_prob > 0.0
+                || self.plan.reorder_prob > 0.0)
+    }
+
+    /// Whether `machine` is scripted to crash at `superstep`.
+    pub(crate) fn should_crash(&self, machine: usize, superstep: u32) -> bool {
+        self.armed
+            && self.plan.crashes.iter().any(|c| c.machine == machine && c.superstep == superstep)
+    }
+
+    /// Extra simulated nanoseconds for the `from -> to` link, if any.
+    /// Slow links apply even to healed attempts: a slow network is an
+    /// environment property, not a transient fault.
+    pub(crate) fn slow_extra_ns(&self, from: usize, to: usize) -> u64 {
+        self.plan
+            .slow_links
+            .iter()
+            .filter(|l| l.from == from && l.to == to)
+            .map(|l| l.extra_ns)
+            .sum()
+    }
+
+    /// Next uniform-in-`[0,1)` decision for `machine`'s stream.
+    pub(crate) fn roll(&self, machine: usize) -> f64 {
+        let n = self.counters[machine].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(
+            self.plan
+                .seed
+                .wrapping_add(self.job.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(u64::from(self.attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add((machine as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+                .wrapping_add(n),
+        );
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Drop probability (0 unless armed).
+    pub(crate) fn drop_prob(&self) -> f64 {
+        if self.armed {
+            self.plan.drop_prob
+        } else {
+            0.0
+        }
+    }
+
+    /// Duplication probability (0 unless armed).
+    pub(crate) fn dup_prob(&self) -> f64 {
+        if self.armed {
+            self.plan.dup_prob
+        } else {
+            0.0
+        }
+    }
+
+    /// Reorder probability (0 unless armed).
+    pub(crate) fn reorder_prob(&self) -> f64 {
+        if self.armed {
+            self.plan.reorder_prob
+        } else {
+            0.0
+        }
+    }
+
+    /// Records one dropped message.
+    pub(crate) fn note_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Messages dropped so far this job.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+}
+
+/// The splitmix64 finalizer: a strong, cheap 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_respects_job_window_and_heal() {
+        let plan = FaultPlan::new(1).crash(0, 2).heal_after(2).arm_jobs(5..8);
+        assert!(!plan.is_armed(4, 0));
+        assert!(plan.is_armed(5, 0));
+        assert!(plan.is_armed(7, 1));
+        assert!(!plan.is_armed(7, 2), "healed after 2 attempts");
+        assert!(!plan.is_armed(8, 0));
+    }
+
+    #[test]
+    fn unscoped_plan_arms_everywhere_until_healed() {
+        let plan = FaultPlan::new(1).crash(1, 0).heal_after(1);
+        assert!(plan.is_armed(0, 0));
+        assert!(plan.is_armed(u64::MAX / 2, 0));
+        assert!(!plan.is_armed(0, 1));
+    }
+
+    #[test]
+    fn rolls_are_deterministic_per_machine_stream() {
+        let run_a = ChaosRun::new(FaultPlan::new(42).with_drop(0.5), 3, 1);
+        let run_b = ChaosRun::new(FaultPlan::new(42).with_drop(0.5), 3, 1);
+        let ja = run_a.job_state(2);
+        let jb = run_b.job_state(2);
+        let a: Vec<f64> = (0..32).map(|_| ja.roll(0)).collect();
+        let b: Vec<f64> = (0..32).map(|_| jb.roll(0)).collect();
+        assert_eq!(a, b, "same coordinates, same decision stream");
+        let other: Vec<f64> = (0..32).map(|_| jb.roll(1)).collect();
+        assert_ne!(a, other, "machines draw independent streams");
+        assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn attempt_salts_decisions() {
+        let j0 = ChaosRun::new(FaultPlan::new(7).with_drop(0.5), 0, 0).job_state(1);
+        let j1 = ChaosRun::new(FaultPlan::new(7).with_drop(0.5), 0, 1).job_state(1);
+        let a: Vec<f64> = (0..16).map(|_| j0.roll(0)).collect();
+        let b: Vec<f64> = (0..16).map(|_| j1.roll(0)).collect();
+        assert_ne!(a, b, "retries must see fresh fault patterns");
+    }
+
+    #[test]
+    fn disarmed_job_has_zero_probabilities() {
+        let plan = FaultPlan::new(9).with_drop(1.0).with_dup(1.0).with_reorder(1.0).heal_after(1);
+        let healed = ChaosRun::new(plan, 0, 1).job_state(2);
+        assert!(!healed.armed());
+        assert_eq!(healed.drop_prob(), 0.0);
+        assert_eq!(healed.dup_prob(), 0.0);
+        assert_eq!(healed.reorder_prob(), 0.0);
+        assert!(!healed.should_crash(0, 0));
+    }
+
+    #[test]
+    fn slow_links_survive_healing() {
+        let plan = FaultPlan::new(9).slow_link(0, 1, 5_000).heal_after(1);
+        let healed = ChaosRun::new(plan, 0, 1).job_state(2);
+        assert_eq!(healed.slow_extra_ns(0, 1), 5_000);
+        assert_eq!(healed.slow_extra_ns(1, 0), 0);
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = "seed=7,crash=0@2,crash=1@4,drop=0.1,dup=0.05,reorder=0.2,slow=0>1@5000,heal=1,jobs=2..5";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(
+            plan.crashes,
+            vec![CrashFault { machine: 0, superstep: 2 }, CrashFault { machine: 1, superstep: 4 }]
+        );
+        assert_eq!(plan.drop_prob, 0.1);
+        assert_eq!(plan.dup_prob, 0.05);
+        assert_eq!(plan.reorder_prob, 0.2);
+        assert_eq!(plan.slow_links, vec![SlowLink { from: 0, to: 1, extra_ns: 5_000 }]);
+        assert_eq!(plan.heal_after, Some(1));
+        assert_eq!(plan.armed_jobs, Some(2..5));
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(FaultPlan::parse("crash=0").is_err());
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("drop=-0.1").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("jobs=3").is_err());
+        assert!(FaultPlan::parse("slow=0@1").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_faultless() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert!(!plan.lossy());
+    }
+}

@@ -7,11 +7,13 @@
 //! and all cross-machine traffic goes through the handles.
 
 use crate::async_rt::TerminationDetector;
-use crate::barrier::{ReduceBarrier, Reduction};
+use crate::barrier::{BarrierPoisoned, ReduceBarrier, Reduction};
+use crate::chaos::ChaosJob;
 use crate::message::{Envelope, WireSize};
 use crate::netmodel::{NetModel, NetStats};
 use crate::MachineId;
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A machine's endpoint into the cluster fabric.
@@ -24,6 +26,11 @@ pub struct CommHandle<M> {
     term: Arc<TerminationDetector>,
     model: NetModel,
     stats: Arc<NetStats>,
+    chaos: Option<Arc<ChaosJob>>,
+    /// Reorder fault: one message held back until the next send (which
+    /// overtakes it) or the next barrier/idle transition (which flushes
+    /// it so sync supersteps never leak messages across barriers).
+    holdback: Mutex<Option<(MachineId, M)>>,
 }
 
 impl<M: WireSize> CommHandle<M> {
@@ -42,7 +49,55 @@ impl<M: WireSize> CommHandle<M> {
     /// Sends `payload` to machine `to`. Self-sends are legal (they
     /// loop back through the local inbox) but cost no simulated
     /// network time.
-    pub fn send(&self, to: MachineId, payload: M) {
+    ///
+    /// Under an armed chaos plan, non-self sends may be dropped
+    /// (counted in [`CommHandle::chaos_dropped`]), duplicated,
+    /// reordered (held back past the next send), or billed extra
+    /// simulated nanoseconds for slow links. Self-sends are never
+    /// perturbed: they model local work, not the network.
+    pub fn send(&self, to: MachineId, payload: M)
+    where
+        M: Clone,
+    {
+        if to != self.id {
+            if let Some(chaos) = &self.chaos {
+                let extra = chaos.slow_extra_ns(self.id, to);
+                if extra > 0 {
+                    self.stats.record_extra_ns(extra);
+                }
+                if chaos.perturbs_messages() {
+                    let p_drop = chaos.drop_prob();
+                    if p_drop > 0.0 && chaos.roll(self.id) < p_drop {
+                        // Lost on the wire: billed, never delivered,
+                        // and never counted by termination detection
+                        // (the counter stays balanced because no
+                        // receiver will ever ack it).
+                        self.stats.record_send(&self.model, payload.wire_size());
+                        chaos.note_drop();
+                        return;
+                    }
+                    let p_dup = chaos.dup_prob();
+                    if p_dup > 0.0 && chaos.roll(self.id) < p_dup {
+                        self.raw_send(to, payload.clone());
+                    }
+                    let p_reorder = chaos.reorder_prob();
+                    if p_reorder > 0.0 && chaos.roll(self.id) < p_reorder {
+                        // Hold this message back; release whatever was
+                        // held before (it is now overtaken).
+                        let prev = self.holdback.lock().replace((to, payload));
+                        if let Some((pt, pm)) = prev {
+                            self.raw_send(pt, pm);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+        self.raw_send(to, payload);
+    }
+
+    /// The unperturbed send path.
+    fn raw_send(&self, to: MachineId, payload: M) {
         if to != self.id {
             self.stats.record_send(&self.model, payload.wire_size());
         }
@@ -52,6 +107,33 @@ impl<M: WireSize> CommHandle<M> {
         self.senders[to]
             .send(Envelope::new(self.id, to, payload))
             .expect("peer machine hung up (panicked?)");
+    }
+
+    /// Releases a held-back (reordered) message, if any. Called before
+    /// every barrier and idle transition so faults never leak messages
+    /// across superstep boundaries.
+    fn flush_holdback(&self) {
+        if let Some((to, payload)) = self.holdback.lock().take() {
+            self.raw_send(to, payload);
+        }
+    }
+
+    /// A scripted crash point: panics if the chaos plan schedules this
+    /// machine to die at `superstep`. Workers call this at the top of
+    /// each superstep; without an armed plan it is free.
+    pub fn fault_point(&self, superstep: u32) {
+        if let Some(chaos) = &self.chaos {
+            if chaos.should_crash(self.id, superstep) {
+                panic!("chaos: machine {} crashed at superstep {superstep}", self.id);
+            }
+        }
+    }
+
+    /// Messages dropped by the chaos plan so far this job (across all
+    /// machines). Stable at superstep boundaries: after a barrier, and
+    /// before any new sends, every machine reads the same value.
+    pub fn chaos_dropped(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.dropped())
     }
 
     /// Non-blocking receive.
@@ -89,22 +171,44 @@ impl<M: WireSize> CommHandle<M> {
     /// Superstep barrier carrying an all-reduced `u64` (typically the
     /// machine's count of active work; a global sum of 0 means halt).
     pub fn barrier_sum(&self, contribution: u64) -> u64 {
+        self.flush_holdback();
         self.barrier.wait_sum(contribution)
     }
 
     /// Superstep barrier returning the combined sum/max/or over all
     /// machines' contributions.
     pub fn barrier_reduce(&self, contribution: u64) -> Reduction {
+        self.flush_holdback();
         self.barrier.wait_reduce(contribution)
     }
 
     /// Plain barrier.
     pub fn barrier(&self) {
+        self.flush_holdback();
         self.barrier.wait();
+    }
+
+    /// Non-panicking plain barrier: `Err` when a peer died. Recovery
+    /// workers use this to save checkpointable state instead of
+    /// unwinding.
+    pub fn try_barrier(&self) -> Result<(), BarrierPoisoned> {
+        self.flush_holdback();
+        self.barrier.try_wait()
+    }
+
+    /// Non-panicking reducing barrier: `Err` when a peer died.
+    pub fn try_barrier_reduce(&self, contribution: u64) -> Result<Reduction, BarrierPoisoned> {
+        self.flush_holdback();
+        self.barrier.try_wait_reduce(contribution)
     }
 
     /// Marks this machine idle/busy for async termination detection.
     pub fn set_idle(&self, idle: bool) {
+        if idle {
+            // Going idle with a held-back message would deadlock
+            // quiescence detection (the send's ack can never balance).
+            self.flush_holdback();
+        }
         self.term.set_idle(self.id, idle);
     }
 
@@ -121,6 +225,20 @@ impl<M: WireSize> CommHandle<M> {
     /// The interconnect model in force.
     pub fn model(&self) -> &NetModel {
         &self.model
+    }
+}
+
+impl<M> Drop for CommHandle<M> {
+    fn drop(&mut self) {
+        // A message still held back when the handle dies (a machine
+        // crash mid-superstep unwinds before any barrier could flush
+        // it) was never delivered: account it as a drop so recovery
+        // knows the job was lossy.
+        if self.holdback.get_mut().is_some() {
+            if let Some(chaos) = &self.chaos {
+                chaos.note_drop();
+            }
+        }
     }
 }
 
@@ -167,10 +285,23 @@ pub(crate) struct Fabric<M> {
     pub(crate) barrier: Arc<ReduceBarrier>,
     pub(crate) term: Arc<TerminationDetector>,
     pub(crate) stats: Vec<Arc<NetStats>>,
+    /// Keepalive clones of every machine's inbox receiver. Held by the
+    /// submitter for the lifetime of a job so that sends to a machine
+    /// whose handle already unwound (crash) land in a never-read
+    /// channel instead of panicking the healthy sender.
+    pub(crate) receivers: Vec<Receiver<Envelope<M>>>,
 }
 
 impl<M: WireSize> Fabric<M> {
     pub(crate) fn build(p: usize, model: NetModel) -> Self {
+        Self::build_with_chaos(p, model, None)
+    }
+
+    pub(crate) fn build_with_chaos(
+        p: usize,
+        model: NetModel,
+        chaos: Option<Arc<ChaosJob>>,
+    ) -> Self {
         let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(p);
         let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(p);
         for _ in 0..p {
@@ -181,21 +312,23 @@ impl<M: WireSize> Fabric<M> {
         let barrier = Arc::new(ReduceBarrier::new(p));
         let term = Arc::new(TerminationDetector::new(p));
         let handles: Vec<CommHandle<M>> = receivers
-            .into_iter()
+            .iter()
             .enumerate()
             .map(|(id, receiver)| CommHandle {
                 id,
                 p,
                 senders: senders.clone(),
-                receiver,
+                receiver: receiver.clone(),
                 barrier: barrier.clone(),
                 term: term.clone(),
                 model,
                 stats: Arc::new(NetStats::new()),
+                chaos: chaos.clone(),
+                holdback: Mutex::new(None),
             })
             .collect();
         let stats = handles.iter().map(|h| h.stats.clone()).collect();
-        Self { handles, barrier, term, stats }
+        Self { handles, barrier, term, stats, receivers }
     }
 }
 

@@ -28,6 +28,11 @@
 //!   message without sleeping, so wall-clock benches stay meaningful
 //!   while scaling analyses can still report communication volume.
 //! * [`collectives`] — allreduce/broadcast built on the barrier.
+//! * [`chaos::FaultPlan`] — a deterministic, seedable fault schedule
+//!   (scripted machine crashes, message drop/dup/reorder, slow links)
+//!   injected per job via
+//!   [`PersistentCluster::submit_with_chaos`](persistent::PersistentCluster::submit_with_chaos),
+//!   making failure a first-class, testable input.
 //!
 //! Nothing in this crate knows about graphs; it is a generic
 //! message-passing substrate tested in isolation.
@@ -36,6 +41,7 @@
 
 pub mod async_rt;
 pub mod barrier;
+pub mod chaos;
 pub mod cluster;
 pub mod collectives;
 pub mod cputime;
@@ -45,7 +51,8 @@ pub mod netmodel;
 pub mod persistent;
 
 pub use async_rt::TerminationDetector;
-pub use barrier::{ReduceBarrier, Reduction};
+pub use barrier::{BarrierPoisoned, ReduceBarrier, Reduction};
+pub use chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
 pub use cluster::{Cluster, CommHandle};
 pub use cputime::thread_cpu_time;
 pub use mailbox::Outbox;

@@ -73,6 +73,13 @@ impl NetStats {
         self.sim_net_ns.fetch_add(model.msg_cost_ns(payload_bytes), Ordering::Relaxed);
     }
 
+    /// Attributes extra simulated network nanoseconds (e.g. a chaos
+    /// plan's [slow links](crate::chaos::SlowLink) layered on top of
+    /// the base model's per-message cost).
+    pub fn record_extra_ns(&self, ns: u64) {
+        self.sim_net_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Messages sent so far.
     pub fn msgs_sent(&self) -> u64 {
         self.msgs_sent.load(Ordering::Relaxed)

@@ -23,6 +23,7 @@
 //! aborts the process rather than unwinding if a machine thread itself
 //! ever dies mid-protocol — see `protocol_fatal`.
 
+use crate::chaos::ChaosRun;
 use crate::cluster::{CommHandle, Fabric, TrafficReport};
 use crate::message::WireSize;
 use crate::netmodel::NetModel;
@@ -48,6 +49,21 @@ pub enum ClusterError {
         /// Its panic payload, rendered as text.
         message: String,
     },
+    /// Every machine completed, but the chaos plan dropped messages in
+    /// flight — the results are built from incomplete mailboxes and
+    /// must not be trusted. Recoverable by re-execution.
+    MessagesLost {
+        /// Messages dropped during the job.
+        dropped: u64,
+    },
+}
+
+impl ClusterError {
+    /// True when retrying the job could succeed (the cluster itself is
+    /// still alive).
+    pub fn is_recoverable(&self) -> bool {
+        !matches!(self, ClusterError::ShutDown)
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -56,6 +72,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::ShutDown => write!(f, "cluster is shut down"),
             ClusterError::MachinePanicked { machine, message } => {
                 write!(f, "machine {machine} panicked: {message}")
+            }
+            ClusterError::MessagesLost { dropped } => {
+                write!(f, "{dropped} message(s) lost in flight: results are untrustworthy")
             }
         }
     }
@@ -197,15 +216,46 @@ impl PersistentCluster {
         R: Send,
         F: Fn(CommHandle<M>) -> R + Sync,
     {
+        self.submit_with_chaos(None, worker)
+    }
+
+    /// Like [`PersistentCluster::submit`], but wires an optional
+    /// [`ChaosRun`] into every machine's [`CommHandle`] so the job
+    /// experiences the run's fault plan (scripted crashes at
+    /// [`CommHandle::fault_point`]s, message drop/dup/reorder, slow
+    /// links).
+    ///
+    /// If the job completes but the plan dropped messages, the results
+    /// were computed from incomplete mailboxes and
+    /// [`ClusterError::MessagesLost`] is returned instead. If a
+    /// machine panicked *and* messages were dropped, the panic wins
+    /// (read [`ChaosRun::dropped`] afterwards for the full picture).
+    pub fn submit_with_chaos<M, R, F>(
+        &self,
+        chaos: Option<&ChaosRun>,
+        worker: F,
+    ) -> Result<(Vec<R>, TrafficReport), ClusterError>
+    where
+        M: WireSize + Send,
+        R: Send,
+        F: Fn(CommHandle<M>) -> R + Sync,
+    {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let Some(job_txs) = inner.job_txs.as_ref() else {
             return Err(ClusterError::ShutDown);
         };
 
-        let fabric = Fabric::<M>::build(self.p, self.model);
+        let chaos_job = chaos.map(|run| std::sync::Arc::new(run.job_state(self.p)));
+        let fabric = Fabric::<M>::build_with_chaos(self.p, self.model, chaos_job.clone());
         let stats = fabric.stats;
         let barrier = fabric.barrier;
         let term = fabric.term;
+        // Keep every machine's inbox receiver alive until all acks are
+        // in: a crashed machine drops its handle (and receiver) before
+        // peers see the poison, and without this their sends to the
+        // dead machine would panic "hung up" — masking the real
+        // failure and defeating checkpoint-saving peers.
+        let _keepalive = fabric.receivers;
         // One result slot per machine, written exactly once per job.
         let results: Mutex<Vec<Option<Result<R, String>>>> =
             Mutex::new((0..self.p).map(|_| None).collect());
@@ -276,6 +326,12 @@ impl PersistentCluster {
         }
         if let Some((machine, message)) = failure {
             return Err(ClusterError::MachinePanicked { machine, message });
+        }
+        if let Some(job) = &chaos_job {
+            let dropped = job.dropped();
+            if dropped > 0 {
+                return Err(ClusterError::MessagesLost { dropped });
+            }
         }
         Ok((out, TrafficReport::from_stats(&stats)))
     }
@@ -409,6 +465,128 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(cluster.generation(), 40);
+    }
+
+    #[test]
+    fn chaos_crash_fails_job_deterministically() {
+        use crate::chaos::FaultPlan;
+        let cluster = PersistentCluster::new(3);
+        let plan = FaultPlan::new(1).crash(1, 2);
+        for _ in 0..3 {
+            let run = ChaosRun::new(plan.clone(), 0, 0);
+            let err = cluster
+                .submit_with_chaos::<u64, u64, _>(Some(&run), |h| {
+                    for step in 0..4u32 {
+                        h.fault_point(step);
+                        h.barrier();
+                    }
+                    7
+                })
+                .unwrap_err();
+            match err {
+                ClusterError::MachinePanicked { message, .. } => {
+                    assert!(
+                        message.contains("crashed at superstep 2") || message.contains("poisoned"),
+                        "unexpected: {message}"
+                    );
+                }
+                other => panic!("expected MachinePanicked, got {other:?}"),
+            }
+        }
+        // A healed attempt succeeds on the same cluster.
+        let run = ChaosRun::new(plan.heal_after(1), 0, 1);
+        let (ok, _) = cluster
+            .submit_with_chaos::<u64, u64, _>(Some(&run), |h| {
+                for step in 0..4u32 {
+                    h.fault_point(step);
+                    h.barrier();
+                }
+                7
+            })
+            .unwrap();
+        assert_eq!(ok, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn chaos_drops_surface_as_messages_lost() {
+        use crate::chaos::FaultPlan;
+        let cluster = PersistentCluster::new(2);
+        let run = ChaosRun::new(FaultPlan::new(3).with_drop(1.0), 0, 0);
+        let err = cluster
+            .submit_with_chaos::<u64, u64, _>(Some(&run), |h| {
+                h.send(1 - h.id(), 5);
+                h.barrier();
+                h.drain().iter().map(|e| e.payload).sum()
+            })
+            .unwrap_err();
+        assert_eq!(err, ClusterError::MessagesLost { dropped: 2 });
+        assert_eq!(run.dropped(), 2);
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn chaos_dup_and_reorder_preserve_superstep_delivery() {
+        use crate::chaos::FaultPlan;
+        let cluster = PersistentCluster::new(2);
+        // Dup and reorder perturb the mailbox but lose nothing: after
+        // the barrier each machine must still see every payload at
+        // least once, and the barrier must flush held-back messages.
+        let plan = FaultPlan::new(11).with_dup(0.5).with_reorder(0.5);
+        let run = ChaosRun::new(plan, 0, 0);
+        let (got, _) = cluster
+            .submit_with_chaos::<u64, Vec<u64>, _>(Some(&run), |h| {
+                for m in 0..8u64 {
+                    h.send(1 - h.id(), m);
+                }
+                h.barrier();
+                let mut seen: Vec<u64> = h.drain().iter().map(|e| e.payload).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                seen
+            })
+            .unwrap();
+        for machine in got {
+            assert_eq!(machine, (0..8).collect::<Vec<_>>());
+        }
+        assert_eq!(run.dropped(), 0);
+    }
+
+    #[test]
+    fn chaos_slow_links_bill_extra_sim_time() {
+        use crate::chaos::FaultPlan;
+        let cluster = PersistentCluster::with_model(2, NetModel::FREE);
+        let run = ChaosRun::new(FaultPlan::new(0).slow_link(0, 1, 7_000), 0, 0);
+        let (_, traffic) = cluster
+            .submit_with_chaos::<u64, (), _>(Some(&run), |h| {
+                if h.id() == 0 {
+                    h.send(1, 1);
+                    h.send(1, 2);
+                }
+                h.barrier();
+                h.drain();
+            })
+            .unwrap();
+        // Machine 0's two sends over the slowed link: 2 × 7 µs on an
+        // otherwise free network.
+        assert_eq!(traffic.per_machine[0].2, 14_000);
+        assert_eq!(traffic.per_machine[1].2, 0);
+    }
+
+    #[test]
+    fn disarmed_chaos_job_runs_clean() {
+        use crate::chaos::FaultPlan;
+        let cluster = PersistentCluster::new(2);
+        let plan = FaultPlan::new(9).crash(0, 0).with_drop(1.0).arm_jobs(10..11);
+        let run = ChaosRun::new(plan, 3, 0); // job 3 is outside 10..11
+        let (sums, _) = cluster
+            .submit_with_chaos::<u64, u64, _>(Some(&run), |h| {
+                h.fault_point(0);
+                h.send(1 - h.id(), 1);
+                h.barrier();
+                h.drain().iter().map(|e| e.payload).sum::<u64>() + h.barrier_sum(1)
+            })
+            .unwrap();
+        assert_eq!(sums, vec![3, 3]);
     }
 
     #[test]

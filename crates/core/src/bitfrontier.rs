@@ -186,6 +186,32 @@ impl BitFrontier {
         self.visited.clear_all();
     }
 
+    /// Snapshots the `(frontier, visited)` words — the complete
+    /// traversal state at a superstep boundary (`next` is always zero
+    /// there, having just been promoted by [`BitFrontier::advance`]).
+    /// This is the checkpoint payload of the recovery layer.
+    pub fn snapshot_words(&self) -> (Vec<u64>, Vec<u64>) {
+        (self.frontier.words().to_vec(), self.visited.words().to_vec())
+    }
+
+    /// Restores state captured by [`BitFrontier::snapshot_words`];
+    /// `next` is cleared (a boundary has no pending accumulation).
+    pub fn restore_words(&mut self, frontier: &[u64], visited: &[u64]) {
+        assert_eq!(frontier.len(), self.num_local);
+        assert_eq!(visited.len(), self.num_local);
+        self.frontier.words_mut().copy_from_slice(frontier);
+        self.visited.words_mut().copy_from_slice(visited);
+        self.next.clear_all();
+    }
+
+    /// Discards any half-accumulated `next` words. A machine saving
+    /// state at a poisoned barrier is mid-superstep: its `frontier` and
+    /// `visited` still hold the last boundary's values, but `next` may
+    /// hold partial scan results that a resume would re-derive.
+    pub fn clear_next(&mut self) {
+        self.next.clear_all();
+    }
+
     /// Heap bytes held (3 words per local vertex).
     pub fn size_bytes(&self) -> usize {
         self.frontier.size_bytes() + self.next.size_bytes() + self.visited.size_bytes()
@@ -311,6 +337,49 @@ mod tests {
         }
         assert_eq!(total[0], 5);
         assert_eq!(bf.visited_per_lane()[0], 5);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_traversal() {
+        let g: EdgeList = [(0u64, 1u64), (0, 2), (1, 3), (2, 3), (3, 4)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        bf.scan(&shard, |_, _| unreachable!());
+        bf.advance();
+        let (front, vis) = bf.snapshot_words();
+
+        // Continue to completion, recording the trajectory.
+        let mut rest = Vec::new();
+        for _ in 0..3 {
+            bf.scan(&shard, |_, _| unreachable!());
+            rest.push(bf.advance());
+        }
+        let final_visited = bf.visited_per_lane();
+
+        // Restore into *dirty* state (mid-superstep, next half-full)
+        // and replay: the trajectory must be identical.
+        let mut bf2 = BitFrontier::new(&shard);
+        bf2.seed(0, 0);
+        bf2.scan(&shard, |_, _| unreachable!());
+        bf2.restore_words(&front, &vis);
+        for expect in &rest {
+            bf2.scan(&shard, |_, _| unreachable!());
+            assert_eq!(bf2.advance(), *expect);
+        }
+        assert_eq!(bf2.visited_per_lane(), final_visited);
+    }
+
+    #[test]
+    fn clear_next_discards_partial_scan() {
+        let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard);
+        bf.seed(0, 0);
+        bf.scan(&shard, |_, _| unreachable!());
+        bf.clear_next();
+        let r = bf.advance();
+        assert_eq!(r.active_lanes, 0, "cleared next must yield no discoveries");
     }
 
     #[test]

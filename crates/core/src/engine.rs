@@ -23,12 +23,14 @@ use crate::config::{EngineConfig, UpdateMode};
 use crate::gas::Gas;
 use crate::partition::RangePartition;
 use crate::pcm::{PartitionCtx, PartitionProgram};
+use crate::recovery::{PartitionSnapshot, RecoveryConfig, RecoveryReport, RecoveryStore};
 use crate::shard::{build_shards, Shard};
 use crate::traverse::{QueueTraversal, ValueMode};
+use cgraph_comm::chaos::{ChaosRun, FaultPlan};
 use cgraph_comm::cluster::TrafficReport;
 use cgraph_comm::{Cluster, ClusterError, CommHandle, PersistentCluster, WireSize};
 use cgraph_graph::bitmap::LANES;
-use cgraph_graph::{EdgeList, VertexId};
+use cgraph_graph::{Edge, EdgeList, VertexId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -135,6 +137,22 @@ impl GasResult {
         let busy = self.per_machine_busy.iter().copied().max().unwrap_or_default();
         busy + Duration::from_nanos(self.traffic.max_sim_net_ns())
     }
+}
+
+/// A [`FaultPlan`] bound to the coordinates the chaos plane scopes
+/// decisions by: the service-assigned job (batch sequence) number and
+/// the first attempt number for this execution (service-level retries
+/// continue the attempt sequence so `heal_after` counts *all* the
+/// attempts a batch has made, not just engine-level recoveries).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultInjection<'a> {
+    /// The fault schedule.
+    pub plan: &'a FaultPlan,
+    /// Job number ([`FaultPlan::armed_jobs`] scope).
+    pub job: u64,
+    /// Attempt number of this execution's first attempt; engine-level
+    /// recoveries use `first_attempt + n`.
+    pub first_attempt: u32,
 }
 
 /// One machine's private output from a bit-frontier batch, merged by
@@ -319,6 +337,9 @@ impl DistributedEngine {
             let mut hop: u32 = 0;
             let mut supersteps = 0u32;
             loop {
+                // Chaos seam: a plan can schedule this machine's death
+                // at superstep `hop`. Free without an armed plan.
+                h.fault_point(hop);
                 // Lanes whose hop budget remains for this expansion.
                 let mut k_mask = 0u64;
                 for (lane, &k) in ks.iter().enumerate() {
@@ -424,6 +445,469 @@ impl DistributedEngine {
             per_machine_busy: outs.iter().map(|o| o.busy).collect(),
             traffic,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-tolerant batched traversal (checkpointing + replay)
+    // ------------------------------------------------------------------
+
+    /// Runs a traversal batch with superstep checkpointing and
+    /// recovery, optionally under an injected [`FaultPlan`].
+    ///
+    /// **Sync mode** uses confined recovery: every partition commits
+    /// its bit-packed state at `recovery.checkpoint_interval`
+    /// boundaries and logs outgoing messages; when a machine dies, the
+    /// healthy partitions save their boundary state and the failed
+    /// partition alone is replayed from its last committed checkpoint
+    /// (consuming the logs), after which all partitions *resume* —
+    /// healthy work since superstep 0 is never re-executed. When
+    /// confined recovery's preconditions fail (messages were dropped,
+    /// saves are missing or at mixed boundaries), the batch falls back
+    /// to a global rollback onto the committed checkpoint set, or a
+    /// fresh restart when there is none.
+    ///
+    /// **Async mode** has no barriers to checkpoint at and falls back
+    /// to whole-batch re-execution on every recoverable failure.
+    ///
+    /// Returns the batch result plus a [`RecoveryReport`] of what
+    /// recovery did. Fails with the last [`ClusterError`] once
+    /// `recovery.max_recoveries` is exhausted, or immediately for
+    /// non-recoverable errors.
+    pub fn run_traversal_batch_recoverable(
+        &self,
+        cluster: &PersistentCluster,
+        sources: &[VertexId],
+        ks: &[u32],
+        recovery: &RecoveryConfig,
+        fault: Option<FaultInjection<'_>>,
+    ) -> Result<(BatchResult, RecoveryReport), ClusterError> {
+        let lanes = Self::check_batch(sources, ks);
+        assert_eq!(
+            cluster.num_machines(),
+            self.config.num_machines,
+            "cluster width must match the engine's machine count"
+        );
+        let p = self.config.num_machines;
+        let mut report = RecoveryReport::default();
+        let start = Instant::now();
+        let chaos_for = |attempt: u32| {
+            fault.map(|fi| ChaosRun::new(fi.plan.clone(), fi.job, fi.first_attempt + attempt))
+        };
+
+        if self.config.mode == UpdateMode::Async {
+            // No superstep barriers to checkpoint at: recover by
+            // re-executing the whole batch.
+            loop {
+                report.attempts += 1;
+                let chaos = chaos_for(report.attempts - 1);
+                let res = cluster
+                    .submit_with_chaos::<EngineMsg, MachineOut, _>(chaos.as_ref(), |h| {
+                        self.batch_worker(sources, ks, None, h)
+                    });
+                match res {
+                    Ok((outs, traffic)) => {
+                        return Ok((
+                            self.stitch_batch(outs, traffic, lanes, start.elapsed()),
+                            report,
+                        ));
+                    }
+                    Err(e) if e.is_recoverable() && report.recoveries < recovery.max_recoveries => {
+                        report.recoveries += 1;
+                        report.full_rollbacks += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        let store = RecoveryStore::new(p);
+        loop {
+            report.attempts += 1;
+            let chaos = chaos_for(report.attempts - 1);
+            let commits_before = store.commits();
+            let res = cluster
+                .submit_with_chaos::<EngineMsg, Option<MachineOut>, _>(chaos.as_ref(), |h| {
+                    self.recoverable_worker(sources, ks, recovery.checkpoint_interval, &store, h)
+                });
+            report.checkpoints_taken += store.commits() - commits_before;
+            let dropped = chaos.as_ref().map_or(0, ChaosRun::dropped);
+            match res {
+                Ok((outs, traffic)) => {
+                    // Lockstep exit: the loop only breaks on a global
+                    // live==0 agreed at a completed barrier, so on an
+                    // Ok submission every machine ran to completion.
+                    let outs: Vec<MachineOut> = outs
+                        .into_iter()
+                        .map(|o| o.expect("machine saved state on an Ok submission"))
+                        .collect();
+                    return Ok((self.stitch_batch(outs, traffic, lanes, start.elapsed()), report));
+                }
+                Err(e) if e.is_recoverable() && report.recoveries < recovery.max_recoveries => {
+                    report.recoveries += 1;
+                    self.plan_recovery(&e, dropped, &store, sources, ks, lanes, &mut report);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Decides between confined replay and global rollback after a
+    /// failed sync-mode attempt, and installs every machine's resume
+    /// state for the next attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_recovery(
+        &self,
+        err: &ClusterError,
+        dropped: u64,
+        store: &RecoveryStore,
+        sources: &[VertexId],
+        ks: &[u32],
+        lanes: usize,
+        report: &mut RecoveryReport,
+    ) {
+        let p = self.config.num_machines;
+        let saves: Vec<Option<PartitionSnapshot>> = (0..p).map(|i| store.take_saved(i)).collect();
+        let target = saves.iter().flatten().map(|s| s.boundary).next();
+        let uniform_saves = target.is_some_and(|t| saves.iter().flatten().all(|s| s.boundary == t));
+        let failed: Vec<usize> =
+            saves.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+        // Confined replay is sound only when the failure was a crash
+        // (not message loss: logs record send *intent*, not delivery),
+        // at least one machine saved poison-time state, every save sits
+        // at the same boundary, and someone actually failed.
+        let confined = dropped == 0
+            && matches!(err, ClusterError::MachinePanicked { .. })
+            && uniform_saves
+            && !failed.is_empty()
+            && failed.len() < p;
+        if confined {
+            let target = target.unwrap();
+            for &f in &failed {
+                let base = store.committed_clone(f);
+                if base.is_some() {
+                    report.checkpoints_restored += 1;
+                }
+                let (snap, replayed) =
+                    self.replay_partition(f, base, target, store, sources, ks, lanes);
+                report.partitions_replayed += 1;
+                report.supersteps_replayed += replayed;
+                store.set_resume(f, snap);
+            }
+            for (i, save) in saves.into_iter().enumerate() {
+                if let Some(s) = save {
+                    store.set_resume(i, s);
+                }
+            }
+        } else {
+            // Global rollback: restart every partition from the
+            // committed checkpoint set if one exists at a uniform
+            // boundary, else from scratch. Execution-derived state
+            // (saves, logs, live masks) may be tainted — drop it.
+            report.full_rollbacks += 1;
+            let committed: Vec<Option<PartitionSnapshot>> =
+                (0..p).map(|i| store.committed_clone(i)).collect();
+            let usable = committed.iter().all(Option::is_some)
+                && committed
+                    .iter()
+                    .flatten()
+                    .map(|s| s.boundary)
+                    .collect::<Vec<_>>()
+                    .windows(2)
+                    .all(|w| w[0] == w[1]);
+            store.clear_execution_state();
+            if usable {
+                for (i, c) in committed.into_iter().enumerate() {
+                    store.set_resume(i, c.unwrap());
+                    report.checkpoints_restored += 1;
+                }
+            }
+        }
+    }
+
+    /// Replays partition `f` inline (on the coordinator thread) from
+    /// `base` (its last committed checkpoint, or the seeded state) up
+    /// to the `target` boundary, consuming the message logs in place
+    /// of live peers. Remote emissions are discarded — the original
+    /// execution already delivered them before the crash. Returns the
+    /// reconstructed boundary snapshot and the supersteps replayed.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_partition(
+        &self,
+        f: usize,
+        base: Option<PartitionSnapshot>,
+        target: u32,
+        store: &RecoveryStore,
+        sources: &[VertexId],
+        ks: &[u32],
+        lanes: usize,
+    ) -> (PartitionSnapshot, u64) {
+        let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        let shard = &self.shards[f];
+        let mut bf = BitFrontier::new(shard);
+        let t0 = Instant::now();
+        let cpu0 = cgraph_comm::thread_cpu_time();
+        let (mut per_level_local, mut lane_completion, mut completed, from, busy) = match base {
+            Some(snap) => {
+                bf.restore_words(&snap.frontier, &snap.visited);
+                (
+                    snap.per_level_local,
+                    snap.lane_completion,
+                    snap.completed,
+                    snap.boundary,
+                    snap.busy,
+                )
+            }
+            None => {
+                for (lane, &src) in sources.iter().enumerate() {
+                    if shard.is_local(src) {
+                        bf.seed(src, lane);
+                    }
+                }
+                (Vec::new(), vec![Duration::ZERO; lanes], 0u64, 0u32, Duration::ZERO)
+            }
+        };
+        for hop in from..target {
+            let mut k_mask = 0u64;
+            for (lane, &k) in ks.iter().enumerate() {
+                if k > hop {
+                    k_mask |= 1u64 << lane;
+                }
+            }
+            bf.mask_frontier(k_mask & all_lanes_mask);
+            bf.scan(shard, |_, _| {}); // peers already received these
+            for (v, w) in store.logged_to(f, hop) {
+                bf.absorb(v, w);
+            }
+            let adv = bf.advance();
+            per_level_local.push(adv.new_per_lane[..lanes].to_vec());
+            let live = store
+                .live_at(hop + 1)
+                .expect("healthy machines recorded the live mask for every replayed boundary");
+            let newly_done = all_lanes_mask & !live & !completed;
+            if newly_done != 0 {
+                let now = t0.elapsed();
+                let mut bits = newly_done;
+                while bits != 0 {
+                    lane_completion[bits.trailing_zeros() as usize] = now;
+                    bits &= bits - 1;
+                }
+                completed |= newly_done;
+            }
+        }
+        let replayed = u64::from(target - from);
+        let (frontier, visited) = bf.snapshot_words();
+        (
+            PartitionSnapshot {
+                boundary: target,
+                frontier,
+                visited,
+                per_level_local,
+                lane_completion,
+                completed,
+                busy: busy + (cgraph_comm::thread_cpu_time() - cpu0),
+            },
+            replayed,
+        )
+    }
+
+    /// One machine's share of a *recoverable* bit-frontier batch: like
+    /// [`DistributedEngine::batch_worker`], but it resumes from the
+    /// recovery store instead of seeding when a resume snapshot is
+    /// installed, commits checkpoints at interval boundaries, logs
+    /// outgoing frontier messages, and — on a poisoned barrier (a peer
+    /// died) — saves its boundary state and returns `None` instead of
+    /// panicking, so healthy partitions survive a peer's crash with
+    /// their work intact.
+    fn recoverable_worker(
+        &self,
+        sources: &[VertexId],
+        ks: &[u32],
+        interval: u32,
+        store: &RecoveryStore,
+        h: CommHandle<EngineMsg>,
+    ) -> Option<MachineOut> {
+        let lanes = sources.len();
+        let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        let shard = &self.shards[h.id()];
+        let t0 = Instant::now();
+        let cpu0 = cgraph_comm::thread_cpu_time();
+        let mut bf = BitFrontier::new(shard);
+        let (mut per_level_local, mut lane_completion, mut completed, mut hop, busy_base) =
+            match store.take_resume(h.id()) {
+                Some(snap) => {
+                    bf.restore_words(&snap.frontier, &snap.visited);
+                    (
+                        snap.per_level_local,
+                        snap.lane_completion,
+                        snap.completed,
+                        snap.boundary,
+                        snap.busy,
+                    )
+                }
+                None => {
+                    for (lane, &src) in sources.iter().enumerate() {
+                        if shard.is_local(src) {
+                            bf.seed(src, lane);
+                        }
+                    }
+                    (Vec::new(), vec![Duration::ZERO; lanes], 0u64, 0u32, Duration::ZERO)
+                }
+            };
+        let snapshot = |bf: &BitFrontier,
+                        boundary: u32,
+                        per_level_local: &Vec<Vec<u64>>,
+                        lane_completion: &Vec<Duration>,
+                        completed: u64,
+                        busy: Duration| {
+            let (frontier, visited) = bf.snapshot_words();
+            PartitionSnapshot {
+                boundary,
+                frontier,
+                visited,
+                per_level_local: per_level_local.clone(),
+                lane_completion: lane_completion.clone(),
+                completed,
+                busy,
+            }
+        };
+        let mut outbox: Vec<HashMap<u64, u64>> =
+            (0..h.num_machines()).map(|_| HashMap::new()).collect();
+        loop {
+            // Boundary `hop`: commit *before* the fault point so that
+            // a machine scripted to die at a commit boundary still
+            // leaves a uniform committed set behind. The drop-counter
+            // gate is uniform here: it is only mutated by sends, and
+            // no machine is past this superstep's sends yet.
+            if interval > 0 && hop > 0 && hop % interval == 0 && h.chaos_dropped() == 0 {
+                store.commit(
+                    h.id(),
+                    snapshot(
+                        &bf,
+                        hop,
+                        &per_level_local,
+                        &lane_completion,
+                        completed,
+                        busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
+                    ),
+                );
+            }
+            h.fault_point(hop);
+            let mut k_mask = 0u64;
+            for (lane, &k) in ks.iter().enumerate() {
+                if k > hop {
+                    k_mask |= 1u64 << lane;
+                }
+            }
+            bf.mask_frontier(k_mask & all_lanes_mask);
+            bf.scan(shard, |t, w| {
+                let owner = self.partition.owner(t);
+                *outbox[owner].entry(t).or_insert(0) |= w;
+            });
+            for (m, buf) in outbox.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    let batch: Vec<(u64, u64)> = buf.drain().collect();
+                    // Log before sending: the log must cover anything a
+                    // replay could need to re-deliver.
+                    store.log_merge(h.id(), hop, m, &batch);
+                    h.send(m, EngineMsg::Frontier(batch));
+                }
+            }
+            if h.try_barrier().is_err() {
+                // A peer died during this superstep. Our frontier and
+                // visited words still hold boundary `hop` (advance has
+                // not run); only `next` holds partial scan results,
+                // which a resume re-derives.
+                bf.clear_next();
+                store.save(
+                    h.id(),
+                    snapshot(
+                        &bf,
+                        hop,
+                        &per_level_local,
+                        &lane_completion,
+                        completed,
+                        busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
+                    ),
+                );
+                return None;
+            }
+            for env in h.drain() {
+                if let EngineMsg::Frontier(batch) = env.payload {
+                    for (v, w) in batch {
+                        bf.absorb(v, w);
+                    }
+                }
+            }
+            let adv = bf.advance();
+            per_level_local.push(adv.new_per_lane[..lanes].to_vec());
+            let reduced = match h.try_barrier_reduce(adv.active_lanes) {
+                Ok(r) => r,
+                Err(_) => {
+                    // Advance already ran: we are at boundary hop+1.
+                    store.save(
+                        h.id(),
+                        snapshot(
+                            &bf,
+                            hop + 1,
+                            &per_level_local,
+                            &lane_completion,
+                            completed,
+                            busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
+                        ),
+                    );
+                    return None;
+                }
+            };
+            hop += 1;
+            let mut next_mask = 0u64;
+            for (lane, &k) in ks.iter().enumerate() {
+                if k > hop {
+                    next_mask |= 1u64 << lane;
+                }
+            }
+            let live = reduced.or & next_mask & all_lanes_mask;
+            // All machines record the identical post-reduce mask, so a
+            // later replay can reconstruct completion bookkeeping.
+            store.record_live(hop, live);
+            let newly_done = all_lanes_mask & !live & !completed;
+            if newly_done != 0 {
+                let now = t0.elapsed();
+                let mut bits = newly_done;
+                while bits != 0 {
+                    lane_completion[bits.trailing_zeros() as usize] = now;
+                    bits &= bits - 1;
+                }
+                completed |= newly_done;
+            }
+            if live == 0 {
+                break;
+            }
+        }
+        Some(MachineOut {
+            supersteps: per_level_local.len() as u32,
+            per_level_local,
+            visited_local: bf.visited_per_lane()[..lanes].to_vec(),
+            lane_completion,
+            busy: busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
+        })
+    }
+
+    /// Rebuilds this engine's graph onto `num_machines` machines — the
+    /// service's graceful-degradation path after repeated failures of
+    /// the same machine index. The edge list is reconstructed from the
+    /// shards (the engine does not retain the original input).
+    pub fn repartitioned(&self, num_machines: usize) -> DistributedEngine {
+        assert!(num_machines >= 1, "cannot degrade below one machine");
+        let mut edges = EdgeList::new();
+        for shard in &self.shards {
+            for v in shard.local_range().iter() {
+                for (t, w) in shard.out_neighbors_weighted(v) {
+                    edges.push(Edge::weighted(v, t, w));
+                }
+            }
+        }
+        edges.set_num_vertices(self.num_vertices());
+        DistributedEngine::new(&edges, EngineConfig { num_machines, ..self.config })
     }
 
     // ------------------------------------------------------------------
@@ -1034,6 +1518,167 @@ mod tests {
             chained.supersteps,
             level.supersteps
         );
+    }
+
+    #[test]
+    fn recoverable_matches_plain_batch_without_faults() {
+        let g = cgraph_gen::graph500(9, 8, 12);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e = engine(&g, 3);
+        let cluster = PersistentCluster::new(3);
+        let plain = e.run_traversal_batch(&[1, 7, 100], &[3, 5, 2]);
+        let (rec, report) = e
+            .run_traversal_batch_recoverable(
+                &cluster,
+                &[1, 7, 100],
+                &[3, 5, 2],
+                &RecoveryConfig::default(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(rec.per_lane_visited, plain.per_lane_visited);
+        assert_eq!(rec.per_level, plain.per_level);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.recoveries, 0);
+        assert!(report.checkpoints_taken > 0, "long batch must commit checkpoints");
+    }
+
+    #[test]
+    fn confined_replay_recovers_crash_with_identical_result() {
+        let g = ring(64);
+        let e = engine(&g, 4);
+        let cluster = PersistentCluster::new(4);
+        let expect = e.run_traversal_batch(&[0, 16], &[12, 20]);
+        // Machine 0 dies at superstep 7 on the first attempt only.
+        let plan = FaultPlan::new(5).crash(0, 7).heal_after(1);
+        let cfg = RecoveryConfig { checkpoint_interval: 3, max_recoveries: 2 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let (rec, report) = e
+            .run_traversal_batch_recoverable(&cluster, &[0, 16], &[12, 20], &cfg, Some(fault))
+            .unwrap();
+        assert_eq!(rec.per_lane_visited, expect.per_lane_visited);
+        assert_eq!(rec.per_level, expect.per_level);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.full_rollbacks, 0, "crash must take the confined path");
+        assert_eq!(report.partitions_replayed, 1);
+        assert!(report.checkpoints_restored >= 1, "replay must start from a checkpoint");
+        // Replay runs from boundary 6 (last committed) to 7 — exactly
+        // one superstep, not seven: healthy work is never re-executed.
+        assert_eq!(report.supersteps_replayed, 1);
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_replays_from_scratch_confined() {
+        let g = ring(40);
+        let e = engine(&g, 2);
+        let cluster = PersistentCluster::new(2);
+        let expect = e.run_traversal_batch(&[0], &[10]);
+        let plan = FaultPlan::new(2).crash(1, 2).heal_after(1);
+        let cfg = RecoveryConfig { checkpoint_interval: 8, max_recoveries: 2 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let (rec, report) =
+            e.run_traversal_batch_recoverable(&cluster, &[0], &[10], &cfg, Some(fault)).unwrap();
+        assert_eq!(rec.per_lane_visited, expect.per_lane_visited);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.partitions_replayed, 1);
+        assert_eq!(report.checkpoints_restored, 0, "no checkpoint existed yet");
+        assert_eq!(report.supersteps_replayed, 2, "replay re-runs supersteps 0 and 1");
+    }
+
+    #[test]
+    fn message_loss_triggers_global_rollback_with_correct_result() {
+        let g = ring(48);
+        let e = engine(&g, 3);
+        let cluster = PersistentCluster::new(3);
+        let expect = e.run_traversal_batch(&[0, 24], &[15, 15]);
+        let plan = FaultPlan::new(77).with_drop(0.3).heal_after(1);
+        let cfg = RecoveryConfig { checkpoint_interval: 4, max_recoveries: 2 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let (rec, report) = e
+            .run_traversal_batch_recoverable(&cluster, &[0, 24], &[15, 15], &cfg, Some(fault))
+            .unwrap();
+        assert_eq!(rec.per_lane_visited, expect.per_lane_visited);
+        assert_eq!(rec.per_level, expect.per_level);
+        assert!(report.full_rollbacks >= 1, "lossy plans must not take the confined path");
+    }
+
+    #[test]
+    fn async_mode_recovers_by_reexecution() {
+        let g = ring(30);
+        let e = DistributedEngine::new(&g, EngineConfig::new(2).asynchronous());
+        let cluster = PersistentCluster::new(2);
+        let plan = FaultPlan::new(9).crash(0, 3).heal_after(1);
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let (rec, report) = e
+            .run_traversal_batch_recoverable(
+                &cluster,
+                &[0],
+                &[8],
+                &RecoveryConfig::default(),
+                Some(fault),
+            )
+            .unwrap();
+        assert_eq!(rec.per_lane_visited, vec![9]);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.full_rollbacks, 1, "async has no confined path");
+        assert_eq!(report.checkpoints_taken, 0);
+    }
+
+    #[test]
+    fn unhealed_crash_exhausts_recoveries() {
+        let g = ring(30);
+        let e = engine(&g, 2);
+        let cluster = PersistentCluster::new(2);
+        let plan = FaultPlan::new(4).crash(0, 1); // never heals
+        let cfg = RecoveryConfig { checkpoint_interval: 4, max_recoveries: 2 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let err = e
+            .run_traversal_batch_recoverable(&cluster, &[0], &[10], &cfg, Some(fault))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::MachinePanicked { .. }));
+        // Cluster still serves the next (clean) batch.
+        let (ok, report) =
+            e.run_traversal_batch_recoverable(&cluster, &[0], &[10], &cfg, None).unwrap();
+        assert_eq!(ok.per_lane_visited, vec![11]);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn single_machine_crash_rolls_back_globally() {
+        // p=1: no healthy peer can save state, so recovery must fall
+        // back to a rollback onto the committed checkpoint.
+        let g = ring(40);
+        let e = engine(&g, 1);
+        let cluster = PersistentCluster::new(1);
+        let plan = FaultPlan::new(6).crash(0, 9).heal_after(1);
+        let cfg = RecoveryConfig { checkpoint_interval: 4, max_recoveries: 2 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let (rec, report) =
+            e.run_traversal_batch_recoverable(&cluster, &[0], &[20], &cfg, Some(fault)).unwrap();
+        assert_eq!(rec.per_lane_visited, vec![21]);
+        assert_eq!(report.full_rollbacks, 1);
+        assert!(report.checkpoints_restored >= 1, "rollback must reuse the boundary-8 commit");
+    }
+
+    #[test]
+    fn repartitioned_engine_preserves_results() {
+        let g = cgraph_gen::graph500(8, 6, 21);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e4 = engine(&g, 4);
+        let e3 = e4.repartitioned(3);
+        assert_eq!(e3.num_machines(), 3);
+        assert_eq!(e3.num_vertices(), e4.num_vertices());
+        for src in [0u64, 9, 77] {
+            let a = e4.run_traversal_batch(&[src], &[4]);
+            let b = e3.run_traversal_batch(&[src], &[4]);
+            assert_eq!(a.per_lane_visited, b.per_lane_visited, "src {src}");
+            assert_eq!(a.per_level, b.per_level, "src {src}");
+        }
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //!   queue with backpressure, fill-or-deadline batch packing, and
 //!   execution on a long-lived [`cgraph_comm::PersistentCluster`],
 //! * [`metrics`] — response-time distributions (the quantity every
-//!   figure of §4 reports).
+//!   figure of §4 reports),
+//! * [`recovery`] — superstep checkpointing and confined partition
+//!   replay for fault-tolerant batch execution under an injected
+//!   [`cgraph_comm::chaos::FaultPlan`].
 
 #![warn(missing_docs)]
 
@@ -38,17 +41,20 @@ pub mod metrics;
 pub mod partition;
 pub mod pcm;
 pub mod query;
+pub mod recovery;
 pub mod scheduler;
 pub mod service;
 pub mod shard;
 pub mod traverse;
 pub mod vcm;
 
+pub use cgraph_comm::chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
 pub use config::{EngineConfig, UpdateMode};
-pub use engine::{DistributedEngine, EngineMsg};
+pub use engine::{DistributedEngine, EngineMsg, FaultInjection};
 pub use metrics::ResponseStats;
 pub use partition::RangePartition;
 pub use query::{KhopQuery, QueryResult};
+pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use scheduler::{QueryScheduler, SchedulerConfig};
 pub use service::{QueryService, QueryTicket, ServiceConfig, ServiceError, ServiceStats};
 pub use shard::Shard;

@@ -1,0 +1,282 @@
+//! Superstep checkpointing and partition replay (confined recovery).
+//!
+//! The sync-mode batch path is BSP: at every superstep boundary each
+//! partition's complete traversal state is exactly its bit-packed
+//! `(frontier, visited)` words (see
+//! [`BitFrontier::snapshot_words`](crate::bitfrontier::BitFrontier::snapshot_words)),
+//! and all cross-partition influence flows through logged messages.
+//! That gives the classic Pregel-style *confined recovery*: checkpoint
+//! cheaply at boundaries, log outgoing messages per superstep, and
+//! when machine *f* dies at superstep *s*, replay **only partition
+//! f** from its last committed checkpoint while every healthy
+//! partition merely resumes from the state it saved when it noticed
+//! the poisoned barrier — no healthy partition re-executes from
+//! superstep 0.
+//!
+//! The [`RecoveryStore`] is the shared blackboard: committed
+//! checkpoints (uniform across machines, gated on a drop-free job),
+//! poison-time saves from healthy machines, per-sender message logs
+//! keyed `(superstep, dest)` with OR-merged payloads (idempotent under
+//! resend, which resumption requires), and the per-boundary global
+//! live-lane masks that replay needs for completion bookkeeping.
+//!
+//! When confined recovery's preconditions fail — messages were
+//! dropped (logs record *intent*, not delivery), saves are missing, or
+//! machines stopped at different boundaries — the engine falls back to
+//! a **global rollback**: all partitions restart from the committed
+//! checkpoint set (or from scratch). Async mode always takes the
+//! whole-batch path: without barriers there is no meaningful uniform
+//! boundary to checkpoint.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Checkpointing/retry knobs for the recoverable batch path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Commit a checkpoint every `checkpoint_interval` supersteps
+    /// (boundary 0 — the seeded state — is always implicit). Smaller
+    /// intervals mean less replay but more snapshot copying.
+    pub checkpoint_interval: u32,
+    /// How many recoveries (confined replays or global rollbacks) to
+    /// attempt before giving up on the batch.
+    pub max_recoveries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { checkpoint_interval: 4, max_recoveries: 3 }
+    }
+}
+
+/// What recovery did for one batch, surfaced into service stats.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Total cluster submissions (1 = fault-free).
+    pub attempts: u32,
+    /// Recoveries performed (confined or global).
+    pub recoveries: u32,
+    /// Checkpoints committed across all attempts (counted once per
+    /// boundary, not per machine).
+    pub checkpoints_taken: u64,
+    /// Checkpoint restores (confined replays count the failed
+    /// partition's restore; global rollbacks count one per machine
+    /// restored from a committed checkpoint).
+    pub checkpoints_restored: u64,
+    /// Partitions replayed confined (without touching healthy peers).
+    pub partitions_replayed: u64,
+    /// Supersteps re-executed during confined replays.
+    pub supersteps_replayed: u64,
+    /// Whole-batch rollbacks (the fallback when confined recovery's
+    /// preconditions do not hold, and the only mode in async).
+    pub full_rollbacks: u32,
+}
+
+/// One partition's state at a superstep boundary.
+#[derive(Clone, Debug)]
+pub(crate) struct PartitionSnapshot {
+    /// The boundary this state belongs to: the state *after* the
+    /// advance of superstep `boundary - 1` (boundary 0 = seeded).
+    pub boundary: u32,
+    pub frontier: Vec<u64>,
+    pub visited: Vec<u64>,
+    /// Per-level discovery counts for supersteps `0..boundary`.
+    pub per_level_local: Vec<Vec<u64>>,
+    pub lane_completion: Vec<Duration>,
+    /// Lanes recorded complete by `boundary`.
+    pub completed: u64,
+    /// CPU busy time accumulated up to `boundary` (so a resumed
+    /// attempt keeps the scaling-relevant busy metric additive).
+    pub busy: Duration,
+}
+
+/// One sender's message log: `(superstep, dest machine)` to the
+/// OR-merged `dst vertex -> lane word` payload of that superstep.
+type SenderLog = HashMap<(u32, usize), HashMap<u64, u64>>;
+
+/// Shared recovery blackboard for one batch execution (all attempts).
+pub(crate) struct RecoveryStore {
+    /// Last *committed* checkpoint per partition: uniform boundary,
+    /// taken only on drop-free supersteps, survives across attempts.
+    committed: Vec<Mutex<Option<PartitionSnapshot>>>,
+    /// State a machine should resume from on the next attempt instead
+    /// of re-seeding (installed by the recovery coordinator).
+    resume: Vec<Mutex<Option<PartitionSnapshot>>>,
+    /// Poison-time saves: a healthy machine that notices a dead peer
+    /// at a barrier parks its boundary state here and returns.
+    saved: Vec<Mutex<Option<PartitionSnapshot>>>,
+    /// Per-sender message logs: `(superstep, dest) -> (dst vertex ->
+    /// lane word)`. OR-merged so a resumed machine re-logging the same
+    /// superstep is idempotent.
+    logs: Vec<Mutex<SenderLog>>,
+    /// Global live-lane mask agreed at each boundary (all machines
+    /// write the identical post-reduce value).
+    live: Mutex<HashMap<u32, u64>>,
+    /// Committed-checkpoint boundaries count (machine 0's commits).
+    commits: AtomicU64,
+}
+
+impl RecoveryStore {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            committed: (0..p).map(|_| Mutex::new(None)).collect(),
+            resume: (0..p).map(|_| Mutex::new(None)).collect(),
+            saved: (0..p).map(|_| Mutex::new(None)).collect(),
+            logs: (0..p).map(|_| Mutex::new(HashMap::new())).collect(),
+            live: Mutex::new(HashMap::new()),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs the state machine `id` must resume from next attempt.
+    pub(crate) fn set_resume(&self, id: usize, snap: PartitionSnapshot) {
+        *self.resume[id].lock() = Some(snap);
+    }
+
+    /// Takes (and clears) machine `id`'s resume state.
+    pub(crate) fn take_resume(&self, id: usize) -> Option<PartitionSnapshot> {
+        self.resume[id].lock().take()
+    }
+
+    /// Commits machine `id`'s checkpoint at a drop-free boundary.
+    pub(crate) fn commit(&self, id: usize, snap: PartitionSnapshot) {
+        if id == 0 {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        *self.committed[id].lock() = Some(snap);
+    }
+
+    /// Checkpoints committed so far (one count per boundary).
+    pub(crate) fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Machine `id`'s committed checkpoint, if any.
+    pub(crate) fn committed_clone(&self, id: usize) -> Option<PartitionSnapshot> {
+        self.committed[id].lock().clone()
+    }
+
+    /// Parks a healthy machine's boundary state when a peer died.
+    pub(crate) fn save(&self, id: usize, snap: PartitionSnapshot) {
+        *self.saved[id].lock() = Some(snap);
+    }
+
+    /// Takes (and clears) machine `id`'s poison-time save.
+    pub(crate) fn take_saved(&self, id: usize) -> Option<PartitionSnapshot> {
+        self.saved[id].lock().take()
+    }
+
+    /// OR-merges machine `from`'s outgoing messages for `superstep`
+    /// into its log (idempotent under resend).
+    pub(crate) fn log_merge(&self, from: usize, superstep: u32, dest: usize, batch: &[(u64, u64)]) {
+        let mut log = self.logs[from].lock();
+        let entry = log.entry((superstep, dest)).or_default();
+        for &(v, w) in batch {
+            *entry.entry(v).or_insert(0) |= w;
+        }
+    }
+
+    /// Every message any machine logged to `dest` during `superstep`.
+    pub(crate) fn logged_to(&self, dest: usize, superstep: u32) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for log in &self.logs {
+            if let Some(batch) = log.lock().get(&(superstep, dest)) {
+                out.extend(batch.iter().map(|(&v, &w)| (v, w)));
+            }
+        }
+        out
+    }
+
+    /// Records the globally-agreed live mask at `boundary` (all
+    /// machines write the same post-reduce value).
+    pub(crate) fn record_live(&self, boundary: u32, live: u64) {
+        self.live.lock().insert(boundary, live);
+    }
+
+    /// The live mask recorded at `boundary`.
+    pub(crate) fn live_at(&self, boundary: u32) -> Option<u64> {
+        self.live.lock().get(&boundary).copied()
+    }
+
+    /// Clears everything derived from (possibly tainted) execution:
+    /// saves, resume states, logs, and live masks. Committed
+    /// checkpoints survive — they were gated on drop-free supersteps.
+    pub(crate) fn clear_execution_state(&self) {
+        for s in &self.saved {
+            *s.lock() = None;
+        }
+        for r in &self.resume {
+            *r.lock() = None;
+        }
+        for l in &self.logs {
+            l.lock().clear();
+        }
+        self.live.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(boundary: u32) -> PartitionSnapshot {
+        PartitionSnapshot {
+            boundary,
+            frontier: vec![1],
+            visited: vec![3],
+            per_level_local: vec![vec![1]],
+            lane_completion: vec![Duration::ZERO],
+            completed: 0,
+            busy: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn log_merge_is_idempotent() {
+        let store = RecoveryStore::new(2);
+        store.log_merge(0, 3, 1, &[(7, 0b01), (9, 0b10)]);
+        // A resumed machine re-sends the same superstep's messages.
+        store.log_merge(0, 3, 1, &[(7, 0b01), (9, 0b10)]);
+        let mut got = store.logged_to(1, 3);
+        got.sort_unstable();
+        assert_eq!(got, vec![(7, 0b01), (9, 0b10)]);
+    }
+
+    #[test]
+    fn logs_aggregate_across_senders() {
+        let store = RecoveryStore::new(3);
+        store.log_merge(0, 1, 2, &[(5, 0b01)]);
+        store.log_merge(1, 1, 2, &[(5, 0b10)]);
+        let mut got = store.logged_to(2, 1);
+        got.sort_unstable();
+        assert_eq!(got, vec![(5, 0b01), (5, 0b10)]);
+        assert!(store.logged_to(2, 2).is_empty());
+    }
+
+    #[test]
+    fn commits_counted_once_per_boundary() {
+        let store = RecoveryStore::new(2);
+        store.commit(0, snap(4));
+        store.commit(1, snap(4));
+        assert_eq!(store.commits(), 1);
+        assert_eq!(store.committed_clone(0).unwrap().boundary, 4);
+    }
+
+    #[test]
+    fn execution_state_clears_but_commits_survive() {
+        let store = RecoveryStore::new(1);
+        store.commit(0, snap(2));
+        store.save(0, snap(3));
+        store.set_resume(0, snap(3));
+        store.log_merge(0, 2, 0, &[(1, 1)]);
+        store.record_live(2, 0b11);
+        store.clear_execution_state();
+        assert!(store.take_saved(0).is_none());
+        assert!(store.take_resume(0).is_none());
+        assert!(store.logged_to(0, 2).is_empty());
+        assert!(store.live_at(2).is_none());
+        assert!(store.committed_clone(0).is_some());
+    }
+}

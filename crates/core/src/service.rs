@@ -28,15 +28,41 @@
 //!   into [`ResponseStats`], the same distributions every figure of §4
 //!   reports.
 //!
-//! A machine panic mid-batch fails only that batch's queries (each
-//! waiter gets [`ServiceError::BatchFailed`]); the cluster and the
-//! service survive and keep serving the stream.
+//! # Fault-tolerance policy
+//!
+//! The service layers *policy* over the engine's recovery *mechanism*
+//! ([`DistributedEngine::run_traversal_batch_recoverable`]):
+//!
+//! * **chaos plane** — [`ServiceConfig::fault_plan`] installs a
+//!   deterministic [`FaultPlan`]; each dispatched batch becomes one
+//!   chaos *job* (`job = batch sequence number`), so a plan armed for
+//!   a job window poisons exactly those batches and no others;
+//! * **retry with backoff** — a batch that still fails after the
+//!   engine's in-batch recoveries is retried up to
+//!   [`ServiceConfig::max_retries`] times with exponential backoff
+//!   plus deterministic jitter; retry attempts are salted
+//!   (`first_attempt = retry × (max_recoveries + 1)`) so a healing
+//!   plan sees monotone attempt numbers across the whole batch life;
+//! * **failure isolation** — a batch that exhausts its retries fails
+//!   only its own lanes ([`ServiceError::BatchFailed`]); queued and
+//!   future queries keep flowing on the surviving cluster;
+//! * **per-query deadlines** — [`ServiceConfig::query_deadline`]
+//!   bounds each query's end-to-end latency: expired traversals are
+//!   failed with [`ServiceError::DeadlineExceeded`] before dispatch,
+//!   and [`QueryTicket::wait`] enforces the same bound client-side;
+//! * **graceful degradation** — when the same machine is blamed for
+//!   [`ServiceConfig::degrade_after`] panics, the dispatcher
+//!   re-partitions the graph onto `p - 1` machines
+//!   ([`DistributedEngine::repartitioned`]) and replaces the cluster;
+//!   degrading does not consume a retry.
 
-use crate::engine::DistributedEngine;
+use crate::engine::{DistributedEngine, FaultInjection};
 use crate::metrics::ResponseStats;
 use crate::query::{KhopQuery, QueryResult};
+use crate::recovery::RecoveryConfig;
 use crate::scheduler::{QueryScheduler, SchedulerConfig};
-use cgraph_comm::PersistentCluster;
+use cgraph_comm::chaos::FaultPlan;
+use cgraph_comm::{ClusterError, PersistentCluster};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,9 +76,13 @@ pub enum ServiceError {
     /// further queries are accepted.
     ShutDown,
     /// The batch carrying this query failed — a machine of the
-    /// persistent cluster panicked mid-execution. The message is the
-    /// panic payload; the service itself keeps serving.
+    /// persistent cluster panicked mid-execution and every recovery
+    /// and retry was exhausted. The message is the underlying cluster
+    /// error; the service itself keeps serving.
     BatchFailed(String),
+    /// The query's [`ServiceConfig::query_deadline`] elapsed before a
+    /// result was produced.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServiceError {
@@ -62,6 +92,7 @@ impl fmt::Display for ServiceError {
             ServiceError::BatchFailed(msg) => {
                 write!(f, "batch execution failed: {msg}")
             }
+            ServiceError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -84,29 +115,70 @@ pub struct ServiceConfig {
     /// block. A query's traversals are always admitted together, so
     /// the queue may transiently overshoot by one query's source count.
     pub max_queue_depth: usize,
-    /// Fault-injection seam for tests: called with the machine id at
-    /// the start of every machine's share of every batch. A hook that
-    /// panics reproduces a machine dying mid-batch.
+    /// Deterministic chaos plan injected into every dispatched batch
+    /// (the batch sequence number is the chaos *job*, so
+    /// [`FaultPlan::arm_jobs`] selects which batches are poisoned).
+    /// `None` (the default) runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// End-to-end deadline applied to every query from its submission
+    /// instant. Expired traversals fail with
+    /// [`ServiceError::DeadlineExceeded`] instead of being dispatched,
+    /// and [`QueryTicket::wait`] stops waiting at the same instant.
+    /// `None` (the default) means queries wait indefinitely.
+    pub query_deadline: Option<Duration>,
+    /// Whole-batch resubmissions after the engine's in-batch
+    /// recoveries are exhausted on a recoverable error.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per retry, plus a
+    /// deterministic jitter in `[0, retry_backoff)`.
+    pub retry_backoff: Duration,
+    /// Checkpointing/in-batch recovery knobs handed to
+    /// [`DistributedEngine::run_traversal_batch_recoverable`].
+    pub recovery: RecoveryConfig,
+    /// Degrade to `p - 1` machines once the same machine has been
+    /// blamed for this many panics (`None` — the default — never
+    /// degrades). Degrading re-partitions the graph, replaces the
+    /// persistent cluster, resets blame, and does not consume a retry.
+    pub degrade_after: Option<u32>,
+    /// Fault-injection seam predating the chaos plane: called with the
+    /// machine id at the start of every machine's share of every
+    /// batch. When set, batches run on the legacy non-recoverable path
+    /// (no checkpoints, no retries).
+    #[deprecated(since = "0.2.0", note = "use `fault_plan` (a deterministic FaultPlan) instead")]
     pub fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 impl Default for ServiceConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         Self {
             scheduler: SchedulerConfig::default(),
             max_batch_delay: Duration::from_millis(2),
             max_queue_depth: 1024,
+            fault_plan: None,
+            query_deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(200),
+            recovery: RecoveryConfig::default(),
+            degrade_after: None,
             fault_hook: None,
         }
     }
 }
 
 impl fmt::Debug for ServiceConfig {
+    #[allow(deprecated)]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ServiceConfig")
             .field("scheduler", &self.scheduler)
             .field("max_batch_delay", &self.max_batch_delay)
             .field("max_queue_depth", &self.max_queue_depth)
+            .field("fault_plan", &self.fault_plan)
+            .field("query_deadline", &self.query_deadline)
+            .field("max_retries", &self.max_retries)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("recovery", &self.recovery)
+            .field("degrade_after", &self.degrade_after)
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -116,29 +188,52 @@ impl fmt::Debug for ServiceConfig {
 /// [`QueryTicket::wait`] for the result.
 pub struct QueryTicket {
     rx: crossbeam_channel::Receiver<Result<QueryResult, ServiceError>>,
+    /// The query's absolute deadline (admission instant plus
+    /// [`ServiceConfig::query_deadline`]), enforced by `wait`.
+    deadline: Option<Instant>,
 }
 
 impl fmt::Debug for QueryTicket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("QueryTicket").finish_non_exhaustive()
+        f.debug_struct("QueryTicket").field("deadline", &self.deadline).finish_non_exhaustive()
     }
 }
 
 impl QueryTicket {
     /// Blocks until the query's batch (or batches) completed and
-    /// returns its result.
+    /// returns its result. With a [`ServiceConfig::query_deadline`]
+    /// configured, waits at most until the query's deadline and then
+    /// returns [`ServiceError::DeadlineExceeded`].
     pub fn wait(self) -> Result<QueryResult, ServiceError> {
-        self.rx.recv().unwrap_or(Err(ServiceError::ShutDown))
+        match self.deadline {
+            None => self.rx.recv().unwrap_or(Err(ServiceError::ShutDown)),
+            Some(d) => match self.rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                Ok(reply) => reply,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    Err(ServiceError::DeadlineExceeded)
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    Err(ServiceError::ShutDown)
+                }
+            },
+        }
     }
 
     /// Non-blocking poll; `None` while the query is still in flight.
     /// A dead dispatcher (result channel disconnected before a reply
     /// arrived) yields `Some(Err(ServiceError::ShutDown))`, so pollers
-    /// never spin on a query that can no longer complete.
+    /// never spin on a query that can no longer complete; likewise an
+    /// expired deadline yields `Some(Err(ServiceError::DeadlineExceeded))`.
     pub fn try_wait(&self) -> Option<Result<QueryResult, ServiceError>> {
         match self.rx.try_recv() {
             Ok(reply) => Some(reply),
-            Err(crossbeam_channel::TryRecvError::Empty) => None,
+            Err(crossbeam_channel::TryRecvError::Empty) => {
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    Some(Err(ServiceError::DeadlineExceeded))
+                } else {
+                    None
+                }
+            }
             Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(ServiceError::ShutDown)),
         }
     }
@@ -151,8 +246,30 @@ pub struct ServiceStats {
     pub queries_completed: u64,
     /// Queries failed by a dying batch.
     pub queries_failed: u64,
+    /// Queries failed because their deadline elapsed (included in
+    /// `queries_failed`).
+    pub queries_deadline_exceeded: u64,
     /// Batches dispatched to the persistent cluster (successful ones).
     pub batches_dispatched: u64,
+    /// Whole-batch resubmissions by the service retry policy.
+    pub retries: u64,
+    /// In-batch recoveries performed by the engine (confined replays
+    /// plus global rollbacks).
+    pub recoveries: u64,
+    /// Superstep checkpoints committed across all batches.
+    pub checkpoints_taken: u64,
+    /// Checkpoint restores (confined replays and global rollbacks that
+    /// resumed from a committed checkpoint).
+    pub checkpoints_restored: u64,
+    /// Failed partitions replayed confined, without re-executing
+    /// healthy partitions.
+    pub partitions_replayed: u64,
+    /// Whole-batch rollbacks (the fallback when confined recovery's
+    /// preconditions fail, and the only recovery mode in async).
+    pub full_rollbacks: u64,
+    /// Times the service degraded onto a smaller cluster after
+    /// repeated same-machine failures.
+    pub degraded_generations: u64,
     /// Per-query admission wait: submission → batch dispatch (mean
     /// over the query's traversals).
     pub admission_wait: ResponseStats,
@@ -170,6 +287,7 @@ struct Traversal {
     source: u64,
     k: u32,
     submitted: Instant,
+    deadline: Option<Instant>,
     ticket: Arc<TicketState>,
 }
 
@@ -201,7 +319,15 @@ struct QueueState {
 struct MetricsAcc {
     completed: u64,
     failed: u64,
+    deadline_exceeded: u64,
     batches: u64,
+    retries: u64,
+    recoveries: u64,
+    checkpoints_taken: u64,
+    checkpoints_restored: u64,
+    partitions_replayed: u64,
+    full_rollbacks: u64,
+    degraded_generations: u64,
     wait: Vec<Duration>,
     exec: Vec<Duration>,
     response: Vec<Duration>,
@@ -295,7 +421,7 @@ impl QueryService {
                 response_time: Duration::ZERO,
                 exec_time: Duration::ZERO,
             }));
-            return Ok(QueryTicket { rx });
+            return Ok(QueryTicket { rx, deadline: None });
         }
         let (tx, rx) = crossbeam_channel::unbounded();
         let ticket = Arc::new(TicketState {
@@ -305,16 +431,18 @@ impl QueryService {
             reply: tx,
         });
         let now = Instant::now();
+        let deadline = shared.config.query_deadline.map(|d| now + d);
         for &source in &query.sources {
             st.queue.push_back(Traversal {
                 source,
                 k: query.k,
                 submitted: now,
+                deadline,
                 ticket: Arc::clone(&ticket),
             });
         }
         shared.work.notify_all();
-        Ok(QueryTicket { rx })
+        Ok(QueryTicket { rx, deadline })
     }
 
     /// Submits `query` and blocks for its result (submit + wait).
@@ -328,7 +456,15 @@ impl QueryService {
         ServiceStats {
             queries_completed: m.completed,
             queries_failed: m.failed,
+            queries_deadline_exceeded: m.deadline_exceeded,
             batches_dispatched: m.batches,
+            retries: m.retries,
+            recoveries: m.recoveries,
+            checkpoints_taken: m.checkpoints_taken,
+            checkpoints_restored: m.checkpoints_restored,
+            partitions_replayed: m.partitions_replayed,
+            full_rollbacks: m.full_rollbacks,
+            degraded_generations: m.degraded_generations,
             admission_wait: ResponseStats::new(m.wait.clone()),
             exec: ResponseStats::new(m.exec.clone()),
             response: ResponseStats::new(m.response.clone()),
@@ -367,10 +503,28 @@ fn wait<'a, T>(cv: &Condvar, guard: std::sync::MutexGuard<'a, T>) -> std::sync::
     cv.wait(guard).unwrap_or_else(|e| e.into_inner())
 }
 
+/// The dispatcher's mutable view of the cluster: replaced wholesale
+/// when the service degrades onto fewer machines.
+struct DispatchCtx {
+    engine: Arc<DistributedEngine>,
+    cluster: PersistentCluster,
+    /// Per-machine panic blame since the last degradation.
+    blame: Vec<u32>,
+    /// Monotone batch sequence number — the chaos *job* identity, so a
+    /// [`FaultPlan`] armed for a job window poisons specific batches.
+    batch_seq: u64,
+}
+
 /// The dispatcher: block for work, pack a batch under the
 /// fill-or-deadline policy, execute it on the persistent cluster,
 /// fan results back out to tickets. Exits once closed *and* drained.
 fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
+    let mut ctx = DispatchCtx {
+        engine: Arc::clone(&shared.engine),
+        cluster,
+        blame: vec![0; shared.engine.num_machines()],
+        batch_seq: 0,
+    };
     loop {
         let batch = {
             let mut st = lock(&shared.state);
@@ -378,7 +532,7 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
                 if st.queue.is_empty() {
                     if st.closed {
                         drop(st);
-                        cluster.shutdown();
+                        ctx.cluster.shutdown();
                         return;
                     }
                     st = wait(&shared.work, st);
@@ -402,45 +556,163 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
             shared.space.notify_all();
             batch
         };
-        execute_batch(shared, &cluster, batch);
+        execute_batch(shared, &mut ctx, batch);
     }
 }
 
-fn execute_batch(shared: &Shared, cluster: &PersistentCluster, batch: Vec<Traversal>) {
-    let sources: Vec<u64> = batch.iter().map(|t| t.source).collect();
-    let ks: Vec<u32> = batch.iter().map(|t| t.k).collect();
-    let hook = shared.config.fault_hook.as_ref().map(|h| &**h as &(dyn Fn(usize) + Sync));
-    let dispatched = Instant::now();
-    match shared.engine.run_traversal_batch_on_hooked(cluster, &sources, &ks, hook) {
-        Ok(br) => {
-            lock(&shared.metrics).batches += 1;
-            let batch_dur = br.exec_time;
-            for (lane, t) in batch.into_iter().enumerate() {
-                // A lane finishes after its completion point within the
-                // batch — the same accounting as the closed-batch
-                // scheduler's per-lane fraction.
-                let done = br.lane_completion[lane].min(br.exec_time);
-                let frac = if br.exec_time.is_zero() {
-                    1.0
-                } else {
-                    done.as_secs_f64() / br.exec_time.as_secs_f64()
-                };
-                let exec = batch_dur.mul_f64(frac);
-                let wait = dispatched.duration_since(t.submitted);
-                let levels: Vec<u64> = br.per_level.iter().map(|row| row[lane]).collect();
-                complete_traversal(
-                    shared,
-                    &t.ticket,
-                    Ok((br.per_lane_visited[lane], levels, wait, exec)),
-                );
+/// Exponential backoff with deterministic jitter (splitmix64 of the
+/// batch's job id and the retry ordinal) — reproducible under a fixed
+/// chaos seed, yet de-synchronised across batches.
+fn backoff_delay(base: Duration, retry: u32, job: u64) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let exp = base.saturating_mul(1u32 << retry.min(16));
+    let mut z = job ^ (u64::from(retry) + 1).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    exp + Duration::from_nanos(z % (base.as_nanos().max(1) as u64))
+}
+
+/// Re-partitions onto one fewer machine and swaps in a fresh
+/// persistent cluster; the old cluster (which may hold a poisoned or
+/// repeatedly-failing machine) is parked and shut down.
+fn degrade(shared: &Shared, ctx: &mut DispatchCtx) {
+    let p = ctx.engine.num_machines() - 1;
+    let engine = Arc::new(ctx.engine.repartitioned(p));
+    let cluster = PersistentCluster::with_model(p, engine.config().net_model);
+    let old = std::mem::replace(&mut ctx.cluster, cluster);
+    old.shutdown();
+    ctx.engine = engine;
+    ctx.blame = vec![0; p];
+    lock(&shared.metrics).degraded_generations += 1;
+}
+
+fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) {
+    let job = ctx.batch_seq;
+    ctx.batch_seq += 1;
+
+    // Deadline policy: a traversal whose query deadline already passed
+    // is failed up front rather than spending cluster time on it.
+    let now = Instant::now();
+    let (live, expired): (Vec<Traversal>, Vec<Traversal>) =
+        batch.into_iter().partition(|t| t.deadline.is_none_or(|d| now < d));
+    for t in &expired {
+        complete_traversal(shared, &t.ticket, Err(ServiceError::DeadlineExceeded));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let sources: Vec<u64> = live.iter().map(|t| t.source).collect();
+    let ks: Vec<u32> = live.iter().map(|t| t.k).collect();
+
+    // Legacy seam: an installed fault hook runs the old single-shot,
+    // non-recoverable path with its original semantics.
+    #[allow(deprecated)]
+    if let Some(hook) = shared.config.fault_hook.as_ref() {
+        let dispatched = Instant::now();
+        let hook = Some(&**hook as &(dyn Fn(usize) + Sync));
+        match ctx.engine.run_traversal_batch_on_hooked(&ctx.cluster, &sources, &ks, hook) {
+            Ok(br) => {
+                lock(&shared.metrics).batches += 1;
+                fan_out(shared, live, &br, dispatched);
+            }
+            Err(e) => fail_batch(shared, &live, &e),
+        }
+        return;
+    }
+
+    // Recoverable path: in-batch checkpoint/replay first (inside the
+    // engine), then whole-batch retries with backoff, then degradation
+    // once the same machine keeps dying.
+    let mut retry = 0u32;
+    loop {
+        let fault = shared.config.fault_plan.as_ref().map(|plan| FaultInjection {
+            plan,
+            job,
+            // Salt retries past the engine's own recovery attempts so a
+            // healing plan sees monotone attempt numbers.
+            first_attempt: retry * (shared.config.recovery.max_recoveries + 1),
+        });
+        let dispatched = Instant::now();
+        let run = ctx.engine.run_traversal_batch_recoverable(
+            &ctx.cluster,
+            &sources,
+            &ks,
+            &shared.config.recovery,
+            fault,
+        );
+        match run {
+            Ok((br, report)) => {
+                let mut m = lock(&shared.metrics);
+                m.batches += 1;
+                m.retries += u64::from(retry);
+                m.recoveries += u64::from(report.recoveries);
+                m.checkpoints_taken += report.checkpoints_taken;
+                m.checkpoints_restored += report.checkpoints_restored;
+                m.partitions_replayed += report.partitions_replayed;
+                m.full_rollbacks += u64::from(report.full_rollbacks);
+                drop(m);
+                fan_out(shared, live, &br, dispatched);
+                return;
+            }
+            Err(e) => {
+                if let ClusterError::MachinePanicked { machine, .. } = &e {
+                    if let Some(b) = ctx.blame.get_mut(*machine) {
+                        *b += 1;
+                        let threshold = shared.config.degrade_after;
+                        if threshold.is_some_and(|th| *b >= th) && ctx.engine.num_machines() > 1 {
+                            degrade(shared, ctx);
+                            continue; // degrading does not consume a retry
+                        }
+                    }
+                }
+                if e.is_recoverable() && retry < shared.config.max_retries {
+                    std::thread::sleep(backoff_delay(shared.config.retry_backoff, retry, job));
+                    retry += 1;
+                    continue;
+                }
+                lock(&shared.metrics).retries += u64::from(retry);
+                fail_batch(shared, &live, &e);
+                return;
             }
         }
-        Err(e) => {
-            let err = ServiceError::BatchFailed(e.to_string());
-            for t in &batch {
-                complete_traversal(shared, &t.ticket, Err(err.clone()));
-            }
-        }
+    }
+}
+
+/// Fans a successful batch result back out to its traversals' tickets.
+fn fan_out(
+    shared: &Shared,
+    batch: Vec<Traversal>,
+    br: &crate::engine::BatchResult,
+    dispatched: Instant,
+) {
+    let batch_dur = br.exec_time;
+    for (lane, t) in batch.into_iter().enumerate() {
+        // A lane finishes after its completion point within the
+        // batch — the same accounting as the closed-batch
+        // scheduler's per-lane fraction.
+        let done = br.lane_completion[lane].min(br.exec_time);
+        let frac = if br.exec_time.is_zero() {
+            1.0
+        } else {
+            done.as_secs_f64() / br.exec_time.as_secs_f64()
+        };
+        let exec = batch_dur.mul_f64(frac);
+        let wait = dispatched.duration_since(t.submitted);
+        let levels: Vec<u64> = br.per_level.iter().map(|row| row[lane]).collect();
+        complete_traversal(shared, &t.ticket, Ok((br.per_lane_visited[lane], levels, wait, exec)));
+    }
+}
+
+/// Fails every traversal of a batch whose retries are exhausted —
+/// isolation means *only* these lanes fail; the service keeps serving.
+fn fail_batch(shared: &Shared, batch: &[Traversal], e: &ClusterError) {
+    let err = ServiceError::BatchFailed(e.to_string());
+    for t in batch {
+        complete_traversal(shared, &t.ticket, Err(err.clone()));
     }
 }
 
@@ -482,6 +754,9 @@ fn complete_traversal(
     let reply = match acc.failed.take() {
         Some(e) => {
             metrics.failed += 1;
+            if e == ServiceError::DeadlineExceeded {
+                metrics.deadline_exceeded += 1;
+            }
             Err(e)
         }
         None => {
@@ -643,7 +918,7 @@ mod tests {
         // read as "still in flight" — pollers would spin forever.
         let (tx, rx) = crossbeam_channel::unbounded();
         drop(tx);
-        let ticket = QueryTicket { rx };
+        let ticket = QueryTicket { rx, deadline: None };
         assert_eq!(ticket.try_wait(), Some(Err(ServiceError::ShutDown)));
     }
 
@@ -658,6 +933,166 @@ mod tests {
     }
 
     #[test]
+    fn chaos_crash_recovers_with_zero_failed_queries() {
+        // The acceptance scenario: a machine crash mid-batch in sync
+        // mode recovers via confined partition replay from a
+        // checkpoint — no query fails, no full rollback happens.
+        let engine = ring_engine(64, 4);
+        let plan = FaultPlan::new(11).crash(2, 7).heal_after(1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            recovery: RecoveryConfig { checkpoint_interval: 3, max_recoveries: 2 },
+            ..Default::default()
+        };
+        let expected = ring_engine(64, 4).run_traversal_batch(&[0, 16], &[20, 20]);
+        let service = QueryService::start(engine, config);
+        // One multi-source query: both traversals are admitted under a
+        // single lock, so they land in exactly one batch (one chaos job).
+        let r = service.query(KhopQuery::multi(7, vec![0, 16], 20)).unwrap();
+        assert_eq!(r.visited, expected.per_lane_visited.iter().sum::<u64>());
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.queries_completed, 1);
+        assert!(stats.recoveries >= 1, "the crash must trigger a recovery");
+        assert!(stats.checkpoints_restored >= 1, "recovery must restore from a checkpoint");
+        assert_eq!(stats.partitions_replayed, 1, "only the crashed partition replays");
+        assert_eq!(stats.full_rollbacks, 0, "confined replay must not roll back globally");
+        assert_eq!(stats.retries, 0, "in-batch recovery must not consume service retries");
+        service.shutdown();
+    }
+
+    #[test]
+    fn unrecoverable_plan_fails_only_poisoned_batch() {
+        // A never-healing crash armed for job 0 only: the first batch's
+        // lanes fail after retries are exhausted, while later queries
+        // complete on the same service.
+        let engine = ring_engine(40, 2);
+        let plan = FaultPlan::new(3).crash(1, 1).arm_jobs(0..1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let err = service.query(KhopQuery::single(0, 0, 5)).unwrap_err();
+        assert!(matches!(err, ServiceError::BatchFailed(_)), "{err:?}");
+        // Batch 1 is outside the armed window: it must succeed.
+        let ok = service.query(KhopQuery::single(1, 0, 5)).unwrap();
+        assert_eq!(ok.visited, 6);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 1);
+        assert_eq!(stats.queries_completed, 1);
+        assert_eq!(stats.retries, 1, "the poisoned batch consumed its retry");
+        service.shutdown();
+    }
+
+    #[test]
+    fn retry_rescues_batch_that_heals_on_resubmission() {
+        // The plan heals only after the engine's own recoveries are
+        // exhausted (first_attempt of retry 1 = 1 × (0 + 1) = 1), so
+        // success requires a service-level retry.
+        let engine = ring_engine(40, 2);
+        let plan = FaultPlan::new(8).crash(0, 1).heal_after(1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 0 },
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let r = service.query(KhopQuery::single(0, 0, 5)).unwrap();
+        assert_eq!(r.visited, 6);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recoveries, 0, "max_recoveries = 0 leaves recovery to the retry");
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_machine_failures_degrade_to_smaller_cluster() {
+        // Machine 1 dies on every attempt, forever. With degrade_after
+        // = 2 the service re-partitions onto one machine — where the
+        // plan's machine-1 crash can no longer fire — and the query
+        // completes without ever failing.
+        let engine = ring_engine(40, 2);
+        let plan = FaultPlan::new(5).crash(1, 1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 4,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 0 },
+            degrade_after: Some(2),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let r = service.query(KhopQuery::single(0, 0, 5)).unwrap();
+        assert_eq!(r.visited, 6);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.degraded_generations, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_queries_fail_with_deadline_exceeded() {
+        let engine = ring_engine(30, 1);
+        let config = ServiceConfig {
+            // The dispatcher flushes only after 50 ms, far past the
+            // 1 ms query deadline — every query expires pre-dispatch.
+            max_batch_delay: Duration::from_millis(50),
+            query_deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let ticket = service.submit(KhopQuery::single(0, 0, 3)).unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        // The dispatcher eventually drains the expired traversal and
+        // records it.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = service.stats();
+            if stats.queries_deadline_exceeded == 1 {
+                assert_eq!(stats.queries_failed, 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "expiry never recorded");
+            std::thread::yield_now();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_does_not_affect_results() {
+        let engine = ring_engine(30, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_deadline: Some(Duration::from_secs(60)),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let r = service.query(KhopQuery::single(0, 0, 4)).unwrap();
+        assert_eq!(r.visited, 5);
+        assert_eq!(service.stats().queries_deadline_exceeded, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_reports_expired_deadline() {
+        let (_tx, rx) = crossbeam_channel::unbounded();
+        let ticket = QueryTicket { rx, deadline: Some(Instant::now() - Duration::from_millis(1)) };
+        assert_eq!(ticket.try_wait(), Some(Err(ServiceError::DeadlineExceeded)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn fault_hook_fails_batch_but_service_survives() {
         let engine = ring_engine(40, 2);
         let blow_once = Arc::new(AtomicBool::new(true));

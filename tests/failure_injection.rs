@@ -2,9 +2,9 @@
 //! machine panics, when inputs are degenerate, and when the system is
 //! pushed past its sizing assumptions.
 
+use cgraph::core::FaultInjection;
 use cgraph::prelude::*;
 use cgraph_comm::{Cluster, ClusterError, PersistentCluster};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -155,25 +155,18 @@ fn service_machine_panic_fails_inflight_then_shuts_down_clean() {
     let g: EdgeList = (0..60u64).map(|v| (v, (v + 1) % 60)).collect();
     let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
 
-    // Fail exactly the first batch, then heal.
-    let failures_left = Arc::new(AtomicUsize::new(1));
-    let hook = {
-        let failures_left = Arc::clone(&failures_left);
-        Arc::new(move |machine: usize| {
-            if machine == 1
-                && failures_left
-                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-                    .is_ok()
-            {
-                panic!("injected service fault");
-            }
-        })
-    };
+    // A never-healing crash armed only for the first batch (chaos job
+    // 0): that batch exhausts recoveries and retries; later batches
+    // run outside the armed window and succeed.
+    let plan = FaultPlan::new(13).crash(1, 1).arm_jobs(0..1);
     let service = Arc::new(QueryService::start(
         Arc::clone(&engine),
         ServiceConfig {
             max_batch_delay: Duration::from_micros(100),
-            fault_hook: Some(hook),
+            fault_plan: Some(plan),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
             ..Default::default()
         },
     ));
@@ -192,7 +185,7 @@ fn service_machine_panic_fails_inflight_then_shuts_down_clean() {
     for o in &outcomes {
         if let Err(e) = o {
             assert!(
-                matches!(e, ServiceError::BatchFailed(msg) if msg.contains("injected service fault")),
+                matches!(e, ServiceError::BatchFailed(msg) if msg.contains("crashed at superstep")),
                 "unexpected error {e:?}"
             );
         }
@@ -231,6 +224,45 @@ fn persistent_submit_after_shutdown_errors() {
     cluster.shutdown();
     let err = cluster.submit::<(), (), _>(|_h| ()).expect_err("submit after shutdown must error");
     assert!(matches!(err, ClusterError::ShutDown));
+}
+
+#[test]
+fn crash_at_every_superstep_sweep() {
+    // Exhaustive crash-point sweep on a tiny ring: for p ∈ {2, 4} in
+    // both sync and async mode, kill one machine at every superstep a
+    // batch can reach; after recovery the result must equal the
+    // fault-free baseline every single time.
+    let g: EdgeList = (0..24u64).map(|v| (v, (v + 1) % 24)).collect();
+    let sources = [0u64, 12];
+    let ks = [8u32, 8];
+    for p in [2usize, 4] {
+        for sync in [true, false] {
+            let cfg = if sync { EngineConfig::new(p) } else { EngineConfig::new(p).asynchronous() };
+            let e = DistributedEngine::new(&g, cfg);
+            let baseline = e.run_traversal_batch(&sources, &ks);
+            let cluster = PersistentCluster::new(p);
+            let rc = RecoveryConfig { checkpoint_interval: 3, max_recoveries: 3 };
+            // Supersteps run 0..=8 (boundary 9 observes completion);
+            // sweep one past the end to cover the never-fires case.
+            for s in 0..=9u32 {
+                let m = s as usize % p;
+                let plan = FaultPlan::new(1000 + u64::from(s)).crash(m, s).heal_after(1);
+                let fault = FaultInjection { plan: &plan, job: u64::from(s), first_attempt: 0 };
+                let (br, report) = e
+                    .run_traversal_batch_recoverable(&cluster, &sources, &ks, &rc, Some(fault))
+                    .unwrap_or_else(|err| {
+                        panic!("p={p} sync={sync} crash {m}@{s}: unrecovered {err}")
+                    });
+                let tag = format!("p={p} sync={sync} crash {m}@{s}");
+                assert_eq!(br.per_lane_visited, baseline.per_lane_visited, "{tag}");
+                assert_eq!(br.per_level, baseline.per_level, "{tag}");
+                if sync && report.recoveries > 0 {
+                    assert_eq!(report.full_rollbacks, 0, "{tag}: sync crash must replay confined");
+                }
+            }
+            cluster.shutdown();
+        }
+    }
 }
 
 #[test]

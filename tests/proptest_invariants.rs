@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants, driven by random
 //! graphs and query parameters.
 
+use cgraph::core::FaultInjection;
 use cgraph::prelude::*;
+use cgraph_comm::PersistentCluster;
 use cgraph_core::RangePartition;
 use cgraph_graph::types::VertexRange;
 use cgraph_graph::{Bitmap, ConsolidationPolicy, EdgeSetGraph};
@@ -159,6 +161,66 @@ proptest! {
             prop_assert!(l <= v as u64);
             prop_assert_eq!(labels[l as usize], l);
         }
+    }
+
+    #[test]
+    fn recovered_batch_is_bit_identical_to_fault_free(
+        (n, pairs) in graph_strategy(80, 250),
+        src_picks in prop::collection::vec(0u64..80, 1..6),
+        k in 1u32..6,
+        machines in 2usize..5,
+        crash_pick in 0usize..8,
+        crash_step in 0u32..8,
+        interval in 1u32..5,
+    ) {
+        // A crash at an arbitrary superstep, recovered via confined
+        // partition replay (or global rollback when the crash point
+        // precludes it), must reproduce the fault-free batch bit for
+        // bit: same per-lane visited counts, same per-level profile.
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(machines));
+        let sources: Vec<u64> = src_picks.iter().map(|s| s % n).collect();
+        let ks = vec![k; sources.len()];
+        let baseline = engine.run_traversal_batch(&sources, &ks);
+        let cluster = PersistentCluster::new(machines);
+        let plan = FaultPlan::new(n ^ 0x5eed)
+            .crash(crash_pick % machines, crash_step)
+            .heal_after(1);
+        let rc = RecoveryConfig { checkpoint_interval: interval, max_recoveries: 3 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let run = engine.run_traversal_batch_recoverable(&cluster, &sources, &ks, &rc, Some(fault));
+        cluster.shutdown();
+        let (br, _report) = run.expect("healed crash must recover");
+        prop_assert_eq!(br.per_lane_visited, baseline.per_lane_visited);
+        prop_assert_eq!(br.per_level, baseline.per_level);
+    }
+
+    #[test]
+    fn lossy_link_recovery_is_bit_identical(
+        (n, pairs) in graph_strategy(60, 200),
+        src_pick in 0u64..60,
+        k in 1u32..6,
+        machines in 2usize..4,
+        drop_prob in 0.05f64..0.6,
+        interval in 1u32..5,
+    ) {
+        // Message loss voids confined recovery (logs record intent,
+        // not delivery); the global-rollback fallback must still land
+        // on exactly the fault-free answer once the plan heals.
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(machines));
+        let sources = [src_pick % n];
+        let ks = [k];
+        let baseline = engine.run_traversal_batch(&sources, &ks);
+        let cluster = PersistentCluster::new(machines);
+        let plan = FaultPlan::new(n.wrapping_mul(31) ^ 0xd409).with_drop(drop_prob).heal_after(1);
+        let rc = RecoveryConfig { checkpoint_interval: interval, max_recoveries: 3 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let run = engine.run_traversal_batch_recoverable(&cluster, &sources, &ks, &rc, Some(fault));
+        cluster.shutdown();
+        let (br, _report) = run.expect("healed lossy plan must recover");
+        prop_assert_eq!(br.per_lane_visited, baseline.per_lane_visited);
+        prop_assert_eq!(br.per_level, baseline.per_level);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and error enums mirror crossbeam's names so call sites compile
 //! unchanged.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
@@ -14,8 +14,11 @@ pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 /// Sending half of an unbounded channel (clonable).
 pub struct Sender<T>(mpsc::Sender<T>);
 
-/// Receiving half of an unbounded channel.
-pub struct Receiver<T>(mpsc::Receiver<T>);
+/// Receiving half of an unbounded channel. Clonable and shareable like
+/// crossbeam's (clones contend on a mutex rather than stealing
+/// lock-free, which is fine for this workspace's single-consumer
+/// channels; extra clones exist only to keep channels alive).
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
@@ -23,39 +26,51 @@ impl<T> Clone for Sender<T> {
     }
 }
 
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
 impl<T> Sender<T> {
-    /// Sends `value`, failing only when the receiver was dropped.
+    /// Sends `value`, failing only when every receiver was dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         self.0.send(value)
     }
 }
 
 impl<T> Receiver<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.0.try_recv()
+        self.lock().try_recv()
     }
 
     /// Blocking receive.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.0.recv()
+        self.lock().recv()
     }
 
     /// Blocking receive with a timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.0.recv_timeout(timeout)
+        self.lock().recv_timeout(timeout)
     }
 
     /// Drains and returns everything currently queued.
-    pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
-        self.0.try_iter()
+    pub fn try_iter(&self) -> std::vec::IntoIter<T> {
+        let guard = self.lock();
+        let drained: Vec<T> = guard.try_iter().collect();
+        drained.into_iter()
     }
 }
 
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender(tx), Receiver(rx))
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
 }
 
 #[cfg(test)]
