@@ -3,6 +3,7 @@
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
 use cgraph_core::{FaultPlan, KhopQuery, QueryService, RecoveryConfig, ServiceConfig};
+use cgraph_obs::{Obs, TraceSink};
 use cgraph_ql::Session;
 use std::io::Read;
 use std::sync::Arc;
@@ -145,10 +146,58 @@ const SERVICE_FLAGS: &[&str] = &[
     "--retries",
     "--ckpt-interval",
     "--degrade-after",
+    "--metrics",
+    "--trace-out",
 ];
 
+/// Where the observability plane's output goes after the stream
+/// drains: a metrics snapshot (Prometheus text format) and/or the
+/// replayable trace event log. `"-"` means stdout.
+struct ObsOut {
+    obs: Arc<Obs>,
+    metrics_to: Option<String>,
+    trace_to: Option<String>,
+}
+
+/// Builds the [`Obs`] bundle when `--metrics` and/or `--trace-out` was
+/// given. `--metrics` works as a bare switch (print to stdout) or with
+/// a path; `--trace-out` always takes a path (or `-` for stdout).
+fn obs_from_args(args: &Args) -> Option<ObsOut> {
+    let metrics_to = if args.switch("--metrics") {
+        Some("-".to_string())
+    } else {
+        args.flag("--metrics").map(str::to_string)
+    };
+    let trace_to = args.flag("--trace-out").map(str::to_string);
+    if metrics_to.is_none() && trace_to.is_none() {
+        return None;
+    }
+    Some(ObsOut { obs: Obs::shared(), metrics_to, trace_to })
+}
+
+/// Writes the metrics snapshot and the drained trace log to their
+/// configured sinks once the stream has drained.
+fn write_obs(out: &ObsOut) -> Result<(), String> {
+    let emit = |target: &str, what: &str, text: String| -> Result<(), String> {
+        if target == "-" {
+            print!("{text}");
+            Ok(())
+        } else {
+            std::fs::write(target, text).map_err(|e| format!("cannot write {what} {target}: {e}"))
+        }
+    };
+    if let Some(t) = &out.trace_to {
+        let events = out.obs.trace.drain();
+        emit(t, "--trace-out", TraceSink::render(&events))?;
+    }
+    if let Some(t) = &out.metrics_to {
+        emit(t, "--metrics", out.obs.metrics.render_text())?;
+    }
+    Ok(())
+}
+
 /// Builds a running [`QueryService`] from common serve/replay flags.
-fn start_service(args: &Args, path: &str) -> Result<QueryService, String> {
+fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryService, String> {
     let machines: usize = args.flag_parse("-p", 3)?;
     let delay_us: u64 = args.flag_parse("--delay-us", 2000)?;
     let depth: usize = args.flag_parse("--depth", 1024)?;
@@ -172,14 +221,34 @@ fn start_service(args: &Args, path: &str) -> Result<QueryService, String> {
             max_retries,
             recovery: RecoveryConfig { checkpoint_interval: ckpt, ..Default::default() },
             degrade_after: (degrade > 0).then_some(degrade),
+            obs: obs.map(|o| Arc::clone(&o.obs)),
             ..Default::default()
         },
     ))
 }
 
-/// Prints the service's lifetime latency summary.
+/// Prints the service's lifetime latency summary. The first line is
+/// the canonical machine-parseable `stats` record (`key=value` pairs,
+/// fixed order) that operators and tests key on; the human-readable
+/// summary follows.
 fn print_service_stats(service: &QueryService) {
     let s = service.stats();
+    println!(
+        "stats completed={} failed={} deadline_exceeded={} batches={} retries={} \
+         recoveries={} checkpoints_taken={} checkpoints_restored={} partitions_replayed={} \
+         full_rollbacks={} degraded={}",
+        s.queries_completed,
+        s.queries_failed,
+        s.queries_deadline_exceeded,
+        s.batches_dispatched,
+        s.retries,
+        s.recoveries,
+        s.checkpoints_taken,
+        s.checkpoints_restored,
+        s.partitions_replayed,
+        s.full_rollbacks,
+        s.degraded_generations,
+    );
     println!(
         "served {} queries ({} failed, {} past deadline) in {} batches; \
          wait p50 {:?}, response p50 {:?} / p95 {:?} / max {:?}",
@@ -219,7 +288,8 @@ fn print_service_stats(service: &QueryService) {
 pub fn serve(args: Args) -> Result<(), String> {
     args.reject_unknown(SERVICE_FLAGS)?;
     let path = args.require(0, "graph file")?;
-    let service = Arc::new(start_service(&args, path)?);
+    let obs = obs_from_args(&args);
+    let service = Arc::new(start_service(&args, path, obs.as_ref())?);
 
     // Printer thread: redeems tickets in submission order so output
     // is deterministic while batching continues behind it.
@@ -271,6 +341,9 @@ pub fn serve(args: Args) -> Result<(), String> {
     drop(tx);
     printer.join().expect("printer thread panicked");
     service.shutdown();
+    if let Some(o) = &obs {
+        write_obs(o)?;
+    }
     Ok(())
 }
 
@@ -291,7 +364,8 @@ pub fn replay(args: Args) -> Result<(), String> {
     let queries: usize = args.flag_parse("-q", 1000)?;
     let k: u32 = args.flag_parse("-k", 3)?;
     let rate: f64 = args.flag_parse("--rate", 0.0)?;
-    let service = start_service(&args, path)?;
+    let obs = obs_from_args(&args);
+    let service = start_service(&args, path, obs.as_ref())?;
     let n = {
         let edges = load_graph(path)?;
         edges.num_vertices()
@@ -326,5 +400,8 @@ pub fn replay(args: Args) -> Result<(), String> {
     );
     print_service_stats(&service);
     service.shutdown();
+    if let Some(o) = &obs {
+        write_obs(o)?;
+    }
     Ok(())
 }

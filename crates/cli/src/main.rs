@@ -81,6 +81,13 @@ SERVICE ROBUSTNESS (serve & replay):
   --ckpt-interval K  checkpoint every K supersteps (default 4)
   --degrade-after N  drop to p-1 machines after N same-machine crashes (0 = never)
 
+OBSERVABILITY (serve & replay):
+  --metrics [PATH]   after the stream drains, write a metrics snapshot
+                     (Prometheus text format) to PATH, or stdout if no
+                     PATH / PATH is \"-\"
+  --trace-out PATH   write the deterministic, replayable trace event log
+                     to PATH (\"-\" = stdout); see OBSERVABILITY.md
+
 MODELS:
   graph500 <scale> <edge_factor>
   rmat <scale> <edges>

@@ -102,6 +102,14 @@ impl ReduceBarrier {
         self.state.lock().poisoned
     }
 
+    /// Completed barrier generations so far (each full rendezvous of
+    /// all parties advances the count by one). Read by the persistent
+    /// cluster after a job to account superstep barriers in the
+    /// metrics registry.
+    pub fn generations(&self) -> u64 {
+        self.state.lock().generation
+    }
+
     /// Blocks until all parties have called, then returns the combined
     /// sum/max/or over every party's `contribution` for this
     /// generation.

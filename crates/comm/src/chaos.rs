@@ -12,7 +12,7 @@
 //! Determinism is the load-bearing property. Fault decisions are *not*
 //! drawn from a shared RNG stream (whose consumption order would
 //! depend on thread interleaving); each decision is a pure
-//! [splitmix64] hash of `(seed, job, attempt, machine, counter)`, so
+//! `splitmix64` hash of `(seed, job, attempt, machine, counter)`, so
 //! the same plan over the same job produces the same faults regardless
 //! of scheduling — and a *retry* (higher `attempt`) deterministically
 //! sees a fresh, independent fault pattern. [`FaultPlan::heal_after`]
@@ -25,6 +25,33 @@
 //! [`CommHandle`](crate::CommHandle), where sends consult it and
 //! crash points ([`CommHandle::fault_point`](crate::CommHandle::fault_point))
 //! panic on schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use cgraph_comm::chaos::{ChaosRun, FaultPlan};
+//! use cgraph_comm::{ClusterError, PersistentCluster};
+//!
+//! let cluster = PersistentCluster::new(2);
+//! let worker = |h: cgraph_comm::CommHandle<u64>| {
+//!     for step in 0..3 {
+//!         h.fault_point(step); // scripted crashes fire here
+//!         h.barrier();
+//!     }
+//!     7u32
+//! };
+//! // Machine 1 dies at superstep 1 — deterministically, every time —
+//! // but only while the plan is unhealed (attempt 0).
+//! let plan = FaultPlan::new(42).crash(1, 1).heal_after(1);
+//! let failing = ChaosRun::new(plan.clone(), 0, 0);
+//! let err = cluster.submit_with_chaos(Some(&failing), worker).unwrap_err();
+//! assert!(matches!(err, ClusterError::MachinePanicked { .. }));
+//! // The retry (same job, attempt 1) runs clean on the same cluster.
+//! let healed = ChaosRun::new(plan, 0, 1);
+//! let (ok, _) = cluster.submit_with_chaos(Some(&healed), worker).unwrap();
+//! assert_eq!(ok, vec![7, 7]);
+//! cluster.shutdown();
+//! ```
 
 use std::fmt;
 use std::ops::Range;

@@ -11,6 +11,7 @@ use crate::barrier::{BarrierPoisoned, ReduceBarrier, Reduction};
 use crate::chaos::ChaosJob;
 use crate::message::{Envelope, WireSize};
 use crate::netmodel::{NetModel, NetStats};
+use crate::obs::{JobCoords, MachineObs, MachineObsCore};
 use crate::MachineId;
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -27,6 +28,9 @@ pub struct CommHandle<M> {
     model: NetModel,
     stats: Arc<NetStats>,
     chaos: Option<Arc<ChaosJob>>,
+    /// Observability bundle (None = instrumentation off; every obs
+    /// touch point is gated on it so uninstrumented runs pay nothing).
+    obs: Option<Arc<MachineObs>>,
     /// Reorder fault: one message held back until the next send (which
     /// overtakes it) or the next barrier/idle transition (which flushes
     /// it so sync supersteps never leak messages across barriers).
@@ -74,16 +78,25 @@ impl<M: WireSize> CommHandle<M> {
                         // receiver will ever ack it).
                         self.stats.record_send(&self.model, payload.wire_size());
                         chaos.note_drop();
+                        if let Some(obs) = &self.obs {
+                            obs.note_drop();
+                        }
                         return;
                     }
                     let p_dup = chaos.dup_prob();
                     if p_dup > 0.0 && chaos.roll(self.id) < p_dup {
+                        if let Some(obs) = &self.obs {
+                            obs.note_dup();
+                        }
                         self.raw_send(to, payload.clone());
                     }
                     let p_reorder = chaos.reorder_prob();
                     if p_reorder > 0.0 && chaos.roll(self.id) < p_reorder {
                         // Hold this message back; release whatever was
                         // held before (it is now overtaken).
+                        if let Some(obs) = &self.obs {
+                            obs.note_reorder();
+                        }
                         let prev = self.holdback.lock().replace((to, payload));
                         if let Some((pt, pm)) = prev {
                             self.raw_send(pt, pm);
@@ -99,7 +112,11 @@ impl<M: WireSize> CommHandle<M> {
     /// The unperturbed send path.
     fn raw_send(&self, to: MachineId, payload: M) {
         if to != self.id {
-            self.stats.record_send(&self.model, payload.wire_size());
+            let bytes = payload.wire_size();
+            self.stats.record_send(&self.model, bytes);
+            if let Some(obs) = &self.obs {
+                obs.note_send(to, bytes as u64);
+            }
         }
         self.term.on_send();
         // Unbounded channel: send can only fail if the receiver was
@@ -122,8 +139,14 @@ impl<M: WireSize> CommHandle<M> {
     /// machine to die at `superstep`. Workers call this at the top of
     /// each superstep; without an armed plan it is free.
     pub fn fault_point(&self, superstep: u32) {
+        if let Some(obs) = &self.obs {
+            obs.set_superstep(superstep);
+        }
         if let Some(chaos) = &self.chaos {
             if chaos.should_crash(self.id, superstep) {
+                if let Some(obs) = &self.obs {
+                    obs.note_crash(superstep);
+                }
                 panic!("chaos: machine {} crashed at superstep {superstep}", self.id);
             }
         }
@@ -193,13 +216,25 @@ impl<M: WireSize> CommHandle<M> {
     /// unwinding.
     pub fn try_barrier(&self) -> Result<(), BarrierPoisoned> {
         self.flush_holdback();
-        self.barrier.try_wait()
+        let out = self.barrier.try_wait();
+        if out.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.note_barrier_poisoned();
+            }
+        }
+        out
     }
 
     /// Non-panicking reducing barrier: `Err` when a peer died.
     pub fn try_barrier_reduce(&self, contribution: u64) -> Result<Reduction, BarrierPoisoned> {
         self.flush_holdback();
-        self.barrier.try_wait_reduce(contribution)
+        let out = self.barrier.try_wait_reduce(contribution);
+        if out.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.note_barrier_poisoned();
+            }
+        }
+        out
     }
 
     /// Marks this machine idle/busy for async termination detection.
@@ -215,6 +250,15 @@ impl<M: WireSize> CommHandle<M> {
     /// True when the whole cluster is quiescent (async mode exit test).
     pub fn quiescent(&self) -> bool {
         self.term.quiescent()
+    }
+
+    /// This machine's observability bundle, when the submitting
+    /// cluster has one installed (see
+    /// [`PersistentCluster::set_obs`](crate::PersistentCluster::set_obs)).
+    /// Layers above use it to register their own metric handles and to
+    /// record trace events under this machine's ring.
+    pub fn obs(&self) -> Option<&Arc<MachineObs>> {
+        self.obs.as_ref()
     }
 
     /// This machine's traffic counters.
@@ -302,6 +346,20 @@ impl<M: WireSize> Fabric<M> {
         model: NetModel,
         chaos: Option<Arc<ChaosJob>>,
     ) -> Self {
+        Self::build_instrumented(p, model, chaos, None)
+    }
+
+    /// Builds a fabric whose handles carry observability bundles. The
+    /// caller supplies *pre-registered* per-machine cores (one per
+    /// machine, index = machine id) so fabric construction never takes
+    /// the metrics registry lock — jobs on a persistent cluster pay
+    /// only an `Arc` clone per machine here.
+    pub(crate) fn build_instrumented(
+        p: usize,
+        model: NetModel,
+        chaos: Option<Arc<ChaosJob>>,
+        obs: Option<(&[Arc<MachineObsCore>], JobCoords)>,
+    ) -> Self {
         let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(p);
         let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(p);
         for _ in 0..p {
@@ -324,6 +382,9 @@ impl<M: WireSize> Fabric<M> {
                 model,
                 stats: Arc::new(NetStats::new()),
                 chaos: chaos.clone(),
+                obs: obs.as_ref().map(|(cores, coords)| {
+                    Arc::new(MachineObs::from_core(Arc::clone(&cores[id]), *coords))
+                }),
                 holdback: Mutex::new(None),
             })
             .collect();

@@ -33,6 +33,12 @@
 //!   injected per job via
 //!   [`PersistentCluster::submit_with_chaos`](persistent::PersistentCluster::submit_with_chaos),
 //!   making failure a first-class, testable input.
+//! * [`obs`] — the comm end of the observability plane (`cgraph-obs`):
+//!   installing an [`Obs`](cgraph_obs::Obs) bundle on a
+//!   [`PersistentCluster`] wires cached
+//!   per-link traffic counters, chaos perturbation counters, and a
+//!   per-machine tracer into every job's
+//!   [`CommHandle`]s.
 //!
 //! Nothing in this crate knows about graphs; it is a generic
 //! message-passing substrate tested in isolation.
@@ -48,6 +54,7 @@ pub mod cputime;
 pub mod mailbox;
 pub mod message;
 pub mod netmodel;
+pub mod obs;
 pub mod persistent;
 
 pub use async_rt::TerminationDetector;
@@ -58,6 +65,7 @@ pub use cputime::thread_cpu_time;
 pub use mailbox::Outbox;
 pub use message::{Envelope, WireSize};
 pub use netmodel::{NetModel, NetStats};
+pub use obs::{JobCoords, MachineObs, MachineObsCore};
 pub use persistent::{ClusterError, PersistentCluster};
 
 /// Identifier of a simulated machine (= partition).

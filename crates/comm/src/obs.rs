@@ -1,0 +1,224 @@
+//! Comm-layer observability wiring: per-machine handle bundles.
+//!
+//! The [`PersistentCluster`](crate::PersistentCluster) owns an optional
+//! [`Obs`] installed via
+//! [`set_obs`](crate::PersistentCluster::set_obs); every job it runs
+//! then builds one [`MachineObs`] per machine and threads it into the
+//! machine's [`CommHandle`](crate::CommHandle). The bundle caches
+//! every metric handle the hot send/barrier paths touch (per-link
+//! traffic counters, chaos perturbation counters) so instrumented
+//! sends cost two relaxed atomic adds, never a registry lookup.
+//!
+//! Trace events recorded here carry the job's logical coordinates
+//! ([`JobCoords`]) and the machine's *current superstep*, which the
+//! engine publishes through
+//! [`CommHandle::fault_point`](crate::CommHandle::fault_point) at the
+//! top of each superstep (comm-level events between two fault points
+//! are attributed to the superstep of the most recent one).
+
+use crate::MachineId;
+use cgraph_obs::{Counter, Obs, TraceCtx, Tracer};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Logical coordinates of one cluster job, used to label trace events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobCoords {
+    /// Caller-assigned job number (the service's batch sequence, or
+    /// the cluster generation when the caller does not assign one).
+    pub job: u64,
+    /// Submission attempt within the job (0 = first).
+    pub attempt: u32,
+}
+
+/// The registered-once, job-independent part of one machine's handle
+/// bundle. A [`PersistentCluster`](crate::PersistentCluster) builds one
+/// per machine at [`set_obs`](crate::PersistentCluster::set_obs) time
+/// and reuses it across every job, so per-job instrumentation cost is a
+/// few `Arc` clones — registry lookups happen exactly once per machine
+/// per cluster lifetime.
+pub struct MachineObsCore {
+    obs: Arc<Obs>,
+    tracer: Tracer,
+    machine: u32,
+    sent_msgs: Vec<Arc<Counter>>,
+    sent_bytes: Vec<Arc<Counter>>,
+    dropped: Arc<Counter>,
+    duped: Arc<Counter>,
+    reordered: Arc<Counter>,
+    crashes: Arc<Counter>,
+}
+
+impl MachineObsCore {
+    /// Registers (get-or-create) machine `machine`'s handles against
+    /// `obs` for a cluster of `p` machines.
+    pub fn new(obs: Arc<Obs>, machine: MachineId, p: usize) -> Self {
+        let link = |to: usize| format!("{machine}->{to}");
+        let sent_msgs = (0..p)
+            .map(|to| {
+                obs.metrics.counter_with(
+                    "cgraph_comm_msgs_sent_total",
+                    &[("link", &link(to))],
+                    "Messages sent per directed machine link (self-sends excluded).",
+                )
+            })
+            .collect();
+        let sent_bytes = (0..p)
+            .map(|to| {
+                obs.metrics.counter_with(
+                    "cgraph_comm_bytes_sent_total",
+                    &[("link", &link(to))],
+                    "Payload bytes sent per directed machine link (self-sends excluded).",
+                )
+            })
+            .collect();
+        Self {
+            tracer: obs.trace.tracer(machine as u32),
+            dropped: obs.metrics.counter(
+                "cgraph_comm_msgs_dropped_total",
+                "Messages dropped by the chaos plan (lost on the wire).",
+            ),
+            duped: obs
+                .metrics
+                .counter("cgraph_comm_msgs_duped_total", "Messages duplicated by the chaos plan."),
+            reordered: obs.metrics.counter(
+                "cgraph_comm_msgs_reordered_total",
+                "Messages held back (reordered) by the chaos plan.",
+            ),
+            crashes: obs.metrics.counter(
+                "cgraph_comm_machine_crashes_total",
+                "Scripted chaos crashes taken at fault points.",
+            ),
+            obs,
+            machine: machine as u32,
+            sent_msgs,
+            sent_bytes,
+        }
+    }
+}
+
+/// One machine's observability handles for one job: a shared
+/// [`MachineObsCore`] plus the job's coordinates and live superstep.
+pub struct MachineObs {
+    core: Arc<MachineObsCore>,
+    coords: JobCoords,
+    /// Superstep last published via `fault_point` (comm events between
+    /// fault points attribute to it).
+    superstep: AtomicU32,
+}
+
+impl MachineObs {
+    /// Registers a fresh core and binds it to `coords` — the
+    /// convenience path for one-shot fabrics. Long-lived clusters use
+    /// [`MachineObs::from_core`] with a cached core instead.
+    pub fn new(obs: Arc<Obs>, machine: MachineId, p: usize, coords: JobCoords) -> Self {
+        Self::from_core(Arc::new(MachineObsCore::new(obs, machine, p)), coords)
+    }
+
+    /// Binds an already-registered core to one job's coordinates.
+    pub fn from_core(core: Arc<MachineObsCore>, coords: JobCoords) -> Self {
+        Self { core, coords, superstep: AtomicU32::new(0) }
+    }
+
+    /// The shared bundle (for layers above that want to register their
+    /// own handles).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.core.obs
+    }
+
+    /// This machine's tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.tracer
+    }
+
+    /// Job coordinates this bundle was built for.
+    pub fn coords(&self) -> JobCoords {
+        self.coords
+    }
+
+    /// Publishes the machine's current superstep (called from
+    /// `fault_point` at the top of each superstep).
+    pub fn set_superstep(&self, superstep: u32) {
+        self.superstep.store(superstep, Ordering::Relaxed);
+    }
+
+    /// Trace context at the machine's current superstep.
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx_at(self.superstep.load(Ordering::Relaxed))
+    }
+
+    /// Trace context at an explicit superstep.
+    pub fn ctx_at(&self, superstep: u32) -> TraceCtx {
+        TraceCtx {
+            job: self.coords.job,
+            attempt: self.coords.attempt,
+            superstep,
+            machine: self.core.machine,
+        }
+    }
+
+    pub(crate) fn note_send(&self, to: MachineId, bytes: u64) {
+        self.core.sent_msgs[to].inc();
+        self.core.sent_bytes[to].add(bytes);
+    }
+
+    pub(crate) fn note_drop(&self) {
+        self.core.dropped.inc();
+    }
+
+    pub(crate) fn note_dup(&self) {
+        self.core.duped.inc();
+    }
+
+    pub(crate) fn note_reorder(&self) {
+        self.core.reordered.inc();
+    }
+
+    pub(crate) fn note_crash(&self, superstep: u32) {
+        self.core.crashes.inc();
+        self.core.tracer.instant("crash", self.ctx_at(superstep), 0);
+    }
+
+    pub(crate) fn note_barrier_poisoned(&self) {
+        self.core.tracer.instant("barrier_poison", self.ctx(), 0);
+    }
+}
+
+/// Coordinator-side handles the [`PersistentCluster`](crate::PersistentCluster)
+/// caches once at [`set_obs`](crate::PersistentCluster::set_obs) time.
+pub(crate) struct ClusterObsHandles {
+    pub(crate) obs: Arc<Obs>,
+    /// Pre-registered per-machine cores (index = machine id), cloned
+    /// into each job's fabric so job setup never hits the registry.
+    pub(crate) machines: Vec<Arc<MachineObsCore>>,
+    pub(crate) jobs_total: Arc<Counter>,
+    pub(crate) jobs_failed: Arc<Counter>,
+    pub(crate) barrier_generations: Arc<Counter>,
+    pub(crate) barrier_poisoned: Arc<Counter>,
+}
+
+impl ClusterObsHandles {
+    pub(crate) fn new(obs: Arc<Obs>, p: usize) -> Self {
+        Self {
+            machines: (0..p)
+                .map(|id| Arc::new(MachineObsCore::new(Arc::clone(&obs), id, p)))
+                .collect(),
+            jobs_total: obs
+                .metrics
+                .counter("cgraph_comm_jobs_total", "Jobs submitted to the persistent cluster."),
+            jobs_failed: obs.metrics.counter(
+                "cgraph_comm_jobs_failed_total",
+                "Jobs that failed (machine panic or chaos message loss).",
+            ),
+            barrier_generations: obs.metrics.counter(
+                "cgraph_comm_barrier_generations_total",
+                "Completed barrier generations across all jobs.",
+            ),
+            barrier_poisoned: obs.metrics.counter(
+                "cgraph_comm_barrier_poisoned_total",
+                "Jobs whose barrier was poisoned by a dying machine.",
+            ),
+            obs,
+        }
+    }
+}

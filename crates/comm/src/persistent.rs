@@ -27,10 +27,13 @@ use crate::chaos::ChaosRun;
 use crate::cluster::{CommHandle, Fabric, TrafficReport};
 use crate::message::WireSize;
 use crate::netmodel::NetModel;
+use crate::obs::{ClusterObsHandles, JobCoords};
+use cgraph_obs::Obs;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
@@ -148,6 +151,9 @@ pub struct PersistentCluster {
     /// corresponds to one fabric; machines of generation `g` can never
     /// touch generation `g+1` state.
     generation: AtomicU64,
+    /// Coordinator-side observability handles, cached once at
+    /// [`PersistentCluster::set_obs`] time.
+    obs: Mutex<Option<Arc<ClusterObsHandles>>>,
 }
 
 impl PersistentCluster {
@@ -187,6 +193,7 @@ impl PersistentCluster {
             model,
             inner: Mutex::new(Inner { job_txs: Some(job_txs), ack_rx, threads }),
             generation: AtomicU64::new(0),
+            obs: Mutex::new(None),
         }
     }
 
@@ -198,6 +205,20 @@ impl PersistentCluster {
     /// Number of jobs completed so far.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Installs an observability bundle: every subsequent job wires a
+    /// per-machine [`MachineObs`](crate::obs::MachineObs) into its
+    /// [`CommHandle`]s and the cluster accounts jobs, barrier
+    /// generations, and barrier poisonings against the registry.
+    pub fn set_obs(&self, obs: Arc<Obs>) {
+        *self.obs.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Arc::new(ClusterObsHandles::new(obs, self.p)));
+    }
+
+    /// The installed observability bundle, if any.
+    pub fn obs(&self) -> Option<Arc<Obs>> {
+        self.obs.lock().unwrap_or_else(|e| e.into_inner()).as_ref().map(|h| Arc::clone(&h.obs))
     }
 
     /// Runs `worker(handle)` on every machine over a fresh fabric and
@@ -240,13 +261,46 @@ impl PersistentCluster {
         R: Send,
         F: Fn(CommHandle<M>) -> R + Sync,
     {
+        // Default job coordinates: the chaos run's if present (the
+        // caller chose them), else the current generation as the job
+        // number (unique per completed job under serialized submits).
+        let coords = match chaos {
+            Some(run) => JobCoords { job: run.job, attempt: run.attempt },
+            None => JobCoords { job: self.generation(), attempt: 0 },
+        };
+        self.submit_job(chaos, coords, worker)
+    }
+
+    /// The fully-specified submission path: like
+    /// [`PersistentCluster::submit_with_chaos`] but with explicit
+    /// [`JobCoords`] labelling the job's metrics and trace events (the
+    /// query service passes its batch sequence number and retry
+    /// attempt here so cluster-level events join up with service-level
+    /// ones).
+    pub fn submit_job<M, R, F>(
+        &self,
+        chaos: Option<&ChaosRun>,
+        coords: JobCoords,
+        worker: F,
+    ) -> Result<(Vec<R>, TrafficReport), ClusterError>
+    where
+        M: WireSize + Send,
+        R: Send,
+        F: Fn(CommHandle<M>) -> R + Sync,
+    {
+        let obs = self.obs.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let Some(job_txs) = inner.job_txs.as_ref() else {
             return Err(ClusterError::ShutDown);
         };
 
         let chaos_job = chaos.map(|run| std::sync::Arc::new(run.job_state(self.p)));
-        let fabric = Fabric::<M>::build_with_chaos(self.p, self.model, chaos_job.clone());
+        let fabric = Fabric::<M>::build_instrumented(
+            self.p,
+            self.model,
+            chaos_job.clone(),
+            obs.as_ref().map(|h| (h.machines.as_slice(), coords)),
+        );
         let stats = fabric.stats;
         let barrier = fabric.barrier;
         let term = fabric.term;
@@ -324,16 +378,29 @@ impl PersistentCluster {
                 }
             }
         }
-        if let Some((machine, message)) = failure {
-            return Err(ClusterError::MachinePanicked { machine, message });
-        }
-        if let Some(job) = &chaos_job {
-            let dropped = job.dropped();
-            if dropped > 0 {
-                return Err(ClusterError::MessagesLost { dropped });
+        let mut result = match failure {
+            Some((machine, message)) => Err(ClusterError::MachinePanicked { machine, message }),
+            None => Ok((out, TrafficReport::from_stats(&stats))),
+        };
+        if result.is_ok() {
+            if let Some(job) = &chaos_job {
+                let dropped = job.dropped();
+                if dropped > 0 {
+                    result = Err(ClusterError::MessagesLost { dropped });
+                }
             }
         }
-        Ok((out, TrafficReport::from_stats(&stats)))
+        if let Some(h) = &obs {
+            h.jobs_total.inc();
+            h.barrier_generations.add(barrier.generations());
+            if barrier.is_poisoned() {
+                h.barrier_poisoned.inc();
+            }
+            if result.is_err() {
+                h.jobs_failed.inc();
+            }
+        }
+        result
     }
 
     /// Gracefully stops the machine threads: parked machines wake on
@@ -587,6 +654,41 @@ mod tests {
             })
             .unwrap();
         assert_eq!(sums, vec![3, 3]);
+    }
+
+    #[test]
+    fn obs_accounts_jobs_links_and_crashes() {
+        use crate::chaos::FaultPlan;
+        let cluster = PersistentCluster::new(2);
+        let obs = Obs::shared();
+        cluster.set_obs(Arc::clone(&obs));
+        cluster
+            .submit::<u64, (), _>(|h| {
+                h.send(1 - h.id(), 7);
+                h.barrier();
+                h.drain();
+            })
+            .unwrap();
+        let run = ChaosRun::new(FaultPlan::new(5).crash(1, 0), 9, 0);
+        let err = cluster
+            .submit_with_chaos::<u64, (), _>(Some(&run), |h| {
+                h.fault_point(0);
+                let _ = h.try_barrier();
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::MachinePanicked { .. }));
+        let snap = cgraph_obs::parse_text(&obs.metrics.render_text()).unwrap();
+        assert_eq!(snap.counters["cgraph_comm_jobs_total"], 2);
+        assert_eq!(snap.counters["cgraph_comm_jobs_failed_total"], 1);
+        assert_eq!(snap.counters["cgraph_comm_machine_crashes_total"], 1);
+        assert_eq!(snap.counters["cgraph_comm_barrier_poisoned_total"], 1);
+        assert_eq!(snap.counters["cgraph_comm_msgs_sent_total{link=\"0->1\"}"], 1);
+        assert_eq!(snap.counters["cgraph_comm_msgs_sent_total{link=\"1->0\"}"], 1);
+        assert!(snap.counters["cgraph_comm_barrier_generations_total"] >= 1);
+        // The crash left a deterministic trace event at its logical
+        // coordinates (job 9, machine 1, superstep 0).
+        let log = cgraph_obs::TraceSink::render(&obs.trace.drain());
+        assert!(log.contains("job=9 attempt=0 step=0 machine=1 instant crash value=0"), "{log}");
     }
 
     #[test]

@@ -28,10 +28,12 @@ use crate::shard::{build_shards, Shard};
 use crate::traverse::{QueueTraversal, ValueMode};
 use cgraph_comm::chaos::{ChaosRun, FaultPlan};
 use cgraph_comm::cluster::TrafficReport;
-use cgraph_comm::{Cluster, ClusterError, CommHandle, PersistentCluster, WireSize};
+use cgraph_comm::{Cluster, ClusterError, CommHandle, MachineObs, PersistentCluster, WireSize};
 use cgraph_graph::bitmap::LANES;
 use cgraph_graph::{Edge, EdgeList, VertexId};
+use cgraph_obs::{log2_edges, Counter, Histogram, TraceCtx, Tracer, COORD};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Messages exchanged between machines.
@@ -155,6 +157,119 @@ pub struct FaultInjection<'a> {
     pub first_attempt: u32,
 }
 
+/// Engine-layer registry handles, registered once per [`Obs`] instance
+/// and cached on the engine (keyed by registry identity), so batch
+/// setup and the per-superstep hot path never take the registry lock.
+struct EngineObsHandles {
+    supersteps: Arc<Counter>,
+    frontier_bits: Arc<Histogram>,
+    checkpoint_bytes: Arc<Counter>,
+    attempts: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    checkpoints_taken: Arc<Counter>,
+    checkpoints_restored: Arc<Counter>,
+    partitions_replayed: Arc<Counter>,
+    supersteps_replayed: Arc<Counter>,
+    full_rollbacks: Arc<Counter>,
+    batch_supersteps: Arc<Histogram>,
+}
+
+impl EngineObsHandles {
+    fn register(obs: &cgraph_obs::Obs) -> Self {
+        let m = &obs.metrics;
+        Self {
+            supersteps: m.counter(
+                "cgraph_engine_supersteps_total",
+                "Supersteps executed, counted once per machine per superstep.",
+            ),
+            frontier_bits: m.histogram(
+                "cgraph_engine_frontier_new_bits",
+                "New frontier bits (vertex, lane) discovered per machine per superstep.",
+                &log2_edges(24),
+            ),
+            checkpoint_bytes: m.counter(
+                "cgraph_engine_checkpoint_bytes_total",
+                "Bytes of bit-frontier state committed to recovery checkpoints.",
+            ),
+            attempts: m.counter(
+                "cgraph_recovery_attempts_total",
+                "Cluster submissions made by recoverable batches (1 per fault-free batch).",
+            ),
+            recoveries: m.counter(
+                "cgraph_recovery_recoveries_total",
+                "Recovery passes performed after a recoverable batch failure.",
+            ),
+            checkpoints_taken: m.counter(
+                "cgraph_recovery_checkpoints_taken_total",
+                "Partition checkpoints committed at superstep boundaries.",
+            ),
+            checkpoints_restored: m.counter(
+                "cgraph_recovery_checkpoints_restored_total",
+                "Partition checkpoints restored as a replay base or rollback target.",
+            ),
+            partitions_replayed: m.counter(
+                "cgraph_recovery_partitions_replayed_total",
+                "Failed partitions re-executed inline on the coordinator (confined recovery).",
+            ),
+            supersteps_replayed: m.counter(
+                "cgraph_recovery_supersteps_replayed_total",
+                "Supersteps re-executed during confined partition replays.",
+            ),
+            full_rollbacks: m.counter(
+                "cgraph_recovery_full_rollbacks_total",
+                "Global rollbacks (all partitions restarted from the committed set or scratch).",
+            ),
+            batch_supersteps: m.histogram(
+                "cgraph_engine_batch_supersteps",
+                "Supersteps a completed batch needed to drain every lane.",
+                &log2_edges(10),
+            ),
+        }
+    }
+
+    /// Folds the final [`RecoveryReport`] of a *successful* recoverable
+    /// batch into the registry. Deliberately called only on the `Ok`
+    /// return — exactly the reports the service folds into its own
+    /// [`ServiceStats`](crate::service::ServiceStats) — so registry
+    /// recovery counts always equal the stats line.
+    fn record_recovery(&self, report: &RecoveryReport, result: &BatchResult) {
+        self.attempts.add(report.attempts as u64);
+        self.recoveries.add(report.recoveries as u64);
+        self.checkpoints_taken.add(report.checkpoints_taken);
+        self.checkpoints_restored.add(report.checkpoints_restored);
+        self.partitions_replayed.add(report.partitions_replayed);
+        self.supersteps_replayed.add(report.supersteps_replayed);
+        self.full_rollbacks.add(report.full_rollbacks as u64);
+        self.batch_supersteps.observe(result.supersteps as f64);
+    }
+}
+
+/// One machine's cached engine-layer observability handles for a batch
+/// worker: cloned from the engine's cache at worker start, then only
+/// atomics on the superstep path.
+struct WorkerObs {
+    mo: Arc<MachineObs>,
+    h: Arc<EngineObsHandles>,
+}
+
+impl WorkerObs {
+    fn new(mo: Arc<MachineObs>, h: Arc<EngineObsHandles>) -> Self {
+        Self { mo, h }
+    }
+
+    /// Superstep span entry at hop `hop`; value = frontier bits queued.
+    fn superstep_enter(&self, hop: u32) {
+        self.mo.tracer().enter("superstep", self.mo.ctx_at(hop), 0);
+    }
+
+    /// Superstep span exit; value = new bits discovered this hop.
+    fn superstep_exit(&self, hop: u32, new_bits: u64) {
+        self.h.supersteps.inc();
+        self.h.frontier_bits.observe(new_bits as f64);
+        self.mo.tracer().exit("superstep", self.mo.ctx_at(hop), new_bits);
+    }
+}
+
 /// One machine's private output from a bit-frontier batch, merged by
 /// [`DistributedEngine::stitch_batch`].
 struct MachineOut {
@@ -170,6 +285,11 @@ pub struct DistributedEngine {
     partition: RangePartition,
     shards: Vec<Shard>,
     config: EngineConfig,
+    /// Registered engine-layer metric handles, keyed by the identity of
+    /// the [`Obs`](cgraph_obs::Obs) they were registered against (a
+    /// service installs exactly one, so this is a one-entry cache that
+    /// turns per-batch registry lookups into a single mutex check).
+    obs_handles: Mutex<Option<(usize, Arc<EngineObsHandles>)>>,
 }
 
 impl DistributedEngine {
@@ -200,7 +320,28 @@ impl DistributedEngine {
         assert_eq!(partition.num_vertices(), edges.num_vertices());
         let shards =
             build_shards(&partition, edges.edges(), config.edge_set_policy, config.build_in_edges);
-        Self { partition, shards, config }
+        Self { partition, shards, config, obs_handles: Mutex::new(None) }
+    }
+
+    /// The engine-layer handle bundle for `obs`, registering it on
+    /// first sight and serving clones from the cache afterwards.
+    fn engine_obs(&self, obs: &Arc<cgraph_obs::Obs>) -> Arc<EngineObsHandles> {
+        let key = Arc::as_ptr(obs) as usize;
+        let mut slot = self.obs_handles.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.as_ref() {
+            Some((k, h)) if *k == key => Arc::clone(h),
+            _ => {
+                let h = Arc::new(EngineObsHandles::register(obs));
+                *slot = Some((key, Arc::clone(&h)));
+                h
+            }
+        }
+    }
+
+    /// Builds a worker's observability bundle from its comm handle,
+    /// reusing the engine's cached registry handles.
+    fn worker_obs(&self, h: &CommHandle<EngineMsg>) -> Option<WorkerObs> {
+        h.obs().map(|mo| WorkerObs::new(Arc::clone(mo), self.engine_obs(mo.obs())))
     }
 
     /// The partitioning map.
@@ -317,6 +458,7 @@ impl DistributedEngine {
         if let Some(hook) = hook {
             hook(h.id());
         }
+        let wobs = self.worker_obs(&h);
         let lanes = sources.len();
         let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
         {
@@ -340,6 +482,9 @@ impl DistributedEngine {
                 // Chaos seam: a plan can schedule this machine's death
                 // at superstep `hop`. Free without an armed plan.
                 h.fault_point(hop);
+                if let Some(w) = &wobs {
+                    w.superstep_enter(hop);
+                }
                 // Lanes whose hop budget remains for this expansion.
                 let mut k_mask = 0u64;
                 for (lane, &k) in ks.iter().enumerate() {
@@ -369,6 +514,9 @@ impl DistributedEngine {
                 }
                 let adv = bf.advance();
                 per_level_local.push(adv.new_per_lane[..lanes].to_vec());
+                if let Some(w) = &wobs {
+                    w.superstep_exit(hop, adv.new_per_lane[..lanes].iter().sum());
+                }
                 supersteps += 1;
                 hop += 1;
 
@@ -493,6 +641,16 @@ impl DistributedEngine {
         let chaos_for = |attempt: u32| {
             fault.map(|fi| ChaosRun::new(fi.plan.clone(), fi.job, fi.first_attempt + attempt))
         };
+        // Trace coordinates for coordinator-side recovery events: the
+        // injected job number when a plan is in force (so engine events
+        // line up with service/comm events), else the cluster
+        // generation at entry.
+        let job = fault.map(|fi| fi.job).unwrap_or_else(|| cluster.generation());
+        let first_attempt = fault.map(|fi| fi.first_attempt).unwrap_or(0);
+        let obs = cluster.obs();
+        let eh = obs.as_ref().map(|o| self.engine_obs(o));
+        let coord = obs.as_ref().map(|o| o.trace.tracer(COORD));
+        let ctx_for = |attempt: u32| TraceCtx { job, attempt, superstep: 0, machine: COORD };
 
         if self.config.mode == UpdateMode::Async {
             // No superstep barriers to checkpoint at: recover by
@@ -506,14 +664,19 @@ impl DistributedEngine {
                     });
                 match res {
                     Ok((outs, traffic)) => {
-                        return Ok((
-                            self.stitch_batch(outs, traffic, lanes, start.elapsed()),
-                            report,
-                        ));
+                        let result = self.stitch_batch(outs, traffic, lanes, start.elapsed());
+                        if let Some(eh) = &eh {
+                            eh.record_recovery(&report, &result);
+                        }
+                        return Ok((result, report));
                     }
                     Err(e) if e.is_recoverable() && report.recoveries < recovery.max_recoveries => {
                         report.recoveries += 1;
                         report.full_rollbacks += 1;
+                        if let Some(t) = &coord {
+                            let attempt = first_attempt + report.attempts - 1;
+                            t.instant("full_rollback", ctx_for(attempt), 0);
+                        }
                     }
                     Err(e) => return Err(e),
                 }
@@ -540,11 +703,17 @@ impl DistributedEngine {
                         .into_iter()
                         .map(|o| o.expect("machine saved state on an Ok submission"))
                         .collect();
-                    return Ok((self.stitch_batch(outs, traffic, lanes, start.elapsed()), report));
+                    let result = self.stitch_batch(outs, traffic, lanes, start.elapsed());
+                    if let Some(eh) = &eh {
+                        eh.record_recovery(&report, &result);
+                    }
+                    return Ok((result, report));
                 }
                 Err(e) if e.is_recoverable() && report.recoveries < recovery.max_recoveries => {
                     report.recoveries += 1;
-                    self.plan_recovery(&e, dropped, &store, sources, ks, lanes, &mut report);
+                    let trace =
+                        coord.as_ref().map(|t| (t, ctx_for(first_attempt + report.attempts - 1)));
+                    self.plan_recovery(&e, dropped, &store, sources, ks, lanes, &mut report, trace);
                 }
                 Err(e) => return Err(e),
             }
@@ -564,6 +733,7 @@ impl DistributedEngine {
         ks: &[u32],
         lanes: usize,
         report: &mut RecoveryReport,
+        trace: Option<(&Tracer, TraceCtx)>,
     ) {
         let p = self.config.num_machines;
         let saves: Vec<Option<PartitionSnapshot>> = (0..p).map(|i| store.take_saved(i)).collect();
@@ -591,6 +761,9 @@ impl DistributedEngine {
                     self.replay_partition(f, base, target, store, sources, ks, lanes);
                 report.partitions_replayed += 1;
                 report.supersteps_replayed += replayed;
+                if let Some((t, ctx)) = trace {
+                    t.instant("replay_partition", TraceCtx { superstep: target, ..ctx }, f as u64);
+                }
                 store.set_resume(f, snap);
             }
             for (i, save) in saves.into_iter().enumerate() {
@@ -615,6 +788,11 @@ impl DistributedEngine {
                     .windows(2)
                     .all(|w| w[0] == w[1]);
             store.clear_execution_state();
+            if let Some((t, ctx)) = trace {
+                let step =
+                    if usable { committed.iter().flatten().next().unwrap().boundary } else { 0 };
+                t.instant("full_rollback", TraceCtx { superstep: step, ..ctx }, usable as u64);
+            }
             if usable {
                 for (i, c) in committed.into_iter().enumerate() {
                     store.set_resume(i, c.unwrap());
@@ -726,6 +904,7 @@ impl DistributedEngine {
         store: &RecoveryStore,
         h: CommHandle<EngineMsg>,
     ) -> Option<MachineOut> {
+        let wobs = self.worker_obs(&h);
         let lanes = sources.len();
         let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
         let shard = &self.shards[h.id()];
@@ -736,6 +915,9 @@ impl DistributedEngine {
             match store.take_resume(h.id()) {
                 Some(snap) => {
                     bf.restore_words(&snap.frontier, &snap.visited);
+                    if let Some(w) = &wobs {
+                        w.mo.tracer().instant("resume", w.mo.ctx_at(snap.boundary), 0);
+                    }
                     (
                         snap.per_level_local,
                         snap.lane_completion,
@@ -779,19 +961,25 @@ impl DistributedEngine {
             // gate is uniform here: it is only mutated by sends, and
             // no machine is past this superstep's sends yet.
             if interval > 0 && hop > 0 && hop % interval == 0 && h.chaos_dropped() == 0 {
-                store.commit(
-                    h.id(),
-                    snapshot(
-                        &bf,
-                        hop,
-                        &per_level_local,
-                        &lane_completion,
-                        completed,
-                        busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
-                    ),
+                let snap = snapshot(
+                    &bf,
+                    hop,
+                    &per_level_local,
+                    &lane_completion,
+                    completed,
+                    busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
                 );
+                if let Some(w) = &wobs {
+                    let bytes = ((snap.frontier.len() + snap.visited.len()) * 8) as u64;
+                    w.h.checkpoint_bytes.add(bytes);
+                    w.mo.tracer().instant("checkpoint_commit", w.mo.ctx_at(hop), bytes);
+                }
+                store.commit(h.id(), snap);
             }
             h.fault_point(hop);
+            if let Some(w) = &wobs {
+                w.superstep_enter(hop);
+            }
             let mut k_mask = 0u64;
             for (lane, &k) in ks.iter().enumerate() {
                 if k > hop {
@@ -818,6 +1006,9 @@ impl DistributedEngine {
                 // not run); only `next` holds partial scan results,
                 // which a resume re-derives.
                 bf.clear_next();
+                if let Some(w) = &wobs {
+                    w.mo.tracer().instant("save", w.mo.ctx_at(hop), 0);
+                }
                 store.save(
                     h.id(),
                     snapshot(
@@ -840,10 +1031,16 @@ impl DistributedEngine {
             }
             let adv = bf.advance();
             per_level_local.push(adv.new_per_lane[..lanes].to_vec());
+            if let Some(w) = &wobs {
+                w.superstep_exit(hop, adv.new_per_lane[..lanes].iter().sum());
+            }
             let reduced = match h.try_barrier_reduce(adv.active_lanes) {
                 Ok(r) => r,
                 Err(_) => {
                     // Advance already ran: we are at boundary hop+1.
+                    if let Some(w) = &wobs {
+                        w.mo.tracer().instant("save", w.mo.ctx_at(hop + 1), 0);
+                    }
                     store.save(
                         h.id(),
                         snapshot(

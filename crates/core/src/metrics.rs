@@ -46,21 +46,38 @@ impl ResponseStats {
         self.samples_sorted.last().copied().unwrap_or_default()
     }
 
-    /// Arithmetic mean.
+    /// Arithmetic mean, rounded to the nearest nanosecond.
+    ///
+    /// Computed as `round(total_nanos / n)` in integer arithmetic —
+    /// *not* via `Duration / u32`, which truncates toward zero and
+    /// loses up to a full nanosecond per call (visible when averaging
+    /// averages, as the service's per-query fold does). Returns
+    /// [`Duration::ZERO`] for an empty sample set.
     pub fn mean(&self) -> Duration {
-        if self.samples_sorted.is_empty() {
+        let n = self.samples_sorted.len() as u128;
+        if n == 0 {
             return Duration::ZERO;
         }
-        let total: Duration = self.samples_sorted.iter().sum();
-        total / self.samples_sorted.len() as u32
+        let total: u128 = self.samples_sorted.iter().map(Duration::as_nanos).sum();
+        // The mean is bounded by the max sample, so it fits in u64
+        // nanoseconds whenever the samples themselves do.
+        Duration::from_nanos(((total + n / 2) / n) as u64)
     }
 
-    /// Quantile `q` in `[0, 1]` (nearest-rank).
+    /// Quantile `q` in `[0, 1]` by the **nearest-rank** rule: the
+    /// returned value is always an actual sample, at sorted index
+    /// `round((n - 1) · q)` (ties round half away from zero, per
+    /// [`f64::round`]). No interpolation is performed, so `q = 0.0`
+    /// is exactly [`ResponseStats::min`], `q = 1.0` is exactly
+    /// [`ResponseStats::max`], and a single-sample distribution
+    /// returns that sample for every `q`. Out-of-range `q` is clamped
+    /// into `[0, 1]`; a NaN `q` is treated as `0.0`. Returns
+    /// [`Duration::ZERO`] for an empty sample set.
     pub fn quantile(&self, q: f64) -> Duration {
         if self.samples_sorted.is_empty() {
             return Duration::ZERO;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let idx = ((self.samples_sorted.len() as f64 - 1.0) * q).round() as usize;
         self.samples_sorted[idx]
     }
@@ -153,6 +170,52 @@ mod tests {
         assert_eq!(s.mean(), Duration::ZERO);
         assert_eq!(s.quantile(0.5), Duration::ZERO);
         assert_eq!(s.fraction_within(Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest_nanosecond() {
+        // 1 ns + 2 ns over 2 samples: the true mean is 1.5 ns, which
+        // must round up, not truncate to 1 ns.
+        let s = ResponseStats::new(vec![Duration::from_nanos(1), Duration::from_nanos(2)]);
+        assert_eq!(s.mean(), Duration::from_nanos(2));
+        // 1 + 1 + 2 over 3: mean 4/3 ns rounds down to 1 ns.
+        let s = ResponseStats::new(vec![
+            Duration::from_nanos(1),
+            Duration::from_nanos(1),
+            Duration::from_nanos(2),
+        ]);
+        assert_eq!(s.mean(), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn single_sample_distribution() {
+        let s = ms(&[7]);
+        assert_eq!(s.mean(), Duration::from_millis(7));
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Duration::from_millis(7), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max() {
+        let s = ms(&[5, 1, 9, 3, 7, 2, 8]);
+        assert_eq!(s.quantile(0.0), s.min());
+        assert_eq!(s.quantile(1.0), s.max());
+        // Out-of-range and NaN inputs are clamped, never panic.
+        assert_eq!(s.quantile(-3.0), s.min());
+        assert_eq!(s.quantile(42.0), s.max());
+        assert_eq!(s.quantile(f64::NAN), s.min());
+    }
+
+    #[test]
+    fn quantile_nearest_rank_is_always_a_sample() {
+        let s = ms(&[10, 20, 30, 40]);
+        // (n - 1) · q = 3 × 0.5 = 1.5 → rounds half away from zero to
+        // index 2: the nearest-rank contract, not an interpolation.
+        assert_eq!(s.quantile(0.5), Duration::from_millis(30));
+        for q in [0.1, 0.33, 0.66, 0.9] {
+            assert!(s.sorted().contains(&s.quantile(q)), "q = {q} must return a sample");
+        }
     }
 
     #[test]

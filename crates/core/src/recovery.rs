@@ -13,8 +13,9 @@
 //! the poisoned barrier — no healthy partition re-executes from
 //! superstep 0.
 //!
-//! The [`RecoveryStore`] is the shared blackboard: committed
-//! checkpoints (uniform across machines, gated on a drop-free job),
+//! The `RecoveryStore` (crate-private) is the shared blackboard:
+//! committed checkpoints (uniform across machines, gated on a
+//! drop-free job),
 //! poison-time saves from healthy machines, per-sender message logs
 //! keyed `(superstep, dest)` with OR-merged payloads (idempotent under
 //! resend, which resumption requires), and the per-boundary global
@@ -27,6 +28,28 @@
 //! checkpoint set (or from scratch). Async mode always takes the
 //! whole-batch path: without barriers there is no meaningful uniform
 //! boundary to checkpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use cgraph_core::{DistributedEngine, EngineConfig, FaultInjection, FaultPlan, RecoveryConfig};
+//! use cgraph_comm::PersistentCluster;
+//!
+//! let ring: cgraph_graph::EdgeList = (0..20u64).map(|v| (v, (v + 1) % 20)).collect();
+//! let engine = DistributedEngine::new(&ring, EngineConfig::new(2));
+//! let cluster = PersistentCluster::new(2);
+//! // Machine 1 dies at superstep 2 on the first attempt, then heals.
+//! let plan = FaultPlan::new(3).crash(1, 2).heal_after(1);
+//! let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+//! let rc = RecoveryConfig { checkpoint_interval: 2, max_recoveries: 2 };
+//! let (result, report) = engine
+//!     .run_traversal_batch_recoverable(&cluster, &[0], &[6], &rc, Some(fault))
+//!     .unwrap();
+//! assert_eq!(result.per_lane_visited, vec![7]); // fault-free answer
+//! assert_eq!(report.recoveries, 1);
+//! assert_eq!(report.full_rollbacks, 0); // confined replay, no rollback
+//! cluster.shutdown();
+//! ```
 
 use parking_lot::Mutex;
 use std::collections::HashMap;

@@ -55,6 +55,22 @@
 //!   re-partitions the graph onto `p - 1` machines
 //!   ([`DistributedEngine::repartitioned`]) and replaces the cluster;
 //!   degrading does not consume a retry.
+//!
+//! # Example
+//!
+//! ```
+//! use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery, QueryService, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let ring: cgraph_graph::EdgeList = (0..12u64).map(|v| (v, (v + 1) % 12)).collect();
+//! let engine = Arc::new(DistributedEngine::new(&ring, EngineConfig::new(2)));
+//! let service = QueryService::start(engine, ServiceConfig::default());
+//! // `query` = submit + wait; any number of threads may call it.
+//! let r = service.query(KhopQuery::single(0, 0, 3)).unwrap();
+//! assert_eq!(r.visited, 4); // vertices 0..=3 on the ring
+//! assert_eq!(service.stats().queries_completed, 1);
+//! service.shutdown();
+//! ```
 
 use crate::engine::{DistributedEngine, FaultInjection};
 use crate::metrics::ResponseStats;
@@ -63,6 +79,9 @@ use crate::recovery::RecoveryConfig;
 use crate::scheduler::{QueryScheduler, SchedulerConfig};
 use cgraph_comm::chaos::FaultPlan;
 use cgraph_comm::{ClusterError, PersistentCluster};
+use cgraph_obs::{
+    log2_edges, Counter, Gauge, Histogram, Obs, TraceCtx, Tracer, COORD, PAPER_LATENCY_EDGES_SECS,
+};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -140,6 +159,15 @@ pub struct ServiceConfig {
     /// degrades). Degrading re-partitions the graph, replaces the
     /// persistent cluster, resets blame, and does not consume a retry.
     pub degrade_after: Option<u32>,
+    /// Observability bundle shared across the whole stack. When set,
+    /// the service registers its own metrics (queue depth, lane
+    /// occupancy, latency histograms, query/batch counters), installs
+    /// the bundle on the persistent cluster (comm-layer link/chaos
+    /// counters and per-machine tracers, re-installed across
+    /// degradations), and emits dispatcher trace events on the
+    /// coordinator ring. `None` (the default) runs unobserved at zero
+    /// cost.
+    pub obs: Option<Arc<Obs>>,
     /// Fault-injection seam predating the chaos plane: called with the
     /// machine id at the start of every machine's share of every
     /// batch. When set, batches run on the legacy non-recoverable path
@@ -161,6 +189,7 @@ impl Default for ServiceConfig {
             retry_backoff: Duration::from_micros(200),
             recovery: RecoveryConfig::default(),
             degrade_after: None,
+            obs: None,
             fault_hook: None,
         }
     }
@@ -179,6 +208,7 @@ impl fmt::Debug for ServiceConfig {
             .field("retry_backoff", &self.retry_backoff)
             .field("recovery", &self.recovery)
             .field("degrade_after", &self.degrade_after)
+            .field("obs", &self.obs.is_some())
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -333,6 +363,94 @@ struct MetricsAcc {
     response: Vec<Duration>,
 }
 
+/// The service's cached observability handles: registered once at
+/// start-up, then only atomic operations on the submit/complete paths.
+/// Counter increments sit exactly next to the matching [`MetricsAcc`]
+/// field updates, so a registry snapshot always agrees with
+/// [`QueryService::stats`].
+struct ServiceObs {
+    tracer: Tracer,
+    queries_submitted: Arc<Counter>,
+    queries_completed: Arc<Counter>,
+    queries_failed: Arc<Counter>,
+    queries_deadline_exceeded: Arc<Counter>,
+    batches_dispatched: Arc<Counter>,
+    retries: Arc<Counter>,
+    degraded_generations: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    batch_lanes: Arc<Histogram>,
+    admission_wait: Arc<Histogram>,
+    exec: Arc<Histogram>,
+    response: Arc<Histogram>,
+}
+
+impl ServiceObs {
+    fn new(obs: &Obs, lanes: usize) -> Self {
+        let m = &obs.metrics;
+        Self {
+            tracer: obs.trace.tracer(COORD),
+            queries_submitted: m.counter(
+                "cgraph_service_queries_submitted_total",
+                "Queries admitted to the service (before batching).",
+            ),
+            queries_completed: m.counter(
+                "cgraph_service_queries_completed_total",
+                "Queries answered successfully.",
+            ),
+            queries_failed: m.counter(
+                "cgraph_service_queries_failed_total",
+                "Queries failed by a dying batch or an expired deadline.",
+            ),
+            queries_deadline_exceeded: m.counter(
+                "cgraph_service_queries_deadline_exceeded_total",
+                "Queries failed because their deadline elapsed (subset of failures).",
+            ),
+            batches_dispatched: m.counter(
+                "cgraph_service_batches_dispatched_total",
+                "Batches the dispatcher completed on the persistent cluster.",
+            ),
+            retries: m.counter(
+                "cgraph_service_retries_total",
+                "Whole-batch resubmissions by the service retry policy.",
+            ),
+            degraded_generations: m.counter(
+                "cgraph_service_degraded_generations_total",
+                "Times the service re-partitioned onto a smaller cluster.",
+            ),
+            queue_depth: m.gauge(
+                "cgraph_service_queue_depth",
+                "Traversals currently in the admission queue.",
+            ),
+            batch_lanes: m.histogram(
+                "cgraph_service_batch_lanes",
+                "Lane occupancy of dispatched batches (fill-or-deadline packing).",
+                &log2_edges(lanes.next_power_of_two().trailing_zeros() + 1),
+            ),
+            admission_wait: m.histogram(
+                "cgraph_service_admission_wait_seconds",
+                "Per-query admission wait: submission to batch dispatch.",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            exec: m.histogram(
+                "cgraph_service_exec_seconds",
+                "Per-query execution time: the lane-completion share of its batch.",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            response: m.histogram(
+                "cgraph_service_response_seconds",
+                "Per-query end-to-end response time (admission wait + execution).",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+        }
+    }
+
+    /// Trace context for dispatcher events of batch `job`, attempt
+    /// `retry` (service retry ordinal, not the chaos attempt salt).
+    fn ctx(&self, job: u64, retry: u32) -> TraceCtx {
+        TraceCtx { job, attempt: retry, superstep: 0, machine: COORD }
+    }
+}
+
 struct Shared {
     engine: Arc<DistributedEngine>,
     config: ServiceConfig,
@@ -343,6 +461,9 @@ struct Shared {
     /// Wakes blocked submitters (queue space freed / service closed).
     space: Condvar,
     metrics: Mutex<MetricsAcc>,
+    /// Cached metric handles + coordinator tracer; `None` when
+    /// [`ServiceConfig::obs`] is unset.
+    obs: Option<ServiceObs>,
 }
 
 /// A long-running query-serving front end over a
@@ -371,6 +492,10 @@ impl QueryService {
         let lanes = QueryScheduler::new(&engine, config.scheduler).effective_lanes();
         let cluster =
             PersistentCluster::with_model(engine.num_machines(), engine.config().net_model);
+        let obs = config.obs.as_ref().map(|o| {
+            cluster.set_obs(Arc::clone(o));
+            ServiceObs::new(o, lanes)
+        });
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -379,6 +504,7 @@ impl QueryService {
             work: Condvar::new(),
             space: Condvar::new(),
             metrics: Mutex::new(MetricsAcc::default()),
+            obs,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -414,6 +540,10 @@ impl QueryService {
             drop(st);
             let (tx, rx) = crossbeam_channel::unbounded();
             lock(&shared.metrics).completed += 1;
+            if let Some(o) = &shared.obs {
+                o.queries_submitted.inc();
+                o.queries_completed.inc();
+            }
             let _ = tx.send(Ok(QueryResult {
                 id: query.id,
                 visited: 0,
@@ -440,6 +570,10 @@ impl QueryService {
                 deadline,
                 ticket: Arc::clone(&ticket),
             });
+        }
+        if let Some(o) = &shared.obs {
+            o.queries_submitted.inc();
+            o.queue_depth.set(st.queue.len() as i64);
         }
         shared.work.notify_all();
         Ok(QueryTicket { rx, deadline })
@@ -553,6 +687,9 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
             }
             let n = st.queue.len().min(shared.lanes);
             let batch: Vec<Traversal> = st.queue.drain(..n).collect();
+            if let Some(o) = &shared.obs {
+                o.queue_depth.set(st.queue.len() as i64);
+            }
             shared.space.notify_all();
             batch
         };
@@ -582,11 +719,19 @@ fn degrade(shared: &Shared, ctx: &mut DispatchCtx) {
     let p = ctx.engine.num_machines() - 1;
     let engine = Arc::new(ctx.engine.repartitioned(p));
     let cluster = PersistentCluster::with_model(p, engine.config().net_model);
+    if let Some(o) = &shared.config.obs {
+        // The replacement cluster must keep feeding the same registry.
+        cluster.set_obs(Arc::clone(o));
+    }
     let old = std::mem::replace(&mut ctx.cluster, cluster);
     old.shutdown();
     ctx.engine = engine;
     ctx.blame = vec![0; p];
     lock(&shared.metrics).degraded_generations += 1;
+    if let Some(o) = &shared.obs {
+        o.degraded_generations.inc();
+        o.tracer.instant("degrade", o.ctx(ctx.batch_seq.saturating_sub(1), 0), p as u64);
+    }
 }
 
 fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) {
@@ -608,6 +753,11 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
     let sources: Vec<u64> = live.iter().map(|t| t.source).collect();
     let ks: Vec<u32> = live.iter().map(|t| t.k).collect();
 
+    if let Some(o) = &shared.obs {
+        o.batch_lanes.observe(live.len() as f64);
+        o.tracer.instant("batch_dispatch", o.ctx(job, 0), live.len() as u64);
+    }
+
     // Legacy seam: an installed fault hook runs the old single-shot,
     // non-recoverable path with its original semantics.
     #[allow(deprecated)]
@@ -617,6 +767,9 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
         match ctx.engine.run_traversal_batch_on_hooked(&ctx.cluster, &sources, &ks, hook) {
             Ok(br) => {
                 lock(&shared.metrics).batches += 1;
+                if let Some(o) = &shared.obs {
+                    o.batches_dispatched.inc();
+                }
                 fan_out(shared, live, &br, dispatched);
             }
             Err(e) => fail_batch(shared, &live, &e),
@@ -655,6 +808,13 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
                 m.partitions_replayed += report.partitions_replayed;
                 m.full_rollbacks += u64::from(report.full_rollbacks);
                 drop(m);
+                if let Some(o) = &shared.obs {
+                    // The engine folded the same `report` into the
+                    // `cgraph_recovery_*` counters on this Ok return.
+                    o.batches_dispatched.inc();
+                    o.retries.add(u64::from(retry));
+                    o.tracer.instant("batch_done", o.ctx(job, retry), br.supersteps as u64);
+                }
                 fan_out(shared, live, &br, dispatched);
                 return;
             }
@@ -672,9 +832,16 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
                 if e.is_recoverable() && retry < shared.config.max_retries {
                     std::thread::sleep(backoff_delay(shared.config.retry_backoff, retry, job));
                     retry += 1;
+                    if let Some(o) = &shared.obs {
+                        o.tracer.instant("batch_retry", o.ctx(job, retry), 0);
+                    }
                     continue;
                 }
                 lock(&shared.metrics).retries += u64::from(retry);
+                if let Some(o) = &shared.obs {
+                    o.retries.add(u64::from(retry));
+                    o.tracer.instant("batch_failed", o.ctx(job, retry), 0);
+                }
                 fail_batch(shared, &live, &e);
                 return;
             }
@@ -754,8 +921,14 @@ fn complete_traversal(
     let reply = match acc.failed.take() {
         Some(e) => {
             metrics.failed += 1;
+            if let Some(o) = &shared.obs {
+                o.queries_failed.inc();
+            }
             if e == ServiceError::DeadlineExceeded {
                 metrics.deadline_exceeded += 1;
+                if let Some(o) = &shared.obs {
+                    o.queries_deadline_exceeded.inc();
+                }
             }
             Err(e)
         }
@@ -773,6 +946,12 @@ fn complete_traversal(
             metrics.wait.push(wait);
             metrics.exec.push(exec);
             metrics.response.push(response);
+            if let Some(o) = &shared.obs {
+                o.queries_completed.inc();
+                o.admission_wait.observe_duration(wait);
+                o.exec.observe_duration(exec);
+                o.response.observe_duration(response);
+            }
             Ok(QueryResult {
                 id: ticket.id,
                 visited: acc.visited,

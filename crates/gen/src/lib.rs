@@ -5,11 +5,11 @@
 //! with Friendster" (§4.1). This crate supplies deterministic,
 //! seed-driven stand-ins for all of them:
 //!
-//! * [`rmat`] — the recursive-matrix (Kronecker) generator underlying
+//! * [`fn@rmat`] — the recursive-matrix (Kronecker) generator underlying
 //!   Graph 500; skewed degree distributions like real social graphs.
-//! * [`graph500`] — the Graph 500 parameterisation (A=.57, B=.19,
+//! * [`fn@graph500`] — the Graph 500 parameterisation (A=.57, B=.19,
 //!   C=.19, D=.05) with vertex scrambling.
-//! * [`erdos_renyi`], [`small_world`], [`pref_attach`] — classic models
+//! * [`fn@erdos_renyi`], [`fn@small_world`], [`fn@pref_attach`] — classic models
 //!   used by tests and the hop-plot experiment.
 //! * [`scaler`] — the paper's semi-synthetic construction: scale a base
 //!   graph by a multiplying factor `m`, keeping its edge/vertex ratio.

@@ -1,0 +1,317 @@
+//! Structured tracing: ring-buffered span/instant events, drained into
+//! a deterministic, replayable event log.
+//!
+//! Every event carries the logical coordinates of the work it
+//! describes — `(job, attempt, superstep, machine)` — and **no wall
+//! clock**, so two seeded runs of the same workload produce
+//! byte-identical logs that diff cleanly. Each machine thread writes
+//! into its own fixed-capacity ring ([`Tracer`] is the per-thread
+//! handle; recording is one short critical section on an uncontended
+//! mutex), and [`TraceSink::drain`] merges the rings into a single log
+//! ordered by `(job, attempt, superstep, machine, per-ring sequence)`.
+//!
+//! The coordinator (service dispatcher / recovery planner) records
+//! under the reserved machine id [`COORD`], rendered as `coord`.
+//!
+//! ```
+//! use cgraph_obs::{TraceCtx, TraceSink, COORD};
+//!
+//! let sink = TraceSink::new(16);
+//! let t = sink.tracer(COORD);
+//! t.instant("batch_dispatch", TraceCtx { job: 1, attempt: 0, superstep: 0, machine: COORD }, 8);
+//! let log = TraceSink::render(&sink.drain());
+//! assert_eq!(log, "job=1 attempt=0 step=0 machine=coord instant batch_dispatch value=8\n");
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Reserved machine id for coordinator-side events (rendered `coord`).
+pub const COORD: u32 = u32::MAX;
+
+/// Logical coordinates of the work an event describes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Batch/job id (the service's `batch_seq`, or the cluster
+    /// generation for bare engine runs).
+    pub job: u64,
+    /// Submission attempt within the job (0 = first).
+    pub attempt: u32,
+    /// BSP superstep the event belongs to.
+    pub superstep: u32,
+    /// Machine (partition) id, or [`COORD`].
+    pub machine: u32,
+}
+
+/// Event flavour: paired span boundaries or a point event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// Span entry.
+    Enter,
+    /// Span exit.
+    Exit,
+    /// Point event.
+    Instant,
+}
+
+impl TraceKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Enter => "enter",
+            TraceKind::Exit => "exit",
+            TraceKind::Instant => "instant",
+        }
+    }
+}
+
+/// One structured trace event. Contains no wall-clock field by design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Logical coordinates.
+    pub ctx: TraceCtx,
+    /// Event flavour.
+    pub kind: TraceKind,
+    /// Instrumentation point name (static so recording never
+    /// allocates).
+    pub name: &'static str,
+    /// Point-specific payload (bits set, messages sent, bytes, …).
+    pub value: u64,
+}
+
+struct Ring {
+    events: Mutex<Vec<(u64, TraceEvent)>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+impl Ring {
+    fn record(&self, ev: TraceEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() >= self.capacity {
+            // Ring semantics: drop the oldest retained event.
+            events.remove(0);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push((seq, ev));
+    }
+}
+
+/// Cheap cloneable per-machine handle into the sink's ring.
+#[derive(Clone)]
+pub struct Tracer {
+    ring: Arc<Ring>,
+    machine: u32,
+}
+
+impl Tracer {
+    /// Machine id this tracer records under.
+    pub fn machine(&self) -> u32 {
+        self.machine
+    }
+
+    /// Records an arbitrary event.
+    pub fn record(&self, kind: TraceKind, name: &'static str, ctx: TraceCtx, value: u64) {
+        self.ring.record(TraceEvent { ctx, kind, name, value });
+    }
+
+    /// Records a span entry.
+    pub fn enter(&self, name: &'static str, ctx: TraceCtx, value: u64) {
+        self.record(TraceKind::Enter, name, ctx, value);
+    }
+
+    /// Records a span exit.
+    pub fn exit(&self, name: &'static str, ctx: TraceCtx, value: u64) {
+        self.record(TraceKind::Exit, name, ctx, value);
+    }
+
+    /// Records a point event.
+    pub fn instant(&self, name: &'static str, ctx: TraceCtx, value: u64) {
+        self.record(TraceKind::Instant, name, ctx, value);
+    }
+}
+
+/// Collects per-machine rings and drains them into one deterministic
+/// log.
+pub struct TraceSink {
+    rings: Mutex<BTreeMap<u32, Arc<Ring>>>,
+    capacity: usize,
+}
+
+impl TraceSink {
+    /// Creates a sink whose per-machine rings hold `capacity` events
+    /// each (oldest dropped on overflow; drops are counted).
+    pub fn new(capacity: usize) -> Self {
+        Self { rings: Mutex::new(BTreeMap::new()), capacity: capacity.max(1) }
+    }
+
+    /// Get-or-create the tracer for `machine`. One ring per machine
+    /// id; callers must ensure at most one thread writes to a machine
+    /// id at a time if they need strictly ordered sequence numbers
+    /// (the BSP cluster guarantees this: one thread per machine, jobs
+    /// serialized).
+    pub fn tracer(&self, machine: u32) -> Tracer {
+        let mut rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = rings.entry(machine).or_insert_with(|| {
+            Arc::new(Ring {
+                events: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                capacity: self.capacity,
+            })
+        });
+        Tracer { ring: Arc::clone(ring), machine }
+    }
+
+    /// Total events discarded to ring overflow across all machines.
+    pub fn dropped(&self) -> u64 {
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        rings.values().map(|r| r.dropped.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Drains every ring and returns the merged log sorted by
+    /// `(job, attempt, superstep, machine, per-ring seq)`. The sort
+    /// key contains no wall-clock component, so seeded runs drain
+    /// identically.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<(u64, TraceEvent)> = Vec::new();
+        for ring in rings.values() {
+            let mut events = ring.events.lock().unwrap_or_else(|e| e.into_inner());
+            all.append(&mut events);
+        }
+        all.sort_by_key(|(seq, ev)| {
+            (ev.ctx.job, ev.ctx.attempt, ev.ctx.superstep, ev.ctx.machine, *seq)
+        });
+        all.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Renders a drained log as one line per event:
+    /// `job=J attempt=A step=S machine=M kind name value=V`.
+    pub fn render(events: &[TraceEvent]) -> String {
+        let mut out = String::new();
+        for ev in events {
+            out.push_str(&format!(
+                "job={} attempt={} step={} machine={} {} {} value={}\n",
+                ev.ctx.job,
+                ev.ctx.attempt,
+                ev.ctx.superstep,
+                MachineLabel(ev.ctx.machine),
+                ev.kind.as_str(),
+                ev.name,
+                ev.value
+            ));
+        }
+        out
+    }
+}
+
+struct MachineLabel(u32);
+
+impl std::fmt::Display for MachineLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == COORD {
+            write!(f, "coord")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Records a point event through an `Option<&Tracer>`-like expression
+/// (anything with `.as_ref()` yielding `Option<&Tracer>`), skipping
+/// all work when tracing is off.
+#[macro_export]
+macro_rules! trace_instant {
+    ($tracer:expr, $name:literal, $ctx:expr, $value:expr) => {
+        if let Some(t) = $tracer.as_ref() {
+            t.instant($name, $ctx, $value as u64);
+        }
+    };
+}
+
+/// Wraps an expression in an enter/exit span pair recorded through an
+/// optional tracer; evaluates and returns the body either way.
+#[macro_export]
+macro_rules! trace_span {
+    ($tracer:expr, $name:literal, $ctx:expr, $value:expr, $body:expr) => {{
+        if let Some(t) = $tracer.as_ref() {
+            t.enter($name, $ctx, $value as u64);
+        }
+        let out = $body;
+        if let Some(t) = $tracer.as_ref() {
+            t.exit($name, $ctx, $value as u64);
+        }
+        out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(job: u64, step: u32, machine: u32) -> TraceCtx {
+        TraceCtx { job, attempt: 0, superstep: step, machine }
+    }
+
+    #[test]
+    fn drain_orders_by_logical_coordinates() {
+        let sink = TraceSink::new(64);
+        let t1 = sink.tracer(1);
+        let t0 = sink.tracer(0);
+        // Recorded out of logical order across rings.
+        t1.instant("b", ctx(0, 1, 1), 0);
+        t0.instant("a", ctx(0, 1, 0), 0);
+        t1.instant("c", ctx(0, 0, 1), 0);
+        t0.instant("d", ctx(1, 0, 0), 0);
+        let names: Vec<&str> = sink.drain().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["c", "a", "b", "d"]);
+    }
+
+    #[test]
+    fn per_ring_seq_breaks_ties_in_record_order() {
+        let sink = TraceSink::new(64);
+        let t = sink.tracer(2);
+        t.enter("step", ctx(0, 0, 2), 5);
+        t.instant("send", ctx(0, 0, 2), 3);
+        t.exit("step", ctx(0, 0, 2), 5);
+        let kinds: Vec<TraceKind> = sink.drain().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::Enter, TraceKind::Instant, TraceKind::Exit]);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let sink = TraceSink::new(2);
+        let t = sink.tracer(0);
+        for i in 0..5u64 {
+            t.instant("e", ctx(0, i as u32, 0), i);
+        }
+        assert_eq!(sink.dropped(), 3);
+        let vals: Vec<u64> = sink.drain().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![3, 4]);
+    }
+
+    #[test]
+    fn render_is_line_per_event_and_coord_labeled() {
+        let sink = TraceSink::new(8);
+        sink.tracer(COORD).instant("dispatch", ctx(7, 0, COORD), 2);
+        let log = TraceSink::render(&sink.drain());
+        assert_eq!(log, "job=7 attempt=0 step=0 machine=coord instant dispatch value=2\n");
+    }
+
+    #[test]
+    fn macros_compile_against_option_tracer() {
+        let sink = TraceSink::new(8);
+        let some = Some(sink.tracer(0));
+        let none: Option<Tracer> = None;
+        trace_instant!(some, "evt", ctx(0, 0, 0), 1u32);
+        let x = trace_span!(some, "span", ctx(0, 0, 0), 2u32, 40 + 2);
+        assert_eq!(x, 42);
+        trace_instant!(none, "evt", ctx(0, 0, 0), 1u32);
+        let y = trace_span!(none, "span", ctx(0, 0, 0), 2u32, 1);
+        assert_eq!(y, 1);
+        assert_eq!(sink.drain().len(), 3);
+    }
+}

@@ -38,6 +38,7 @@
 //! | [`gen`] | cgraph-gen | Graph 500/RMAT, ER, small-world, BA, scaling, I/O |
 //! | [`comm`] | cgraph-comm | simulated cluster, barriers, termination, net model |
 //! | [`core`] | cgraph-core | partitioning, shards, PCM, bit frontiers, engine, scheduler |
+//! | [`obs`] | cgraph-obs | metrics registry, structured tracing, text exposition |
 //! | [`baselines`] | cgraph-baselines | Titan-like graph DB, Gemini-like serialized engine |
 //! | [`analytics`] | cgraph-analytics | BFS, k-hop, SSSP, PageRank, WCC, triangles, k-core, closeness, hop plot |
 //! | [`ql`] | cgraph-ql | query language + concurrent-wave session (see `examples/query_shell.rs`) |
@@ -50,6 +51,7 @@ pub use cgraph_comm as comm;
 pub use cgraph_core as core;
 pub use cgraph_gen as gen;
 pub use cgraph_graph as graph;
+pub use cgraph_obs as obs;
 pub use cgraph_ql as ql;
 
 /// The names most programs need.

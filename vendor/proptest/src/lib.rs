@@ -2,7 +2,7 @@
 //!
 //! The build environment cannot reach crates.io, so this crate
 //! reimplements the slice of the proptest API the workspace actually
-//! uses: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! uses: the `Strategy` trait with `prop_map` / `prop_flat_map`,
 //! range / tuple / `Just` / union / collection / regex-subset
 //! strategies, `any::<T>()`, the `proptest!` macro (including
 //! `#![proptest_config(..)]` and both `pat in strategy` and
