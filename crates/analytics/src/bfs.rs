@@ -5,12 +5,18 @@ use cgraph_graph::VertexId;
 
 /// Number of vertices reachable from `source` (including itself).
 pub fn bfs_count(engine: &DistributedEngine, source: VertexId) -> u64 {
-    engine.run_traversal_batch(&[source], &[u32::MAX]).per_lane_visited[0]
+    engine.run_traversal_batch(&[source], &[u32::MAX]).unwrap().per_lane_visited[0]
 }
 
 /// Vertices first reached at each BFS level (`[0]` = the source).
 pub fn bfs_levels(engine: &DistributedEngine, source: VertexId) -> Vec<u64> {
-    engine.run_traversal_batch(&[source], &[u32::MAX]).per_level.iter().map(|row| row[0]).collect()
+    engine
+        .run_traversal_batch(&[source], &[u32::MAX])
+        .unwrap()
+        .per_level
+        .iter()
+        .map(|row| row[0])
+        .collect()
 }
 
 #[cfg(test)]

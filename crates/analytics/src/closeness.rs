@@ -37,7 +37,7 @@ pub fn closeness_of(engine: &DistributedEngine, vertices: &[VertexId]) -> Vec<Cl
     let mut out = Vec::with_capacity(vertices.len());
     for chunk in vertices.chunks(LANES) {
         let ks = vec![u32::MAX; chunk.len()];
-        let r = engine.run_traversal_batch(chunk, &ks);
+        let r = engine.run_traversal_batch(chunk, &ks).unwrap();
         for (lane, &v) in chunk.iter().enumerate() {
             let mut reachable = 0u64;
             let mut total = 0u64;

@@ -74,7 +74,7 @@ pub fn hop_plot(engine: &DistributedEngine, num_sources: usize, seed: u64) -> Ho
     let mut per_distance: Vec<u64> = Vec::new();
     for chunk in all.chunks(cgraph_graph::bitmap::LANES) {
         let ks = vec![u32::MAX; chunk.len()];
-        let r = engine.run_traversal_batch(chunk, &ks);
+        let r = engine.run_traversal_batch(chunk, &ks).unwrap();
         for (d, row) in r.per_level.iter().enumerate() {
             if d >= per_distance.len() {
                 per_distance.resize(d + 1, 0);

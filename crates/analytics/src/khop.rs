@@ -6,7 +6,7 @@ use cgraph_graph::VertexId;
 
 /// Vertices reachable within `k` hops of `source` (source included).
 pub fn khop_count(engine: &DistributedEngine, source: VertexId, k: u32) -> u64 {
-    engine.run_traversal_batch(&[source], &[k]).per_lane_visited[0]
+    engine.run_traversal_batch(&[source], &[k]).unwrap().per_lane_visited[0]
 }
 
 /// Batched k-hop counts for many sources, exploiting lane sharing.
@@ -15,7 +15,7 @@ pub fn khop_counts_batch(engine: &DistributedEngine, sources: &[VertexId], k: u3
     let mut out = Vec::with_capacity(sources.len());
     for chunk in sources.chunks(LANES) {
         let ks = vec![k; chunk.len()];
-        let r = engine.run_traversal_batch(chunk, &ks);
+        let r = engine.run_traversal_batch(chunk, &ks).unwrap();
         out.extend(r.per_lane_visited);
     }
     out

@@ -139,7 +139,7 @@ mod tests {
     fn vc_bfs_agrees_with_engine() {
         let (_, e) = engine(51, 3);
         let depths = e.run_vertex_program(&VcBfs { source: 2 });
-        let batch = e.run_traversal_batch(&[2], &[u32::MAX]);
+        let batch = e.run_traversal_batch(&[2], &[u32::MAX]).unwrap();
         let reached = depths.iter().filter(|&&d| d != u64::MAX).count() as u64;
         assert_eq!(reached, batch.per_lane_visited[0]);
     }

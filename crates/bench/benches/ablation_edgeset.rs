@@ -43,7 +43,9 @@ fn bench_edgeset(c: &mut Criterion) {
         );
         let tiles: usize = engine.shards().iter().map(|s| s.out_sets().sets().len()).sum();
         eprintln!("[A3] policy {name}: {tiles} tiles total");
-        group.bench_function(name, |b| b.iter(|| engine.run_traversal_batch(&sources, &ks)));
+        group.bench_function(name, |b| {
+            b.iter(|| engine.run_traversal_batch(&sources, &ks).unwrap())
+        });
     }
     group.finish();
 }

@@ -26,7 +26,9 @@ fn bench_frontier(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("frontier_64x3hop");
     group.sample_size(10);
-    group.bench_function("bit_batch", |b| b.iter(|| engine.run_traversal_batch(&sources, &ks)));
+    group.bench_function("bit_batch", |b| {
+        b.iter(|| engine.run_traversal_batch(&sources, &ks).unwrap())
+    });
     group.bench_function("queue_serial", |b| {
         b.iter(|| {
             for &s in &sources {

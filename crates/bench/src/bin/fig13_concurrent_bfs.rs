@@ -34,7 +34,7 @@ fn main() {
         let mut sim_total = Duration::ZERO;
         for chunk in sources[..count].chunks(64) {
             let ks = vec![u32::MAX; chunk.len()];
-            let r = engine.run_traversal_batch(chunk, &ks);
+            let r = engine.run_traversal_batch(chunk, &ks).unwrap();
             sim_total += r.sim_exec_time();
         }
         let cg_wall = t0.elapsed();

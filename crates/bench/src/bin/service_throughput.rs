@@ -52,7 +52,8 @@ fn main() {
     let t0 = Instant::now();
     let mut visited_spawn = 0u64;
     for (srcs, ks) in &batches {
-        visited_spawn += engine.run_traversal_batch(srcs, ks).per_lane_visited.iter().sum::<u64>();
+        visited_spawn +=
+            engine.run_traversal_batch(srcs, ks).unwrap().per_lane_visited.iter().sum::<u64>();
     }
     let spawn_wall = t0.elapsed();
 

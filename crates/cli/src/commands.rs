@@ -2,7 +2,9 @@
 
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
-use cgraph_core::{FaultPlan, KhopQuery, QueryService, RecoveryConfig, ServiceConfig};
+use cgraph_core::{
+    FaultPlan, KhopQuery, QueryService, RecoveryConfig, SchedulerConfig, ServiceConfig,
+};
 use cgraph_obs::{Obs, TraceSink};
 use cgraph_ql::Session;
 use std::io::Read;
@@ -139,6 +141,7 @@ pub fn bench(args: Args) -> Result<(), String> {
 /// Flags shared by `serve` and `replay` for [`start_service`].
 const SERVICE_FLAGS: &[&str] = &[
     "-p",
+    "--batch-width",
     "--delay-us",
     "--depth",
     "--chaos",
@@ -199,6 +202,10 @@ fn write_obs(out: &ObsOut) -> Result<(), String> {
 /// Builds a running [`QueryService`] from common serve/replay flags.
 fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryService, String> {
     let machines: usize = args.flag_parse("-p", 3)?;
+    let batch_width: usize = args.flag_parse("--batch-width", 64)?;
+    if !matches!(batch_width, 64 | 128 | 256 | 512) {
+        return Err(format!("bad --batch-width {batch_width}: must be 64, 128, 256 or 512"));
+    }
     let delay_us: u64 = args.flag_parse("--delay-us", 2000)?;
     let depth: usize = args.flag_parse("--depth", 1024)?;
     let fault_plan = match args.flag("--chaos") {
@@ -214,6 +221,7 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
     Ok(QueryService::start(
         engine,
         ServiceConfig {
+            scheduler: SchedulerConfig { batch_lanes: batch_width, ..Default::default() },
             max_batch_delay: Duration::from_micros(delay_us),
             max_queue_depth: depth,
             fault_plan,
@@ -276,9 +284,9 @@ fn print_service_stats(service: &QueryService) {
     }
 }
 
-/// `cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]
-/// [--chaos SPEC] [--deadline-ms MS] [--retries N] [--ckpt-interval K]
-/// [--degrade-after N]`
+/// `cgraph serve <FILE> [-p MACHINES] [--batch-width W] [--delay-us D]
+/// [--depth N] [--chaos SPEC] [--deadline-ms MS] [--retries N]
+/// [--ckpt-interval K] [--degrade-after N]`
 ///
 /// Reads queries from stdin, one per line: one or more source vertices
 /// followed by the hop count (`7 3` = 3 hops from vertex 7;
@@ -334,9 +342,16 @@ pub fn serve(args: Args) -> Result<(), String> {
         let k = parse(tokens[tokens.len() - 1])? as u32;
         let sources: Vec<u64> =
             tokens[..tokens.len() - 1].iter().map(|t| parse(t)).collect::<Result<_, _>>()?;
-        let ticket = service.submit(KhopQuery::multi(id, sources, k)).map_err(|e| e.to_string())?;
-        tx.send((id, ticket)).expect("printer thread alive");
-        id += 1;
+        // A rejected query (e.g. a source outside the vertex range)
+        // fails only its own line; the stream keeps serving.
+        match service.submit(KhopQuery::multi(id, sources, k)) {
+            Ok(ticket) => {
+                tx.send((id, ticket)).expect("printer thread alive");
+                id += 1;
+            }
+            Err(cgraph_core::ServiceError::ShutDown) => return Err("service shut down".into()),
+            Err(e) => eprintln!("cgraph: rejected {:?}: {e}", line.trim()),
+        }
     }
     drop(tx);
     printer.join().expect("printer thread panicked");
@@ -347,9 +362,10 @@ pub fn serve(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `cgraph replay <FILE> [-p M] [-q N] [-k K] [--rate QPS] [--delay-us D]
-/// [--depth N] [--chaos SPEC] [--deadline-ms MS] [--retries N]
-/// [--ckpt-interval K] [--degrade-after N]`
+/// `cgraph replay <FILE> [-p M] [-q N] [-k K] [--rate QPS]
+/// [--batch-width W] [--delay-us D] [--depth N] [--chaos SPEC]
+/// [--deadline-ms MS] [--retries N] [--ckpt-interval K]
+/// [--degrade-after N]`
 ///
 /// Open-loop load generator: replays a deterministic stream of `N`
 /// k-hop queries through the streaming service at `--rate` queries/sec

@@ -73,6 +73,11 @@ USAGE:
   cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]   (queries on stdin: \"SRC.. K\")
   cgraph replay <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS] [--rate QPS]
 
+SERVICE BATCHING (serve & replay):
+  --batch-width W    packed traversal width: 64, 128, 256 or 512 lanes
+                     per batch (default 64); the memory budget may
+                     step a wide batch back down
+
 SERVICE ROBUSTNESS (serve & replay):
   --chaos SPEC       deterministic fault plan, e.g.
                      \"seed=7,crash=1@3,drop=0.01,heal=1,jobs=0..4\"

@@ -23,6 +23,10 @@ pub struct Reduction {
     pub or: u64,
 }
 
+/// Word count of the wide bitwise-OR reduction: enough for the widest
+/// lane batch (512 lanes = 8 × 64-bit activity words).
+pub const REDUCE_WORDS: usize = 8;
+
 struct State {
     /// Threads still to arrive in the current generation.
     remaining: usize,
@@ -32,8 +36,13 @@ struct State {
     max: u64,
     /// Accumulated bitwise-OR contribution of the current generation.
     or: u64,
+    /// Accumulated wide bitwise-OR contribution (multi-word lane
+    /// masks) of the current generation.
+    or_words: [u64; REDUCE_WORDS],
     /// Results of the last completed generation.
     result: Reduction,
+    /// Wide-OR result of the last completed generation.
+    result_words: [u64; REDUCE_WORDS],
     /// Flips every generation (sense reversal).
     generation: u64,
     /// Set when a participant died mid-computation; every current and
@@ -73,7 +82,9 @@ impl ReduceBarrier {
                 sum: 0,
                 max: 0,
                 or: 0,
+                or_words: [0; REDUCE_WORDS],
                 result: Reduction::default(),
+                result_words: [0; REDUCE_WORDS],
                 generation: 0,
                 poisoned: false,
             }),
@@ -136,6 +147,34 @@ impl ReduceBarrier {
     /// consumed by a generation that never completed; the barrier is
     /// unusable from then on, matching the panic path.
     pub fn try_wait_reduce(&self, contribution: u64) -> Result<Reduction, BarrierPoisoned> {
+        self.try_wait_inner(contribution, &[0; REDUCE_WORDS]).map(|(r, _)| r)
+    }
+
+    /// Wide variant of [`ReduceBarrier::try_wait_reduce`]: all parties
+    /// contribute an up-to-512-bit activity mask as
+    /// [`REDUCE_WORDS`] × `u64`, and every party receives the
+    /// word-wise bitwise OR. All parties of a generation must use the
+    /// same variant (the rendezvous itself is shared either way).
+    pub fn try_wait_reduce_words(
+        &self,
+        words: [u64; REDUCE_WORDS],
+    ) -> Result<[u64; REDUCE_WORDS], BarrierPoisoned> {
+        self.try_wait_inner(0, &words).map(|(_, w)| w)
+    }
+
+    /// Panicking wrapper around [`ReduceBarrier::try_wait_reduce_words`].
+    pub fn wait_reduce_words(&self, words: [u64; REDUCE_WORDS]) -> [u64; REDUCE_WORDS] {
+        match self.try_wait_reduce_words(words) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_wait_inner(
+        &self,
+        contribution: u64,
+        words: &[u64; REDUCE_WORDS],
+    ) -> Result<(Reduction, [u64; REDUCE_WORDS]), BarrierPoisoned> {
         let mut s = self.state.lock();
         if s.poisoned {
             return Err(BarrierPoisoned);
@@ -144,18 +183,23 @@ impl ReduceBarrier {
         s.sum = s.sum.wrapping_add(contribution);
         s.max = s.max.max(contribution);
         s.or |= contribution;
+        for (acc, w) in s.or_words.iter_mut().zip(words) {
+            *acc |= w;
+        }
         s.remaining -= 1;
         if s.remaining == 0 {
             // Last arriver publishes the result and opens the next
             // generation.
             s.result = Reduction { sum: s.sum, max: s.max, or: s.or };
+            s.result_words = s.or_words;
             s.sum = 0;
             s.max = 0;
             s.or = 0;
+            s.or_words = [0; REDUCE_WORDS];
             s.remaining = self.parties;
             s.generation = gen.wrapping_add(1);
             self.cvar.notify_all();
-            Ok(s.result)
+            Ok((s.result, s.result_words))
         } else {
             while s.generation == gen && !s.poisoned {
                 self.cvar.wait(&mut s);
@@ -163,7 +207,7 @@ impl ReduceBarrier {
             if s.generation == gen {
                 return Err(BarrierPoisoned);
             }
-            Ok(s.result)
+            Ok((s.result, s.result_words))
         }
     }
 
@@ -300,6 +344,32 @@ mod tests {
         let theirs = t.join().unwrap();
         assert_eq!(mine, theirs);
         assert_eq!((mine.sum, mine.max, mine.or), (13, 9, 9 | 4));
+    }
+
+    #[test]
+    fn words_reduce_ors_every_word() {
+        let b = Arc::new(ReduceBarrier::new(3));
+        let handles: Vec<_> = (0..3usize)
+            .map(|i| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    let mut words = [0u64; REDUCE_WORDS];
+                    words[i] = 1 << i;
+                    words[REDUCE_WORDS - 1] = 1 << (16 + i);
+                    b.try_wait_reduce_words(words).unwrap()
+                })
+            })
+            .collect();
+        let mut expect = [0u64; REDUCE_WORDS];
+        expect[0] = 1;
+        expect[1] = 2;
+        expect[2] = 4;
+        expect[REDUCE_WORDS - 1] = (1 << 16) | (1 << 17) | (1 << 18);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+        // Generations interleave with the scalar variant cleanly.
+        assert_eq!(b.generations(), 1);
     }
 
     #[test]

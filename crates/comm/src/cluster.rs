@@ -237,6 +237,34 @@ impl<M: WireSize> CommHandle<M> {
         out
     }
 
+    /// Wide reducing barrier: every machine contributes an
+    /// up-to-512-bit lane-activity mask
+    /// ([`crate::barrier::REDUCE_WORDS`] × `u64`) and receives the
+    /// word-wise bitwise OR across the cluster.
+    pub fn barrier_reduce_words(
+        &self,
+        words: [u64; crate::barrier::REDUCE_WORDS],
+    ) -> [u64; crate::barrier::REDUCE_WORDS] {
+        self.flush_holdback();
+        self.barrier.wait_reduce_words(words)
+    }
+
+    /// Non-panicking variant of [`CommHandle::barrier_reduce_words`]:
+    /// `Err` when a peer died.
+    pub fn try_barrier_reduce_words(
+        &self,
+        words: [u64; crate::barrier::REDUCE_WORDS],
+    ) -> Result<[u64; crate::barrier::REDUCE_WORDS], BarrierPoisoned> {
+        self.flush_holdback();
+        let out = self.barrier.try_wait_reduce_words(words);
+        if out.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.note_barrier_poisoned();
+            }
+        }
+        out
+    }
+
     /// Marks this machine idle/busy for async termination detection.
     pub fn set_idle(&self, idle: bool) {
         if idle {

@@ -58,7 +58,7 @@ pub mod obs;
 pub mod persistent;
 
 pub use async_rt::TerminationDetector;
-pub use barrier::{BarrierPoisoned, ReduceBarrier, Reduction};
+pub use barrier::{BarrierPoisoned, ReduceBarrier, Reduction, REDUCE_WORDS};
 pub use chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
 pub use cluster::{Cluster, CommHandle};
 pub use cputime::thread_cpu_time;

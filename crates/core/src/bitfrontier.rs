@@ -1,27 +1,28 @@
 //! Bit-packed concurrent traversal state (§3.5, Fig. 6).
 //!
-//! Up to 64 queries form a *batch*; each query owns one bit lane. Per
-//! local vertex the shard keeps three words — `frontier`, `next`
-//! (frontierNext) and `visited` — so one memory load reads a vertex's
-//! membership in all 64 concurrent frontiers at once. A traversal hop
-//! is then:
+//! Up to [`MAX_LANES`](cgraph_graph::MAX_LANES) queries form a *batch*;
+//! each query owns one bit lane. Per local vertex the shard keeps three
+//! word groups — `frontier`, `next` (frontierNext) and `visited` — of
+//! `W/64` words each, where `W ∈ {64, 128, 256, 512}` is the batch
+//! width, so one row read covers a vertex's membership in every
+//! concurrent frontier at once. A traversal hop is then:
 //!
-//! 1. **Scan**: for every tile row `v` with `frontier[v] != 0`, OR the
-//!    word into `next[t]` for each local neighbour `t`, or emit
-//!    `(t, word)` to the owner machine for remote neighbours. Shared
+//! 1. **Scan**: for every tile row `v` with a non-zero `frontier` row,
+//!    OR the row into `next[t]` for each local neighbour `t`, or emit
+//!    `(t, row)` to the owner machine for remote neighbours. Shared
 //!    neighbours of shared frontiers cost a single pass — the
 //!    "one traversal on these two vertices" sharing of Fig. 3b.
-//! 2. **Absorb**: OR remote words received from peers into `next`.
+//! 2. **Absorb**: OR remote lane masks received from peers into `next`.
 //! 3. **Advance**: `new = next & !visited`; `visited |= new`;
 //!    `frontier = new`; count newly visited vertices per lane.
 //!
 //! The state is per-shard; [`crate::engine`] wires shards together.
 
 use crate::shard::Shard;
-use cgraph_graph::bitmap::{LaneMatrix, LANES};
+use cgraph_graph::bitmap::{LaneMask, LaneMatrix, LaneWidth};
 use cgraph_graph::VertexId;
 
-/// Per-shard traversal state for one 64-query batch.
+/// Per-shard traversal state for one query batch of runtime width.
 #[derive(Debug)]
 pub struct BitFrontier {
     frontier: LaneMatrix,
@@ -29,37 +30,59 @@ pub struct BitFrontier {
     visited: LaneMatrix,
     base: VertexId,
     num_local: usize,
+    /// Live lanes in this batch (`lanes <= width.bits()`).
+    lanes: usize,
+    width: LaneWidth,
+    /// Mask with the low `lanes` bits set.
+    all_lanes: LaneMask,
 }
 
 /// Outcome of one [`BitFrontier::advance`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdvanceResult {
-    /// OR of all new frontier words: bit `q` set ⇔ query `q` still has
+    /// OR of all new frontier rows: lane `q` set ⇔ query `q` still has
     /// local frontier vertices.
-    pub active_lanes: u64,
-    /// Newly visited vertices per lane this hop.
+    pub active_lanes: LaneMask,
+    /// Newly visited vertices per lane this hop (length = batch
+    /// width in bits).
     pub new_per_lane: Vec<u64>,
     /// Total local frontier vertices after the advance.
     pub frontier_vertices: u64,
 }
 
 impl BitFrontier {
-    /// Creates zeroed state for a shard's local range.
-    pub fn new(shard: &Shard) -> Self {
+    /// Creates zeroed state for a shard's local range, sized for a
+    /// batch of `lanes` queries (the width rounds up to the narrowest
+    /// supported `W`).
+    pub fn new(shard: &Shard, lanes: usize) -> Self {
         let num_local = shard.num_local();
+        let width = LaneWidth::for_lanes(lanes);
         Self {
-            frontier: LaneMatrix::new(num_local),
-            next: LaneMatrix::new(num_local),
-            visited: LaneMatrix::new(num_local),
+            frontier: LaneMatrix::with_width(num_local, width),
+            next: LaneMatrix::with_width(num_local, width),
+            visited: LaneMatrix::with_width(num_local, width),
             base: shard.local_range().start,
             num_local,
+            lanes,
+            width,
+            all_lanes: LaneMask::all(lanes),
         }
+    }
+
+    /// The batch width backing this state.
+    pub fn width(&self) -> LaneWidth {
+        self.width
+    }
+
+    /// Live lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Seeds query lane `lane` at local-owned global vertex `v`: the
     /// source enters both `frontier` and `visited`.
     pub fn seed(&mut self, v: VertexId, lane: usize) {
-        debug_assert!(lane < LANES);
+        debug_assert!(lane < self.lanes);
         let l = (v - self.base) as usize;
         self.frontier.set(l, lane);
         self.visited.set(l, lane);
@@ -70,47 +93,58 @@ impl BitFrontier {
         self.frontier.all_zero()
     }
 
-    /// The frontier word of a local-owned global vertex (tests).
+    /// The frontier word of a local-owned global vertex
+    /// (single-word batches; tests).
     pub fn frontier_word(&self, v: VertexId) -> u64 {
         self.frontier.word((v - self.base) as usize)
     }
 
-    /// The visited word of a local-owned global vertex.
+    /// The visited word of a local-owned global vertex
+    /// (single-word batches; tests).
     pub fn visited_word(&self, v: VertexId) -> u64 {
         self.visited.word((v - self.base) as usize)
     }
 
     /// Clears every frontier lane not present in `keep` — used by the
     /// engine to retire lanes whose hop budget (`k`) is exhausted while
-    /// other lanes in the batch keep traversing.
-    pub fn mask_frontier(&mut self, keep: u64) {
-        if keep != u64::MAX {
-            for w in self.frontier.words_mut() {
-                *w &= keep;
+    /// other lanes in the batch keep traversing. Skipped entirely when
+    /// `keep` covers every live lane of the batch (no lane retired), so
+    /// steady-state supersteps never pay the matrix pass — regardless
+    /// of how many of the width's bits the batch actually uses.
+    pub fn mask_frontier(&mut self, keep: &LaneMask) {
+        debug_assert_eq!(keep.width(), self.width);
+        if keep.covers(&self.all_lanes) {
+            return;
+        }
+        let stride = self.width.words();
+        let keep_words = keep.words();
+        for row in self.frontier.words_mut().chunks_exact_mut(stride) {
+            for (w, &k) in row.iter_mut().zip(keep_words) {
+                *w &= k;
             }
         }
     }
 
     /// Scan phase: walks the shard's edge-set tiles in row-major order.
     /// Local destinations accumulate into `next`; remote destinations
-    /// are handed to `remote` as `(global_dst, lane_word)` — the
+    /// are handed to `remote` as `(global_dst, lane_mask)` — the
     /// engine coalesces them per owner into the remote task buffer.
     ///
     /// Returns the number of (row, tile) pairs actually scanned — the
-    /// work metric the edge-set ablation reports.
-    pub fn scan(&mut self, shard: &Shard, mut remote: impl FnMut(VertexId, u64)) -> u64 {
+    /// work metric the edge-set and lane-width ablations report.
+    pub fn scan(&mut self, shard: &Shard, mut remote: impl FnMut(VertexId, &LaneMask)) -> u64 {
         let mut scanned = 0u64;
         let base = self.base;
         let next = &mut self.next;
         let frontier = &self.frontier;
         for set in shard.out_sets().sets() {
             // Restrict to rows in the frontier: iterate the tile's row
-            // range and skip zero words early — one branch per row.
+            // range and skip zero rows early — one branch per row.
             let row_start = set.row_range.start;
             let row_end = set.row_range.end;
             for v in row_start..row_end {
-                let w = frontier.word((v - base) as usize);
-                if w == 0 {
+                let row = frontier.row((v - base) as usize);
+                if row.iter().all(|&w| w == 0) {
                     continue;
                 }
                 let ts = set.neighbors(v);
@@ -118,11 +152,12 @@ impl BitFrontier {
                     continue;
                 }
                 scanned += 1;
+                let w = LaneMask::from_words(row);
                 for &t in ts {
                     if shard.is_local(t) {
-                        next.or_new((t - base) as usize, w);
+                        next.or_row((t - base) as usize, &w);
                     } else {
-                        remote(t, w);
+                        remote(t, &w);
                     }
                 }
             }
@@ -130,47 +165,59 @@ impl BitFrontier {
         scanned
     }
 
-    /// Absorb phase: ORs a remote word into `next` for a local-owned
-    /// destination.
+    /// Absorb phase: ORs a remote lane mask into `next` for a
+    /// local-owned destination.
     #[inline]
-    pub fn absorb(&mut self, v: VertexId, word: u64) {
-        self.next.or_new((v - self.base) as usize, word);
+    pub fn absorb(&mut self, v: VertexId, mask: &LaneMask) {
+        self.next.or_row((v - self.base) as usize, mask);
     }
 
     /// Advance phase: filters `next` against `visited`, promotes the
     /// survivors to the new frontier, and counts per-lane discoveries.
     pub fn advance(&mut self) -> AdvanceResult {
-        let mut active = 0u64;
-        let mut per_lane = vec![0u64; LANES];
+        let stride = self.width.words();
+        let mut active = LaneMask::zero(self.width);
+        let mut per_lane = vec![0u64; self.width.bits()];
         let mut frontier_vertices = 0u64;
         let frontier = self.frontier.words_mut();
         let next = self.next.words_mut();
         let visited = self.visited.words_mut();
+        let active_words = &mut active;
         for i in 0..self.num_local {
-            let new = next[i] & !visited[i];
-            next[i] = 0;
-            frontier[i] = new;
-            if new != 0 {
-                visited[i] |= new;
-                active |= new;
-                frontier_vertices += 1;
-                let mut bits = new;
-                while bits != 0 {
-                    per_lane[bits.trailing_zeros() as usize] += 1;
-                    bits &= bits - 1;
+            let off = i * stride;
+            let mut any = 0u64;
+            for j in 0..stride {
+                let new = next[off + j] & !visited[off + j];
+                next[off + j] = 0;
+                frontier[off + j] = new;
+                if new != 0 {
+                    visited[off + j] |= new;
+                    any |= new;
+                    let mut bits = new;
+                    while bits != 0 {
+                        per_lane[j * 64 + bits.trailing_zeros() as usize] += 1;
+                        bits &= bits - 1;
+                    }
                 }
+            }
+            if any != 0 {
+                frontier_vertices += 1;
+                active_words.or_assign(&LaneMask::from_words(&frontier[off..off + stride]));
             }
         }
         AdvanceResult { active_lanes: active, new_per_lane: per_lane, frontier_vertices }
     }
 
-    /// Per-lane counts of *currently visited* local vertices.
+    /// Per-lane counts of *currently visited* local vertices (length =
+    /// batch width in bits).
     pub fn visited_per_lane(&self) -> Vec<u64> {
-        let mut per_lane = vec![0u64; LANES];
-        for &w in self.visited.words() {
+        let stride = self.width.words();
+        let mut per_lane = vec![0u64; self.width.bits()];
+        for (wi, &w) in self.visited.words().iter().enumerate() {
+            let j = wi % stride;
             let mut bits = w;
             while bits != 0 {
-                per_lane[bits.trailing_zeros() as usize] += 1;
+                per_lane[j * 64 + bits.trailing_zeros() as usize] += 1;
                 bits &= bits - 1;
             }
         }
@@ -189,16 +236,30 @@ impl BitFrontier {
     /// Snapshots the `(frontier, visited)` words — the complete
     /// traversal state at a superstep boundary (`next` is always zero
     /// there, having just been promoted by [`BitFrontier::advance`]).
-    /// This is the checkpoint payload of the recovery layer.
+    /// This is the checkpoint payload of the recovery layer; each
+    /// vector holds `num_local × width.words()` words.
     pub fn snapshot_words(&self) -> (Vec<u64>, Vec<u64>) {
         (self.frontier.words().to_vec(), self.visited.words().to_vec())
     }
 
     /// Restores state captured by [`BitFrontier::snapshot_words`];
     /// `next` is cleared (a boundary has no pending accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot was taken at a different batch width —
+    /// a checkpoint of one width can never resume a batch of another.
     pub fn restore_words(&mut self, frontier: &[u64], visited: &[u64]) {
-        assert_eq!(frontier.len(), self.num_local);
-        assert_eq!(visited.len(), self.num_local);
+        let expect = self.num_local * self.width.words();
+        assert_eq!(
+            frontier.len(),
+            expect,
+            "snapshot width mismatch: {} words for {} local vertices at width {} (want {expect})",
+            frontier.len(),
+            self.num_local,
+            self.width.bits(),
+        );
+        assert_eq!(visited.len(), expect, "snapshot width mismatch (visited)");
         self.frontier.words_mut().copy_from_slice(frontier);
         self.visited.words_mut().copy_from_slice(visited);
         self.next.clear_all();
@@ -212,7 +273,7 @@ impl BitFrontier {
         self.next.clear_all();
     }
 
-    /// Heap bytes held (3 words per local vertex).
+    /// Heap bytes held (3 × `width.words()` words per local vertex).
     pub fn size_bytes(&self) -> usize {
         self.frontier.size_bytes() + self.next.size_bytes() + self.visited.size_bytes()
     }
@@ -230,16 +291,21 @@ mod tests {
         Shard::build(0, &part, edges.edges(), ConsolidationPolicy::default(), false)
     }
 
+    /// A 64-wide mask from a single word.
+    fn m64(w: u64) -> LaneMask {
+        LaneMask::from_words(&[w])
+    }
+
     #[test]
     fn one_query_one_hop() {
         // 0 -> 1 -> 2
         let g: EdgeList = [(0u64, 1u64), (1, 2)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
         bf.scan(&shard, |_, _| panic!("no remote on single shard"));
         let r = bf.advance();
-        assert_eq!(r.active_lanes, 1);
+        assert_eq!(r.active_lanes, m64(1));
         assert_eq!(r.new_per_lane[0], 1); // vertex 1
         assert_eq!(bf.frontier_word(1), 1);
         // second hop reaches 2
@@ -249,7 +315,7 @@ mod tests {
         // third hop: nothing new
         bf.scan(&shard, |_, _| unreachable!());
         let r = bf.advance();
-        assert_eq!(r.active_lanes, 0);
+        assert!(r.active_lanes.is_zero());
     }
 
     #[test]
@@ -258,7 +324,7 @@ mod tests {
         // 2 and must both discover 3 in the same pass.
         let g: EdgeList = [(0u64, 2u64), (1, 2), (2, 3)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 2);
         bf.seed(0, 0);
         bf.seed(1, 1);
         bf.scan(&shard, |_, _| unreachable!());
@@ -278,14 +344,14 @@ mod tests {
         // Cycle 0 -> 1 -> 0: after visiting both, traversal stops.
         let g: EdgeList = [(0u64, 1u64), (1, 0)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 5);
         bf.scan(&shard, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(r.new_per_lane[5], 1);
         bf.scan(&shard, |_, _| unreachable!());
         let r = bf.advance();
-        assert_eq!(r.active_lanes, 0, "source must not be revisited");
+        assert!(r.active_lanes.is_zero(), "source must not be revisited");
     }
 
     #[test]
@@ -295,11 +361,11 @@ mod tests {
         g.set_num_vertices(10);
         let part = RangePartition::by_vertices(10, 2);
         let shard = Shard::build(0, &part, g.edges(), ConsolidationPolicy::default(), false);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 2);
         bf.seed(0, 0);
         bf.seed(1, 1);
         let mut remote = Vec::new();
-        bf.scan(&shard, |t, w| remote.push((t, w)));
+        bf.scan(&shard, |t, w| remote.push((t, w.words()[0])));
         remote.sort_unstable();
         assert_eq!(remote, vec![(5, 0b01), (5, 0b10)]);
     }
@@ -311,10 +377,10 @@ mod tests {
         g.set_num_vertices(10);
         let part = RangePartition::by_vertices(10, 2);
         let shard = Shard::build(1, &part, g.edges(), ConsolidationPolicy::default(), false);
-        let mut bf = BitFrontier::new(&shard);
-        bf.absorb(5, 0b100);
+        let mut bf = BitFrontier::new(&shard, 64);
+        bf.absorb(5, &m64(0b100));
         let r = bf.advance();
-        assert_eq!(r.active_lanes, 0b100);
+        assert_eq!(r.active_lanes, m64(0b100));
         assert_eq!(bf.frontier_word(5), 0b100);
         // the absorbed vertex now traverses locally
         bf.scan(&shard, |_, _| unreachable!());
@@ -327,7 +393,7 @@ mod tests {
     fn per_lane_counts_match_visited() {
         let g: EdgeList = [(0u64, 1u64), (0, 2), (1, 3), (2, 3), (3, 4)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 1);
         bf.seed(0, 0);
         let mut total = [1u64; 1]; // source counted
         for _ in 0..4 {
@@ -343,7 +409,7 @@ mod tests {
     fn snapshot_restore_round_trips_mid_traversal() {
         let g: EdgeList = [(0u64, 1u64), (0, 2), (1, 3), (2, 3), (3, 4)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
         bf.scan(&shard, |_, _| unreachable!());
         bf.advance();
@@ -359,7 +425,7 @@ mod tests {
 
         // Restore into *dirty* state (mid-superstep, next half-full)
         // and replay: the trajectory must be identical.
-        let mut bf2 = BitFrontier::new(&shard);
+        let mut bf2 = BitFrontier::new(&shard, 64);
         bf2.seed(0, 0);
         bf2.scan(&shard, |_, _| unreachable!());
         bf2.restore_words(&front, &vis);
@@ -374,24 +440,79 @@ mod tests {
     fn clear_next_discards_partial_scan() {
         let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
         bf.scan(&shard, |_, _| unreachable!());
         bf.clear_next();
         let r = bf.advance();
-        assert_eq!(r.active_lanes, 0, "cleared next must yield no discoveries");
+        assert!(r.active_lanes.is_zero(), "cleared next must yield no discoveries");
     }
 
     #[test]
     fn reset_clears_everything() {
         let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
         let shard = single_shard(&g);
-        let mut bf = BitFrontier::new(&shard);
+        let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
         bf.scan(&shard, |_, _| unreachable!());
         bf.advance();
         bf.reset();
         assert!(bf.frontier_empty());
         assert_eq!(bf.visited_per_lane()[0], 0);
+    }
+
+    #[test]
+    fn wide_batch_lanes_above_64_traverse_independently() {
+        // 0 -> 1 -> 2; lanes 0 and 100 traverse the same graph and
+        // must see identical per-lane trajectories.
+        let g: EdgeList = [(0u64, 1u64), (1, 2)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard, 128);
+        assert_eq!(bf.width().bits(), 128);
+        bf.seed(0, 0);
+        bf.seed(0, 100);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert!(r.active_lanes.get(0) && r.active_lanes.get(100));
+        assert_eq!(r.new_per_lane[0], 1);
+        assert_eq!(r.new_per_lane[100], 1);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert_eq!(r.new_per_lane[100], 1);
+        let visited = bf.visited_per_lane();
+        assert_eq!(visited[0], 3);
+        assert_eq!(visited[100], 3);
+        assert_eq!(visited[1], 0);
+    }
+
+    #[test]
+    fn mask_frontier_retires_wide_lanes() {
+        let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let shard = single_shard(&g);
+        let mut bf = BitFrontier::new(&shard, 128);
+        bf.seed(0, 3);
+        bf.seed(0, 90);
+        // Keeping every live lane is a no-op (early-out path).
+        bf.mask_frontier(&LaneMask::all(128));
+        assert!(!bf.frontier_empty());
+        // Retire lane 90 only.
+        let mut keep = LaneMask::zero(LaneWidth::new(128).unwrap());
+        keep.set(3);
+        bf.mask_frontier(&keep);
+        bf.scan(&shard, |_, _| unreachable!());
+        let r = bf.advance();
+        assert!(r.active_lanes.get(3));
+        assert!(!r.active_lanes.get(90), "retired lane must not advance");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot width mismatch")]
+    fn restore_rejects_width_mismatch() {
+        let g: EdgeList = [(0u64, 1u64)].into_iter().collect();
+        let shard = single_shard(&g);
+        let narrow = BitFrontier::new(&shard, 64);
+        let (front, vis) = narrow.snapshot_words();
+        let mut wide = BitFrontier::new(&shard, 128);
+        wide.restore_words(&front, &vis);
     }
 }

@@ -4,8 +4,9 @@
 //! simulated machine) and exposes the execution paths of the paper:
 //!
 //! * [`DistributedEngine::run_traversal_batch`] — the optimized
-//!   concurrent path: up to 64 k-hop traversals as bit lanes over the
-//!   shared edge-set scan (§3.5),
+//!   concurrent path: up to [`MAX_LANES`] k-hop traversals as bit
+//!   lanes over the shared edge-set scan (§3.5), at a runtime batch
+//!   width `W ∈ {64, 128, 256, 512}`,
 //! * [`DistributedEngine::run_single_queue`] — the queue-based
 //!   `Traverse` of Listing 2, one query at a time, in synchronous or
 //!   asynchronous mode (§3.3),
@@ -29,8 +30,7 @@ use crate::traverse::{QueueTraversal, ValueMode};
 use cgraph_comm::chaos::{ChaosRun, FaultPlan};
 use cgraph_comm::cluster::TrafficReport;
 use cgraph_comm::{Cluster, ClusterError, CommHandle, MachineObs, PersistentCluster, WireSize};
-use cgraph_graph::bitmap::LANES;
-use cgraph_graph::{Edge, EdgeList, VertexId};
+use cgraph_graph::{Edge, EdgeList, LaneMask, LaneWidth, VertexId, MAX_LANES};
 use cgraph_obs::{log2_edges, Counter, Histogram, TraceCtx, Tracer, COORD};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -40,8 +40,9 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug)]
 pub enum EngineMsg {
     /// Batched remote frontier updates: `(global dst, lane mask)` —
-    /// the remote task buffer of the bit-frontier path.
-    Frontier(Vec<(u64, u64)>),
+    /// the remote task buffer of the bit-frontier path. The mask width
+    /// is uniform per batch (every machine runs the same batch).
+    Frontier(Vec<(u64, LaneMask)>),
     /// Batched remote tasks `(global dst, depth)` — queue-based path.
     Task(Vec<(u64, u32)>),
     /// Partition-centric messages `(dst vertex, payload word)`.
@@ -53,7 +54,10 @@ pub enum EngineMsg {
 impl WireSize for EngineMsg {
     fn wire_size(&self) -> usize {
         match self {
-            EngineMsg::Frontier(v) => v.len() * 16,
+            // 8-byte vertex id + W/8 mask bytes per entry.
+            EngineMsg::Frontier(v) => {
+                v.first().map_or(0, |(_, m)| v.len() * (8 + 8 * m.words().len()))
+            }
             EngineMsg::Task(v) => v.len() * 12,
             EngineMsg::Pcm(v) => v.len() * 16,
             EngineMsg::Ranks(v) => v.len() * 16,
@@ -61,11 +65,91 @@ impl WireSize for EngineMsg {
     }
 }
 
-/// Result of one 64-lane traversal batch.
+/// Typed failure of a batch entry point.
+///
+/// Shape errors (`BadLaneCount`, `LaneBudgetMismatch`,
+/// `SourceOutOfRange`) are caller bugs caught *before* any machine
+/// thread runs — an out-of-range source would seed no shard while the
+/// result accounting still counted it, so it is rejected up front.
+/// `Cluster` wraps an execution-time [`ClusterError`] (machine panic,
+/// poisoned barrier) and is the only recoverable variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Lane count outside `1..=MAX_LANES`.
+    BadLaneCount {
+        /// Lanes requested.
+        lanes: usize,
+        /// Maximum supported width.
+        max: usize,
+    },
+    /// `sources` and `ks` disagree in length.
+    LaneBudgetMismatch {
+        /// `sources.len()`.
+        sources: usize,
+        /// `ks.len()`.
+        ks: usize,
+    },
+    /// A source vertex is outside the graph's vertex range.
+    SourceOutOfRange {
+        /// The offending lane.
+        lane: usize,
+        /// The out-of-range source.
+        source: VertexId,
+        /// The graph's vertex count.
+        num_vertices: u64,
+    },
+    /// The cluster failed mid-batch (machine death, poisoned barrier).
+    Cluster(ClusterError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadLaneCount { lanes, max } => {
+                write!(f, "batch lane count {lanes} outside 1..={max}")
+            }
+            EngineError::LaneBudgetMismatch { sources, ks } => {
+                write!(f, "{sources} sources but {ks} hop budgets")
+            }
+            EngineError::SourceOutOfRange { lane, source, num_vertices } => {
+                write!(f, "lane {lane} source {source} outside vertex range 0..{num_vertices}")
+            }
+            // Delegate: service error messages match on the inner text
+            // (e.g. "crashed at superstep").
+            EngineError::Cluster(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ClusterError> for EngineError {
+    fn from(e: ClusterError) -> Self {
+        EngineError::Cluster(e)
+    }
+}
+
+impl EngineError {
+    /// True for failures a retry/recovery pass can heal. Shape errors
+    /// are deterministic caller bugs: retrying cannot fix them.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            EngineError::Cluster(e) => e.is_recoverable(),
+            _ => false,
+        }
+    }
+}
+
+/// Result of one traversal batch (up to [`MAX_LANES`] lanes).
 #[derive(Clone, Debug)]
 pub struct BatchResult {
     /// Number of lanes actually used.
     pub lanes: usize,
+    /// Edge-set rows scanned across all machines and supersteps — the
+    /// shared-scan work metric of the lane-width ablation (wider
+    /// batches amortize each row over more queries, so scans *per
+    /// query* fall as width grows).
+    pub scans: u64,
     /// Distinct vertices reached per lane (sources included).
     pub per_lane_visited: Vec<u64>,
     /// `per_level[h][lane]` = vertices first reached at hop `h`
@@ -277,6 +361,7 @@ struct MachineOut {
     visited_local: Vec<u64>,
     lane_completion: Vec<Duration>,
     supersteps: u32,
+    scans: u64,
     busy: Duration,
 }
 
@@ -382,18 +467,29 @@ impl DistributedEngine {
     // Bit-frontier batched traversal (§3.5)
     // ------------------------------------------------------------------
 
-    /// Runs up to 64 concurrent k-hop traversals as one shared batch.
+    /// Runs up to [`MAX_LANES`] concurrent k-hop traversals as one
+    /// shared batch.
     ///
     /// `sources[i]` and `ks[i]` define lane `i`'s source vertex and hop
     /// budget (`u32::MAX` = full BFS). All lanes share every edge-set
-    /// scan — the core concurrency optimization of the paper.
-    pub fn run_traversal_batch(&self, sources: &[VertexId], ks: &[u32]) -> BatchResult {
-        let lanes = Self::check_batch(sources, ks);
+    /// scan — the core concurrency optimization of the paper. The bit
+    /// state is sized at the narrowest supported width
+    /// `W ∈ {64, 128, 256, 512}` that fits the lane count.
+    ///
+    /// Fails with a shape [`EngineError`] — without running anything —
+    /// when the lane count is out of range, `sources` and `ks`
+    /// disagree, or a source lies outside the vertex range.
+    pub fn run_traversal_batch(
+        &self,
+        sources: &[VertexId],
+        ks: &[u32],
+    ) -> Result<BatchResult, EngineError> {
+        let lanes = self.check_batch(sources, ks)?;
         let start = Instant::now();
         let (outs, traffic) = self
             .cluster()
             .run::<EngineMsg, MachineOut, _>(|h| self.batch_worker(sources, ks, None, h));
-        self.stitch_batch(outs, traffic, lanes, start.elapsed())
+        Ok(self.stitch_batch(outs, traffic, lanes, start.elapsed()))
     }
 
     /// [`DistributedEngine::run_traversal_batch`] on a caller-provided
@@ -408,7 +504,7 @@ impl DistributedEngine {
         cluster: &PersistentCluster,
         sources: &[VertexId],
         ks: &[u32],
-    ) -> Result<BatchResult, ClusterError> {
+    ) -> Result<BatchResult, EngineError> {
         self.run_traversal_batch_on_hooked(cluster, sources, ks, None)
     }
 
@@ -418,15 +514,16 @@ impl DistributedEngine {
     /// fault-injection seam: a hook that panics on a chosen machine
     /// reproduces "a machine died mid-batch" end to end (the panic is
     /// caught, the batch's barrier and detector are poisoned, and the
-    /// call returns [`ClusterError::MachinePanicked`]).
+    /// call returns [`ClusterError::MachinePanicked`] wrapped in
+    /// [`EngineError::Cluster`]).
     pub fn run_traversal_batch_on_hooked(
         &self,
         cluster: &PersistentCluster,
         sources: &[VertexId],
         ks: &[u32],
         hook: Option<&(dyn Fn(usize) + Sync)>,
-    ) -> Result<BatchResult, ClusterError> {
-        let lanes = Self::check_batch(sources, ks);
+    ) -> Result<BatchResult, EngineError> {
+        let lanes = self.check_batch(sources, ks)?;
         assert_eq!(
             cluster.num_machines(),
             self.config.num_machines,
@@ -438,11 +535,26 @@ impl DistributedEngine {
         Ok(self.stitch_batch(outs, traffic, lanes, start.elapsed()))
     }
 
-    /// Validates batch shape; returns the lane count.
-    fn check_batch(sources: &[VertexId], ks: &[u32]) -> usize {
-        assert!(!sources.is_empty() && sources.len() <= LANES, "1..=64 lanes per batch");
-        assert_eq!(sources.len(), ks.len());
-        sources.len()
+    /// Validates batch shape — lane count in `1..=MAX_LANES`, matching
+    /// hop budgets, every source inside the vertex range — and returns
+    /// the lane count. An out-of-range source would seed no shard while
+    /// the stitched result still counted it at level 0, so it is a hard
+    /// error here, before any machine thread runs.
+    fn check_batch(&self, sources: &[VertexId], ks: &[u32]) -> Result<usize, EngineError> {
+        let lanes = sources.len();
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err(EngineError::BadLaneCount { lanes, max: MAX_LANES });
+        }
+        if ks.len() != lanes {
+            return Err(EngineError::LaneBudgetMismatch { sources: lanes, ks: ks.len() });
+        }
+        let n = self.num_vertices();
+        for (lane, &src) in sources.iter().enumerate() {
+            if src >= n {
+                return Err(EngineError::SourceOutOfRange { lane, source: src, num_vertices: n });
+            }
+        }
+        Ok(lanes)
     }
 
     /// One machine's share of a bit-frontier batch: seed local lanes,
@@ -460,11 +572,22 @@ impl DistributedEngine {
         }
         let wobs = self.worker_obs(&h);
         let lanes = sources.len();
-        let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        let width = LaneWidth::for_lanes(lanes);
+        let all_lanes = LaneMask::all(lanes);
+        // Lanes with hop budget left for the expansion out of `hop`.
+        let budget_mask = |hop: u32| {
+            let mut m = LaneMask::zero(width);
+            for (lane, &k) in ks.iter().enumerate() {
+                if k > hop {
+                    m.set(lane);
+                }
+            }
+            m
+        };
         {
             let shard = &self.shards[h.id()];
             let t0 = Instant::now();
-            let mut bf = BitFrontier::new(shard);
+            let mut bf = BitFrontier::new(shard, lanes);
             for (lane, &src) in sources.iter().enumerate() {
                 if shard.is_local(src) {
                     bf.seed(src, lane);
@@ -472,12 +595,13 @@ impl DistributedEngine {
             }
             let mut per_level_local: Vec<Vec<u64>> = Vec::new();
             let mut lane_completion = vec![Duration::ZERO; lanes];
-            let mut completed = 0u64; // lanes recorded complete
-            let mut outbox: Vec<HashMap<u64, u64>> =
+            let mut completed = LaneMask::zero(width); // lanes recorded complete
+            let mut outbox: Vec<HashMap<u64, LaneMask>> =
                 (0..h.num_machines()).map(|_| HashMap::new()).collect();
             let cpu0 = cgraph_comm::thread_cpu_time();
             let mut hop: u32 = 0;
             let mut supersteps = 0u32;
+            let mut scans = 0u64;
             loop {
                 // Chaos seam: a plan can schedule this machine's death
                 // at superstep `hop`. Free without an armed plan.
@@ -485,19 +609,11 @@ impl DistributedEngine {
                 if let Some(w) = &wobs {
                     w.superstep_enter(hop);
                 }
-                // Lanes whose hop budget remains for this expansion.
-                let mut k_mask = 0u64;
-                for (lane, &k) in ks.iter().enumerate() {
-                    if k > hop {
-                        k_mask |= 1u64 << lane;
-                    }
-                }
-                let k_mask = k_mask & all_lanes_mask;
-                bf.mask_frontier(k_mask);
+                bf.mask_frontier(&budget_mask(hop));
 
-                bf.scan(shard, |t, w| {
+                scans += bf.scan(shard, |t, w| {
                     let owner = self.partition.owner(t);
-                    *outbox[owner].entry(t).or_insert(0) |= w;
+                    outbox[owner].entry(t).or_insert_with(|| LaneMask::zero(width)).or_assign(w);
                 });
                 for (m, buf) in outbox.iter_mut().enumerate() {
                     if !buf.is_empty() {
@@ -508,7 +624,7 @@ impl DistributedEngine {
                 for env in h.drain() {
                     if let EngineMsg::Frontier(batch) = env.payload {
                         for (v, w) in batch {
-                            bf.absorb(v, w);
+                            bf.absorb(v, &w);
                         }
                     }
                 }
@@ -520,27 +636,21 @@ impl DistributedEngine {
                 supersteps += 1;
                 hop += 1;
 
-                let global_active = h.barrier_reduce(adv.active_lanes).or;
+                let global_active = LaneMask::from_words(
+                    &h.barrier_reduce_words(adv.active_lanes.raw())[..width.words()],
+                );
                 // Next expansion only serves lanes with hop budget left.
-                let mut next_mask = 0u64;
-                for (lane, &k) in ks.iter().enumerate() {
-                    if k > hop {
-                        next_mask |= 1u64 << lane;
-                    }
-                }
-                let live = global_active & next_mask & all_lanes_mask;
+                let live = global_active.and(&budget_mask(hop)).and(&all_lanes);
                 // Record completion for lanes that just went quiet.
-                let newly_done = all_lanes_mask & !live & !completed;
-                if newly_done != 0 {
+                let newly_done = all_lanes.and_not(&live).and_not(&completed);
+                if !newly_done.is_zero() {
                     let now = t0.elapsed();
-                    let mut bits = newly_done;
-                    while bits != 0 {
-                        lane_completion[bits.trailing_zeros() as usize] = now;
-                        bits &= bits - 1;
+                    for lane in newly_done.iter_ones() {
+                        lane_completion[lane] = now;
                     }
-                    completed |= newly_done;
+                    completed.or_assign(&newly_done);
                 }
-                if live == 0 {
+                if live.is_zero() {
                     break;
                 }
             }
@@ -549,6 +659,7 @@ impl DistributedEngine {
                 visited_local: bf.visited_per_lane()[..lanes].to_vec(),
                 lane_completion,
                 supersteps,
+                scans,
                 busy: cgraph_comm::thread_cpu_time() - cpu0,
             }
         }
@@ -563,12 +674,20 @@ impl DistributedEngine {
         exec_time: Duration,
     ) -> BatchResult {
         // Stitch machine-local counts into global per-level/per-lane.
-        let supersteps = outs[0].supersteps;
+        // Supersteps are merged as a max across machines (a replayed or
+        // degraded partition may report fewer locally), never taken
+        // from machine 0 alone.
+        let supersteps = outs.iter().map(|o| o.supersteps).max().unwrap_or(0);
         let levels = outs.iter().map(|o| o.per_level_local.len()).max().unwrap_or(0);
         let mut per_level = vec![vec![0u64; lanes]; levels + 1];
-        // level 0: sources.
+        // Level 0: sources — every source was range-checked by
+        // `check_batch`, so each seeds exactly one shard.
         per_level[0][..lanes].fill(1);
         let mut per_lane_visited = vec![0u64; lanes];
+        // A lane completes when its *global* frontier empties; each
+        // machine stamps the same boundary, but elapsed clocks differ,
+        // so report the per-lane max — the last machine to notice.
+        let mut lane_completion = vec![Duration::ZERO; lanes];
         for o in &outs {
             for (h, row) in o.per_level_local.iter().enumerate() {
                 for (lane, &c) in row.iter().enumerate() {
@@ -578,6 +697,9 @@ impl DistributedEngine {
             for (lane, &c) in o.visited_local.iter().enumerate() {
                 per_lane_visited[lane] += c;
             }
+            for (lane, &d) in o.lane_completion.iter().enumerate() {
+                lane_completion[lane] = lane_completion[lane].max(d);
+            }
         }
         // Trim trailing all-zero levels (the final empty superstep).
         while per_level.len() > 1 && per_level.last().unwrap().iter().all(|&c| c == 0) {
@@ -585,9 +707,10 @@ impl DistributedEngine {
         }
         BatchResult {
             lanes,
+            scans: outs.iter().map(|o| o.scans).sum(),
             per_lane_visited,
             per_level,
-            lane_completion: outs[0].lane_completion.clone(),
+            lane_completion,
             supersteps,
             exec_time,
             per_machine_busy: outs.iter().map(|o| o.busy).collect(),
@@ -618,9 +741,10 @@ impl DistributedEngine {
     /// to whole-batch re-execution on every recoverable failure.
     ///
     /// Returns the batch result plus a [`RecoveryReport`] of what
-    /// recovery did. Fails with the last [`ClusterError`] once
-    /// `recovery.max_recoveries` is exhausted, or immediately for
-    /// non-recoverable errors.
+    /// recovery did. Fails with the last cluster error (wrapped in
+    /// [`EngineError::Cluster`]) once `recovery.max_recoveries` is
+    /// exhausted, immediately for non-recoverable errors, and with a
+    /// shape error — before running anything — for invalid batches.
     pub fn run_traversal_batch_recoverable(
         &self,
         cluster: &PersistentCluster,
@@ -628,8 +752,8 @@ impl DistributedEngine {
         ks: &[u32],
         recovery: &RecoveryConfig,
         fault: Option<FaultInjection<'_>>,
-    ) -> Result<(BatchResult, RecoveryReport), ClusterError> {
-        let lanes = Self::check_batch(sources, ks);
+    ) -> Result<(BatchResult, RecoveryReport), EngineError> {
+        let lanes = self.check_batch(sources, ks)?;
         assert_eq!(
             cluster.num_machines(),
             self.config.num_machines,
@@ -678,7 +802,7 @@ impl DistributedEngine {
                             t.instant("full_rollback", ctx_for(attempt), 0);
                         }
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => return Err(e.into()),
                 }
             }
         }
@@ -715,7 +839,7 @@ impl DistributedEngine {
                         coord.as_ref().map(|t| (t, ctx_for(first_attempt + report.attempts - 1)));
                     self.plan_recovery(&e, dropped, &store, sources, ks, lanes, &mut report, trace);
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -819,13 +943,15 @@ impl DistributedEngine {
         ks: &[u32],
         lanes: usize,
     ) -> (PartitionSnapshot, u64) {
-        let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        let width = LaneWidth::for_lanes(lanes);
+        let all_lanes = LaneMask::all(lanes);
         let shard = &self.shards[f];
-        let mut bf = BitFrontier::new(shard);
+        let mut bf = BitFrontier::new(shard, lanes);
         let t0 = Instant::now();
         let cpu0 = cgraph_comm::thread_cpu_time();
         let (mut per_level_local, mut lane_completion, mut completed, from, busy) = match base {
             Some(snap) => {
+                assert_eq!(snap.lanes, lanes, "checkpoint lane count must match the batch");
                 bf.restore_words(&snap.frontier, &snap.visited);
                 (
                     snap.per_level_local,
@@ -841,35 +967,39 @@ impl DistributedEngine {
                         bf.seed(src, lane);
                     }
                 }
-                (Vec::new(), vec![Duration::ZERO; lanes], 0u64, 0u32, Duration::ZERO)
+                (
+                    Vec::new(),
+                    vec![Duration::ZERO; lanes],
+                    LaneMask::zero(width),
+                    0u32,
+                    Duration::ZERO,
+                )
             }
         };
         for hop in from..target {
-            let mut k_mask = 0u64;
+            let mut k_mask = LaneMask::zero(width);
             for (lane, &k) in ks.iter().enumerate() {
                 if k > hop {
-                    k_mask |= 1u64 << lane;
+                    k_mask.set(lane);
                 }
             }
-            bf.mask_frontier(k_mask & all_lanes_mask);
+            bf.mask_frontier(&k_mask);
             bf.scan(shard, |_, _| {}); // peers already received these
             for (v, w) in store.logged_to(f, hop) {
-                bf.absorb(v, w);
+                bf.absorb(v, &w);
             }
             let adv = bf.advance();
             per_level_local.push(adv.new_per_lane[..lanes].to_vec());
             let live = store
                 .live_at(hop + 1)
                 .expect("healthy machines recorded the live mask for every replayed boundary");
-            let newly_done = all_lanes_mask & !live & !completed;
-            if newly_done != 0 {
+            let newly_done = all_lanes.and_not(&live).and_not(&completed);
+            if !newly_done.is_zero() {
                 let now = t0.elapsed();
-                let mut bits = newly_done;
-                while bits != 0 {
-                    lane_completion[bits.trailing_zeros() as usize] = now;
-                    bits &= bits - 1;
+                for lane in newly_done.iter_ones() {
+                    lane_completion[lane] = now;
                 }
-                completed |= newly_done;
+                completed.or_assign(&newly_done);
             }
         }
         let replayed = u64::from(target - from);
@@ -877,6 +1007,7 @@ impl DistributedEngine {
         (
             PartitionSnapshot {
                 boundary: target,
+                lanes,
                 frontier,
                 visited,
                 per_level_local,
@@ -906,14 +1037,25 @@ impl DistributedEngine {
     ) -> Option<MachineOut> {
         let wobs = self.worker_obs(&h);
         let lanes = sources.len();
-        let all_lanes_mask: u64 = if lanes == LANES { u64::MAX } else { (1u64 << lanes) - 1 };
+        let width = LaneWidth::for_lanes(lanes);
+        let all_lanes = LaneMask::all(lanes);
+        let budget_mask = |hop: u32| {
+            let mut m = LaneMask::zero(width);
+            for (lane, &k) in ks.iter().enumerate() {
+                if k > hop {
+                    m.set(lane);
+                }
+            }
+            m
+        };
         let shard = &self.shards[h.id()];
         let t0 = Instant::now();
         let cpu0 = cgraph_comm::thread_cpu_time();
-        let mut bf = BitFrontier::new(shard);
+        let mut bf = BitFrontier::new(shard, lanes);
         let (mut per_level_local, mut lane_completion, mut completed, mut hop, busy_base) =
             match store.take_resume(h.id()) {
                 Some(snap) => {
+                    assert_eq!(snap.lanes, lanes, "resume lane count must match the batch");
                     bf.restore_words(&snap.frontier, &snap.visited);
                     if let Some(w) = &wobs {
                         w.mo.tracer().instant("resume", w.mo.ctx_at(snap.boundary), 0);
@@ -932,18 +1074,25 @@ impl DistributedEngine {
                             bf.seed(src, lane);
                         }
                     }
-                    (Vec::new(), vec![Duration::ZERO; lanes], 0u64, 0u32, Duration::ZERO)
+                    (
+                        Vec::new(),
+                        vec![Duration::ZERO; lanes],
+                        LaneMask::zero(width),
+                        0u32,
+                        Duration::ZERO,
+                    )
                 }
             };
         let snapshot = |bf: &BitFrontier,
                         boundary: u32,
                         per_level_local: &Vec<Vec<u64>>,
                         lane_completion: &Vec<Duration>,
-                        completed: u64,
+                        completed: LaneMask,
                         busy: Duration| {
             let (frontier, visited) = bf.snapshot_words();
             PartitionSnapshot {
                 boundary,
+                lanes,
                 frontier,
                 visited,
                 per_level_local: per_level_local.clone(),
@@ -952,8 +1101,11 @@ impl DistributedEngine {
                 busy,
             }
         };
-        let mut outbox: Vec<HashMap<u64, u64>> =
+        let mut outbox: Vec<HashMap<u64, LaneMask>> =
             (0..h.num_machines()).map(|_| HashMap::new()).collect();
+        // Scan work this attempt only (a resume does not re-count the
+        // scans its snapshot's supersteps already performed).
+        let mut scans = 0u64;
         loop {
             // Boundary `hop`: commit *before* the fault point so that
             // a machine scripted to die at a commit boundary still
@@ -980,20 +1132,14 @@ impl DistributedEngine {
             if let Some(w) = &wobs {
                 w.superstep_enter(hop);
             }
-            let mut k_mask = 0u64;
-            for (lane, &k) in ks.iter().enumerate() {
-                if k > hop {
-                    k_mask |= 1u64 << lane;
-                }
-            }
-            bf.mask_frontier(k_mask & all_lanes_mask);
-            bf.scan(shard, |t, w| {
+            bf.mask_frontier(&budget_mask(hop));
+            scans += bf.scan(shard, |t, w| {
                 let owner = self.partition.owner(t);
-                *outbox[owner].entry(t).or_insert(0) |= w;
+                outbox[owner].entry(t).or_insert_with(|| LaneMask::zero(width)).or_assign(w);
             });
             for (m, buf) in outbox.iter_mut().enumerate() {
                 if !buf.is_empty() {
-                    let batch: Vec<(u64, u64)> = buf.drain().collect();
+                    let batch: Vec<(u64, LaneMask)> = buf.drain().collect();
                     // Log before sending: the log must cover anything a
                     // replay could need to re-deliver.
                     store.log_merge(h.id(), hop, m, &batch);
@@ -1025,7 +1171,7 @@ impl DistributedEngine {
             for env in h.drain() {
                 if let EngineMsg::Frontier(batch) = env.payload {
                     for (v, w) in batch {
-                        bf.absorb(v, w);
+                        bf.absorb(v, &w);
                     }
                 }
             }
@@ -1034,8 +1180,8 @@ impl DistributedEngine {
             if let Some(w) = &wobs {
                 w.superstep_exit(hop, adv.new_per_lane[..lanes].iter().sum());
             }
-            let reduced = match h.try_barrier_reduce(adv.active_lanes) {
-                Ok(r) => r,
+            let reduced = match h.try_barrier_reduce_words(adv.active_lanes.raw()) {
+                Ok(words) => LaneMask::from_words(&words[..width.words()]),
                 Err(_) => {
                     // Advance already ran: we are at boundary hop+1.
                     if let Some(w) = &wobs {
@@ -1056,27 +1202,19 @@ impl DistributedEngine {
                 }
             };
             hop += 1;
-            let mut next_mask = 0u64;
-            for (lane, &k) in ks.iter().enumerate() {
-                if k > hop {
-                    next_mask |= 1u64 << lane;
-                }
-            }
-            let live = reduced.or & next_mask & all_lanes_mask;
+            let live = reduced.and(&budget_mask(hop)).and(&all_lanes);
             // All machines record the identical post-reduce mask, so a
             // later replay can reconstruct completion bookkeeping.
             store.record_live(hop, live);
-            let newly_done = all_lanes_mask & !live & !completed;
-            if newly_done != 0 {
+            let newly_done = all_lanes.and_not(&live).and_not(&completed);
+            if !newly_done.is_zero() {
                 let now = t0.elapsed();
-                let mut bits = newly_done;
-                while bits != 0 {
-                    lane_completion[bits.trailing_zeros() as usize] = now;
-                    bits &= bits - 1;
+                for lane in newly_done.iter_ones() {
+                    lane_completion[lane] = now;
                 }
-                completed |= newly_done;
+                completed.or_assign(&newly_done);
             }
-            if live == 0 {
+            if live.is_zero() {
                 break;
             }
         }
@@ -1085,6 +1223,7 @@ impl DistributedEngine {
             per_level_local,
             visited_local: bf.visited_per_lane()[..lanes].to_vec(),
             lane_completion,
+            scans,
             busy: busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
         })
     }
@@ -1591,7 +1730,7 @@ mod tests {
     fn batch_khop_on_ring() {
         let g = ring(20);
         let e = engine(&g, 3);
-        let r = e.run_traversal_batch(&[0, 10], &[3, 5]);
+        let r = e.run_traversal_batch(&[0, 10], &[3, 5]).unwrap();
         // Ring: k hops reach exactly k new vertices.
         assert_eq!(r.per_lane_visited, vec![4, 6]);
         assert_eq!(r.per_level[0], vec![1, 1]);
@@ -1604,7 +1743,7 @@ mod tests {
     fn batch_bfs_covers_component() {
         let g = ring(30);
         let e = engine(&g, 4);
-        let r = e.run_traversal_batch(&[5], &[u32::MAX]);
+        let r = e.run_traversal_batch(&[5], &[u32::MAX]).unwrap();
         assert_eq!(r.per_lane_visited, vec![30]);
         assert_eq!(r.supersteps, 30); // 29 hops + final empty check
     }
@@ -1618,7 +1757,7 @@ mod tests {
         let e = engine(&g, 3);
         for src in [1u64, 7, 100] {
             let qr = e.run_single_queue(&[src], 3, ValueMode::TwoLevel);
-            let br = e.run_traversal_batch(&[src], &[3]);
+            let br = e.run_traversal_batch(&[src], &[3]).unwrap();
             assert_eq!(br.per_lane_visited[0], qr.visited, "src {src}");
         }
     }
@@ -1677,7 +1816,7 @@ mod tests {
     fn traffic_reported_for_cross_machine_runs() {
         let g = ring(20);
         let e = engine(&g, 4);
-        let r = e.run_traversal_batch(&[0], &[u32::MAX]);
+        let r = e.run_traversal_batch(&[0], &[u32::MAX]).unwrap();
         assert!(r.traffic.total_msgs() > 0, "ring BFS must cross machines");
     }
 
@@ -1725,7 +1864,7 @@ mod tests {
         let g = b.build().edges;
         let e = engine(&g, 3);
         let cluster = PersistentCluster::new(3);
-        let plain = e.run_traversal_batch(&[1, 7, 100], &[3, 5, 2]);
+        let plain = e.run_traversal_batch(&[1, 7, 100], &[3, 5, 2]).unwrap();
         let (rec, report) = e
             .run_traversal_batch_recoverable(
                 &cluster,
@@ -1747,7 +1886,7 @@ mod tests {
         let g = ring(64);
         let e = engine(&g, 4);
         let cluster = PersistentCluster::new(4);
-        let expect = e.run_traversal_batch(&[0, 16], &[12, 20]);
+        let expect = e.run_traversal_batch(&[0, 16], &[12, 20]).unwrap();
         // Machine 0 dies at superstep 7 on the first attempt only.
         let plan = FaultPlan::new(5).crash(0, 7).heal_after(1);
         let cfg = RecoveryConfig { checkpoint_interval: 3, max_recoveries: 2 };
@@ -1772,7 +1911,7 @@ mod tests {
         let g = ring(40);
         let e = engine(&g, 2);
         let cluster = PersistentCluster::new(2);
-        let expect = e.run_traversal_batch(&[0], &[10]);
+        let expect = e.run_traversal_batch(&[0], &[10]).unwrap();
         let plan = FaultPlan::new(2).crash(1, 2).heal_after(1);
         let cfg = RecoveryConfig { checkpoint_interval: 8, max_recoveries: 2 };
         let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
@@ -1790,7 +1929,7 @@ mod tests {
         let g = ring(48);
         let e = engine(&g, 3);
         let cluster = PersistentCluster::new(3);
-        let expect = e.run_traversal_batch(&[0, 24], &[15, 15]);
+        let expect = e.run_traversal_batch(&[0, 24], &[15, 15]).unwrap();
         let plan = FaultPlan::new(77).with_drop(0.3).heal_after(1);
         let cfg = RecoveryConfig { checkpoint_interval: 4, max_recoveries: 2 };
         let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
@@ -1835,7 +1974,7 @@ mod tests {
         let err = e
             .run_traversal_batch_recoverable(&cluster, &[0], &[10], &cfg, Some(fault))
             .unwrap_err();
-        assert!(matches!(err, ClusterError::MachinePanicked { .. }));
+        assert!(matches!(err, EngineError::Cluster(ClusterError::MachinePanicked { .. })));
         // Cluster still serves the next (clean) batch.
         let (ok, report) =
             e.run_traversal_batch_recoverable(&cluster, &[0], &[10], &cfg, None).unwrap();
@@ -1871,11 +2010,117 @@ mod tests {
         assert_eq!(e3.num_machines(), 3);
         assert_eq!(e3.num_vertices(), e4.num_vertices());
         for src in [0u64, 9, 77] {
-            let a = e4.run_traversal_batch(&[src], &[4]);
-            let b = e3.run_traversal_batch(&[src], &[4]);
+            let a = e4.run_traversal_batch(&[src], &[4]).unwrap();
+            let b = e3.run_traversal_batch(&[src], &[4]).unwrap();
             assert_eq!(a.per_lane_visited, b.per_lane_visited, "src {src}");
             assert_eq!(a.per_level, b.per_level, "src {src}");
         }
+    }
+
+    #[test]
+    fn batch_shape_errors_are_typed() {
+        let g = ring(20);
+        let e = engine(&g, 2);
+        assert_eq!(
+            e.run_traversal_batch(&[], &[]).unwrap_err(),
+            EngineError::BadLaneCount { lanes: 0, max: MAX_LANES }
+        );
+        let too_many = vec![0u64; MAX_LANES + 1];
+        let too_many_ks = vec![1u32; MAX_LANES + 1];
+        assert_eq!(
+            e.run_traversal_batch(&too_many, &too_many_ks).unwrap_err(),
+            EngineError::BadLaneCount { lanes: MAX_LANES + 1, max: MAX_LANES }
+        );
+        assert_eq!(
+            e.run_traversal_batch(&[0, 1], &[3]).unwrap_err(),
+            EngineError::LaneBudgetMismatch { sources: 2, ks: 1 }
+        );
+        // Satellite fix: an out-of-range source seeds no shard, so it
+        // must be rejected instead of silently counted at level 0.
+        assert_eq!(
+            e.run_traversal_batch(&[5, 99], &[3, 3]).unwrap_err(),
+            EngineError::SourceOutOfRange { lane: 1, source: 99, num_vertices: 20 }
+        );
+        assert!(!e.run_traversal_batch(&[5, 99], &[3, 3]).unwrap_err().is_recoverable());
+    }
+
+    #[test]
+    fn wide_batch_matches_chunked_64_lane_batches() {
+        // 130 lanes (width 256) in one batch vs three 64-lane chunks:
+        // per-lane visited and per-level counts must be bit-identical.
+        let g = cgraph_gen::graph500(9, 8, 31);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e = engine(&g, 3);
+        let n = e.num_vertices();
+        let sources: Vec<u64> = (0..130u64).map(|i| (i * 37) % n).collect();
+        let ks: Vec<u32> = (0..130u32).map(|i| 1 + i % 5).collect();
+        let wide = e.run_traversal_batch(&sources, &ks).unwrap();
+        assert_eq!(wide.lanes, 130);
+        for (chunk_idx, (sc, kc)) in sources.chunks(64).zip(ks.chunks(64)).enumerate() {
+            let narrow = e.run_traversal_batch(sc, kc).unwrap();
+            let off = chunk_idx * 64;
+            for lane in 0..sc.len() {
+                assert_eq!(
+                    wide.per_lane_visited[off + lane],
+                    narrow.per_lane_visited[lane],
+                    "lane {}",
+                    off + lane
+                );
+            }
+            for (h, row) in narrow.per_level.iter().enumerate() {
+                for (lane, &c) in row.iter().enumerate() {
+                    let wide_c = wide.per_level.get(h).map_or(0, |r| r[off + lane]);
+                    assert_eq!(wide_c, c, "hop {h} lane {}", off + lane);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_batch_scans_fewer_rows_per_query() {
+        // The point of width: one shared scan serves more queries, so
+        // scans per query must not grow with lane count.
+        let g = cgraph_gen::graph500(10, 8, 5);
+        let mut b = cgraph_graph::GraphBuilder::new();
+        b.add_edge_list(&g);
+        let g = b.build().edges;
+        let e = engine(&g, 2);
+        let n = e.num_vertices();
+        let sources: Vec<u64> = (0..128u64).map(|i| (i * 101) % n).collect();
+        let ks = vec![4u32; 128];
+        let wide = e.run_traversal_batch(&sources, &ks).unwrap();
+        let mut chunked_scans = 0u64;
+        for (sc, kc) in sources.chunks(64).zip(ks.chunks(64)) {
+            chunked_scans += e.run_traversal_batch(sc, kc).unwrap().scans;
+        }
+        assert!(wide.scans > 0);
+        assert!(
+            wide.scans <= chunked_scans,
+            "wide batch scanned {} rows vs {} for two 64-lane chunks",
+            wide.scans,
+            chunked_scans
+        );
+    }
+
+    #[test]
+    fn recoverable_wide_batch_survives_crash() {
+        let g = ring(64);
+        let e = engine(&g, 4);
+        let cluster = PersistentCluster::new(4);
+        let sources: Vec<u64> = (0..96u64).map(|i| (i * 5) % 64).collect();
+        let ks = vec![10u32; 96];
+        let expect = e.run_traversal_batch(&sources, &ks).unwrap();
+        let plan = FaultPlan::new(11).crash(2, 5).heal_after(1);
+        let cfg = RecoveryConfig { checkpoint_interval: 3, max_recoveries: 2 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let (rec, report) =
+            e.run_traversal_batch_recoverable(&cluster, &sources, &ks, &cfg, Some(fault)).unwrap();
+        assert_eq!(rec.per_lane_visited, expect.per_lane_visited);
+        assert_eq!(rec.per_level, expect.per_level);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.full_rollbacks, 0, "wide crash must take the confined path");
     }
 
     #[test]
@@ -1889,8 +2134,8 @@ mod tests {
             &g,
             EngineConfig::new(2).with_edge_set_policy(ConsolidationPolicy::flat()),
         );
-        let rb = blocked.run_traversal_batch(&[0, 9], &[3, 3]);
-        let rf = flat.run_traversal_batch(&[0, 9], &[3, 3]);
+        let rb = blocked.run_traversal_batch(&[0, 9], &[3, 3]).unwrap();
+        let rf = flat.run_traversal_batch(&[0, 9], &[3, 3]).unwrap();
         assert_eq!(rb.per_lane_visited, rf.per_lane_visited);
     }
 }

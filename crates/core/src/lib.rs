@@ -20,8 +20,8 @@
 //! * [`gas`] — the Gather-Apply-Scatter interface of Listing 3 and the
 //!   iterative-computation driver (PageRank),
 //! * [`scheduler`] — the concurrent-query front end: batches queries
-//!   into 64-lane groups, shares subgraph traversals inside a batch,
-//!   and enforces a memory budget (§3.3, §3.5),
+//!   into lane groups up to 512 wide, shares subgraph traversals
+//!   inside a batch, and enforces a memory budget (§3.3, §3.5),
 //! * [`service`] — the persistent streaming front end: an admission
 //!   queue with backpressure, fill-or-deadline batch packing, and
 //!   execution on a long-lived [`cgraph_comm::PersistentCluster`],
@@ -50,7 +50,7 @@ pub mod vcm;
 
 pub use cgraph_comm::chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
 pub use config::{EngineConfig, UpdateMode};
-pub use engine::{DistributedEngine, EngineMsg, FaultInjection};
+pub use engine::{DistributedEngine, EngineError, EngineMsg, FaultInjection};
 pub use metrics::ResponseStats;
 pub use partition::RangePartition;
 pub use query::{KhopQuery, QueryResult};

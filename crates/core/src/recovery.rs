@@ -51,6 +51,7 @@
 //! cluster.shutdown();
 //! ```
 
+use cgraph_graph::LaneMask;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,21 +104,28 @@ pub(crate) struct PartitionSnapshot {
     /// The boundary this state belongs to: the state *after* the
     /// advance of superstep `boundary - 1` (boundary 0 = seeded).
     pub boundary: u32,
+    /// Lane count of the batch this snapshot belongs to. The restore
+    /// path rejects a mismatch: a checkpoint taken at one batch width
+    /// can never resume a batch of another (the frontier/visited word
+    /// layout is width-dependent).
+    pub lanes: usize,
+    /// `num_local × width.words()` frontier words.
     pub frontier: Vec<u64>,
+    /// `num_local × width.words()` visited words.
     pub visited: Vec<u64>,
     /// Per-level discovery counts for supersteps `0..boundary`.
     pub per_level_local: Vec<Vec<u64>>,
     pub lane_completion: Vec<Duration>,
     /// Lanes recorded complete by `boundary`.
-    pub completed: u64,
+    pub completed: LaneMask,
     /// CPU busy time accumulated up to `boundary` (so a resumed
     /// attempt keeps the scaling-relevant busy metric additive).
     pub busy: Duration,
 }
 
 /// One sender's message log: `(superstep, dest machine)` to the
-/// OR-merged `dst vertex -> lane word` payload of that superstep.
-type SenderLog = HashMap<(u32, usize), HashMap<u64, u64>>;
+/// OR-merged `dst vertex -> lane mask` payload of that superstep.
+type SenderLog = HashMap<(u32, usize), HashMap<u64, LaneMask>>;
 
 /// Shared recovery blackboard for one batch execution (all attempts).
 pub(crate) struct RecoveryStore {
@@ -131,12 +139,12 @@ pub(crate) struct RecoveryStore {
     /// at a barrier parks its boundary state here and returns.
     saved: Vec<Mutex<Option<PartitionSnapshot>>>,
     /// Per-sender message logs: `(superstep, dest) -> (dst vertex ->
-    /// lane word)`. OR-merged so a resumed machine re-logging the same
+    /// lane mask)`. OR-merged so a resumed machine re-logging the same
     /// superstep is idempotent.
     logs: Vec<Mutex<SenderLog>>,
     /// Global live-lane mask agreed at each boundary (all machines
     /// write the identical post-reduce value).
-    live: Mutex<HashMap<u32, u64>>,
+    live: Mutex<HashMap<u32, LaneMask>>,
     /// Committed-checkpoint boundaries count (machine 0's commits).
     commits: AtomicU64,
 }
@@ -193,16 +201,22 @@ impl RecoveryStore {
 
     /// OR-merges machine `from`'s outgoing messages for `superstep`
     /// into its log (idempotent under resend).
-    pub(crate) fn log_merge(&self, from: usize, superstep: u32, dest: usize, batch: &[(u64, u64)]) {
+    pub(crate) fn log_merge(
+        &self,
+        from: usize,
+        superstep: u32,
+        dest: usize,
+        batch: &[(u64, LaneMask)],
+    ) {
         let mut log = self.logs[from].lock();
         let entry = log.entry((superstep, dest)).or_default();
         for &(v, w) in batch {
-            *entry.entry(v).or_insert(0) |= w;
+            entry.entry(v).and_modify(|m| m.or_assign(&w)).or_insert(w);
         }
     }
 
     /// Every message any machine logged to `dest` during `superstep`.
-    pub(crate) fn logged_to(&self, dest: usize, superstep: u32) -> Vec<(u64, u64)> {
+    pub(crate) fn logged_to(&self, dest: usize, superstep: u32) -> Vec<(u64, LaneMask)> {
         let mut out = Vec::new();
         for log in &self.logs {
             if let Some(batch) = log.lock().get(&(superstep, dest)) {
@@ -214,12 +228,12 @@ impl RecoveryStore {
 
     /// Records the globally-agreed live mask at `boundary` (all
     /// machines write the same post-reduce value).
-    pub(crate) fn record_live(&self, boundary: u32, live: u64) {
+    pub(crate) fn record_live(&self, boundary: u32, live: LaneMask) {
         self.live.lock().insert(boundary, live);
     }
 
     /// The live mask recorded at `boundary`.
-    pub(crate) fn live_at(&self, boundary: u32) -> Option<u64> {
+    pub(crate) fn live_at(&self, boundary: u32) -> Option<LaneMask> {
         self.live.lock().get(&boundary).copied()
     }
 
@@ -247,35 +261,56 @@ mod tests {
     fn snap(boundary: u32) -> PartitionSnapshot {
         PartitionSnapshot {
             boundary,
+            lanes: 1,
             frontier: vec![1],
             visited: vec![3],
             per_level_local: vec![vec![1]],
             lane_completion: vec![Duration::ZERO],
-            completed: 0,
+            completed: LaneMask::zero(cgraph_graph::LaneWidth::W64),
             busy: Duration::ZERO,
         }
+    }
+
+    fn m(word: u64) -> LaneMask {
+        LaneMask::from_words(&[word])
+    }
+
+    /// Sorts by vertex then raw mask words for deterministic compare.
+    fn sorted(mut v: Vec<(u64, LaneMask)>) -> Vec<(u64, LaneMask)> {
+        v.sort_unstable_by_key(|&(vtx, w)| (vtx, w.raw()));
+        v
     }
 
     #[test]
     fn log_merge_is_idempotent() {
         let store = RecoveryStore::new(2);
-        store.log_merge(0, 3, 1, &[(7, 0b01), (9, 0b10)]);
+        store.log_merge(0, 3, 1, &[(7, m(0b01)), (9, m(0b10))]);
         // A resumed machine re-sends the same superstep's messages.
-        store.log_merge(0, 3, 1, &[(7, 0b01), (9, 0b10)]);
-        let mut got = store.logged_to(1, 3);
-        got.sort_unstable();
-        assert_eq!(got, vec![(7, 0b01), (9, 0b10)]);
+        store.log_merge(0, 3, 1, &[(7, m(0b01)), (9, m(0b10))]);
+        assert_eq!(sorted(store.logged_to(1, 3)), vec![(7, m(0b01)), (9, m(0b10))]);
     }
 
     #[test]
     fn logs_aggregate_across_senders() {
         let store = RecoveryStore::new(3);
-        store.log_merge(0, 1, 2, &[(5, 0b01)]);
-        store.log_merge(1, 1, 2, &[(5, 0b10)]);
-        let mut got = store.logged_to(2, 1);
-        got.sort_unstable();
-        assert_eq!(got, vec![(5, 0b01), (5, 0b10)]);
+        store.log_merge(0, 1, 2, &[(5, m(0b01))]);
+        store.log_merge(1, 1, 2, &[(5, m(0b10))]);
+        assert_eq!(sorted(store.logged_to(2, 1)), vec![(5, m(0b01)), (5, m(0b10))]);
         assert!(store.logged_to(2, 2).is_empty());
+    }
+
+    #[test]
+    fn log_merge_ors_wide_masks_per_vertex() {
+        let store = RecoveryStore::new(1);
+        let mut hi = LaneMask::zero(cgraph_graph::LaneWidth::new(128).unwrap());
+        hi.set(100);
+        let mut lo = LaneMask::zero(cgraph_graph::LaneWidth::new(128).unwrap());
+        lo.set(3);
+        store.log_merge(0, 0, 0, &[(7, hi)]);
+        store.log_merge(0, 0, 0, &[(7, lo)]);
+        let got = store.logged_to(0, 0);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1.get(3) && got[0].1.get(100));
     }
 
     #[test]
@@ -293,8 +328,8 @@ mod tests {
         store.commit(0, snap(2));
         store.save(0, snap(3));
         store.set_resume(0, snap(3));
-        store.log_merge(0, 2, 0, &[(1, 1)]);
-        store.record_live(2, 0b11);
+        store.log_merge(0, 2, 0, &[(1, m(1))]);
+        store.record_live(2, m(0b11));
         store.clear_execution_state();
         assert!(store.take_saved(0).is_none());
         assert!(store.take_resume(0).is_none());

@@ -5,18 +5,22 @@
 //! [`QueryScheduler`] implements both policies:
 //!
 //! * **Shared** (the C-Graph way): queries are exploded into their
-//!   traversals, packed into 64-lane batches ("a fixed number of
+//!   traversals, packed into lane batches up to [`MAX_LANES`] wide
+//!   ("a fixed number of
 //!   concurrent queries are decided based on hardware parameters"), and
 //!   each batch runs as one bit-frontier pass over the shared edge-set
-//!   scans.
+//!   scans at the narrowest width `W ∈ {64, 128, 256, 512}` that fits
+//!   the lane count.
 //! * **Serial** (the baseline way): one traversal at a time, in request
 //!   order — what Gemini-style engines are reduced to.
 //!
 //! The scheduler enforces a memory budget: the per-batch bit state
-//! costs `3 × 8 bytes × |V_local|` per machine, so when a budget is
-//! set, the lane width shrinks until the batch fits ("the slowdown of
-//! the framework is mainly caused by resource limits, especially due to
-//! the large memory footprint required for concurrent queries", §4.2).
+//! costs `3 × (W/8) bytes × |V_local|` per machine — it scales
+//! linearly with the batch width `W` — so when a budget is set, the
+//! width steps down `512 → 256 → 128 → 64` (then lanes shrink below
+//! one word) until the batch fits ("the slowdown of the framework is
+//! mainly caused by resource limits, especially due to the large
+//! memory footprint required for concurrent queries", §4.2).
 //!
 //! Response time of a query = queue wait until its batch starts + batch
 //! execution — the quantity Figs. 7–13 measure; a query spanning
@@ -27,12 +31,14 @@
 use crate::engine::DistributedEngine;
 use crate::query::{KhopQuery, QueryResult};
 use cgraph_graph::bitmap::LANES;
+use cgraph_graph::{LaneWidth, MAX_LANES};
 use std::time::{Duration, Instant};
 
 /// Scheduling policy knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct SchedulerConfig {
-    /// Max lanes per batch (≤ 64; the hardware word width).
+    /// Max lanes per batch (≤ [`MAX_LANES`]; rounded up to a supported
+    /// batch width `W ∈ {64, 128, 256, 512}` at execution time).
     pub batch_lanes: usize,
     /// Enable subgraph sharing (batched bit traversal). When false,
     /// traversals run one by one — the ablation A2 baseline.
@@ -91,29 +97,39 @@ impl<'e> QueryScheduler<'e> {
     }
 
     /// Lanes per batch after applying the memory budget.
+    ///
+    /// The per-machine bit state costs `3 × 8 × (W/64) bytes` per local
+    /// vertex — three lane matrices of `W/64` words each — so it scales
+    /// **linearly with the batch width `W`**, not independently of lane
+    /// count as the pre-width cost model assumed. Under a budget, the
+    /// width steps down through the supported set `512 → 256 → 128 →
+    /// 64` until the three matrices fit; if even the single-word
+    /// footprint exceeds the budget, the lane count degrades
+    /// proportionally below 64 (≥ 1 lane).
     pub fn effective_lanes(&self) -> usize {
-        let want = self.config.batch_lanes.clamp(1, LANES);
         if !self.config.share_subgraphs {
             return 1;
         }
+        let want = self.config.batch_lanes.clamp(1, MAX_LANES);
         match self.config.memory_budget_bytes {
             None => want,
             Some(budget) => {
-                // Bit state: 3 matrices × 8 B per local vertex per
-                // machine, independent of lane count (words are fixed
-                // 64-bit) — but per-level count tracking and remote
-                // buffers scale with lanes. We approximate: full width
-                // needs `base`; each lane adds queue/result overhead of
-                // ~64 B per machine-level. Shrink proportionally.
                 let max_local =
                     self.engine.shards().iter().map(|s| s.num_local()).max().unwrap_or(0);
-                let base = 3 * 8 * max_local;
-                if budget >= base {
-                    want
+                let mut width = LaneWidth::for_lanes(want);
+                while 3 * 8 * width.words() * max_local > budget {
+                    match width.narrower() {
+                        Some(w) => width = w,
+                        None => break,
+                    }
+                }
+                if 3 * 8 * width.words() * max_local <= budget {
+                    want.min(width.bits())
                 } else {
-                    // Budget below the fixed word cost: degrade to the
-                    // fraction of the word that fits, ≥ 1 lane.
-                    ((want * budget) / base.max(1)).max(1)
+                    // Budget below even the one-word cost: degrade to
+                    // the fraction of the word that fits, ≥ 1 lane.
+                    let base = 3 * 8 * max_local;
+                    ((want.min(LANES) * budget) / base.max(1)).max(1)
                 }
             }
         }
@@ -121,6 +137,13 @@ impl<'e> QueryScheduler<'e> {
 
     /// Executes `queries` "issued simultaneously": all are considered
     /// submitted at call time, so response times include queue wait.
+    ///
+    /// # Panics
+    ///
+    /// Every query source must lie inside the engine's vertex range;
+    /// an out-of-range source panics (the streaming
+    /// [`QueryService`](crate::service::QueryService) validates at
+    /// admission instead).
     pub fn execute(&self, queries: &[KhopQuery]) -> Vec<QueryResult> {
         // Explode queries into (query index, source) traversals,
         // preserving request order.
@@ -146,7 +169,12 @@ impl<'e> QueryScheduler<'e> {
         {
             let sources: Vec<u64> = chunk.iter().map(|t| t.1).collect();
             let ks: Vec<u32> = chunk.iter().map(|t| t.2).collect();
-            let br = self.engine.run_traversal_batch(&sources, &ks);
+            // Precondition: query sources lie inside the vertex range
+            // and chunks respect MAX_LANES, so shape errors are bugs.
+            let br = self
+                .engine
+                .run_traversal_batch(&sources, &ks)
+                .expect("scheduler batches are shape-valid");
             let (batch_dur, batch_end) = if self.config.use_sim_time {
                 let d = br.sim_exec_time();
                 sim_clock += d;
@@ -204,10 +232,11 @@ impl<'e> QueryScheduler<'e> {
     }
 
     /// Estimated per-machine bytes for one batch of the effective lane
-    /// width (reported by the memory ablation).
+    /// width (reported by the memory ablation): three lane matrices of
+    /// `W/64` words per local vertex.
     pub fn batch_state_bytes(&self) -> usize {
         let max_local = self.engine.shards().iter().map(|s| s.num_local()).max().unwrap_or(0);
-        3 * 8 * max_local
+        3 * 8 * LaneWidth::for_lanes(self.effective_lanes()).words() * max_local
     }
 }
 
@@ -281,6 +310,47 @@ mod tests {
         );
         let lanes = tight.effective_lanes();
         assert!((1..64).contains(&lanes), "lanes = {lanes}");
+    }
+
+    #[test]
+    fn wide_batches_pack_beyond_64_lanes() {
+        let e = ring_engine(600, 2);
+        let wide =
+            QueryScheduler::new(&e, SchedulerConfig { batch_lanes: 256, ..Default::default() });
+        assert_eq!(wide.effective_lanes(), 256);
+        // 150 queries fit one 256-lane batch: every lane runs together.
+        let queries: Vec<KhopQuery> =
+            (0..150).map(|i| KhopQuery::single(i, (i * 4) as u64, 2)).collect();
+        let r = wide.execute(&queries);
+        assert_eq!(r.len(), 150);
+        assert!(r.iter().all(|q| q.visited == 3));
+    }
+
+    #[test]
+    fn memory_budget_steps_width_down() {
+        let e = ring_engine(1000, 2); // max_local = 500
+        let base = 3 * 8 * 500; // one-word (W=64) footprint
+                                // Budget fits two words: 256 requested lanes narrow to 128.
+        let s = QueryScheduler::new(
+            &e,
+            SchedulerConfig {
+                batch_lanes: 256,
+                memory_budget_bytes: Some(2 * base),
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.effective_lanes(), 128);
+        assert_eq!(s.batch_state_bytes(), 2 * base);
+        // Budget fits four words: the full 256 lanes stay.
+        let s = QueryScheduler::new(
+            &e,
+            SchedulerConfig {
+                batch_lanes: 256,
+                memory_budget_bytes: Some(4 * base),
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.effective_lanes(), 256);
     }
 
     #[test]

@@ -72,13 +72,14 @@
 //! service.shutdown();
 //! ```
 
-use crate::engine::{DistributedEngine, FaultInjection};
+use crate::engine::{DistributedEngine, EngineError, FaultInjection};
 use crate::metrics::ResponseStats;
 use crate::query::{KhopQuery, QueryResult};
 use crate::recovery::RecoveryConfig;
 use crate::scheduler::{QueryScheduler, SchedulerConfig};
 use cgraph_comm::chaos::FaultPlan;
 use cgraph_comm::{ClusterError, PersistentCluster};
+use cgraph_graph::LaneWidth;
 use cgraph_obs::{
     log2_edges, Counter, Gauge, Histogram, Obs, TraceCtx, Tracer, COORD, PAPER_LATENCY_EDGES_SECS,
 };
@@ -102,6 +103,11 @@ pub enum ServiceError {
     /// The query's [`ServiceConfig::query_deadline`] elapsed before a
     /// result was produced.
     DeadlineExceeded,
+    /// The query was rejected at admission: a source vertex lies
+    /// outside the graph's vertex range. Caught before batching so a
+    /// malformed query can never take down the batch it would have
+    /// shared lanes with.
+    InvalidQuery(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -112,6 +118,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "batch execution failed: {msg}")
             }
             ServiceError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ServiceError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
         }
     }
 }
@@ -378,6 +385,7 @@ struct ServiceObs {
     retries: Arc<Counter>,
     degraded_generations: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    batch_width: Arc<Gauge>,
     batch_lanes: Arc<Histogram>,
     admission_wait: Arc<Histogram>,
     exec: Arc<Histogram>,
@@ -420,6 +428,11 @@ impl ServiceObs {
             queue_depth: m.gauge(
                 "cgraph_service_queue_depth",
                 "Traversals currently in the admission queue.",
+            ),
+            batch_width: m.gauge(
+                "cgraph_service_batch_width",
+                "Bit width of the packed traversal state (64/128/256/512); \
+                 fixed at start-up by the lane count and memory budget.",
             ),
             batch_lanes: m.histogram(
                 "cgraph_service_batch_lanes",
@@ -494,7 +507,9 @@ impl QueryService {
             PersistentCluster::with_model(engine.num_machines(), engine.config().net_model);
         let obs = config.obs.as_ref().map(|o| {
             cluster.set_obs(Arc::clone(o));
-            ServiceObs::new(o, lanes)
+            let so = ServiceObs::new(o, lanes);
+            so.batch_width.set(LaneWidth::for_lanes(lanes).bits() as i64);
+            so
         });
         let shared = Arc::new(Shared {
             engine,
@@ -552,6 +567,15 @@ impl QueryService {
                 exec_time: Duration::ZERO,
             }));
             return Ok(QueryTicket { rx, deadline: None });
+        }
+        // Admission-time shape validation: the closed-batch scheduler
+        // panics on an out-of-range source, but a *service* must reject
+        // the one bad query and keep serving everyone else.
+        let n = shared.engine.num_vertices();
+        if let Some(&bad) = query.sources.iter().find(|&&s| s >= n) {
+            return Err(ServiceError::InvalidQuery(format!(
+                "source {bad} out of range for a graph of {n} vertices"
+            )));
         }
         let (tx, rx) = crossbeam_channel::unbounded();
         let ticket = Arc::new(TicketState {
@@ -819,7 +843,7 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
                 return;
             }
             Err(e) => {
-                if let ClusterError::MachinePanicked { machine, .. } = &e {
+                if let EngineError::Cluster(ClusterError::MachinePanicked { machine, .. }) = &e {
                     if let Some(b) = ctx.blame.get_mut(*machine) {
                         *b += 1;
                         let threshold = shared.config.degrade_after;
@@ -876,7 +900,7 @@ fn fan_out(
 
 /// Fails every traversal of a batch whose retries are exhausted —
 /// isolation means *only* these lanes fail; the service keeps serving.
-fn fail_batch(shared: &Shared, batch: &[Traversal], e: &ClusterError) {
+fn fail_batch(shared: &Shared, batch: &[Traversal], e: &EngineError) {
     let err = ServiceError::BatchFailed(e.to_string());
     for t in batch {
         complete_traversal(shared, &t.ticket, Err(err.clone()));
@@ -1112,6 +1136,18 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_source_rejected_at_admission() {
+        let engine = ring_engine(20, 2);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let err = service.submit(KhopQuery::single(0, 99, 2)).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidQuery(_)), "{err:?}");
+        // Rejection is per-query: the service keeps serving.
+        let ok = service.query(KhopQuery::single(1, 3, 2)).unwrap();
+        assert_eq!(ok.visited, 3);
+        service.shutdown();
+    }
+
+    #[test]
     fn chaos_crash_recovers_with_zero_failed_queries() {
         // The acceptance scenario: a machine crash mid-batch in sync
         // mode recovers via confined partition replay from a
@@ -1124,7 +1160,7 @@ mod tests {
             recovery: RecoveryConfig { checkpoint_interval: 3, max_recoveries: 2 },
             ..Default::default()
         };
-        let expected = ring_engine(64, 4).run_traversal_batch(&[0, 16], &[20, 20]);
+        let expected = ring_engine(64, 4).run_traversal_batch(&[0, 16], &[20, 20]).unwrap();
         let service = QueryService::start(engine, config);
         // One multi-source query: both traversals are admitted under a
         // single lock, so they land in exactly one batch (one chaos job).

@@ -308,10 +308,10 @@ mod tests {
         let e = DistributedEngine::new(&g, EngineConfig::new(2));
         let depths = e.run_vertex_program(&VcBfs { source: 3 });
         let reached = depths.iter().filter(|&&d| d != u64::MAX).count() as u64;
-        let expect = e.run_traversal_batch(&[3], &[u32::MAX]).per_lane_visited[0];
+        let expect = e.run_traversal_batch(&[3], &[u32::MAX]).unwrap().per_lane_visited[0];
         assert_eq!(reached, expect);
         // Depth histogram must match the batch's per-level counts.
-        let batch = e.run_traversal_batch(&[3], &[u32::MAX]);
+        let batch = e.run_traversal_batch(&[3], &[u32::MAX]).unwrap();
         for (level, counts) in batch.per_level.iter().enumerate() {
             let vc = depths.iter().filter(|&&d| d == level as u64).count() as u64;
             assert_eq!(vc, counts[0], "level {level}");

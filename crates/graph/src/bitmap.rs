@@ -137,12 +137,222 @@ impl Bitmap {
 
 /// Number of query lanes packed in one [`LaneMatrix`] word. The paper
 /// sizes the batch from "hardware parameters, for example, the length
-/// of the cache line"; one 64-bit word per vertex is the MS-BFS choice.
+/// of the cache line"; one 64-bit word per vertex is the MS-BFS choice
+/// and remains the default (and narrowest) batch width.
 pub const LANES: usize = 64;
 
-/// A `num_vertices × 64` bit matrix: `word(v)` holds, for vertex `v`,
-/// one bit per query lane. Used for `frontier`, `frontierNext` and
-/// `visited` in the concurrent (batched) traversal engine.
+/// Bits per lane word.
+pub const WORD_BITS: usize = 64;
+
+/// Widest supported batch: 512 lanes = 8 words per vertex (one cache
+/// line of lane state per matrix per vertex).
+pub const MAX_LANES: usize = 512;
+
+/// Words per vertex at [`MAX_LANES`].
+pub const MAX_LANE_WORDS: usize = MAX_LANES / WORD_BITS;
+
+/// A validated runtime batch width `W ∈ {64, 128, 256, 512}`: the
+/// number of query lanes packed per vertex, stored as `W/64` words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LaneWidth {
+    words: usize,
+}
+
+impl LaneWidth {
+    /// The MS-BFS single-word width (64 lanes).
+    pub const W64: LaneWidth = LaneWidth { words: 1 };
+
+    /// All supported widths, narrowest first.
+    pub const ALL: [LaneWidth; 4] = [
+        LaneWidth { words: 1 },
+        LaneWidth { words: 2 },
+        LaneWidth { words: 4 },
+        LaneWidth { words: 8 },
+    ];
+
+    /// Validates `bits` as a supported width.
+    pub fn new(bits: usize) -> Result<LaneWidth, String> {
+        match bits {
+            64 | 128 | 256 | 512 => Ok(LaneWidth { words: bits / WORD_BITS }),
+            other => Err(format!("unsupported batch width {other} (expected 64, 128, 256 or 512)")),
+        }
+    }
+
+    /// The narrowest width holding `lanes` lanes (`lanes` is clamped
+    /// into `1..=MAX_LANES`).
+    pub fn for_lanes(lanes: usize) -> LaneWidth {
+        let lanes = lanes.clamp(1, MAX_LANES);
+        let words = lanes.div_ceil(WORD_BITS).next_power_of_two();
+        LaneWidth { words }
+    }
+
+    /// Width in lanes (bits).
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.words * WORD_BITS
+    }
+
+    /// Words per vertex at this width.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The next narrower supported width, if any.
+    pub fn narrower(&self) -> Option<LaneWidth> {
+        (self.words > 1).then_some(LaneWidth { words: self.words / 2 })
+    }
+}
+
+/// A lane set up to [`MAX_LANES`] wide: one bit per query lane, stored
+/// as `nwords` active words. All binary operations require equal
+/// widths (debug-asserted); the inactive tail words stay zero.
+///
+/// ```
+/// use cgraph_graph::{LaneMask, LaneWidth};
+/// let w = LaneWidth::new(128).unwrap();
+/// let mut m = LaneMask::zero(w);
+/// m.set(3);
+/// m.set(100);
+/// assert!(m.get(100));
+/// assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![3, 100]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneMask {
+    words: [u64; MAX_LANE_WORDS],
+    nwords: u8,
+}
+
+impl LaneMask {
+    /// The all-zero mask at `width`.
+    pub fn zero(width: LaneWidth) -> LaneMask {
+        LaneMask { words: [0; MAX_LANE_WORDS], nwords: width.words() as u8 }
+    }
+
+    /// A mask with the low `lanes` bits set, at the narrowest width
+    /// holding them.
+    pub fn all(lanes: usize) -> LaneMask {
+        let width = LaneWidth::for_lanes(lanes);
+        let mut m = LaneMask::zero(width);
+        for lane in 0..lanes {
+            m.words[lane / WORD_BITS] |= 1u64 << (lane % WORD_BITS);
+        }
+        m
+    }
+
+    /// Builds a mask from a word slice (`words.len()` must be a valid
+    /// width's word count).
+    pub fn from_words(words: &[u64]) -> LaneMask {
+        debug_assert!(matches!(words.len(), 1 | 2 | 4 | 8), "bad lane word count {}", words.len());
+        let mut m = LaneMask { words: [0; MAX_LANE_WORDS], nwords: words.len() as u8 };
+        m.words[..words.len()].copy_from_slice(words);
+        m
+    }
+
+    /// The mask's width.
+    #[inline]
+    pub fn width(&self) -> LaneWidth {
+        LaneWidth { words: self.nwords as usize }
+    }
+
+    /// Active words (length `width().words()`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words[..self.nwords as usize]
+    }
+
+    /// The full fixed-size backing array (inactive tail is zero).
+    #[inline]
+    pub fn raw(&self) -> [u64; MAX_LANE_WORDS] {
+        self.words
+    }
+
+    /// Tests lane `q`.
+    #[inline]
+    pub fn get(&self, q: usize) -> bool {
+        debug_assert!(q < self.width().bits());
+        self.words[q / WORD_BITS] & (1u64 << (q % WORD_BITS)) != 0
+    }
+
+    /// Sets lane `q`.
+    #[inline]
+    pub fn set(&mut self, q: usize) {
+        debug_assert!(q < self.width().bits());
+        self.words[q / WORD_BITS] |= 1u64 << (q % WORD_BITS);
+    }
+
+    /// `self |= other`.
+    #[inline]
+    pub fn or_assign(&mut self, other: &LaneMask) {
+        debug_assert_eq!(self.nwords, other.nwords);
+        for i in 0..self.nwords as usize {
+            self.words[i] |= other.words[i];
+        }
+    }
+
+    /// `self & other`.
+    #[inline]
+    pub fn and(&self, other: &LaneMask) -> LaneMask {
+        debug_assert_eq!(self.nwords, other.nwords);
+        let mut out = *self;
+        for i in 0..self.nwords as usize {
+            out.words[i] &= other.words[i];
+        }
+        out
+    }
+
+    /// `self & !other`.
+    #[inline]
+    pub fn and_not(&self, other: &LaneMask) -> LaneMask {
+        debug_assert_eq!(self.nwords, other.nwords);
+        let mut out = *self;
+        for i in 0..self.nwords as usize {
+            out.words[i] &= !other.words[i];
+        }
+        out
+    }
+
+    /// True if no lane is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.words[..self.nwords as usize].iter().all(|&w| w == 0)
+    }
+
+    /// True if every bit of `other` is also set in `self`.
+    #[inline]
+    pub fn covers(&self, other: &LaneMask) -> bool {
+        debug_assert_eq!(self.nwords, other.nwords);
+        (0..self.nwords as usize).all(|i| other.words[i] & !self.words[i] == 0)
+    }
+
+    /// Number of set lanes.
+    pub fn count_ones(&self) -> usize {
+        self.words[..self.nwords as usize].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates set lane indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words[..self.nwords as usize].iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+}
+
+/// A `num_vertices × W` bit matrix: row `v` holds, for vertex `v`, one
+/// bit per query lane in `W/64` consecutive words. Used for
+/// `frontier`, `frontierNext` and `visited` in the concurrent
+/// (batched) traversal engine. [`LaneMatrix::new`] builds the classic
+/// single-word (64-lane) MS-BFS layout; [`LaneMatrix::with_width`]
+/// widens the rows.
 ///
 /// ```
 /// use cgraph_graph::LaneMatrix;
@@ -155,53 +365,102 @@ pub const LANES: usize = 64;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LaneMatrix {
     words: Vec<u64>,
+    /// Words per row (`width.words()`).
+    stride: usize,
 }
 
 impl LaneMatrix {
-    /// Creates an all-zero matrix for `num_vertices` vertices.
+    /// Creates an all-zero single-word (64-lane) matrix for
+    /// `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        Self { words: vec![0; num_vertices] }
+        Self::with_width(num_vertices, LaneWidth::W64)
+    }
+
+    /// Creates an all-zero matrix with `width.words()` words per row.
+    pub fn with_width(num_vertices: usize, width: LaneWidth) -> Self {
+        Self { words: vec![0; num_vertices * width.words()], stride: width.words() }
+    }
+
+    /// The row width.
+    #[inline]
+    pub fn width(&self) -> LaneWidth {
+        LaneWidth { words: self.stride }
     }
 
     /// Number of vertices (rows).
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.words.len()
+        self.words.len() / self.stride
     }
 
-    /// The full lane word of vertex `v`.
+    /// The full lane word of vertex `v` (single-word matrices only).
     #[inline]
     pub fn word(&self, v: usize) -> u64 {
+        debug_assert_eq!(self.stride, 1, "word() reads a single-word row");
         self.words[v]
     }
 
+    /// The word group of vertex `v`.
+    #[inline]
+    pub fn row(&self, v: usize) -> &[u64] {
+        &self.words[v * self.stride..(v + 1) * self.stride]
+    }
+
+    /// Mutable word group of vertex `v`.
+    #[inline]
+    pub fn row_mut(&mut self, v: usize) -> &mut [u64] {
+        &mut self.words[v * self.stride..(v + 1) * self.stride]
+    }
+
     /// ORs `mask` into vertex `v`'s word, returning the bits that were
-    /// newly set (i.e. `mask & !old`).
+    /// newly set (i.e. `mask & !old`). Single-word matrices only.
     #[inline]
     pub fn or_new(&mut self, v: usize, mask: u64) -> u64 {
+        debug_assert_eq!(self.stride, 1, "or_new() writes a single-word row");
         let old = self.words[v];
         self.words[v] = old | mask;
         mask & !old
     }
 
-    /// Overwrites vertex `v`'s word.
+    /// ORs `mask` into vertex `v`'s row. Returns true if any bit was
+    /// newly set.
+    #[inline]
+    pub fn or_row(&mut self, v: usize, mask: &LaneMask) -> bool {
+        debug_assert_eq!(mask.width().words(), self.stride);
+        let row = self.row_mut(v);
+        let mut fresh = false;
+        for (r, &m) in row.iter_mut().zip(mask.words()) {
+            fresh |= m & !*r != 0;
+            *r |= m;
+        }
+        fresh
+    }
+
+    /// Vertex `v`'s row as a [`LaneMask`].
+    #[inline]
+    pub fn row_mask(&self, v: usize) -> LaneMask {
+        LaneMask::from_words(self.row(v))
+    }
+
+    /// Overwrites vertex `v`'s word (single-word matrices only).
     #[inline]
     pub fn set_word(&mut self, v: usize, word: u64) {
+        debug_assert_eq!(self.stride, 1, "set_word() writes a single-word row");
         self.words[v] = word;
     }
 
     /// Tests lane `q` of vertex `v`.
     #[inline]
     pub fn get(&self, v: usize, q: usize) -> bool {
-        debug_assert!(q < LANES);
-        self.words[v] & (1u64 << q) != 0
+        debug_assert!(q < self.stride * WORD_BITS);
+        self.words[v * self.stride + q / WORD_BITS] & (1u64 << (q % WORD_BITS)) != 0
     }
 
     /// Sets lane `q` of vertex `v`.
     #[inline]
     pub fn set(&mut self, v: usize, q: usize) {
-        debug_assert!(q < LANES);
-        self.words[v] |= 1u64 << q;
+        debug_assert!(q < self.stride * WORD_BITS);
+        self.words[v * self.stride + q / WORD_BITS] |= 1u64 << (q % WORD_BITS);
     }
 
     /// Zeroes every word (keeps capacity) — used when recycling the
@@ -220,18 +479,22 @@ impl LaneMatrix {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Iterates `(vertex, word)` rows whose word is non-zero.
+    /// Iterates `(vertex, word)` rows whose word is non-zero
+    /// (single-word matrices only).
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        debug_assert_eq!(self.stride, 1, "iter_nonzero() reads single-word rows");
         self.words.iter().copied().enumerate().filter(|&(_, w)| w != 0)
     }
 
     /// Swaps storage with another matrix (frontier ↔ frontierNext flip
     /// at the end of each hop).
     pub fn swap(&mut self, other: &mut LaneMatrix) {
+        debug_assert_eq!(self.stride, other.stride);
         std::mem::swap(&mut self.words, &mut other.words);
     }
 
-    /// Raw words (read-only), indexed by vertex.
+    /// Raw words (read-only), row-major with `width().words()` words
+    /// per vertex.
     #[inline]
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -335,5 +598,72 @@ mod tests {
         assert!(b.is_empty());
         assert!(b.all_zero());
         assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn lane_width_validation_and_fit() {
+        assert!(LaneWidth::new(64).is_ok());
+        assert!(LaneWidth::new(512).is_ok());
+        assert!(LaneWidth::new(100).is_err());
+        assert!(LaneWidth::new(1024).is_err());
+        assert_eq!(LaneWidth::for_lanes(1).bits(), 64);
+        assert_eq!(LaneWidth::for_lanes(64).bits(), 64);
+        assert_eq!(LaneWidth::for_lanes(65).bits(), 128);
+        assert_eq!(LaneWidth::for_lanes(129).bits(), 256);
+        assert_eq!(LaneWidth::for_lanes(257).bits(), 512);
+        assert_eq!(LaneWidth::for_lanes(9999).bits(), 512);
+        assert_eq!(LaneWidth::new(256).unwrap().narrower(), Some(LaneWidth::new(128).unwrap()));
+        assert_eq!(LaneWidth::W64.narrower(), None);
+    }
+
+    #[test]
+    fn lane_mask_set_ops() {
+        let mut a = LaneMask::zero(LaneWidth::new(256).unwrap());
+        a.set(0);
+        a.set(200);
+        let mut b = LaneMask::zero(LaneWidth::new(256).unwrap());
+        b.set(200);
+        b.set(70);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![200]);
+        assert_eq!(a.and_not(&b).iter_ones().collect::<Vec<_>>(), vec![0]);
+        a.or_assign(&b);
+        assert_eq!(a.count_ones(), 3);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(!a.is_zero());
+        assert!(LaneMask::zero(LaneWidth::W64).is_zero());
+    }
+
+    #[test]
+    fn lane_mask_all_covers_exactly_the_low_lanes() {
+        let m = LaneMask::all(130);
+        assert_eq!(m.width().bits(), 256);
+        assert_eq!(m.count_ones(), 130);
+        assert!(m.get(129));
+        assert!(!m.get(130));
+        let full = LaneMask::all(64);
+        assert_eq!(full.words(), &[u64::MAX]);
+    }
+
+    #[test]
+    fn wide_matrix_rows_are_independent() {
+        let w = LaneWidth::new(128).unwrap();
+        let mut m = LaneMatrix::with_width(3, w);
+        m.set(1, 0);
+        m.set(1, 127);
+        assert!(m.get(1, 127));
+        assert!(!m.get(0, 127));
+        assert!(!m.get(2, 0));
+        assert_eq!(m.num_vertices(), 3);
+        assert_eq!(m.row(1), &[1, 1u64 << 63]);
+        assert_eq!(m.count_ones(), 2);
+
+        let mut mask = LaneMask::zero(w);
+        mask.set(127);
+        mask.set(64);
+        assert!(m.or_row(2, &mask), "fresh bits");
+        assert!(!m.or_row(2, &mask), "nothing new the second time");
+        assert_eq!(m.row_mask(2).iter_ones().collect::<Vec<_>>(), vec![64, 127]);
+        assert_eq!(m.size_bytes(), 3 * 2 * 8);
     }
 }

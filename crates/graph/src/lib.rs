@@ -39,7 +39,7 @@ pub mod tile_store;
 pub mod types;
 
 pub use adjacency::Adjacency;
-pub use bitmap::{Bitmap, LaneMatrix};
+pub use bitmap::{Bitmap, LaneMask, LaneMatrix, LaneWidth, MAX_LANES, MAX_LANE_WORDS};
 pub use builder::{BuildOptions, GraphBuilder, ReindexMode};
 pub use csc::Csc;
 pub use csr::Csr;

@@ -90,7 +90,7 @@ impl<'e> Session<'e> {
                     _ => unreachable!(),
                 })
                 .collect();
-            let br = self.engine.run_traversal_batch(&sources, &ks);
+            let br = self.engine.run_traversal_batch(&sources, &ks).unwrap();
             let elapsed = submit.elapsed();
             for (lane, &i) in chunk.iter().enumerate() {
                 let visited = br.per_lane_visited[lane];

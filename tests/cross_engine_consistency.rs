@@ -25,7 +25,7 @@ fn five_implementations_agree() {
 
     for src in [0u64, 7, 63, 200] {
         for k in [1u32, 2, 3] {
-            let batch = sync_engine.run_traversal_batch(&[src], &[k]).per_lane_visited[0];
+            let batch = sync_engine.run_traversal_batch(&[src], &[k]).unwrap().per_lane_visited[0];
             let queue = sync_engine.run_single_queue(&[src], k, ValueMode::TwoLevel).visited;
             let asynch = async_engine.run_single_queue(&[src], k, ValueMode::TwoLevel).visited;
             let t = titan.khop(src, k, "knows").visited;
@@ -58,9 +58,9 @@ fn batched_lanes_match_their_isolated_runs() {
     let engine = DistributedEngine::new(&edges, EngineConfig::new(3));
     let sources: Vec<u64> = (0..64u64).map(|i| (i * 5) % edges.num_vertices()).collect();
     let ks: Vec<u32> = (0..64u32).map(|i| 1 + i % 4).collect();
-    let batch = engine.run_traversal_batch(&sources, &ks);
+    let batch = engine.run_traversal_batch(&sources, &ks).unwrap();
     for lane in (0..64).step_by(7) {
-        let solo = engine.run_traversal_batch(&[sources[lane]], &[ks[lane]]);
+        let solo = engine.run_traversal_batch(&[sources[lane]], &[ks[lane]]).unwrap();
         assert_eq!(
             batch.per_lane_visited[lane], solo.per_lane_visited[0],
             "lane {lane} (src {}, k {})",

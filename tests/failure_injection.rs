@@ -2,7 +2,7 @@
 //! machine panics, when inputs are degenerate, and when the system is
 //! pushed past its sizing assumptions.
 
-use cgraph::core::FaultInjection;
+use cgraph::core::{EngineError, FaultInjection};
 use cgraph::prelude::*;
 use cgraph_comm::{Cluster, ClusterError, PersistentCluster};
 use std::sync::Arc;
@@ -76,7 +76,7 @@ fn zero_hop_batch_touches_nothing() {
     let e = DistributedEngine::new(&g, EngineConfig::new(2));
     let sources: Vec<u64> = (0..64).collect();
     let ks = vec![0u32; 64];
-    let r = e.run_traversal_batch(&sources, &ks);
+    let r = e.run_traversal_batch(&sources, &ks).unwrap();
     assert!(r.per_lane_visited.iter().all(|&v| v == 1), "{:?}", r.per_lane_visited);
 }
 
@@ -88,7 +88,7 @@ fn duplicate_sources_in_one_batch() {
     let e = DistributedEngine::new(&g, EngineConfig::new(2));
     let sources = vec![5u64; 10];
     let ks: Vec<u32> = (1..=10).collect();
-    let r = e.run_traversal_batch(&sources, &ks);
+    let r = e.run_traversal_batch(&sources, &ks).unwrap();
     for (lane, &k) in ks.iter().enumerate() {
         assert_eq!(r.per_lane_visited[lane], k as u64 + 1, "lane {lane}");
     }
@@ -133,7 +133,7 @@ fn persistent_batch_panic_errors_and_cluster_survives() {
         .run_traversal_batch_on_hooked(&cluster, &[0, 24], &[3, 3], Some(boom))
         .expect_err("faulted batch must error");
     match err {
-        ClusterError::MachinePanicked { machine, message } => {
+        EngineError::Cluster(ClusterError::MachinePanicked { machine, message }) => {
             assert_eq!(machine, 2, "root cause, not a poison-cascade victim");
             assert!(message.contains("injected batch fault"), "{message}");
         }
@@ -239,7 +239,7 @@ fn crash_at_every_superstep_sweep() {
         for sync in [true, false] {
             let cfg = if sync { EngineConfig::new(p) } else { EngineConfig::new(p).asynchronous() };
             let e = DistributedEngine::new(&g, cfg);
-            let baseline = e.run_traversal_batch(&sources, &ks);
+            let baseline = e.run_traversal_batch(&sources, &ks).unwrap();
             let cluster = PersistentCluster::new(p);
             let rc = RecoveryConfig { checkpoint_interval: 3, max_recoveries: 3 };
             // Supersteps run 0..=8 (boundary 9 observes completion);
@@ -263,6 +263,34 @@ fn crash_at_every_superstep_sweep() {
             cluster.shutdown();
         }
     }
+}
+
+#[test]
+fn crash_sweep_at_128_lane_width() {
+    // The superstep crash sweep again, but on a two-word (W = 128)
+    // batch: recovery snapshots, sender logs, and live-lane masks all
+    // carry multi-word lane state, and every crash point must still
+    // reproduce the fault-free baseline bit-for-bit. Fixed seed so CI
+    // failures replay exactly.
+    let g: EdgeList = (0..96u64).map(|v| (v, (v + 1) % 96)).collect();
+    let sources: Vec<u64> = (0..128).map(|i| (i * 7) % 96).collect();
+    let ks: Vec<u32> = (0..128).map(|i| 2 + (i % 5) as u32).collect();
+    let p = 4;
+    let e = DistributedEngine::new(&g, EngineConfig::new(p));
+    let baseline = e.run_traversal_batch(&sources, &ks).unwrap();
+    let cluster = PersistentCluster::new(p);
+    let rc = RecoveryConfig { checkpoint_interval: 2, max_recoveries: 3 };
+    for s in 0..=7u32 {
+        let m = s as usize % p;
+        let plan = FaultPlan::new(4242 + u64::from(s)).crash(m, s).heal_after(1);
+        let fault = FaultInjection { plan: &plan, job: u64::from(s), first_attempt: 0 };
+        let (br, _) = e
+            .run_traversal_batch_recoverable(&cluster, &sources, &ks, &rc, Some(fault))
+            .unwrap_or_else(|err| panic!("W=128 crash {m}@{s}: unrecovered {err}"));
+        assert_eq!(br.per_lane_visited, baseline.per_lane_visited, "W=128 crash {m}@{s}");
+        assert_eq!(br.per_level, baseline.per_level, "W=128 crash {m}@{s}");
+    }
+    cluster.shutdown();
 }
 
 #[test]

@@ -52,6 +52,17 @@ fn reference_khop(csr: &Csr, source: VertexId, k: u32) -> u64 {
     count
 }
 
+/// One lane's level profile (its column of `per_level`), trimmed of
+/// trailing zeros so profiles compare across batches of different
+/// depths.
+fn lane_levels(br: &cgraph::core::engine::BatchResult, lane: usize) -> Vec<u64> {
+    let mut v: Vec<u64> = br.per_level.iter().map(|row| row[lane]).collect();
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -181,7 +192,7 @@ proptest! {
         let engine = DistributedEngine::new(&edges, EngineConfig::new(machines));
         let sources: Vec<u64> = src_picks.iter().map(|s| s % n).collect();
         let ks = vec![k; sources.len()];
-        let baseline = engine.run_traversal_batch(&sources, &ks);
+        let baseline = engine.run_traversal_batch(&sources, &ks).unwrap();
         let cluster = PersistentCluster::new(machines);
         let plan = FaultPlan::new(n ^ 0x5eed)
             .crash(crash_pick % machines, crash_step)
@@ -211,7 +222,7 @@ proptest! {
         let engine = DistributedEngine::new(&edges, EngineConfig::new(machines));
         let sources = [src_pick % n];
         let ks = [k];
-        let baseline = engine.run_traversal_batch(&sources, &ks);
+        let baseline = engine.run_traversal_batch(&sources, &ks).unwrap();
         let cluster = PersistentCluster::new(machines);
         let plan = FaultPlan::new(n.wrapping_mul(31) ^ 0xd409).with_drop(drop_prob).heal_after(1);
         let rc = RecoveryConfig { checkpoint_interval: interval, max_recoveries: 3 };
@@ -221,6 +232,75 @@ proptest! {
         let (br, _report) = run.expect("healed lossy plan must recover");
         prop_assert_eq!(br.per_lane_visited, baseline.per_lane_visited);
         prop_assert_eq!(br.per_level, baseline.per_level);
+    }
+
+    #[test]
+    fn wide_batch_is_bit_identical_to_64_lane_chunks(
+        (n, pairs) in graph_strategy(100, 350),
+        width_pick in 0usize..2,
+        src_salt in 0u64..1000,
+        p_pick in 0usize..3,
+    ) {
+        // A W-wide batch (W ∈ {128, 256}) must be observationally
+        // identical to running its lanes as W/64 separate 64-lane
+        // batches: same per-lane visited count, same per-lane level
+        // profile. Lanes never bleed across word boundaries.
+        let width = [128usize, 256][width_pick];
+        let p = [1usize, 2, 4][p_pick];
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(p));
+        let sources: Vec<u64> = (0..width as u64).map(|i| (i * 13 + src_salt) % n).collect();
+        let ks: Vec<u32> = (0..width).map(|i| 1 + (i % 5) as u32).collect();
+        let wide = engine.run_traversal_batch(&sources, &ks).unwrap();
+        for (chunk, (cs, ck)) in sources.chunks(64).zip(ks.chunks(64)).enumerate() {
+            let narrow = engine.run_traversal_batch(cs, ck).unwrap();
+            for lane in 0..cs.len() {
+                let wl = chunk * 64 + lane;
+                prop_assert_eq!(wide.per_lane_visited[wl], narrow.per_lane_visited[lane],
+                    "visited diverges at wide lane {}", wl);
+                prop_assert_eq!(lane_levels(&wide, wl), lane_levels(&narrow, lane),
+                    "level profile diverges at wide lane {}", wl);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_recovered_batch_matches_chunked_fault_free(
+        (n, pairs) in graph_strategy(80, 250),
+        src_salt in 0u64..500,
+        p_pick in 0usize..2,
+        crash_pick in 0usize..8,
+        crash_step in 0u32..6,
+        interval in 1u32..4,
+    ) {
+        // The same chunk-equivalence must hold when the 128-wide batch
+        // crashes mid-flight and recovers: multi-word snapshots, sender
+        // logs, and live-lane masks may not corrupt any lane.
+        let width = 128usize;
+        let p = [2usize, 4][p_pick];
+        let edges = build_list(n, &pairs);
+        let engine = DistributedEngine::new(&edges, EngineConfig::new(p));
+        let sources: Vec<u64> = (0..width as u64).map(|i| (i * 11 + src_salt) % n).collect();
+        let ks: Vec<u32> = (0..width).map(|i| 1 + (i % 4) as u32).collect();
+        let cluster = PersistentCluster::new(p);
+        let plan = FaultPlan::new(n ^ 0xd1de)
+            .crash(crash_pick % p, crash_step)
+            .heal_after(1);
+        let rc = RecoveryConfig { checkpoint_interval: interval, max_recoveries: 3 };
+        let fault = FaultInjection { plan: &plan, job: 0, first_attempt: 0 };
+        let run = engine.run_traversal_batch_recoverable(&cluster, &sources, &ks, &rc, Some(fault));
+        cluster.shutdown();
+        let (wide, _report) = run.expect("healed crash must recover");
+        for (chunk, (cs, ck)) in sources.chunks(64).zip(ks.chunks(64)).enumerate() {
+            let narrow = engine.run_traversal_batch(cs, ck).unwrap();
+            for lane in 0..cs.len() {
+                let wl = chunk * 64 + lane;
+                prop_assert_eq!(wide.per_lane_visited[wl], narrow.per_lane_visited[lane],
+                    "recovered visited diverges at wide lane {}", wl);
+                prop_assert_eq!(lane_levels(&wide, wl), lane_levels(&narrow, lane),
+                    "recovered level profile diverges at wide lane {}", wl);
+            }
+        }
     }
 
     #[test]
