@@ -1,0 +1,125 @@
+//! In-flight query coalescing.
+//!
+//! While one `(source, k)` traversal executes, every identical query
+//! that arrives can wait for *that* execution instead of burning a
+//! lane of its own. The [`Coalescer`] is the registry making this
+//! safe: the dispatcher registers each lane's key before running the
+//! batch, submitters attach their tickets to a registered key, and on
+//! completion the dispatcher drains the attached waiters and fans the
+//! single result (or the failure) out to all of them.
+//!
+//! The table is generic over the waiter type and key type so it can be
+//! unit-tested without the service machinery.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Registry of executions in flight, each with its attached waiters.
+pub struct Coalescer<K, W> {
+    inflight: HashMap<K, Vec<W>>,
+    attached_total: u64,
+}
+
+impl<K: Eq + Hash + Clone, W> Default for Coalescer<K, W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, W> Coalescer<K, W> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self { inflight: HashMap::new(), attached_total: 0 }
+    }
+
+    /// Registers `key` as executing. Returns `false` (and registers
+    /// nothing) if the key is already in flight — the caller should
+    /// have coalesced into the running execution instead.
+    pub fn begin(&mut self, key: K) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.inflight.entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(Vec::new());
+                true
+            }
+        }
+    }
+
+    /// Attaches `waiter` to a running execution of `key`. Returns the
+    /// waiter back when the key is *not* in flight — the caller must
+    /// then queue it for execution.
+    pub fn attach(&mut self, key: &K, waiter: W) -> Option<W> {
+        match self.inflight.get_mut(key) {
+            Some(ws) => {
+                ws.push(waiter);
+                self.attached_total += 1;
+                None
+            }
+            None => Some(waiter),
+        }
+    }
+
+    /// Completes the execution of `key`, returning every waiter that
+    /// attached while it ran. The caller fans the result out to them.
+    pub fn complete(&mut self, key: &K) -> Vec<W> {
+        self.inflight.remove(key).unwrap_or_default()
+    }
+
+    /// True when `key` currently has a registered execution.
+    pub fn in_flight(&self, key: &K) -> bool {
+        self.inflight.contains_key(key)
+    }
+
+    /// Number of executions currently registered.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Lifetime count of waiters that attached to a running execution
+    /// (each one is a lane the coalescer freed for distinct work).
+    pub fn attached_total(&self) -> u64 {
+        self.attached_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_only_while_in_flight() {
+        let mut c: Coalescer<(u64, u32), &str> = Coalescer::new();
+        // Nothing in flight: the waiter comes straight back.
+        assert_eq!(c.attach(&(7, 3), "early"), Some("early"));
+        assert!(c.begin((7, 3)));
+        assert_eq!(c.attach(&(7, 3), "a"), None);
+        assert_eq!(c.attach(&(7, 3), "b"), None);
+        assert_eq!(c.attach(&(8, 3), "other"), Some("other"));
+        assert_eq!(c.complete(&(7, 3)), vec!["a", "b"]);
+        assert!(!c.in_flight(&(7, 3)));
+        assert_eq!(c.attached_total(), 2);
+    }
+
+    #[test]
+    fn double_begin_is_rejected() {
+        let mut c: Coalescer<u64, ()> = Coalescer::new();
+        assert!(c.begin(1));
+        assert!(!c.begin(1), "a key may have only one execution in flight");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn complete_without_waiters_is_empty() {
+        let mut c: Coalescer<u64, ()> = Coalescer::new();
+        c.begin(5);
+        assert!(c.complete(&5).is_empty());
+        assert!(c.complete(&5).is_empty(), "completing twice is harmless");
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Bounded, deterministic reachability result cache.
+//!
+//! Answers repeat `(source, k)` reachability queries from bounded
+//! cached state instead of re-traversing (the direction Fan et al.'s
+//! *Performance Guarantees for Distributed Reachability Queries*
+//! motivates): a hit costs two hash probes, a miss costs nothing but
+//! the probe. The cache is a plain data structure — callers wrap it in
+//! whatever lock their concurrency story needs — and is deterministic
+//! by construction: eviction order depends only on the sequence of
+//! `get`/`insert` calls (a logical clock), never on wall time.
+
+use std::collections::HashMap;
+
+/// Identity of one cached traversal result.
+///
+/// The `epoch` component is the graph's logical version: results are
+/// only valid for the graph they were computed on, so lookups always
+/// carry the *current* epoch and a bumped epoch (after a mutation)
+/// orphans every older entry without touching them individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Source vertex of the traversal.
+    pub source: u64,
+    /// Hop budget `k`.
+    pub k: u32,
+    /// Graph epoch the result was computed against.
+    pub epoch: u64,
+}
+
+/// One cached traversal result — the per-lane outputs of a committed
+/// batch, exactly what the service fans out to tickets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedTraversal {
+    /// Distinct vertices reached (including the source).
+    pub visited: u64,
+    /// Vertices first reached at each hop (trailing zeros trimmed, the
+    /// canonical packing-invariant form).
+    pub per_level: Vec<u64>,
+}
+
+impl CachedTraversal {
+    /// Bytes this entry charges against the capacity: key + fixed
+    /// entry overhead (table slot, clock bit, visited count) plus the
+    /// level profile payload.
+    pub fn weight_bytes(&self) -> usize {
+        ENTRY_OVERHEAD_BYTES + 8 * self.per_level.len()
+    }
+}
+
+/// Fixed per-entry byte charge covering the key, the slot bookkeeping
+/// and the `visited` word — the payload (`per_level`) is charged on
+/// top. Kept deliberately round so capacity math is predictable.
+pub const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Lifetime counters of one [`ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a current-epoch entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the CLOCK hand to make room.
+    pub evictions: u64,
+    /// Entries dropped by epoch invalidation.
+    pub invalidated: u64,
+}
+
+/// A CLOCK (second-chance) slot.
+struct Slot {
+    key: CacheKey,
+    value: CachedTraversal,
+    /// Second-chance bit: set on every hit, cleared (once) by the
+    /// sweeping hand before the slot becomes an eviction candidate.
+    referenced: bool,
+}
+
+/// Bounded reachability result cache with second-chance (CLOCK)
+/// eviction over a logical access clock.
+///
+/// ```
+/// use cgraph_cache::{CacheKey, CachedTraversal, ResultCache};
+/// let mut cache = ResultCache::new(4096);
+/// let key = CacheKey { source: 7, k: 3, epoch: 0 };
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key, CachedTraversal { visited: 4, per_level: vec![1, 1, 1, 1] });
+/// assert_eq!(cache.get(&key).unwrap().visited, 4);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct ResultCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    /// CLOCK ring: slots are appended while capacity lasts and reused
+    /// in place after eviction, so the hand sweeps a stable ring.
+    slots: Vec<Option<Slot>>,
+    /// Reusable holes in `slots` left by eviction/invalidation.
+    free: Vec<usize>,
+    index: HashMap<CacheKey, usize>,
+    hand: usize,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `capacity_bytes` of entry weight.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently charged by live entries.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks `key` up, granting the entry its second chance on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&CachedTraversal> {
+        match self.index.get(key) {
+            Some(&i) => {
+                self.stats.hits += 1;
+                let slot = self.slots[i].as_mut().expect("indexed slot is live");
+                slot.referenced = true;
+                Some(&slot.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting with the CLOCK hand until
+    /// it fits. Returns the number of entries evicted to make room.
+    /// An entry wider than the whole capacity is rejected (returns 0,
+    /// inserts nothing); re-inserting a live key replaces its value.
+    pub fn insert(&mut self, key: CacheKey, value: CachedTraversal) -> u64 {
+        let weight = value.weight_bytes();
+        if weight > self.capacity_bytes {
+            return 0;
+        }
+        if let Some(&i) = self.index.get(&key) {
+            // Replace in place: re-charge the weight difference.
+            let slot = self.slots[i].as_mut().expect("indexed slot is live");
+            self.used_bytes -= slot.value.weight_bytes();
+            self.used_bytes += weight;
+            slot.value = value;
+            slot.referenced = true;
+            // A replacement may overshoot capacity; let the hand trim.
+            let evicted = self.make_room(0);
+            self.stats.evictions += evicted;
+            return evicted;
+        }
+        let evicted = self.make_room(weight);
+        self.stats.evictions += evicted;
+        self.stats.insertions += 1;
+        self.used_bytes += weight;
+        let slot = Slot { key, value, referenced: false };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(key, i);
+        evicted
+    }
+
+    /// Drops every entry whose epoch is older than `epoch` (the
+    /// explicit invalidation lever for dynamic-graph work). Returns
+    /// the number of entries dropped.
+    pub fn invalidate_before(&mut self, epoch: u64) -> u64 {
+        let mut dropped = 0u64;
+        for i in 0..self.slots.len() {
+            let stale = matches!(&self.slots[i], Some(s) if s.key.epoch < epoch);
+            if stale {
+                let s = self.slots[i].take().expect("checked live");
+                self.used_bytes -= s.value.weight_bytes();
+                self.index.remove(&s.key);
+                self.free.push(i);
+                dropped += 1;
+            }
+        }
+        self.stats.invalidated += dropped;
+        dropped
+    }
+
+    /// Sweeps the CLOCK hand until `extra` more bytes fit. Referenced
+    /// slots get their second chance (bit cleared, hand moves on);
+    /// unreferenced slots are evicted.
+    fn make_room(&mut self, extra: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.used_bytes + extra > self.capacity_bytes && !self.index.is_empty() {
+            let n = self.slots.len();
+            debug_assert!(n > 0);
+            let i = self.hand % n;
+            self.hand = (self.hand + 1) % n;
+            match &mut self.slots[i] {
+                Some(s) if s.referenced => s.referenced = false,
+                Some(_) => {
+                    let s = self.slots[i].take().expect("checked live");
+                    self.used_bytes -= s.value.weight_bytes();
+                    self.index.remove(&s.key);
+                    self.free.push(i);
+                    evicted += 1;
+                }
+                None => {}
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(source: u64, k: u32, epoch: u64) -> CacheKey {
+        CacheKey { source, k, epoch }
+    }
+
+    fn val(visited: u64, levels: usize) -> CachedTraversal {
+        CachedTraversal { visited, per_level: vec![1; levels] }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = ResultCache::new(1024);
+        assert!(c.get(&key(1, 3, 0)).is_none());
+        c.insert(key(1, 3, 0), val(9, 4));
+        assert_eq!(c.get(&key(1, 3, 0)).unwrap().visited, 9);
+        // Different k, source or epoch are distinct identities.
+        assert!(c.get(&key(1, 2, 0)).is_none());
+        assert!(c.get(&key(2, 3, 0)).is_none());
+        assert!(c.get(&key(1, 3, 1)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 4, 1));
+    }
+
+    #[test]
+    fn capacity_is_enforced_in_bytes() {
+        // Room for exactly two minimal entries.
+        let w = val(0, 0).weight_bytes();
+        let mut c = ResultCache::new(2 * w);
+        c.insert(key(1, 1, 0), val(1, 0));
+        c.insert(key(2, 1, 0), val(2, 0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used_bytes(), 2 * w);
+        let evicted = c.insert(key(3, 1, 0), val(3, 0));
+        assert_eq!(evicted, 1, "third entry must evict one");
+        assert_eq!(c.len(), 2);
+        assert!(c.used_bytes() <= c.capacity_bytes());
+    }
+
+    #[test]
+    fn clock_grants_second_chance_to_hot_entries() {
+        let w = val(0, 0).weight_bytes();
+        let mut c = ResultCache::new(2 * w);
+        c.insert(key(1, 1, 0), val(1, 0));
+        c.insert(key(2, 1, 0), val(2, 0));
+        // Touch entry 1: its referenced bit protects it from the first
+        // sweep, so the insert evicts entry 2.
+        assert!(c.get(&key(1, 1, 0)).is_some());
+        c.insert(key(3, 1, 0), val(3, 0));
+        assert!(c.get(&key(1, 1, 0)).is_some(), "hot entry must survive");
+        assert!(c.get(&key(2, 1, 0)).is_none(), "cold entry must be the victim");
+    }
+
+    #[test]
+    fn eviction_is_deterministic_for_identical_histories() {
+        let run = || {
+            let mut c = ResultCache::new(5 * val(0, 2).weight_bytes());
+            for i in 0..50u64 {
+                c.insert(key(i, 3, 0), val(i, 2));
+                // A deterministic access pattern with reuse.
+                let _ = c.get(&key(i / 2, 3, 0));
+            }
+            let mut live: Vec<u64> =
+                (0..50).filter(|&i| c.index.contains_key(&key(i, 3, 0))).collect();
+            live.sort_unstable();
+            (live, c.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let mut c = ResultCache::new(ENTRY_OVERHEAD_BYTES + 8);
+        c.insert(key(1, 1, 0), val(1, 0));
+        assert_eq!(c.insert(key(2, 1, 0), val(2, 1000)), 0);
+        assert!(c.get(&key(2, 1, 0)).is_none(), "oversized entry must not land");
+        assert!(c.get(&key(1, 1, 0)).is_some(), "resident entry must not be collateral");
+    }
+
+    #[test]
+    fn replacing_a_live_key_recharges_weight() {
+        let mut c = ResultCache::new(1024);
+        c.insert(key(1, 1, 0), val(1, 10));
+        let used = c.used_bytes();
+        c.insert(key(1, 1, 0), val(1, 2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(used - c.used_bytes(), 8 * 8, "8 fewer levels at 8 bytes each");
+        assert_eq!(c.get(&key(1, 1, 0)).unwrap().per_level.len(), 2);
+    }
+
+    #[test]
+    fn epoch_invalidation_drops_only_older_entries() {
+        let mut c = ResultCache::new(4096);
+        c.insert(key(1, 3, 0), val(1, 1));
+        c.insert(key(2, 3, 0), val(2, 1));
+        c.insert(key(3, 3, 1), val(3, 1));
+        assert_eq!(c.invalidate_before(1), 2);
+        assert!(c.get(&key(1, 3, 0)).is_none());
+        assert!(c.get(&key(2, 3, 0)).is_none());
+        assert_eq!(c.get(&key(3, 3, 1)).unwrap().visited, 3);
+        assert_eq!(c.stats().invalidated, 2);
+        // Freed slots are reused; capacity accounting stays exact.
+        let before = c.used_bytes();
+        c.insert(key(4, 3, 1), val(4, 1));
+        assert_eq!(c.used_bytes(), before + val(4, 1).weight_bytes());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing_and_never_panics() {
+        let mut c = ResultCache::new(0);
+        assert_eq!(c.insert(key(1, 1, 0), val(1, 0)), 0);
+        assert!(c.get(&key(1, 1, 0)).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -3,7 +3,8 @@
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
 use cgraph_core::{
-    FaultPlan, KhopQuery, QueryService, RecoveryConfig, SchedulerConfig, ServiceConfig,
+    FaultPlan, KhopQuery, QueryPlaneConfig, QueryService, RecoveryConfig, SchedulerConfig,
+    ServiceConfig,
 };
 use cgraph_obs::{Obs, TraceSink};
 use cgraph_ql::Session;
@@ -144,6 +145,9 @@ const SERVICE_FLAGS: &[&str] = &[
     "--batch-width",
     "--delay-us",
     "--depth",
+    "--cache-mb",
+    "--coalesce",
+    "--pack-locality",
     "--chaos",
     "--deadline-ms",
     "--retries",
@@ -216,6 +220,13 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
     let max_retries: u32 = args.flag_parse("--retries", 2)?;
     let ckpt: u32 = args.flag_parse("--ckpt-interval", 4)?;
     let degrade: u32 = args.flag_parse("--degrade-after", 0)?;
+    let cache_mb: usize = args.flag_parse("--cache-mb", 0)?;
+    let query_plane = QueryPlaneConfig {
+        cache_capacity_bytes: (cache_mb > 0).then_some(cache_mb << 20),
+        coalesce: args.switch("--coalesce"),
+        pack_locality: args.switch("--pack-locality"),
+        ..Default::default()
+    };
     let edges = load_graph(path)?;
     let engine = Arc::new(build_engine(&edges, machines));
     Ok(QueryService::start(
@@ -226,6 +237,7 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
             max_queue_depth: depth,
             fault_plan,
             query_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            query_plane,
             max_retries,
             recovery: RecoveryConfig { checkpoint_interval: ckpt, ..Default::default() },
             degrade_after: (degrade > 0).then_some(degrade),
@@ -244,7 +256,8 @@ fn print_service_stats(service: &QueryService) {
     println!(
         "stats completed={} failed={} deadline_exceeded={} batches={} retries={} \
          recoveries={} checkpoints_taken={} checkpoints_restored={} partitions_replayed={} \
-         full_rollbacks={} degraded={}",
+         full_rollbacks={} degraded={} cache_hits={} cache_misses={} cache_insertions={} \
+         cache_evictions={} coalesced={}",
         s.queries_completed,
         s.queries_failed,
         s.queries_deadline_exceeded,
@@ -256,6 +269,11 @@ fn print_service_stats(service: &QueryService) {
         s.partitions_replayed,
         s.full_rollbacks,
         s.degraded_generations,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_insertions,
+        s.cache_evictions,
+        s.coalesced_traversals,
     );
     println!(
         "served {} queries ({} failed, {} past deadline) in {} batches; \
@@ -269,6 +287,21 @@ fn print_service_stats(service: &QueryService) {
         s.response.quantile(0.95),
         s.response.max(),
     );
+    if s.cache_hits + s.cache_misses + s.coalesced_traversals > 0 {
+        let lookups = s.cache_hits + s.cache_misses;
+        let pct = if lookups > 0 { 100.0 * s.cache_hits as f64 / lookups as f64 } else { 0.0 };
+        println!(
+            "query plane: {} cache hits / {} lookups ({pct:.1}%), {} inserted, {} evicted, \
+             {} entries ({} B) resident, {} traversals coalesced",
+            s.cache_hits,
+            lookups,
+            s.cache_insertions,
+            s.cache_evictions,
+            s.cache_entries,
+            s.cache_bytes,
+            s.coalesced_traversals,
+        );
+    }
     if s.retries + s.recoveries + s.full_rollbacks + s.degraded_generations > 0 {
         println!(
             "robustness: {} retries, {} recoveries ({} checkpoints taken, {} restored, \
@@ -374,18 +407,29 @@ pub fn serve(args: Args) -> Result<(), String> {
 /// responses — exactly how an external client population behaves.
 pub fn replay(args: Args) -> Result<(), String> {
     let mut known: Vec<&str> = SERVICE_FLAGS.to_vec();
-    known.extend(["-q", "-k", "--rate"]);
+    known.extend(["-q", "-k", "--rate", "--zipf", "--zipf-seed"]);
     args.reject_unknown(&known)?;
     let path = args.require(0, "graph file")?;
     let queries: usize = args.flag_parse("-q", 1000)?;
     let k: u32 = args.flag_parse("-k", 3)?;
     let rate: f64 = args.flag_parse("--rate", 0.0)?;
+    let zipf_alpha: f64 = args.flag_parse("--zipf", 0.0)?;
+    let zipf_seed: u64 = args.flag_parse("--zipf-seed", 42)?;
     let obs = obs_from_args(&args);
     let service = start_service(&args, path, obs.as_ref())?;
     let n = {
         let edges = load_graph(path)?;
         edges.num_vertices()
     };
+
+    // `--zipf A` replays a seeded Zipf(A)-skewed source stream — the
+    // repeat-heavy traffic shape the query plane (result cache and
+    // coalescing) is built for; the default is the legacy scrambled
+    // near-uniform stream.
+    let zipf_sources: Option<Vec<u64>> = (zipf_alpha > 0.0).then(|| {
+        let stream = cgraph_gen::QueryStream::zipf(zipf_seed, zipf_alpha, queries);
+        stream.ranks().iter().map(|&r| (r as u64).wrapping_mul(0x9E37) % n).collect()
+    });
 
     let start = Instant::now();
     let mut tickets = Vec::with_capacity(queries);
@@ -397,7 +441,10 @@ pub fn replay(args: Args) -> Result<(), String> {
                 std::thread::sleep(due - now);
             }
         }
-        let source = (i as u64).wrapping_mul(0x9E37) % n;
+        let source = match &zipf_sources {
+            Some(srcs) => srcs[i],
+            None => (i as u64).wrapping_mul(0x9E37) % n,
+        };
         tickets.push(service.submit(KhopQuery::single(i, source, k)).map_err(|e| e.to_string())?);
     }
     let mut visited = 0u64;

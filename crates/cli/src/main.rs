@@ -71,12 +71,24 @@ USAGE:
   cgraph query <FILE> [-p MACHINES] [-e STATEMENT]...  (or statements on stdin)
   cgraph bench <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS]
   cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]   (queries on stdin: \"SRC.. K\")
-  cgraph replay <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS] [--rate QPS]
+  cgraph replay <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS] [--rate QPS] [--zipf A]
 
 SERVICE BATCHING (serve & replay):
   --batch-width W    packed traversal width: 64, 128, 256 or 512 lanes
                      per batch (default 64); the memory budget may
                      step a wide batch back down
+
+QUERY PLANE (serve & replay):
+  --cache-mb MB      result cache capacity in MiB (0 = off, the default);
+                     deterministic CLOCK eviction, repeat queries answered
+                     without burning a lane
+  --coalesce         single-flight identical (source, k) queries: queued
+                     and in-flight duplicates share one execution
+  --pack-locality    pack batches by source partition locality (bounded
+                     fairness; cold partitions are never starved)
+  --zipf A           (replay) draw sources from a seeded Zipf(A) stream —
+                     repeat-heavy traffic the query plane can harvest
+                     (0 = legacy near-uniform stream; see --zipf-seed)
 
 SERVICE ROBUSTNESS (serve & replay):
   --chaos SPEC       deterministic fault plan, e.g.

@@ -56,6 +56,8 @@ pub use partition::RangePartition;
 pub use query::{KhopQuery, QueryResult};
 pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use scheduler::{QueryScheduler, SchedulerConfig};
-pub use service::{QueryService, QueryTicket, ServiceConfig, ServiceError, ServiceStats};
+pub use service::{
+    QueryPlaneConfig, QueryService, QueryTicket, ServiceConfig, ServiceError, ServiceStats,
+};
 pub use shard::Shard;
 pub use vcm::{VertexProgram, VertexScope};

@@ -219,6 +219,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_latency_samples_are_first_class() {
+        // Cache hits complete with a literal Duration::ZERO exec (and
+        // near-zero response) sample; every statistic must treat zeros
+        // as ordinary points, not drop or blow up on them.
+        let s = ResponseStats::new(vec![Duration::ZERO, Duration::ZERO, Duration::from_millis(10)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.min(), Duration::ZERO);
+        assert_eq!(s.quantile(0.0), Duration::ZERO);
+        assert_eq!(s.median(), Duration::ZERO);
+        // round(10 ms / 3) to the nearest nanosecond.
+        assert_eq!(s.mean(), Duration::from_nanos(3_333_333));
+        // A zero threshold counts the zero samples (<=, not <).
+        assert!((s.fraction_within(Duration::ZERO) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.five_number()[0], Duration::ZERO);
+        // A rank served in zero time must not produce an infinite or
+        // NaN rankwise speedup.
+        let sp = rankwise_speedup(&s, &ms(&[1, 2, 3]));
+        assert!(sp.iter().all(|v| v.is_finite()), "{sp:?}");
+    }
+
+    #[test]
+    fn all_zero_distribution_is_safe() {
+        // Every query answered from the cache: the entire distribution
+        // collapses to zero and all views must stay well-defined.
+        let s = ResponseStats::new(vec![Duration::ZERO; 4]);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert_eq!(s.fraction_within(Duration::ZERO), 1.0);
+        assert_eq!(
+            s.cumulative_histogram(&[Duration::ZERO, Duration::from_millis(1)]),
+            vec![100.0, 100.0]
+        );
+        let sp = rankwise_speedup(&s, &s);
+        assert!(sp.iter().all(|v| v.is_finite() && *v >= 0.0), "{sp:?}");
+    }
+
+    #[test]
     fn speedup_rankwise() {
         let ours = ms(&[10, 20]);
         let base = ms(&[100, 400]);

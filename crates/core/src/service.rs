@@ -28,6 +28,34 @@
 //!   into [`ResponseStats`], the same distributions every figure of §4
 //!   reports.
 //!
+//! # Query plane
+//!
+//! Between admission and the engine sits an optional **query plane**
+//! ([`QueryPlaneConfig`]) exploiting the redundancy of real request
+//! streams (the paper's "heavy traffic from millions of users" is
+//! Zipf-skewed — the same hot sources are queried over and over):
+//!
+//! * a **result cache** ([`cgraph_cache::ResultCache`]) answers
+//!   repeated `(source, k)` queries without burning a lane: bounded in
+//!   bytes, CLOCK-evicted on a logical clock (no wall time — runs are
+//!   reproducible), keyed by `(source, k, graph_epoch)` and
+//!   invalidated wholesale by [`QueryService::invalidate_cache`].
+//!   Only *committed* batches populate it: insertion happens exactly
+//!   once, on the engine's `Ok` return, after every in-batch recovery
+//!   and retry has resolved — a crashed or degraded attempt can never
+//!   leak partial state into the cache;
+//! * an **in-flight coalescer** ([`cgraph_cache::Coalescer`])
+//!   single-flights identical traversals: while one executes, every
+//!   duplicate — queued behind it or arriving mid-batch — attaches to
+//!   that execution and shares its result (or its failure);
+//! * a **locality-aware packer** ([`cgraph_cache::pack_locality`])
+//!   fills batches with queries whose sources share partition ranges,
+//!   under a strict fairness bound so cold-partition queries are
+//!   delayed at most [`QueryPlaneConfig::locality_fairness`] batches;
+//! * independent of all knobs, batch formation **never spends two
+//!   lanes on identical `(source, k)` traversals**: duplicates inside
+//!   one batch window always collapse into a single lane.
+//!
 //! # Fault-tolerance policy
 //!
 //! The service layers *policy* over the engine's recovery *mechanism*
@@ -77,14 +105,19 @@ use crate::metrics::ResponseStats;
 use crate::query::{KhopQuery, QueryResult};
 use crate::recovery::RecoveryConfig;
 use crate::scheduler::{QueryScheduler, SchedulerConfig};
+use cgraph_cache::{
+    pack_fifo, pack_locality, CacheKey, CachedTraversal, Coalescer, PackItem, PackPolicy,
+    ResultCache,
+};
 use cgraph_comm::chaos::FaultPlan;
 use cgraph_comm::{ClusterError, PersistentCluster};
 use cgraph_graph::LaneWidth;
 use cgraph_obs::{
     log2_edges, Counter, Gauge, Histogram, Obs, TraceCtx, Tracer, COORD, PAPER_LATENCY_EDGES_SECS,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -125,6 +158,44 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Knobs of the query plane sitting between admission and the engine:
+/// result caching, in-flight coalescing and locality-aware packing.
+/// Everything defaults to *off*, in which case batch formation is
+/// byte-identical to the plain FIFO fill-or-deadline service (except
+/// that identical traversals never occupy two lanes of one batch —
+/// that de-duplication is unconditional).
+#[derive(Clone, Debug)]
+pub struct QueryPlaneConfig {
+    /// Result-cache capacity in bytes (`None` — the default — disables
+    /// the cache). Entries are charged their real payload size plus a
+    /// fixed overhead; eviction is deterministic CLOCK on a logical
+    /// clock, so a given admission order always evicts the same keys.
+    pub cache_capacity_bytes: Option<usize>,
+    /// Coalesce identical `(source, k)` traversals onto executions
+    /// already in flight, and let one lane answer every queued
+    /// duplicate of its key.
+    pub coalesce: bool,
+    /// Pack batches by source partition locality instead of plain
+    /// FIFO when the queue overflows one batch.
+    pub pack_locality: bool,
+    /// Fairness bound for locality packing: a traversal passed over
+    /// this many batches is promoted to mandatory, so cold-partition
+    /// queries are delayed at most this many batches, never starved.
+    /// `0` degenerates locality packing to FIFO.
+    pub locality_fairness: u32,
+}
+
+impl Default for QueryPlaneConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity_bytes: None,
+            coalesce: false,
+            pack_locality: false,
+            locality_fairness: 4,
+        }
+    }
+}
+
 /// Tuning knobs for a [`QueryService`].
 #[derive(Clone)]
 pub struct ServiceConfig {
@@ -152,6 +223,9 @@ pub struct ServiceConfig {
     /// and [`QueryTicket::wait`] stops waiting at the same instant.
     /// `None` (the default) means queries wait indefinitely.
     pub query_deadline: Option<Duration>,
+    /// Query-plane knobs: result cache, in-flight coalescing and
+    /// locality-aware packing. All off by default.
+    pub query_plane: QueryPlaneConfig,
     /// Whole-batch resubmissions after the engine's in-batch
     /// recoveries are exhausted on a recoverable error.
     pub max_retries: u32,
@@ -192,6 +266,7 @@ impl Default for ServiceConfig {
             max_queue_depth: 1024,
             fault_plan: None,
             query_deadline: None,
+            query_plane: QueryPlaneConfig::default(),
             max_retries: 2,
             retry_backoff: Duration::from_micros(200),
             recovery: RecoveryConfig::default(),
@@ -211,6 +286,7 @@ impl fmt::Debug for ServiceConfig {
             .field("max_queue_depth", &self.max_queue_depth)
             .field("fault_plan", &self.fault_plan)
             .field("query_deadline", &self.query_deadline)
+            .field("query_plane", &self.query_plane)
             .field("max_retries", &self.max_retries)
             .field("retry_backoff", &self.retry_backoff)
             .field("recovery", &self.recovery)
@@ -307,6 +383,26 @@ pub struct ServiceStats {
     /// Times the service degraded onto a smaller cluster after
     /// repeated same-machine failures.
     pub degraded_generations: u64,
+    /// Traversals answered from the result cache (no lane spent).
+    /// Each admitted traversal records at most one hit over its life.
+    pub cache_hits: u64,
+    /// Admission-time cache lookups that found nothing (zero while the
+    /// cache is disabled). A traversal that misses at admission may
+    /// still hit at pack time if an earlier batch committed its key.
+    pub cache_misses: u64,
+    /// Entries committed into the result cache (one per lane of each
+    /// successfully committed batch, minus epoch-stale lanes).
+    pub cache_insertions: u64,
+    /// Entries the CLOCK hand evicted to make room.
+    pub cache_evictions: u64,
+    /// Entries currently resident in the result cache.
+    pub cache_entries: u64,
+    /// Bytes currently charged against the cache capacity.
+    pub cache_bytes: u64,
+    /// Traversals that shared another traversal's execution instead of
+    /// occupying a lane: in-batch duplicates (always collapsed),
+    /// queued duplicates and mid-flight attaches (with coalescing on).
+    pub coalesced_traversals: u64,
     /// Per-query admission wait: submission → batch dispatch (mean
     /// over the query's traversals).
     pub admission_wait: ResponseStats,
@@ -326,6 +422,26 @@ struct Traversal {
     submitted: Instant,
     deadline: Option<Instant>,
     ticket: Arc<TicketState>,
+    /// Batches this traversal has been passed over by locality
+    /// packing — the packer's fairness bound caps it.
+    skips: u32,
+}
+
+impl Traversal {
+    /// The query-plane identity of this traversal under `epoch`.
+    fn key(&self, epoch: u64) -> CacheKey {
+        CacheKey { source: self.source, k: self.k, epoch }
+    }
+}
+
+/// One lane of a formed batch: the `primary` traversal executes; every
+/// `follower` is an identical `(source, k)` traversal sharing its
+/// result — in-batch duplicates, queued duplicates, and (while the
+/// batch runs) coalesced late arrivals.
+struct LaneGroup {
+    key: CacheKey,
+    primary: Traversal,
+    followers: Vec<Traversal>,
 }
 
 /// Shared completion state of one query across its traversals.
@@ -365,6 +481,11 @@ struct MetricsAcc {
     partitions_replayed: u64,
     full_rollbacks: u64,
     degraded_generations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_insertions: u64,
+    cache_evictions: u64,
+    coalesced: u64,
     wait: Vec<Duration>,
     exec: Vec<Duration>,
     response: Vec<Duration>,
@@ -390,6 +511,13 @@ struct ServiceObs {
     admission_wait: Arc<Histogram>,
     exec: Arc<Histogram>,
     response: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_insertions: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_coalesced: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_bytes: Arc<Gauge>,
 }
 
 impl ServiceObs {
@@ -454,6 +582,33 @@ impl ServiceObs {
                 "Per-query end-to-end response time (admission wait + execution).",
                 &PAPER_LATENCY_EDGES_SECS,
             ),
+            cache_hits: m.counter(
+                "cgraph_cache_hits_total",
+                "Traversals answered from the result cache (no lane spent).",
+            ),
+            cache_misses: m.counter(
+                "cgraph_cache_misses_total",
+                "Admission-time cache lookups that found nothing.",
+            ),
+            cache_insertions: m.counter(
+                "cgraph_cache_insertions_total",
+                "Entries committed into the result cache by successful batches.",
+            ),
+            cache_evictions: m.counter(
+                "cgraph_cache_evictions_total",
+                "Entries the CLOCK hand evicted to make room.",
+            ),
+            cache_coalesced: m.counter(
+                "cgraph_cache_coalesced_total",
+                "Traversals that shared another traversal's execution \
+                 (in-batch duplicates, queued duplicates, mid-flight attaches).",
+            ),
+            cache_entries: m
+                .gauge("cgraph_cache_entries", "Entries currently resident in the result cache."),
+            cache_bytes: m.gauge(
+                "cgraph_cache_bytes",
+                "Bytes currently charged against the result-cache capacity.",
+            ),
         }
     }
 
@@ -464,10 +619,38 @@ impl ServiceObs {
     }
 }
 
+/// Runtime state of the query plane. Always present; the cache and
+/// coalescer members are `None` when the matching knob is off. Both
+/// are leaf locks: never acquire [`Shared::state`] while holding one.
+struct QueryPlane {
+    cache: Option<Mutex<ResultCache>>,
+    coalescer: Option<Mutex<Coalescer<CacheKey, Traversal>>>,
+    /// Monotone graph epoch baked into every cache key; bumping it
+    /// (see [`QueryService::invalidate_cache`]) makes every existing
+    /// entry unreachable and blocks stale in-flight batches from
+    /// committing results.
+    epoch: AtomicU64,
+    pack_locality: bool,
+    fairness: u32,
+}
+
+impl QueryPlane {
+    fn new(cfg: &QueryPlaneConfig) -> Self {
+        Self {
+            cache: cfg.cache_capacity_bytes.map(|b| Mutex::new(ResultCache::new(b))),
+            coalescer: cfg.coalesce.then(|| Mutex::new(Coalescer::new())),
+            epoch: AtomicU64::new(0),
+            pack_locality: cfg.pack_locality,
+            fairness: cfg.locality_fairness,
+        }
+    }
+}
+
 struct Shared {
     engine: Arc<DistributedEngine>,
     config: ServiceConfig,
     lanes: usize,
+    plane: QueryPlane,
     state: Mutex<QueueState>,
     /// Wakes the dispatcher (work arrived / service closed).
     work: Condvar,
@@ -511,10 +694,12 @@ impl QueryService {
             so.batch_width.set(LaneWidth::for_lanes(lanes).bits() as i64);
             so
         });
+        let plane = QueryPlane::new(&config.query_plane);
         let shared = Arc::new(Shared {
             engine,
             config,
             lanes,
+            plane,
             state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
             work: Condvar::new(),
             space: Condvar::new(),
@@ -586,14 +771,59 @@ impl QueryService {
         });
         let now = Instant::now();
         let deadline = shared.config.query_deadline.map(|d| now + d);
+        let epoch = shared.plane.epoch.load(Ordering::SeqCst);
         for &source in &query.sources {
-            st.queue.push_back(Traversal {
+            let t = Traversal {
                 source,
                 k: query.k,
                 submitted: now,
                 deadline,
                 ticket: Arc::clone(&ticket),
-            });
+                skips: 0,
+            };
+            let key = t.key(epoch);
+            // 1. Result cache: a hit completes the traversal right at
+            // admission — zero queue wait, zero lane time.
+            if let Some(cm) = &shared.plane.cache {
+                let hit = lock(cm).get(&key).cloned();
+                match hit {
+                    Some(v) => {
+                        lock(&shared.metrics).cache_hits += 1;
+                        if let Some(o) = &shared.obs {
+                            o.cache_hits.inc();
+                        }
+                        complete_traversal(
+                            shared,
+                            &t.ticket,
+                            Ok((v.visited, v.per_level, Duration::ZERO, Duration::ZERO)),
+                        );
+                        continue;
+                    }
+                    None => {
+                        lock(&shared.metrics).cache_misses += 1;
+                        if let Some(o) = &shared.obs {
+                            o.cache_misses.inc();
+                        }
+                    }
+                }
+            }
+            // 2. In-flight coalescing: an identical traversal already
+            // executing answers this one too.
+            let t = if let Some(co) = &shared.plane.coalescer {
+                match lock(co).attach(&key, t) {
+                    None => {
+                        lock(&shared.metrics).coalesced += 1;
+                        if let Some(o) = &shared.obs {
+                            o.cache_coalesced.inc();
+                        }
+                        continue;
+                    }
+                    Some(t) => t,
+                }
+            } else {
+                t
+            };
+            st.queue.push_back(t);
         }
         if let Some(o) = &shared.obs {
             o.queries_submitted.inc();
@@ -608,8 +838,40 @@ impl QueryService {
         self.submit(query)?.wait()
     }
 
+    /// Current graph epoch (bumped by [`QueryService::invalidate_cache`]).
+    pub fn graph_epoch(&self) -> u64 {
+        self.shared.plane.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advances the graph epoch and drops every cached result of the
+    /// old epochs, returning the new epoch. Call after any graph
+    /// mutation: new queries key against the new epoch (so they can
+    /// never see a stale answer), and a batch still in flight for an
+    /// old epoch is barred from committing its results into the cache.
+    /// A no-op epoch bump (cache disabled) is still tracked, keeping
+    /// epochs meaningful for coalescing keys.
+    pub fn invalidate_cache(&self) -> u64 {
+        let new = self.shared.plane.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(cm) = &self.shared.plane.cache {
+            let mut c = lock(cm);
+            c.invalidate_before(new);
+            if let Some(o) = &self.shared.obs {
+                o.cache_entries.set(c.len() as i64);
+                o.cache_bytes.set(c.used_bytes() as i64);
+            }
+        }
+        new
+    }
+
     /// Snapshot of the lifetime latency/volume counters.
     pub fn stats(&self) -> ServiceStats {
+        let (cache_entries, cache_bytes) = match &self.shared.plane.cache {
+            Some(cm) => {
+                let c = lock(cm);
+                (c.len() as u64, c.used_bytes() as u64)
+            }
+            None => (0, 0),
+        };
         let m = lock(&self.shared.metrics);
         ServiceStats {
             queries_completed: m.completed,
@@ -623,6 +885,13 @@ impl QueryService {
             partitions_replayed: m.partitions_replayed,
             full_rollbacks: m.full_rollbacks,
             degraded_generations: m.degraded_generations,
+            cache_hits: m.cache_hits,
+            cache_misses: m.cache_misses,
+            cache_insertions: m.cache_insertions,
+            cache_evictions: m.cache_evictions,
+            cache_entries,
+            cache_bytes,
+            coalesced_traversals: m.coalesced,
             admission_wait: ResponseStats::new(m.wait.clone()),
             exec: ResponseStats::new(m.exec.clone()),
             response: ResponseStats::new(m.response.clone()),
@@ -684,7 +953,7 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
         batch_seq: 0,
     };
     loop {
-        let batch = {
+        let formed = {
             let mut st = lock(&shared.state);
             loop {
                 if st.queue.is_empty() {
@@ -709,16 +978,193 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
                     .unwrap_or_else(|e| e.into_inner());
                 st = g;
             }
-            let n = st.queue.len().min(shared.lanes);
-            let batch: Vec<Traversal> = st.queue.drain(..n).collect();
+            let formed = form_batch(shared, &mut st, &ctx);
             if let Some(o) = &shared.obs {
                 o.queue_depth.set(st.queue.len() as i64);
             }
             shared.space.notify_all();
-            batch
+            formed
         };
-        execute_batch(shared, &mut ctx, batch);
+        for t in formed.expired {
+            complete_traversal(shared, &t.ticket, Err(ServiceError::DeadlineExceeded));
+        }
+        if let Some(o) = &shared.obs {
+            if !formed.hits.is_empty() {
+                o.tracer.instant("cache_hit", o.ctx(ctx.batch_seq, 0), formed.hits.len() as u64);
+            }
+            if shared.plane.cache.is_some() && !formed.groups.is_empty() {
+                // The lanes actually dispatched are the misses that
+                // stayed misses all the way to batch formation.
+                o.tracer.instant("cache_miss", o.ctx(ctx.batch_seq, 0), formed.groups.len() as u64);
+            }
+        }
+        for (t, v) in formed.hits {
+            let wait = t.submitted.elapsed();
+            complete_traversal(
+                shared,
+                &t.ticket,
+                Ok((v.visited, v.per_level, wait, Duration::ZERO)),
+            );
+        }
+        if !formed.groups.is_empty() {
+            execute_batch(shared, &mut ctx, formed.groups);
+        }
     }
+}
+
+/// Output of one batch-formation pass over the admission queue.
+struct FormedBatch {
+    /// Lanes to execute (primary + identical-key followers each).
+    groups: Vec<LaneGroup>,
+    /// Traversals answered by the result cache at pack time (their key
+    /// was committed by an earlier batch while they sat queued).
+    hits: Vec<(Traversal, CachedTraversal)>,
+    /// Traversals whose query deadline elapsed while queued.
+    expired: Vec<Traversal>,
+}
+
+/// Forms one batch under the state lock: sweeps the queue against the
+/// result cache, selects up to [`Shared::lanes`] distinct keys (FIFO
+/// or locality-packed), collapses identical-key duplicates into
+/// followers, and — with coalescing on — registers every selected key
+/// as in flight so late arrivals can attach mid-batch.
+fn form_batch(shared: &Shared, st: &mut QueueState, ctx: &DispatchCtx) -> FormedBatch {
+    let epoch = shared.plane.epoch.load(Ordering::SeqCst);
+
+    // 1. Cache sweep: keys committed since these traversals were
+    // admitted are answered now, before they cost a lane. The whole
+    // queue is swept, not just this batch's window — a hit behind the
+    // window frees queue space all the same.
+    let mut hits = Vec::new();
+    if let Some(cm) = &shared.plane.cache {
+        let mut c = lock(cm);
+        let mut i = 0;
+        while i < st.queue.len() {
+            let key = st.queue[i].key(epoch);
+            if let Some(v) = c.get(&key) {
+                let v = v.clone();
+                let t = st.queue.remove(i).expect("index in range");
+                hits.push((t, v));
+            } else {
+                i += 1;
+            }
+        }
+        if !hits.is_empty() {
+            lock(&shared.metrics).cache_hits += hits.len() as u64;
+            if let Some(o) = &shared.obs {
+                o.cache_hits.add(hits.len() as u64);
+            }
+        }
+    }
+
+    // 2. Lane selection: which queue positions anchor this batch.
+    let sel: Vec<usize> = if shared.plane.pack_locality && st.queue.len() > shared.lanes {
+        let part = ctx.engine.partition();
+        let items: Vec<PackItem> = st
+            .queue
+            .iter()
+            .map(|t| PackItem { partition: part.owner(t.source), skips: t.skips })
+            .collect();
+        pack_locality(&items, shared.lanes, PackPolicy { fairness_bound: shared.plane.fairness })
+    } else {
+        pack_fifo(st.queue.len(), shared.lanes)
+    };
+
+    // 3. Grouping walk. Identical `(source, k)` traversals never take
+    // two lanes: within the selection window duplicates always
+    // collapse into followers; with coalescing on, the walk extends
+    // over the whole queue, attaching every queued duplicate of a
+    // selected key and refilling lanes duplicates freed.
+    let deep = shared.plane.coalescer.is_some();
+    let mut in_sel = vec![false; st.queue.len()];
+    for &i in &sel {
+        in_sel[i] = true;
+    }
+    let scan: Vec<usize> = if deep {
+        sel.iter().copied().chain((0..st.queue.len()).filter(|&i| !in_sel[i])).collect()
+    } else {
+        sel
+    };
+    let mut group_of: HashMap<CacheKey, usize> = HashMap::new();
+    // (queue index, group ordinal) of every traversal leaving the queue.
+    let mut assign: Vec<(usize, usize)> = Vec::new();
+    let mut n_groups = 0usize;
+    for i in scan {
+        let key = st.queue[i].key(epoch);
+        if let Some(&g) = group_of.get(&key) {
+            assign.push((i, g));
+        } else if n_groups < shared.lanes {
+            group_of.insert(key, n_groups);
+            assign.push((i, n_groups));
+            n_groups += 1;
+        }
+    }
+    let coalesced_in_queue = (assign.len() - n_groups) as u64;
+    if coalesced_in_queue > 0 {
+        lock(&shared.metrics).coalesced += coalesced_in_queue;
+        if let Some(o) = &shared.obs {
+            o.cache_coalesced.add(coalesced_in_queue);
+        }
+    }
+
+    // Pull assigned traversals out (descending index keeps the
+    // remaining indices valid), then rebuild FIFO order per group.
+    assign.sort_by_key(|&(i, _)| std::cmp::Reverse(i));
+    let mut pulled: Vec<(usize, usize, Traversal)> = assign
+        .into_iter()
+        .map(|(i, g)| (g, i, st.queue.remove(i).expect("index in range")))
+        .collect();
+    pulled.sort_by_key(|&(g, i, _)| (g, i));
+    let mut groups: Vec<LaneGroup> = Vec::with_capacity(n_groups);
+    for (g, _, t) in pulled {
+        if g == groups.len() {
+            let key = t.key(epoch);
+            groups.push(LaneGroup { key, primary: t, followers: Vec::new() });
+        } else {
+            groups[g].followers.push(t);
+        }
+    }
+
+    // 4. Deadline policy: members whose query deadline already passed
+    // are failed up front rather than spending cluster time on them.
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    let live = |t: &Traversal| t.deadline.is_none_or(|d| now < d);
+    let mut surviving = Vec::with_capacity(groups.len());
+    for g in groups {
+        let LaneGroup { key, primary, followers } = g;
+        let (keep, dead): (Vec<_>, Vec<_>) = followers.into_iter().partition(live);
+        expired.extend(dead);
+        if live(&primary) {
+            surviving.push(LaneGroup { key, primary, followers: keep });
+        } else {
+            // The primary expired: promote the oldest live follower,
+            // or drop the lane entirely.
+            expired.push(primary);
+            let mut members = keep.into_iter();
+            if let Some(p) = members.next() {
+                surviving.push(LaneGroup { key, primary: p, followers: members.collect() });
+            }
+        }
+    }
+    let groups = surviving;
+
+    // 5. Register surviving keys as in flight so identical queries
+    // submitted while the batch runs attach instead of re-queueing.
+    if let Some(co) = &shared.plane.coalescer {
+        let mut co = lock(co);
+        for g in &groups {
+            co.begin(g.key);
+        }
+    }
+
+    // 6. Age everything left behind — locality packing's fairness
+    // bound counts these skips.
+    for t in st.queue.iter_mut() {
+        t.skips = t.skips.saturating_add(1);
+    }
+
+    FormedBatch { groups, hits, expired }
 }
 
 /// Exponential backoff with deterministic jitter (splitmix64 of the
@@ -758,28 +1204,16 @@ fn degrade(shared: &Shared, ctx: &mut DispatchCtx) {
     }
 }
 
-fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) {
+fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, groups: Vec<LaneGroup>) {
     let job = ctx.batch_seq;
     ctx.batch_seq += 1;
 
-    // Deadline policy: a traversal whose query deadline already passed
-    // is failed up front rather than spending cluster time on it.
-    let now = Instant::now();
-    let (live, expired): (Vec<Traversal>, Vec<Traversal>) =
-        batch.into_iter().partition(|t| t.deadline.is_none_or(|d| now < d));
-    for t in &expired {
-        complete_traversal(shared, &t.ticket, Err(ServiceError::DeadlineExceeded));
-    }
-    if live.is_empty() {
-        return;
-    }
-
-    let sources: Vec<u64> = live.iter().map(|t| t.source).collect();
-    let ks: Vec<u32> = live.iter().map(|t| t.k).collect();
+    let sources: Vec<u64> = groups.iter().map(|g| g.primary.source).collect();
+    let ks: Vec<u32> = groups.iter().map(|g| g.primary.k).collect();
 
     if let Some(o) = &shared.obs {
-        o.batch_lanes.observe(live.len() as f64);
-        o.tracer.instant("batch_dispatch", o.ctx(job, 0), live.len() as u64);
+        o.batch_lanes.observe(groups.len() as f64);
+        o.tracer.instant("batch_dispatch", o.ctx(job, 0), groups.len() as u64);
     }
 
     // Legacy seam: an installed fault hook runs the old single-shot,
@@ -794,9 +1228,9 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
                 if let Some(o) = &shared.obs {
                     o.batches_dispatched.inc();
                 }
-                fan_out(shared, live, &br, dispatched);
+                commit_batch(shared, groups, &br, dispatched, job, 0);
             }
-            Err(e) => fail_batch(shared, &live, &e),
+            Err(e) => fail_groups(shared, groups, &e),
         }
         return;
     }
@@ -839,7 +1273,7 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
                     o.retries.add(u64::from(retry));
                     o.tracer.instant("batch_done", o.ctx(job, retry), br.supersteps as u64);
                 }
-                fan_out(shared, live, &br, dispatched);
+                commit_batch(shared, groups, &br, dispatched, job, retry);
                 return;
             }
             Err(e) => {
@@ -866,22 +1300,88 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, batch: Vec<Traversal>) 
                     o.retries.add(u64::from(retry));
                     o.tracer.instant("batch_failed", o.ctx(job, retry), 0);
                 }
-                fail_batch(shared, &live, &e);
+                fail_groups(shared, groups, &e);
                 return;
             }
         }
     }
 }
 
-/// Fans a successful batch result back out to its traversals' tickets.
+/// Commits a successful batch: populates the result cache (this is
+/// the *only* insertion point — the engine returned `Ok`, so the
+/// result is the committed, bit-identical answer; crashed, retried or
+/// degraded attempts never reach here with partial state), drains
+/// coalesced mid-flight waiters, and fans the result out to every
+/// member of every lane group.
+fn commit_batch(
+    shared: &Shared,
+    mut groups: Vec<LaneGroup>,
+    br: &crate::engine::BatchResult,
+    dispatched: Instant,
+    job: u64,
+    retry: u32,
+) {
+    if let Some(cm) = &shared.plane.cache {
+        let current = shared.plane.epoch.load(Ordering::SeqCst);
+        let mut inserted = 0u64;
+        let mut evicted = 0u64;
+        let (entries, bytes) = {
+            let mut c = lock(cm);
+            for (lane, g) in groups.iter().enumerate() {
+                // An epoch bump while the batch ran bars its results
+                // from the cache: they may predate the invalidation.
+                if g.key.epoch != current {
+                    continue;
+                }
+                let mut per_level: Vec<u64> = br.per_level.iter().map(|row| row[lane]).collect();
+                while per_level.last() == Some(&0) {
+                    per_level.pop();
+                }
+                evicted += c.insert(
+                    g.key,
+                    CachedTraversal { visited: br.per_lane_visited[lane], per_level },
+                );
+                inserted += 1;
+            }
+            (c.len() as i64, c.used_bytes() as i64)
+        };
+        let mut m = lock(&shared.metrics);
+        m.cache_insertions += inserted;
+        m.cache_evictions += evicted;
+        drop(m);
+        if let Some(o) = &shared.obs {
+            o.cache_insertions.add(inserted);
+            o.cache_evictions.add(evicted);
+            o.cache_entries.set(entries);
+            o.cache_bytes.set(bytes);
+            if inserted > 0 {
+                o.tracer.instant("cache_insert", o.ctx(job, retry), inserted);
+            }
+            if evicted > 0 {
+                o.tracer.instant("cache_evict", o.ctx(job, retry), evicted);
+            }
+        }
+    }
+    if let Some(co) = &shared.plane.coalescer {
+        let mut co = lock(co);
+        for g in &mut groups {
+            g.followers.extend(co.complete(&g.key));
+        }
+    }
+    fan_out(shared, groups, br, dispatched);
+}
+
+/// Fans a successful batch result back out to its lane groups'
+/// tickets — the primary and every follower of a lane share the same
+/// per-lane counts and execution share; waits stay per-traversal.
 fn fan_out(
     shared: &Shared,
-    batch: Vec<Traversal>,
+    groups: Vec<LaneGroup>,
     br: &crate::engine::BatchResult,
     dispatched: Instant,
 ) {
     let batch_dur = br.exec_time;
-    for (lane, t) in batch.into_iter().enumerate() {
+    for (lane, g) in groups.into_iter().enumerate() {
         // A lane finishes after its completion point within the
         // batch — the same accounting as the closed-batch
         // scheduler's per-lane fraction.
@@ -892,18 +1392,34 @@ fn fan_out(
             done.as_secs_f64() / br.exec_time.as_secs_f64()
         };
         let exec = batch_dur.mul_f64(frac);
-        let wait = dispatched.duration_since(t.submitted);
         let levels: Vec<u64> = br.per_level.iter().map(|row| row[lane]).collect();
-        complete_traversal(shared, &t.ticket, Ok((br.per_lane_visited[lane], levels, wait, exec)));
+        let visited = br.per_lane_visited[lane];
+        for t in std::iter::once(g.primary).chain(g.followers) {
+            // A follower that attached mid-flight has `submitted`
+            // after `dispatched`; its wait saturates to zero.
+            let wait = dispatched.duration_since(t.submitted);
+            complete_traversal(shared, &t.ticket, Ok((visited, levels.clone(), wait, exec)));
+        }
     }
 }
 
-/// Fails every traversal of a batch whose retries are exhausted —
-/// isolation means *only* these lanes fail; the service keeps serving.
-fn fail_batch(shared: &Shared, batch: &[Traversal], e: &EngineError) {
+/// Fails every member of every lane group of a batch whose retries
+/// are exhausted — including coalesced waiters that attached while it
+/// ran (their keys leave the in-flight table, so resubmission gets a
+/// fresh execution). Isolation means *only* these traversals fail;
+/// the service keeps serving. Nothing enters the result cache.
+fn fail_groups(shared: &Shared, mut groups: Vec<LaneGroup>, e: &EngineError) {
+    if let Some(co) = &shared.plane.coalescer {
+        let mut co = lock(co);
+        for g in &mut groups {
+            g.followers.extend(co.complete(&g.key));
+        }
+    }
     let err = ServiceError::BatchFailed(e.to_string());
-    for t in batch {
-        complete_traversal(shared, &t.ticket, Err(err.clone()));
+    for g in groups {
+        for t in std::iter::once(g.primary).chain(g.followers) {
+            complete_traversal(shared, &t.ticket, Err(err.clone()));
+        }
     }
 }
 
@@ -1304,6 +1820,193 @@ mod tests {
         let (_tx, rx) = crossbeam_channel::unbounded();
         let ticket = QueryTicket { rx, deadline: Some(Instant::now() - Duration::from_millis(1)) };
         assert_eq!(ticket.try_wait(), Some(Err(ServiceError::DeadlineExceeded)));
+    }
+
+    fn plane(cache_mb: Option<usize>, coalesce: bool, locality: bool) -> QueryPlaneConfig {
+        QueryPlaneConfig {
+            cache_capacity_bytes: cache_mb.map(|mb| mb << 20),
+            coalesce,
+            pack_locality: locality,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cache_hit_serves_repeat_query_without_a_lane() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_plane: plane(Some(1), false, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let a = service.query(KhopQuery::single(0, 4, 3)).unwrap();
+        let b = service.query(KhopQuery::single(1, 4, 3)).unwrap();
+        assert_eq!((a.visited, &a.per_level), (b.visited, &b.per_level));
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1, "second identical query must hit");
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_insertions, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert!(stats.cache_bytes > 0);
+        assert_eq!(stats.batches_dispatched, 1, "the hit must not dispatch a batch");
+        assert_eq!(stats.queries_completed, 2);
+        // A cache hit costs zero execution time by definition.
+        assert_eq!(b.exec_time, Duration::ZERO);
+        service.shutdown();
+    }
+
+    #[test]
+    fn in_batch_duplicates_never_take_two_lanes() {
+        // Regression: even with the whole query plane OFF, identical
+        // (source, k) traversals inside one batch window must collapse
+        // into a single lane — while still folding per scheduler
+        // semantics (each duplicate contributes its own counts).
+        let engine = ring_engine(40, 2);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let r = service.query(KhopQuery::multi(0, vec![5, 5, 5, 7], 3)).unwrap();
+        assert_eq!(r.visited, 16); // 4 traversals × 4 vertices each
+        assert_eq!(r.per_level, vec![4, 4, 4, 4]); // levels 0..=3, all 4 folded
+
+        let stats = service.stats();
+        assert_eq!(stats.coalesced_traversals, 2, "both duplicate 5s must share the first lane");
+        assert_eq!(stats.queries_completed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalescing_single_flights_a_queued_burst() {
+        let engine = ring_engine(60, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_millis(2),
+            query_plane: plane(None, true, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        // A burst of identical queries admitted together: exactly one
+        // lane executes, everyone shares its result.
+        let tickets: Vec<_> =
+            (0..16).map(|i| service.submit(KhopQuery::single(i, 30, 4)).unwrap()).collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().visited, 5);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_completed, 16);
+        assert_eq!(stats.coalesced_traversals, 15, "15 of 16 must share the one execution");
+        service.shutdown();
+    }
+
+    #[test]
+    fn epoch_invalidation_blocks_stale_hits() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_plane: plane(Some(1), false, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        service.query(KhopQuery::single(0, 2, 3)).unwrap();
+        assert_eq!(service.stats().cache_entries, 1);
+        assert_eq!(service.graph_epoch(), 0);
+        assert_eq!(service.invalidate_cache(), 1);
+        assert_eq!(service.graph_epoch(), 1);
+        assert_eq!(service.stats().cache_entries, 0, "invalidation must drop old-epoch entries");
+        // The repeat query is a miss under the new epoch and re-executes.
+        service.query(KhopQuery::single(1, 2, 3)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.batches_dispatched, 2);
+        // ... and is cached again under the new epoch.
+        service.query(KhopQuery::single(2, 2, 3)).unwrap();
+        assert_eq!(service.stats().cache_hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn failed_batches_never_populate_the_cache() {
+        // A never-healing crash armed for job 0: the poisoned batch
+        // must leave the cache untouched; the retried identical query
+        // then executes cleanly and commits.
+        let engine = ring_engine(40, 2);
+        let fault = FaultPlan::new(3).crash(1, 1).arm_jobs(0..1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(fault),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            query_plane: plane(Some(1), false, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let err = service.query(KhopQuery::single(0, 0, 5)).unwrap_err();
+        assert!(matches!(err, ServiceError::BatchFailed(_)), "{err:?}");
+        let stats = service.stats();
+        assert_eq!(stats.cache_insertions, 0, "a failed batch must not commit results");
+        assert_eq!(stats.cache_entries, 0);
+        // Job 1 is clean: the same query succeeds and only now commits.
+        let ok = service.query(KhopQuery::single(1, 0, 5)).unwrap();
+        assert_eq!(ok.visited, 6);
+        assert_eq!(service.stats().cache_insertions, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalesced_waiters_share_a_batch_failure() {
+        // Identical queries coalesced onto a poisoned execution must
+        // all observe its failure (and none may hang).
+        let engine = ring_engine(40, 2);
+        let fault = FaultPlan::new(3).crash(1, 1).arm_jobs(0..1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_millis(2),
+            fault_plan: Some(fault),
+            max_retries: 0,
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 0 },
+            query_plane: plane(None, true, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let tickets: Vec<_> =
+            (0..4).map(|i| service.submit(KhopQuery::single(i, 9, 4)).unwrap()).collect();
+        for t in tickets {
+            let err = t.wait().unwrap_err();
+            assert!(matches!(err, ServiceError::BatchFailed(_)), "{err:?}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 4);
+        // After the failure the key left the in-flight table: a fresh
+        // identical query gets a fresh (clean, job 1) execution.
+        assert_eq!(service.query(KhopQuery::single(9, 9, 4)).unwrap().visited, 5);
+        service.shutdown();
+    }
+
+    #[test]
+    fn locality_packing_preserves_results() {
+        let engine = ring_engine(120, 4);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(200),
+            query_plane: plane(None, false, true),
+            ..Default::default()
+        };
+        let service = Arc::new(QueryService::start(engine, config));
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for i in 0..20u64 {
+                        let src = (t * 40 + i * 7) % 120;
+                        let r = service.query(KhopQuery::single(0, src, 3)).unwrap();
+                        assert_eq!(r.visited, 4, "ring 3-hop from {src}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(service.stats().queries_completed, 60);
+        service.shutdown();
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   used by tests and the hop-plot experiment.
 //! * [`scaler`] — the paper's semi-synthetic construction: scale a base
 //!   graph by a multiplying factor `m`, keeping its edge/vertex ratio.
+//! * [`query_stream`] — seeded Zipf/skewed query-source streams for
+//!   serving-path (cache/coalescing) experiments.
 //! * [`io`] — plain-text and binary edge-list readers/writers.
 //! * [`datasets`] — named recipes (`OR`, `FR`, `FRS-A`, `FRS-B`)
 //!   mirroring Table 1 at laptop scale.
@@ -43,6 +45,7 @@ pub mod erdos_renyi;
 pub mod graph500;
 pub mod io;
 pub mod pref_attach;
+pub mod query_stream;
 pub mod rmat;
 pub mod scaler;
 pub mod small_world;
@@ -51,6 +54,7 @@ pub use datasets::{dataset_by_name, Dataset, DatasetSpec};
 pub use erdos_renyi::erdos_renyi;
 pub use graph500::graph500;
 pub use pref_attach::pref_attach;
+pub use query_stream::QueryStream;
 pub use rmat::{rmat, RmatParams};
 pub use scaler::scale_graph;
 pub use small_world::small_world;

@@ -1,0 +1,172 @@
+//! Seeded skewed query-stream generator.
+//!
+//! A service facing "heavy traffic from millions of users" does not
+//! see uniform sources: popular vertices are re-queried constantly.
+//! [`QueryStream`] produces the standard model of that skew — a
+//! Zipf(α) distribution over a rank universe — deterministically from
+//! a seed, so cache/coalescing experiments and tests replay the exact
+//! same arrival sequence every run.
+//!
+//! Like every generator in this crate the stream is reproducible *for
+//! a given RNG stream version*: each stream is stamped with
+//! [`crate::RNG_STREAM_VERSION`] (see [`QueryStream::rng_stream_version`]),
+//! and cached artifacts derived from one should carry that tag the way
+//! the bench harness stamps dataset caches.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic stream of query source *ranks*, rank 0 hottest.
+///
+/// ```
+/// use cgraph_gen::QueryStream;
+/// let s = QueryStream::zipf(42, 1.0, 1000);
+/// assert_eq!(s.len(), 1000);
+/// // Same seed, same stream — always.
+/// assert_eq!(s.ranks(), QueryStream::zipf(42, 1.0, 1000).ranks());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryStream {
+    ranks: Vec<usize>,
+    universe: usize,
+}
+
+impl QueryStream {
+    /// Draws `n` ranks from a Zipf(α) distribution over the universe
+    /// `{0, …, u-1}` where `u = min(n, 1024)` — rank `r` is sampled
+    /// with probability proportional to `1 / (r + 1)^alpha`. `alpha =
+    /// 0` is uniform; larger α concentrates the stream on hot ranks
+    /// (α = 1.0 is the classic web/social-traffic skew). Sampling is
+    /// inverse-CDF over the exact normalized weights, driven by a
+    /// ChaCha8 stream seeded with `seed`.
+    pub fn zipf(seed: u64, alpha: f64, n: usize) -> Self {
+        Self::zipf_over(seed, alpha, n, n.clamp(1, 1024))
+    }
+
+    /// [`QueryStream::zipf`] with an explicit rank universe size.
+    pub fn zipf_over(seed: u64, alpha: f64, n: usize, universe: usize) -> Self {
+        assert!(universe > 0, "rank universe must be non-empty");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        // Cumulative normalized weights; cdf[r] = P(rank <= r).
+        let mut cdf: Vec<f64> = Vec::with_capacity(universe);
+        let mut total = 0.0f64;
+        for r in 0..universe {
+            total += 1.0 / ((r + 1) as f64).powf(alpha);
+            cdf.push(total);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ranks = (0..n)
+            .map(|_| {
+                let x = rng.gen::<f64>() * total;
+                // First rank whose cumulative weight covers x.
+                cdf.partition_point(|&c| c < x).min(universe - 1)
+            })
+            .collect();
+        Self { ranks, universe }
+    }
+
+    /// The sampled ranks, in arrival order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Stream length (number of queries).
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True for an empty stream.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Size of the rank universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Maps the rank stream onto concrete source vertices: rank `r`
+    /// becomes `candidates[r % candidates.len()]`, so the hottest rank
+    /// is always the same vertex. `candidates` is typically a
+    /// degree-filtered sample of the graph (see the bench harness's
+    /// `random_sources`).
+    pub fn sources(&self, candidates: &[u64]) -> Vec<u64> {
+        assert!(!candidates.is_empty(), "need at least one candidate source");
+        self.ranks.iter().map(|&r| candidates[r % candidates.len()]).collect()
+    }
+
+    /// The RNG stream version this stream was drawn from — stamp it
+    /// into any cached artifact derived from the stream, exactly like
+    /// dataset caches stamp [`crate::RNG_STREAM_VERSION`].
+    pub fn rng_stream_version(&self) -> &'static str {
+        crate::RNG_STREAM_VERSION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QueryStream::zipf(7, 1.0, 500);
+        let b = QueryStream::zipf(7, 1.0, 500);
+        assert_eq!(a, b);
+        let c = QueryStream::zipf(8, 1.0, 500);
+        assert_ne!(a.ranks(), c.ranks(), "different seeds must diverge");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_hot_ranks() {
+        let s = QueryStream::zipf_over(3, 1.0, 10_000, 256);
+        let mut counts = vec![0usize; 256];
+        for &r in s.ranks() {
+            counts[r] += 1;
+        }
+        // Rank 0 draws ~1/H(256) ≈ 16% of the stream; uniform would be
+        // ~0.4%. Loose band: clearly hot, not everything.
+        assert!(counts[0] > 1000, "rank 0 too cold: {}", counts[0]);
+        assert!(counts[0] < 4000, "rank 0 too hot: {}", counts[0]);
+        assert!(counts[0] > counts[128] * 5, "no skew across ranks");
+        // Repeat mass — what a result cache can harvest — dominates:
+        // far fewer distinct ranks than queries.
+        let repeats = s.len() - 256;
+        assert!(repeats > s.len() / 2, "a skewed 10k stream over 256 ranks is mostly repeats");
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let s = QueryStream::zipf_over(9, 0.0, 12_800, 64);
+        let mut counts = vec![0usize; 64];
+        for &r in s.ranks() {
+            counts[r] += 1;
+        }
+        // Mean 200 per rank; allow a generous band.
+        assert!(counts.iter().all(|&c| (100..=320).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn ranks_respect_universe() {
+        let s = QueryStream::zipf_over(1, 1.5, 1000, 17);
+        assert!(s.ranks().iter().all(|&r| r < 17));
+        assert_eq!(s.universe(), 17);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn sources_map_ranks_stably() {
+        let s = QueryStream::zipf(5, 1.0, 100);
+        let candidates: Vec<u64> = (0..50u64).map(|v| v * 3).collect();
+        let srcs = s.sources(&candidates);
+        assert_eq!(srcs.len(), 100);
+        for (r, src) in s.ranks().iter().zip(&srcs) {
+            assert_eq!(*src, candidates[r % candidates.len()]);
+        }
+    }
+
+    #[test]
+    fn stream_carries_the_rng_version_stamp() {
+        let s = QueryStream::zipf(1, 1.0, 1);
+        assert_eq!(s.rng_stream_version(), crate::RNG_STREAM_VERSION);
+    }
+}

@@ -484,6 +484,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_observation_lands_in_the_first_bucket() {
+        // Cache hits observe a literal 0.0-second latency; it must
+        // land in the lowest finite bucket (edges are `< v`, so zero
+        // never skips past an edge), count toward the total, and
+        // leave the sum exact.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t_lat_seconds", "help", &PAPER_LATENCY_EDGES_SECS);
+        h.observe(0.0);
+        h.observe_duration(std::time::Duration::ZERO);
+        h.observe(1.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts()[0], 2);
+        let snap = parse_text(&reg.render_text()).unwrap();
+        let hist = &snap.histograms["t_lat_seconds"];
+        assert_eq!(hist.buckets[0], (0.2, 2));
+        assert!((hist.sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn log2_edges_cover_powers() {
         assert_eq!(log2_edges(4), vec![1.0, 2.0, 4.0, 8.0]);
         let h = Histogram::new(log2_edges(3));

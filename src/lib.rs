@@ -64,9 +64,9 @@ pub mod prelude {
     pub use cgraph_core::gas::{Gas, PageRank};
     pub use cgraph_core::traverse::ValueMode;
     pub use cgraph_core::{
-        DistributedEngine, EngineConfig, FaultPlan, KhopQuery, QueryResult, QueryScheduler,
-        QueryService, RecoveryConfig, RecoveryReport, ResponseStats, SchedulerConfig,
-        ServiceConfig, ServiceError, ServiceStats, UpdateMode, VertexProgram,
+        DistributedEngine, EngineConfig, FaultPlan, KhopQuery, QueryPlaneConfig, QueryResult,
+        QueryScheduler, QueryService, RecoveryConfig, RecoveryReport, ResponseStats,
+        SchedulerConfig, ServiceConfig, ServiceError, ServiceStats, UpdateMode, VertexProgram,
     };
     pub use cgraph_gen::Dataset;
     pub use cgraph_graph::{

@@ -294,6 +294,54 @@ fn crash_sweep_at_128_lane_width() {
 }
 
 #[test]
+fn chaos_with_cache_recovers_and_stays_consistent() {
+    // The chaos plan through the live service with the full query
+    // plane on: a healing crash is absorbed by recovery (no query
+    // fails), and a repeat-heavy stream straddling the crash keeps
+    // answering the fault-free truth — only committed batches may
+    // populate the cache, so the dying attempt leaks nothing.
+    let g: EdgeList = (0..48u64).map(|v| (v, (v + 1) % 48)).collect();
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
+    let plan = FaultPlan::new(77).crash(1, 2).heal_after(1);
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(200),
+            fault_plan: Some(plan),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 2 },
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                coalesce: true,
+                pack_locality: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Three hot sources re-asked round after round across the crash.
+    for round in 0..6 {
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                let src = [0u64, 16, 32][i % 3];
+                service.submit(KhopQuery::single(round * 10 + i, src, 6)).unwrap()
+            })
+            .collect();
+        for t in tickets {
+            let r = t.wait().expect("healing crash must be absorbed by recovery");
+            // 6 hops along a directed 48-ring: the source plus six.
+            assert_eq!(r.visited, 7);
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queries_failed, 0, "{stats:?}");
+    assert_eq!(stats.queries_completed, 36);
+    assert!(stats.cache_hits > 0, "repeat stream must hit the cache: {stats:?}");
+    service.shutdown();
+}
+
+#[test]
 fn async_mode_on_disconnected_graph_terminates() {
     // Quiescence detection must fire even when a query dies instantly
     // on an isolated source.

@@ -114,6 +114,13 @@ fn assert_registry_matches_stats(snap: &Snapshot, stats: &ServiceStats) {
     assert_eq!(c("cgraph_recovery_partitions_replayed_total"), stats.partitions_replayed);
     assert_eq!(c("cgraph_recovery_full_rollbacks_total"), stats.full_rollbacks);
     assert_eq!(c("cgraph_service_degraded_generations_total"), stats.degraded_generations);
+    assert_eq!(c("cgraph_cache_hits_total"), stats.cache_hits);
+    assert_eq!(c("cgraph_cache_misses_total"), stats.cache_misses);
+    assert_eq!(c("cgraph_cache_insertions_total"), stats.cache_insertions);
+    assert_eq!(c("cgraph_cache_evictions_total"), stats.cache_evictions);
+    assert_eq!(c("cgraph_cache_coalesced_total"), stats.coalesced_traversals);
+    assert_eq!(snap.gauges["cgraph_cache_entries"], stats.cache_entries as i64);
+    assert_eq!(snap.gauges["cgraph_cache_bytes"], stats.cache_bytes as i64);
 }
 
 #[test]
@@ -124,7 +131,9 @@ fn chaos_stream_covers_every_layer_and_matches_service_stats() {
 
     let names = obs.metrics.names();
     assert!(names.len() >= 12, "expected a broad catalogue, got {names:?}");
-    for layer in ["cgraph_service_", "cgraph_engine_", "cgraph_comm_", "cgraph_recovery_"] {
+    for layer in
+        ["cgraph_service_", "cgraph_engine_", "cgraph_comm_", "cgraph_recovery_", "cgraph_cache_"]
+    {
         assert!(
             names.iter().any(|n| n.starts_with(layer)),
             "no {layer}* metric registered; got {names:?}"
@@ -166,6 +175,48 @@ fn fault_free_stream_still_matches_service_stats() {
 }
 
 #[test]
+fn cache_enabled_stream_matches_stats_and_traces() {
+    // With the query plane on, the cgraph_cache_* families must carry
+    // real (nonzero) traffic and still equal the ServiceStats line,
+    // and the dispatcher must narrate the cache's life in the trace.
+    let g = test_graph(40);
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
+    let obs = Obs::shared();
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            obs: Some(Arc::clone(&obs)),
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                coalesce: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Three passes over the same four sources: pass one executes and
+    // commits, the rest are served from the cache.
+    for round in 0..3u64 {
+        for i in 0..4u64 {
+            let id = (round * 4 + i) as usize;
+            service.query(KhopQuery::single(id, (i * 9) % 40, 3)).unwrap();
+        }
+    }
+    let stats = service.stats();
+    service.shutdown();
+    assert!(stats.cache_hits >= 8, "repeat passes must hit: {stats:?}");
+    assert_eq!(stats.cache_misses, 4);
+    assert_eq!(stats.cache_insertions, 4);
+
+    let snap = parse_text(&obs.metrics.render_text()).expect("snapshot must parse");
+    assert_registry_matches_stats(&snap, &stats);
+
+    let log = TraceSink::render(&obs.trace.drain());
+    assert!(log.contains(" instant cache_miss "), "missing cache_miss event:\n{log}");
+    assert!(log.contains(" instant cache_insert "), "missing cache_insert event:\n{log}");
+}
+
+#[test]
 fn observability_doc_catalogues_every_registered_metric() {
     // OBSERVABILITY.md promises a complete catalogue. Diff the doc's
     // backtick-quoted metric names against a live registry populated by
@@ -178,7 +229,8 @@ fn observability_doc_catalogues_every_registered_metric() {
 
     let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/OBSERVABILITY.md"))
         .expect("OBSERVABILITY.md must exist at the repo root");
-    let prefixes = ["cgraph_service_", "cgraph_engine_", "cgraph_comm_", "cgraph_recovery_"];
+    let prefixes =
+        ["cgraph_service_", "cgraph_engine_", "cgraph_comm_", "cgraph_recovery_", "cgraph_cache_"];
     let documented: std::collections::BTreeSet<String> = doc
         .split('`')
         .skip(1)

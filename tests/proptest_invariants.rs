@@ -9,6 +9,8 @@ use cgraph_graph::types::VertexRange;
 use cgraph_graph::{Bitmap, ConsolidationPolicy, EdgeSetGraph};
 use proptest::prelude::*;
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Strategy: a random directed graph as (num_vertices, edge pairs).
 fn graph_strategy(max_v: u64, max_e: usize) -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
@@ -301,6 +303,68 @@ proptest! {
                     "recovered level profile diverges at wide lane {}", wl);
             }
         }
+    }
+
+    #[test]
+    fn crashed_batches_never_populate_the_cache(
+        (n, pairs) in graph_strategy(80, 250),
+        src_picks in prop::collection::vec(0u64..80, 2..6),
+        k in 1u32..5,
+        machines in 2usize..4,
+        crash_machine in 0usize..4,
+        crash_step in 0u32..5,
+    ) {
+        // A FaultPlan crash mid-batch must never leak the dying
+        // batch's partial state into the result cache: only committed
+        // batches insert, and re-asking every key after the armed
+        // window must land on exactly the fault-free reference — a
+        // leaked partial entry would be served as a hit here and
+        // diverge.
+        let edges = build_list(n, &pairs);
+        let csr = Csr::from_edges(edges.num_vertices(), edges.edges());
+        let engine = Arc::new(DistributedEngine::new(&edges, EngineConfig::new(machines)));
+        let sources: Vec<u64> = src_picks.iter().map(|s| s % n).collect();
+        // Never-healing crash armed only for the first dispatched
+        // chaos job; retries of that job crash too, so whichever batch
+        // it catches dies for good.
+        let plan = FaultPlan::new(n ^ 0xcac4e)
+            .crash(crash_machine % machines, crash_step)
+            .arm_jobs(0..1);
+        let service = QueryService::start(
+            Arc::clone(&engine),
+            ServiceConfig {
+                max_batch_delay: Duration::from_micros(100),
+                fault_plan: Some(plan),
+                max_retries: 1,
+                retry_backoff: Duration::from_micros(20),
+                recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+                query_plane: QueryPlaneConfig {
+                    cache_capacity_bytes: Some(1 << 20),
+                    coalesce: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let tickets: Vec<_> = sources.iter().enumerate()
+            .map(|(i, &s)| service.submit(KhopQuery::single(i, s, k)).unwrap())
+            .collect();
+        let first_ok: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+        let mid = service.stats();
+        // Insertions come from committed batches only: when the whole
+        // wave died, the cache must hold nothing at all.
+        if first_ok.iter().all(|&ok| !ok) {
+            prop_assert_eq!(mid.cache_insertions, 0, "failed batch inserted into the cache");
+            prop_assert_eq!(mid.cache_entries, 0);
+        }
+        // The armed window is spent: every key now resolves — fresh or
+        // cached — to the fault-free reference answer.
+        for (i, &s) in sources.iter().enumerate() {
+            let r = service.query(KhopQuery::single(1000 + i, s, k)).unwrap();
+            prop_assert_eq!(r.visited, reference_khop(&csr, s, k),
+                "post-crash answer diverges for source {} k {}", s, k);
+        }
+        service.shutdown();
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Query-plane semantics: the result cache, in-flight coalescing and
+//! locality-aware packing may change *when and where* a traversal
+//! executes — never its answer.
+//!
+//! The load here is deliberately repeat-heavy (a seeded Zipf stream
+//! over a small hot set), because that is the regime the plane exists
+//! for, and the regime where a correctness bug — a stale cache entry,
+//! a mis-folded coalesced lane — would actually surface.
+
+use cgraph::prelude::*;
+use cgraph_gen::QueryStream;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ring backbone plus chords, so traversals cross machine boundaries
+/// at every hop count (same shape the streaming-equivalence suite
+/// uses).
+fn chordal_graph(n: u64) -> EdgeList {
+    let mut edges: Vec<(u64, u64)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    for v in (0..n).step_by(3) {
+        edges.push((v, (v * 7 + 5) % n));
+    }
+    for v in (0..n).step_by(11) {
+        edges.push(((v * 3) % n, v));
+    }
+    edges.into_iter().collect()
+}
+
+/// A repeat-heavy stream: sources drawn from a seeded Zipf(1.0) over a
+/// small candidate set, k cycling over a few depths. Most queries are
+/// re-asks of a hot (source, k) pair — cache and coalescer food.
+fn zipf_stream(n_queries: usize, n_vertices: u64) -> Vec<KhopQuery> {
+    let candidates: Vec<u64> = (0..16u64).map(|i| (i * 17 + 3) % n_vertices).collect();
+    QueryStream::zipf(0x2EA1, 1.0, n_queries)
+        .sources(&candidates)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| KhopQuery::single(i, s, (i % 3) as u32 + 2))
+        .collect()
+}
+
+fn full_plane() -> QueryPlaneConfig {
+    QueryPlaneConfig {
+        cache_capacity_bytes: Some(4 << 20),
+        coalesce: true,
+        pack_locality: true,
+        ..Default::default()
+    }
+}
+
+/// Runs `queries` through a fresh service in closed-loop waves (so
+/// earlier commits can serve later waves from the cache) and returns
+/// each query's `(visited, per_level)` plus the final stats.
+fn run_stream(
+    engine: &Arc<DistributedEngine>,
+    queries: &[KhopQuery],
+    plane: QueryPlaneConfig,
+) -> (HashMap<usize, (u64, Vec<u64>)>, ServiceStats) {
+    let service = QueryService::start(
+        Arc::clone(engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_plane: plane,
+            ..Default::default()
+        },
+    );
+    let mut got = HashMap::new();
+    for wave in queries.chunks(32) {
+        let tickets: Vec<_> =
+            wave.iter().map(|q| (q.id, service.submit(q.clone()).expect("submit"))).collect();
+        for (id, t) in tickets {
+            let r = t.wait().expect("query failed");
+            got.insert(id, (r.visited, r.per_level));
+        }
+    }
+    let stats = service.stats();
+    service.shutdown();
+    (got, stats)
+}
+
+/// Cache + coalescing + locality packing on vs everything off: answers
+/// must be bit-identical, and on the repeat-heavy stream the plane
+/// must actually have fired (otherwise this test proves nothing).
+fn check_plane_transparent(p: usize, asynchronous: bool) {
+    let n = 120u64;
+    let graph = chordal_graph(n);
+    let config =
+        if asynchronous { EngineConfig::new(p).asynchronous() } else { EngineConfig::new(p) };
+    let engine = Arc::new(DistributedEngine::new(&graph, config));
+    let queries = zipf_stream(200, n);
+
+    let (off, off_stats) = run_stream(&engine, &queries, QueryPlaneConfig::default());
+    let (on, on_stats) = run_stream(&engine, &queries, full_plane());
+
+    assert_eq!(off.len(), queries.len());
+    assert_eq!(on.len(), queries.len());
+    for (id, exp) in &off {
+        assert_eq!(
+            on.get(id),
+            Some(exp),
+            "query {id} diverged with the query plane on (p={p}, async={asynchronous})"
+        );
+    }
+    // The plane-off run must not have touched the cache at all…
+    assert_eq!(off_stats.cache_hits + off_stats.cache_insertions, 0);
+    assert_eq!(off_stats.cache_bytes, 0);
+    // …and the plane-on run must have genuinely exercised it: a Zipf
+    // stream of 200 queries over 16 hot sources × 3 depths repeats
+    // constantly, so hits (or coalesced lanes) are guaranteed.
+    assert!(
+        on_stats.cache_hits + on_stats.coalesced_traversals > 0,
+        "repeat-heavy stream produced no cache/coalescer activity: {on_stats:?}"
+    );
+    assert_eq!(on_stats.queries_completed, queries.len() as u64);
+    assert_eq!(on_stats.queries_failed, 0);
+}
+
+#[test]
+fn plane_is_transparent_p1_sync() {
+    check_plane_transparent(1, false);
+}
+
+#[test]
+fn plane_is_transparent_p2_sync() {
+    check_plane_transparent(2, false);
+}
+
+#[test]
+fn plane_is_transparent_p4_sync() {
+    check_plane_transparent(4, false);
+}
+
+#[test]
+fn plane_is_transparent_p1_async() {
+    check_plane_transparent(1, true);
+}
+
+#[test]
+fn plane_is_transparent_p2_async() {
+    check_plane_transparent(2, true);
+}
+
+#[test]
+fn plane_is_transparent_p4_async() {
+    check_plane_transparent(4, true);
+}
+
+/// Intra-batch dedup is unconditional — no cache, no coalescer flag,
+/// yet duplicate `(source, k)` submissions in one window share a lane
+/// and still every ticket gets the full, correct answer.
+#[test]
+fn dedup_is_unconditional_and_lossless() {
+    let n = 60u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let expect = khop_count(&engine, 7, 3);
+
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig { max_batch_delay: Duration::from_millis(5), ..Default::default() },
+    );
+    let tickets: Vec<_> =
+        (0..8).map(|i| service.submit(KhopQuery::single(i, 7, 3)).unwrap()).collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().visited, expect);
+    }
+    let stats = service.stats();
+    // All eight were admitted into one 5 ms window: one primary lane,
+    // seven followers — even with the whole query plane disabled.
+    assert_eq!(stats.coalesced_traversals, 7, "{stats:?}");
+    assert_eq!(stats.cache_hits + stats.cache_insertions, 0);
+    service.shutdown();
+}
+
+/// A repeat of a committed query is served from the cache: counted as
+/// a hit, answered identically, with a zero-exec-time sample folded
+/// into the stats rather than dropped.
+#[test]
+fn cache_hit_round_trip() {
+    let n = 80u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let first = service.query(KhopQuery::single(0, 11, 4)).unwrap();
+    let second = service.query(KhopQuery::single(1, 11, 4)).unwrap();
+    assert_eq!(first.visited, second.visited);
+    assert_eq!(first.per_level, second.per_level);
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1, "{stats:?}");
+    assert_eq!(stats.cache_insertions, 1);
+    assert_eq!(stats.cache_entries, 1);
+    assert!(stats.cache_bytes > 0);
+    // The hit's zero-latency exec sample is a first-class data point.
+    assert_eq!(stats.exec.len(), 2);
+    assert_eq!(stats.exec.min(), Duration::ZERO);
+    service.shutdown();
+}
+
+/// `invalidate_cache` bumps the graph epoch: every cached answer from
+/// the old epoch is unreachable and the next ask re-executes.
+#[test]
+fn epoch_invalidation_forces_reexecution() {
+    let n = 80u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let before = service.query(KhopQuery::single(0, 5, 3)).unwrap();
+    assert_eq!(service.query(KhopQuery::single(1, 5, 3)).unwrap().visited, before.visited);
+    assert_eq!(service.stats().cache_hits, 1);
+
+    let old = service.graph_epoch();
+    assert_eq!(service.invalidate_cache(), old + 1);
+    assert_eq!(service.stats().cache_entries, 0, "old-epoch entries must be dropped");
+
+    // Same graph, so the answer is unchanged — but it must come from a
+    // fresh execution keyed to the new epoch, not a stale hit.
+    let after = service.query(KhopQuery::single(2, 5, 3)).unwrap();
+    assert_eq!(after.visited, before.visited);
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1, "post-invalidation ask must miss: {stats:?}");
+    assert_eq!(stats.cache_insertions, 2);
+    service.shutdown();
+}
+
+/// A cache sized below the working set stays within its byte budget by
+/// evicting deterministically — it never grows past capacity and never
+/// serves a wrong answer while churning.
+#[test]
+fn tiny_cache_evicts_within_budget() {
+    let n = 100u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let capacity = 2048usize;
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(capacity),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Two sweeps over more distinct keys than the budget holds.
+    for round in 0..2 {
+        for i in 0..40u64 {
+            let id = (round * 40 + i) as usize;
+            let r = service.query(KhopQuery::single(id, (i * 7) % n, 3)).unwrap();
+            assert_eq!(r.visited, khop_count(&engine, (i * 7) % n, 3), "query {id}");
+        }
+    }
+    let stats = service.stats();
+    assert!(stats.cache_evictions > 0, "working set must overflow the budget: {stats:?}");
+    assert!(
+        stats.cache_bytes <= capacity as u64,
+        "cache over budget: {} > {capacity}",
+        stats.cache_bytes
+    );
+    service.shutdown();
+}
+
+/// Locality packing under a saturated queue: many submitter threads,
+/// queue deeper than one batch, answers identical to the engine's
+/// ground truth for every query.
+#[test]
+fn locality_packing_under_saturation_is_lossless() {
+    let n = 120u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(4)));
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(200),
+            query_plane: QueryPlaneConfig {
+                pack_locality: true,
+                locality_fairness: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                // Submit the whole slice first, then redeem: the queue
+                // runs deeper than one 64-lane batch, which is the
+                // regime where locality selection actually engages.
+                let submitted: Vec<_> = (0..30)
+                    .map(|i| {
+                        let src = ((t * 31 + i) as u64 * 13) % 120;
+                        let id = t * 100 + i;
+                        (src, service.submit(KhopQuery::single(id, src, 3)).unwrap())
+                    })
+                    .collect();
+                submitted
+                    .into_iter()
+                    .map(|(src, ticket)| (src, ticket.wait().unwrap().visited))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for h in handles {
+        for (src, visited) in h.join().expect("submitter panicked") {
+            assert_eq!(visited, khop_count(&engine, src, 3), "source {src}");
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queries_failed, 0);
+    assert_eq!(stats.queries_completed, 120);
+    service.shutdown();
+}
