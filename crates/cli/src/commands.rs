@@ -3,8 +3,8 @@
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
 use cgraph_core::{
-    FaultPlan, KhopQuery, QueryPlaneConfig, QueryService, RecoveryConfig, SchedulerConfig,
-    ServiceConfig,
+    EdgeUpdate, FaultPlan, KhopQuery, MutationConfig, QueryPlaneConfig, QueryService,
+    RecoveryConfig, SchedulerConfig, ServiceConfig,
 };
 use cgraph_obs::{Obs, TraceSink};
 use cgraph_ql::Session;
@@ -153,6 +153,9 @@ const SERVICE_FLAGS: &[&str] = &[
     "--retries",
     "--ckpt-interval",
     "--degrade-after",
+    "--update-stream",
+    "--commit-every",
+    "--fold-threshold",
     "--metrics",
     "--trace-out",
 ];
@@ -227,6 +230,12 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
         pack_locality: args.switch("--pack-locality"),
         ..Default::default()
     };
+    let commit_every: usize = args.flag_parse("--commit-every", 0)?;
+    let mutation = MutationConfig {
+        commit_threshold: (commit_every > 0).then_some(commit_every),
+        fold_threshold: args
+            .flag_parse("--fold-threshold", MutationConfig::default().fold_threshold)?,
+    };
     let edges = load_graph(path)?;
     let engine = Arc::new(build_engine(&edges, machines));
     Ok(QueryService::start(
@@ -238,6 +247,7 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
             fault_plan,
             query_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
             query_plane,
+            mutation,
             max_retries,
             recovery: RecoveryConfig { checkpoint_interval: ckpt, ..Default::default() },
             degrade_after: (degrade > 0).then_some(degrade),
@@ -245,6 +255,75 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
             ..Default::default()
         },
     ))
+}
+
+/// Parses one edge-update line: `add SRC DST [W]` (alias `+`) or
+/// `del SRC DST` (alias `-`). Blank lines and `#` comments yield
+/// `Ok(None)`.
+pub fn parse_update_line(line: &str) -> Result<Option<EdgeUpdate>, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.is_empty() || tokens[0].starts_with('#') {
+        return Ok(None);
+    }
+    let parse = |t: &str| t.parse::<u64>().map_err(|_| format!("bad vertex {t:?}"));
+    match tokens[0] {
+        "add" | "+" => match tokens.len() {
+            3 => Ok(Some(EdgeUpdate::insert(parse(tokens[1])?, parse(tokens[2])?))),
+            4 => {
+                let w: f32 =
+                    tokens[3].parse().map_err(|_| format!("bad weight {:?}", tokens[3]))?;
+                Ok(Some(EdgeUpdate::insert_weighted(parse(tokens[1])?, parse(tokens[2])?, w)))
+            }
+            _ => Err(format!("need `add SRC DST [W]`, got {:?}", line.trim())),
+        },
+        "del" | "-" => {
+            if tokens.len() != 3 {
+                return Err(format!("need `del SRC DST`, got {:?}", line.trim()));
+            }
+            Ok(Some(EdgeUpdate::delete(parse(tokens[1])?, parse(tokens[2])?)))
+        }
+        other => Err(format!("unknown update op {other:?} (expected add/+/del/-)")),
+    }
+}
+
+/// Streams edge updates from `path` into the service on a background
+/// thread: updates apply in chunks (so a `--commit-every` threshold
+/// can fire between them), and one final [`QueryService::commit_epoch`]
+/// publishes whatever the threshold left pending once the file drains.
+fn spawn_update_stream(service: Arc<QueryService>, path: String) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cgraph: cannot read --update-stream {path}: {e}");
+                return;
+            }
+        };
+        let mut buf: Vec<EdgeUpdate> = Vec::new();
+        let flush = |buf: &mut Vec<EdgeUpdate>| {
+            if buf.is_empty() {
+                return;
+            }
+            if let Err(e) = service.apply_updates(buf.drain(..).collect()) {
+                eprintln!("cgraph: --update-stream: {e}");
+            }
+        };
+        for line in text.lines() {
+            match parse_update_line(line) {
+                Ok(Some(u)) => buf.push(u),
+                Ok(None) => {}
+                Err(e) => eprintln!("cgraph: --update-stream: {e}"),
+            }
+            if buf.len() >= 256 {
+                flush(&mut buf);
+            }
+        }
+        flush(&mut buf);
+        match service.commit_epoch() {
+            Ok(ep) => eprintln!("cgraph: update stream drained; committed epoch {ep}"),
+            Err(e) => eprintln!("cgraph: --update-stream final commit: {e}"),
+        }
+    })
 }
 
 /// Prints the service's lifetime latency summary. The first line is
@@ -257,7 +336,9 @@ fn print_service_stats(service: &QueryService) {
         "stats completed={} failed={} deadline_exceeded={} batches={} retries={} \
          recoveries={} checkpoints_taken={} checkpoints_restored={} partitions_replayed={} \
          full_rollbacks={} degraded={} cache_hits={} cache_misses={} cache_insertions={} \
-         cache_evictions={} coalesced={}",
+         cache_evictions={} coalesced={} updates_applied={} updates_inserted={} \
+         updates_deleted={} epoch_commits={} epoch_folds={} pending_updates={} \
+         delta_entries={} delta_bytes={}",
         s.queries_completed,
         s.queries_failed,
         s.queries_deadline_exceeded,
@@ -274,6 +355,14 @@ fn print_service_stats(service: &QueryService) {
         s.cache_insertions,
         s.cache_evictions,
         s.coalesced_traversals,
+        s.updates_applied,
+        s.updates_inserted,
+        s.updates_deleted,
+        s.epoch_commits,
+        s.epoch_folds,
+        s.pending_updates,
+        s.delta_entries,
+        s.delta_bytes,
     );
     println!(
         "served {} queries ({} failed, {} past deadline) in {} batches; \
@@ -300,6 +389,20 @@ fn print_service_stats(service: &QueryService) {
             s.cache_entries,
             s.cache_bytes,
             s.coalesced_traversals,
+        );
+    }
+    if s.updates_applied + s.epoch_commits + s.pending_updates > 0 {
+        println!(
+            "mutations: {} updates ({} inserts, {} deletes) across {} epoch commits \
+             ({} folds); {} pending, {} delta rows ({} B) live",
+            s.updates_applied,
+            s.updates_inserted,
+            s.updates_deleted,
+            s.epoch_commits,
+            s.epoch_folds,
+            s.pending_updates,
+            s.delta_entries,
+            s.delta_bytes,
         );
     }
     if s.retries + s.recoveries + s.full_rollbacks + s.degraded_generations > 0 {
@@ -331,6 +434,9 @@ pub fn serve(args: Args) -> Result<(), String> {
     let path = args.require(0, "graph file")?;
     let obs = obs_from_args(&args);
     let service = Arc::new(start_service(&args, path, obs.as_ref())?);
+    let updater = args
+        .flag("--update-stream")
+        .map(|p| spawn_update_stream(Arc::clone(&service), p.to_string()));
 
     // Printer thread: redeems tickets in submission order so output
     // is deterministic while batching continues behind it.
@@ -386,8 +492,126 @@ pub fn serve(args: Args) -> Result<(), String> {
             Err(e) => eprintln!("cgraph: rejected {:?}: {e}", line.trim()),
         }
     }
+    if let Some(u) = updater {
+        u.join().expect("update-stream thread panicked");
+    }
     drop(tx);
     printer.join().expect("printer thread panicked");
+    service.shutdown();
+    if let Some(o) = &obs {
+        write_obs(o)?;
+    }
+    Ok(())
+}
+
+/// `cgraph mutate <FILE> [-p MACHINES] [--commit-every N]
+/// [--fold-threshold N] ...`
+///
+/// Interactive/scripted live mutations: reads a mixed op stream from
+/// stdin, one op per line —
+///
+/// * `add SRC DST [W]` (alias `+`) — buffer an edge insertion,
+/// * `del SRC DST` (alias `-`) — buffer an edge deletion,
+/// * `commit` — fold buffered updates into a new epoch (prints it),
+/// * `query SRC... K` (alias `q`) — k-hop query against the current
+///   snapshot; the answer prints with the epoch it was computed at.
+///
+/// Updates buffer until a `commit` (or a crossed `--commit-every`
+/// threshold); queries always answer against the latest committed
+/// epoch. EOF commits anything still buffered and prints the stats
+/// summary.
+pub fn mutate(args: Args) -> Result<(), String> {
+    args.reject_unknown(SERVICE_FLAGS)?;
+    let path = args.require(0, "graph file")?;
+    let obs = obs_from_args(&args);
+    let service = start_service(&args, path, obs.as_ref())?;
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    let mut id = 0usize;
+    let mut buf: Vec<EdgeUpdate> = Vec::new();
+    let mut dirty = false;
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("cannot read stdin: {e}")),
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() || tokens[0].starts_with('#') {
+            continue;
+        }
+        // Ops that look at the graph flush the local buffer first, so
+        // a script reads top-to-bottom: every earlier update is at
+        // least *pending* before a commit or query runs.
+        let flush = |buf: &mut Vec<EdgeUpdate>, dirty: &mut bool| {
+            if buf.is_empty() {
+                return;
+            }
+            match service.apply_updates(buf.drain(..).collect()) {
+                Ok(()) => *dirty = true,
+                Err(e) => eprintln!("cgraph: {e}"),
+            }
+        };
+        match tokens[0] {
+            "add" | "+" | "del" | "-" => match parse_update_line(&line) {
+                Ok(Some(u)) => buf.push(u),
+                Ok(None) => {}
+                Err(e) => eprintln!("cgraph: {e}"),
+            },
+            "commit" => {
+                flush(&mut buf, &mut dirty);
+                match service.commit_epoch() {
+                    Ok(ep) => {
+                        dirty = false;
+                        println!("committed epoch {ep}");
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+            "query" | "q" => {
+                flush(&mut buf, &mut dirty);
+                if tokens.len() < 3 {
+                    eprintln!("cgraph: need `query <SRC>... <K>`, got {:?}", line.trim());
+                    continue;
+                }
+                let parse = |t: &str| t.parse::<u64>().map_err(|_| format!("bad number {t:?}"));
+                let k = parse(tokens[tokens.len() - 1])? as u32;
+                let sources: Vec<u64> = tokens[1..tokens.len() - 1]
+                    .iter()
+                    .map(|t| parse(t))
+                    .collect::<Result<_, _>>()?;
+                match service.query(KhopQuery::multi(id, sources, k)) {
+                    Ok(r) => println!(
+                        "[{id}] visited {} (depth {}) @ epoch {}, response {:?}",
+                        r.visited,
+                        r.depth(),
+                        r.epoch,
+                        r.response_time
+                    ),
+                    Err(e) => println!("[{id}] error: {e}"),
+                }
+                id += 1;
+            }
+            other => eprintln!("cgraph: unknown op {other:?} (add/del/commit/query)"),
+        }
+    }
+    // EOF: publish anything still buffered so the stream's effects are
+    // never silently dropped.
+    if !buf.is_empty() {
+        match service.apply_updates(buf.drain(..).collect()) {
+            Ok(()) => dirty = true,
+            Err(e) => eprintln!("cgraph: {e}"),
+        }
+    }
+    if dirty {
+        match service.commit_epoch() {
+            Ok(ep) => println!("committed epoch {ep}"),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    print_service_stats(&service);
     service.shutdown();
     if let Some(o) = &obs {
         write_obs(o)?;
@@ -416,7 +640,10 @@ pub fn replay(args: Args) -> Result<(), String> {
     let zipf_alpha: f64 = args.flag_parse("--zipf", 0.0)?;
     let zipf_seed: u64 = args.flag_parse("--zipf-seed", 42)?;
     let obs = obs_from_args(&args);
-    let service = start_service(&args, path, obs.as_ref())?;
+    let service = Arc::new(start_service(&args, path, obs.as_ref())?);
+    let updater = args
+        .flag("--update-stream")
+        .map(|p| spawn_update_stream(Arc::clone(&service), p.to_string()));
     let n = {
         let edges = load_graph(path)?;
         edges.num_vertices()
@@ -461,6 +688,9 @@ pub fn replay(args: Args) -> Result<(), String> {
          ({:.0} queries/s), {visited} vertices visited, {failed} failed",
         queries as f64 / wall.as_secs_f64().max(1e-12)
     );
+    if let Some(u) = updater {
+        u.join().expect("update-stream thread panicked");
+    }
     print_service_stats(&service);
     service.shutdown();
     if let Some(o) = &obs {

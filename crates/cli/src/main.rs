@@ -8,6 +8,7 @@
 //! cgraph bench <graph> [-p M] [-q N] [-k K]        concurrent k-hop benchmark
 //! cgraph serve <graph> [-p M]                      streaming service on stdin
 //! cgraph replay <graph> [-p M] [-q N] [--rate R]   open-loop stream replay
+//! cgraph mutate <graph> [-p M]                     live mutation script on stdin
 //! ```
 //!
 //! Models for `generate`: `graph500 <scale> <edge_factor>`,
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "bench" => commands::bench(args),
         "serve" => commands::serve(args),
         "replay" => commands::replay(args),
+        "mutate" => commands::mutate(args),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -72,6 +74,8 @@ USAGE:
   cgraph bench <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS]
   cgraph serve <FILE> [-p MACHINES] [--delay-us D] [--depth N]   (queries on stdin: \"SRC.. K\")
   cgraph replay <FILE> [-p MACHINES] [-q QUERIES] [-k HOPS] [--rate QPS] [--zipf A]
+  cgraph mutate <FILE> [-p MACHINES]   (ops on stdin: \"add S D [W]\" / \"del S D\" /
+                                        \"commit\" / \"query SRC.. K\")
 
 SERVICE BATCHING (serve & replay):
   --batch-width W    packed traversal width: 64, 128, 256 or 512 lanes
@@ -97,6 +101,15 @@ SERVICE ROBUSTNESS (serve & replay):
   --retries N        whole-batch retries with backoff (default 2)
   --ckpt-interval K  checkpoint every K supersteps (default 4)
   --degrade-after N  drop to p-1 machines after N same-machine crashes (0 = never)
+
+LIVE MUTATIONS (mutate, serve & replay):
+  --update-stream F  (serve/replay) apply an edge-update file (\"add S D [W]\" /
+                     \"del S D\" lines) on a background thread while queries flow;
+                     one final commit publishes the tail when the file drains
+  --commit-every N   auto-commit a new graph epoch once N updates are buffered
+                     (0 = only explicit `commit` ops / end-of-stream)
+  --fold-threshold N fold the delta overlay into fresh base edge-sets when a
+                     commit would leave more than N overlay rows (default 65536)
 
 OBSERVABILITY (serve & replay):
   --metrics [PATH]   after the stream drains, write a metrics snapshot

@@ -20,6 +20,7 @@
 
 use crate::shard::Shard;
 use cgraph_graph::bitmap::{LaneMask, LaneMatrix, LaneWidth};
+use cgraph_graph::delta::DeltaOverlay;
 use cgraph_graph::VertexId;
 
 /// Per-shard traversal state for one query batch of runtime width.
@@ -130,9 +131,21 @@ impl BitFrontier {
     /// are handed to `remote` as `(global_dst, lane_mask)` — the
     /// engine coalesces them per owner into the remote task buffer.
     ///
+    /// When a [`DeltaOverlay`] is present the scan consults it
+    /// alongside the base edge-sets: base neighbours whose edge the
+    /// overlay deletes are skipped, and a second pass emits the
+    /// overlay's inserted edges for every frontier source. Emission is
+    /// OR-idempotent, so the overlay pass needs no ordering relative to
+    /// the base pass.
+    ///
     /// Returns the number of (row, tile) pairs actually scanned — the
     /// work metric the edge-set and lane-width ablations report.
-    pub fn scan(&mut self, shard: &Shard, mut remote: impl FnMut(VertexId, &LaneMask)) -> u64 {
+    pub fn scan(
+        &mut self,
+        shard: &Shard,
+        delta: Option<&DeltaOverlay>,
+        mut remote: impl FnMut(VertexId, &LaneMask),
+    ) -> u64 {
         let mut scanned = 0u64;
         let base = self.base;
         let next = &mut self.next;
@@ -152,8 +165,38 @@ impl BitFrontier {
                     continue;
                 }
                 scanned += 1;
+                let dels =
+                    delta.and_then(|d| d.row(v)).map(|r| r.deletes()).filter(|d| !d.is_empty());
                 let w = LaneMask::from_words(row);
                 for &t in ts {
+                    if let Some(dels) = dels {
+                        if dels.binary_search(&t).is_ok() {
+                            continue;
+                        }
+                    }
+                    if shard.is_local(t) {
+                        next.or_row((t - base) as usize, &w);
+                    } else {
+                        remote(t, &w);
+                    }
+                }
+            }
+        }
+        // Overlay insert pass: sources with pending inserted edges whose
+        // frontier row is live. Rows iterate in arbitrary (HashMap)
+        // order — harmless, since `next` accumulation is a pure OR.
+        if let Some(d) = delta {
+            for (v, drow) in d.rows() {
+                if drow.inserts().is_empty() || !shard.is_local(v) {
+                    continue;
+                }
+                let row = frontier.row((v - base) as usize);
+                if row.iter().all(|&w| w == 0) {
+                    continue;
+                }
+                scanned += 1;
+                let w = LaneMask::from_words(row);
+                for &(t, _) in drow.inserts() {
                     if shard.is_local(t) {
                         next.or_row((t - base) as usize, &w);
                     } else {
@@ -303,17 +346,17 @@ mod tests {
         let shard = single_shard(&g);
         let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
-        bf.scan(&shard, |_, _| panic!("no remote on single shard"));
+        bf.scan(&shard, None, |_, _| panic!("no remote on single shard"));
         let r = bf.advance();
         assert_eq!(r.active_lanes, m64(1));
         assert_eq!(r.new_per_lane[0], 1); // vertex 1
         assert_eq!(bf.frontier_word(1), 1);
         // second hop reaches 2
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(r.new_per_lane[0], 1);
         // third hop: nothing new
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert!(r.active_lanes.is_zero());
     }
@@ -327,12 +370,12 @@ mod tests {
         let mut bf = BitFrontier::new(&shard, 2);
         bf.seed(0, 0);
         bf.seed(1, 1);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(bf.frontier_word(2), 0b11, "both lanes reached vertex 2");
         assert_eq!(r.new_per_lane[0], 1);
         assert_eq!(r.new_per_lane[1], 1);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(bf.visited_word(3), 0b11);
         assert_eq!(r.new_per_lane[0], 1);
@@ -346,10 +389,10 @@ mod tests {
         let shard = single_shard(&g);
         let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 5);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(r.new_per_lane[5], 1);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert!(r.active_lanes.is_zero(), "source must not be revisited");
     }
@@ -365,7 +408,7 @@ mod tests {
         bf.seed(0, 0);
         bf.seed(1, 1);
         let mut remote = Vec::new();
-        bf.scan(&shard, |t, w| remote.push((t, w.words()[0])));
+        bf.scan(&shard, None, |t, w| remote.push((t, w.words()[0])));
         remote.sort_unstable();
         assert_eq!(remote, vec![(5, 0b01), (5, 0b10)]);
     }
@@ -383,7 +426,7 @@ mod tests {
         assert_eq!(r.active_lanes, m64(0b100));
         assert_eq!(bf.frontier_word(5), 0b100);
         // the absorbed vertex now traverses locally
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(bf.visited_word(6), 0b100);
         assert_eq!(r.new_per_lane[2], 1);
@@ -397,7 +440,7 @@ mod tests {
         bf.seed(0, 0);
         let mut total = [1u64; 1]; // source counted
         for _ in 0..4 {
-            bf.scan(&shard, |_, _| unreachable!());
+            bf.scan(&shard, None, |_, _| unreachable!());
             let r = bf.advance();
             total[0] += r.new_per_lane[0];
         }
@@ -411,14 +454,14 @@ mod tests {
         let shard = single_shard(&g);
         let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         bf.advance();
         let (front, vis) = bf.snapshot_words();
 
         // Continue to completion, recording the trajectory.
         let mut rest = Vec::new();
         for _ in 0..3 {
-            bf.scan(&shard, |_, _| unreachable!());
+            bf.scan(&shard, None, |_, _| unreachable!());
             rest.push(bf.advance());
         }
         let final_visited = bf.visited_per_lane();
@@ -427,10 +470,10 @@ mod tests {
         // and replay: the trajectory must be identical.
         let mut bf2 = BitFrontier::new(&shard, 64);
         bf2.seed(0, 0);
-        bf2.scan(&shard, |_, _| unreachable!());
+        bf2.scan(&shard, None, |_, _| unreachable!());
         bf2.restore_words(&front, &vis);
         for expect in &rest {
-            bf2.scan(&shard, |_, _| unreachable!());
+            bf2.scan(&shard, None, |_, _| unreachable!());
             assert_eq!(bf2.advance(), *expect);
         }
         assert_eq!(bf2.visited_per_lane(), final_visited);
@@ -442,7 +485,7 @@ mod tests {
         let shard = single_shard(&g);
         let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         bf.clear_next();
         let r = bf.advance();
         assert!(r.active_lanes.is_zero(), "cleared next must yield no discoveries");
@@ -454,7 +497,7 @@ mod tests {
         let shard = single_shard(&g);
         let mut bf = BitFrontier::new(&shard, 64);
         bf.seed(0, 0);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         bf.advance();
         bf.reset();
         assert!(bf.frontier_empty());
@@ -471,12 +514,12 @@ mod tests {
         assert_eq!(bf.width().bits(), 128);
         bf.seed(0, 0);
         bf.seed(0, 100);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert!(r.active_lanes.get(0) && r.active_lanes.get(100));
         assert_eq!(r.new_per_lane[0], 1);
         assert_eq!(r.new_per_lane[100], 1);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert_eq!(r.new_per_lane[100], 1);
         let visited = bf.visited_per_lane();
@@ -499,7 +542,7 @@ mod tests {
         let mut keep = LaneMask::zero(LaneWidth::new(128).unwrap());
         keep.set(3);
         bf.mask_frontier(&keep);
-        bf.scan(&shard, |_, _| unreachable!());
+        bf.scan(&shard, None, |_, _| unreachable!());
         let r = bf.advance();
         assert!(r.active_lanes.get(3));
         assert!(!r.active_lanes.get(90), "retired lane must not advance");

@@ -30,6 +30,7 @@ use crate::traverse::{QueueTraversal, ValueMode};
 use cgraph_comm::chaos::{ChaosRun, FaultPlan};
 use cgraph_comm::cluster::TrafficReport;
 use cgraph_comm::{Cluster, ClusterError, CommHandle, MachineObs, PersistentCluster, WireSize};
+use cgraph_graph::delta::{DeltaOverlay, EdgeUpdate};
 use cgraph_graph::{Edge, EdgeList, LaneMask, LaneWidth, VertexId, MAX_LANES};
 use cgraph_obs::{log2_edges, Counter, Histogram, TraceCtx, Tracer, COORD};
 use std::collections::HashMap;
@@ -366,9 +367,24 @@ struct MachineOut {
 }
 
 /// The C-Graph distributed engine.
+///
+/// An engine value is an immutable *snapshot* of the graph at one
+/// `graph_epoch`: the base shards plus one published [`DeltaOverlay`]
+/// per machine. The mutation plane never edits an engine in place —
+/// [`DistributedEngine::with_updates`] derives the next epoch's value
+/// and the service swaps it in atomically, so in-flight batches keep
+/// traversing the snapshot they were admitted against.
 pub struct DistributedEngine {
     partition: RangePartition,
-    shards: Vec<Shard>,
+    /// Base shards, `Arc`-shared between epochs so an overlay-publish
+    /// commit never copies the graph.
+    shards: Arc<Vec<Shard>>,
+    /// Per-machine published adjacency deltas, consulted alongside the
+    /// base edge-sets during scans. Empty overlays cost nothing on the
+    /// scan path ([`DistributedEngine::delta`] returns `None`).
+    deltas: Vec<Arc<DeltaOverlay>>,
+    /// Snapshot epoch: 0 at ingestion, +1 per committed mutation batch.
+    graph_epoch: u64,
     config: EngineConfig,
     /// Registered engine-layer metric handles, keyed by the identity of
     /// the [`Obs`](cgraph_obs::Obs) they were registered against (a
@@ -405,7 +421,15 @@ impl DistributedEngine {
         assert_eq!(partition.num_vertices(), edges.num_vertices());
         let shards =
             build_shards(&partition, edges.edges(), config.edge_set_policy, config.build_in_edges);
-        Self { partition, shards, config, obs_handles: Mutex::new(None) }
+        let deltas = (0..config.num_machines).map(|_| Arc::new(DeltaOverlay::new())).collect();
+        Self {
+            partition,
+            shards: Arc::new(shards),
+            deltas,
+            graph_epoch: 0,
+            config,
+            obs_handles: Mutex::new(None),
+        }
     }
 
     /// The engine-layer handle bundle for `obs`, registering it on
@@ -434,9 +458,135 @@ impl DistributedEngine {
         &self.partition
     }
 
-    /// The per-machine shards.
+    /// The per-machine shards (the *base* snapshot — callers reading
+    /// shards directly, like the QL executor and the k-core analytics,
+    /// see base edges only and should run against a delta-free engine).
     pub fn shards(&self) -> &[Shard] {
-        &self.shards
+        &self.shards[..]
+    }
+
+    /// The snapshot epoch this engine value publishes.
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
+    }
+
+    /// Machine `m`'s published delta overlay, or `None` when it carries
+    /// no entries — the scan paths' fast test for "base only".
+    pub fn delta(&self, m: usize) -> Option<&DeltaOverlay> {
+        let d = &self.deltas[m];
+        (!d.is_empty()).then_some(&**d)
+    }
+
+    /// Total resident delta entries (inserted + deleted edges) across
+    /// all machines.
+    pub fn delta_entries(&self) -> usize {
+        self.deltas.iter().map(|d| d.len()).sum()
+    }
+
+    /// Total resident delta bytes across all machines.
+    pub fn delta_bytes(&self) -> usize {
+        self.deltas.iter().map(|d| if d.is_empty() { 0 } else { d.size_bytes() }).sum()
+    }
+
+    /// The largest single machine's delta footprint — the scheduler
+    /// charges this against the per-machine memory budget, since every
+    /// machine thread scans its own overlay alongside the batch state.
+    pub fn max_delta_bytes(&self) -> usize {
+        self.deltas.iter().map(|d| if d.is_empty() { 0 } else { d.size_bytes() }).max().unwrap_or(0)
+    }
+
+    /// True when any machine has a live overlay.
+    pub fn has_delta(&self) -> bool {
+        self.deltas.iter().any(|d| !d.is_empty())
+    }
+
+    /// Publishes `updates` as a new engine value at `graph_epoch + 1`.
+    ///
+    /// While the combined per-machine overlays stay at or below
+    /// `fold_threshold` total entries, the base shards are shared
+    /// untouched (an `Arc` clone) and only the overlays change — the
+    /// cheap publish path. Above the threshold the commit *folds*:
+    /// every partition's CSR/CSC edge-sets are rebuilt from the
+    /// effective adjacency ([`DeltaOverlay::merge_row`]) and the new
+    /// engine starts delta-free. Returns the new engine and whether a
+    /// fold happened. Either way the logical graph is identical —
+    /// `(base ∖ deletes) ∪ inserts` — so query answers never depend on
+    /// which side of the threshold a commit landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an update names a vertex outside the graph's vertex
+    /// range: the mutation plane changes edges, never the vertex set.
+    pub fn with_updates(
+        &self,
+        updates: &[EdgeUpdate],
+        fold_threshold: usize,
+    ) -> (DistributedEngine, bool) {
+        if updates.is_empty() && self.delta_entries() <= fold_threshold {
+            // Empty commit (epoch fence): share base and overlays alike.
+            return (
+                DistributedEngine {
+                    partition: self.partition.clone(),
+                    shards: Arc::clone(&self.shards),
+                    deltas: self.deltas.clone(),
+                    graph_epoch: self.graph_epoch + 1,
+                    config: self.config,
+                    obs_handles: Mutex::new(None),
+                },
+                false,
+            );
+        }
+        let n = self.num_vertices();
+        let mut deltas: Vec<DeltaOverlay> = self.deltas.iter().map(|d| (**d).clone()).collect();
+        for u in updates {
+            assert!(u.src() < n && u.dst() < n, "edge update {u:?} outside vertex range 0..{n}");
+            deltas[self.partition.owner(u.src())].apply(u);
+        }
+        let total: usize = deltas.iter().map(DeltaOverlay::len).sum();
+        if total > fold_threshold {
+            (self.folded_with(&deltas, self.graph_epoch + 1), true)
+        } else {
+            (
+                DistributedEngine {
+                    partition: self.partition.clone(),
+                    shards: Arc::clone(&self.shards),
+                    deltas: deltas.into_iter().map(Arc::new).collect(),
+                    graph_epoch: self.graph_epoch + 1,
+                    config: self.config,
+                    obs_handles: Mutex::new(None),
+                },
+                false,
+            )
+        }
+    }
+
+    /// Rebuilds fresh per-partition edge-sets from the effective
+    /// adjacency (base merged with `deltas`), producing a delta-free
+    /// engine at `epoch` on the same partitioning.
+    fn folded_with(&self, deltas: &[DeltaOverlay], epoch: u64) -> DistributedEngine {
+        let mut edges = EdgeList::new();
+        for (m, shard) in self.shards.iter().enumerate() {
+            for v in shard.local_range().iter() {
+                for (t, w) in deltas[m].merge_row(v, &shard.out_neighbors_weighted(v)) {
+                    edges.push(Edge::weighted(v, t, w));
+                }
+            }
+        }
+        edges.set_num_vertices(self.num_vertices());
+        let shards = build_shards(
+            &self.partition,
+            edges.edges(),
+            self.config.edge_set_policy,
+            self.config.build_in_edges,
+        );
+        DistributedEngine {
+            partition: self.partition.clone(),
+            shards: Arc::new(shards),
+            deltas: (0..self.config.num_machines).map(|_| Arc::new(DeltaOverlay::new())).collect(),
+            graph_epoch: epoch,
+            config: self.config,
+            obs_handles: Mutex::new(None),
+        }
     }
 
     /// Engine configuration.
@@ -586,6 +736,7 @@ impl DistributedEngine {
         };
         {
             let shard = &self.shards[h.id()];
+            let delta = self.delta(h.id());
             let t0 = Instant::now();
             let mut bf = BitFrontier::new(shard, lanes);
             for (lane, &src) in sources.iter().enumerate() {
@@ -611,7 +762,7 @@ impl DistributedEngine {
                 }
                 bf.mask_frontier(&budget_mask(hop));
 
-                scans += bf.scan(shard, |t, w| {
+                scans += bf.scan(shard, delta, |t, w| {
                     let owner = self.partition.owner(t);
                     outbox[owner].entry(t).or_insert_with(|| LaneMask::zero(width)).or_assign(w);
                 });
@@ -952,6 +1103,10 @@ impl DistributedEngine {
         let (mut per_level_local, mut lane_completion, mut completed, from, busy) = match base {
             Some(snap) => {
                 assert_eq!(snap.lanes, lanes, "checkpoint lane count must match the batch");
+                assert_eq!(
+                    snap.epoch, self.graph_epoch,
+                    "replay base checkpoint epoch must match the engine's graph epoch"
+                );
                 bf.restore_words(&snap.frontier, &snap.visited);
                 (
                     snap.per_level_local,
@@ -984,7 +1139,7 @@ impl DistributedEngine {
                 }
             }
             bf.mask_frontier(&k_mask);
-            bf.scan(shard, |_, _| {}); // peers already received these
+            bf.scan(shard, self.delta(f), |_, _| {}); // peers already received these
             for (v, w) in store.logged_to(f, hop) {
                 bf.absorb(v, &w);
             }
@@ -1008,6 +1163,7 @@ impl DistributedEngine {
             PartitionSnapshot {
                 boundary: target,
                 lanes,
+                epoch: self.graph_epoch,
                 frontier,
                 visited,
                 per_level_local,
@@ -1049,6 +1205,7 @@ impl DistributedEngine {
             m
         };
         let shard = &self.shards[h.id()];
+        let delta = self.delta(h.id());
         let t0 = Instant::now();
         let cpu0 = cgraph_comm::thread_cpu_time();
         let mut bf = BitFrontier::new(shard, lanes);
@@ -1056,6 +1213,10 @@ impl DistributedEngine {
             match store.take_resume(h.id()) {
                 Some(snap) => {
                     assert_eq!(snap.lanes, lanes, "resume lane count must match the batch");
+                    assert_eq!(
+                        snap.epoch, self.graph_epoch,
+                        "resume snapshot epoch must match the engine's graph epoch"
+                    );
                     bf.restore_words(&snap.frontier, &snap.visited);
                     if let Some(w) = &wobs {
                         w.mo.tracer().instant("resume", w.mo.ctx_at(snap.boundary), 0);
@@ -1093,6 +1254,7 @@ impl DistributedEngine {
             PartitionSnapshot {
                 boundary,
                 lanes,
+                epoch: self.graph_epoch,
                 frontier,
                 visited,
                 per_level_local: per_level_local.clone(),
@@ -1133,7 +1295,7 @@ impl DistributedEngine {
                 w.superstep_enter(hop);
             }
             bf.mask_frontier(&budget_mask(hop));
-            scans += bf.scan(shard, |t, w| {
+            scans += bf.scan(shard, delta, |t, w| {
                 let owner = self.partition.owner(t);
                 outbox[owner].entry(t).or_insert_with(|| LaneMask::zero(width)).or_assign(w);
             });
@@ -1231,19 +1393,24 @@ impl DistributedEngine {
     /// Rebuilds this engine's graph onto `num_machines` machines — the
     /// service's graceful-degradation path after repeated failures of
     /// the same machine index. The edge list is reconstructed from the
-    /// shards (the engine does not retain the original input).
+    /// shards (the engine does not retain the original input); any live
+    /// delta overlay is folded in, so the degraded engine serves the
+    /// same logical snapshot — degradation changes the physical layout,
+    /// never the epoch.
     pub fn repartitioned(&self, num_machines: usize) -> DistributedEngine {
         assert!(num_machines >= 1, "cannot degrade below one machine");
         let mut edges = EdgeList::new();
-        for shard in &self.shards {
+        for (m, shard) in self.shards.iter().enumerate() {
             for v in shard.local_range().iter() {
-                for (t, w) in shard.out_neighbors_weighted(v) {
+                for (t, w) in self.deltas[m].merge_row(v, &shard.out_neighbors_weighted(v)) {
                     edges.push(Edge::weighted(v, t, w));
                 }
             }
         }
         edges.set_num_vertices(self.num_vertices());
-        DistributedEngine::new(&edges, EngineConfig { num_machines, ..self.config })
+        let mut e = DistributedEngine::new(&edges, EngineConfig { num_machines, ..self.config });
+        e.graph_epoch = self.graph_epoch;
+        e
     }
 
     // ------------------------------------------------------------------
@@ -1280,6 +1447,7 @@ impl DistributedEngine {
         let start = Instant::now();
         let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
             let shard = &self.shards[h.id()];
+            let delta = self.delta(h.id());
             let mut qt = QueueTraversal::new(shard, k, value_mode);
             let mut seeded = 0u64;
             for &s in sources {
@@ -1294,7 +1462,7 @@ impl DistributedEngine {
                 (0..h.num_machines()).map(|_| Vec::new()).collect();
             let mut supersteps = 0u64;
             loop {
-                let mut new_local = qt.step(shard, |v, d| {
+                let mut new_local = qt.step(shard, delta, |v, d| {
                     outbox[self.partition.owner(v)].push((v, d));
                 });
                 for (m, buf) in outbox.iter_mut().enumerate() {
@@ -1357,6 +1525,7 @@ impl DistributedEngine {
         let start = Instant::now();
         let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
             let shard = &self.shards[h.id()];
+            let delta = self.delta(h.id());
             let base = shard.local_range().start;
             let n_local = shard.num_local();
             let mut depth = vec![u32::MAX; n_local];
@@ -1374,9 +1543,29 @@ impl DistributedEngine {
                     h.set_idle(false);
                     tasks += 1;
                     if d < k {
+                        let nd = d + 1;
+                        let drow = delta.and_then(|dl| dl.row(v));
+                        let dels = drow.map(|r| r.deletes()).filter(|s| !s.is_empty());
                         for set in shard.out_sets().sets() {
                             for &t in set.neighbors(v) {
-                                let nd = d + 1;
+                                if let Some(dels) = dels {
+                                    if dels.binary_search(&t).is_ok() {
+                                        continue;
+                                    }
+                                }
+                                if shard.is_local(t) {
+                                    let l = (t - base) as usize;
+                                    if nd < depth[l] {
+                                        depth[l] = nd;
+                                        queue.push((t, nd));
+                                    }
+                                } else {
+                                    h.send(self.partition.owner(t), EngineMsg::Task(vec![(t, nd)]));
+                                }
+                            }
+                        }
+                        if let Some(drow) = drow {
+                            for &(t, _) in drow.inserts() {
                                 if shard.is_local(t) {
                                     let l = (t - base) as usize;
                                     if nd < depth[l] {
@@ -1471,6 +1660,7 @@ impl DistributedEngine {
         let start = Instant::now();
         let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
             let shard = &self.shards[h.id()];
+            let delta = self.delta(h.id());
             let base = shard.local_range().start;
             let mut depth = vec![u32::MAX; shard.num_local()];
             let mut queue: Vec<(u64, u32)> = Vec::new();
@@ -1489,9 +1679,29 @@ impl DistributedEngine {
                     if d > depth[(v - base) as usize] || d >= k {
                         continue; // stale or budget exhausted
                     }
+                    let nd = d + 1;
+                    let drow = delta.and_then(|dl| dl.row(v));
+                    let dels = drow.map(|r| r.deletes()).filter(|s| !s.is_empty());
                     for set in shard.out_sets().sets() {
                         for &t in set.neighbors(v) {
-                            let nd = d + 1;
+                            if let Some(dels) = dels {
+                                if dels.binary_search(&t).is_ok() {
+                                    continue;
+                                }
+                            }
+                            if shard.is_local(t) {
+                                let l = (t - base) as usize;
+                                if nd < depth[l] {
+                                    depth[l] = nd;
+                                    queue.push((t, nd));
+                                }
+                            } else {
+                                outbox[self.partition.owner(t)].push((t, nd));
+                            }
+                        }
+                    }
+                    if let Some(drow) = drow {
+                        for &(t, _) in drow.inserts() {
                             if shard.is_local(t) {
                                 let l = (t - base) as usize;
                                 if nd < depth[l] {
@@ -1565,6 +1775,12 @@ impl DistributedEngine {
         assert!(
             self.shards.iter().all(Shard::has_in_edges),
             "run_gas requires EngineConfig::build_in_edges"
+        );
+        // The CSC (in-edge) view is only refreshed when a commit folds,
+        // so GAS over a live overlay would silently read stale in-edges.
+        assert!(
+            !self.has_delta(),
+            "run_gas reads base CSR/CSC only; fold the delta overlay first (commit past the fold threshold)"
         );
         let n = self.partition.num_vertices();
         let start = Instant::now();

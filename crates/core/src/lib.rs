@@ -49,6 +49,7 @@ pub mod traverse;
 pub mod vcm;
 
 pub use cgraph_comm::chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
+pub use cgraph_graph::delta::{DeltaOverlay, EdgeUpdate, UpdateBatch};
 pub use config::{EngineConfig, UpdateMode};
 pub use engine::{DistributedEngine, EngineError, EngineMsg, FaultInjection};
 pub use metrics::ResponseStats;
@@ -57,7 +58,8 @@ pub use query::{KhopQuery, QueryResult};
 pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use scheduler::{QueryScheduler, SchedulerConfig};
 pub use service::{
-    QueryPlaneConfig, QueryService, QueryTicket, ServiceConfig, ServiceError, ServiceStats,
+    MutationConfig, QueryPlaneConfig, QueryService, QueryTicket, ServiceConfig, ServiceError,
+    ServiceStats,
 };
 pub use shard::Shard;
 pub use vcm::{VertexProgram, VertexScope};

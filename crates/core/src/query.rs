@@ -57,6 +57,10 @@ pub struct QueryResult {
     pub response_time: Duration,
     /// Execution time only (excludes scheduler queue wait).
     pub exec_time: Duration,
+    /// Graph epoch this answer was computed against — the snapshot the
+    /// query was admitted to (a commit during execution does not change
+    /// an in-flight query's answer).
+    pub epoch: u64,
 }
 
 impl QueryResult {
@@ -92,6 +96,7 @@ mod tests {
             per_level: vec![1, 2, 3],
             response_time: Duration::ZERO,
             exec_time: Duration::ZERO,
+            epoch: 0,
         };
         assert_eq!(r.depth(), 2);
     }

@@ -109,6 +109,10 @@ pub(crate) struct PartitionSnapshot {
     /// can never resume a batch of another (the frontier/visited word
     /// layout is width-dependent).
     pub lanes: usize,
+    /// Graph epoch the batch was admitted against. Confined replay must
+    /// restore against the same snapshot of the graph — the restore
+    /// path asserts this matches the engine's `graph_epoch`.
+    pub epoch: u64,
     /// `num_local × width.words()` frontier words.
     pub frontier: Vec<u64>,
     /// `num_local × width.words()` visited words.
@@ -262,6 +266,7 @@ mod tests {
         PartitionSnapshot {
             boundary,
             lanes: 1,
+            epoch: 0,
             frontier: vec![1],
             visited: vec![3],
             per_level_local: vec![vec![1]],

@@ -116,20 +116,24 @@ impl<'e> QueryScheduler<'e> {
             Some(budget) => {
                 let max_local =
                     self.engine.shards().iter().map(|s| s.num_local()).max().unwrap_or(0);
+                // A live delta overlay is resident on every machine's
+                // scan path, so the straggler's overlay bytes come off
+                // the same per-machine budget as the batch bit state.
+                let delta = self.engine.max_delta_bytes();
                 let mut width = LaneWidth::for_lanes(want);
-                while 3 * 8 * width.words() * max_local > budget {
+                while 3 * 8 * width.words() * max_local + delta > budget {
                     match width.narrower() {
                         Some(w) => width = w,
                         None => break,
                     }
                 }
-                if 3 * 8 * width.words() * max_local <= budget {
+                if 3 * 8 * width.words() * max_local + delta <= budget {
                     want.min(width.bits())
                 } else {
                     // Budget below even the one-word cost: degrade to
                     // the fraction of the word that fits, ≥ 1 lane.
                     let base = 3 * 8 * max_local;
-                    ((want.min(LANES) * budget) / base.max(1)).max(1)
+                    ((want.min(LANES) * budget.saturating_sub(delta)) / base.max(1)).max(1)
                 }
             }
         }
@@ -226,7 +230,14 @@ impl<'e> QueryScheduler<'e> {
                         per_level[h] += c;
                     }
                 }
-                QueryResult { id: q.id, visited, per_level, response_time, exec_time }
+                QueryResult {
+                    id: q.id,
+                    visited,
+                    per_level,
+                    response_time,
+                    exec_time,
+                    epoch: self.engine.graph_epoch(),
+                }
             })
             .collect()
     }

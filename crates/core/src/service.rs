@@ -56,6 +56,25 @@
 //!   lanes on identical `(source, k)` traversals**: duplicates inside
 //!   one batch window always collapse into a single lane.
 //!
+//! # Mutation plane
+//!
+//! [`QueryService::apply_updates`] buffers edge insertions/deletions
+//! ([`cgraph_graph::UpdateBatch`]) without touching the serving
+//! snapshot; [`QueryService::commit_epoch`] — or crossing
+//! [`MutationConfig::commit_threshold`] — asks the dispatcher to fold
+//! them in **between batches**: batch formation is naturally quiesced
+//! (the dispatcher is single-threaded), the buffered updates become a
+//! new engine snapshot via [`DistributedEngine::with_updates`]
+//! (delta-overlay publish, or a full CSR/CSC fold past
+//! [`MutationConfig::fold_threshold`]), the graph epoch advances, and
+//! stale cache entries are fenced with
+//! [`cgraph_cache::ResultCache::invalidate_before`]. Batches already
+//! dispatched finish against their admission-epoch snapshot — every
+//! [`QueryResult::epoch`] names the snapshot that produced it. There
+//! is exactly one epoch-advancement path:
+//! [`QueryService::invalidate_cache`] is a commit with no pending
+//! updates.
+//!
 //! # Fault-tolerance policy
 //!
 //! The service layers *policy* over the engine's recovery *mechanism*
@@ -111,6 +130,7 @@ use cgraph_cache::{
 };
 use cgraph_comm::chaos::FaultPlan;
 use cgraph_comm::{ClusterError, PersistentCluster};
+use cgraph_graph::delta::{EdgeUpdate, UpdateBatch};
 use cgraph_graph::LaneWidth;
 use cgraph_obs::{
     log2_edges, Counter, Gauge, Histogram, Obs, TraceCtx, Tracer, COORD, PAPER_LATENCY_EDGES_SECS,
@@ -196,6 +216,28 @@ impl Default for QueryPlaneConfig {
     }
 }
 
+/// Knobs of the mutation plane: when buffered edge updates are folded
+/// into a new serving snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationConfig {
+    /// Buffered-update count at which the dispatcher commits a new
+    /// epoch on its own, without waiting for an explicit
+    /// [`QueryService::commit_epoch`]. `None` (the default) commits
+    /// only on explicit request.
+    pub commit_threshold: Option<usize>,
+    /// Delta-overlay entry count above which a commit folds the
+    /// overlay into fresh base CSR/CSC edge-sets instead of publishing
+    /// the overlay next to the base (see
+    /// [`DistributedEngine::with_updates`]).
+    pub fold_threshold: usize,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        Self { commit_threshold: None, fold_threshold: 1 << 16 }
+    }
+}
+
 /// Tuning knobs for a [`QueryService`].
 #[derive(Clone)]
 pub struct ServiceConfig {
@@ -226,6 +268,8 @@ pub struct ServiceConfig {
     /// Query-plane knobs: result cache, in-flight coalescing and
     /// locality-aware packing. All off by default.
     pub query_plane: QueryPlaneConfig,
+    /// Mutation-plane knobs: commit trigger and delta fold threshold.
+    pub mutation: MutationConfig,
     /// Whole-batch resubmissions after the engine's in-batch
     /// recoveries are exhausted on a recoverable error.
     pub max_retries: u32,
@@ -267,6 +311,7 @@ impl Default for ServiceConfig {
             fault_plan: None,
             query_deadline: None,
             query_plane: QueryPlaneConfig::default(),
+            mutation: MutationConfig::default(),
             max_retries: 2,
             retry_backoff: Duration::from_micros(200),
             recovery: RecoveryConfig::default(),
@@ -287,6 +332,7 @@ impl fmt::Debug for ServiceConfig {
             .field("fault_plan", &self.fault_plan)
             .field("query_deadline", &self.query_deadline)
             .field("query_plane", &self.query_plane)
+            .field("mutation", &self.mutation)
             .field("max_retries", &self.max_retries)
             .field("retry_backoff", &self.retry_backoff)
             .field("recovery", &self.recovery)
@@ -403,6 +449,27 @@ pub struct ServiceStats {
     /// occupying a lane: in-batch duplicates (always collapsed),
     /// queued duplicates and mid-flight attaches (with coalescing on).
     pub coalesced_traversals: u64,
+    /// Edge updates folded into a committed epoch (accepted by
+    /// [`QueryService::apply_updates`] and since committed).
+    pub updates_applied: u64,
+    /// Edge insertions among the committed updates.
+    pub updates_inserted: u64,
+    /// Edge deletions among the committed updates.
+    pub updates_deleted: u64,
+    /// Epoch commits performed: explicit [`QueryService::commit_epoch`]
+    /// calls, threshold-triggered commits, and
+    /// [`QueryService::invalidate_cache`] bumps.
+    pub epoch_commits: u64,
+    /// Commits that folded the delta overlay into fresh base CSR/CSC
+    /// edge-sets (subset of `epoch_commits`).
+    pub epoch_folds: u64,
+    /// Edge updates buffered but not yet committed.
+    pub pending_updates: u64,
+    /// Delta-overlay adjacency rows live in the serving snapshot
+    /// (committed updates not yet folded into the base).
+    pub delta_entries: u64,
+    /// Estimated bytes of the live delta overlays.
+    pub delta_bytes: u64,
     /// Per-query admission wait: submission → batch dispatch (mean
     /// over the query's traversals).
     pub admission_wait: ResponseStats,
@@ -461,11 +528,29 @@ struct TicketAcc {
     wait_sum: Duration,
     exec_sum: Duration,
     resp_sum: Duration,
+    /// Newest epoch any traversal of the query answered against (the
+    /// traversals of one query can straddle a commit; the folded
+    /// result is labelled conservatively with the newest).
+    epoch: u64,
 }
 
 struct QueueState {
     queue: VecDeque<Traversal>,
     closed: bool,
+}
+
+/// Buffered edge updates awaiting the next epoch commit, plus the
+/// commit-request handshake between mutators and the dispatcher.
+#[derive(Default)]
+struct PendingUpdates {
+    updates: Vec<EdgeUpdate>,
+    /// Waiters blocked in [`QueryService::commit_epoch`]; each receives
+    /// the new epoch once the dispatcher performs the commit.
+    waiters: Vec<crossbeam_channel::Sender<u64>>,
+    /// A commit is due — an explicit request or a crossed
+    /// [`MutationConfig::commit_threshold`]. Cleared when the
+    /// dispatcher takes the batch.
+    requested: bool,
 }
 
 #[derive(Default)]
@@ -486,6 +571,16 @@ struct MetricsAcc {
     cache_insertions: u64,
     cache_evictions: u64,
     coalesced: u64,
+    updates_applied: u64,
+    updates_inserted: u64,
+    updates_deleted: u64,
+    epoch_commits: u64,
+    epoch_folds: u64,
+    /// Mirrored from the dispatcher's engine at each commit — the
+    /// dispatcher owns the live engine, so [`QueryService::stats`]
+    /// reads the last committed value here.
+    delta_entries: u64,
+    delta_bytes: u64,
     wait: Vec<Duration>,
     exec: Vec<Duration>,
     response: Vec<Duration>,
@@ -518,6 +613,14 @@ struct ServiceObs {
     cache_coalesced: Arc<Counter>,
     cache_entries: Arc<Gauge>,
     cache_bytes: Arc<Gauge>,
+    mutation_updates_applied: Arc<Counter>,
+    mutation_edges_inserted: Arc<Counter>,
+    mutation_edges_deleted: Arc<Counter>,
+    mutation_commits: Arc<Counter>,
+    mutation_folds: Arc<Counter>,
+    mutation_pending: Arc<Gauge>,
+    mutation_delta_entries: Arc<Gauge>,
+    mutation_delta_bytes: Arc<Gauge>,
 }
 
 impl ServiceObs {
@@ -609,6 +712,38 @@ impl ServiceObs {
                 "cgraph_cache_bytes",
                 "Bytes currently charged against the result-cache capacity.",
             ),
+            mutation_updates_applied: m.counter(
+                "cgraph_mutation_updates_applied_total",
+                "Edge updates folded into a committed epoch.",
+            ),
+            mutation_edges_inserted: m.counter(
+                "cgraph_mutation_edges_inserted_total",
+                "Edge insertions among the committed updates.",
+            ),
+            mutation_edges_deleted: m.counter(
+                "cgraph_mutation_edges_deleted_total",
+                "Edge deletions among the committed updates.",
+            ),
+            mutation_commits: m.counter(
+                "cgraph_mutation_commits_total",
+                "Epoch commits (explicit, threshold-triggered, and cache invalidations).",
+            ),
+            mutation_folds: m.counter(
+                "cgraph_mutation_folds_total",
+                "Commits that folded the delta overlay into fresh base edge-sets.",
+            ),
+            mutation_pending: m.gauge(
+                "cgraph_mutation_pending_updates",
+                "Edge updates buffered but not yet committed.",
+            ),
+            mutation_delta_entries: m.gauge(
+                "cgraph_mutation_delta_entries",
+                "Delta-overlay adjacency rows live in the serving snapshot.",
+            ),
+            mutation_delta_bytes: m.gauge(
+                "cgraph_mutation_delta_bytes",
+                "Estimated bytes of the live delta overlays.",
+            ),
         }
     }
 
@@ -652,7 +787,11 @@ struct Shared {
     lanes: usize,
     plane: QueryPlane,
     state: Mutex<QueueState>,
-    /// Wakes the dispatcher (work arrived / service closed).
+    /// Buffered mutations. Leaf lock like the query-plane locks —
+    /// acquired *after* [`Shared::state`] whenever both are held.
+    pending: Mutex<PendingUpdates>,
+    /// Wakes the dispatcher (work arrived / commit due / service
+    /// closed).
     work: Condvar,
     /// Wakes blocked submitters (queue space freed / service closed).
     space: Condvar,
@@ -701,6 +840,7 @@ impl QueryService {
             lanes,
             plane,
             state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
+            pending: Mutex::new(PendingUpdates::default()),
             work: Condvar::new(),
             space: Condvar::new(),
             metrics: Mutex::new(MetricsAcc::default()),
@@ -750,6 +890,7 @@ impl QueryService {
                 per_level: Vec::new(),
                 response_time: Duration::ZERO,
                 exec_time: Duration::ZERO,
+                epoch: shared.plane.epoch.load(Ordering::SeqCst),
             }));
             return Ok(QueryTicket { rx, deadline: None });
         }
@@ -795,7 +936,7 @@ impl QueryService {
                         complete_traversal(
                             shared,
                             &t.ticket,
-                            Ok((v.visited, v.per_level, Duration::ZERO, Duration::ZERO)),
+                            Ok((v.visited, v.per_level, Duration::ZERO, Duration::ZERO, epoch)),
                         );
                         continue;
                     }
@@ -838,29 +979,88 @@ impl QueryService {
         self.submit(query)?.wait()
     }
 
-    /// Current graph epoch (bumped by [`QueryService::invalidate_cache`]).
+    /// Buffers `batch`'s edge updates for the next epoch commit. The
+    /// serving snapshot is untouched until [`QueryService::commit_epoch`]
+    /// runs (explicitly, or automatically once the buffer crosses
+    /// [`MutationConfig::commit_threshold`]) — queries keep answering
+    /// against the current epoch meanwhile. Out-of-range endpoints are
+    /// rejected whole-batch with [`ServiceError::InvalidQuery`], so a
+    /// malformed update can never poison a commit.
+    pub fn apply_updates(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
+        let shared = &self.shared;
+        let n = shared.engine.num_vertices();
+        if let Some(bad) = batch.updates().iter().find(|u| u.src() >= n || u.dst() >= n) {
+            return Err(ServiceError::InvalidQuery(format!(
+                "edge update {bad:?} out of range for a graph of {n} vertices"
+            )));
+        }
+        let st = lock(&shared.state);
+        if st.closed {
+            return Err(ServiceError::ShutDown);
+        }
+        let mut p = lock(&shared.pending);
+        p.updates.extend(batch.into_updates());
+        let depth = p.updates.len();
+        let threshold_hit =
+            shared.config.mutation.commit_threshold.is_some_and(|t| depth >= t) && !p.requested;
+        if threshold_hit {
+            p.requested = true;
+        }
+        drop(p);
+        drop(st);
+        if let Some(o) = &shared.obs {
+            o.mutation_pending.set(depth as i64);
+        }
+        if threshold_hit {
+            shared.work.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Asks the dispatcher to fold every buffered update into a new
+    /// serving snapshot and blocks until it has: batch formation is
+    /// quiesced (commits run between batches on the dispatcher
+    /// thread), the buffered updates become a new engine snapshot, the
+    /// graph epoch advances by one, and cached results of older epochs
+    /// are fenced. Returns the new epoch. An empty buffer still
+    /// commits — the epoch bump alone invalidates the cache, which is
+    /// exactly what [`QueryService::invalidate_cache`] does.
+    pub fn commit_epoch(&self) -> Result<u64, ServiceError> {
+        let shared = &self.shared;
+        let rx = {
+            let st = lock(&shared.state);
+            if st.closed {
+                return Err(ServiceError::ShutDown);
+            }
+            let (tx, rx) = crossbeam_channel::unbounded();
+            let mut p = lock(&shared.pending);
+            p.waiters.push(tx);
+            p.requested = true;
+            drop(p);
+            drop(st);
+            shared.work.notify_all();
+            rx
+        };
+        rx.recv().map_err(|_| ServiceError::ShutDown)
+    }
+
+    /// Current graph epoch (bumped by [`QueryService::commit_epoch`]).
     pub fn graph_epoch(&self) -> u64 {
         self.shared.plane.epoch.load(Ordering::SeqCst)
     }
 
     /// Advances the graph epoch and drops every cached result of the
-    /// old epochs, returning the new epoch. Call after any graph
-    /// mutation: new queries key against the new epoch (so they can
-    /// never see a stale answer), and a batch still in flight for an
-    /// old epoch is barred from committing its results into the cache.
-    /// A no-op epoch bump (cache disabled) is still tracked, keeping
-    /// epochs meaningful for coalescing keys.
+    /// old epochs, returning the new epoch: new queries key against
+    /// the new epoch (so they can never see a stale answer), and a
+    /// batch still in flight for an old epoch is barred from
+    /// committing its results into the cache. This *is*
+    /// [`QueryService::commit_epoch`] — with no pending updates it
+    /// reduces to a pure epoch bump, and any updates that were
+    /// buffered commit along with it; there is exactly one
+    /// epoch-advancement path. On a shut-down service the epoch is
+    /// frozen and returned unchanged.
     pub fn invalidate_cache(&self) -> u64 {
-        let new = self.shared.plane.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        if let Some(cm) = &self.shared.plane.cache {
-            let mut c = lock(cm);
-            c.invalidate_before(new);
-            if let Some(o) = &self.shared.obs {
-                o.cache_entries.set(c.len() as i64);
-                o.cache_bytes.set(c.used_bytes() as i64);
-            }
-        }
-        new
+        self.commit_epoch().unwrap_or_else(|_| self.graph_epoch())
     }
 
     /// Snapshot of the lifetime latency/volume counters.
@@ -872,6 +1072,7 @@ impl QueryService {
             }
             None => (0, 0),
         };
+        let pending_updates = lock(&self.shared.pending).updates.len() as u64;
         let m = lock(&self.shared.metrics);
         ServiceStats {
             queries_completed: m.completed,
@@ -892,6 +1093,14 @@ impl QueryService {
             cache_entries,
             cache_bytes,
             coalesced_traversals: m.coalesced,
+            updates_applied: m.updates_applied,
+            updates_inserted: m.updates_inserted,
+            updates_deleted: m.updates_deleted,
+            epoch_commits: m.epoch_commits,
+            epoch_folds: m.epoch_folds,
+            pending_updates,
+            delta_entries: m.delta_entries,
+            delta_bytes: m.delta_bytes,
             admission_wait: ResponseStats::new(m.wait.clone()),
             exec: ResponseStats::new(m.exec.clone()),
             response: ResponseStats::new(m.response.clone()),
@@ -944,7 +1153,9 @@ struct DispatchCtx {
 
 /// The dispatcher: block for work, pack a batch under the
 /// fill-or-deadline policy, execute it on the persistent cluster,
-/// fan results back out to tickets. Exits once closed *and* drained.
+/// fan results back out to tickets. Epoch commits run here too,
+/// strictly *between* batches — serial dispatch is the quiesce.
+/// Exits once closed *and* drained (queries and pending commits).
 fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
     let mut ctx = DispatchCtx {
         engine: Arc::clone(&shared.engine),
@@ -955,9 +1166,20 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
     loop {
         let formed = {
             let mut st = lock(&shared.state);
+            let mut commit_due = false;
             loop {
+                // A due commit preempts batch formation: queued
+                // traversals are keyed (and executed) under the *new*
+                // epoch once the commit lands.
+                if lock(&shared.pending).requested {
+                    commit_due = true;
+                    break;
+                }
                 if st.queue.is_empty() {
                     if st.closed {
+                        // `requested` was false just now and admission
+                        // is closed (commit_epoch refuses after close),
+                        // so no waiter can be stranded by exiting.
                         drop(st);
                         ctx.cluster.shutdown();
                         return;
@@ -978,12 +1200,22 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
                     .unwrap_or_else(|e| e.into_inner());
                 st = g;
             }
-            let formed = form_batch(shared, &mut st, &ctx);
-            if let Some(o) = &shared.obs {
-                o.queue_depth.set(st.queue.len() as i64);
+            if commit_due {
+                None
+            } else {
+                let formed = form_batch(shared, &mut st, &ctx);
+                if let Some(o) = &shared.obs {
+                    o.queue_depth.set(st.queue.len() as i64);
+                }
+                shared.space.notify_all();
+                Some(formed)
             }
-            shared.space.notify_all();
-            formed
+        };
+        let Some(formed) = formed else {
+            if let Some((updates, waiters)) = take_commit_request(shared) {
+                perform_commit(shared, &mut ctx, updates, waiters);
+            }
+            continue;
         };
         for t in formed.expired {
             complete_traversal(shared, &t.ticket, Err(ServiceError::DeadlineExceeded));
@@ -1003,7 +1235,7 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
             complete_traversal(
                 shared,
                 &t.ticket,
-                Ok((v.visited, v.per_level, wait, Duration::ZERO)),
+                Ok((v.visited, v.per_level, wait, Duration::ZERO, formed.epoch)),
             );
         }
         if !formed.groups.is_empty() {
@@ -1021,6 +1253,10 @@ struct FormedBatch {
     hits: Vec<(Traversal, CachedTraversal)>,
     /// Traversals whose query deadline elapsed while queued.
     expired: Vec<Traversal>,
+    /// Graph epoch the batch was formed under — its admission epoch:
+    /// the snapshot it executes against and the epoch its answers
+    /// carry, regardless of commits that land afterwards.
+    epoch: u64,
 }
 
 /// Forms one batch under the state lock: sweeps the queue against the
@@ -1164,7 +1400,7 @@ fn form_batch(shared: &Shared, st: &mut QueueState, ctx: &DispatchCtx) -> Formed
         t.skips = t.skips.saturating_add(1);
     }
 
-    FormedBatch { groups, hits, expired }
+    FormedBatch { groups, hits, expired, epoch }
 }
 
 /// Exponential backoff with deterministic jitter (splitmix64 of the
@@ -1180,6 +1416,82 @@ fn backoff_delay(base: Duration, retry: u32, job: u64) -> Duration {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^= z >> 31;
     exp + Duration::from_nanos(z % (base.as_nanos().max(1) as u64))
+}
+
+/// Takes the pending commit request, if one is due: the buffered
+/// updates and the waiters to reply to. Clears the request flag so a
+/// request enqueued *during* the commit is seen as a fresh one.
+fn take_commit_request(
+    shared: &Shared,
+) -> Option<(Vec<EdgeUpdate>, Vec<crossbeam_channel::Sender<u64>>)> {
+    let mut p = lock(&shared.pending);
+    if !p.requested {
+        return None;
+    }
+    p.requested = false;
+    Some((std::mem::take(&mut p.updates), std::mem::take(&mut p.waiters)))
+}
+
+/// Performs one epoch commit on the dispatcher thread, between
+/// batches: folds `updates` into a new engine snapshot
+/// ([`DistributedEngine::with_updates`]), swaps it in (the same move
+/// as [`degrade`] — the persistent cluster is reused, machine count is
+/// unchanged), publishes the new epoch, fences stale cache entries,
+/// and replies the new epoch to every [`QueryService::commit_epoch`]
+/// waiter. In-flight work is unaffected by construction — nothing is
+/// in flight while the dispatcher runs this.
+fn perform_commit(
+    shared: &Shared,
+    ctx: &mut DispatchCtx,
+    updates: Vec<EdgeUpdate>,
+    waiters: Vec<crossbeam_channel::Sender<u64>>,
+) {
+    let (engine, folded) = ctx.engine.with_updates(&updates, shared.config.mutation.fold_threshold);
+    let new_epoch = engine.graph_epoch();
+    ctx.engine = Arc::new(engine);
+    shared.plane.epoch.store(new_epoch, Ordering::SeqCst);
+    // Fence the cache: entries of epochs before `new_epoch` are
+    // unreachable anyway (keys embed the epoch) — dropping them frees
+    // their bytes immediately.
+    let cache_sizes = shared.plane.cache.as_ref().map(|cm| {
+        let mut c = lock(cm);
+        c.invalidate_before(new_epoch);
+        (c.len() as i64, c.used_bytes() as i64)
+    });
+    let inserted = updates.iter().filter(|u| u.is_insert()).count() as u64;
+    let deleted = updates.len() as u64 - inserted;
+    let delta_entries = ctx.engine.delta_entries() as u64;
+    let delta_bytes = ctx.engine.delta_bytes() as u64;
+    {
+        let mut m = lock(&shared.metrics);
+        m.updates_applied += updates.len() as u64;
+        m.updates_inserted += inserted;
+        m.updates_deleted += deleted;
+        m.epoch_commits += 1;
+        m.epoch_folds += u64::from(folded);
+        m.delta_entries = delta_entries;
+        m.delta_bytes = delta_bytes;
+    }
+    if let Some(o) = &shared.obs {
+        o.mutation_updates_applied.add(updates.len() as u64);
+        o.mutation_edges_inserted.add(inserted);
+        o.mutation_edges_deleted.add(deleted);
+        o.mutation_commits.inc();
+        if folded {
+            o.mutation_folds.inc();
+        }
+        o.mutation_pending.set(lock(&shared.pending).updates.len() as i64);
+        o.mutation_delta_entries.set(delta_entries as i64);
+        o.mutation_delta_bytes.set(delta_bytes as i64);
+        if let Some((entries, bytes)) = cache_sizes {
+            o.cache_entries.set(entries);
+            o.cache_bytes.set(bytes);
+        }
+        o.tracer.instant("epoch_commit", o.ctx(ctx.batch_seq, 0), new_epoch);
+    }
+    for w in waiters {
+        let _ = w.send(new_epoch);
+    }
 }
 
 /// Re-partitions onto one fewer machine and swaps in a fresh
@@ -1382,6 +1694,9 @@ fn fan_out(
 ) {
     let batch_dur = br.exec_time;
     for (lane, g) in groups.into_iter().enumerate() {
+        // The lane's cache key carries its admission epoch — the
+        // snapshot the batch actually ran against.
+        let epoch = g.key.epoch;
         // A lane finishes after its completion point within the
         // batch — the same accounting as the closed-batch
         // scheduler's per-lane fraction.
@@ -1398,7 +1713,7 @@ fn fan_out(
             // A follower that attached mid-flight has `submitted`
             // after `dispatched`; its wait saturates to zero.
             let wait = dispatched.duration_since(t.submitted);
-            complete_traversal(shared, &t.ticket, Ok((visited, levels.clone(), wait, exec)));
+            complete_traversal(shared, &t.ticket, Ok((visited, levels.clone(), wait, exec, epoch)));
         }
     }
 }
@@ -1423,7 +1738,8 @@ fn fail_groups(shared: &Shared, mut groups: Vec<LaneGroup>, e: &EngineError) {
     }
 }
 
-type TraversalOutcome = (u64, Vec<u64>, Duration, Duration);
+/// `(visited, per_level, wait, exec, epoch)` of one finished traversal.
+type TraversalOutcome = (u64, Vec<u64>, Duration, Duration, u64);
 
 /// Folds one traversal's outcome into its query; when the last
 /// traversal lands, emits the query result (scheduler fold semantics:
@@ -1437,8 +1753,9 @@ fn complete_traversal(
     let mut acc = lock(&ticket.acc);
     acc.done += 1;
     match outcome {
-        Ok((visited, levels, wait, exec)) => {
+        Ok((visited, levels, wait, exec, epoch)) => {
             acc.visited += visited;
+            acc.epoch = acc.epoch.max(epoch);
             if acc.per_level.len() < levels.len() {
                 acc.per_level.resize(levels.len(), 0);
             }
@@ -1498,6 +1815,7 @@ fn complete_traversal(
                 per_level: std::mem::take(&mut acc.per_level),
                 response_time: response,
                 exec_time: exec,
+                epoch: acc.epoch,
             })
         }
     };

@@ -15,6 +15,7 @@
 //! them to the owning shard's [`QueueTraversal::absorb`].
 
 use crate::shard::Shard;
+use cgraph_graph::delta::DeltaOverlay;
 use cgraph_graph::props::SparseLevelProps;
 use cgraph_graph::{Bitmap, VertexId};
 
@@ -119,7 +120,17 @@ impl QueueTraversal {
     /// body): visits unvisited neighbours, queueing local ones and
     /// emitting `(vertex, depth)` for boundary ones. Does nothing if
     /// `depth >= k` ("if (s.hops < k)").
-    pub fn step(&mut self, shard: &Shard, mut remote: impl FnMut(VertexId, u32)) -> u64 {
+    ///
+    /// When a [`DeltaOverlay`] is present, base neighbours whose edge
+    /// the overlay deletes are skipped and the overlay's inserted edges
+    /// of each task vertex are visited as well — the queue engine's
+    /// view of the overlay-published snapshot.
+    pub fn step(
+        &mut self,
+        shard: &Shard,
+        delta: Option<&DeltaOverlay>,
+        mut remote: impl FnMut(VertexId, u32),
+    ) -> u64 {
         if self.depth >= self.k {
             self.cur.clear();
             return 0;
@@ -135,8 +146,15 @@ impl QueueTraversal {
         let next_depth = self.depth + 1;
         let cur = std::mem::take(&mut self.cur);
         for s in cur {
+            let drow = delta.and_then(|d| d.row(s));
+            let dels = drow.map(|r| r.deletes()).filter(|d| !d.is_empty());
             for set in shard.out_sets().sets() {
                 for &t in set.neighbors(s) {
+                    if let Some(dels) = dels {
+                        if dels.binary_search(&t).is_ok() {
+                            continue;
+                        }
+                    }
                     if shard.is_local(t) {
                         let l = (t - self.base) as usize;
                         if !self.visited.set(l) {
@@ -147,6 +165,20 @@ impl QueueTraversal {
                     } else {
                         // Listing 2 marks boundary neighbours visited at
                         // the owner; we forward and let the owner dedup.
+                        remote(t, next_depth);
+                    }
+                }
+            }
+            if let Some(drow) = drow {
+                for &(t, _) in drow.inserts() {
+                    if shard.is_local(t) {
+                        let l = (t - self.base) as usize;
+                        if !self.visited.set(l) {
+                            self.record_value(t, next_depth);
+                            self.next.push(t);
+                            discovered += 1;
+                        }
+                    } else {
                         remote(t, next_depth);
                     }
                 }
@@ -203,7 +235,7 @@ mod tests {
         t.seed(0);
         let mut total = 1u64;
         loop {
-            total += t.step(&shard, |_, _| unreachable!());
+            total += t.step(&shard, None, |_, _| unreachable!());
             if t.advance_level() == 0 {
                 break;
             }
@@ -218,9 +250,9 @@ mod tests {
         let shard = single_shard(&g);
         let mut t = QueueTraversal::new(&shard, 10, ValueMode::TwoLevel);
         t.seed(0);
-        t.step(&shard, |_, _| {});
+        t.step(&shard, None, |_, _| {});
         t.advance_level(); // depth 1; levels held: {0}, {1}
-        t.step(&shard, |_, _| {});
+        t.step(&shard, None, |_, _| {});
         t.advance_level(); // depth 2; levels held: {1}, {2}
         assert_eq!(t.value(0), None, "level-0 value must be dropped");
         assert_eq!(t.value(1), Some(1));
@@ -235,7 +267,7 @@ mod tests {
         let mut t = QueueTraversal::new(&shard, 10, ValueMode::Full);
         t.seed(0);
         for _ in 0..4 {
-            t.step(&shard, |_, _| {});
+            t.step(&shard, None, |_, _| {});
             t.advance_level();
         }
         assert_eq!(t.value(0), Some(0));
@@ -252,9 +284,9 @@ mod tests {
         let mut t = QueueTraversal::new(&shard, 3, ValueMode::TwoLevel);
         t.seed(0);
         let mut remote = Vec::new();
-        t.step(&shard, |v, d| remote.push((v, d)));
+        t.step(&shard, None, |v, d| remote.push((v, d)));
         t.advance_level();
-        t.step(&shard, |v, d| remote.push((v, d)));
+        t.step(&shard, None, |v, d| remote.push((v, d)));
         assert_eq!(remote, vec![(7, 2)]);
     }
 
@@ -269,7 +301,7 @@ mod tests {
         assert!(!t.absorb(5, 1), "second delivery must be deduplicated");
         assert_eq!(t.advance_level(), 1);
         let mut found = 0;
-        t.step(&shard, |_, _| {});
+        t.step(&shard, None, |_, _| {});
         found += t.advance_level();
         assert_eq!(found, 1); // vertex 6
     }
@@ -293,7 +325,7 @@ mod tests {
         t.seed(0);
         let mut levels = 0;
         loop {
-            t.step(&shard, |_, _| {});
+            t.step(&shard, None, |_, _| {});
             if t.advance_level() == 0 {
                 break;
             }

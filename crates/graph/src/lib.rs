@@ -31,6 +31,7 @@ pub mod bitmap;
 pub mod builder;
 pub mod csc;
 pub mod csr;
+pub mod delta;
 pub mod edge;
 pub mod edge_set;
 pub mod props;
@@ -43,6 +44,7 @@ pub use bitmap::{Bitmap, LaneMask, LaneMatrix, LaneWidth, MAX_LANES, MAX_LANE_WO
 pub use builder::{BuildOptions, GraphBuilder, ReindexMode};
 pub use csc::Csc;
 pub use csr::Csr;
+pub use delta::{DeltaOverlay, DeltaRow, EdgeUpdate, UpdateBatch};
 pub use edge::{Edge, EdgeList};
 pub use edge_set::{ConsolidationPolicy, EdgeSet, EdgeSetGraph, EdgeSetLayout};
 pub use props::{EdgeProps, VertexProps};

@@ -342,6 +342,108 @@ fn chaos_with_cache_recovers_and_stays_consistent() {
 }
 
 #[test]
+fn crash_after_epoch_commit_restores_the_committed_snapshot() {
+    // A never-healing crash armed for the first batch dispatched after
+    // an epoch commit: the dying batch runs against the freshly
+    // committed delta overlay. Its queries fail, it must leak nothing
+    // into the cache, and — the recovery contract — the service keeps
+    // serving the *committed* epoch's snapshot afterwards: answers
+    // reflect the mutation, the epoch label is intact, and the next
+    // commit still advances cleanly.
+    let g: EdgeList = (0..48u64).map(|v| (v, (v + 1) % 48)).collect();
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
+    let plan = FaultPlan::new(29).crash(1, 1).arm_jobs(0..1);
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                coalesce: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Rewire the ring before any batch dispatches: 0 now jumps to 24
+    // and loses its step to 1. Chaos job 0 is the first batch *after*
+    // this commit, so the armed crash hits the overlaid epoch.
+    let batch: UpdateBatch =
+        [EdgeUpdate::insert(0, 24), EdgeUpdate::delete(0, 1)].into_iter().collect();
+    service.apply_updates(batch).unwrap();
+    assert_eq!(service.commit_epoch().unwrap(), 1);
+
+    let tickets: Vec<_> =
+        (0..4).map(|i| service.submit(KhopQuery::single(i, 0, 6)).unwrap()).collect();
+    let first_ok: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+    assert!(first_ok.iter().any(|&ok| !ok), "the armed batch must have died");
+    let mid = service.stats();
+    if first_ok.iter().all(|&ok| !ok) {
+        assert_eq!(mid.cache_insertions, 0, "a dying batch leaked into the cache");
+        assert_eq!(mid.cache_entries, 0);
+    }
+
+    // Armed window spent: the snapshot served is epoch 1's, exactly.
+    let r = service.query(KhopQuery::single(100, 0, 6)).expect("service must heal");
+    assert_eq!(r.epoch, 1);
+    assert_eq!(r.visited, 7, "0 walks the 24..29 detour, not the severed 1..6 arc");
+    assert_eq!(r.per_level, vec![1, 1, 1, 1, 1, 1, 1]);
+    let r = service.query(KhopQuery::single(101, 1, 2)).unwrap();
+    assert_eq!((r.epoch, r.visited), (1, 3), "untouched vertices keep their old reach");
+    // And the commit protocol is unharmed by the crash.
+    assert_eq!(service.commit_epoch().unwrap(), 2);
+    service.shutdown();
+}
+
+#[test]
+fn healing_crash_during_delta_overlay_batches_is_absorbed() {
+    // Healing crashes armed across several batches while every batch
+    // scans base + live delta overlay (fold threshold never reached):
+    // in-batch recovery replays the overlay-aware scan, so no query
+    // fails and every answer tracks the mutated snapshot of its epoch.
+    let g: EdgeList = (0..48u64).map(|v| (v, (v + 1) % 48)).collect();
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
+    let plan = FaultPlan::new(53).crash(1, 2).heal_after(1).arm_jobs(0..32);
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(200),
+            fault_plan: Some(plan),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 2 },
+            mutation: MutationConfig { fold_threshold: usize::MAX, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    // Each round splices one more shortcut into the ring and commits;
+    // the overlay grows monotonically and is never folded away.
+    for round in 0..3u64 {
+        let hub = 12 * (round + 1);
+        let batch: UpdateBatch = [EdgeUpdate::insert(0, hub)].into_iter().collect();
+        service.apply_updates(batch).unwrap();
+        assert_eq!(service.commit_epoch().unwrap(), round + 1);
+        let r = service
+            .query(KhopQuery::single(round as usize, 0, 1))
+            .expect("healing crash must be absorbed by recovery");
+        assert_eq!(r.epoch, round + 1);
+        // 0's out-neighbours: the ring step plus one hub per committed
+        // round (hubs are distinct and never equal to 1).
+        assert_eq!(r.visited, 2 + (round + 1), "round {round}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queries_failed, 0, "{stats:?}");
+    assert_eq!(stats.epoch_commits, 3);
+    assert_eq!(stats.epoch_folds, 0, "overlay must stay live for this test");
+    assert!(stats.delta_entries > 0);
+    service.shutdown();
+}
+
+#[test]
 fn async_mode_on_disconnected_graph_terminates() {
     // Quiescence detection must fire even when a query dies instantly
     // on an isolated source.

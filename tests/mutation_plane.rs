@@ -1,0 +1,553 @@
+//! Differential oracle for the mutation plane: every answer the
+//! service produces must be **bit-identical** to the same query asked
+//! of a graph rebuilt from scratch at that answer's epoch — fault-free
+//! and under an armed crash [`FaultPlan`].
+//!
+//! The model is a plain `BTreeSet<(src, dst)>` per committed epoch:
+//! inserts add a pair, deletes remove it (last update wins, exactly the
+//! [`cgraph::graph::delta::DeltaOverlay`] contract). A reference BFS
+//! over the model yields `(visited, per_level)` with trailing zero
+//! levels trimmed — the service's own result convention.
+
+use cgraph::prelude::*;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Deterministic xorshift stream so every run replays identically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A deterministic sparse digraph on `n` vertices (no self-loops).
+fn seed_edges(n: u64, m: usize, seed: u64) -> BTreeSet<(u64, u64)> {
+    let mut rng = Rng(seed | 1);
+    let mut set = BTreeSet::new();
+    while set.len() < m {
+        let s = rng.below(n);
+        let t = rng.below(n);
+        if s != t {
+            set.insert((s, t));
+        }
+    }
+    set
+}
+
+fn edge_list(n: u64, edges: &BTreeSet<(u64, u64)>) -> EdgeList {
+    let mut l = EdgeList::with_num_vertices(n);
+    for &(s, t) in edges {
+        l.push_pair(s, t);
+    }
+    l.set_num_vertices(n);
+    let mut b = GraphBuilder::new();
+    b.add_edge_list(&l);
+    b.build().edges
+}
+
+/// Applies a batch to the model edge set (last update wins per pair).
+fn model_apply(set: &mut BTreeSet<(u64, u64)>, updates: &[EdgeUpdate]) {
+    for u in updates {
+        if u.is_insert() {
+            set.insert((u.src(), u.dst()));
+        } else {
+            set.remove(&(u.src(), u.dst()));
+        }
+    }
+}
+
+/// Reference `(visited, per_level)` by BFS over the model edge set,
+/// trailing zeros trimmed — matches [`QueryResult`]'s convention.
+fn reference(n: u64, edges: &BTreeSet<(u64, u64)>, src: u64, k: u32) -> (u64, Vec<u64>) {
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
+    for &(s, t) in edges {
+        adj[s as usize].push(t);
+    }
+    let mut seen = vec![false; n as usize];
+    let mut levels = vec![0u64; 1];
+    let mut q = VecDeque::new();
+    seen[src as usize] = true;
+    levels[0] = 1;
+    q.push_back((src, 0u32));
+    let mut visited = 1u64;
+    while let Some((v, d)) = q.pop_front() {
+        if d >= k {
+            continue;
+        }
+        for &t in &adj[v as usize] {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                visited += 1;
+                if levels.len() <= (d + 1) as usize {
+                    levels.resize((d + 2) as usize, 0);
+                }
+                levels[(d + 1) as usize] += 1;
+                q.push_back((t, d + 1));
+            }
+        }
+    }
+    while levels.last() == Some(&0) {
+        levels.pop();
+    }
+    (visited, levels)
+}
+
+/// A random update batch against the *current* model: deletes drawn
+/// from live edges, inserts anywhere (no self-loops).
+fn random_batch(
+    n: u64,
+    current: &BTreeSet<(u64, u64)>,
+    rng: &mut Rng,
+    len: usize,
+) -> Vec<EdgeUpdate> {
+    let live: Vec<(u64, u64)> = current.iter().copied().collect();
+    (0..len)
+        .map(|_| {
+            if !live.is_empty() && rng.below(3) == 0 {
+                let (s, t) = live[rng.below(live.len() as u64) as usize];
+                EdgeUpdate::delete(s, t)
+            } else {
+                loop {
+                    let s = rng.below(n);
+                    let t = rng.below(n);
+                    if s != t {
+                        break EdgeUpdate::insert(s, t);
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn engine_for(
+    n: u64,
+    edges: &BTreeSet<(u64, u64)>,
+    p: usize,
+    asynchronous: bool,
+) -> DistributedEngine {
+    let mut cfg = EngineConfig::new(p);
+    if asynchronous {
+        cfg = cfg.asynchronous();
+    }
+    DistributedEngine::new(&edge_list(n, edges), cfg)
+}
+
+/// Asserts one service answer against the model snapshot at the
+/// answer's own epoch.
+fn check(history: &[BTreeSet<(u64, u64)>], n: u64, src: u64, k: u32, r: &QueryResult) {
+    assert!(
+        (r.epoch as usize) < history.len(),
+        "answer labelled epoch {} but only {} epochs committed",
+        r.epoch,
+        history.len()
+    );
+    let (visited, per_level) = reference(n, &history[r.epoch as usize], src, k);
+    assert_eq!(
+        r.visited, visited,
+        "visited diverges from scratch rebuild at epoch {} (src {src}, k {k})",
+        r.epoch
+    );
+    assert_eq!(
+        r.per_level, per_level,
+        "per_level diverges from scratch rebuild at epoch {} (src {src}, k {k})",
+        r.epoch
+    );
+}
+
+/// Tentpole oracle: interleave explicit commits with queries across
+/// p ∈ {1, 2, 4} × {sync, async}; every answer must equal the same
+/// query against a from-scratch engine at the answer's epoch.
+#[test]
+fn answers_match_scratch_rebuild_across_epochs() {
+    const N: u64 = 48;
+    for p in [1usize, 2, 4] {
+        for asynchronous in [false, true] {
+            let base = seed_edges(N, 100, 0xA11CE ^ p as u64);
+            let engine = Arc::new(engine_for(N, &base, p, asynchronous));
+            let service = QueryService::start(
+                Arc::clone(&engine),
+                ServiceConfig { max_batch_delay: Duration::from_micros(50), ..Default::default() },
+            );
+            let mut rng = Rng(0xBEEF ^ (p as u64) << 1 ^ asynchronous as u64);
+            let mut history = vec![base.clone()];
+            let mut model = base;
+            let mut total_updates = 0u64;
+            for round in 0..4 {
+                // Queries answered before the commit see the old epoch.
+                for q in 0..4 {
+                    let src = rng.below(N);
+                    let k = 1 + (rng.below(4) as u32);
+                    let r = service.query(KhopQuery::single(round * 100 + q, src, k)).unwrap();
+                    check(&history, N, src, k, &r);
+                }
+                let batch = random_batch(N, &model, &mut rng, 12);
+                total_updates += batch.len() as u64;
+                model_apply(&mut model, &batch);
+                service.apply_updates(batch.into_iter().collect()).unwrap();
+                let ep = service.commit_epoch().unwrap();
+                assert_eq!(ep, round as u64 + 1, "epochs advance by exactly one per commit");
+                assert_eq!(service.graph_epoch(), ep);
+                history.push(model.clone());
+                // And queries after the commit see the new one.
+                for q in 0..4 {
+                    let src = rng.below(N);
+                    let k = 1 + (rng.below(4) as u32);
+                    let r = service.query(KhopQuery::single(round * 100 + 50 + q, src, k)).unwrap();
+                    assert_eq!(
+                        r.epoch, ep,
+                        "post-commit answer must be labelled with the new epoch"
+                    );
+                    check(&history, N, src, k, &r);
+                }
+            }
+            let stats = service.stats();
+            assert_eq!(stats.epoch_commits, 4);
+            assert_eq!(stats.updates_applied, total_updates);
+            assert_eq!(stats.pending_updates, 0, "commit drains the pending buffer");
+            service.shutdown();
+        }
+    }
+}
+
+/// Folding policy must be invisible to answers: the same script under
+/// fold-always (threshold 0) and fold-never (threshold `usize::MAX`)
+/// yields bit-identical results, differing only in the fold counters.
+#[test]
+fn fold_policy_is_invisible_to_answers() {
+    const N: u64 = 40;
+    let base = seed_edges(N, 80, 0xF01D);
+    let mut outcomes: Vec<Vec<QueryResult>> = Vec::new();
+    for fold_threshold in [0usize, usize::MAX] {
+        let engine = Arc::new(engine_for(N, &base, 2, false));
+        let service = QueryService::start(
+            Arc::clone(&engine),
+            ServiceConfig {
+                max_batch_delay: Duration::from_micros(50),
+                mutation: MutationConfig { fold_threshold, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let mut rng = Rng(0xD1CE);
+        let mut model = base.clone();
+        let mut history = vec![model.clone()];
+        let mut results = Vec::new();
+        for round in 0..3 {
+            let batch = random_batch(N, &model, &mut rng, 10);
+            model_apply(&mut model, &batch);
+            service.apply_updates(batch.into_iter().collect()).unwrap();
+            service.commit_epoch().unwrap();
+            history.push(model.clone());
+            for q in 0..5 {
+                let src = rng.below(N);
+                let k = 1 + (rng.below(4) as u32);
+                let r = service.query(KhopQuery::single(round * 10 + q, src, k)).unwrap();
+                check(&history, N, src, k, &r);
+                results.push(r);
+            }
+        }
+        let stats = service.stats();
+        if fold_threshold == 0 {
+            assert_eq!(stats.epoch_folds, stats.epoch_commits, "threshold 0 folds every commit");
+            assert_eq!(stats.delta_entries, 0, "a folded engine carries no overlay rows");
+        } else {
+            assert_eq!(stats.epoch_folds, 0, "unreachable threshold never folds");
+            assert!(stats.delta_entries > 0, "overlay rows must accumulate when never folding");
+            assert!(stats.delta_bytes > 0);
+        }
+        service.shutdown();
+        outcomes.push(results);
+    }
+    let folded = &outcomes[0];
+    let overlaid = &outcomes[1];
+    assert_eq!(folded.len(), overlaid.len());
+    for (a, b) in folded.iter().zip(overlaid) {
+        assert_eq!(a.visited, b.visited, "fold policy changed an answer");
+        assert_eq!(a.per_level, b.per_level, "fold policy changed a level profile");
+        assert_eq!(a.epoch, b.epoch);
+    }
+}
+
+/// `commit_threshold` commits on its own once enough updates buffer —
+/// no explicit `commit_epoch` call required.
+#[test]
+fn threshold_triggers_commit_without_explicit_call() {
+    const N: u64 = 24;
+    let base = seed_edges(N, 40, 0x7123);
+    let engine = Arc::new(engine_for(N, &base, 2, false));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(50),
+            mutation: MutationConfig { commit_threshold: Some(4), ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let mut model = base;
+    let batch: Vec<EdgeUpdate> = vec![
+        EdgeUpdate::insert(0, 13),
+        EdgeUpdate::insert(13, 17),
+        EdgeUpdate::insert(17, 21),
+        EdgeUpdate::insert(21, 2),
+    ];
+    model_apply(&mut model, &batch);
+    service.apply_updates(batch.into_iter().collect()).unwrap();
+    // The commit happens on the dispatcher thread; poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.graph_epoch() == 0 {
+        assert!(std::time::Instant::now() < deadline, "threshold commit never happened");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(service.graph_epoch(), 1);
+    let r = service.query(KhopQuery::single(1, 0, 4)).unwrap();
+    assert_eq!(r.epoch, 1);
+    let (visited, per_level) = reference(N, &model, 0, 4);
+    assert_eq!(r.visited, visited);
+    assert_eq!(r.per_level, per_level);
+    let stats = service.stats();
+    assert_eq!(stats.epoch_commits, 1);
+    assert_eq!(stats.pending_updates, 0);
+    service.shutdown();
+}
+
+/// An empty commit still advances the epoch (the cache fence) but
+/// changes no answer, and `invalidate_cache` *is* that commit.
+#[test]
+fn empty_commit_bumps_epoch_and_preserves_answers() {
+    const N: u64 = 32;
+    let base = seed_edges(N, 60, 0xE4C4);
+    let engine = Arc::new(engine_for(N, &base, 2, false));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(50),
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let before = service.query(KhopQuery::single(0, 3, 3)).unwrap();
+    assert_eq!(before.epoch, 0);
+    assert_eq!(service.commit_epoch().unwrap(), 1);
+    assert_eq!(service.invalidate_cache(), 2, "invalidate_cache is commit_epoch");
+    let after = service.query(KhopQuery::single(1, 3, 3)).unwrap();
+    assert_eq!(after.epoch, 2, "post-fence answers are recomputed at the new epoch");
+    assert_eq!(after.visited, before.visited, "an empty commit must not change answers");
+    assert_eq!(after.per_level, before.per_level);
+    let stats = service.stats();
+    assert_eq!(stats.epoch_commits, 2);
+    assert_eq!(stats.updates_applied, 0);
+    service.shutdown();
+}
+
+/// Queries racing a mutator thread: whatever the interleaving, each
+/// answer's `(visited, per_level)` must match the model at the epoch
+/// the answer claims.
+#[test]
+fn concurrent_commits_and_queries_hold_the_oracle() {
+    const N: u64 = 40;
+    const ROUNDS: usize = 6;
+    let base = seed_edges(N, 90, 0xC0FE);
+    let engine = Arc::new(engine_for(N, &base, 2, false));
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(50),
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                coalesce: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ));
+    // Epoch → model snapshot, appended *after* each commit returns, so
+    // after joining the mutator the history is complete.
+    let history = Arc::new(Mutex::new(vec![base.clone()]));
+    let mutator = {
+        let service = Arc::clone(&service);
+        let history = Arc::clone(&history);
+        std::thread::spawn(move || {
+            let mut rng = Rng(0x5EED);
+            let mut model = base;
+            for _ in 0..ROUNDS {
+                let batch = random_batch(N, &model, &mut rng, 8);
+                model_apply(&mut model, &batch);
+                service.apply_updates(batch.into_iter().collect()).unwrap();
+                let ep = service.commit_epoch().unwrap();
+                let mut h = history.lock().unwrap();
+                assert_eq!(ep as usize, h.len());
+                h.push(model.clone());
+                drop(h);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+    let queriers: Vec<_> = (0..3)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut rng = Rng(0x9A9A ^ t as u64);
+                let mut out = Vec::new();
+                for i in 0..40 {
+                    let src = rng.below(N);
+                    let k = 1 + (rng.below(3) as u32);
+                    let r = service.query(KhopQuery::single(t * 1000 + i, src, k)).unwrap();
+                    out.push((src, k, r));
+                }
+                out
+            })
+        })
+        .collect();
+    mutator.join().unwrap();
+    let history = history.lock().unwrap();
+    assert_eq!(history.len(), ROUNDS + 1);
+    for q in queriers {
+        for (src, k, r) in q.join().unwrap() {
+            check(&history, N, src, k, &r);
+        }
+    }
+    service.shutdown();
+}
+
+/// The oracle holds under an armed, healing crash plan while commits
+/// interleave: retried batches land on the answer of the epoch they
+/// were admitted to (or re-formed at), never on a torn snapshot.
+#[test]
+fn oracle_holds_under_armed_crash_during_mutation_serving() {
+    const N: u64 = 36;
+    let base = seed_edges(N, 80, 0xCAB0);
+    let engine = Arc::new(engine_for(N, &base, 2, false));
+    let plan = FaultPlan::new(0xFA11).crash(1, 1).arm_jobs(0..6).heal_after(1);
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(50),
+            fault_plan: Some(plan),
+            max_retries: 3,
+            retry_backoff: Duration::from_micros(20),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng(0xABCD);
+    let mut model = base.clone();
+    let mut history = vec![model.clone()];
+    for round in 0..4 {
+        let batch = random_batch(N, &model, &mut rng, 10);
+        model_apply(&mut model, &batch);
+        service.apply_updates(batch.into_iter().collect()).unwrap();
+        service.commit_epoch().unwrap();
+        history.push(model.clone());
+        for q in 0..4 {
+            let src = rng.below(N);
+            let k = 1 + (rng.below(4) as u32);
+            let r = service.query(KhopQuery::single(round * 10 + q, src, k)).unwrap();
+            check(&history, N, src, k, &r);
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.epoch_commits, 4);
+    service.shutdown();
+}
+
+/// A never-healing crash that kills the first wave of post-commit
+/// queries must not leak overlay-tainted partial state into the cache:
+/// once the armed window is spent, every key resolves to the committed
+/// epoch's scratch-rebuild answer.
+#[test]
+fn crashed_mutating_batches_never_leak_delta_state() {
+    const N: u64 = 30;
+    let base = seed_edges(N, 60, 0xDEAD);
+    let engine = Arc::new(engine_for(N, &base, 2, false));
+    let plan = FaultPlan::new(0x1EAF).crash(1, 0).arm_jobs(0..1);
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(20),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                coalesce: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Mutate first so the armed batch runs against the overlaid epoch.
+    let mut model = base;
+    let batch = vec![EdgeUpdate::insert(0, 29), EdgeUpdate::insert(29, 7), delete_first(&model)];
+    model_apply(&mut model, &batch);
+    service.apply_updates(batch.into_iter().collect()).unwrap();
+    let ep = service.commit_epoch().unwrap();
+    assert_eq!(ep, 1);
+    let sources = [0u64, 7, 13, 29];
+    let tickets: Vec<_> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| service.submit(KhopQuery::single(i, s, 3)).unwrap())
+        .collect();
+    let first_ok: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+    let mid = service.stats();
+    if first_ok.iter().all(|&ok| !ok) {
+        assert_eq!(mid.cache_insertions, 0, "a dying batch leaked into the cache");
+        assert_eq!(mid.cache_entries, 0);
+    }
+    // Armed window spent: every key must land on the epoch-1 scratch
+    // rebuild, whether it comes from the cache or a fresh traversal.
+    for (i, &s) in sources.iter().enumerate() {
+        let r = service.query(KhopQuery::single(100 + i, s, 3)).unwrap();
+        assert_eq!(r.epoch, 1);
+        let (visited, per_level) = reference(N, &model, s, 3);
+        assert_eq!(r.visited, visited, "post-crash answer diverges for source {s}");
+        assert_eq!(r.per_level, per_level);
+    }
+    service.shutdown();
+}
+
+/// Deterministic "delete an existing edge" for the tests above.
+fn delete_first(model: &BTreeSet<(u64, u64)>) -> EdgeUpdate {
+    let &(s, t) = model.iter().next().expect("model has edges");
+    EdgeUpdate::delete(s, t)
+}
+
+/// Repartitioning an engine that carries a live overlay folds it:
+/// answers and epoch are preserved, overlay rows are gone.
+#[test]
+fn repartition_folds_overlay_and_preserves_answers() {
+    const N: u64 = 32;
+    let base = seed_edges(N, 70, 0x9E37);
+    let engine = engine_for(N, &base, 3, false);
+    let mut model = base;
+    let updates = vec![EdgeUpdate::insert(1, 30), EdgeUpdate::insert(30, 2), delete_first(&model)];
+    model_apply(&mut model, &updates);
+    let (overlaid, folded) = engine.with_updates(&updates, usize::MAX);
+    assert!(!folded, "unreachable threshold keeps the overlay live");
+    assert!(overlaid.has_delta());
+    let shrunk = overlaid.repartitioned(2);
+    assert!(!shrunk.has_delta(), "repartition must fold the overlay");
+    assert_eq!(shrunk.graph_epoch(), overlaid.graph_epoch(), "repartition is not a commit");
+    let scratch = engine_for(N, &model, 2, false);
+    let sources = [0u64, 1, 2, 30];
+    let ks = [3u32, 3, 3, 3];
+    let a = shrunk.run_traversal_batch(&sources, &ks).unwrap();
+    let b = scratch.run_traversal_batch(&sources, &ks).unwrap();
+    assert_eq!(a.per_lane_visited, b.per_lane_visited);
+    assert_eq!(a.per_level, b.per_level);
+}

@@ -121,6 +121,14 @@ fn assert_registry_matches_stats(snap: &Snapshot, stats: &ServiceStats) {
     assert_eq!(c("cgraph_cache_coalesced_total"), stats.coalesced_traversals);
     assert_eq!(snap.gauges["cgraph_cache_entries"], stats.cache_entries as i64);
     assert_eq!(snap.gauges["cgraph_cache_bytes"], stats.cache_bytes as i64);
+    assert_eq!(c("cgraph_mutation_updates_applied_total"), stats.updates_applied);
+    assert_eq!(c("cgraph_mutation_edges_inserted_total"), stats.updates_inserted);
+    assert_eq!(c("cgraph_mutation_edges_deleted_total"), stats.updates_deleted);
+    assert_eq!(c("cgraph_mutation_commits_total"), stats.epoch_commits);
+    assert_eq!(c("cgraph_mutation_folds_total"), stats.epoch_folds);
+    assert_eq!(snap.gauges["cgraph_mutation_pending_updates"], stats.pending_updates as i64);
+    assert_eq!(snap.gauges["cgraph_mutation_delta_entries"], stats.delta_entries as i64);
+    assert_eq!(snap.gauges["cgraph_mutation_delta_bytes"], stats.delta_bytes as i64);
 }
 
 #[test]
@@ -131,9 +139,14 @@ fn chaos_stream_covers_every_layer_and_matches_service_stats() {
 
     let names = obs.metrics.names();
     assert!(names.len() >= 12, "expected a broad catalogue, got {names:?}");
-    for layer in
-        ["cgraph_service_", "cgraph_engine_", "cgraph_comm_", "cgraph_recovery_", "cgraph_cache_"]
-    {
+    for layer in [
+        "cgraph_service_",
+        "cgraph_engine_",
+        "cgraph_comm_",
+        "cgraph_recovery_",
+        "cgraph_cache_",
+        "cgraph_mutation_",
+    ] {
         assert!(
             names.iter().any(|n| n.starts_with(layer)),
             "no {layer}* metric registered; got {names:?}"
@@ -217,6 +230,52 @@ fn cache_enabled_stream_matches_stats_and_traces() {
 }
 
 #[test]
+fn mutating_stream_matches_stats_and_traces_epoch_commits() {
+    // A stream of update batches and commits must carry real traffic in
+    // the cgraph_mutation_* families, still equal the ServiceStats line
+    // exactly, and narrate every epoch commit in the trace (the
+    // `epoch_commit` instant's value is the new epoch — wall-clock
+    // free, so identical runs trace identically).
+    let g = test_graph(40);
+    let engine = Arc::new(DistributedEngine::new(&g, EngineConfig::new(2)));
+    let obs = Obs::shared();
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            obs: Some(Arc::clone(&obs)),
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    for round in 0..2u64 {
+        service.query(KhopQuery::single(round as usize, 0, 3)).unwrap();
+        let batch: UpdateBatch =
+            [EdgeUpdate::insert(0, 20 + round), EdgeUpdate::delete(0, 1)].into_iter().collect();
+        service.apply_updates(batch).unwrap();
+        assert_eq!(service.commit_epoch().unwrap(), round + 1);
+    }
+    service.query(KhopQuery::single(10, 0, 3)).unwrap();
+    let stats = service.stats();
+    service.shutdown();
+    assert_eq!(stats.updates_applied, 4);
+    assert_eq!(stats.epoch_commits, 2);
+
+    let snap = parse_text(&obs.metrics.render_text()).expect("snapshot must parse");
+    assert_registry_matches_stats(&snap, &stats);
+
+    let log = TraceSink::render(&obs.trace.drain());
+    assert!(log.contains(" instant epoch_commit "), "missing epoch_commit event:\n{log}");
+    assert_eq!(
+        log.matches(" instant epoch_commit ").count(),
+        2,
+        "one epoch_commit instant per commit:\n{log}"
+    );
+}
+
+#[test]
 fn observability_doc_catalogues_every_registered_metric() {
     // OBSERVABILITY.md promises a complete catalogue. Diff the doc's
     // backtick-quoted metric names against a live registry populated by
@@ -229,8 +288,14 @@ fn observability_doc_catalogues_every_registered_metric() {
 
     let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/OBSERVABILITY.md"))
         .expect("OBSERVABILITY.md must exist at the repo root");
-    let prefixes =
-        ["cgraph_service_", "cgraph_engine_", "cgraph_comm_", "cgraph_recovery_", "cgraph_cache_"];
+    let prefixes = [
+        "cgraph_service_",
+        "cgraph_engine_",
+        "cgraph_comm_",
+        "cgraph_recovery_",
+        "cgraph_cache_",
+        "cgraph_mutation_",
+    ];
     let documented: std::collections::BTreeSet<String> = doc
         .split('`')
         .skip(1)

@@ -8,7 +8,7 @@ use cgraph_core::RangePartition;
 use cgraph_graph::types::VertexRange;
 use cgraph_graph::{Bitmap, ConsolidationPolicy, EdgeSetGraph};
 use proptest::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +52,70 @@ fn reference_khop(csr: &Csr, source: VertexId, k: u32) -> u64 {
         }
     }
     count
+}
+
+/// [`reference_khop`] plus the per-level profile (trailing zeros
+/// trimmed — the service's [`QueryResult::per_level`] convention).
+fn reference_khop_levels(csr: &Csr, source: VertexId, k: u32) -> (u64, Vec<u64>) {
+    let mut seen = vec![false; csr.num_vertices() as usize];
+    let mut q = VecDeque::new();
+    let mut levels = vec![1u64];
+    seen[source as usize] = true;
+    q.push_back((source, 0u32));
+    let mut count = 1u64;
+    while let Some((v, d)) = q.pop_front() {
+        if d >= k {
+            continue;
+        }
+        for &t in csr.neighbors(v) {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                count += 1;
+                if levels.len() <= (d + 1) as usize {
+                    levels.resize((d + 2) as usize, 0);
+                }
+                levels[(d + 1) as usize] += 1;
+                q.push_back((t, d + 1));
+            }
+        }
+    }
+    while levels.last() == Some(&0) {
+        levels.pop();
+    }
+    (count, levels)
+}
+
+/// The committed edge set as a model: pairs cleaned exactly the way
+/// [`GraphBuilder`] cleans them (self-loops dropped, duplicates merged).
+fn model_of(n: u64, pairs: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+    pairs.iter().copied().filter(|&(s, t)| s != t && s < n && t < n).collect()
+}
+
+/// Rebuilds a [`Csr`] from scratch for a model snapshot.
+fn csr_of(n: u64, model: &BTreeSet<(u64, u64)>) -> Csr {
+    let pairs: Vec<(u64, u64)> = model.iter().copied().collect();
+    let edges = build_list(n, &pairs);
+    Csr::from_edges(edges.num_vertices(), edges.edges())
+}
+
+/// One step of a random mutation script.
+#[derive(Clone, Debug)]
+enum MutOp {
+    /// Buffer a batch of `(kind, src_pick, dst_pick)` updates
+    /// (`kind == 0` → delete, else insert; picks taken mod `n`).
+    Batch(Vec<(u64, u64, u64)>),
+    /// Ask `(src_pick, k)` and check it against the rebuilt snapshot.
+    Query(u64, u32),
+    /// Commit a new epoch.
+    Commit,
+}
+
+fn mut_op() -> impl Strategy<Value = MutOp> {
+    prop_oneof![
+        prop::collection::vec((0u64..4, 0u64..60, 0u64..60), 1..8).prop_map(MutOp::Batch),
+        (0u64..60, 0u32..5).prop_map(|(s, k)| MutOp::Query(s, k)),
+        Just(MutOp::Commit),
+    ]
 }
 
 /// One lane's level profile (its column of `per_level`), trimmed of
@@ -382,5 +446,181 @@ proptest! {
             prop_assert_eq!(r.id, q.id);
             prop_assert_eq!(r.visited, khop_count(&engine, q.sources[0], q.k));
         }
+    }
+
+    #[test]
+    fn mutation_interleavings_match_rebuild(
+        (n, pairs) in graph_strategy(60, 200),
+        script in prop::collection::vec(mut_op(), 4..14),
+        p_pick in 0usize..3,
+        asynchronous in any::<bool>(),
+    ) {
+        // Random (update batch, query, commit) interleavings across
+        // p ∈ {1, 2, 4} × sync/async: every answer must be
+        // bit-identical to the same query against a graph rebuilt from
+        // scratch at the answer's own epoch.
+        let p = [1usize, 2, 4][p_pick];
+        let edges = build_list(n, &pairs);
+        let mut cfg = EngineConfig::new(p);
+        if asynchronous {
+            cfg = cfg.asynchronous();
+        }
+        let engine = Arc::new(DistributedEngine::new(&edges, cfg));
+        let service = QueryService::start(
+            Arc::clone(&engine),
+            ServiceConfig {
+                max_batch_delay: Duration::from_micros(50),
+                query_plane: QueryPlaneConfig {
+                    cache_capacity_bytes: Some(1 << 20),
+                    coalesce: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut model = model_of(n, &pairs);
+        let mut history = vec![model.clone()];
+        let mut next_id = 0usize;
+        for op in script {
+            match op {
+                MutOp::Batch(items) => {
+                    let updates: Vec<EdgeUpdate> = items
+                        .into_iter()
+                        .filter_map(|(kind, sp, tp)| {
+                            let (s, t) = (sp % n, tp % n);
+                            if s == t {
+                                None
+                            } else if kind == 0 {
+                                Some(EdgeUpdate::delete(s, t))
+                            } else {
+                                Some(EdgeUpdate::insert(s, t))
+                            }
+                        })
+                        .collect();
+                    for u in &updates {
+                        if u.is_insert() {
+                            model.insert((u.src(), u.dst()));
+                        } else {
+                            model.remove(&(u.src(), u.dst()));
+                        }
+                    }
+                    service.apply_updates(updates.into_iter().collect()).unwrap();
+                }
+                MutOp::Query(sp, k) => {
+                    let src = sp % n;
+                    next_id += 1;
+                    let r = service.query(KhopQuery::single(next_id, src, k)).unwrap();
+                    prop_assert!((r.epoch as usize) < history.len(),
+                        "answer epoch {} beyond committed history {}", r.epoch, history.len());
+                    let csr = csr_of(n, &history[r.epoch as usize]);
+                    let (visited, per_level) = reference_khop_levels(&csr, src, k);
+                    prop_assert_eq!(r.visited, visited,
+                        "visited diverges from scratch rebuild at epoch {}", r.epoch);
+                    prop_assert_eq!(r.per_level, per_level,
+                        "per_level diverges from scratch rebuild at epoch {}", r.epoch);
+                }
+                MutOp::Commit => {
+                    let ep = service.commit_epoch().unwrap();
+                    prop_assert_eq!(ep as usize, history.len(), "epochs advance densely");
+                    history.push(model.clone());
+                }
+            }
+        }
+        // Land the tail: one final commit + spot query at the newest epoch.
+        let ep = service.commit_epoch().unwrap();
+        prop_assert_eq!(ep as usize, history.len());
+        history.push(model.clone());
+        let r = service.query(KhopQuery::single(usize::MAX / 2, 0, 3)).unwrap();
+        prop_assert_eq!(r.epoch, ep);
+        let csr = csr_of(n, &history[ep as usize]);
+        let (visited, per_level) = reference_khop_levels(&csr, 0, 3);
+        prop_assert_eq!(r.visited, visited);
+        prop_assert_eq!(r.per_level, per_level);
+        service.shutdown();
+    }
+
+    #[test]
+    fn crashed_mutating_batches_never_populate_the_cache(
+        (n, pairs) in graph_strategy(80, 250),
+        upd_picks in prop::collection::vec((0u64..4, 0u64..80, 0u64..80), 1..10),
+        src_picks in prop::collection::vec(0u64..80, 2..6),
+        k in 1u32..5,
+        machines in 2usize..4,
+        crash_machine in 0usize..4,
+        crash_step in 0u32..5,
+    ) {
+        // The mutating variant of `crashed_batches_never_populate_the_
+        // cache`: the armed batch runs against a freshly committed
+        // epoch (delta overlay or folded base). A crash mid-batch must
+        // not leak overlay-tainted partial state into the cache, and
+        // once the armed window is spent every key must land on the
+        // committed epoch's scratch-rebuild answer.
+        let edges = build_list(n, &pairs);
+        let engine = Arc::new(DistributedEngine::new(&edges, EngineConfig::new(machines)));
+        let plan = FaultPlan::new(n ^ 0x3a11c)
+            .crash(crash_machine % machines, crash_step)
+            .arm_jobs(0..1);
+        let service = QueryService::start(
+            Arc::clone(&engine),
+            ServiceConfig {
+                max_batch_delay: Duration::from_micros(100),
+                fault_plan: Some(plan),
+                max_retries: 1,
+                retry_backoff: Duration::from_micros(20),
+                recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+                query_plane: QueryPlaneConfig {
+                    cache_capacity_bytes: Some(1 << 20),
+                    coalesce: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // Mutate and commit before any batch dispatches, so chaos job 0
+        // (the first dispatched batch) executes on the mutated epoch.
+        let mut model = model_of(n, &pairs);
+        let updates: Vec<EdgeUpdate> = upd_picks
+            .into_iter()
+            .filter_map(|(kind, sp, tp)| {
+                let (s, t) = (sp % n, tp % n);
+                if s == t {
+                    None
+                } else if kind == 0 {
+                    Some(EdgeUpdate::delete(s, t))
+                } else {
+                    Some(EdgeUpdate::insert(s, t))
+                }
+            })
+            .collect();
+        for u in &updates {
+            if u.is_insert() {
+                model.insert((u.src(), u.dst()));
+            } else {
+                model.remove(&(u.src(), u.dst()));
+            }
+        }
+        service.apply_updates(updates.into_iter().collect()).unwrap();
+        prop_assert_eq!(service.commit_epoch().unwrap(), 1);
+        let csr = csr_of(n, &model);
+        let sources: Vec<u64> = src_picks.iter().map(|s| s % n).collect();
+        let tickets: Vec<_> = sources.iter().enumerate()
+            .map(|(i, &s)| service.submit(KhopQuery::single(i, s, k)).unwrap())
+            .collect();
+        let first_ok: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+        let mid = service.stats();
+        if first_ok.iter().all(|&ok| !ok) {
+            prop_assert_eq!(mid.cache_insertions, 0,
+                "failed mutating batch inserted into the cache");
+            prop_assert_eq!(mid.cache_entries, 0);
+        }
+        for (i, &s) in sources.iter().enumerate() {
+            let r = service.query(KhopQuery::single(1000 + i, s, k)).unwrap();
+            prop_assert_eq!(r.epoch, 1, "post-crash answer carries a stale epoch");
+            let (visited, per_level) = reference_khop_levels(&csr, s, k);
+            prop_assert_eq!(r.visited, visited,
+                "post-crash answer diverges for source {} k {}", s, k);
+            prop_assert_eq!(r.per_level, per_level);
+        }
+        service.shutdown();
     }
 }

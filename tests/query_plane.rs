@@ -16,7 +16,7 @@ use std::time::Duration;
 /// Ring backbone plus chords, so traversals cross machine boundaries
 /// at every hop count (same shape the streaming-equivalence suite
 /// uses).
-fn chordal_graph(n: u64) -> EdgeList {
+fn chordal_pairs(n: u64) -> Vec<(u64, u64)> {
     let mut edges: Vec<(u64, u64)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
     for v in (0..n).step_by(3) {
         edges.push((v, (v * 7 + 5) % n));
@@ -24,7 +24,11 @@ fn chordal_graph(n: u64) -> EdgeList {
     for v in (0..n).step_by(11) {
         edges.push(((v * 3) % n, v));
     }
-    edges.into_iter().collect()
+    edges
+}
+
+fn chordal_graph(n: u64) -> EdgeList {
+    chordal_pairs(n).into_iter().collect()
 }
 
 /// A repeat-heavy stream: sources drawn from a seeded Zipf(1.0) over a
@@ -276,6 +280,177 @@ fn tiny_cache_evicts_within_budget() {
         stats.cache_bytes
     );
     service.shutdown();
+}
+
+/// A real mutation commit fences every pre-commit cache entry: the
+/// old-epoch answers become unreachable, and the re-ask executes
+/// against the committed snapshot instead of serving the stale hit.
+#[test]
+fn commit_fences_pre_commit_cache_entries() {
+    let n = 80u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let before = service.query(KhopQuery::single(0, 5, 3)).unwrap();
+    assert_eq!(before.epoch, 0);
+    assert_eq!(service.query(KhopQuery::single(1, 5, 3)).unwrap().visited, before.visited);
+    assert_eq!(service.stats().cache_hits, 1);
+
+    // Sever 5's ring edge and commit: 5's 3-hop world changes shape.
+    let batch: UpdateBatch = [EdgeUpdate::delete(5, 6)].into_iter().collect();
+    service.apply_updates(batch).unwrap();
+    assert_eq!(service.commit_epoch().unwrap(), 1);
+    assert_eq!(service.stats().cache_entries, 0, "pre-commit entries must be unreachable");
+
+    let mutated: EdgeList = chordal_pairs(n).into_iter().filter(|&pair| pair != (5, 6)).collect();
+    let truth = DistributedEngine::new(&mutated, EngineConfig::new(2));
+    let after = service.query(KhopQuery::single(2, 5, 3)).unwrap();
+    assert_eq!(after.epoch, 1);
+    assert_eq!(after.visited, khop_count(&truth, 5, 3), "re-ask must see the committed graph");
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1, "post-commit ask must miss, not hit: {stats:?}");
+    assert_eq!(stats.cache_insertions, 2);
+    service.shutdown();
+}
+
+/// Coalesced duplicates straddling a commit resolve together: every
+/// follower gets the primary lane's answer, all labelled with the one
+/// epoch the shared traversal actually executed at — and that answer
+/// matches that epoch's graph, never a half-mutated hybrid.
+#[test]
+fn coalesced_queries_straddling_a_commit_share_one_epoch() {
+    let n = 60u64;
+    let graph = chordal_graph(n);
+    let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServiceConfig {
+            max_batch_delay: Duration::from_millis(5),
+            query_plane: QueryPlaneConfig {
+                cache_capacity_bytes: Some(1 << 20),
+                coalesce: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // Eight duplicates admitted into one 5 ms window…
+    let tickets: Vec<_> =
+        (0..8).map(|i| service.submit(KhopQuery::single(i, 7, 3)).unwrap()).collect();
+    // …and, while they sit queued, 7 is rewired and the epoch committed.
+    let batch: UpdateBatch =
+        [EdgeUpdate::insert(7, 31), EdgeUpdate::delete(7, 8)].into_iter().collect();
+    service.apply_updates(batch).unwrap();
+    assert_eq!(service.commit_epoch().unwrap(), 1);
+    let results: Vec<QueryResult> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    let first = &results[0];
+    for r in &results {
+        assert_eq!(r.visited, first.visited, "coalesced lanes must agree");
+        assert_eq!(r.per_level, first.per_level);
+        assert_eq!(r.epoch, first.epoch, "coalesced lanes must share one epoch");
+    }
+    // Whichever side of the commit the shared traversal landed on, the
+    // answer must be that epoch's truth.
+    let mutated: EdgeList = chordal_pairs(n)
+        .into_iter()
+        .filter(|&pair| pair != (7, 8))
+        .chain(std::iter::once((7, 31)))
+        .collect();
+    let truth_new = DistributedEngine::new(&mutated, EngineConfig::new(2));
+    let expect = match first.epoch {
+        0 => khop_count(&engine, 7, 3),
+        1 => khop_count(&truth_new, 7, 3),
+        e => panic!("impossible epoch {e}"),
+    };
+    assert_eq!(first.visited, expect, "epoch {} answer diverges", first.epoch);
+    let stats = service.stats();
+    assert_eq!(stats.coalesced_traversals, 7, "{stats:?}");
+    service.shutdown();
+}
+
+/// The `cgraph_cache_*` and `cgraph_mutation_*` registry families must
+/// equal the `ServiceStats` line exactly — with the query plane on and
+/// off, and with a still-pending (uncommitted) tail of updates.
+#[test]
+fn mutation_counters_reconcile_with_registry() {
+    use cgraph::obs::{parse_text, Obs};
+    let n = 60u64;
+    let graph = chordal_graph(n);
+    for plane_on in [false, true] {
+        let engine = Arc::new(DistributedEngine::new(&graph, EngineConfig::new(2)));
+        let obs = Obs::shared();
+        let plane = if plane_on { full_plane() } else { QueryPlaneConfig::default() };
+        let service = QueryService::start(
+            Arc::clone(&engine),
+            ServiceConfig {
+                max_batch_delay: Duration::from_micros(100),
+                obs: Some(Arc::clone(&obs)),
+                query_plane: plane,
+                ..Default::default()
+            },
+        );
+        for round in 0..2u64 {
+            for i in 0..4 {
+                service.query(KhopQuery::single((round * 4 + i) as usize, 7, 3)).unwrap();
+            }
+            let batch: UpdateBatch = [
+                EdgeUpdate::insert(7, (20 + round) % n),
+                EdgeUpdate::insert((30 + round) % n, 7),
+                EdgeUpdate::delete(7, 8),
+            ]
+            .into_iter()
+            .collect();
+            service.apply_updates(batch).unwrap();
+            service.commit_epoch().unwrap();
+        }
+        // Leave an uncommitted tail so the pending gauge is nonzero.
+        let tail: UpdateBatch =
+            [EdgeUpdate::insert(1, 40), EdgeUpdate::insert(2, 41)].into_iter().collect();
+        service.apply_updates(tail).unwrap();
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(stats.updates_applied, 6, "only committed updates count");
+        assert_eq!(stats.updates_inserted, 4);
+        assert_eq!(stats.updates_deleted, 2);
+        assert_eq!(stats.epoch_commits, 2);
+        assert_eq!(stats.pending_updates, 2);
+
+        let snap = parse_text(&obs.metrics.render_text()).expect("snapshot must parse");
+        let tag = format!("plane_on={plane_on}");
+        let c = |name: &str| snap.counter_family(name);
+        assert_eq!(c("cgraph_mutation_updates_applied_total"), stats.updates_applied, "{tag}");
+        assert_eq!(c("cgraph_mutation_edges_inserted_total"), stats.updates_inserted, "{tag}");
+        assert_eq!(c("cgraph_mutation_edges_deleted_total"), stats.updates_deleted, "{tag}");
+        assert_eq!(c("cgraph_mutation_commits_total"), stats.epoch_commits, "{tag}");
+        assert_eq!(c("cgraph_mutation_folds_total"), stats.epoch_folds, "{tag}");
+        assert_eq!(
+            snap.gauges["cgraph_mutation_pending_updates"], stats.pending_updates as i64,
+            "{tag}"
+        );
+        assert_eq!(
+            snap.gauges["cgraph_mutation_delta_entries"], stats.delta_entries as i64,
+            "{tag}"
+        );
+        assert_eq!(snap.gauges["cgraph_mutation_delta_bytes"], stats.delta_bytes as i64, "{tag}");
+        assert_eq!(c("cgraph_cache_hits_total"), stats.cache_hits, "{tag}");
+        assert_eq!(c("cgraph_cache_insertions_total"), stats.cache_insertions, "{tag}");
+        assert_eq!(c("cgraph_cache_coalesced_total"), stats.coalesced_traversals, "{tag}");
+        assert_eq!(snap.gauges["cgraph_cache_entries"], stats.cache_entries as i64, "{tag}");
+        if plane_on {
+            assert!(stats.cache_insertions > 0, "plane-on run must exercise the cache");
+        } else {
+            assert_eq!(stats.cache_hits + stats.cache_insertions, 0, "{tag}");
+        }
+    }
 }
 
 /// Locality packing under a saturated queue: many submitter threads,
