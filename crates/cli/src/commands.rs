@@ -3,8 +3,8 @@
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
 use cgraph_core::{
-    EdgeUpdate, FaultPlan, KhopQuery, MutationConfig, QueryPlaneConfig, QueryService,
-    RecoveryConfig, SchedulerConfig, ServiceConfig,
+    DurabilityConfig, EdgeUpdate, EngineConfig, FaultPlan, KhopQuery, MutationConfig,
+    QueryPlaneConfig, QueryService, RecoveryConfig, SchedulerConfig, ServiceConfig,
 };
 use cgraph_obs::{Obs, TraceSink};
 use cgraph_ql::Session;
@@ -156,6 +156,8 @@ const SERVICE_FLAGS: &[&str] = &[
     "--update-stream",
     "--commit-every",
     "--fold-threshold",
+    "--data-dir",
+    "--snapshot-every",
     "--metrics",
     "--trace-out",
 ];
@@ -236,25 +238,48 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
         fold_threshold: args
             .flag_parse("--fold-threshold", MutationConfig::default().fold_threshold)?,
     };
+    let snapshot_every: u64 = args.flag_parse("--snapshot-every", 8)?;
+    let durability = args
+        .flag("--data-dir")
+        .map(|dir| DurabilityConfig::new(dir).snapshot_every(snapshot_every));
     let edges = load_graph(path)?;
-    let engine = Arc::new(build_engine(&edges, machines));
-    Ok(QueryService::start(
-        engine,
-        ServiceConfig {
-            scheduler: SchedulerConfig { batch_lanes: batch_width, ..Default::default() },
-            max_batch_delay: Duration::from_micros(delay_us),
-            max_queue_depth: depth,
-            fault_plan,
-            query_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
-            query_plane,
-            mutation,
-            max_retries,
-            recovery: RecoveryConfig { checkpoint_interval: ckpt, ..Default::default() },
-            degrade_after: (degrade > 0).then_some(degrade),
-            obs: obs.map(|o| Arc::clone(&o.obs)),
-            ..Default::default()
-        },
-    ))
+    let config = ServiceConfig {
+        scheduler: SchedulerConfig { batch_lanes: batch_width, ..Default::default() },
+        max_batch_delay: Duration::from_micros(delay_us),
+        max_queue_depth: depth,
+        fault_plan,
+        query_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        query_plane,
+        mutation,
+        durability,
+        max_retries,
+        recovery: RecoveryConfig { checkpoint_interval: ckpt, ..Default::default() },
+        degrade_after: (degrade > 0).then_some(degrade),
+        obs: obs.map(|o| Arc::clone(&o.obs)),
+        ..Default::default()
+    };
+    if config.durability.is_some() {
+        // Durable (restart-capable) serving: resume from whatever
+        // committed state survives in --data-dir, or ingest the graph
+        // file fresh at epoch 0 when the directory is empty.
+        let (service, rec) =
+            QueryService::open_or_recover(&edges, EngineConfig::new(machines), config)
+                .map_err(|e| e.to_string())?;
+        println!(
+            "recovery recovered={} epoch={} wal_replayed={} snapshots_corrupt={} \
+             wal_truncated_bytes={} pending_restored={}",
+            u64::from(rec.recovered),
+            rec.epoch,
+            rec.wal_records_replayed,
+            rec.snapshots_corrupt,
+            rec.wal_truncated_bytes,
+            rec.pending_restored,
+        );
+        Ok(service)
+    } else {
+        let engine = Arc::new(build_engine(&edges, machines));
+        QueryService::try_start(engine, config).map_err(|e| e.to_string())
+    }
 }
 
 /// Parses one edge-update line: `add SRC DST [W]` (alias `+`) or
@@ -338,7 +363,9 @@ fn print_service_stats(service: &QueryService) {
          full_rollbacks={} degraded={} cache_hits={} cache_misses={} cache_insertions={} \
          cache_evictions={} coalesced={} updates_applied={} updates_inserted={} \
          updates_deleted={} epoch_commits={} epoch_folds={} pending_updates={} \
-         delta_entries={} delta_bytes={}",
+         delta_entries={} delta_bytes={} wal_records={} wal_bytes={} snapshots={} \
+         snapshot_bytes={} wal_replayed={} snapshots_corrupt={} durable_recoveries={} \
+         last_snapshot_epoch={}",
         s.queries_completed,
         s.queries_failed,
         s.queries_deadline_exceeded,
@@ -363,6 +390,14 @@ fn print_service_stats(service: &QueryService) {
         s.pending_updates,
         s.delta_entries,
         s.delta_bytes,
+        s.wal_records,
+        s.wal_bytes,
+        s.snapshots_written,
+        s.snapshot_bytes,
+        s.wal_replayed,
+        s.snapshots_corrupt,
+        s.durable_recoveries,
+        s.last_snapshot_epoch,
     );
     println!(
         "served {} queries ({} failed, {} past deadline) in {} batches; \
@@ -417,6 +452,35 @@ fn print_service_stats(service: &QueryService) {
             s.full_rollbacks,
             s.degraded_generations,
         );
+    }
+    if s.wal_records + s.snapshots_written + s.durable_recoveries > 0 {
+        println!(
+            "durability: {} WAL records ({} B), {} snapshots ({} B, newest epoch {}), \
+             {} records replayed / {} snapshots corrupt across {} recoveries",
+            s.wal_records,
+            s.wal_bytes,
+            s.snapshots_written,
+            s.snapshot_bytes,
+            s.last_snapshot_epoch,
+            s.wal_replayed,
+            s.snapshots_corrupt,
+            s.durable_recoveries,
+        );
+    }
+    if s.pending_updates > 0 {
+        if s.wal_records > 0 {
+            eprintln!(
+                "cgraph: {} buffered updates were never committed; they are WAL-logged \
+                 and will be restored (uncommitted) on the next open of this data dir",
+                s.pending_updates
+            );
+        } else {
+            eprintln!(
+                "cgraph: warning: {} buffered updates were never committed and are \
+                 discarded at shutdown (no --data-dir; run `commit` or set --commit-every)",
+                s.pending_updates
+            );
+        }
     }
 }
 

@@ -111,6 +111,17 @@ LIVE MUTATIONS (mutate, serve & replay):
   --fold-threshold N fold the delta overlay into fresh base edge-sets when a
                      commit would leave more than N overlay rows (default 65536)
 
+DURABILITY (mutate, serve & replay):
+  --data-dir DIR     restart-capable serving: every update batch is WAL-logged
+                     before it is buffered and every epoch commit is fenced on
+                     disk; on start the service recovers the newest valid
+                     snapshot + WAL tail from DIR (kill -9 safe), or ingests
+                     the graph file fresh when DIR is empty
+  --snapshot-every N write a checksummed epoch snapshot every N commits
+                     (default 8; temp-file + atomic rename, older snapshots
+                     pruned); disk faults from --chaos (torn=/short=/flip=/
+                     lost=) are injected on this write path
+
 OBSERVABILITY (serve & replay):
   --metrics [PATH]   after the stream drains, write a metrics snapshot
                      (Prometheus text format) to PATH, or stdout if no

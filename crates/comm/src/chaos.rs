@@ -103,6 +103,18 @@ pub struct FaultPlan {
     pub reorder_prob: f64,
     /// Slow links layered on the network model.
     pub slow_links: Vec<SlowLink>,
+    /// Probability (0..=1) that a durability write is torn — only a
+    /// prefix of the buffer reaches disk (crash mid-`write`).
+    pub torn_write_prob: f64,
+    /// Probability (0..=1) that a durability write is short — a few
+    /// tail bytes are lost (partial `write(2)` return ignored).
+    pub short_write_prob: f64,
+    /// Probability (0..=1) that one bit of a durability write is
+    /// flipped on its way to disk (media corruption).
+    pub bit_flip_prob: f64,
+    /// Probability (0..=1) that the atomic rename publishing a
+    /// finished snapshot is lost (crash between `write` and `rename`).
+    pub rename_lost_prob: f64,
     /// Faults only fire while `attempt < heal_after`; `None` means the
     /// plan never heals. `Some(1)` expresses "fail once, then recover".
     pub heal_after: Option<u32>,
@@ -122,6 +134,10 @@ impl FaultPlan {
             dup_prob: 0.0,
             reorder_prob: 0.0,
             slow_links: Vec::new(),
+            torn_write_prob: 0.0,
+            short_write_prob: 0.0,
+            bit_flip_prob: 0.0,
+            rename_lost_prob: 0.0,
             heal_after: None,
             armed_jobs: None,
         }
@@ -158,6 +174,38 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the torn-write probability on the durability I/O path.
+    pub fn with_torn_write(mut self, p: f64) -> Self {
+        self.torn_write_prob = p;
+        self
+    }
+
+    /// Sets the short-write probability on the durability I/O path.
+    pub fn with_short_write(mut self, p: f64) -> Self {
+        self.short_write_prob = p;
+        self
+    }
+
+    /// Sets the bit-flip probability on the durability I/O path.
+    pub fn with_bit_flip(mut self, p: f64) -> Self {
+        self.bit_flip_prob = p;
+        self
+    }
+
+    /// Sets the rename-lost probability on the durability I/O path.
+    pub fn with_rename_lost(mut self, p: f64) -> Self {
+        self.rename_lost_prob = p;
+        self
+    }
+
+    /// True when any durability (disk) fault is configured.
+    pub fn disk_faulty(&self) -> bool {
+        self.torn_write_prob > 0.0
+            || self.short_write_prob > 0.0
+            || self.bit_flip_prob > 0.0
+            || self.rename_lost_prob > 0.0
+    }
+
     /// Faults stop firing once the per-job attempt counter reaches
     /// `attempts` — "fail `attempts` times, then recover".
     pub fn heal_after(mut self, attempts: u32) -> Self {
@@ -190,6 +238,7 @@ impl FaultPlan {
             && self.dup_prob == 0.0
             && self.reorder_prob == 0.0
             && self.slow_links.is_empty()
+            && !self.disk_faulty()
     }
 
     /// Parses a compact spec string, e.g.
@@ -198,7 +247,8 @@ impl FaultPlan {
     /// Fields (comma-separated, each optional, repeated `crash=`/`slow=`
     /// accumulate): `seed=<u64>`, `crash=<machine>@<superstep>`,
     /// `drop=<p>`, `dup=<p>`, `reorder=<p>`,
-    /// `slow=<from>><to>@<extra_ns>`, `heal=<attempts>`,
+    /// `slow=<from>><to>@<extra_ns>`, `torn=<p>`, `short=<p>`,
+    /// `flip=<p>`, `lost=<p>`, `heal=<attempts>`,
     /// `jobs=<start>..<end>`.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::new(0);
@@ -219,6 +269,10 @@ impl FaultPlan {
                 "drop" => plan.drop_prob = parse_prob(value).ok_or_else(|| bad("drop"))?,
                 "dup" => plan.dup_prob = parse_prob(value).ok_or_else(|| bad("dup"))?,
                 "reorder" => plan.reorder_prob = parse_prob(value).ok_or_else(|| bad("reorder"))?,
+                "torn" => plan.torn_write_prob = parse_prob(value).ok_or_else(|| bad("torn"))?,
+                "short" => plan.short_write_prob = parse_prob(value).ok_or_else(|| bad("short"))?,
+                "flip" => plan.bit_flip_prob = parse_prob(value).ok_or_else(|| bad("flip"))?,
+                "lost" => plan.rename_lost_prob = parse_prob(value).ok_or_else(|| bad("lost"))?,
                 "slow" => {
                     let (link, ns) = value.split_once('@').ok_or_else(|| bad("slow (f>t@ns)"))?;
                     let (f, t) = link.split_once('>').ok_or_else(|| bad("slow link (f>t)"))?;
@@ -259,6 +313,18 @@ impl fmt::Display for FaultPlan {
         }
         for l in &self.slow_links {
             write!(f, ",slow={}>{}@{}", l.from, l.to, l.extra_ns)?;
+        }
+        if self.torn_write_prob > 0.0 {
+            write!(f, ",torn={}", self.torn_write_prob)?;
+        }
+        if self.short_write_prob > 0.0 {
+            write!(f, ",short={}", self.short_write_prob)?;
+        }
+        if self.bit_flip_prob > 0.0 {
+            write!(f, ",flip={}", self.bit_flip_prob)?;
+        }
+        if self.rename_lost_prob > 0.0 {
+            write!(f, ",lost={}", self.rename_lost_prob)?;
         }
         if let Some(h) = self.heal_after {
             write!(f, ",heal={h}")?;
@@ -491,7 +557,7 @@ mod tests {
 
     #[test]
     fn spec_round_trips() {
-        let spec = "seed=7,crash=0@2,crash=1@4,drop=0.1,dup=0.05,reorder=0.2,slow=0>1@5000,heal=1,jobs=2..5";
+        let spec = "seed=7,crash=0@2,crash=1@4,drop=0.1,dup=0.05,reorder=0.2,slow=0>1@5000,torn=0.3,short=0.2,flip=0.1,lost=0.05,heal=1,jobs=2..5";
         let plan = FaultPlan::parse(spec).unwrap();
         assert_eq!(plan.seed, 7);
         assert_eq!(
@@ -502,6 +568,11 @@ mod tests {
         assert_eq!(plan.dup_prob, 0.05);
         assert_eq!(plan.reorder_prob, 0.2);
         assert_eq!(plan.slow_links, vec![SlowLink { from: 0, to: 1, extra_ns: 5_000 }]);
+        assert_eq!(plan.torn_write_prob, 0.3);
+        assert_eq!(plan.short_write_prob, 0.2);
+        assert_eq!(plan.bit_flip_prob, 0.1);
+        assert_eq!(plan.rename_lost_prob, 0.05);
+        assert!(plan.disk_faulty());
         assert_eq!(plan.heal_after, Some(1));
         assert_eq!(plan.armed_jobs, Some(2..5));
         assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
@@ -512,6 +583,8 @@ mod tests {
         assert!(FaultPlan::parse("crash=0").is_err());
         assert!(FaultPlan::parse("drop=1.5").is_err());
         assert!(FaultPlan::parse("drop=-0.1").is_err());
+        assert!(FaultPlan::parse("torn=2").is_err());
+        assert!(FaultPlan::parse("lost=nan").is_err());
         assert!(FaultPlan::parse("frobnicate=1").is_err());
         assert!(FaultPlan::parse("jobs=3").is_err());
         assert!(FaultPlan::parse("slow=0@1").is_err());
@@ -522,5 +595,14 @@ mod tests {
         let plan = FaultPlan::parse("").unwrap();
         assert!(plan.is_empty());
         assert!(!plan.lossy());
+        assert!(!plan.disk_faulty());
+    }
+
+    #[test]
+    fn disk_faults_make_plan_non_empty() {
+        assert!(!FaultPlan::new(3).with_torn_write(0.1).is_empty());
+        assert!(!FaultPlan::new(3).with_short_write(0.1).is_empty());
+        assert!(!FaultPlan::new(3).with_bit_flip(0.1).is_empty());
+        assert!(!FaultPlan::new(3).with_rename_lost(0.1).is_empty());
     }
 }

@@ -1,0 +1,683 @@
+//! The durability plane: epoch snapshots + update WAL on disk.
+//!
+//! Everything the service serves lives in RAM — the base shards, the
+//! delta overlays, the epoch counter. This module makes the *committed*
+//! part of that state survive `kill -9`:
+//!
+//! * every [`QueryService::apply_updates`](crate::QueryService::apply_updates)
+//!   batch is appended to a checksummed **write-ahead log** *before*
+//!   it is buffered anywhere (write-ahead ordering), and every epoch
+//!   commit appends a `Commit` fence naming the epoch it published;
+//! * at a configurable commit cadence the whole engine value — base
+//!   adjacency, live delta overlays, partition boundaries, epoch — is
+//!   written as a **snapshot** (temp file + atomic rename, every frame
+//!   CRC-checksummed, see [`cgraph_graph::snapshot`]);
+//! * [`QueryService::open_or_recover`](crate::QueryService::open_or_recover)
+//!   rebuilds the newest *valid* snapshot (torn or bit-flipped tips
+//!   are detected by checksum and skipped), replays the WAL tail past
+//!   the snapshot's sequence number commit by commit, restores any
+//!   uncommitted logged updates into the pending buffer, and resumes
+//!   serving at the recovered epoch.
+//!
+//! Recovery never reads past a failed checksum: a torn WAL tail is
+//! truncated (once, at open), and a snapshot that fails *any* frame
+//! checksum is rejected whole.
+//!
+//! Disk faults from the chaos plane
+//! ([`FaultPlan::with_torn_write`](cgraph_comm::chaos::FaultPlan::with_torn_write)
+//! and friends) are injected here, on the write path, via
+//! [`cgraph_graph::DiskFaults`] — deterministic torn/short/bit-flip
+//! writes and lost renames, so crash-restart tests can prove the
+//! recovery invariants under scripted corruption.
+
+use crate::config::EngineConfig;
+use crate::engine::DistributedEngine;
+use crate::partition::RangePartition;
+use cgraph_graph::snapshot::{
+    decode_snapshot, decode_wal, encode_snapshot, encode_wal_record, DiskFaults, PartitionData,
+    SnapshotData, WalRecord,
+};
+use cgraph_graph::types::VertexRange;
+use cgraph_graph::{DeltaOverlay, Edge, EdgeList, EdgeUpdate};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the update WAL inside the data directory.
+const WAL_FILE: &str = "wal.log";
+
+/// Knobs of the durability plane.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Data directory holding the WAL and the epoch snapshots; created
+    /// on first use.
+    pub dir: PathBuf,
+    /// Epoch commits between snapshots: `1` snapshots every commit,
+    /// `8` (the default) every eighth. Must be non-zero — validated at
+    /// service construction.
+    pub snapshot_every: u64,
+    /// Valid snapshots retained on disk; older ones are pruned after
+    /// each successful snapshot write. Must be at least 1.
+    pub keep_snapshots: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability into `dir` with the default cadence (snapshot every
+    /// 8 commits, keep 3 snapshots).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), snapshot_every: 8, keep_snapshots: 3 }
+    }
+
+    /// Sets the snapshot cadence (commits between snapshots).
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+}
+
+/// Lifetime counters of the durability plane — mirrored one-for-one by
+/// the `cgraph_durability_*` metric families.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended (updates + commit fences).
+    pub wal_records: u64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Snapshots written (counted when the rename lands; a rename lost
+    /// to fault injection still counts the attempt's bytes but not the
+    /// snapshot).
+    pub snapshots_written: u64,
+    /// Bytes of encoded snapshot data written.
+    pub snapshot_bytes: u64,
+    /// WAL records replayed during recovery.
+    pub wal_replayed: u64,
+    /// Snapshot files rejected during recovery (failed checksum,
+    /// truncation, bad magic) before a valid one was found.
+    pub snapshots_corrupt: u64,
+    /// Crash recoveries performed (0 on a fresh start, 1 when this
+    /// service was rebuilt from durable state).
+    pub recoveries: u64,
+    /// Epoch of the newest snapshot that reached its final name.
+    pub last_snapshot_epoch: u64,
+}
+
+/// What [`QueryService::open_or_recover`](crate::QueryService::open_or_recover)
+/// found and did before the service started serving.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryOutcome {
+    /// True when durable state was found and the engine was rebuilt
+    /// from it; false on a fresh start.
+    pub recovered: bool,
+    /// The graph epoch the service resumed at.
+    pub epoch: u64,
+    /// Snapshot files examined during the scan.
+    pub snapshots_scanned: usize,
+    /// Snapshot files rejected as corrupt before a valid one was found.
+    pub snapshots_corrupt: usize,
+    /// WAL records replayed past the snapshot's sequence number.
+    pub wal_records_replayed: u64,
+    /// Torn-tail bytes truncated off the WAL.
+    pub wal_truncated_bytes: u64,
+    /// Logged-but-uncommitted updates restored into the pending buffer.
+    pub pending_restored: usize,
+}
+
+/// Why the durability plane failed to open, write, or recover.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Filesystem failure (open, write, sync, rename).
+    Io(std::io::Error),
+    /// The durable state is internally inconsistent — e.g. a WAL
+    /// commit record names an epoch the replayed engine did not reach.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O failure: {e}"),
+            DurabilityError::Inconsistent(what) => {
+                write!(f, "durable state inconsistent: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+/// Captures `engine`'s full logical state as snapshot data covering
+/// WAL records up to and including `last_seq`. Rows are emitted in
+/// vertex order, so the same engine state always encodes to the same
+/// bytes.
+pub fn snapshot_of(engine: &DistributedEngine, last_seq: u64) -> SnapshotData {
+    let ranges = engine.partition().ranges().iter().map(|r| (r.start, r.end)).collect();
+    let mut partitions = Vec::with_capacity(engine.num_machines());
+    for (m, shard) in engine.shards().iter().enumerate() {
+        let mut base_rows = Vec::new();
+        for v in shard.local_range().iter() {
+            let row = shard.out_neighbors_weighted(v);
+            if !row.is_empty() {
+                base_rows.push((v, row));
+            }
+        }
+        let mut delta_inserts = Vec::new();
+        let mut delta_deletes = Vec::new();
+        if let Some(d) = engine.delta(m) {
+            let mut rows: Vec<_> = d.rows().collect();
+            rows.sort_by_key(|&(v, _)| v);
+            for (v, row) in rows {
+                if !row.inserts().is_empty() {
+                    delta_inserts.push((v, row.inserts().to_vec()));
+                }
+                if !row.deletes().is_empty() {
+                    delta_deletes.push((v, row.deletes().to_vec()));
+                }
+            }
+        }
+        partitions.push(PartitionData { base_rows, delta_inserts, delta_deletes });
+    }
+    SnapshotData {
+        epoch: engine.graph_epoch(),
+        last_seq,
+        num_vertices: engine.num_vertices(),
+        ranges,
+        partitions,
+    }
+}
+
+/// Rebuilds an engine value from decoded snapshot data. The snapshot's
+/// own partition boundaries and machine count win over
+/// `config.num_machines` — a snapshot taken after the service degraded
+/// onto fewer machines restores at that width.
+pub fn engine_from_snapshot(snap: &SnapshotData, mut config: EngineConfig) -> DistributedEngine {
+    config.num_machines = snap.ranges.len();
+    let partition = RangePartition::from_ranges(
+        snap.ranges.iter().map(|&(s, e)| VertexRange::new(s, e)).collect(),
+    );
+    let mut edges = EdgeList::new();
+    for part in &snap.partitions {
+        for (src, row) in &part.base_rows {
+            for &(dst, w) in row {
+                edges.push(Edge::weighted(*src, dst, w));
+            }
+        }
+    }
+    edges.set_num_vertices(snap.num_vertices);
+    // DeltaRow state is rebuilt by replaying the persisted rows through
+    // the overlay's own `apply` (deletes and inserts of one row are
+    // disjoint sets, so the order between them cannot interfere) —
+    // last-update-wins semantics are delta.rs's, not re-implemented.
+    let mut overlays: Vec<DeltaOverlay> =
+        (0..snap.partitions.len()).map(|_| DeltaOverlay::new()).collect();
+    for (m, part) in snap.partitions.iter().enumerate() {
+        for (src, dels) in &part.delta_deletes {
+            for &dst in dels {
+                overlays[m].apply(&EdgeUpdate::Delete { src: *src, dst });
+            }
+        }
+        for (src, ins) in &part.delta_inserts {
+            for &(dst, weight) in ins {
+                overlays[m].apply(&EdgeUpdate::Insert { src: *src, dst, weight });
+            }
+        }
+    }
+    DistributedEngine::restored(&edges, partition, overlays, snap.epoch, config)
+}
+
+/// One valid snapshot file found during the recovery scan.
+struct ScannedSnapshot {
+    data: SnapshotData,
+}
+
+/// Result of scanning a data directory for durable state.
+pub(crate) struct ScanResult {
+    /// Newest snapshot that decoded and checksummed cleanly.
+    snapshot: Option<ScannedSnapshot>,
+    /// Snapshot files rejected before (and after) the valid one.
+    corrupt: usize,
+    /// Snapshot files examined.
+    scanned: usize,
+    /// Valid-prefix WAL records, sequence-ascending.
+    records: Vec<WalRecord>,
+    /// Byte length of the WAL's valid prefix.
+    wal_valid_len: u64,
+    /// Bytes past the valid prefix (the torn tail to truncate).
+    wal_torn_bytes: u64,
+}
+
+impl ScanResult {
+    /// True when the directory holds any durable footprint — a
+    /// snapshot (valid or corrupt) or any WAL bytes. A fresh durable
+    /// start refuses such a directory; resuming is recovery's job.
+    pub(crate) fn has_state(&self) -> bool {
+        self.scanned > 0 || !self.records.is_empty() || self.wal_torn_bytes > 0
+    }
+}
+
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snap-{epoch:016x}.cgs"))
+}
+
+/// Creates `dir` if needed and scans it — the fresh-durable-start
+/// entry point ([`QueryService::try_start`](crate::QueryService::try_start)
+/// uses the result to refuse directories that already hold state).
+pub(crate) fn scan_for_start(dir: &Path) -> Result<ScanResult, DurabilityError> {
+    fs::create_dir_all(dir)?;
+    scan_dir(dir)
+}
+
+/// Scans `dir`: decodes the WAL's valid prefix and finds the newest
+/// snapshot whose every frame checksums. Corrupt snapshots are
+/// counted and skipped — never partially read. `*.tmp` files (writes
+/// that never reached their rename) are ignored entirely.
+fn scan_dir(dir: &Path) -> Result<ScanResult, DurabilityError> {
+    let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(hex) = name.strip_prefix("snap-").and_then(|n| n.strip_suffix(".cgs")) {
+            if let Ok(epoch) = u64::from_str_radix(hex, 16) {
+                snaps.push((epoch, entry.path()));
+            }
+        }
+    }
+    snaps.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
+    let mut corrupt = 0usize;
+    let mut scanned = 0usize;
+    let mut snapshot = None;
+    for (_, path) in snaps {
+        scanned += 1;
+        let bytes = fs::read(&path)?;
+        match decode_snapshot(&bytes) {
+            Ok(data) => {
+                snapshot = Some(ScannedSnapshot { data });
+                break;
+            }
+            Err(_) => corrupt += 1,
+        }
+    }
+    let wal_path = dir.join(WAL_FILE);
+    let (records, valid_len, total_len) = if wal_path.exists() {
+        let bytes = fs::read(&wal_path)?;
+        let (records, valid_len) = decode_wal(&bytes);
+        (records, valid_len as u64, bytes.len() as u64)
+    } else {
+        (Vec::new(), 0, 0)
+    };
+    Ok(ScanResult {
+        snapshot,
+        corrupt,
+        scanned,
+        records,
+        wal_valid_len: valid_len,
+        wal_torn_bytes: total_len - valid_len,
+    })
+}
+
+/// The durable state recovery rebuilt, ready to start a service from.
+pub(crate) struct RecoveredState {
+    /// The rebuilt engine: newest valid snapshot plus replayed WAL
+    /// commits — or the caller's bootstrap engine when the directory
+    /// held no usable state (fresh start, `outcome.recovered` false).
+    pub engine: DistributedEngine,
+    /// Logged-but-uncommitted updates to restore into the pending
+    /// buffer. Already in the WAL — they must not be re-appended.
+    pub pending: Vec<EdgeUpdate>,
+    /// What happened, for stats and logs.
+    pub outcome: RecoveryOutcome,
+}
+
+/// Scans `dir` and rebuilds the newest recoverable state: newest valid
+/// snapshot, plus every WAL commit past its sequence number, plus the
+/// uncommitted logged tail. When no snapshot survived (all torn, or
+/// the initial one's rename was lost) the WAL replays from sequence 0
+/// onto `bootstrap()` — the same base graph the original durable
+/// start ingested. `fold_threshold` governs replayed commits exactly
+/// as it governed the original ones (answers are fold-invariant, so
+/// the threshold need not match the crashed process's).
+pub(crate) fn recover(
+    dir: &Path,
+    engine_config: EngineConfig,
+    fold_threshold: usize,
+    bootstrap: impl FnOnce() -> DistributedEngine,
+) -> Result<(RecoveredState, ScanResult), DurabilityError> {
+    let scan = scan_dir(dir)?;
+    let mut outcome = RecoveryOutcome {
+        snapshots_scanned: scan.scanned,
+        snapshots_corrupt: scan.corrupt,
+        wal_truncated_bytes: scan.wal_torn_bytes,
+        ..RecoveryOutcome::default()
+    };
+    outcome.recovered = scan.snapshot.is_some() || !scan.records.is_empty();
+    let (mut engine, last_seq) = match &scan.snapshot {
+        Some(s) => (engine_from_snapshot(&s.data, engine_config), s.data.last_seq),
+        None => (bootstrap(), 0),
+    };
+    if scan.snapshot.is_none() && engine.graph_epoch() != 0 {
+        return Err(DurabilityError::Inconsistent(format!(
+            "bootstrap engine is at epoch {} (expected 0): WAL replay from \
+             sequence 0 needs the pristine base graph",
+            engine.graph_epoch()
+        )));
+    }
+    let mut pending: Vec<EdgeUpdate> = Vec::new();
+    for rec in &scan.records {
+        if rec.seq() <= last_seq {
+            continue; // already folded into the snapshot: idempotent replay
+        }
+        outcome.wal_records_replayed += 1;
+        match rec {
+            WalRecord::Updates { updates, .. } => pending.extend(updates.iter().cloned()),
+            WalRecord::Commit { epoch, .. } => {
+                let (next, _) = engine.with_updates(&pending, fold_threshold);
+                pending.clear();
+                if next.graph_epoch() != *epoch {
+                    return Err(DurabilityError::Inconsistent(format!(
+                        "WAL commit record names epoch {epoch} but replay reached {}",
+                        next.graph_epoch()
+                    )));
+                }
+                engine = next;
+            }
+        }
+    }
+    outcome.pending_restored = pending.len();
+    outcome.epoch = engine.graph_epoch();
+    Ok((RecoveredState { engine, pending, outcome }, scan))
+}
+
+/// The live durability plane of one running service: the open WAL,
+/// the sequence counter, the snapshot cadence state, and the fault
+/// injector. The service guards it with a mutex that nests strictly
+/// inside the pending-updates lock (WAL order must equal buffer
+/// order).
+#[derive(Debug)]
+pub(crate) struct DurabilityPlane {
+    cfg: DurabilityConfig,
+    wal: File,
+    /// Next WAL sequence number to assign.
+    next_seq: u64,
+    /// Sequence number of the last `Commit` record whose effects are
+    /// in the published engine. Snapshots cover exactly this — never a
+    /// logged-but-uncommitted updates record, whose effects live only
+    /// in the pending buffer and must replay after a crash.
+    last_committed_seq: u64,
+    /// Commits since the last snapshot that reached its final name.
+    commits_since_snapshot: u64,
+    faults: Option<DiskFaults>,
+    stats: DurabilityStats,
+}
+
+impl DurabilityPlane {
+    /// Opens the plane over a scanned directory: truncates the WAL's
+    /// torn tail (the one place recovery discards bytes), reopens it
+    /// for append, and resumes the sequence counter past every logged
+    /// record.
+    pub(crate) fn open(
+        cfg: DurabilityConfig,
+        scan: &ScanResult,
+        faults: Option<DiskFaults>,
+        recovered: bool,
+    ) -> Result<Self, DurabilityError> {
+        fs::create_dir_all(&cfg.dir)?;
+        let wal_path = cfg.dir.join(WAL_FILE);
+        if scan.wal_torn_bytes > 0 {
+            let f = OpenOptions::new().write(true).open(&wal_path)?;
+            f.set_len(scan.wal_valid_len)?;
+            f.sync_all()?;
+        }
+        let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
+        let next_seq = scan.records.last().map(|r| r.seq() + 1).unwrap_or(1);
+        let last_snapshot_epoch = scan.snapshot.as_ref().map(|s| s.data.epoch).unwrap_or(0);
+        let last_committed_seq = scan
+            .records
+            .iter()
+            .rev()
+            .find(|r| matches!(r, WalRecord::Commit { .. }))
+            .map(|r| r.seq())
+            .unwrap_or_else(|| scan.snapshot.as_ref().map(|s| s.data.last_seq).unwrap_or(0));
+        Ok(Self {
+            cfg,
+            wal,
+            next_seq,
+            last_committed_seq,
+            commits_since_snapshot: 0,
+            faults,
+            stats: DurabilityStats {
+                snapshots_corrupt: scan.corrupt as u64,
+                recoveries: u64::from(recovered),
+                last_snapshot_epoch,
+                ..DurabilityStats::default()
+            },
+        })
+    }
+
+    /// Lifetime counters (includes recovery-time counts).
+    pub(crate) fn stats(&self) -> DurabilityStats {
+        self.stats
+    }
+
+    /// Adds recovery-time replay counts (recovery happens before the
+    /// plane exists, so the outcome is folded in afterwards).
+    pub(crate) fn note_recovery(&mut self, outcome: &RecoveryOutcome) {
+        self.stats.wal_replayed += outcome.wal_records_replayed;
+    }
+
+    /// Appends one record to the WAL through the fault injector and
+    /// returns `(seq, bytes_appended)`. A mangled append lands exactly
+    /// as a crash mid-write would leave it; the in-memory service keeps
+    /// running and recovery later truncates at the damage.
+    fn append(&mut self, rec: WalRecord) -> Result<(u64, u64), DurabilityError> {
+        let seq = rec.seq();
+        let mut bytes = encode_wal_record(&rec);
+        if let Some(f) = &self.faults {
+            f.mangle(&mut bytes);
+        }
+        self.wal.write_all(&bytes)?;
+        self.next_seq = seq + 1;
+        self.stats.wal_records += 1;
+        self.stats.wal_bytes += bytes.len() as u64;
+        Ok((seq, bytes.len() as u64))
+    }
+
+    /// Logs one buffered-updates batch (write-ahead: called before the
+    /// updates enter the pending buffer).
+    pub(crate) fn append_updates(
+        &mut self,
+        updates: &[EdgeUpdate],
+    ) -> Result<(u64, u64), DurabilityError> {
+        self.append(WalRecord::Updates { seq: self.next_seq, updates: updates.to_vec() })
+    }
+
+    /// Logs an epoch-commit fence and syncs the WAL (group commit: the
+    /// sync covers every update record logged before it).
+    pub(crate) fn append_commit(&mut self, epoch: u64) -> Result<(u64, u64), DurabilityError> {
+        let r = self.append(WalRecord::Commit { seq: self.next_seq, epoch })?;
+        self.last_committed_seq = r.0;
+        self.wal.sync_all()?;
+        Ok(r)
+    }
+
+    /// Whether the snapshot cadence is due after one more commit.
+    pub(crate) fn snapshot_due(&mut self) -> bool {
+        self.commits_since_snapshot += 1;
+        self.commits_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Writes `engine` as an epoch snapshot covering WAL records up to
+    /// the last commit fence: encode, (maybe) mangle, write to `.tmp`,
+    /// sync, atomic rename, prune old snapshots. Returns the bytes
+    /// written and whether the rename landed (`false` = lost to fault
+    /// injection, exactly the crash window between write and rename —
+    /// the service carries on; recovery falls back to an older
+    /// snapshot).
+    pub(crate) fn write_snapshot(
+        &mut self,
+        engine: &DistributedEngine,
+    ) -> Result<(u64, bool), DurabilityError> {
+        let snap = snapshot_of(engine, self.last_committed_seq);
+        let epoch = snap.epoch;
+        let mut bytes = encode_snapshot(&snap);
+        if let Some(f) = &self.faults {
+            f.mangle(&mut bytes);
+        }
+        let final_path = snapshot_path(&self.cfg.dir, epoch);
+        let tmp_path = final_path.with_extension("cgs.tmp");
+        let written = bytes.len() as u64;
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        self.stats.snapshot_bytes += written;
+        let renamed = !self.faults.as_ref().is_some_and(|f| f.drop_rename());
+        if renamed {
+            fs::rename(&tmp_path, &final_path)?;
+            self.stats.snapshots_written += 1;
+            self.stats.last_snapshot_epoch = epoch;
+            self.commits_since_snapshot = 0;
+            self.prune()?;
+        }
+        Ok((written, renamed))
+    }
+
+    /// Removes all but the newest [`DurabilityConfig::keep_snapshots`]
+    /// snapshot files, plus any stale `.tmp` leftovers.
+    fn prune(&self) -> Result<(), DurabilityError> {
+        let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.cfg.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(hex) = name.strip_prefix("snap-").and_then(|n| n.strip_suffix(".cgs")) {
+                if let Ok(epoch) = u64::from_str_radix(hex, 16) {
+                    snaps.push((epoch, entry.path()));
+                }
+            }
+        }
+        snaps.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
+        for (_, path) in snaps.into_iter().skip(self.cfg.keep_snapshots.max(1)) {
+            let _ = fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Flushes and syncs the WAL — the shutdown barrier: once this
+    /// returns, every logged update survives a subsequent kill.
+    pub(crate) fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.wal.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn test_engine() -> DistributedEngine {
+        let edges: EdgeList = [(0u64, 1u64), (1, 2), (2, 3), (3, 0), (1, 3)].into_iter().collect();
+        DistributedEngine::new(&edges, EngineConfig::new(2))
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_engine() {
+        let engine = test_engine();
+        let (engine, _) =
+            engine.with_updates(&[EdgeUpdate::insert(0, 3), EdgeUpdate::delete(1, 2)], usize::MAX);
+        let snap = snapshot_of(&engine, 17);
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.last_seq, 17);
+        let restored = engine_from_snapshot(&snap, *engine.config());
+        assert_eq!(restored.graph_epoch(), 1);
+        assert_eq!(restored.num_vertices(), engine.num_vertices());
+        assert_eq!(restored.delta_entries(), engine.delta_entries());
+        // Logical equality: the re-snapshot of the restored engine is
+        // identical, covering base rows and overlay rows alike.
+        assert_eq!(snapshot_of(&restored, 17), snap);
+    }
+
+    #[test]
+    fn folded_and_overlay_restores_agree() {
+        let updates = [EdgeUpdate::insert(2, 0), EdgeUpdate::delete(3, 0)];
+        let (overlaid, folded_flag) = test_engine().with_updates(&updates, usize::MAX);
+        assert!(!folded_flag);
+        let (folded, folded_flag) = test_engine().with_updates(&updates, 0);
+        assert!(folded_flag);
+        let a = engine_from_snapshot(&snapshot_of(&overlaid, 1), *overlaid.config());
+        let b = engine_from_snapshot(&snapshot_of(&folded, 1), *folded.config());
+        // Different physical states (overlay vs folded base), same
+        // logical adjacency: effective out-rows must agree everywhere.
+        for v in 0..a.num_vertices() {
+            let row = |e: &DistributedEngine, v: u64| {
+                let m = e.partition().owner(v);
+                let shard = &e.shards()[m];
+                let base = shard.out_neighbors_weighted(v);
+                match e.delta(m) {
+                    Some(d) => d.merge_row(v, &base),
+                    None => base,
+                }
+            };
+            assert_eq!(row(&a, v), row(&b, v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn wal_append_and_recover_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cgraph-dur-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let cfg = DurabilityConfig::new(&dir).snapshot_every(1);
+        let scan = scan_dir(&dir).unwrap();
+        let mut plane = DurabilityPlane::open(cfg.clone(), &scan, None, false).unwrap();
+        let engine = test_engine();
+        plane.write_snapshot(&engine).unwrap();
+        plane.append_updates(&[EdgeUpdate::insert(0, 2)]).unwrap();
+        plane.append_commit(1).unwrap();
+        plane.append_updates(&[EdgeUpdate::delete(0, 2)]).unwrap();
+        drop(plane);
+
+        let (state, _scan) =
+            recover(&dir, *engine.config(), usize::MAX, || unreachable!("snapshot exists"))
+                .unwrap();
+        assert_eq!(state.engine.graph_epoch(), 1, "one commit replayed");
+        assert_eq!(state.pending, vec![EdgeUpdate::delete(0, 2)], "uncommitted tail restored");
+        assert!(state.outcome.recovered);
+        assert_eq!(state.outcome.epoch, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_valid_one() {
+        let dir = std::env::temp_dir().join(format!("cgraph-dur-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let engine = test_engine();
+        let good = encode_snapshot(&snapshot_of(&engine, 0));
+        fs::write(snapshot_path(&dir, 0), &good).unwrap();
+        // A newer snapshot, torn mid-file: must be skipped whole.
+        let (newer, _) = engine.with_updates(&[EdgeUpdate::insert(0, 2)], usize::MAX);
+        let torn = encode_snapshot(&snapshot_of(&newer, 2));
+        fs::write(snapshot_path(&dir, 1), &torn[..torn.len() / 2]).unwrap();
+
+        let (state, scan) =
+            recover(&dir, *engine.config(), usize::MAX, || unreachable!("valid snapshot exists"))
+                .unwrap();
+        assert_eq!(scan.corrupt, 1);
+        assert_eq!(state.outcome.snapshots_corrupt, 1);
+        assert_eq!(state.outcome.snapshots_scanned, 2);
+        assert_eq!(state.engine.graph_epoch(), 0, "fell back to the valid epoch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

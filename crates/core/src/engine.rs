@@ -101,6 +101,10 @@ pub enum EngineError {
     },
     /// The cluster failed mid-batch (machine death, poisoned barrier).
     Cluster(ClusterError),
+    /// A configuration knob is degenerate (e.g. a zero checkpoint
+    /// interval) — rejected up front instead of panicking or spinning
+    /// deep inside a machine thread.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -118,6 +122,7 @@ impl std::fmt::Display for EngineError {
             // Delegate: service error messages match on the inner text
             // (e.g. "crashed at superstep").
             EngineError::Cluster(e) => write!(f, "{e}"),
+            EngineError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }
@@ -427,6 +432,39 @@ impl DistributedEngine {
             shards: Arc::new(shards),
             deltas,
             graph_epoch: 0,
+            config,
+            obs_handles: Mutex::new(None),
+        }
+    }
+
+    /// Rebuilds an engine value from durable state: the base edges and
+    /// partition boundaries of a decoded snapshot, the per-machine
+    /// delta overlays live at snapshot time, and the epoch the
+    /// snapshot captured. This is the recovery-path twin of
+    /// [`DistributedEngine::with_partition`] — same shard build, but
+    /// the epoch counter and overlays resume where the crashed process
+    /// left them instead of starting from zero.
+    pub fn restored(
+        edges: &EdgeList,
+        partition: RangePartition,
+        deltas: Vec<DeltaOverlay>,
+        graph_epoch: u64,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(
+            partition.num_partitions(),
+            config.num_machines,
+            "partition count must match machine count"
+        );
+        assert_eq!(partition.num_vertices(), edges.num_vertices());
+        assert_eq!(deltas.len(), config.num_machines, "one overlay per machine");
+        let shards =
+            build_shards(&partition, edges.edges(), config.edge_set_policy, config.build_in_edges);
+        Self {
+            partition,
+            shards: Arc::new(shards),
+            deltas: deltas.into_iter().map(Arc::new).collect(),
+            graph_epoch,
             config,
             obs_handles: Mutex::new(None),
         }
@@ -905,6 +943,14 @@ impl DistributedEngine {
         fault: Option<FaultInjection<'_>>,
     ) -> Result<(BatchResult, RecoveryReport), EngineError> {
         let lanes = self.check_batch(sources, ks)?;
+        if recovery.checkpoint_interval == 0 {
+            return Err(EngineError::InvalidConfig(
+                "recovery.checkpoint_interval must be > 0 \
+                 (a zero interval would never commit a checkpoint, degrading \
+                 every recovery to a full restart)"
+                    .into(),
+            ));
+        }
         assert_eq!(
             cluster.num_machines(),
             self.config.num_machines,

@@ -29,12 +29,16 @@
 //!   figure of §4 reports),
 //! * [`recovery`] — superstep checkpointing and confined partition
 //!   replay for fault-tolerant batch execution under an injected
-//!   [`cgraph_comm::chaos::FaultPlan`].
+//!   [`cgraph_comm::chaos::FaultPlan`],
+//! * [`durability`] — the on-disk durability plane: checksummed epoch
+//!   snapshots, an update WAL, and the crash-restart recovery path
+//!   behind [`QueryService::open_or_recover`](service::QueryService::open_or_recover).
 
 #![warn(missing_docs)]
 
 pub mod bitfrontier;
 pub mod config;
+pub mod durability;
 pub mod engine;
 pub mod gas;
 pub mod metrics;
@@ -51,6 +55,7 @@ pub mod vcm;
 pub use cgraph_comm::chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
 pub use cgraph_graph::delta::{DeltaOverlay, EdgeUpdate, UpdateBatch};
 pub use config::{EngineConfig, UpdateMode};
+pub use durability::{DurabilityConfig, DurabilityError, DurabilityStats, RecoveryOutcome};
 pub use engine::{DistributedEngine, EngineError, EngineMsg, FaultInjection};
 pub use metrics::ResponseStats;
 pub use partition::RangePartition;

@@ -99,6 +99,24 @@ impl RangePartition {
         Self::by_edges(num_vertices, &degrees, p)
     }
 
+    /// Rebuilds a partition from previously computed ranges — the
+    /// restore path of the durability plane, which must reproduce the
+    /// *original* partition boundaries (a snapshot's shards are keyed
+    /// by them) rather than re-balance over the recovered edges.
+    ///
+    /// The ranges must be non-empty overall, contiguous from 0, and
+    /// non-overlapping; panics otherwise (a snapshot that decodes but
+    /// carries an inconsistent partition map is corrupt).
+    pub fn from_ranges(ranges: Vec<VertexRange>) -> Self {
+        assert!(!ranges.is_empty(), "partition needs at least one range");
+        assert_eq!(ranges[0].start, 0, "first range must start at vertex 0");
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+        }
+        let num_vertices = ranges.last().unwrap().end;
+        Self { ranges, num_vertices }
+    }
+
     /// Number of partitions.
     #[inline]
     pub fn num_partitions(&self) -> usize {

@@ -119,6 +119,10 @@
 //! service.shutdown();
 //! ```
 
+use crate::config::EngineConfig;
+use crate::durability::{
+    recover, DurabilityConfig, DurabilityPlane, DurabilityStats, RecoveryOutcome,
+};
 use crate::engine::{DistributedEngine, EngineError, FaultInjection};
 use crate::metrics::ResponseStats;
 use crate::query::{KhopQuery, QueryResult};
@@ -131,7 +135,8 @@ use cgraph_cache::{
 use cgraph_comm::chaos::FaultPlan;
 use cgraph_comm::{ClusterError, PersistentCluster};
 use cgraph_graph::delta::{EdgeUpdate, UpdateBatch};
-use cgraph_graph::LaneWidth;
+use cgraph_graph::snapshot::DiskFaults;
+use cgraph_graph::{EdgeList, LaneWidth};
 use cgraph_obs::{
     log2_edges, Counter, Gauge, Histogram, Obs, TraceCtx, Tracer, COORD, PAPER_LATENCY_EDGES_SECS,
 };
@@ -161,6 +166,16 @@ pub enum ServiceError {
     /// malformed query can never take down the batch it would have
     /// shared lanes with.
     InvalidQuery(String),
+    /// The service configuration is invalid — a knob holds a value the
+    /// service cannot run with (zero checkpoint interval, zero commit
+    /// threshold, zero snapshot cadence). Caught at construction by
+    /// [`QueryService::try_start`] / [`QueryService::open_or_recover`],
+    /// before any thread is spawned or file is touched.
+    InvalidConfig(String),
+    /// The durability plane failed: the data directory could not be
+    /// opened, the WAL could not be appended, or recovery found
+    /// internally inconsistent durable state.
+    Durability(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -172,6 +187,10 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             ServiceError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            ServiceError::InvalidConfig(msg) => {
+                write!(f, "invalid service configuration: {msg}")
+            }
+            ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }
@@ -270,6 +289,12 @@ pub struct ServiceConfig {
     pub query_plane: QueryPlaneConfig,
     /// Mutation-plane knobs: commit trigger and delta fold threshold.
     pub mutation: MutationConfig,
+    /// Durability-plane knobs: data directory, snapshot cadence and
+    /// retention. `None` (the default) serves purely in memory; set it
+    /// and start with [`QueryService::open_or_recover`] to survive
+    /// `kill -9` — every update batch is WAL-logged before it is
+    /// buffered and every epoch commit is fenced on disk.
+    pub durability: Option<DurabilityConfig>,
     /// Whole-batch resubmissions after the engine's in-batch
     /// recoveries are exhausted on a recoverable error.
     pub max_retries: u32,
@@ -312,6 +337,7 @@ impl Default for ServiceConfig {
             query_deadline: None,
             query_plane: QueryPlaneConfig::default(),
             mutation: MutationConfig::default(),
+            durability: None,
             max_retries: 2,
             retry_backoff: Duration::from_micros(200),
             recovery: RecoveryConfig::default(),
@@ -333,6 +359,7 @@ impl fmt::Debug for ServiceConfig {
             .field("query_deadline", &self.query_deadline)
             .field("query_plane", &self.query_plane)
             .field("mutation", &self.mutation)
+            .field("durability", &self.durability)
             .field("max_retries", &self.max_retries)
             .field("retry_backoff", &self.retry_backoff)
             .field("recovery", &self.recovery)
@@ -470,6 +497,25 @@ pub struct ServiceStats {
     pub delta_entries: u64,
     /// Estimated bytes of the live delta overlays.
     pub delta_bytes: u64,
+    /// WAL records appended — update batches plus commit fences (zero
+    /// with durability off, like every durability counter below).
+    pub wal_records: u64,
+    /// Bytes appended to the update WAL.
+    pub wal_bytes: u64,
+    /// Epoch snapshots that reached their final name on disk.
+    pub snapshots_written: u64,
+    /// Bytes of encoded snapshot data written (including writes whose
+    /// rename was lost to fault injection).
+    pub snapshot_bytes: u64,
+    /// WAL records replayed by recovery when this service opened.
+    pub wal_replayed: u64,
+    /// Snapshot files rejected by checksum/decode during recovery.
+    pub snapshots_corrupt: u64,
+    /// Crash recoveries performed (1 when this service was rebuilt
+    /// from durable state by [`QueryService::open_or_recover`]).
+    pub durable_recoveries: u64,
+    /// Epoch of the newest snapshot on disk.
+    pub last_snapshot_epoch: u64,
     /// Per-query admission wait: submission → batch dispatch (mean
     /// over the query's traversals).
     pub admission_wait: ResponseStats,
@@ -621,6 +667,14 @@ struct ServiceObs {
     mutation_pending: Arc<Gauge>,
     mutation_delta_entries: Arc<Gauge>,
     mutation_delta_bytes: Arc<Gauge>,
+    durability_wal_records: Arc<Counter>,
+    durability_wal_bytes: Arc<Counter>,
+    durability_snapshots_written: Arc<Counter>,
+    durability_snapshot_bytes: Arc<Counter>,
+    durability_wal_replayed: Arc<Counter>,
+    durability_snapshots_corrupt: Arc<Counter>,
+    durability_recoveries: Arc<Counter>,
+    durability_last_snapshot_epoch: Arc<Gauge>,
 }
 
 impl ServiceObs {
@@ -744,7 +798,51 @@ impl ServiceObs {
                 "cgraph_mutation_delta_bytes",
                 "Estimated bytes of the live delta overlays.",
             ),
+            durability_wal_records: m.counter(
+                "cgraph_durability_wal_records_total",
+                "WAL records appended (update batches plus commit fences).",
+            ),
+            durability_wal_bytes: m
+                .counter("cgraph_durability_wal_bytes_total", "Bytes appended to the update WAL."),
+            durability_snapshots_written: m.counter(
+                "cgraph_durability_snapshots_total",
+                "Epoch snapshots that reached their final name on disk.",
+            ),
+            durability_snapshot_bytes: m.counter(
+                "cgraph_durability_snapshot_bytes_total",
+                "Bytes of encoded snapshot data written.",
+            ),
+            durability_wal_replayed: m.counter(
+                "cgraph_durability_wal_replayed_total",
+                "WAL records replayed by crash recovery.",
+            ),
+            durability_snapshots_corrupt: m.counter(
+                "cgraph_durability_snapshots_corrupt_total",
+                "Snapshot files rejected by checksum/decode during recovery.",
+            ),
+            durability_recoveries: m.counter(
+                "cgraph_durability_recoveries_total",
+                "Crash recoveries performed (service rebuilt from durable state).",
+            ),
+            durability_last_snapshot_epoch: m.gauge(
+                "cgraph_durability_last_snapshot_epoch",
+                "Epoch of the newest snapshot on disk.",
+            ),
         }
+    }
+
+    /// Folds a durability-stats snapshot into the counters — used once
+    /// at start-up to seed recovery-time and initial-snapshot counts
+    /// accumulated before the metric handles existed.
+    fn seed_durability(&self, d: &DurabilityStats) {
+        self.durability_wal_records.add(d.wal_records);
+        self.durability_wal_bytes.add(d.wal_bytes);
+        self.durability_snapshots_written.add(d.snapshots_written);
+        self.durability_snapshot_bytes.add(d.snapshot_bytes);
+        self.durability_wal_replayed.add(d.wal_replayed);
+        self.durability_snapshots_corrupt.add(d.snapshots_corrupt);
+        self.durability_recoveries.add(d.recoveries);
+        self.durability_last_snapshot_epoch.set(d.last_snapshot_epoch as i64);
     }
 
     /// Trace context for dispatcher events of batch `job`, attempt
@@ -770,15 +868,67 @@ struct QueryPlane {
 }
 
 impl QueryPlane {
-    fn new(cfg: &QueryPlaneConfig) -> Self {
+    fn new(cfg: &QueryPlaneConfig, epoch: u64) -> Self {
         Self {
             cache: cfg.cache_capacity_bytes.map(|b| Mutex::new(ResultCache::new(b))),
             coalescer: cfg.coalesce.then(|| Mutex::new(Coalescer::new())),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
             pack_locality: cfg.pack_locality,
             fairness: cfg.locality_fairness,
         }
     }
+}
+
+/// Rejects configuration values the service cannot run with — caught
+/// here, at construction, instead of surfacing later as a stuck
+/// dispatcher (a zero commit threshold would commit on every update)
+/// or a batch-time engine error (a zero checkpoint interval).
+fn validate_config(config: &ServiceConfig) -> Result<(), ServiceError> {
+    if config.recovery.checkpoint_interval == 0 {
+        return Err(ServiceError::InvalidConfig(
+            "recovery.checkpoint_interval must be non-zero (a zero interval can never \
+             commit a checkpoint)"
+                .into(),
+        ));
+    }
+    if config.mutation.commit_threshold == Some(0) {
+        return Err(ServiceError::InvalidConfig(
+            "mutation.commit_threshold must be non-zero; use None for explicit-only commits".into(),
+        ));
+    }
+    if let Some(d) = &config.durability {
+        if d.snapshot_every == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "durability.snapshot_every must be non-zero (the cadence counts commits \
+                 between snapshots)"
+                    .into(),
+            ));
+        }
+        if d.keep_snapshots == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "durability.keep_snapshots must be at least 1 (retaining zero snapshots \
+                 would prune the recovery point itself)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The disk-fault injector selected by the service's chaos plan, if
+/// any of its disk probabilities are armed. Disk faults are seeded by
+/// the plan but scoped by operation count, not by chaos job — WAL
+/// appends and snapshot writes are not batches.
+fn disk_faults(config: &ServiceConfig) -> Option<DiskFaults> {
+    config.fault_plan.as_ref().filter(|p| p.disk_faulty()).map(|p| {
+        DiskFaults::new(
+            p.seed,
+            p.torn_write_prob,
+            p.short_write_prob,
+            p.bit_flip_prob,
+            p.rename_lost_prob,
+        )
+    })
 }
 
 struct Shared {
@@ -787,9 +937,14 @@ struct Shared {
     lanes: usize,
     plane: QueryPlane,
     state: Mutex<QueueState>,
-    /// Buffered mutations. Leaf lock like the query-plane locks —
-    /// acquired *after* [`Shared::state`] whenever both are held.
+    /// Buffered mutations. Acquired *after* [`Shared::state`] whenever
+    /// both are held; [`Shared::durability`] nests inside it in turn.
     pending: Mutex<PendingUpdates>,
+    /// The durability plane (WAL + snapshots); `None` runs in memory
+    /// only. Strict leaf lock: acquired *inside* [`Shared::pending`]
+    /// on the write-ahead path, so WAL order always equals buffer
+    /// order; never acquire [`Shared::pending`] while holding it.
+    durability: Option<Mutex<DurabilityPlane>>,
     /// Wakes the dispatcher (work arrived / commit due / service
     /// closed).
     work: Condvar,
@@ -823,7 +978,114 @@ pub struct QueryService {
 impl QueryService {
     /// Spawns the persistent cluster (one parked thread per engine
     /// machine) and the dispatcher, then starts accepting queries.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration or a durability failure — this is
+    /// the infallible-signature convenience over
+    /// [`QueryService::try_start`], which returns the error instead.
     pub fn start(engine: Arc<DistributedEngine>, config: ServiceConfig) -> Self {
+        Self::try_start(engine, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`QueryService::start`] with the failure modes surfaced:
+    /// rejects invalid knob values ([`ServiceError::InvalidConfig`])
+    /// before any thread is spawned, and — with
+    /// [`ServiceConfig::durability`] set — opens the data directory
+    /// for a *fresh* durable run, writing the initial epoch snapshot.
+    /// A directory already holding durable state is refused
+    /// ([`ServiceError::Durability`]): restarting over existing state
+    /// is what [`QueryService::open_or_recover`] is for, and silently
+    /// overwriting it would discard committed updates.
+    pub fn try_start(
+        engine: Arc<DistributedEngine>,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        validate_config(&config)?;
+        let plane = match &config.durability {
+            Some(dcfg) => {
+                let scan = crate::durability::scan_for_start(&dcfg.dir)
+                    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+                if scan.has_state() {
+                    return Err(ServiceError::Durability(format!(
+                        "data directory {} already holds durable state; \
+                         use QueryService::open_or_recover to resume from it",
+                        dcfg.dir.display()
+                    )));
+                }
+                let mut plane =
+                    DurabilityPlane::open(dcfg.clone(), &scan, disk_faults(&config), false)
+                        .map_err(|e| ServiceError::Durability(e.to_string()))?;
+                plane
+                    .write_snapshot(&engine)
+                    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+                Some(plane)
+            }
+            None => None,
+        };
+        Ok(Self::start_inner(engine, config, plane, Vec::new(), None))
+    }
+
+    /// Opens (or creates) the durable data directory and resumes from
+    /// whatever committed state survives there: the newest snapshot
+    /// whose every frame checksums, plus the WAL tail replayed past
+    /// its sequence number. Logged-but-uncommitted updates return to
+    /// the pending buffer; a torn WAL tail is truncated; the recovered
+    /// epoch fences the result cache, so no answer from a pre-crash
+    /// epoch can ever be served. On a directory with no usable state
+    /// this *is* the fresh durable start, ingesting `edges` at epoch
+    /// 0 — so one call site handles first boot and every restart:
+    ///
+    /// `edges` must be the same base graph the original run started
+    /// from (recovery replays the WAL from sequence 0 onto it when no
+    /// snapshot survived).
+    pub fn open_or_recover(
+        edges: &EdgeList,
+        engine_config: EngineConfig,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryOutcome), ServiceError> {
+        validate_config(&config)?;
+        let dcfg = config.durability.clone().ok_or_else(|| {
+            ServiceError::InvalidConfig(
+                "open_or_recover needs ServiceConfig::durability set".into(),
+            )
+        })?;
+        std::fs::create_dir_all(&dcfg.dir).map_err(|e| ServiceError::Durability(e.to_string()))?;
+        let (state, scan) =
+            recover(&dcfg.dir, engine_config, config.mutation.fold_threshold, || {
+                DistributedEngine::new(edges, engine_config)
+            })
+            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        let mut plane =
+            DurabilityPlane::open(dcfg, &scan, disk_faults(&config), state.outcome.recovered)
+                .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        plane.note_recovery(&state.outcome);
+        // Checkpoint the recovered (or fresh) state right away: the
+        // next restart resumes from here instead of replaying the
+        // whole WAL, and a fresh directory gets its base snapshot.
+        plane.write_snapshot(&state.engine).map_err(|e| ServiceError::Durability(e.to_string()))?;
+        let outcome = state.outcome.clone();
+        let service = Self::start_inner(
+            Arc::new(state.engine),
+            config,
+            Some(plane),
+            state.pending,
+            Some(&outcome),
+        );
+        Ok((service, outcome))
+    }
+
+    /// The one construction path: wires the shared state and spawns
+    /// the dispatcher. `restored_pending` updates are already in the
+    /// WAL (recovery restored them) — they enter the buffer without
+    /// being re-appended.
+    fn start_inner(
+        engine: Arc<DistributedEngine>,
+        config: ServiceConfig,
+        durability: Option<DurabilityPlane>,
+        restored_pending: Vec<EdgeUpdate>,
+        recovery: Option<&RecoveryOutcome>,
+    ) -> Self {
         let lanes = QueryScheduler::new(&engine, config.scheduler).effective_lanes();
         let cluster =
             PersistentCluster::with_model(engine.num_machines(), engine.config().net_model);
@@ -831,16 +1093,29 @@ impl QueryService {
             cluster.set_obs(Arc::clone(o));
             let so = ServiceObs::new(o, lanes);
             so.batch_width.set(LaneWidth::for_lanes(lanes).bits() as i64);
+            if let Some(p) = &durability {
+                so.seed_durability(&p.stats());
+            }
+            so.mutation_pending.set(restored_pending.len() as i64);
+            if let Some(rec) = recovery.filter(|r| r.recovered) {
+                // Emitted before the dispatcher exists, so its position
+                // in the coordinator trace is deterministic.
+                so.tracer.instant("durable_recover", so.ctx(0, 0), rec.epoch);
+            }
             so
         });
-        let plane = QueryPlane::new(&config.query_plane);
+        let plane = QueryPlane::new(&config.query_plane, engine.graph_epoch());
         let shared = Arc::new(Shared {
             engine,
             config,
             lanes,
             plane,
             state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
-            pending: Mutex::new(PendingUpdates::default()),
+            pending: Mutex::new(PendingUpdates {
+                updates: restored_pending,
+                ..PendingUpdates::default()
+            }),
+            durability: durability.map(Mutex::new),
             work: Condvar::new(),
             space: Condvar::new(),
             metrics: Mutex::new(MetricsAcc::default()),
@@ -999,7 +1274,27 @@ impl QueryService {
             return Err(ServiceError::ShutDown);
         }
         let mut p = lock(&shared.pending);
-        p.updates.extend(batch.into_updates());
+        let updates = batch.into_updates();
+        // Write-ahead: the batch is in the WAL before it is buffered
+        // anywhere. Appending under the pending lock keeps WAL order
+        // identical to buffer order, so replay reconstructs the exact
+        // commit contents. A failed append refuses the batch whole —
+        // accepting updates a crash would lose is the one thing a
+        // durable service must never do.
+        if !updates.is_empty() {
+            if let Some(dm) = &shared.durability {
+                match lock(dm).append_updates(&updates) {
+                    Ok((_seq, bytes)) => {
+                        if let Some(o) = &shared.obs {
+                            o.durability_wal_records.inc();
+                            o.durability_wal_bytes.add(bytes);
+                        }
+                    }
+                    Err(e) => return Err(ServiceError::Durability(e.to_string())),
+                }
+            }
+        }
+        p.updates.extend(updates);
         let depth = p.updates.len();
         let threshold_hit =
             shared.config.mutation.commit_threshold.is_some_and(|t| depth >= t) && !p.requested;
@@ -1073,6 +1368,7 @@ impl QueryService {
             None => (0, 0),
         };
         let pending_updates = lock(&self.shared.pending).updates.len() as u64;
+        let dur = self.shared.durability.as_ref().map(|dm| lock(dm).stats()).unwrap_or_default();
         let m = lock(&self.shared.metrics);
         ServiceStats {
             queries_completed: m.completed,
@@ -1101,6 +1397,14 @@ impl QueryService {
             pending_updates,
             delta_entries: m.delta_entries,
             delta_bytes: m.delta_bytes,
+            wal_records: dur.wal_records,
+            wal_bytes: dur.wal_bytes,
+            snapshots_written: dur.snapshots_written,
+            snapshot_bytes: dur.snapshot_bytes,
+            wal_replayed: dur.wal_replayed,
+            snapshots_corrupt: dur.snapshots_corrupt,
+            durable_recoveries: dur.recoveries,
+            last_snapshot_epoch: dur.last_snapshot_epoch,
             admission_wait: ResponseStats::new(m.wait.clone()),
             exec: ResponseStats::new(m.exec.clone()),
             response: ResponseStats::new(m.response.clone()),
@@ -1181,6 +1485,15 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
                         // is closed (commit_epoch refuses after close),
                         // so no waiter can be stranded by exiting.
                         drop(st);
+                        // Shutdown barrier: buffered-but-uncommitted
+                        // updates are already WAL-logged (write-ahead);
+                        // the sync makes them crash-proof before
+                        // shutdown() returns to the caller.
+                        if let Some(dm) = &shared.durability {
+                            if let Err(e) = lock(dm).sync() {
+                                eprintln!("cgraph durability: WAL sync at shutdown failed: {e}");
+                            }
+                        }
                         ctx.cluster.shutdown();
                         return;
                     }
@@ -1212,8 +1525,9 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
             }
         };
         let Some(formed) = formed else {
-            if let Some((updates, waiters)) = take_commit_request(shared) {
-                perform_commit(shared, &mut ctx, updates, waiters);
+            let next_epoch = ctx.engine.graph_epoch() + 1;
+            if let Some((updates, waiters, wal_seq)) = take_commit_request(shared, next_epoch) {
+                perform_commit(shared, &mut ctx, updates, waiters, wal_seq);
             }
             continue;
         };
@@ -1418,18 +1732,45 @@ fn backoff_delay(base: Duration, retry: u32, job: u64) -> Duration {
     exp + Duration::from_nanos(z % (base.as_nanos().max(1) as u64))
 }
 
+/// What [`take_commit_request`] hands the dispatcher: the drained
+/// update buffer, the commit waiters to reply to, and — with
+/// durability on — the sequence number of the fence appended to the
+/// WAL.
+type CommitRequest = (Vec<EdgeUpdate>, Vec<crossbeam_channel::Sender<u64>>, Option<u64>);
+
 /// Takes the pending commit request, if one is due: the buffered
-/// updates and the waiters to reply to. Clears the request flag so a
-/// request enqueued *during* the commit is seen as a fresh one.
-fn take_commit_request(
-    shared: &Shared,
-) -> Option<(Vec<EdgeUpdate>, Vec<crossbeam_channel::Sender<u64>>)> {
+/// updates, the waiters to reply to, and — with durability on — the
+/// sequence number of the commit fence appended (and synced) to the
+/// WAL. Clears the request flag so a request enqueued *during* the
+/// commit is seen as a fresh one. The fence is written under the
+/// pending lock, in the same critical section that drains the buffer:
+/// every update record logged before it is exactly the drained batch,
+/// so replay reconstructs this commit bit-identically.
+fn take_commit_request(shared: &Shared, next_epoch: u64) -> Option<CommitRequest> {
     let mut p = lock(&shared.pending);
     if !p.requested {
         return None;
     }
     p.requested = false;
-    Some((std::mem::take(&mut p.updates), std::mem::take(&mut p.waiters)))
+    let updates = std::mem::take(&mut p.updates);
+    let waiters = std::mem::take(&mut p.waiters);
+    let mut wal_seq = None;
+    if let Some(dm) = &shared.durability {
+        match lock(dm).append_commit(next_epoch) {
+            Ok((seq, bytes)) => {
+                wal_seq = Some(seq);
+                if let Some(o) = &shared.obs {
+                    o.durability_wal_records.inc();
+                    o.durability_wal_bytes.add(bytes);
+                }
+            }
+            // The in-memory commit still proceeds: durability degrades
+            // (this epoch may replay short after a crash) but serving
+            // must not stall on a sick disk.
+            Err(e) => eprintln!("cgraph durability: commit fence append failed: {e}"),
+        }
+    }
+    Some((updates, waiters, wal_seq))
 }
 
 /// Performs one epoch commit on the dispatcher thread, between
@@ -1445,6 +1786,7 @@ fn perform_commit(
     ctx: &mut DispatchCtx,
     updates: Vec<EdgeUpdate>,
     waiters: Vec<crossbeam_channel::Sender<u64>>,
+    wal_seq: Option<u64>,
 ) {
     let (engine, folded) = ctx.engine.with_updates(&updates, shared.config.mutation.fold_threshold);
     let new_epoch = engine.graph_epoch();
@@ -1488,6 +1830,32 @@ fn perform_commit(
             o.cache_bytes.set(bytes);
         }
         o.tracer.instant("epoch_commit", o.ctx(ctx.batch_seq, 0), new_epoch);
+        if let Some(seq) = wal_seq {
+            o.tracer.instant("wal_commit", o.ctx(ctx.batch_seq, 0), seq);
+        }
+    }
+    // Snapshot cadence: every `snapshot_every`-th commit persists the
+    // whole new engine value, bounding how much WAL a restart replays.
+    // A failed or rename-lost write is survivable — the WAL alone
+    // recovers this epoch; the cadence counter stays primed so the
+    // next commit retries.
+    if let Some(dm) = &shared.durability {
+        let mut d = lock(dm);
+        if d.snapshot_due() {
+            match d.write_snapshot(&ctx.engine) {
+                Ok((bytes, renamed)) => {
+                    if let Some(o) = &shared.obs {
+                        o.durability_snapshot_bytes.add(bytes);
+                        if renamed {
+                            o.durability_snapshots_written.inc();
+                            o.durability_last_snapshot_epoch.set(new_epoch as i64);
+                            o.tracer.instant("snapshot_write", o.ctx(ctx.batch_seq, 0), new_epoch);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("cgraph durability: snapshot write failed: {e}"),
+            }
+        }
     }
     for w in waiters {
         let _ = w.send(new_epoch);

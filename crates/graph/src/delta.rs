@@ -291,10 +291,7 @@ impl DeltaOverlay {
     /// Approximate heap bytes held by the overlay — what the scheduler
     /// cost model charges against the memory budget.
     pub fn size_bytes(&self) -> usize {
-        self.rows
-            .values()
-            .map(|r| 48 + r.inserts.len() * 12 + r.deletes.len() * 8)
-            .sum::<usize>()
+        self.rows.values().map(|r| 48 + r.inserts.len() * 12 + r.deletes.len() * 8).sum::<usize>()
     }
 
     /// The *effective* out-adjacency of source `v`: `base` (sorted by

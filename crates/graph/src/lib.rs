@@ -35,6 +35,7 @@ pub mod delta;
 pub mod edge;
 pub mod edge_set;
 pub mod props;
+pub mod snapshot;
 pub mod stats;
 pub mod tile_store;
 pub mod types;
@@ -48,6 +49,10 @@ pub use delta::{DeltaOverlay, DeltaRow, EdgeUpdate, UpdateBatch};
 pub use edge::{Edge, EdgeList};
 pub use edge_set::{ConsolidationPolicy, EdgeSet, EdgeSetGraph, EdgeSetLayout};
 pub use props::{EdgeProps, VertexProps};
+pub use snapshot::{
+    decode_snapshot, decode_wal, encode_snapshot, encode_wal_record, CodecError, DiskFaults,
+    PartitionData, SnapshotData, WalRecord,
+};
 pub use stats::{DegreeStats, GraphStats};
 pub use tile_store::{TileCache, TileCacheStats, TileStore};
 pub use types::{LocalVertexId, VertexId, Weight, INVALID_VERTEX};

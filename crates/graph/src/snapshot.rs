@@ -1,0 +1,781 @@
+//! On-disk codecs of the durability plane: checksummed epoch snapshots
+//! and the update write-ahead log (WAL).
+//!
+//! This module is pure bytes — no filesystem access, no threads — so
+//! the formats can be property-tested in isolation and reused by any
+//! I/O layer. The durability plane in `cgraph-core` owns the files;
+//! this module owns what is *in* them.
+//!
+//! # Frame format
+//!
+//! Both the snapshot and the WAL are sequences of **frames**:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload. A reader stops at the
+//! first frame whose length runs past the buffer or whose checksum
+//! fails — a torn tail is detected, never parsed. That single rule is
+//! what makes `kill -9` mid-append safe: the prefix of intact frames
+//! is exactly the committed history.
+//!
+//! # Snapshot layout
+//!
+//! One snapshot file is a header frame, one frame per partition, and a
+//! terminal `END` frame (so truncation *between* frames is detectable
+//! too — a snapshot without its END frame is torn and rejected whole):
+//!
+//! ```text
+//! frame 0   : HEADER  magic, version, epoch, last WAL seq covered,
+//!             num_vertices, partition ranges
+//! frame 1..p: PARTITION  base out-adjacency rows + delta-overlay rows
+//! frame p+1 : END
+//! ```
+//!
+//! # WAL records
+//!
+//! Each WAL frame carries one record: `Updates { seq, updates }`
+//! (buffered edge updates, appended *before* they are applied) or
+//! `Commit { seq, epoch }` (an epoch-commit fence). Sequence numbers
+//! are strictly increasing, so replay is idempotent — a record at or
+//! below a snapshot's covered sequence number is skipped.
+
+use crate::delta::EdgeUpdate;
+use crate::types::{VertexId, Weight};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Current snapshot format version (bumped on layout changes).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic prefix of a snapshot header frame.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CGSNAP01";
+
+const TAG_HEADER: u8 = 1;
+const TAG_PARTITION: u8 = 2;
+const TAG_END: u8 = 3;
+
+const TAG_WAL_UPDATES: u8 = 1;
+const TAG_WAL_COMMIT: u8 = 2;
+
+/// Why a snapshot or WAL buffer failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// A frame's checksum failed or its length ran past the buffer —
+    /// the data is torn or corrupt at the reported byte offset.
+    Corrupt(usize),
+    /// The payload decoded but violated the format (bad magic, version
+    /// skew, missing END frame, truncated field).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Corrupt(at) => write!(f, "checksum failure or torn frame at byte {at}"),
+            CodecError::Malformed(what) => write!(f, "malformed durability data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven — no external dependencies.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes` (the checksum every frame carries).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// Appends one `[len][crc][payload]` frame to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Reads the frame starting at `*pos`, advancing `*pos` past it.
+/// Returns `None` on a torn tail (short header, length past the
+/// buffer, or checksum mismatch) — the caller must not read further.
+pub fn read_frame<'a>(data: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let start = *pos;
+    if data.len() - start < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[start..start + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(data[start + 4..start + 8].try_into().unwrap());
+    let body_start = start + 8;
+    if data.len() - body_start < len {
+        return None;
+    }
+    let payload = &data[body_start..body_start + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    *pos = body_start + len;
+    Some(payload)
+}
+
+// Little-endian primitive helpers over a cursor.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.data.len() - self.pos < n {
+            return Err(CodecError::Malformed(format!(
+                "field of {n} bytes runs past payload end ({} of {})",
+                self.pos,
+                self.data.len()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------
+
+/// Weighted adjacency rows as persisted: `(source, sorted
+/// [(dst, weight)])`, non-empty rows only, sources ascending.
+pub type WeightedRows = Vec<(VertexId, Vec<(VertexId, Weight)>)>;
+
+/// One partition's persisted state: the base out-adjacency (only
+/// non-empty rows, sorted destinations with weights) plus the live
+/// delta-overlay rows (inserted edges and deleted destinations).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PartitionData {
+    /// Base out-edges: `(source, sorted [(dst, weight)])`, non-empty
+    /// rows only, sources ascending.
+    pub base_rows: WeightedRows,
+    /// Delta-overlay insert rows: `(source, sorted [(dst, weight)])`.
+    pub delta_inserts: WeightedRows,
+    /// Delta-overlay delete rows: `(source, sorted [dst])`.
+    pub delta_deletes: Vec<(VertexId, Vec<VertexId>)>,
+}
+
+/// A fully decoded epoch snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotData {
+    /// The committed graph epoch this snapshot captures.
+    pub epoch: u64,
+    /// Highest WAL sequence number whose effects the snapshot already
+    /// contains; replay skips records at or below it.
+    pub last_seq: u64,
+    /// Total vertices in the graph.
+    pub num_vertices: u64,
+    /// Contiguous `[start, end)` vertex range of each partition.
+    pub ranges: Vec<(u64, u64)>,
+    /// Per-partition base + delta state, one entry per range.
+    pub partitions: Vec<PartitionData>,
+}
+
+fn encode_weighted_rows(out: &mut Vec<u8>, rows: &[(VertexId, Vec<(VertexId, Weight)>)]) {
+    out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    for (src, edges) in rows {
+        out.extend_from_slice(&src.to_le_bytes());
+        out.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for (dst, w) in edges {
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn decode_weighted_rows(r: &mut Reader<'_>) -> Result<WeightedRows, CodecError> {
+    let n = r.u64()? as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let src = r.u64()?;
+        let deg = r.u32()? as usize;
+        let mut edges = Vec::with_capacity(deg.min(1 << 20));
+        for _ in 0..deg {
+            let dst = r.u64()?;
+            let w = r.f32()?;
+            edges.push((dst, w));
+        }
+        rows.push((src, edges));
+    }
+    Ok(rows)
+}
+
+/// Encodes `snap` into its on-disk byte representation (header frame,
+/// partition frames, END frame).
+pub fn encode_snapshot(snap: &SnapshotData) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut header = Vec::new();
+    header.push(TAG_HEADER);
+    header.extend_from_slice(&SNAPSHOT_MAGIC);
+    header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    header.extend_from_slice(&snap.epoch.to_le_bytes());
+    header.extend_from_slice(&snap.last_seq.to_le_bytes());
+    header.extend_from_slice(&snap.num_vertices.to_le_bytes());
+    header.extend_from_slice(&(snap.ranges.len() as u32).to_le_bytes());
+    for &(start, end) in &snap.ranges {
+        header.extend_from_slice(&start.to_le_bytes());
+        header.extend_from_slice(&end.to_le_bytes());
+    }
+    write_frame(&mut out, &header);
+
+    for (i, part) in snap.partitions.iter().enumerate() {
+        let mut body = Vec::new();
+        body.push(TAG_PARTITION);
+        body.extend_from_slice(&(i as u32).to_le_bytes());
+        encode_weighted_rows(&mut body, &part.base_rows);
+        encode_weighted_rows(&mut body, &part.delta_inserts);
+        body.extend_from_slice(&(part.delta_deletes.len() as u64).to_le_bytes());
+        for (src, dels) in &part.delta_deletes {
+            body.extend_from_slice(&src.to_le_bytes());
+            body.extend_from_slice(&(dels.len() as u32).to_le_bytes());
+            for d in dels {
+                body.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        write_frame(&mut out, &body);
+    }
+    write_frame(&mut out, &[TAG_END]);
+    out
+}
+
+/// Decodes and fully validates a snapshot buffer. Every frame must
+/// checksum, the header must carry the current magic/version, every
+/// declared partition must be present, and the END frame must close
+/// the file — anything less is an error, so a torn or bit-flipped
+/// snapshot is rejected whole and recovery falls back to an older one.
+pub fn decode_snapshot(data: &[u8]) -> Result<SnapshotData, CodecError> {
+    let mut pos = 0usize;
+    let header = read_frame(data, &mut pos).ok_or(CodecError::Corrupt(0))?;
+    let mut r = Reader::new(header);
+    if r.u8()? != TAG_HEADER {
+        return Err(CodecError::Malformed("first frame is not a snapshot header".into()));
+    }
+    if r.bytes(8)? != SNAPSHOT_MAGIC {
+        return Err(CodecError::Malformed("bad snapshot magic".into()));
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(CodecError::Malformed(format!(
+            "snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    let epoch = r.u64()?;
+    let last_seq = r.u64()?;
+    let num_vertices = r.u64()?;
+    let p = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(p);
+    for _ in 0..p {
+        let start = r.u64()?;
+        let end = r.u64()?;
+        ranges.push((start, end));
+    }
+    if !r.done() {
+        return Err(CodecError::Malformed("trailing bytes in snapshot header".into()));
+    }
+
+    let mut partitions: Vec<PartitionData> = Vec::with_capacity(p);
+    loop {
+        let at = pos;
+        let frame = read_frame(data, &mut pos).ok_or(CodecError::Corrupt(at))?;
+        let mut r = Reader::new(frame);
+        match r.u8()? {
+            TAG_PARTITION => {
+                let id = r.u32()? as usize;
+                if id != partitions.len() {
+                    return Err(CodecError::Malformed(format!(
+                        "partition frame {id} out of order (expected {})",
+                        partitions.len()
+                    )));
+                }
+                let base_rows = decode_weighted_rows(&mut r)?;
+                let delta_inserts = decode_weighted_rows(&mut r)?;
+                let nd = r.u64()? as usize;
+                let mut delta_deletes = Vec::with_capacity(nd.min(1 << 20));
+                for _ in 0..nd {
+                    let src = r.u64()?;
+                    let k = r.u32()? as usize;
+                    let mut dels = Vec::with_capacity(k.min(1 << 20));
+                    for _ in 0..k {
+                        dels.push(r.u64()?);
+                    }
+                    delta_deletes.push((src, dels));
+                }
+                if !r.done() {
+                    return Err(CodecError::Malformed("trailing bytes in partition frame".into()));
+                }
+                partitions.push(PartitionData { base_rows, delta_inserts, delta_deletes });
+            }
+            TAG_END => {
+                if partitions.len() != p {
+                    return Err(CodecError::Malformed(format!(
+                        "snapshot ended after {} of {p} partitions",
+                        partitions.len()
+                    )));
+                }
+                return Ok(SnapshotData { epoch, last_seq, num_vertices, ranges, partitions });
+            }
+            other => {
+                return Err(CodecError::Malformed(format!("unknown snapshot frame tag {other}")))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAL codec
+// ---------------------------------------------------------------------
+
+/// One write-ahead-log record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// Edge updates buffered via `apply_updates`, logged *before* they
+    /// are applied anywhere.
+    Updates {
+        /// Strictly increasing record sequence number.
+        seq: u64,
+        /// The buffered updates, in submission order.
+        updates: Vec<EdgeUpdate>,
+    },
+    /// An epoch-commit fence: every `Updates` record logged before it
+    /// (and after the previous `Commit`) folds into `epoch`.
+    Commit {
+        /// Strictly increasing record sequence number.
+        seq: u64,
+        /// The graph epoch this commit publishes.
+        epoch: u64,
+    },
+}
+
+impl WalRecord {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            WalRecord::Updates { seq, .. } | WalRecord::Commit { seq, .. } => seq,
+        }
+    }
+}
+
+/// Encodes one WAL record as a single frame.
+pub fn encode_wal_record(rec: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    match rec {
+        WalRecord::Updates { seq, updates } => {
+            body.push(TAG_WAL_UPDATES);
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+            for u in updates {
+                match *u {
+                    EdgeUpdate::Insert { src, dst, weight } => {
+                        body.push(1);
+                        body.extend_from_slice(&src.to_le_bytes());
+                        body.extend_from_slice(&dst.to_le_bytes());
+                        body.extend_from_slice(&weight.to_bits().to_le_bytes());
+                    }
+                    EdgeUpdate::Delete { src, dst } => {
+                        body.push(0);
+                        body.extend_from_slice(&src.to_le_bytes());
+                        body.extend_from_slice(&dst.to_le_bytes());
+                        body.extend_from_slice(&0u32.to_le_bytes());
+                    }
+                }
+            }
+        }
+        WalRecord::Commit { seq, epoch } => {
+            body.push(TAG_WAL_COMMIT);
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&epoch.to_le_bytes());
+        }
+    }
+    let mut out = Vec::new();
+    write_frame(&mut out, &body);
+    out
+}
+
+fn decode_wal_payload(payload: &[u8]) -> Result<WalRecord, CodecError> {
+    let mut r = Reader::new(payload);
+    let rec = match r.u8()? {
+        TAG_WAL_UPDATES => {
+            let seq = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut updates = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let kind = r.u8()?;
+                let src = r.u64()?;
+                let dst = r.u64()?;
+                let w = r.f32()?;
+                updates.push(if kind == 1 {
+                    EdgeUpdate::Insert { src, dst, weight: w }
+                } else {
+                    EdgeUpdate::Delete { src, dst }
+                });
+            }
+            WalRecord::Updates { seq, updates }
+        }
+        TAG_WAL_COMMIT => {
+            let seq = r.u64()?;
+            let epoch = r.u64()?;
+            WalRecord::Commit { seq, epoch }
+        }
+        other => return Err(CodecError::Malformed(format!("unknown WAL record tag {other}"))),
+    };
+    if !r.done() {
+        return Err(CodecError::Malformed("trailing bytes in WAL record".into()));
+    }
+    Ok(rec)
+}
+
+/// Decodes the valid prefix of a WAL buffer: the records of every
+/// intact frame plus the byte length of that prefix. Reading stops at
+/// the first torn or checksum-failing frame — a recovering process
+/// truncates the log to `valid_len` before appending again, so a torn
+/// tail is discarded exactly once and never parsed.
+pub fn decode_wal(data: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let before = pos;
+        let Some(payload) = read_frame(data, &mut pos) else {
+            return (records, before);
+        };
+        match decode_wal_payload(payload) {
+            Ok(rec) => {
+                // Sequence numbers must be strictly increasing; a
+                // regression means the tail predates a truncation we
+                // must not replay.
+                if records.last().is_some_and(|last: &WalRecord| rec.seq() <= last.seq()) {
+                    return (records, before);
+                }
+                records.push(rec);
+            }
+            Err(_) => return (records, before),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic disk-fault injection
+// ---------------------------------------------------------------------
+
+/// Deterministic corruption of durability writes: torn writes (a
+/// suffix of the buffer is lost), short writes (a few tail bytes are
+/// lost), bit flips (one bit of the buffer is inverted), and lost
+/// renames (a finished temp file never reaches its final name).
+///
+/// Like the chaos plane's message faults, every decision is a pure
+/// `splitmix64` hash of `(seed, op_counter)` — no shared RNG stream —
+/// so a fault schedule replays identically regardless of thread
+/// timing, as long as the durability operations themselves are issued
+/// in a deterministic order.
+#[derive(Debug)]
+pub struct DiskFaults {
+    seed: u64,
+    torn_prob: f64,
+    short_prob: f64,
+    flip_prob: f64,
+    rename_lost_prob: f64,
+    ops: AtomicU64,
+}
+
+impl DiskFaults {
+    /// A fault injector with the given seed and per-operation
+    /// probabilities (each in `0..=1`).
+    pub fn new(seed: u64, torn: f64, short: f64, flip: f64, rename_lost: f64) -> Self {
+        Self {
+            seed,
+            torn_prob: torn,
+            short_prob: short,
+            flip_prob: flip,
+            rename_lost_prob: rename_lost,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// True when no disk fault can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.torn_prob == 0.0
+            && self.short_prob == 0.0
+            && self.flip_prob == 0.0
+            && self.rename_lost_prob == 0.0
+    }
+
+    /// Next uniform-in-`[0,1)` decision (plus a raw hash for derived
+    /// choices like offsets).
+    fn roll(&self) -> (f64, u64) {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(self.seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        ((h >> 11) as f64 / (1u64 << 53) as f64, h)
+    }
+
+    /// Applies at most one write fault to `bytes` (torn beats short
+    /// beats flip). Returns `true` when the buffer was mangled — the
+    /// caller should treat the write as "landed corrupted", exactly
+    /// what a crash mid-write leaves on disk.
+    pub fn mangle(&self, bytes: &mut Vec<u8>) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let (p_torn, h_torn) = self.roll();
+        if p_torn < self.torn_prob {
+            // Torn write: cut at a deterministic offset strictly inside
+            // the buffer, so at least one byte is written and at least
+            // one is lost.
+            let keep = 1 + (h_torn as usize % bytes.len().max(2).saturating_sub(1));
+            bytes.truncate(keep.min(bytes.len() - 1).max(1));
+            return true;
+        }
+        let (p_short, h_short) = self.roll();
+        if p_short < self.short_prob {
+            // Short write: the kernel accepted fewer bytes than asked —
+            // a small suffix (1..=8 bytes) vanishes.
+            let lost = 1 + (h_short as usize % 8).min(bytes.len() - 1);
+            let keep = bytes.len() - lost;
+            bytes.truncate(keep.max(1));
+            return true;
+        }
+        let (p_flip, h_flip) = self.roll();
+        if p_flip < self.flip_prob {
+            let bit = h_flip as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            return true;
+        }
+        false
+    }
+
+    /// True when the atomic rename publishing a finished temp file is
+    /// lost (the classic crash window between `write` and `rename`).
+    pub fn drop_rename(&self) -> bool {
+        let (p, _) = self.roll();
+        p < self.rename_lost_prob
+    }
+}
+
+/// The splitmix64 finalizer (same mixer the chaos plane uses).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> SnapshotData {
+        SnapshotData {
+            epoch: 7,
+            last_seq: 41,
+            num_vertices: 10,
+            ranges: vec![(0, 4), (4, 10)],
+            partitions: vec![
+                PartitionData {
+                    base_rows: vec![(0, vec![(1, 1.0), (2, 0.5)]), (3, vec![(9, 2.0)])],
+                    delta_inserts: vec![(1, vec![(7, 1.0)])],
+                    delta_deletes: vec![(0, vec![2])],
+                },
+                PartitionData {
+                    base_rows: vec![(4, vec![(0, 1.0)])],
+                    delta_inserts: vec![],
+                    delta_deletes: vec![(9, vec![0, 3])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample_snapshot();
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_any_truncation() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "truncation to {cut} of {} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_every_single_bit_flip() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        let snap = decode_snapshot(&bytes).unwrap();
+        for bit in 0..bytes.len() * 8 {
+            let mut b = bytes.clone();
+            b[bit / 8] ^= 1 << (bit % 8);
+            // A flip must either fail decode or (never) silently change
+            // the content; equality with the original is the only
+            // acceptable Ok outcome and CRC makes it unreachable.
+            match decode_snapshot(&b) {
+                Err(_) => {}
+                Ok(d) => assert_eq!(d, snap, "bit {bit} silently changed the snapshot"),
+            }
+        }
+    }
+
+    #[test]
+    fn wal_records_round_trip_and_tail_is_cut() {
+        let records = vec![
+            WalRecord::Updates {
+                seq: 1,
+                updates: vec![EdgeUpdate::insert(0, 1), EdgeUpdate::delete(2, 3)],
+            },
+            WalRecord::Commit { seq: 2, epoch: 1 },
+            WalRecord::Updates { seq: 3, updates: vec![EdgeUpdate::insert_weighted(4, 5, 2.5)] },
+        ];
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&encode_wal_record(r));
+        }
+        let (decoded, valid) = decode_wal(&log);
+        assert_eq!(decoded, records);
+        assert_eq!(valid, log.len());
+
+        // Every truncation yields a (possibly shorter) valid prefix and
+        // never a record past the cut.
+        for cut in 0..log.len() {
+            let (prefix, valid) = decode_wal(&log[..cut]);
+            assert!(valid <= cut);
+            assert!(prefix.len() <= records.len());
+            assert_eq!(prefix[..], records[..prefix.len()], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wal_stops_at_corruption_and_non_monotone_seq() {
+        let a = encode_wal_record(&WalRecord::Commit { seq: 1, epoch: 1 });
+        let b = encode_wal_record(&WalRecord::Commit { seq: 2, epoch: 2 });
+        let mut log = a.clone();
+        log.extend_from_slice(&b);
+        // Flip one payload bit of the first record: nothing decodes.
+        let mut torn = log.clone();
+        torn[9] ^= 0x40;
+        let (recs, valid) = decode_wal(&torn);
+        assert!(recs.is_empty());
+        assert_eq!(valid, 0);
+        // A stale (non-increasing) sequence number also stops replay.
+        let mut stale = b.clone();
+        stale.extend_from_slice(&a);
+        stale.extend_from_slice(&b);
+        let (recs, valid) = decode_wal(&stale);
+        assert_eq!(recs, vec![WalRecord::Commit { seq: 2, epoch: 2 }]);
+        assert_eq!(valid, b.len());
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic() {
+        let run = |seed| {
+            let f = DiskFaults::new(seed, 0.3, 0.2, 0.2, 0.1);
+            let mut outcomes = Vec::new();
+            for i in 0..64u8 {
+                let mut buf = vec![i; 64];
+                let mangled = f.mangle(&mut buf);
+                outcomes.push((mangled, buf));
+                outcomes.push((f.drop_rename(), Vec::new()));
+            }
+            outcomes
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+        assert!(run(7).iter().any(|(m, _)| *m), "faults must actually fire at these rates");
+    }
+
+    #[test]
+    fn empty_faults_never_fire() {
+        let f = DiskFaults::new(1, 0.0, 0.0, 0.0, 0.0);
+        assert!(f.is_empty());
+        let mut buf = vec![1, 2, 3];
+        assert!(!f.mangle(&mut buf));
+        assert_eq!(buf, vec![1, 2, 3]);
+        assert!(!f.drop_rename());
+    }
+
+    #[test]
+    fn mangled_frames_never_decode_as_valid() {
+        // Chaos sweep at the codec level: whatever mangle does to a WAL
+        // buffer, decode_wal returns only records that were really
+        // written, never a fabricated one.
+        let records: Vec<WalRecord> =
+            (1..=16).map(|s| WalRecord::Commit { seq: s, epoch: s }).collect();
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&encode_wal_record(r));
+        }
+        for seed in 0..50u64 {
+            let f = DiskFaults::new(seed, 0.5, 0.3, 0.5, 0.0);
+            let mut mangled = log.clone();
+            f.mangle(&mut mangled);
+            let (decoded, _) = decode_wal(&mangled);
+            assert!(decoded.len() <= records.len());
+            assert_eq!(decoded[..], records[..decoded.len()], "seed {seed}");
+        }
+    }
+}

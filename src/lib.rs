@@ -64,10 +64,11 @@ pub mod prelude {
     pub use cgraph_core::gas::{Gas, PageRank};
     pub use cgraph_core::traverse::ValueMode;
     pub use cgraph_core::{
-        DistributedEngine, EdgeUpdate, EngineConfig, FaultPlan, KhopQuery, MutationConfig,
-        QueryPlaneConfig, QueryResult, QueryScheduler, QueryService, RecoveryConfig,
-        RecoveryReport, ResponseStats, SchedulerConfig, ServiceConfig, ServiceError, ServiceStats,
-        UpdateBatch, UpdateMode, VertexProgram,
+        DistributedEngine, DurabilityConfig, DurabilityError, DurabilityStats, EdgeUpdate,
+        EngineConfig, FaultPlan, KhopQuery, MutationConfig, QueryPlaneConfig, QueryResult,
+        QueryScheduler, QueryService, RecoveryConfig, RecoveryOutcome, RecoveryReport,
+        ResponseStats, SchedulerConfig, ServiceConfig, ServiceError, ServiceStats, UpdateBatch,
+        UpdateMode, VertexProgram,
     };
     pub use cgraph_gen::Dataset;
     pub use cgraph_graph::{

@@ -1,0 +1,744 @@
+//! Crash-restart oracle for the durability plane: a durable
+//! [`QueryService`] must come back from **any** crash point —
+//! `kill -9` between commits, a torn WAL tail, a corrupt or lost
+//! snapshot — to a committed epoch whose answers are **bit-identical**
+//! to the same query asked of a graph rebuilt from scratch at that
+//! epoch, and recovery must never read past a failed checksum.
+//!
+//! The model is the same one `tests/mutation_plane.rs` uses: a plain
+//! `BTreeSet<(src, dst)>` per committed epoch, a reference BFS for
+//! `(visited, per_level)`. Crashes are simulated by (a) cutting the
+//! WAL at every byte offset, (b) flipping / truncating snapshot files,
+//! and (c) running the whole open → mutate → kill → reopen loop under
+//! a disk-fault [`FaultPlan`] (torn writes, bit flips, lost renames).
+
+use cgraph::prelude::*;
+use proptest::prelude::*;
+use std::collections::{BTreeSet, VecDeque};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic xorshift stream so every run replays identically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A deterministic sparse digraph on `n` vertices (no self-loops).
+fn seed_edges(n: u64, m: usize, seed: u64) -> BTreeSet<(u64, u64)> {
+    let mut rng = Rng(seed | 1);
+    let mut set = BTreeSet::new();
+    while set.len() < m {
+        let s = rng.below(n);
+        let t = rng.below(n);
+        if s != t {
+            set.insert((s, t));
+        }
+    }
+    set
+}
+
+fn edge_list(n: u64, edges: &BTreeSet<(u64, u64)>) -> EdgeList {
+    let mut l = EdgeList::with_num_vertices(n);
+    for &(s, t) in edges {
+        l.push_pair(s, t);
+    }
+    l.set_num_vertices(n);
+    let mut b = GraphBuilder::new();
+    b.add_edge_list(&l);
+    b.build().edges
+}
+
+/// Applies a batch to the model edge set (last update wins per pair).
+fn model_apply(set: &mut BTreeSet<(u64, u64)>, updates: &[EdgeUpdate]) {
+    for u in updates {
+        if u.is_insert() {
+            set.insert((u.src(), u.dst()));
+        } else {
+            set.remove(&(u.src(), u.dst()));
+        }
+    }
+}
+
+/// Reference `(visited, per_level)` by BFS over the model edge set,
+/// trailing zeros trimmed — matches [`QueryResult`]'s convention.
+fn reference(n: u64, edges: &BTreeSet<(u64, u64)>, src: u64, k: u32) -> (u64, Vec<u64>) {
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
+    for &(s, t) in edges {
+        adj[s as usize].push(t);
+    }
+    let mut seen = vec![false; n as usize];
+    let mut levels = vec![0u64; 1];
+    let mut q = VecDeque::new();
+    seen[src as usize] = true;
+    levels[0] = 1;
+    q.push_back((src, 0u32));
+    let mut visited = 1u64;
+    while let Some((v, d)) = q.pop_front() {
+        if d >= k {
+            continue;
+        }
+        for &t in &adj[v as usize] {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                visited += 1;
+                if levels.len() <= (d + 1) as usize {
+                    levels.resize((d + 2) as usize, 0);
+                }
+                levels[(d + 1) as usize] += 1;
+                q.push_back((t, d + 1));
+            }
+        }
+    }
+    while levels.last() == Some(&0) {
+        levels.pop();
+    }
+    (visited, levels)
+}
+
+/// A random update batch against the *current* model: deletes drawn
+/// from live edges, inserts anywhere (no self-loops).
+fn random_batch(
+    n: u64,
+    current: &BTreeSet<(u64, u64)>,
+    rng: &mut Rng,
+    len: usize,
+) -> Vec<EdgeUpdate> {
+    let live: Vec<(u64, u64)> = current.iter().copied().collect();
+    (0..len)
+        .map(|_| {
+            if !live.is_empty() && rng.below(3) == 0 {
+                let (s, t) = live[rng.below(live.len() as u64) as usize];
+                EdgeUpdate::delete(s, t)
+            } else {
+                loop {
+                    let s = rng.below(n);
+                    let t = rng.below(n);
+                    if s != t {
+                        break EdgeUpdate::insert(s, t);
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Asserts one service answer against the model snapshot at the
+/// answer's own epoch.
+fn check(history: &[BTreeSet<(u64, u64)>], n: u64, src: u64, k: u32, r: &QueryResult) {
+    assert!(
+        (r.epoch as usize) < history.len(),
+        "answer labelled epoch {} but only {} epochs exist",
+        r.epoch,
+        history.len()
+    );
+    let (visited, per_level) = reference(n, &history[r.epoch as usize], src, k);
+    assert_eq!(
+        r.visited, visited,
+        "visited diverges from scratch rebuild at epoch {} (src {src}, k {k})",
+        r.epoch
+    );
+    assert_eq!(
+        r.per_level, per_level,
+        "per_level diverges from scratch rebuild at epoch {} (src {src}, k {k})",
+        r.epoch
+    );
+}
+
+/// A self-cleaning data directory, unique across the concurrently
+/// running tests of this binary.
+struct TempDir(PathBuf);
+
+static TEMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let p = std::env::temp_dir()
+            .join(format!("cgraph-durplane-{tag}-{}-{seq}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        Self(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable_config(dir: &Path, snapshot_every: u64) -> ServiceConfig {
+    ServiceConfig {
+        max_batch_delay: Duration::from_micros(50),
+        durability: Some(DurabilityConfig::new(dir).snapshot_every(snapshot_every)),
+        ..Default::default()
+    }
+}
+
+/// Runs `rounds` of (batch, commit, spot-check query) against a live
+/// durable service, extending the epoch history and returning the
+/// batches in commit order.
+fn run_rounds(
+    svc: &QueryService,
+    n: u64,
+    model: &mut BTreeSet<(u64, u64)>,
+    history: &mut Vec<BTreeSet<(u64, u64)>>,
+    rng: &mut Rng,
+    rounds: usize,
+    batch_len: usize,
+) -> Vec<Vec<EdgeUpdate>> {
+    let mut batches = Vec::new();
+    for _ in 0..rounds {
+        let batch = random_batch(n, model, rng, batch_len);
+        model_apply(model, &batch);
+        svc.apply_updates(batch.iter().cloned().collect()).unwrap();
+        batches.push(batch);
+        let ep = svc.commit_epoch().unwrap();
+        history.push(model.clone());
+        assert_eq!(ep as usize, history.len() - 1, "epochs advance by one per commit");
+        let src = rng.below(n);
+        let r = svc.query(KhopQuery::single(history.len(), src, 2)).unwrap();
+        check(history, n, src, 2, &r);
+    }
+    batches
+}
+
+/// Sorted final-name snapshot files inside a data directory.
+fn snapshot_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cgs"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Copies a data directory, truncating `wal.log` to `wal_len` bytes.
+fn copy_dir_with_wal_prefix(src: &Path, dst: &Path, wal_len: usize) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let p = entry.unwrap().path();
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        if name == "wal.log" {
+            let bytes = fs::read(&p).unwrap();
+            fs::write(dst.join(&name), &bytes[..wal_len.min(bytes.len())]).unwrap();
+        } else {
+            fs::copy(&p, dst.join(&name)).unwrap();
+        }
+    }
+}
+
+/// Flips one byte in the middle of a file.
+fn flip_byte(path: &Path) {
+    let mut bytes = fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(path, bytes).unwrap();
+}
+
+/// Cold start, four committed epochs, graceful stop, reopen: the
+/// service must resume at the last committed epoch with every answer
+/// bit-identical to the scratch rebuild, and stay writable.
+#[test]
+fn restart_resumes_last_committed_epoch() {
+    const N: u64 = 32;
+    let tmp = TempDir::new("restart");
+    let base = seed_edges(N, 60, 0xD00D);
+    let edges = edge_list(N, &base);
+    let mut history = vec![base.clone()];
+    let mut model = base;
+    let mut rng = Rng(0xFEED);
+
+    let (svc, out) =
+        QueryService::open_or_recover(&edges, EngineConfig::new(2), durable_config(tmp.path(), 2))
+            .unwrap();
+    assert!(!out.recovered, "an empty data dir is a fresh start");
+    assert_eq!(out.epoch, 0);
+    run_rounds(&svc, N, &mut model, &mut history, &mut rng, 4, 10);
+    let stats = svc.stats();
+    assert!(stats.wal_records >= 8, "4 update records + 4 commit fences");
+    assert!(stats.snapshots_written >= 1);
+    svc.shutdown();
+    drop(svc);
+
+    let (svc, out) =
+        QueryService::open_or_recover(&edges, EngineConfig::new(2), durable_config(tmp.path(), 2))
+            .unwrap();
+    assert!(out.recovered);
+    assert_eq!(out.epoch, 4, "recovery lands on the last committed epoch");
+    assert_eq!(out.pending_restored, 0, "everything was committed before the stop");
+    for q in 0..8 {
+        let src = rng.below(N);
+        let k = 1 + rng.below(3) as u32;
+        let r = svc.query(KhopQuery::single(q, src, k)).unwrap();
+        assert_eq!(r.epoch, 4, "answers come from the recovered epoch");
+        check(&history, N, src, k, &r);
+    }
+    // The recovered service keeps committing where the old one left off.
+    run_rounds(&svc, N, &mut model, &mut history, &mut rng, 2, 8);
+    assert_eq!(svc.stats().durable_recoveries, 1);
+    svc.shutdown();
+}
+
+/// Cuts the WAL at **every byte offset** and recovers each prefix:
+/// the recovered epoch must always be a committed one, answers must
+/// match the scratch rebuild at that epoch, and a restored pending
+/// tail must be exactly the one logged-but-unfenced batch. This is the
+/// "never read past a failed checksum" guarantee made exhaustive.
+#[test]
+fn every_wal_prefix_recovers_to_a_committed_epoch() {
+    const N: u64 = 24;
+    const ROUNDS: usize = 3;
+    const BATCH: usize = 5;
+    let tmp = TempDir::new("walcut");
+    let base = seed_edges(N, 40, 0x7A11);
+    let edges = edge_list(N, &base);
+    let mut history = vec![base.clone()];
+    let mut model = base;
+    let mut rng = Rng(0x5EED);
+
+    // Huge cadence: only the base snapshot exists, the WAL carries all
+    // three epochs — every cut hits replayed state.
+    let (svc, _) = QueryService::open_or_recover(
+        &edges,
+        EngineConfig::new(2),
+        durable_config(tmp.path(), 1 << 32),
+    )
+    .unwrap();
+    let batches = run_rounds(&svc, N, &mut model, &mut history, &mut rng, ROUNDS, BATCH);
+    svc.shutdown();
+    drop(svc);
+
+    let wal = fs::read(tmp.path().join("wal.log")).unwrap();
+    assert!(!wal.is_empty());
+    let scratch = TempDir::new("walcut-scratch");
+    let mut prev_epoch = 0u64;
+    for cut in 0..=wal.len() {
+        let dir = scratch.path().join(format!("cut-{cut}"));
+        copy_dir_with_wal_prefix(tmp.path(), &dir, cut);
+        let (svc, out) = QueryService::open_or_recover(
+            &edges,
+            EngineConfig::new(2),
+            durable_config(&dir, 1 << 32),
+        )
+        .unwrap_or_else(|e| panic!("cut at byte {cut}/{} must recover: {e}", wal.len()));
+        assert!(
+            (out.epoch as usize) < history.len(),
+            "cut {cut}: recovered epoch {} was never committed",
+            out.epoch
+        );
+        assert!(
+            out.epoch >= prev_epoch,
+            "cut {cut}: longer prefixes never recover less ({} < {prev_epoch})",
+            out.epoch
+        );
+        prev_epoch = out.epoch;
+        let src = (cut as u64) % N;
+        let r = svc.query(KhopQuery::single(cut, src, 2)).unwrap();
+        assert_eq!(r.epoch, out.epoch);
+        check(&history, N, src, 2, &r);
+        if out.pending_restored > 0 {
+            // One batch per commit: a restored tail is exactly the
+            // batch logged after the last surviving fence.
+            let e = out.epoch as usize;
+            assert!(e < batches.len(), "cut {cut}: pending beyond the last batch");
+            assert_eq!(out.pending_restored, batches[e].len(), "cut {cut}");
+            let ep = svc.commit_epoch().unwrap();
+            assert_eq!(ep, out.epoch + 1);
+            let r = svc.query(KhopQuery::single(cut, src, 2)).unwrap();
+            assert_eq!(r.epoch, ep, "committing the restored tail reaches the next epoch");
+            check(&history, N, src, 2, &r);
+        }
+        svc.shutdown();
+        drop(svc);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    assert_eq!(prev_epoch as usize, ROUNDS, "the full WAL recovers every commit");
+}
+
+/// A corrupt or torn newest snapshot must be rejected by checksum and
+/// recovery must fall back — to an older snapshot, or all the way to
+/// the base graph + full WAL replay — still landing on the last
+/// committed epoch.
+#[test]
+fn corrupt_snapshots_fall_back_without_losing_commits() {
+    const N: u64 = 28;
+    const ROUNDS: usize = 5;
+    let tmp = TempDir::new("snapfall");
+    let base = seed_edges(N, 50, 0xCAFE);
+    let edges = edge_list(N, &base);
+    let mut history = vec![base.clone()];
+    let mut model = base;
+    let mut rng = Rng(0xF00D);
+
+    let (svc, _) =
+        QueryService::open_or_recover(&edges, EngineConfig::new(2), durable_config(tmp.path(), 1))
+            .unwrap();
+    run_rounds(&svc, N, &mut model, &mut history, &mut rng, ROUNDS, 8);
+    svc.shutdown();
+    drop(svc);
+    let snaps = snapshot_files(tmp.path());
+    assert!(snaps.len() >= 2, "cadence 1 must retain several snapshots");
+
+    // (a) bit flip in the newest snapshot → checksum rejects it,
+    // an older snapshot + WAL tail still reach the tip.
+    let scratch = TempDir::new("snapfall-flip");
+    copy_dir_with_wal_prefix(tmp.path(), scratch.path(), usize::MAX);
+    flip_byte(snapshot_files(scratch.path()).last().unwrap());
+    let (svc, out) = QueryService::open_or_recover(
+        &edges,
+        EngineConfig::new(2),
+        durable_config(scratch.path(), 1),
+    )
+    .unwrap();
+    assert!(out.recovered);
+    assert!(out.snapshots_corrupt >= 1, "the flipped snapshot must be counted corrupt");
+    assert_eq!(out.epoch as usize, ROUNDS, "fallback still recovers the tip");
+    let src = rng.below(N);
+    let r = svc.query(KhopQuery::single(0, src, 3)).unwrap();
+    check(&history, N, src, 3, &r);
+    assert!(svc.stats().snapshots_corrupt >= 1);
+    svc.shutdown();
+    drop(svc);
+
+    // (b) torn newest snapshot (no END frame) → same fallback.
+    let scratch = TempDir::new("snapfall-torn");
+    copy_dir_with_wal_prefix(tmp.path(), scratch.path(), usize::MAX);
+    let newest = snapshot_files(scratch.path()).last().unwrap().clone();
+    let bytes = fs::read(&newest).unwrap();
+    fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    let (svc, out) = QueryService::open_or_recover(
+        &edges,
+        EngineConfig::new(2),
+        durable_config(scratch.path(), 1),
+    )
+    .unwrap();
+    assert!(out.snapshots_corrupt >= 1);
+    assert_eq!(out.epoch as usize, ROUNDS);
+    svc.shutdown();
+    drop(svc);
+
+    // (c) every snapshot corrupt → bootstrap from the base graph and
+    // replay the whole WAL from sequence 0.
+    let scratch = TempDir::new("snapfall-all");
+    copy_dir_with_wal_prefix(tmp.path(), scratch.path(), usize::MAX);
+    let all = snapshot_files(scratch.path());
+    let total = all.len();
+    for s in &all {
+        flip_byte(s);
+    }
+    let (svc, out) = QueryService::open_or_recover(
+        &edges,
+        EngineConfig::new(2),
+        durable_config(scratch.path(), 1),
+    )
+    .unwrap();
+    assert_eq!(out.snapshots_corrupt, total, "every snapshot is rejected");
+    assert_eq!(out.epoch as usize, ROUNDS, "full WAL replay reaches the tip");
+    let src = rng.below(N);
+    let r = svc.query(KhopQuery::single(1, src, 3)).unwrap();
+    check(&history, N, src, 3, &r);
+    svc.shutdown();
+}
+
+/// Updates applied but never committed survive a stop: they are
+/// WAL-logged ahead of the buffer, surfaced by `pending_restored` on
+/// reopen, and the first commit publishes exactly them.
+#[test]
+fn uncommitted_pending_tail_survives_restart() {
+    const N: u64 = 24;
+    let tmp = TempDir::new("pending");
+    let base = seed_edges(N, 40, 0xBEE);
+    let edges = edge_list(N, &base);
+    let mut rng = Rng(0xABCD);
+
+    let (svc, _) =
+        QueryService::open_or_recover(&edges, EngineConfig::new(2), durable_config(tmp.path(), 4))
+            .unwrap();
+    let batch = random_batch(N, &base, &mut rng, 7);
+    svc.apply_updates(batch.iter().cloned().collect()).unwrap();
+    assert_eq!(svc.stats().pending_updates, 7, "buffered updates are visible in stats");
+    svc.shutdown(); // syncs the WAL; the buffer itself is dropped
+    drop(svc);
+
+    let (svc, out) =
+        QueryService::open_or_recover(&edges, EngineConfig::new(2), durable_config(tmp.path(), 4))
+            .unwrap();
+    assert!(out.recovered);
+    assert_eq!(out.epoch, 0, "nothing was committed");
+    assert_eq!(out.pending_restored, 7, "the logged tail is back in the buffer");
+    assert_eq!(svc.stats().pending_updates, 7);
+    let ep = svc.commit_epoch().unwrap();
+    assert_eq!(ep, 1);
+    let mut model = base.clone();
+    model_apply(&mut model, &batch);
+    let history = vec![base, model];
+    for q in 0..5 {
+        let src = rng.below(N);
+        let r = svc.query(KhopQuery::single(q, src, 2)).unwrap();
+        assert_eq!(r.epoch, 1);
+        check(&history, N, src, 2, &r);
+    }
+    svc.shutdown();
+}
+
+/// `try_start` must refuse a data directory that already holds durable
+/// state — resuming it is `open_or_recover`'s job, and overwriting it
+/// would silently discard committed updates.
+#[test]
+fn try_start_refuses_a_populated_data_dir() {
+    const N: u64 = 16;
+    let tmp = TempDir::new("refuse");
+    let base = seed_edges(N, 20, 0x11);
+    let edges = edge_list(N, &base);
+    let (svc, _) =
+        QueryService::open_or_recover(&edges, EngineConfig::new(1), durable_config(tmp.path(), 1))
+            .unwrap();
+    svc.apply_updates(random_batch(N, &base, &mut Rng(9), 3).into_iter().collect()).unwrap();
+    svc.commit_epoch().unwrap();
+    svc.shutdown();
+    drop(svc);
+
+    let engine = Arc::new(DistributedEngine::new(&edges, EngineConfig::new(1)));
+    let err = QueryService::try_start(engine, durable_config(tmp.path(), 1))
+        .err()
+        .expect("try_start must not adopt an existing data dir");
+    match err {
+        ServiceError::Durability(msg) => {
+            assert!(msg.contains("open_or_recover"), "error should point at the fix: {msg}")
+        }
+        other => panic!("expected a durability refusal, got {other}"),
+    }
+}
+
+/// Construction rejects nonsensical knobs with a typed error instead
+/// of wedging later: a zero checkpoint interval, a zero commit
+/// threshold, a zero snapshot cadence, zero retained snapshots — and
+/// `open_or_recover` without a durability config. No directory is
+/// created on the rejected paths.
+#[test]
+fn invalid_knobs_are_rejected_at_construction() {
+    const N: u64 = 12;
+    let base = seed_edges(N, 15, 0x22);
+    let edges = edge_list(N, &base);
+    let engine = Arc::new(DistributedEngine::new(&edges, EngineConfig::new(1)));
+    let never = std::env::temp_dir().join(format!("cgraph-durplane-never-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&never);
+
+    let cases: Vec<ServiceConfig> = vec![
+        ServiceConfig {
+            recovery: RecoveryConfig { checkpoint_interval: 0, max_recoveries: 3 },
+            ..Default::default()
+        },
+        ServiceConfig {
+            mutation: MutationConfig { commit_threshold: Some(0), ..Default::default() },
+            ..Default::default()
+        },
+        ServiceConfig {
+            durability: Some(DurabilityConfig::new(&never).snapshot_every(0)),
+            ..Default::default()
+        },
+        ServiceConfig {
+            durability: Some(DurabilityConfig {
+                keep_snapshots: 0,
+                ..DurabilityConfig::new(&never)
+            }),
+            ..Default::default()
+        },
+    ];
+    for (i, cfg) in cases.into_iter().enumerate() {
+        match QueryService::try_start(Arc::clone(&engine), cfg.clone()) {
+            Err(ServiceError::InvalidConfig(_)) => {}
+            Err(other) => panic!("case {i}: expected InvalidConfig, got {other}"),
+            Ok(_) => panic!("case {i}: a zero knob was accepted"),
+        }
+        // The durable variants fail identically through the recovery door.
+        if cfg.durability.is_some() {
+            match QueryService::open_or_recover(&edges, EngineConfig::new(1), cfg) {
+                Err(ServiceError::InvalidConfig(_)) => {}
+                Err(other) => panic!("case {i}: open_or_recover wrong error: {other}"),
+                Ok(_) => panic!("case {i}: open_or_recover accepted a zero knob"),
+            }
+        }
+    }
+    assert!(!never.exists(), "rejected configs must not touch the filesystem");
+    match QueryService::open_or_recover(&edges, EngineConfig::new(1), ServiceConfig::default()) {
+        Err(ServiceError::InvalidConfig(_)) => {}
+        Err(other) => panic!("open_or_recover without durability: wrong error {other}"),
+        Ok(_) => panic!("open_or_recover without durability must be rejected"),
+    }
+}
+
+/// The full kill-and-reopen loop under a disk-fault [`FaultPlan`]:
+/// torn WAL writes, snapshot bit flips and lost renames. Recovery must
+/// always succeed, always land on an epoch that was really committed,
+/// and every answer — before and after each "crash" — must match the
+/// scratch rebuild. Lost generations rewind the model exactly as the
+/// truncated WAL dictates.
+#[test]
+fn disk_fault_chaos_survives_kill_and_reopen_loop() {
+    const N: u64 = 28;
+    const GENERATIONS: usize = 6;
+    let tmp = TempDir::new("chaos");
+    let base = seed_edges(N, 50, 0xC4A05);
+    let edges = edge_list(N, &base);
+    let mut history = vec![base.clone()];
+    let mut batches: Vec<Vec<EdgeUpdate>> = Vec::new();
+    let mut rng = Rng(0xC4A05EED);
+    let plan =
+        FaultPlan::new(0xD15C).with_torn_write(0.12).with_bit_flip(0.08).with_rename_lost(0.25);
+
+    for generation in 0..GENERATIONS {
+        let cfg = ServiceConfig { fault_plan: Some(plan.clone()), ..durable_config(tmp.path(), 1) };
+        let (svc, out) = QueryService::open_or_recover(&edges, EngineConfig::new(2), cfg)
+            .unwrap_or_else(|e| panic!("generation {generation}: recovery must survive: {e}"));
+        let r = out.epoch as usize;
+        assert!(
+            r < history.len(),
+            "generation {generation}: epoch {r} was never committed ({} exist)",
+            history.len()
+        );
+        // Verify the recovered epoch, then rewind the model to what the
+        // damaged WAL actually preserved.
+        for q in 0..3 {
+            let src = rng.below(N);
+            let rr = svc.query(KhopQuery::single(q, src, 2)).unwrap();
+            assert_eq!(rr.epoch as usize, r, "generation {generation}");
+            check(&history, N, src, 2, &rr);
+        }
+        if out.pending_restored > 0 {
+            assert!(r < batches.len(), "generation {generation}: pending beyond known batches");
+            let tail = batches[r].clone();
+            assert_eq!(out.pending_restored, tail.len(), "generation {generation}");
+            history.truncate(r + 1);
+            batches.truncate(r + 1);
+            let mut m = history[r].clone();
+            model_apply(&mut m, &tail);
+            let ep = svc.commit_epoch().unwrap();
+            assert_eq!(ep as usize, r + 1);
+            history.push(m);
+        } else {
+            history.truncate(r + 1);
+            batches.truncate(r);
+        }
+        let mut model = history.last().unwrap().clone();
+        batches.extend(run_rounds(&svc, N, &mut model, &mut history, &mut rng, 2, 6));
+        svc.shutdown();
+    }
+}
+
+/// Strategy-driven version of the crash oracle: a random workload, a
+/// random WAL cut point, random snapshot damage, and optionally a
+/// disk-faulty reopen — recovery must always land on a committed epoch
+/// bit-identical to the scratch rebuild. Pinned cases live in
+/// `proptest-regressions/durability_plane.txt`.
+#[derive(Clone, Copy, Debug)]
+enum SnapDamage {
+    None,
+    Flip,
+    Torn,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_wal_prefix_and_damaged_snapshot_recover_consistently(
+        seed in 0u64..u64::MAX,
+        rounds in 1usize..4,
+        batch_len in 1usize..8,
+        cut_permille in 0u32..1001,
+        damage in prop_oneof![Just(SnapDamage::None), Just(SnapDamage::Flip), Just(SnapDamage::Torn)],
+        faulty_reopen in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        const N: u64 = 20;
+        let tmp = TempDir::new("prop");
+        let base = seed_edges(N, 30, seed);
+        let edges = edge_list(N, &base);
+        let mut history = vec![base.clone()];
+        let mut model = base;
+        let mut rng = Rng(seed ^ 0x9E3779B97F4A7C15);
+
+        let (svc, _) = QueryService::open_or_recover(
+            &edges,
+            EngineConfig::new(2),
+            durable_config(tmp.path(), 2),
+        )
+        .unwrap();
+        let batches =
+            run_rounds(&svc, N, &mut model, &mut history, &mut rng, rounds, batch_len);
+        svc.shutdown();
+        drop(svc);
+
+        // Crash surgery: cut the WAL, damage the newest snapshot.
+        let wal_path = tmp.path().join("wal.log");
+        let wal = fs::read(&wal_path).unwrap();
+        let cut = (wal.len() as u64 * cut_permille as u64 / 1000) as usize;
+        fs::write(&wal_path, &wal[..cut]).unwrap();
+        if let Some(newest) = snapshot_files(tmp.path()).last() {
+            match damage {
+                SnapDamage::None => {}
+                SnapDamage::Flip => flip_byte(newest),
+                SnapDamage::Torn => {
+                    let b = fs::read(newest).unwrap();
+                    fs::write(newest, &b[..b.len() / 2]).unwrap();
+                }
+            }
+        }
+
+        let mut cfg = durable_config(tmp.path(), 2);
+        if faulty_reopen {
+            cfg.fault_plan = Some(
+                FaultPlan::new(seed)
+                    .with_torn_write(0.1)
+                    .with_bit_flip(0.1)
+                    .with_rename_lost(0.3),
+            );
+        }
+        let (svc, out) = QueryService::open_or_recover(&edges, EngineConfig::new(2), cfg)
+            .unwrap_or_else(|e| panic!("recovery must survive any prefix: {e}"));
+        prop_assert!(
+            (out.epoch as usize) < history.len(),
+            "epoch {} was never committed",
+            out.epoch
+        );
+        for q in 0..2 {
+            let src = rng.below(N);
+            let r = svc.query(KhopQuery::single(q, src, 2)).unwrap();
+            prop_assert_eq!(r.epoch, out.epoch);
+            check(&history, N, src, 2, &r);
+        }
+        if out.pending_restored > 0 {
+            let e = out.epoch as usize;
+            prop_assert!(e < batches.len());
+            prop_assert_eq!(out.pending_restored, batches[e].len());
+            let ep = svc.commit_epoch().unwrap();
+            prop_assert_eq!(ep, out.epoch + 1);
+            let src = rng.below(N);
+            let r = svc.query(KhopQuery::single(9, src, 2)).unwrap();
+            prop_assert_eq!(r.epoch, ep);
+            check(&history, N, src, 2, &r);
+        }
+        svc.shutdown();
+    }
+}

@@ -129,6 +129,17 @@ fn assert_registry_matches_stats(snap: &Snapshot, stats: &ServiceStats) {
     assert_eq!(snap.gauges["cgraph_mutation_pending_updates"], stats.pending_updates as i64);
     assert_eq!(snap.gauges["cgraph_mutation_delta_entries"], stats.delta_entries as i64);
     assert_eq!(snap.gauges["cgraph_mutation_delta_bytes"], stats.delta_bytes as i64);
+    assert_eq!(c("cgraph_durability_wal_records_total"), stats.wal_records);
+    assert_eq!(c("cgraph_durability_wal_bytes_total"), stats.wal_bytes);
+    assert_eq!(c("cgraph_durability_snapshots_total"), stats.snapshots_written);
+    assert_eq!(c("cgraph_durability_snapshot_bytes_total"), stats.snapshot_bytes);
+    assert_eq!(c("cgraph_durability_wal_replayed_total"), stats.wal_replayed);
+    assert_eq!(c("cgraph_durability_snapshots_corrupt_total"), stats.snapshots_corrupt);
+    assert_eq!(c("cgraph_durability_recoveries_total"), stats.durable_recoveries);
+    assert_eq!(
+        snap.gauges["cgraph_durability_last_snapshot_epoch"],
+        stats.last_snapshot_epoch as i64
+    );
 }
 
 #[test]
@@ -146,6 +157,7 @@ fn chaos_stream_covers_every_layer_and_matches_service_stats() {
         "cgraph_recovery_",
         "cgraph_cache_",
         "cgraph_mutation_",
+        "cgraph_durability_",
     ] {
         assert!(
             names.iter().any(|n| n.starts_with(layer)),
@@ -295,6 +307,7 @@ fn observability_doc_catalogues_every_registered_metric() {
         "cgraph_recovery_",
         "cgraph_cache_",
         "cgraph_mutation_",
+        "cgraph_durability_",
     ];
     let documented: std::collections::BTreeSet<String> = doc
         .split('`')
