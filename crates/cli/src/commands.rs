@@ -3,9 +3,10 @@
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
 use cgraph_core::{
-    DurabilityConfig, EdgeUpdate, EngineConfig, FaultPlan, KhopQuery, MutationConfig,
-    QueryPlaneConfig, QueryService, RecoveryConfig, SchedulerConfig, ServiceConfig,
+    DurabilityConfig, EdgeUpdate, EngineConfig, FaultPlan, IndexBuilder, IndexConfig, KhopQuery,
+    MutationConfig, QueryPlaneConfig, QueryService, RecoveryConfig, SchedulerConfig, ServiceConfig,
 };
+use cgraph_index::BoundaryIndexBuilder;
 use cgraph_obs::{Obs, TraceSink};
 use cgraph_ql::Session;
 use std::io::Read;
@@ -147,6 +148,8 @@ const SERVICE_FLAGS: &[&str] = &[
     "--depth",
     "--cache-mb",
     "--coalesce",
+    "--index",
+    "--index-hops",
     "--pack-locality",
     "--chaos",
     "--deadline-ms",
@@ -232,6 +235,11 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
         pack_locality: args.switch("--pack-locality"),
         ..Default::default()
     };
+    let index_hops: u32 = args.flag_parse("--index-hops", IndexConfig::default().hops)?;
+    let index = args.switch("--index").then(|| {
+        Arc::new(BoundaryIndexBuilder::new(IndexConfig { hops: index_hops, ..Default::default() }))
+            as Arc<dyn IndexBuilder>
+    });
     let commit_every: usize = args.flag_parse("--commit-every", 0)?;
     let mutation = MutationConfig {
         commit_threshold: (commit_every > 0).then_some(commit_every),
@@ -250,6 +258,7 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
         fault_plan,
         query_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         query_plane,
+        index,
         mutation,
         durability,
         max_retries,
@@ -365,7 +374,8 @@ fn print_service_stats(service: &QueryService) {
          updates_deleted={} epoch_commits={} epoch_folds={} pending_updates={} \
          delta_entries={} delta_bytes={} wal_records={} wal_bytes={} snapshots={} \
          snapshot_bytes={} wal_replayed={} snapshots_corrupt={} durable_recoveries={} \
-         last_snapshot_epoch={}",
+         last_snapshot_epoch={} index_builds={} index_only={} index_pruned_sends={} \
+         index_pruned_partitions={} index_sources={} index_bytes={}",
         s.queries_completed,
         s.queries_failed,
         s.queries_deadline_exceeded,
@@ -398,6 +408,12 @@ fn print_service_stats(service: &QueryService) {
         s.snapshots_corrupt,
         s.durable_recoveries,
         s.last_snapshot_epoch,
+        s.index_builds,
+        s.index_only_answers,
+        s.index_pruned_sends,
+        s.index_pruned_partitions,
+        s.index_sources,
+        s.index_bytes,
     );
     println!(
         "served {} queries ({} failed, {} past deadline) in {} batches; \
@@ -424,6 +440,18 @@ fn print_service_stats(service: &QueryService) {
             s.cache_entries,
             s.cache_bytes,
             s.coalesced_traversals,
+        );
+    }
+    if s.index_builds > 0 {
+        println!(
+            "index tier: {} builds, {} sources ({} B) resident; {} queries answered \
+             index-only, {} deliveries / {} partition rounds pruned",
+            s.index_builds,
+            s.index_sources,
+            s.index_bytes,
+            s.index_only_answers,
+            s.index_pruned_sends,
+            s.index_pruned_partitions,
         );
     }
     if s.updates_applied + s.epoch_commits + s.pending_updates > 0 {

@@ -94,6 +94,15 @@ QUERY PLANE (serve & replay):
                      repeat-heavy traffic the query plane can harvest
                      (0 = legacy near-uniform stream; see --zipf-seed)
 
+INDEX TIER (serve & replay):
+  --index            build the boundary reachability index at start and after
+                     every epoch commit: small-k queries from indexed boundary
+                     sources are answered without traversing (bit-identical),
+                     and batched traversals prune provably no-op deliveries
+  --index-hops H     hop budget of the per-source distance sketches
+                     (default 16, clamped to 1..=62); queries deeper than a
+                     sketch's horizon fall back to the traversal path
+
 SERVICE ROBUSTNESS (serve & replay):
   --chaos SPEC       deterministic fault plan, e.g.
                      \"seed=7,crash=1@3,drop=0.01,heal=1,jobs=0..4\"

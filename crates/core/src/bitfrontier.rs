@@ -106,6 +106,16 @@ impl BitFrontier {
         self.visited.word((v - self.base) as usize)
     }
 
+    /// The full frontier row of a local-owned global vertex at any
+    /// batch width. Right after [`BitFrontier::advance`] the frontier
+    /// holds exactly the lanes that *first reached* each vertex this
+    /// superstep — index construction probes boundary vertices here to
+    /// learn per-lane first-visit levels without touching the scan
+    /// path.
+    pub fn frontier_mask(&self, v: VertexId) -> LaneMask {
+        LaneMask::from_words(self.frontier.row((v - self.base) as usize))
+    }
+
     /// Clears every frontier lane not present in `keep` — used by the
     /// engine to retire lanes whose hop budget (`k`) is exhausted while
     /// other lanes in the batch keep traversing. Skipped entirely when

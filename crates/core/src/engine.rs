@@ -22,6 +22,7 @@
 use crate::bitfrontier::BitFrontier;
 use crate::config::{EngineConfig, UpdateMode};
 use crate::gas::Gas;
+use crate::index_api::PrunePlan;
 use crate::partition::RangePartition;
 use crate::pcm::{PartitionCtx, PartitionProgram};
 use crate::recovery::{PartitionSnapshot, RecoveryConfig, RecoveryReport, RecoveryStore};
@@ -174,6 +175,13 @@ pub struct BatchResult {
     pub per_machine_busy: Vec<Duration>,
     /// Cross-machine traffic.
     pub traffic: TrafficReport,
+    /// Frontier entries (one `(vertex, lane-mask)` delivery each) the
+    /// reachability index proved to be state no-ops and suppressed.
+    /// Zero when the batch ran without a [`PrunePlan`].
+    pub pruned_sends: u64,
+    /// `(superstep, partition)` frontier messages suppressed entirely
+    /// — the skipped partition received nothing that superstep.
+    pub pruned_partitions: u64,
 }
 
 impl BatchResult {
@@ -186,6 +194,24 @@ impl BatchResult {
         let busy = self.per_machine_busy.iter().copied().max().unwrap_or_default();
         busy + Duration::from_nanos(self.traffic.max_sim_net_ns())
     }
+}
+
+/// Result of a probed traversal batch
+/// ([`DistributedEngine::run_traversal_batch_probed`]) — the raw
+/// observations reachability-index construction consumes.
+#[derive(Clone, Debug)]
+pub struct ProbedBatch {
+    /// The ordinary batch result.
+    pub result: BatchResult,
+    /// `(probe index, lane, level)` triples: probe `p` was first
+    /// reached by lane `l` at BFS level `d`. Seeds report level 0; a
+    /// probe a lane never reaches simply has no triple.
+    pub probe_levels: Vec<(u32, u32, u32)>,
+    /// `partition_gains[m][h][lane]` = vertices of partition `m`
+    /// first reached at level `h + 1` by `lane` (the per-machine rows
+    /// [`BatchResult::per_level`] is stitched from; level 0 is the
+    /// seed, owned by the source's partition).
+    pub partition_gains: Vec<Vec<Vec<u64>>>,
 }
 
 /// Result of one queue-based query.
@@ -369,6 +395,13 @@ struct MachineOut {
     supersteps: u32,
     scans: u64,
     busy: Duration,
+    /// `(probe index, lane, level)` first-visit observations for the
+    /// probe vertices local to this machine (index construction).
+    probe_levels: Vec<(u32, u32, u32)>,
+    /// Frontier entries suppressed by the batch's [`PrunePlan`].
+    pruned_sends: u64,
+    /// `(superstep, partition)` messages suppressed entirely.
+    pruned_partitions: u64,
 }
 
 /// The C-Graph distributed engine.
@@ -672,12 +705,59 @@ impl DistributedEngine {
         sources: &[VertexId],
         ks: &[u32],
     ) -> Result<BatchResult, EngineError> {
+        self.run_traversal_batch_pruned(sources, ks, None)
+    }
+
+    /// [`DistributedEngine::run_traversal_batch`] under an optional
+    /// reachability-index [`PrunePlan`]: each superstep, frontier
+    /// deliveries the plan proves to be state no-ops are suppressed
+    /// before they reach the wire. Pruning never changes visited
+    /// state, so results are bit-identical to the unpruned run; the
+    /// savings show up in [`BatchResult::pruned_sends`],
+    /// [`BatchResult::pruned_partitions`], and the traffic report's
+    /// suppressed counters.
+    pub fn run_traversal_batch_pruned(
+        &self,
+        sources: &[VertexId],
+        ks: &[u32],
+        prune: Option<&PrunePlan>,
+    ) -> Result<BatchResult, EngineError> {
         let lanes = self.check_batch(sources, ks)?;
         let start = Instant::now();
-        let (outs, traffic) = self
-            .cluster()
-            .run::<EngineMsg, MachineOut, _>(|h| self.batch_worker(sources, ks, None, h));
+        let (outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+            self.batch_worker(sources, ks, None, prune, None, h)
+        });
         Ok(self.stitch_batch(outs, traffic, lanes, start.elapsed()))
+    }
+
+    /// [`DistributedEngine::run_traversal_batch`] with per-superstep
+    /// probe observation — the index-construction entry point.
+    ///
+    /// `probes` lists vertices (typically partition boundary vertices)
+    /// whose first-visit levels the caller wants to learn: the worker
+    /// that owns each probe reads its frontier row right after every
+    /// advance, so the observations cost one row read per probe per
+    /// superstep and never perturb the traversal itself. Returns the
+    /// usual [`BatchResult`] plus a [`ProbedBatch`] carrying the probe
+    /// observations and the per-partition level gains.
+    pub fn run_traversal_batch_probed(
+        &self,
+        sources: &[VertexId],
+        ks: &[u32],
+        probes: &[VertexId],
+    ) -> Result<ProbedBatch, EngineError> {
+        let lanes = self.check_batch(sources, ks)?;
+        let start = Instant::now();
+        let (mut outs, traffic) = self.cluster().run::<EngineMsg, MachineOut, _>(|h| {
+            self.batch_worker(sources, ks, None, None, Some(probes), h)
+        });
+        let mut probe_levels = Vec::new();
+        for o in &mut outs {
+            probe_levels.append(&mut o.probe_levels);
+        }
+        let partition_gains = outs.iter().map(|o| o.per_level_local.clone()).collect();
+        let result = self.stitch_batch(outs, traffic, lanes, start.elapsed());
+        Ok(ProbedBatch { result, probe_levels, partition_gains })
     }
 
     /// [`DistributedEngine::run_traversal_batch`] on a caller-provided
@@ -718,8 +798,9 @@ impl DistributedEngine {
             "cluster width must match the engine's machine count"
         );
         let start = Instant::now();
-        let (outs, traffic) = cluster
-            .submit::<EngineMsg, MachineOut, _>(|h| self.batch_worker(sources, ks, hook, h))?;
+        let (outs, traffic) = cluster.submit::<EngineMsg, MachineOut, _>(|h| {
+            self.batch_worker(sources, ks, hook, None, None, h)
+        })?;
         Ok(self.stitch_batch(outs, traffic, lanes, start.elapsed()))
     }
 
@@ -748,16 +829,23 @@ impl DistributedEngine {
     /// One machine's share of a bit-frontier batch: seed local lanes,
     /// then alternate shared edge-set scans with frontier exchange
     /// until every lane is globally quiet or out of hop budget.
+    ///
+    /// `prune` suppresses provably no-op remote deliveries each
+    /// superstep (see [`PrunePlan`]); `probes` records per-lane
+    /// first-visit levels for the listed vertices.
     fn batch_worker(
         &self,
         sources: &[VertexId],
         ks: &[u32],
         hook: Option<&(dyn Fn(usize) + Sync)>,
+        prune: Option<&PrunePlan>,
+        probes: Option<&[VertexId]>,
         h: CommHandle<EngineMsg>,
     ) -> MachineOut {
         if let Some(hook) = hook {
             hook(h.id());
         }
+        let prune = prune.filter(|p| !p.is_empty());
         let wobs = self.worker_obs(&h);
         let lanes = sources.len();
         let width = LaneWidth::for_lanes(lanes);
@@ -782,6 +870,26 @@ impl DistributedEngine {
                     bf.seed(src, lane);
                 }
             }
+            // Probe bookkeeping: the probes this machine owns, plus
+            // seed-level observations (a probe that *is* a source is
+            // first visited at level 0, before any advance runs).
+            let local_probes: Vec<(u32, VertexId)> = probes
+                .map(|ps| {
+                    ps.iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| shard.is_local(v))
+                        .map(|(i, &v)| (i as u32, v))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut probe_levels: Vec<(u32, u32, u32)> = Vec::new();
+            for &(pi, v) in &local_probes {
+                for (lane, &src) in sources.iter().enumerate() {
+                    if src == v {
+                        probe_levels.push((pi, lane as u32, 0));
+                    }
+                }
+            }
             let mut per_level_local: Vec<Vec<u64>> = Vec::new();
             let mut lane_completion = vec![Duration::ZERO; lanes];
             let mut completed = LaneMask::zero(width); // lanes recorded complete
@@ -791,6 +899,8 @@ impl DistributedEngine {
             let mut hop: u32 = 0;
             let mut supersteps = 0u32;
             let mut scans = 0u64;
+            let mut pruned_sends = 0u64;
+            let mut pruned_partitions = 0u64;
             loop {
                 // Chaos seam: a plan can schedule this machine's death
                 // at superstep `hop`. Free without an armed plan.
@@ -804,9 +914,41 @@ impl DistributedEngine {
                     let owner = self.partition.owner(t);
                     outbox[owner].entry(t).or_insert_with(|| LaneMask::zero(width)).or_assign(w);
                 });
+                // Deliveries emitted during the scan of `hop` land at
+                // BFS level `hop + 1`: mask each partition's buffer
+                // against the plan's keep set for that level.
+                let keep_masks = prune.map(|p| p.keep_masks(hop + 1, width));
                 for (m, buf) in outbox.iter_mut().enumerate() {
-                    if !buf.is_empty() {
-                        h.send(m, EngineMsg::Frontier(buf.drain().collect()));
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    let batch: Vec<(u64, LaneMask)> = match &keep_masks {
+                        Some(keep) => {
+                            let before = buf.len();
+                            let kept: Vec<(u64, LaneMask)> = buf
+                                .drain()
+                                .filter_map(|(t, w)| {
+                                    let w = w.and(&keep[m]);
+                                    (!w.is_zero()).then_some((t, w))
+                                })
+                                .collect();
+                            let dropped = (before - kept.len()) as u64;
+                            if dropped > 0 {
+                                pruned_sends += dropped;
+                                if kept.is_empty() {
+                                    pruned_partitions += 1;
+                                }
+                                if m != h.id() {
+                                    let bytes = dropped * (8 + 8 * width.words() as u64);
+                                    h.note_suppressed(u64::from(kept.is_empty()), bytes);
+                                }
+                            }
+                            kept
+                        }
+                        None => buf.drain().collect(),
+                    };
+                    if !batch.is_empty() {
+                        h.send(m, EngineMsg::Frontier(batch));
                     }
                 }
                 h.barrier();
@@ -819,6 +961,17 @@ impl DistributedEngine {
                 }
                 let adv = bf.advance();
                 per_level_local.push(adv.new_per_lane[..lanes].to_vec());
+                // The post-advance frontier is exactly the set of
+                // (vertex, lane) first visits at level `hop + 1` —
+                // read the probes' rows before the level counter moves.
+                for &(pi, v) in &local_probes {
+                    let m = bf.frontier_mask(v);
+                    for lane in m.iter_ones() {
+                        if lane < lanes {
+                            probe_levels.push((pi, lane as u32, hop + 1));
+                        }
+                    }
+                }
                 if let Some(w) = &wobs {
                     w.superstep_exit(hop, adv.new_per_lane[..lanes].iter().sum());
                 }
@@ -850,6 +1003,9 @@ impl DistributedEngine {
                 supersteps,
                 scans,
                 busy: cgraph_comm::thread_cpu_time() - cpu0,
+                probe_levels,
+                pruned_sends,
+                pruned_partitions,
             }
         }
     }
@@ -904,6 +1060,8 @@ impl DistributedEngine {
             exec_time,
             per_machine_busy: outs.iter().map(|o| o.busy).collect(),
             traffic,
+            pruned_sends: outs.iter().map(|o| o.pruned_sends).sum(),
+            pruned_partitions: outs.iter().map(|o| o.pruned_partitions).sum(),
         }
     }
 
@@ -941,6 +1099,26 @@ impl DistributedEngine {
         ks: &[u32],
         recovery: &RecoveryConfig,
         fault: Option<FaultInjection<'_>>,
+    ) -> Result<(BatchResult, RecoveryReport), EngineError> {
+        self.run_traversal_batch_recoverable_pruned(cluster, sources, ks, recovery, fault, None)
+    }
+
+    /// [`DistributedEngine::run_traversal_batch_recoverable`] under an
+    /// optional reachability-index [`PrunePlan`]. Pruning composes
+    /// with recovery because suppressed deliveries are dropped
+    /// *before* the message log records them: a replayed partition
+    /// re-absorbs exactly what the original execution delivered, and
+    /// since pruned deliveries were state no-ops, visited state — and
+    /// therefore every checkpoint and answer — is bit-identical to the
+    /// unpruned run.
+    pub fn run_traversal_batch_recoverable_pruned(
+        &self,
+        cluster: &PersistentCluster,
+        sources: &[VertexId],
+        ks: &[u32],
+        recovery: &RecoveryConfig,
+        fault: Option<FaultInjection<'_>>,
+        prune: Option<&PrunePlan>,
     ) -> Result<(BatchResult, RecoveryReport), EngineError> {
         let lanes = self.check_batch(sources, ks)?;
         if recovery.checkpoint_interval == 0 {
@@ -981,7 +1159,7 @@ impl DistributedEngine {
                 let chaos = chaos_for(report.attempts - 1);
                 let res = cluster
                     .submit_with_chaos::<EngineMsg, MachineOut, _>(chaos.as_ref(), |h| {
-                        self.batch_worker(sources, ks, None, h)
+                        self.batch_worker(sources, ks, None, prune, None, h)
                     });
                 match res {
                     Ok((outs, traffic)) => {
@@ -1009,10 +1187,19 @@ impl DistributedEngine {
             report.attempts += 1;
             let chaos = chaos_for(report.attempts - 1);
             let commits_before = store.commits();
-            let res = cluster
-                .submit_with_chaos::<EngineMsg, Option<MachineOut>, _>(chaos.as_ref(), |h| {
-                    self.recoverable_worker(sources, ks, recovery.checkpoint_interval, &store, h)
-                });
+            let res = cluster.submit_with_chaos::<EngineMsg, Option<MachineOut>, _>(
+                chaos.as_ref(),
+                |h| {
+                    self.recoverable_worker(
+                        sources,
+                        ks,
+                        recovery.checkpoint_interval,
+                        &store,
+                        prune,
+                        h,
+                    )
+                },
+            );
             report.checkpoints_taken += store.commits() - commits_before;
             let dropped = chaos.as_ref().map_or(0, ChaosRun::dropped);
             match res {
@@ -1235,8 +1422,10 @@ impl DistributedEngine {
         ks: &[u32],
         interval: u32,
         store: &RecoveryStore,
+        prune: Option<&PrunePlan>,
         h: CommHandle<EngineMsg>,
     ) -> Option<MachineOut> {
+        let prune = prune.filter(|p| !p.is_empty());
         let wobs = self.worker_obs(&h);
         let lanes = sources.len();
         let width = LaneWidth::for_lanes(lanes);
@@ -1314,6 +1503,8 @@ impl DistributedEngine {
         // Scan work this attempt only (a resume does not re-count the
         // scans its snapshot's supersteps already performed).
         let mut scans = 0u64;
+        let mut pruned_sends = 0u64;
+        let mut pruned_partitions = 0u64;
         loop {
             // Boundary `hop`: commit *before* the fault point so that
             // a machine scripted to die at a commit boundary still
@@ -1345,9 +1536,40 @@ impl DistributedEngine {
                 let owner = self.partition.owner(t);
                 outbox[owner].entry(t).or_insert_with(|| LaneMask::zero(width)).or_assign(w);
             });
+            // Prune *before* logging so a replay re-absorbs exactly
+            // what the original execution delivered (suppressed
+            // deliveries were state no-ops and are never re-created).
+            let keep_masks = prune.map(|p| p.keep_masks(hop + 1, width));
             for (m, buf) in outbox.iter_mut().enumerate() {
-                if !buf.is_empty() {
-                    let batch: Vec<(u64, LaneMask)> = buf.drain().collect();
+                if buf.is_empty() {
+                    continue;
+                }
+                let batch: Vec<(u64, LaneMask)> = match &keep_masks {
+                    Some(keep) => {
+                        let before = buf.len();
+                        let kept: Vec<(u64, LaneMask)> = buf
+                            .drain()
+                            .filter_map(|(t, w)| {
+                                let w = w.and(&keep[m]);
+                                (!w.is_zero()).then_some((t, w))
+                            })
+                            .collect();
+                        let dropped = (before - kept.len()) as u64;
+                        if dropped > 0 {
+                            pruned_sends += dropped;
+                            if kept.is_empty() {
+                                pruned_partitions += 1;
+                            }
+                            if m != h.id() {
+                                let bytes = dropped * (8 + 8 * width.words() as u64);
+                                h.note_suppressed(u64::from(kept.is_empty()), bytes);
+                            }
+                        }
+                        kept
+                    }
+                    None => buf.drain().collect(),
+                };
+                if !batch.is_empty() {
                     // Log before sending: the log must cover anything a
                     // replay could need to re-deliver.
                     store.log_merge(h.id(), hop, m, &batch);
@@ -1433,6 +1655,9 @@ impl DistributedEngine {
             lane_completion,
             scans,
             busy: busy_base + (cgraph_comm::thread_cpu_time() - cpu0),
+            probe_levels: Vec::new(),
+            pruned_sends,
+            pruned_partitions,
         })
     }
 

@@ -32,7 +32,11 @@
 //!   [`cgraph_comm::chaos::FaultPlan`],
 //! * [`durability`] — the on-disk durability plane: checksummed epoch
 //!   snapshots, an update WAL, and the crash-restart recovery path
-//!   behind [`QueryService::open_or_recover`](service::QueryService::open_or_recover).
+//!   behind [`QueryService::open_or_recover`](service::QueryService::open_or_recover),
+//! * [`index_api`] — the reachability-index contract: the
+//!   [`ReachIndex`] surface the query path
+//!   consults for index-only answers and superstep pruning, built by
+//!   the `cgraph-index` crate (see `INDEXING.md`).
 
 #![warn(missing_docs)]
 
@@ -41,6 +45,7 @@ pub mod config;
 pub mod durability;
 pub mod engine;
 pub mod gas;
+pub mod index_api;
 pub mod metrics;
 pub mod partition;
 pub mod pcm;
@@ -56,7 +61,10 @@ pub use cgraph_comm::chaos::{ChaosRun, CrashFault, FaultPlan, SlowLink};
 pub use cgraph_graph::delta::{DeltaOverlay, EdgeUpdate, UpdateBatch};
 pub use config::{EngineConfig, UpdateMode};
 pub use durability::{DurabilityConfig, DurabilityError, DurabilityStats, RecoveryOutcome};
-pub use engine::{DistributedEngine, EngineError, EngineMsg, FaultInjection};
+pub use engine::{
+    BatchResult, DistributedEngine, EngineError, EngineMsg, FaultInjection, ProbedBatch,
+};
+pub use index_api::{IndexAnswer, IndexBuilder, IndexConfig, PrunePlan, ReachIndex};
 pub use metrics::ResponseStats;
 pub use partition::RangePartition;
 pub use query::{KhopQuery, QueryResult};

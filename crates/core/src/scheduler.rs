@@ -29,9 +29,11 @@
 //! from the 10 subgraph traversals of each query").
 
 use crate::engine::DistributedEngine;
+use crate::index_api::ReachIndex;
 use crate::query::{KhopQuery, QueryResult};
 use cgraph_graph::bitmap::LANES;
 use cgraph_graph::{LaneWidth, MAX_LANES};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Scheduling policy knobs.
@@ -88,12 +90,58 @@ impl SchedulerConfig {
 pub struct QueryScheduler<'e> {
     engine: &'e DistributedEngine,
     config: SchedulerConfig,
+    index: Option<Arc<dyn ReachIndex>>,
 }
 
 impl<'e> QueryScheduler<'e> {
     /// Creates a scheduler over `engine`.
     pub fn new(engine: &'e DistributedEngine, config: SchedulerConfig) -> Self {
-        Self { engine, config }
+        Self { engine, config, index: None }
+    }
+
+    /// Attaches a reachability index (see `INDEXING.md`).
+    ///
+    /// The index is consulted at two points of [`execute`](Self::execute),
+    /// and only while its [`epoch`](ReachIndex::epoch) matches the
+    /// engine's — a stale index is ignored entirely:
+    ///
+    /// * **Index-only answers.** A traversal whose `(source, k)` the
+    ///   index covers exactly ([`ReachIndex::answer`]) never enters a
+    ///   batch: its visited count and level profile come straight from
+    ///   the distance sketch, bit-identical to what the traversal
+    ///   would have produced.
+    /// * **Superstep pruning.** For traversals that do run, the
+    ///   index's per-partition level-set masks
+    ///   ([`ReachIndex::prune_plan`]) let the engine drop
+    ///   cross-machine frontier deliveries that are provably no-ops.
+    ///   Pruning never changes any answer — see the soundness
+    ///   argument in `INDEXING.md`.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use cgraph_core::index_api::{IndexBuilder, IndexConfig};
+    /// use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery,
+    ///                   QueryScheduler, SchedulerConfig};
+    /// use cgraph_index::BoundaryIndexBuilder;
+    ///
+    /// let edges: cgraph_graph::EdgeList = (0..6u64).map(|v| (v, v + 1)).take(5).collect();
+    /// let engine = DistributedEngine::new(&edges, EngineConfig::new(2));
+    /// let index = BoundaryIndexBuilder::new(IndexConfig::default()).build(&engine).unwrap();
+    ///
+    /// let s = index.prune_plan(&[3]).map(|_| 3).unwrap_or(4); // a boundary vertex
+    /// let queries = vec![KhopQuery::single(0, s, 2), KhopQuery::single(1, 0, 3)];
+    /// let plain = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
+    /// let fast = QueryScheduler::new(&engine, SchedulerConfig::default())
+    ///     .with_index(index)
+    ///     .execute(&queries);
+    /// for (a, b) in plain.iter().zip(&fast) {
+    ///     assert_eq!(a.visited, b.visited);       // bit-identical answers,
+    ///     assert_eq!(a.per_level, b.per_level);   // indexed or not
+    /// }
+    /// ```
+    pub fn with_index(mut self, index: Arc<dyn ReachIndex>) -> Self {
+        self.index = Some(index);
+        self
     }
 
     /// Lanes per batch after applying the memory budget.
@@ -168,16 +216,35 @@ impl<'e> QueryScheduler<'e> {
         let mut t_visited: Vec<u64> = vec![0; traversals.len()];
         let mut t_levels: Vec<Vec<u64>> = vec![Vec::new(); traversals.len()];
 
-        for (batch_start, chunk) in
-            traversals.chunks(lanes).enumerate().map(|(i, c)| (i * lanes, c))
-        {
-            let sources: Vec<u64> = chunk.iter().map(|t| t.1).collect();
-            let ks: Vec<u32> = chunk.iter().map(|t| t.2).collect();
+        // Index fast path: a current-epoch index answers covered
+        // (source, k) pairs without traversing; only the rest batch.
+        let index = self.index.as_deref().filter(|ix| ix.epoch() == self.engine.graph_epoch());
+        let mut pending: Vec<usize> = Vec::with_capacity(traversals.len());
+        for (i, &(_, s, k)) in traversals.iter().enumerate() {
+            match index.and_then(|ix| ix.answer(s, k)) {
+                Some(ans) => {
+                    t_visited[i] = ans.visited;
+                    t_levels[i] = ans.per_level;
+                    // Answered before any batch runs: response is the
+                    // (near-zero) lookup latency, zero in sim time.
+                    t_resp[i] =
+                        if self.config.use_sim_time { Duration::ZERO } else { submit.elapsed() };
+                }
+                None => pending.push(i),
+            }
+        }
+
+        for chunk in pending.chunks(lanes) {
+            let sources: Vec<u64> = chunk.iter().map(|&i| traversals[i].1).collect();
+            let ks: Vec<u32> = chunk.iter().map(|&i| traversals[i].2).collect();
+            // Indexed lanes contribute level-set masks that suppress
+            // provably no-op cross-machine deliveries (INDEXING.md).
+            let plan = index.and_then(|ix| ix.prune_plan(&sources));
             // Precondition: query sources lie inside the vertex range
             // and chunks respect MAX_LANES, so shape errors are bugs.
             let br = self
                 .engine
-                .run_traversal_batch(&sources, &ks)
+                .run_traversal_batch_pruned(&sources, &ks, plan.as_ref())
                 .expect("scheduler batches are shape-valid");
             let (batch_dur, batch_end) = if self.config.use_sim_time {
                 let d = br.sim_exec_time();
@@ -196,8 +263,7 @@ impl<'e> QueryScheduler<'e> {
                     done.as_secs_f64() / br.exec_time.as_secs_f64()
                 }
             };
-            for (lane, _) in chunk.iter().enumerate() {
-                let ti = batch_start + lane;
+            for (lane, &ti) in chunk.iter().enumerate() {
                 // A traversal completes when its lane goes quiet; its
                 // response spans from submission to that moment.
                 let lane_done = batch_dur.mul_f64(frac(lane));
@@ -229,6 +295,13 @@ impl<'e> QueryScheduler<'e> {
                     for (h, &c) in t_levels[i].iter().enumerate() {
                         per_level[h] += c;
                     }
+                }
+                // Canonical level profile: a batched lane is padded to
+                // its batch's depth (which depends on packing) while an
+                // index answer is already trimmed — drop trailing
+                // zeros so results are composition-invariant.
+                while per_level.last() == Some(&0) {
+                    per_level.pop();
                 }
                 QueryResult {
                     id: q.id,
@@ -369,6 +442,47 @@ mod tests {
         let e = ring_engine(10, 1);
         let s = QueryScheduler::new(&e, SchedulerConfig::serial());
         assert_eq!(s.effective_lanes(), 1);
+    }
+
+    #[test]
+    fn stale_index_is_ignored() {
+        use crate::index_api::{IndexAnswer, PrunePlan, ReachIndex};
+        /// An index from a bygone epoch that would corrupt any query
+        /// it actually answered.
+        struct Stale;
+        impl ReachIndex for Stale {
+            fn epoch(&self) -> u64 {
+                u64::MAX
+            }
+            fn answer(&self, _: u64, _: u32) -> Option<IndexAnswer> {
+                Some(IndexAnswer { visited: 999_999, per_level: vec![999_999] })
+            }
+            fn prune_plan(&self, sources: &[u64]) -> Option<PrunePlan> {
+                // Masks that would suppress *every* delivery.
+                let mut plan = PrunePlan::new(2, sources.len());
+                for lane in 0..sources.len() {
+                    plan.set_lane(lane, vec![0; 2]);
+                }
+                Some(plan)
+            }
+            fn reaches(&self, _: u64, _: u64) -> Option<bool> {
+                Some(false)
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn num_sources(&self) -> usize {
+                0
+            }
+        }
+        let e = ring_engine(40, 2);
+        let queries = vec![KhopQuery::single(7, 0, 5)];
+        let r = QueryScheduler::new(&e, SchedulerConfig::default())
+            .with_index(std::sync::Arc::new(Stale))
+            .execute(&queries);
+        // The epoch fence keeps the stale index out of the query path.
+        assert_eq!(r[0].visited, 6);
+        assert_eq!(r[0].per_level, vec![1, 1, 1, 1, 1, 1]);
     }
 
     #[test]

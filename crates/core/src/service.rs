@@ -56,6 +56,25 @@
 //!   lanes on identical `(source, k)` traversals**: duplicates inside
 //!   one batch window always collapse into a single lane.
 //!
+//! # Index tier
+//!
+//! With [`ServiceConfig::index`] set, the service keeps a
+//! [`ReachIndex`] built for the engine's current epoch (see
+//! `INDEXING.md` for the design contract):
+//!
+//! * traversals whose `(source, k)` the index covers exactly are
+//!   answered **index-only** — at admission or during batch
+//!   formation, without spending a lane, bit-identical to what the
+//!   traversal would have returned;
+//! * traversals that do execute carry the index's per-partition
+//!   level-set masks into the engine, which suppresses cross-machine
+//!   frontier deliveries that are provably no-ops (sound pruning:
+//!   answers are untouched, wire traffic and absorb work shrink);
+//! * the index is versioned by graph epoch and consulted **only**
+//!   while its epoch matches the serving snapshot's — every epoch
+//!   commit (and every degradation) rebuilds it before the next batch
+//!   forms, so a stale index can never answer or prune.
+//!
 //! # Mutation plane
 //!
 //! [`QueryService::apply_updates`] buffers edge insertions/deletions
@@ -124,6 +143,7 @@ use crate::durability::{
     recover, DurabilityConfig, DurabilityPlane, DurabilityStats, RecoveryOutcome,
 };
 use crate::engine::{DistributedEngine, EngineError, FaultInjection};
+use crate::index_api::{IndexBuilder, ReachIndex};
 use crate::metrics::ResponseStats;
 use crate::query::{KhopQuery, QueryResult};
 use crate::recovery::RecoveryConfig;
@@ -287,6 +307,14 @@ pub struct ServiceConfig {
     /// Query-plane knobs: result cache, in-flight coalescing and
     /// locality-aware packing. All off by default.
     pub query_plane: QueryPlaneConfig,
+    /// Reachability-index builder (see `INDEXING.md`). `None` — the
+    /// default — serves without an index. When set, the builder runs
+    /// once at start-up and again inside every epoch commit and
+    /// degradation, so the live index always matches the serving
+    /// snapshot; covered queries are answered index-only and executed
+    /// batches are pruned. A failed build logs and serves unindexed —
+    /// the index is an accelerator, never a correctness dependency.
+    pub index: Option<Arc<dyn IndexBuilder>>,
     /// Mutation-plane knobs: commit trigger and delta fold threshold.
     pub mutation: MutationConfig,
     /// Durability-plane knobs: data directory, snapshot cadence and
@@ -336,6 +364,7 @@ impl Default for ServiceConfig {
             fault_plan: None,
             query_deadline: None,
             query_plane: QueryPlaneConfig::default(),
+            index: None,
             mutation: MutationConfig::default(),
             durability: None,
             max_retries: 2,
@@ -358,6 +387,7 @@ impl fmt::Debug for ServiceConfig {
             .field("fault_plan", &self.fault_plan)
             .field("query_deadline", &self.query_deadline)
             .field("query_plane", &self.query_plane)
+            .field("index", &self.index.is_some())
             .field("mutation", &self.mutation)
             .field("durability", &self.durability)
             .field("max_retries", &self.max_retries)
@@ -476,6 +506,23 @@ pub struct ServiceStats {
     /// occupying a lane: in-batch duplicates (always collapsed),
     /// queued duplicates and mid-flight attaches (with coalescing on).
     pub coalesced_traversals: u64,
+    /// Reachability-index builds: the start-up build plus one rebuild
+    /// per epoch commit and per degradation (zero without
+    /// [`ServiceConfig::index`], like every index counter below).
+    pub index_builds: u64,
+    /// Traversals answered index-only — straight from a distance
+    /// sketch, bit-identical to a traversal, no lane spent.
+    pub index_only_answers: u64,
+    /// Cross-machine frontier entries suppressed by index pruning
+    /// (provably no-op deliveries dropped before the wire).
+    pub index_pruned_sends: u64,
+    /// Whole per-partition frontier messages index pruning emptied —
+    /// `(superstep, partition)` deliveries that never left the sender.
+    pub index_pruned_partitions: u64,
+    /// Boundary sources the live index holds sketches for.
+    pub index_sources: u64,
+    /// Estimated resident bytes of the live index.
+    pub index_bytes: u64,
     /// Edge updates folded into a committed epoch (accepted by
     /// [`QueryService::apply_updates`] and since committed).
     pub updates_applied: u64,
@@ -617,6 +664,10 @@ struct MetricsAcc {
     cache_insertions: u64,
     cache_evictions: u64,
     coalesced: u64,
+    index_builds: u64,
+    index_only: u64,
+    index_pruned_sends: u64,
+    index_pruned_partitions: u64,
     updates_applied: u64,
     updates_inserted: u64,
     updates_deleted: u64,
@@ -659,6 +710,13 @@ struct ServiceObs {
     cache_coalesced: Arc<Counter>,
     cache_entries: Arc<Gauge>,
     cache_bytes: Arc<Gauge>,
+    index_builds: Arc<Counter>,
+    index_build_seconds: Arc<Histogram>,
+    index_only_answers: Arc<Counter>,
+    index_pruned_sends: Arc<Counter>,
+    index_pruned_partitions: Arc<Counter>,
+    index_sources: Arc<Gauge>,
+    index_bytes: Arc<Gauge>,
     mutation_updates_applied: Arc<Counter>,
     mutation_edges_inserted: Arc<Counter>,
     mutation_edges_deleted: Arc<Counter>,
@@ -765,6 +823,35 @@ impl ServiceObs {
             cache_bytes: m.gauge(
                 "cgraph_cache_bytes",
                 "Bytes currently charged against the result-cache capacity.",
+            ),
+            index_builds: m.counter(
+                "cgraph_index_builds_total",
+                "Reachability-index builds (start-up, epoch commits, degradations).",
+            ),
+            index_build_seconds: m.histogram(
+                "cgraph_index_build_seconds",
+                "Wall time of each reachability-index build.",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            index_only_answers: m.counter(
+                "cgraph_index_only_answers_total",
+                "Traversals answered index-only from a distance sketch (no lane spent).",
+            ),
+            index_pruned_sends: m.counter(
+                "cgraph_index_pruned_sends_total",
+                "Cross-machine frontier entries suppressed by index pruning.",
+            ),
+            index_pruned_partitions: m.counter(
+                "cgraph_index_pruned_partitions_total",
+                "Whole per-partition frontier messages index pruning emptied.",
+            ),
+            index_sources: m.gauge(
+                "cgraph_index_sources",
+                "Boundary sources the live reachability index holds sketches for.",
+            ),
+            index_bytes: m.gauge(
+                "cgraph_index_bytes",
+                "Estimated resident bytes of the live reachability index.",
             ),
             mutation_updates_applied: m.counter(
                 "cgraph_mutation_updates_applied_total",
@@ -954,6 +1041,66 @@ struct Shared {
     /// Cached metric handles + coordinator tracer; `None` when
     /// [`ServiceConfig::obs`] is unset.
     obs: Option<ServiceObs>,
+    /// The live reachability index (leaf lock, like the cache): built
+    /// at start-up and rebuilt by the dispatcher inside every epoch
+    /// commit and degradation; `None` without [`ServiceConfig::index`]
+    /// or after a failed build.
+    index: Mutex<Option<Arc<dyn ReachIndex>>>,
+}
+
+impl Shared {
+    /// The live index iff it matches `epoch` — the fence that keeps a
+    /// stale index (pre-commit, or mid-rebuild) out of the query path.
+    fn current_index(&self, epoch: u64) -> Option<Arc<dyn ReachIndex>> {
+        lock(&self.index).as_ref().filter(|ix| ix.epoch() == epoch).cloned()
+    }
+}
+
+/// Runs the configured index builder against `engine`'s current
+/// snapshot, recording build count, duration and size. A failed build
+/// logs and returns `None`: the service keeps serving unindexed.
+fn build_index(
+    builder: &dyn IndexBuilder,
+    engine: &DistributedEngine,
+    metrics: &Mutex<MetricsAcc>,
+    obs: Option<&ServiceObs>,
+) -> Option<Arc<dyn ReachIndex>> {
+    let started = Instant::now();
+    let built = builder.build(engine);
+    let dur = started.elapsed();
+    lock(metrics).index_builds += 1;
+    if let Some(o) = obs {
+        o.index_builds.inc();
+        o.index_build_seconds.observe_duration(dur);
+    }
+    match built {
+        Ok(ix) => {
+            if let Some(o) = obs {
+                o.index_sources.set(ix.num_sources() as i64);
+                o.index_bytes.set(ix.size_bytes() as i64);
+            }
+            Some(ix)
+        }
+        Err(e) => {
+            eprintln!("cgraph index: build failed, serving unindexed: {e}");
+            if let Some(o) = obs {
+                o.index_sources.set(0);
+                o.index_bytes.set(0);
+            }
+            None
+        }
+    }
+}
+
+/// Rebuilds the live index for `engine`'s (new) epoch — called by the
+/// dispatcher inside epoch commits and degradations, strictly between
+/// batches. Without a configured builder this is a no-op and the
+/// epoch fence alone retires the old index.
+fn rebuild_index(shared: &Shared, engine: &DistributedEngine) {
+    if let Some(b) = &shared.config.index {
+        let ix = build_index(&**b, engine, &shared.metrics, shared.obs.as_ref());
+        *lock(&shared.index) = ix;
+    }
 }
 
 /// A long-running query-serving front end over a
@@ -1105,6 +1252,12 @@ impl QueryService {
             so
         });
         let plane = QueryPlane::new(&config.query_plane, engine.graph_epoch());
+        let metrics = Mutex::new(MetricsAcc::default());
+        // Initial index build, before the first query can be admitted.
+        let index = match &config.index {
+            Some(b) => build_index(&**b, &engine, &metrics, obs.as_ref()),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -1118,8 +1271,9 @@ impl QueryService {
             durability: durability.map(Mutex::new),
             work: Condvar::new(),
             space: Condvar::new(),
-            metrics: Mutex::new(MetricsAcc::default()),
+            metrics,
             obs,
+            index: Mutex::new(index),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -1223,7 +1377,23 @@ impl QueryService {
                     }
                 }
             }
-            // 2. In-flight coalescing: an identical traversal already
+            // 2. Index-only fast path: a current-epoch reachability
+            // index whose sketch covers `(source, k)` exactly answers
+            // at admission — bit-identical to the traversal, no lane
+            // spent (see INDEXING.md).
+            if let Some(ans) = shared.current_index(epoch).and_then(|ix| ix.answer(t.source, t.k)) {
+                lock(&shared.metrics).index_only += 1;
+                if let Some(o) = &shared.obs {
+                    o.index_only_answers.inc();
+                }
+                complete_traversal(
+                    shared,
+                    &t.ticket,
+                    Ok((ans.visited, ans.per_level, Duration::ZERO, Duration::ZERO, epoch)),
+                );
+                continue;
+            }
+            // 3. In-flight coalescing: an identical traversal already
             // executing answers this one too.
             let t = if let Some(co) = &shared.plane.coalescer {
                 match lock(co).attach(&key, t) {
@@ -1344,16 +1514,30 @@ impl QueryService {
         self.shared.plane.epoch.load(Ordering::SeqCst)
     }
 
-    /// Advances the graph epoch and drops every cached result of the
-    /// old epochs, returning the new epoch: new queries key against
-    /// the new epoch (so they can never see a stale answer), and a
-    /// batch still in flight for an old epoch is barred from
-    /// committing its results into the cache. This *is*
-    /// [`QueryService::commit_epoch`] — with no pending updates it
-    /// reduces to a pure epoch bump, and any updates that were
-    /// buffered commit along with it; there is exactly one
-    /// epoch-advancement path. On a shut-down service the epoch is
-    /// frozen and returned unchanged.
+    /// Runs the **full commit protocol** with whatever updates happen
+    /// to be buffered (usually none) and returns the new epoch. This
+    /// *is* [`QueryService::commit_epoch`] — there is exactly one
+    /// epoch-advancement path, and it performs every fence step, not
+    /// just the cache drop the name suggests:
+    ///
+    /// 1. the dispatcher quiesces batch formation (commits run
+    ///    strictly between batches on the dispatcher thread), and —
+    ///    with durability on — a commit fence is appended and synced
+    ///    to the WAL *before* the in-memory commit;
+    /// 2. buffered updates (if any) become a new engine snapshot and
+    ///    the graph epoch advances by one;
+    /// 3. the result cache is fenced: entries keyed to older epochs
+    ///    are dropped, new queries key against the new epoch, and a
+    ///    batch still in flight for an old epoch is barred from
+    ///    committing its results;
+    /// 4. the reachability index is **rebuilt** for the new snapshot
+    ///    (with [`ServiceConfig::index`] set) — until the rebuild
+    ///    lands, the epoch fence keeps the old index from answering
+    ///    or pruning anything.
+    ///
+    /// Batches already dispatched finish against their admission-epoch
+    /// snapshot and carry that epoch in their results. On a shut-down
+    /// service the epoch is frozen and returned unchanged.
     pub fn invalidate_cache(&self) -> u64 {
         self.commit_epoch().unwrap_or_else(|_| self.graph_epoch())
     }
@@ -1368,6 +1552,10 @@ impl QueryService {
             None => (0, 0),
         };
         let pending_updates = lock(&self.shared.pending).updates.len() as u64;
+        let (index_sources, index_bytes) = lock(&self.shared.index)
+            .as_ref()
+            .map(|ix| (ix.num_sources() as u64, ix.size_bytes() as u64))
+            .unwrap_or((0, 0));
         let dur = self.shared.durability.as_ref().map(|dm| lock(dm).stats()).unwrap_or_default();
         let m = lock(&self.shared.metrics);
         ServiceStats {
@@ -1389,6 +1577,12 @@ impl QueryService {
             cache_entries,
             cache_bytes,
             coalesced_traversals: m.coalesced,
+            index_builds: m.index_builds,
+            index_only_answers: m.index_only,
+            index_pruned_sends: m.index_pruned_sends,
+            index_pruned_partitions: m.index_pruned_partitions,
+            index_sources,
+            index_bytes,
             updates_applied: m.updates_applied,
             updates_inserted: m.updates_inserted,
             updates_deleted: m.updates_deleted,
@@ -1552,6 +1746,14 @@ fn dispatch_loop(shared: &Shared, cluster: PersistentCluster) {
                 Ok((v.visited, v.per_level, wait, Duration::ZERO, formed.epoch)),
             );
         }
+        for (t, ans) in formed.index_hits {
+            let wait = t.submitted.elapsed();
+            complete_traversal(
+                shared,
+                &t.ticket,
+                Ok((ans.visited, ans.per_level, wait, Duration::ZERO, formed.epoch)),
+            );
+        }
         if !formed.groups.is_empty() {
             execute_batch(shared, &mut ctx, formed.groups);
         }
@@ -1565,6 +1767,10 @@ struct FormedBatch {
     /// Traversals answered by the result cache at pack time (their key
     /// was committed by an earlier batch while they sat queued).
     hits: Vec<(Traversal, CachedTraversal)>,
+    /// Traversals answered by the reachability index at pack time
+    /// (admitted before the current index existed — e.g. across an
+    /// epoch commit that rebuilt it).
+    index_hits: Vec<(Traversal, crate::index_api::IndexAnswer)>,
     /// Traversals whose query deadline elapsed while queued.
     expired: Vec<Traversal>,
     /// Graph epoch the batch was formed under — its admission epoch:
@@ -1603,6 +1809,29 @@ fn form_batch(shared: &Shared, st: &mut QueueState, ctx: &DispatchCtx) -> Formed
             lock(&shared.metrics).cache_hits += hits.len() as u64;
             if let Some(o) = &shared.obs {
                 o.cache_hits.add(hits.len() as u64);
+            }
+        }
+    }
+
+    // 1b. Index sweep: same shape as the cache sweep, against the
+    // current-epoch reachability index. Catches traversals admitted
+    // before this index existed (it is rebuilt at every commit).
+    let mut index_hits = Vec::new();
+    if let Some(ix) = shared.current_index(epoch) {
+        let mut i = 0;
+        while i < st.queue.len() {
+            match ix.answer(st.queue[i].source, st.queue[i].k) {
+                Some(ans) => {
+                    let t = st.queue.remove(i).expect("index in range");
+                    index_hits.push((t, ans));
+                }
+                None => i += 1,
+            }
+        }
+        if !index_hits.is_empty() {
+            lock(&shared.metrics).index_only += index_hits.len() as u64;
+            if let Some(o) = &shared.obs {
+                o.index_only_answers.add(index_hits.len() as u64);
             }
         }
     }
@@ -1714,7 +1943,7 @@ fn form_batch(shared: &Shared, st: &mut QueueState, ctx: &DispatchCtx) -> Formed
         t.skips = t.skips.saturating_add(1);
     }
 
-    FormedBatch { groups, hits, expired, epoch }
+    FormedBatch { groups, hits, index_hits, expired, epoch }
 }
 
 /// Exponential backoff with deterministic jitter (splitmix64 of the
@@ -1800,6 +2029,9 @@ fn perform_commit(
         c.invalidate_before(new_epoch);
         (c.len() as i64, c.used_bytes() as i64)
     });
+    // The old index is already fenced (its epoch no longer matches);
+    // rebuild for the new snapshot before the next batch forms.
+    rebuild_index(shared, &ctx.engine);
     let inserted = updates.iter().filter(|u| u.is_insert()).count() as u64;
     let deleted = updates.len() as u64 - inserted;
     let delta_entries = ctx.engine.delta_entries() as u64;
@@ -1877,6 +2109,10 @@ fn degrade(shared: &Shared, ctx: &mut DispatchCtx) {
     old.shutdown();
     ctx.engine = engine;
     ctx.blame = vec![0; p];
+    // The partition count changed: the index's per-partition masks are
+    // meaningless on the new layout. Rebuild (or drop) before any
+    // further batch can consult it.
+    rebuild_index(shared, &ctx.engine);
     lock(&shared.metrics).degraded_generations += 1;
     if let Some(o) = &shared.obs {
         o.degraded_generations.inc();
@@ -1915,6 +2151,15 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, groups: Vec<LaneGroup>)
         return;
     }
 
+    // Index pruning: lanes whose source the current-epoch index
+    // sketches carry per-partition level-set masks into the engine,
+    // suppressing provably no-op cross-machine deliveries. Computed
+    // once — retries re-run the same (sound) plan. Note degradation
+    // changes the partition count, so the plan is recomputed below
+    // whenever the engine generation moves.
+    let mut plan =
+        shared.current_index(ctx.engine.graph_epoch()).and_then(|ix| ix.prune_plan(&sources));
+
     // Recoverable path: in-batch checkpoint/replay first (inside the
     // engine), then whole-batch retries with backoff, then degradation
     // once the same machine keeps dying.
@@ -1928,12 +2173,13 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, groups: Vec<LaneGroup>)
             first_attempt: retry * (shared.config.recovery.max_recoveries + 1),
         });
         let dispatched = Instant::now();
-        let run = ctx.engine.run_traversal_batch_recoverable(
+        let run = ctx.engine.run_traversal_batch_recoverable_pruned(
             &ctx.cluster,
             &sources,
             &ks,
             &shared.config.recovery,
             fault,
+            plan.as_ref(),
         );
         match run {
             Ok((br, report)) => {
@@ -1945,12 +2191,16 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, groups: Vec<LaneGroup>)
                 m.checkpoints_restored += report.checkpoints_restored;
                 m.partitions_replayed += report.partitions_replayed;
                 m.full_rollbacks += u64::from(report.full_rollbacks);
+                m.index_pruned_sends += br.pruned_sends;
+                m.index_pruned_partitions += br.pruned_partitions;
                 drop(m);
                 if let Some(o) = &shared.obs {
                     // The engine folded the same `report` into the
                     // `cgraph_recovery_*` counters on this Ok return.
                     o.batches_dispatched.inc();
                     o.retries.add(u64::from(retry));
+                    o.index_pruned_sends.add(br.pruned_sends);
+                    o.index_pruned_partitions.add(br.pruned_partitions);
                     o.tracer.instant("batch_done", o.ctx(job, retry), br.supersteps as u64);
                 }
                 commit_batch(shared, groups, &br, dispatched, job, retry);
@@ -1963,6 +2213,12 @@ fn execute_batch(shared: &Shared, ctx: &mut DispatchCtx, groups: Vec<LaneGroup>)
                         let threshold = shared.config.degrade_after;
                         if threshold.is_some_and(|th| *b >= th) && ctx.engine.num_machines() > 1 {
                             degrade(shared, ctx);
+                            // The partition count changed: the old plan's
+                            // per-partition masks no longer apply. Degrade
+                            // rebuilt the index, so recompute.
+                            plan = shared
+                                .current_index(ctx.engine.graph_epoch())
+                                .and_then(|ix| ix.prune_plan(&sources));
                             continue; // degrading does not consume a retry
                         }
                     }
@@ -2293,6 +2549,112 @@ mod tests {
         assert_eq!(got.per_level, expected[0].per_level);
         assert_eq!(got.response_time, Duration::ZERO);
         assert_eq!(service.stats().queries_completed, 1);
+        service.shutdown();
+    }
+
+    /// A deterministic index for fence/fast-path plumbing tests: it
+    /// answers exactly `(source 5, k 3)` with a sentinel value no ring
+    /// traversal could produce, so a sentinel in a result *proves* the
+    /// index-only path served it.
+    struct SentinelIndex {
+        epoch: u64,
+    }
+    impl crate::index_api::ReachIndex for SentinelIndex {
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
+        fn answer(&self, source: u64, k: u32) -> Option<crate::index_api::IndexAnswer> {
+            (source == 5 && k == 3)
+                .then(|| crate::index_api::IndexAnswer { visited: 42, per_level: vec![42] })
+        }
+        fn prune_plan(&self, _: &[u64]) -> Option<crate::index_api::PrunePlan> {
+            None
+        }
+        fn reaches(&self, _: u64, _: u64) -> Option<bool> {
+            None
+        }
+        fn size_bytes(&self) -> usize {
+            64
+        }
+        fn num_sources(&self) -> usize {
+            1
+        }
+    }
+
+    /// Builds a [`SentinelIndex`] at the engine's current epoch (so
+    /// rebuilds track commits) or, with `stale` set, at an epoch no
+    /// engine will ever reach (so the fence must reject it).
+    struct SentinelBuilder {
+        stale: bool,
+    }
+    impl crate::index_api::IndexBuilder for SentinelBuilder {
+        fn build(
+            &self,
+            engine: &DistributedEngine,
+        ) -> Result<Arc<dyn crate::index_api::ReachIndex>, EngineError> {
+            let epoch = if self.stale { u64::MAX } else { engine.graph_epoch() };
+            Ok(Arc::new(SentinelIndex { epoch }))
+        }
+    }
+
+    #[test]
+    fn index_fast_path_answers_covered_queries_only() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            index: Some(Arc::new(SentinelBuilder { stale: false })),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        // Covered: the sentinel proves the index answered, not a lane.
+        let covered = service.query(KhopQuery::single(0, 5, 3)).unwrap();
+        assert_eq!(covered.visited, 42);
+        assert_eq!(covered.per_level, vec![42]);
+        // Uncovered: traverses as usual.
+        let uncovered = service.query(KhopQuery::single(1, 6, 3)).unwrap();
+        assert_eq!(uncovered.visited, 4);
+        let stats = service.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.index_only_answers, 1);
+        assert_eq!(stats.index_sources, 1);
+        assert_eq!(stats.index_bytes, 64);
+        assert_eq!(stats.queries_completed, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn index_rebuilds_inside_commit_fence() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            index: Some(Arc::new(SentinelBuilder { stale: false })),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        assert_eq!(service.query(KhopQuery::single(0, 5, 3)).unwrap().visited, 42);
+        let e1 = service.commit_epoch().unwrap();
+        assert_eq!(e1, 1);
+        // The rebuilt index carries the new epoch, so it still answers.
+        assert_eq!(service.query(KhopQuery::single(1, 5, 3)).unwrap().visited, 42);
+        let stats = service.stats();
+        assert_eq!(stats.index_builds, 2, "start-up build + commit rebuild");
+        assert_eq!(stats.index_only_answers, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stale_index_never_answers() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            index: Some(Arc::new(SentinelBuilder { stale: true })),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        // The epoch fence rejects the stale index: the covered query
+        // traverses and gets the *real* answer, not the sentinel.
+        let r = service.query(KhopQuery::single(0, 5, 3)).unwrap();
+        assert_eq!(r.visited, 4);
+        let stats = service.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.index_only_answers, 0);
         service.shutdown();
     }
 

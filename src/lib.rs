@@ -34,14 +34,18 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`graph`] | cgraph-graph | CSR/CSC, edge-set tiles, bitmaps, properties |
+//! | [`graph`] | cgraph-graph | CSR/CSC, edge-set tiles, bitmaps, properties, 2-hop labels |
 //! | [`gen`] | cgraph-gen | Graph 500/RMAT, ER, small-world, BA, scaling, I/O |
 //! | [`comm`] | cgraph-comm | simulated cluster, barriers, termination, net model |
 //! | [`core`] | cgraph-core | partitioning, shards, PCM, bit frontiers, engine, scheduler |
+//! | [`index`] | cgraph-index | boundary reachability index: distance sketches, prune masks, landmark labels |
 //! | [`obs`] | cgraph-obs | metrics registry, structured tracing, text exposition |
 //! | [`baselines`] | cgraph-baselines | Titan-like graph DB, Gemini-like serialized engine |
 //! | [`analytics`] | cgraph-analytics | BFS, k-hop, SSSP, PageRank, WCC, triangles, k-core, closeness, hop plot |
 //! | [`ql`] | cgraph-ql | query language + concurrent-wave session (see `examples/query_shell.rs`) |
+//!
+//! (cgraph-cache — the deterministic CLOCK result cache — is consumed
+//! through [`core`]'s query plane rather than re-exported here.)
 
 #![warn(missing_docs)]
 
@@ -51,6 +55,7 @@ pub use cgraph_comm as comm;
 pub use cgraph_core as core;
 pub use cgraph_gen as gen;
 pub use cgraph_graph as graph;
+pub use cgraph_index as index;
 pub use cgraph_obs as obs;
 pub use cgraph_ql as ql;
 
@@ -65,13 +70,14 @@ pub mod prelude {
     pub use cgraph_core::traverse::ValueMode;
     pub use cgraph_core::{
         DistributedEngine, DurabilityConfig, DurabilityError, DurabilityStats, EdgeUpdate,
-        EngineConfig, FaultPlan, KhopQuery, MutationConfig, QueryPlaneConfig, QueryResult,
-        QueryScheduler, QueryService, RecoveryConfig, RecoveryOutcome, RecoveryReport,
-        ResponseStats, SchedulerConfig, ServiceConfig, ServiceError, ServiceStats, UpdateBatch,
-        UpdateMode, VertexProgram,
+        EngineConfig, FaultPlan, IndexAnswer, IndexBuilder, IndexConfig, KhopQuery, MutationConfig,
+        PrunePlan, QueryPlaneConfig, QueryResult, QueryScheduler, QueryService, ReachIndex,
+        RecoveryConfig, RecoveryOutcome, RecoveryReport, ResponseStats, SchedulerConfig,
+        ServiceConfig, ServiceError, ServiceStats, UpdateBatch, UpdateMode, VertexProgram,
     };
     pub use cgraph_gen::Dataset;
     pub use cgraph_graph::{
         Adjacency, BuildOptions, Csr, Edge, EdgeList, GraphBuilder, ReindexMode, VertexId,
     };
+    pub use cgraph_index::{BoundaryIndexBuilder, IndexTier};
 }
