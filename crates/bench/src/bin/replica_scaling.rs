@@ -1,0 +1,263 @@
+//! Replica scaling — the serving tier's replicated front-ends on a
+//! Zipf-skewed stream.
+//!
+//! One [`ServiceGroup`] runs N query front-end replicas (admission
+//! queue + result cache + coalescer each) over ONE shared cluster;
+//! the deterministic router steers each query by source-partition
+//! locality with a cache-heat tiebreak. On a single-core host the
+//! win is **work avoidance through aggregate cache capacity**: each
+//! replica's cache is deliberately sized below the hot set
+//! (~90 entries vs 256 hot keys), so a single front-end churns its
+//! CLOCK ring forever while four replicas — the router keeping each
+//! partition's repeats on the replica that already cached them —
+//! hold the entire hot set between them and answer at submit time.
+//!
+//! Measured per row, after an untimed warmup pass over the hot set
+//! (steady-state serving, the tier's operating regime):
+//!
+//! * **admission throughput** — queries/s over the submission phases
+//!   alone. Admission queues are bounded (`--depth`, default 32), so
+//!   a churning single replica backpressures the submitter while the
+//!   hot-set-resident group admits at memcpy speed.
+//! * **client p95** — 95th percentile of per-query client-visible
+//!   latency, admission stall *plus* service response, so a stalled
+//!   submit cannot hide queue time from the tail (no coordinated
+//!   omission).
+//! * **hit rate** over the measured phase, and answer equivalence:
+//!   results must be bit-identical across every row — replication may
+//!   change *where* a traversal runs, never its answer.
+//!
+//! Rows: the plain pre-tier [`QueryService`], then the group at
+//! N ∈ {1, 2, 4}. `--strict` turns the shape checks into hard
+//! assertions (CI smoke omits it; EXPERIMENTS.md records a strict
+//! run): 1 → 4 replicas must lift admission throughput ≥ 1.7× at a
+//! client p95 no worse than the single-replica service's.
+
+use cgraph_bench::*;
+use cgraph_core::{
+    DistributedEngine, EngineConfig, GroupConfig, KhopQuery, QueryPlaneConfig, QueryService,
+    QueryTicket, RouterConfig, ServiceConfig, ServiceError, ServiceGroup, ServiceStats,
+};
+use cgraph_gen::QueryStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// ~90 entries of headroom per replica: a `CachedTraversal` for a
+/// TINY answer runs ~90 B, so 8 KiB caches ~90 of the 256 candidate
+/// keys — well under the hot set alone, comfortably over it four ways.
+const PER_REPLICA_CACHE_BYTES: usize = 8 << 10;
+
+type Answer = (u64, Vec<u64>);
+
+/// The pre-tier single service and the group behind one submit/query
+/// surface, so both measure through identical bench code.
+enum Tier {
+    Solo(QueryService),
+    Group(ServiceGroup),
+}
+
+impl Tier {
+    fn submit(&self, q: KhopQuery) -> Result<QueryTicket, ServiceError> {
+        match self {
+            Tier::Solo(s) => s.submit(q),
+            Tier::Group(g) => g.submit(q),
+        }
+    }
+
+    fn stats(&self) -> ServiceStats {
+        match self {
+            Tier::Solo(s) => s.stats(),
+            Tier::Group(g) => g.stats(),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Tier::Solo(s) => s.shutdown(),
+            Tier::Group(g) => g.shutdown(),
+        }
+    }
+}
+
+struct RunOut {
+    admit: Duration,
+    p95: Duration,
+    answers: Vec<Answer>,
+    hit_rate: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stream(
+    engine: &Arc<DistributedEngine>,
+    stream: &[(usize, u64, u32)],
+    hot_set: &[u64],
+    k: u32,
+    window: usize,
+    depth: usize,
+    delay: Duration,
+    replicas: Option<usize>,
+) -> RunOut {
+    let service = ServiceConfig {
+        max_batch_delay: delay,
+        max_queue_depth: depth,
+        query_plane: QueryPlaneConfig {
+            cache_capacity_bytes: Some(PER_REPLICA_CACHE_BYTES),
+            coalesce: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let tier = match replicas {
+        None => Tier::Solo(QueryService::start(Arc::clone(engine), service)),
+        Some(n) => Tier::Group(ServiceGroup::start(
+            Arc::clone(engine),
+            GroupConfig { replicas: n, router: RouterConfig::default(), service },
+        )),
+    };
+
+    // Untimed warmup: one pass over the full hot set, so the measured
+    // phase runs against steady-state caches (the serving regime).
+    for (i, &src) in hot_set.iter().enumerate() {
+        tier.submit(KhopQuery::single(1_000_000 + i, src, k))
+            .expect("warmup submit")
+            .wait()
+            .expect("warmup query");
+    }
+    let warm = tier.stats();
+
+    let mut admit = Duration::ZERO;
+    let mut answers = vec![(0u64, Vec::new()); stream.len()];
+    let mut lats: Vec<Duration> = Vec::with_capacity(stream.len());
+    for wave in stream.chunks(window) {
+        let t0 = Instant::now();
+        let tickets: Vec<_> = wave
+            .iter()
+            .map(|&(id, src, k)| {
+                let s0 = Instant::now();
+                let t = tier.submit(KhopQuery::single(id, src, k)).expect("submit");
+                (s0.elapsed(), id, t)
+            })
+            .collect();
+        admit += t0.elapsed();
+        for (stall, id, t) in tickets {
+            let r = t.wait().expect("query failed");
+            lats.push(stall + r.response_time);
+            answers[id] = (r.visited, r.per_level);
+        }
+    }
+    lats.sort();
+    let p95 = lats[lats.len() * 95 / 100];
+    let done = tier.stats();
+    let hit_rate = (done.cache_hits - warm.cache_hits) as f64 / stream.len() as f64;
+    tier.shutdown();
+    RunOut { admit, p95, answers, hit_rate }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machines = arg_usize(&args, "--machines", 4);
+    let queries = arg_usize(&args, "--queries", 1000);
+    let k = arg_usize(&args, "--k", 6) as u32;
+    let window = arg_usize(&args, "--window", 250);
+    let depth = arg_usize(&args, "--depth", 32);
+    let delay = Duration::from_micros(arg_usize(&args, "--delay-us", 50) as u64);
+    let strict = args.iter().any(|a| a == "--strict");
+    banner(
+        "Replica scaling: serving tier at N front-ends (TINY, 4 machines)",
+        "serving extension (not a paper figure): replicated front-ends, one cluster",
+        "same seeded Zipf(1.0) stream, pre-tier service vs group at N in {1,2,4}",
+    );
+
+    let edges = load_dataset_by_name(&arg_string(&args, "--dataset", "TINY"));
+    let candidates = random_sources(&edges, 256, 0x5E21);
+    let zipf = QueryStream::zipf(0xCAC4E, 1.0, queries);
+    let stream: Vec<(usize, u64, u32)> =
+        zipf.sources(&candidates).into_iter().enumerate().map(|(i, s)| (i, s, k)).collect();
+    let engine =
+        Arc::new(DistributedEngine::new(&edges, EngineConfig::new(machines).traversal_only()));
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut baseline: Option<Vec<Answer>> = None;
+    let mut answers_agree = true;
+    let mut one_qps = 0.0f64;
+    let mut four_qps = 0.0f64;
+    let mut single_p95 = Duration::ZERO;
+    let mut four_p95 = Duration::ZERO;
+    for (name, replicas) in [
+        ("service (pre-tier)", None),
+        ("group N=1", Some(1usize)),
+        ("group N=2", Some(2)),
+        ("group N=4", Some(4)),
+    ] {
+        eprintln!("[replicas] {name}...");
+        let out = run_stream(&engine, &stream, &candidates, k, window, depth, delay, replicas);
+        match &baseline {
+            None => baseline = Some(out.answers),
+            Some(b) => answers_agree &= *b == out.answers,
+        }
+        let qps = queries as f64 / out.admit.as_secs_f64().max(1e-12);
+        match replicas {
+            None => single_p95 = out.p95,
+            Some(1) => one_qps = qps,
+            Some(4) => {
+                four_qps = qps;
+                four_p95 = out.p95;
+            }
+            _ => {}
+        }
+        rows.push(vec![
+            name.to_string(),
+            fmt_dur(out.admit),
+            format!("{qps:.0}"),
+            if one_qps > 0.0 { format!("{:.2}x", qps / one_qps) } else { "-".into() },
+            format!("{:.1}%", 100.0 * out.hit_rate),
+            fmt_dur(out.p95),
+        ]);
+        csv_rows.push(vec![
+            replicas.map_or_else(|| "solo".into(), |n| n.to_string()),
+            name.to_string(),
+            out.admit.as_secs_f64().to_string(),
+            format!("{qps:.1}"),
+            format!("{:.4}", out.hit_rate),
+            out.p95.as_secs_f64().to_string(),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Serving tier on {queries} x {k}-hop Zipf(1.0) queries, window {window}, \
+             queue depth {depth}"
+        ),
+        &["config", "admit wall", "admit q/s", "vs N=1", "hit rate", "client p95"],
+        &rows,
+    );
+    let scaling = four_qps / one_qps.max(1e-12);
+    println!(
+        "\nshape check: identical answers across every replica count ({})",
+        if answers_agree { "holds" } else { "VIOLATED" }
+    );
+    println!(
+        "shape check: 1 -> 4 replicas >= 1.7x admission throughput ({scaling:.2}x — {})",
+        if scaling >= 1.7 { "holds" } else { "VIOLATED" }
+    );
+    println!(
+        "shape check: N=4 client p95 no worse than the single service ({} vs {} — {})",
+        fmt_dur(four_p95),
+        fmt_dur(single_p95),
+        if four_p95 <= single_p95 { "holds" } else { "VIOLATED" }
+    );
+    write_csv(
+        "replica_scaling.csv",
+        &["replicas", "config", "admit_wall_s", "admit_queries_per_s", "hit_rate", "client_p95_s"],
+        &csv_rows,
+    );
+    if strict {
+        assert!(answers_agree, "answers diverged across replica counts");
+        assert!(scaling >= 1.7, "1 -> 4 replica scaling {scaling:.2}x < 1.7x");
+        assert!(
+            four_p95 <= single_p95,
+            "N=4 client p95 {four_p95:?} worse than single-replica {single_p95:?}"
+        );
+    }
+}

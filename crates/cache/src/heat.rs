@@ -1,0 +1,139 @@
+//! Cache-heat accounting for replicated front-ends.
+//!
+//! A [`HeatTable`] is a dense `(replica, partition)` grid of saturating
+//! counters fed by query-plane events: every result-cache hit or
+//! insertion on replica `r` for a source owned by partition `p` bumps
+//! `heat(r, p)`. The serving tier's router reads the grid as a
+//! tiebreak — a replica that has been serving a partition's sources
+//! holds that partition's results in its cache, so steering the next
+//! query for the partition to the same replica turns a would-be
+//! traversal into a cache hit.
+//!
+//! Like the [`ResultCache`](crate::ResultCache) that feeds it, the
+//! table is driven purely by *logical* events — no wall clock, no
+//! randomness — so two runs that observe the same event sequence hold
+//! identical heat and route identically. Epoch commits cool the whole
+//! grid with [`HeatTable::halve`]: the caches they fence no longer
+//! hold the entries the heat described.
+
+use std::sync::Mutex;
+
+/// Saturating per-`(replica, partition)` hit counters with halving
+/// decay. All methods take `&self`; the grid is internally locked.
+#[derive(Debug)]
+pub struct HeatTable {
+    replicas: usize,
+    partitions: usize,
+    grid: Mutex<Vec<u64>>,
+}
+
+impl HeatTable {
+    /// An all-cold table for `replicas` front-ends over `partitions`
+    /// graph partitions (both clamped to at least 1).
+    pub fn new(replicas: usize, partitions: usize) -> Self {
+        let replicas = replicas.max(1);
+        let partitions = partitions.max(1);
+        Self { replicas, partitions, grid: Mutex::new(vec![0; replicas * partitions]) }
+    }
+
+    /// Number of replica rows.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of partition columns.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn idx(&self, replica: usize, partition: usize) -> Option<usize> {
+        (replica < self.replicas && partition < self.partitions)
+            .then(|| replica * self.partitions + partition)
+    }
+
+    /// Records one cache event (hit or insertion) on `replica` for a
+    /// source owned by `partition`. Out-of-range coordinates are
+    /// ignored — a degraded engine can shrink the partition count
+    /// below the table's width mid-run.
+    pub fn bump(&self, replica: usize, partition: usize) {
+        if let Some(i) = self.idx(replica, partition) {
+            let mut g = self.grid.lock().unwrap_or_else(|e| e.into_inner());
+            g[i] = g[i].saturating_add(1);
+        }
+    }
+
+    /// Current heat of `(replica, partition)`; 0 when out of range.
+    pub fn get(&self, replica: usize, partition: usize) -> u64 {
+        match self.idx(replica, partition) {
+            Some(i) => self.grid.lock().unwrap_or_else(|e| e.into_inner())[i],
+            None => 0,
+        }
+    }
+
+    /// Total heat accumulated by `replica` across every partition.
+    pub fn total(&self, replica: usize) -> u64 {
+        if replica >= self.replicas {
+            return 0;
+        }
+        let g = self.grid.lock().unwrap_or_else(|e| e.into_inner());
+        g[replica * self.partitions..(replica + 1) * self.partitions].iter().sum()
+    }
+
+    /// Halves every counter — the decay an epoch commit applies after
+    /// fencing the caches the heat described.
+    pub fn halve(&self) {
+        let mut g = self.grid.lock().unwrap_or_else(|e| e.into_inner());
+        for c in g.iter_mut() {
+            *c /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_get_and_total_account_per_cell() {
+        let h = HeatTable::new(2, 3);
+        h.bump(0, 1);
+        h.bump(0, 1);
+        h.bump(1, 2);
+        assert_eq!(h.get(0, 1), 2);
+        assert_eq!(h.get(1, 2), 1);
+        assert_eq!(h.get(1, 1), 0);
+        assert_eq!(h.total(0), 2);
+        assert_eq!(h.total(1), 1);
+    }
+
+    #[test]
+    fn halve_decays_everything() {
+        let h = HeatTable::new(1, 2);
+        for _ in 0..5 {
+            h.bump(0, 0);
+        }
+        h.bump(0, 1);
+        h.halve();
+        assert_eq!(h.get(0, 0), 2);
+        assert_eq!(h.get(0, 1), 0);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let h = HeatTable::new(1, 1);
+        h.bump(5, 0);
+        h.bump(0, 9);
+        assert_eq!(h.get(5, 0), 0);
+        assert_eq!(h.get(0, 9), 0);
+        assert_eq!(h.total(5), 0);
+        assert_eq!(h.get(0, 0), 0);
+    }
+
+    #[test]
+    fn zero_dimensions_clamp_to_one() {
+        let h = HeatTable::new(0, 0);
+        assert_eq!((h.replicas(), h.partitions()), (1, 1));
+        h.bump(0, 0);
+        assert_eq!(h.get(0, 0), 1);
+    }
+}

@@ -27,6 +27,10 @@
 //!   land in the same partition range (maximising shared-subgraph
 //!   traversal, the first-order win Q-Graph reports), bounded by a
 //!   fairness rule so cold-partition queries cannot starve.
+//! * [`HeatTable`] — per-`(replica, partition)` cache-heat counters
+//!   fed by the hit/insertion events above; the serving tier's router
+//!   reads them to keep steering a partition's queries at the replica
+//!   whose cache already holds that partition's results.
 //!
 //! The crate is dependency-free and engine-agnostic: keys, values and
 //! partition ids are plain integers, so it can sit in front of any
@@ -35,9 +39,11 @@
 #![warn(missing_docs)]
 
 pub mod coalesce;
+pub mod heat;
 pub mod packer;
 pub mod result_cache;
 
 pub use coalesce::Coalescer;
+pub use heat::HeatTable;
 pub use packer::{pack_fifo, pack_locality, PackItem, PackPolicy};
 pub use result_cache::{CacheKey, CacheStats, CachedTraversal, ResultCache};

@@ -3,8 +3,9 @@
 use crate::args::Args;
 use crate::{build_engine, load_graph, run_bench, save_graph, summary};
 use cgraph_core::{
-    DurabilityConfig, EdgeUpdate, EngineConfig, FaultPlan, IndexBuilder, IndexConfig, KhopQuery,
-    MutationConfig, QueryPlaneConfig, QueryService, RecoveryConfig, SchedulerConfig, ServiceConfig,
+    DurabilityConfig, EdgeUpdate, EngineConfig, FaultPlan, GroupConfig, IndexBuilder, IndexConfig,
+    KhopQuery, MutationConfig, QueryPlaneConfig, RecoveryConfig, RouterConfig, SchedulerConfig,
+    ServiceConfig, ServiceGroup,
 };
 use cgraph_index::BoundaryIndexBuilder;
 use cgraph_obs::{Obs, TraceSink};
@@ -143,6 +144,8 @@ pub fn bench(args: Args) -> Result<(), String> {
 /// Flags shared by `serve` and `replay` for [`start_service`].
 const SERVICE_FLAGS: &[&str] = &[
     "-p",
+    "--replicas",
+    "--router-seed",
     "--batch-width",
     "--delay-us",
     "--depth",
@@ -211,9 +214,16 @@ fn write_obs(out: &ObsOut) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds a running [`QueryService`] from common serve/replay flags.
-fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryService, String> {
+/// Builds a running serving tier — a [`ServiceGroup`] of `--replicas`
+/// query front-ends (default 1, the classic single service) over one
+/// shared cluster — from common serve/replay flags.
+fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<ServiceGroup, String> {
     let machines: usize = args.flag_parse("-p", 3)?;
+    let replicas: usize = args.flag_parse("--replicas", 1)?;
+    if replicas == 0 || replicas > 64 {
+        return Err(format!("bad --replicas {replicas}: must be between 1 and 64"));
+    }
+    let router_seed: u64 = args.flag_parse("--router-seed", 0)?;
     let batch_width: usize = args.flag_parse("--batch-width", 64)?;
     if !matches!(batch_width, 64 | 128 | 256 | 512) {
         return Err(format!("bad --batch-width {batch_width}: must be 64, 128, 256 or 512"));
@@ -267,12 +277,17 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
         obs: obs.map(|o| Arc::clone(&o.obs)),
         ..Default::default()
     };
-    if config.durability.is_some() {
+    let group_config = GroupConfig {
+        replicas,
+        router: RouterConfig { seed: router_seed, ..Default::default() },
+        service: config,
+    };
+    if group_config.service.durability.is_some() {
         // Durable (restart-capable) serving: resume from whatever
         // committed state survives in --data-dir, or ingest the graph
         // file fresh at epoch 0 when the directory is empty.
         let (service, rec) =
-            QueryService::open_or_recover(&edges, EngineConfig::new(machines), config)
+            ServiceGroup::open_or_recover(&edges, EngineConfig::new(machines), group_config)
                 .map_err(|e| e.to_string())?;
         println!(
             "recovery recovered={} epoch={} wal_replayed={} snapshots_corrupt={} \
@@ -287,7 +302,7 @@ fn start_service(args: &Args, path: &str, obs: Option<&ObsOut>) -> Result<QueryS
         Ok(service)
     } else {
         let engine = Arc::new(build_engine(&edges, machines));
-        QueryService::try_start(engine, config).map_err(|e| e.to_string())
+        ServiceGroup::try_start(engine, group_config).map_err(|e| e.to_string())
     }
 }
 
@@ -322,9 +337,9 @@ pub fn parse_update_line(line: &str) -> Result<Option<EdgeUpdate>, String> {
 
 /// Streams edge updates from `path` into the service on a background
 /// thread: updates apply in chunks (so a `--commit-every` threshold
-/// can fire between them), and one final [`QueryService::commit_epoch`]
+/// can fire between them), and one final [`ServiceGroup::commit_epoch`]
 /// publishes whatever the threshold left pending once the file drains.
-fn spawn_update_stream(service: Arc<QueryService>, path: String) -> std::thread::JoinHandle<()> {
+fn spawn_update_stream(service: Arc<ServiceGroup>, path: String) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -364,8 +379,9 @@ fn spawn_update_stream(service: Arc<QueryService>, path: String) -> std::thread:
 /// the canonical machine-parseable `stats` record (`key=value` pairs,
 /// fixed order) that operators and tests key on; the human-readable
 /// summary follows.
-fn print_service_stats(service: &QueryService) {
+fn print_service_stats(service: &ServiceGroup) {
     let s = service.stats();
+    let r = service.router_stats();
     println!(
         "stats completed={} failed={} deadline_exceeded={} batches={} retries={} \
          recoveries={} checkpoints_taken={} checkpoints_restored={} partitions_replayed={} \
@@ -375,7 +391,8 @@ fn print_service_stats(service: &QueryService) {
          delta_entries={} delta_bytes={} wal_records={} wal_bytes={} snapshots={} \
          snapshot_bytes={} wal_replayed={} snapshots_corrupt={} durable_recoveries={} \
          last_snapshot_epoch={} index_builds={} index_only={} index_pruned_sends={} \
-         index_pruned_partitions={} index_sources={} index_bytes={}",
+         index_pruned_partitions={} index_sources={} index_bytes={} replicas={} \
+         router_locality={} router_heat={} router_balance={}",
         s.queries_completed,
         s.queries_failed,
         s.queries_deadline_exceeded,
@@ -414,6 +431,10 @@ fn print_service_stats(service: &QueryService) {
         s.index_pruned_partitions,
         s.index_sources,
         s.index_bytes,
+        service.replicas(),
+        r.locality,
+        r.heat_steered,
+        r.balance,
     );
     println!(
         "served {} queries ({} failed, {} past deadline) in {} batches; \
@@ -427,6 +448,17 @@ fn print_service_stats(service: &QueryService) {
         s.response.quantile(0.95),
         s.response.max(),
     );
+    if service.replicas() > 1 {
+        println!(
+            "serving tier: {} replicas, per-replica queries {:?} ({} locality, \
+             {} heat-steered, {} balance-spilled)",
+            service.replicas(),
+            r.routed,
+            r.locality,
+            r.heat_steered,
+            r.balance,
+        );
+    }
     if s.cache_hits + s.cache_misses + s.coalesced_traversals > 0 {
         let lookups = s.cache_hits + s.cache_misses;
         let pct = if lookups > 0 { 100.0 * s.cache_hits as f64 / lookups as f64 } else { 0.0 };
@@ -512,7 +544,7 @@ fn print_service_stats(service: &QueryService) {
     }
 }
 
-/// `cgraph serve <FILE> [-p MACHINES] [--batch-width W] [--delay-us D]
+/// `cgraph serve <FILE> [-p MACHINES] [--replicas N] [--batch-width W] [--delay-us D]
 /// [--depth N] [--chaos SPEC] [--deadline-ms MS] [--retries N]
 /// [--ckpt-interval K] [--degrade-after N]`
 ///
@@ -711,7 +743,7 @@ pub fn mutate(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `cgraph replay <FILE> [-p M] [-q N] [-k K] [--rate QPS]
+/// `cgraph replay <FILE> [-p M] [--replicas N] [-q N] [-k K] [--rate QPS]
 /// [--batch-width W] [--delay-us D] [--depth N] [--chaos SPEC]
 /// [--deadline-ms MS] [--retries N] [--ckpt-interval K]
 /// [--degrade-after N]`

@@ -71,7 +71,8 @@ pub use query::{KhopQuery, QueryResult};
 pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use scheduler::{QueryScheduler, SchedulerConfig};
 pub use service::{
-    MutationConfig, QueryPlaneConfig, QueryService, QueryTicket, ServiceConfig, ServiceError,
+    GroupConfig, MutationConfig, QueryPlaneConfig, QueryService, QueryTicket, RouteDecision,
+    RouteKind, Router, RouterConfig, RouterStats, ServiceConfig, ServiceError, ServiceGroup,
     ServiceStats,
 };
 pub use shard::Shard;

@@ -1,0 +1,1578 @@
+//! The persistent streaming query service — the serving-path
+//! extension of §3.3.
+//!
+//! [`crate::scheduler::QueryScheduler`] answers one *closed* batch of
+//! queries handed over all at once. A serving deployment instead sees
+//! an **open stream**: queries arrive at arbitrary times from many
+//! client threads and each wants an answer as soon as possible.
+//! [`QueryService`] bridges the two worlds:
+//!
+//! * an **admission queue** collects incoming [`KhopQuery`]s from any
+//!   number of submitter threads, applying queue-depth backpressure
+//!   ([`ServiceConfig::max_queue_depth`]): submitters block while the
+//!   queue is full, so an overloaded service slows producers instead
+//!   of growing without bound;
+//! * a **dispatcher thread** packs queued traversals into bit-frontier
+//!   batches with a *fill-or-deadline* policy — a batch goes out as
+//!   soon as [`QueryService::effective_lanes`] traversals are waiting,
+//!   or when the oldest admitted traversal has waited
+//!   [`ServiceConfig::max_batch_delay`], whichever comes first. The
+//!   lane width honours [`SchedulerConfig::memory_budget_bytes`]
+//!   exactly like the closed-batch scheduler;
+//! * batches execute on a long-lived
+//!   [`cgraph_comm::PersistentCluster`] via
+//!   [`DistributedEngine::run_traversal_batch_on`], so no machine
+//!   threads are spawned per batch — the serving path amortises thread
+//!   start-up across the whole stream;
+//! * per-query latency — admission wait plus batch execution — flows
+//!   into [`ResponseStats`], the same distributions every figure of §4
+//!   reports.
+//!
+//! # Query plane
+//!
+//! Between admission and the engine sits an optional **query plane**
+//! ([`QueryPlaneConfig`]) exploiting the redundancy of real request
+//! streams (the paper's "heavy traffic from millions of users" is
+//! Zipf-skewed — the same hot sources are queried over and over):
+//!
+//! * a **result cache** ([`cgraph_cache::ResultCache`]) answers
+//!   repeated `(source, k)` queries without burning a lane: bounded in
+//!   bytes, CLOCK-evicted on a logical clock (no wall time — runs are
+//!   reproducible), keyed by `(source, k, graph_epoch)` and
+//!   invalidated wholesale by [`QueryService::invalidate_cache`].
+//!   Only *committed* batches populate it: insertion happens exactly
+//!   once, on the engine's `Ok` return, after every in-batch recovery
+//!   and retry has resolved — a crashed or degraded attempt can never
+//!   leak partial state into the cache;
+//! * an **in-flight coalescer** ([`cgraph_cache::Coalescer`])
+//!   single-flights identical traversals: while one executes, every
+//!   duplicate — queued behind it or arriving mid-batch — attaches to
+//!   that execution and shares its result (or its failure);
+//! * a **locality-aware packer** ([`cgraph_cache::pack_locality`])
+//!   fills batches with queries whose sources share partition ranges,
+//!   under a strict fairness bound so cold-partition queries are
+//!   delayed at most [`QueryPlaneConfig::locality_fairness`] batches;
+//! * independent of all knobs, batch formation **never spends two
+//!   lanes on identical `(source, k)` traversals**: duplicates inside
+//!   one batch window always collapse into a single lane.
+//!
+//! # Index tier
+//!
+//! With [`ServiceConfig::index`] set, the service keeps a
+//! [`ReachIndex`](crate::index_api::ReachIndex) built for the
+//! engine's current epoch (see
+//! `INDEXING.md` for the design contract):
+//!
+//! * traversals whose `(source, k)` the index covers exactly are
+//!   answered **index-only** — at admission or during batch
+//!   formation, without spending a lane, bit-identical to what the
+//!   traversal would have returned;
+//! * traversals that do execute carry the index's per-partition
+//!   level-set masks into the engine, which suppresses cross-machine
+//!   frontier deliveries that are provably no-ops (sound pruning:
+//!   answers are untouched, wire traffic and absorb work shrink);
+//! * the index is versioned by graph epoch and consulted **only**
+//!   while its epoch matches the serving snapshot's — every epoch
+//!   commit (and every degradation) rebuilds it before the next batch
+//!   forms, so a stale index can never answer or prune.
+//!
+//! # Mutation plane
+//!
+//! [`QueryService::apply_updates`] buffers edge insertions/deletions
+//! ([`cgraph_graph::UpdateBatch`]) without touching the serving
+//! snapshot; [`QueryService::commit_epoch`] — or crossing
+//! [`MutationConfig::commit_threshold`] — asks the dispatcher to fold
+//! them in **between batches**: batch formation is naturally quiesced
+//! (the dispatcher is single-threaded), the buffered updates become a
+//! new engine snapshot via [`DistributedEngine::with_updates`]
+//! (delta-overlay publish, or a full CSR/CSC fold past
+//! [`MutationConfig::fold_threshold`]), the graph epoch advances, and
+//! stale cache entries are fenced with
+//! [`cgraph_cache::ResultCache::invalidate_before`]. Batches already
+//! dispatched finish against their admission-epoch snapshot — every
+//! [`QueryResult::epoch`] names the snapshot that produced it. There
+//! is exactly one epoch-advancement path:
+//! [`QueryService::invalidate_cache`] is a commit with no pending
+//! updates.
+//!
+//! # Fault-tolerance policy
+//!
+//! The service layers *policy* over the engine's recovery *mechanism*
+//! ([`DistributedEngine::run_traversal_batch_recoverable`]):
+//!
+//! * **chaos plane** — [`ServiceConfig::fault_plan`] installs a
+//!   deterministic [`FaultPlan`]; each dispatched batch becomes one
+//!   chaos *job* (`job = batch sequence number`), so a plan armed for
+//!   a job window poisons exactly those batches and no others;
+//! * **retry with backoff** — a batch that still fails after the
+//!   engine's in-batch recoveries is retried up to
+//!   [`ServiceConfig::max_retries`] times with exponential backoff
+//!   plus deterministic jitter; retry attempts are salted
+//!   (`first_attempt = retry × (max_recoveries + 1)`) so a healing
+//!   plan sees monotone attempt numbers across the whole batch life;
+//! * **failure isolation** — a batch that exhausts its retries fails
+//!   only its own lanes ([`ServiceError::BatchFailed`]); queued and
+//!   future queries keep flowing on the surviving cluster;
+//! * **per-query deadlines** — [`ServiceConfig::query_deadline`]
+//!   bounds each query's end-to-end latency: expired traversals are
+//!   failed with [`ServiceError::DeadlineExceeded`] before dispatch,
+//!   and [`QueryTicket::wait`] enforces the same bound client-side;
+//! * **graceful degradation** — when the same machine is blamed for
+//!   [`ServiceConfig::degrade_after`] panics, the dispatcher
+//!   re-partitions the graph onto `p - 1` machines
+//!   ([`DistributedEngine::repartitioned`]) and replaces the cluster;
+//!   degrading does not consume a retry.
+//!
+//! # Example
+//!
+//! ```
+//! use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery, QueryService, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let ring: cgraph_graph::EdgeList = (0..12u64).map(|v| (v, (v + 1) % 12)).collect();
+//! let engine = Arc::new(DistributedEngine::new(&ring, EngineConfig::new(2)));
+//! let service = QueryService::start(engine, ServiceConfig::default());
+//! // `query` = submit + wait; any number of threads may call it.
+//! let r = service.query(KhopQuery::single(0, 0, 3)).unwrap();
+//! assert_eq!(r.visited, 4); // vertices 0..=3 on the ring
+//! assert_eq!(service.stats().queries_completed, 1);
+//! service.shutdown();
+//! ```
+
+use crate::config::EngineConfig;
+use crate::durability::{DurabilityConfig, RecoveryOutcome};
+use crate::engine::DistributedEngine;
+use crate::index_api::IndexBuilder;
+use crate::metrics::ResponseStats;
+use crate::query::{KhopQuery, QueryResult};
+use crate::recovery::RecoveryConfig;
+use crate::scheduler::SchedulerConfig;
+use cgraph_comm::chaos::FaultPlan;
+use cgraph_graph::delta::UpdateBatch;
+use cgraph_graph::snapshot::DiskFaults;
+use cgraph_graph::EdgeList;
+use cgraph_obs::Obs;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a submitted query could not be answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service has been shut down (or its dispatcher is gone); no
+    /// further queries are accepted.
+    ShutDown,
+    /// The batch carrying this query failed — a machine of the
+    /// persistent cluster panicked mid-execution and every recovery
+    /// and retry was exhausted. The message is the underlying cluster
+    /// error; the service itself keeps serving.
+    BatchFailed(String),
+    /// The query's [`ServiceConfig::query_deadline`] elapsed before a
+    /// result was produced.
+    DeadlineExceeded,
+    /// The query was rejected at admission: a source vertex lies
+    /// outside the graph's vertex range. Caught before batching so a
+    /// malformed query can never take down the batch it would have
+    /// shared lanes with.
+    InvalidQuery(String),
+    /// The service configuration is invalid — a knob holds a value the
+    /// service cannot run with (zero checkpoint interval, zero commit
+    /// threshold, zero snapshot cadence). Caught at construction by
+    /// [`QueryService::try_start`] / [`QueryService::open_or_recover`],
+    /// before any thread is spawned or file is touched.
+    InvalidConfig(String),
+    /// The durability plane failed: the data directory could not be
+    /// opened, the WAL could not be appended, or recovery found
+    /// internally inconsistent durable state.
+    Durability(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShutDown => write!(f, "query service is shut down"),
+            ServiceError::BatchFailed(msg) => {
+                write!(f, "batch execution failed: {msg}")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ServiceError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            ServiceError::InvalidConfig(msg) => {
+                write!(f, "invalid service configuration: {msg}")
+            }
+            ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Knobs of the query plane sitting between admission and the engine:
+/// result caching, in-flight coalescing and locality-aware packing.
+/// Everything defaults to *off*, in which case batch formation is
+/// byte-identical to the plain FIFO fill-or-deadline service (except
+/// that identical traversals never occupy two lanes of one batch —
+/// that de-duplication is unconditional).
+#[derive(Clone, Debug)]
+pub struct QueryPlaneConfig {
+    /// Result-cache capacity in bytes (`None` — the default — disables
+    /// the cache). Entries are charged their real payload size plus a
+    /// fixed overhead; eviction is deterministic CLOCK on a logical
+    /// clock, so a given admission order always evicts the same keys.
+    pub cache_capacity_bytes: Option<usize>,
+    /// Coalesce identical `(source, k)` traversals onto executions
+    /// already in flight, and let one lane answer every queued
+    /// duplicate of its key.
+    pub coalesce: bool,
+    /// Pack batches by source partition locality instead of plain
+    /// FIFO when the queue overflows one batch.
+    pub pack_locality: bool,
+    /// Fairness bound for locality packing: a traversal passed over
+    /// this many batches is promoted to mandatory, so cold-partition
+    /// queries are delayed at most this many batches, never starved.
+    /// `0` degenerates locality packing to FIFO.
+    pub locality_fairness: u32,
+}
+
+impl Default for QueryPlaneConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity_bytes: None,
+            coalesce: false,
+            pack_locality: false,
+            locality_fairness: 4,
+        }
+    }
+}
+
+/// Knobs of the mutation plane: when buffered edge updates are folded
+/// into a new serving snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationConfig {
+    /// Buffered-update count at which the dispatcher commits a new
+    /// epoch on its own, without waiting for an explicit
+    /// [`QueryService::commit_epoch`]. `None` (the default) commits
+    /// only on explicit request.
+    pub commit_threshold: Option<usize>,
+    /// Delta-overlay entry count above which a commit folds the
+    /// overlay into fresh base CSR/CSC edge-sets instead of publishing
+    /// the overlay next to the base (see
+    /// [`DistributedEngine::with_updates`]).
+    pub fold_threshold: usize,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        Self { commit_threshold: None, fold_threshold: 1 << 16 }
+    }
+}
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Batch shaping shared with the closed-batch scheduler: lane
+    /// width, subgraph sharing, and the memory budget that narrows the
+    /// effective lane count. (`use_sim_time` is ignored — a serving
+    /// latency is inherently wall clock.)
+    pub scheduler: SchedulerConfig,
+    /// How long the oldest admitted traversal may wait before a
+    /// partially-filled batch is flushed anyway. Trades per-query
+    /// latency against batch fill (throughput).
+    pub max_batch_delay: Duration,
+    /// Admission-queue depth, in traversals, above which submitters
+    /// block. A query's traversals are always admitted together, so
+    /// the queue may transiently overshoot by one query's source count.
+    pub max_queue_depth: usize,
+    /// Deterministic chaos plan injected into every dispatched batch
+    /// (the batch sequence number is the chaos *job*, so
+    /// [`FaultPlan::arm_jobs`] selects which batches are poisoned).
+    /// `None` (the default) runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// End-to-end deadline applied to every query from its submission
+    /// instant. Expired traversals fail with
+    /// [`ServiceError::DeadlineExceeded`] instead of being dispatched,
+    /// and [`QueryTicket::wait`] stops waiting at the same instant.
+    /// `None` (the default) means queries wait indefinitely.
+    pub query_deadline: Option<Duration>,
+    /// Query-plane knobs: result cache, in-flight coalescing and
+    /// locality-aware packing. All off by default.
+    pub query_plane: QueryPlaneConfig,
+    /// Reachability-index builder (see `INDEXING.md`). `None` — the
+    /// default — serves without an index. When set, the builder runs
+    /// once at start-up and again inside every epoch commit and
+    /// degradation, so the live index always matches the serving
+    /// snapshot; covered queries are answered index-only and executed
+    /// batches are pruned. A failed build logs and serves unindexed —
+    /// the index is an accelerator, never a correctness dependency.
+    pub index: Option<Arc<dyn IndexBuilder>>,
+    /// Mutation-plane knobs: commit trigger and delta fold threshold.
+    pub mutation: MutationConfig,
+    /// Durability-plane knobs: data directory, snapshot cadence and
+    /// retention. `None` (the default) serves purely in memory; set it
+    /// and start with [`QueryService::open_or_recover`] to survive
+    /// `kill -9` — every update batch is WAL-logged before it is
+    /// buffered and every epoch commit is fenced on disk.
+    pub durability: Option<DurabilityConfig>,
+    /// Whole-batch resubmissions after the engine's in-batch
+    /// recoveries are exhausted on a recoverable error.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per retry, plus a
+    /// deterministic jitter in `[0, retry_backoff)`.
+    pub retry_backoff: Duration,
+    /// Checkpointing/in-batch recovery knobs handed to
+    /// [`DistributedEngine::run_traversal_batch_recoverable`].
+    pub recovery: RecoveryConfig,
+    /// Degrade to `p - 1` machines once the same machine has been
+    /// blamed for this many panics (`None` — the default — never
+    /// degrades). Degrading re-partitions the graph, replaces the
+    /// persistent cluster, resets blame, and does not consume a retry.
+    pub degrade_after: Option<u32>,
+    /// Observability bundle shared across the whole stack. When set,
+    /// the service registers its own metrics (queue depth, lane
+    /// occupancy, latency histograms, query/batch counters), installs
+    /// the bundle on the persistent cluster (comm-layer link/chaos
+    /// counters and per-machine tracers, re-installed across
+    /// degradations), and emits dispatcher trace events on the
+    /// coordinator ring. `None` (the default) runs unobserved at zero
+    /// cost.
+    pub obs: Option<Arc<Obs>>,
+    /// Fault-injection seam predating the chaos plane: called with the
+    /// machine id at the start of every machine's share of every
+    /// batch. When set, batches run on the legacy non-recoverable path
+    /// (no checkpoints, no retries).
+    #[deprecated(since = "0.2.0", note = "use `fault_plan` (a deterministic FaultPlan) instead")]
+    pub fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl Default for ServiceConfig {
+    #[allow(deprecated)]
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerConfig::default(),
+            max_batch_delay: Duration::from_millis(2),
+            max_queue_depth: 1024,
+            fault_plan: None,
+            query_deadline: None,
+            query_plane: QueryPlaneConfig::default(),
+            index: None,
+            mutation: MutationConfig::default(),
+            durability: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(200),
+            recovery: RecoveryConfig::default(),
+            degrade_after: None,
+            obs: None,
+            fault_hook: None,
+        }
+    }
+}
+
+impl fmt::Debug for ServiceConfig {
+    #[allow(deprecated)]
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("scheduler", &self.scheduler)
+            .field("max_batch_delay", &self.max_batch_delay)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .field("fault_plan", &self.fault_plan)
+            .field("query_deadline", &self.query_deadline)
+            .field("query_plane", &self.query_plane)
+            .field("index", &self.index.is_some())
+            .field("mutation", &self.mutation)
+            .field("durability", &self.durability)
+            .field("max_retries", &self.max_retries)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("recovery", &self.recovery)
+            .field("degrade_after", &self.degrade_after)
+            .field("obs", &self.obs.is_some())
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// Handle to one in-flight query: redeem it with
+/// [`QueryTicket::wait`] for the result.
+pub struct QueryTicket {
+    rx: crossbeam_channel::Receiver<Result<QueryResult, ServiceError>>,
+    /// The query's absolute deadline (admission instant plus
+    /// [`ServiceConfig::query_deadline`]), enforced by `wait`.
+    deadline: Option<Instant>,
+}
+
+impl fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryTicket").field("deadline", &self.deadline).finish_non_exhaustive()
+    }
+}
+
+impl QueryTicket {
+    /// Blocks until the query's batch (or batches) completed and
+    /// returns its result. With a [`ServiceConfig::query_deadline`]
+    /// configured, waits at most until the query's deadline and then
+    /// returns [`ServiceError::DeadlineExceeded`].
+    pub fn wait(self) -> Result<QueryResult, ServiceError> {
+        match self.deadline {
+            None => self.rx.recv().unwrap_or(Err(ServiceError::ShutDown)),
+            Some(d) => match self.rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                Ok(reply) => reply,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    Err(ServiceError::DeadlineExceeded)
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    Err(ServiceError::ShutDown)
+                }
+            },
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    /// A dead dispatcher (result channel disconnected before a reply
+    /// arrived) yields `Some(Err(ServiceError::ShutDown))`, so pollers
+    /// never spin on a query that can no longer complete; likewise an
+    /// expired deadline yields `Some(Err(ServiceError::DeadlineExceeded))`.
+    pub fn try_wait(&self) -> Option<Result<QueryResult, ServiceError>> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(crossbeam_channel::TryRecvError::Empty) => {
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    Some(Err(ServiceError::DeadlineExceeded))
+                } else {
+                    None
+                }
+            }
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(ServiceError::ShutDown)),
+        }
+    }
+}
+
+/// Latency and volume counters accumulated over the service lifetime.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Queries answered successfully.
+    pub queries_completed: u64,
+    /// Queries failed by a dying batch.
+    pub queries_failed: u64,
+    /// Queries failed because their deadline elapsed (included in
+    /// `queries_failed`).
+    pub queries_deadline_exceeded: u64,
+    /// Batches dispatched to the persistent cluster (successful ones).
+    pub batches_dispatched: u64,
+    /// Whole-batch resubmissions by the service retry policy.
+    pub retries: u64,
+    /// In-batch recoveries performed by the engine (confined replays
+    /// plus global rollbacks).
+    pub recoveries: u64,
+    /// Superstep checkpoints committed across all batches.
+    pub checkpoints_taken: u64,
+    /// Checkpoint restores (confined replays and global rollbacks that
+    /// resumed from a committed checkpoint).
+    pub checkpoints_restored: u64,
+    /// Failed partitions replayed confined, without re-executing
+    /// healthy partitions.
+    pub partitions_replayed: u64,
+    /// Whole-batch rollbacks (the fallback when confined recovery's
+    /// preconditions fail, and the only recovery mode in async).
+    pub full_rollbacks: u64,
+    /// Times the service degraded onto a smaller cluster after
+    /// repeated same-machine failures.
+    pub degraded_generations: u64,
+    /// Traversals answered from the result cache (no lane spent).
+    /// Each admitted traversal records at most one hit over its life.
+    pub cache_hits: u64,
+    /// Admission-time cache lookups that found nothing (zero while the
+    /// cache is disabled). A traversal that misses at admission may
+    /// still hit at pack time if an earlier batch committed its key.
+    pub cache_misses: u64,
+    /// Entries committed into the result cache (one per lane of each
+    /// successfully committed batch, minus epoch-stale lanes).
+    pub cache_insertions: u64,
+    /// Entries the CLOCK hand evicted to make room.
+    pub cache_evictions: u64,
+    /// Entries currently resident in the result cache.
+    pub cache_entries: u64,
+    /// Bytes currently charged against the cache capacity.
+    pub cache_bytes: u64,
+    /// Traversals that shared another traversal's execution instead of
+    /// occupying a lane: in-batch duplicates (always collapsed),
+    /// queued duplicates and mid-flight attaches (with coalescing on).
+    pub coalesced_traversals: u64,
+    /// Reachability-index builds: the start-up build plus one rebuild
+    /// per epoch commit and per degradation (zero without
+    /// [`ServiceConfig::index`], like every index counter below).
+    pub index_builds: u64,
+    /// Traversals answered index-only — straight from a distance
+    /// sketch, bit-identical to a traversal, no lane spent.
+    pub index_only_answers: u64,
+    /// Cross-machine frontier entries suppressed by index pruning
+    /// (provably no-op deliveries dropped before the wire).
+    pub index_pruned_sends: u64,
+    /// Whole per-partition frontier messages index pruning emptied —
+    /// `(superstep, partition)` deliveries that never left the sender.
+    pub index_pruned_partitions: u64,
+    /// Boundary sources the live index holds sketches for.
+    pub index_sources: u64,
+    /// Estimated resident bytes of the live index.
+    pub index_bytes: u64,
+    /// Edge updates folded into a committed epoch (accepted by
+    /// [`QueryService::apply_updates`] and since committed).
+    pub updates_applied: u64,
+    /// Edge insertions among the committed updates.
+    pub updates_inserted: u64,
+    /// Edge deletions among the committed updates.
+    pub updates_deleted: u64,
+    /// Epoch commits performed: explicit [`QueryService::commit_epoch`]
+    /// calls, threshold-triggered commits, and
+    /// [`QueryService::invalidate_cache`] bumps.
+    pub epoch_commits: u64,
+    /// Commits that folded the delta overlay into fresh base CSR/CSC
+    /// edge-sets (subset of `epoch_commits`).
+    pub epoch_folds: u64,
+    /// Edge updates buffered but not yet committed.
+    pub pending_updates: u64,
+    /// Delta-overlay adjacency rows live in the serving snapshot
+    /// (committed updates not yet folded into the base).
+    pub delta_entries: u64,
+    /// Estimated bytes of the live delta overlays.
+    pub delta_bytes: u64,
+    /// WAL records appended — update batches plus commit fences (zero
+    /// with durability off, like every durability counter below).
+    pub wal_records: u64,
+    /// Bytes appended to the update WAL.
+    pub wal_bytes: u64,
+    /// Epoch snapshots that reached their final name on disk.
+    pub snapshots_written: u64,
+    /// Bytes of encoded snapshot data written (including writes whose
+    /// rename was lost to fault injection).
+    pub snapshot_bytes: u64,
+    /// WAL records replayed by recovery when this service opened.
+    pub wal_replayed: u64,
+    /// Snapshot files rejected by checksum/decode during recovery.
+    pub snapshots_corrupt: u64,
+    /// Crash recoveries performed (1 when this service was rebuilt
+    /// from durable state by [`QueryService::open_or_recover`]).
+    pub durable_recoveries: u64,
+    /// Epoch of the newest snapshot on disk.
+    pub last_snapshot_epoch: u64,
+    /// Per-query admission wait: submission → batch dispatch (mean
+    /// over the query's traversals).
+    pub admission_wait: ResponseStats,
+    /// Per-query execution time: the lane-completion share of its
+    /// batch, exactly as the closed-batch scheduler accounts it.
+    pub exec: ResponseStats,
+    /// Per-query end-to-end response: admission wait + execution —
+    /// what a client of the service observes.
+    pub response: ResponseStats,
+}
+mod group;
+mod obs;
+mod replica;
+mod shared;
+
+pub use group::{
+    GroupConfig, RouteDecision, RouteKind, Router, RouterConfig, RouterStats, ServiceGroup,
+};
+
+use replica::Replica;
+use shared::{apply_updates_core, commit_epoch_core, open_fresh_plane, open_recovered, SharedCore};
+
+/// A long-running query-serving front end over a
+/// [`DistributedEngine`] and a [`cgraph_comm::PersistentCluster`].
+///
+/// Internally a `QueryService` is a *group of one*: it owns one
+/// replica (admission queue, result cache, coalescer, dispatcher
+/// thread) attached to a shared core (engine, cluster, mutation
+/// buffer, durability, epoch). [`ServiceGroup`] attaches N replicas
+/// to one core — everything documented here holds per replica there.
+///
+/// ```
+/// use cgraph_core::{DistributedEngine, EngineConfig, KhopQuery,
+///                   QueryService, ServiceConfig};
+/// use std::sync::Arc;
+/// let edges: cgraph_graph::EdgeList = (0..20u64).map(|v| (v, (v + 1) % 20)).collect();
+/// let engine = Arc::new(DistributedEngine::new(&edges, EngineConfig::new(2)));
+/// let service = QueryService::start(engine, ServiceConfig::default());
+/// let r = service.query(KhopQuery::single(0, 0, 3)).unwrap();
+/// assert_eq!(r.visited, 4); // ring: k hops reach k + 1 vertices
+/// service.shutdown();
+/// ```
+pub struct QueryService {
+    core: Arc<SharedCore>,
+    replica: Arc<Replica>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Spawns the persistent cluster (one parked thread per engine
+    /// machine) and the dispatcher, then starts accepting queries.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration or a durability failure — this is
+    /// the infallible-signature convenience over
+    /// [`QueryService::try_start`], which returns the error instead.
+    pub fn start(engine: Arc<DistributedEngine>, config: ServiceConfig) -> Self {
+        Self::try_start(engine, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`QueryService::start`] with the failure modes surfaced:
+    /// rejects invalid knob values ([`ServiceError::InvalidConfig`])
+    /// before any thread is spawned, and — with
+    /// [`ServiceConfig::durability`] set — opens the data directory
+    /// for a *fresh* durable run, writing the initial epoch snapshot.
+    /// A directory already holding durable state is refused
+    /// ([`ServiceError::Durability`]): restarting over existing state
+    /// is what [`QueryService::open_or_recover`] is for, and silently
+    /// overwriting it would discard committed updates.
+    pub fn try_start(
+        engine: Arc<DistributedEngine>,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        validate_config(&config)?;
+        let plane = open_fresh_plane(&engine, &config)?;
+        let core = SharedCore::new(engine, config, plane, Vec::new(), None, None);
+        Ok(Self::attach(&core, 0))
+    }
+
+    /// Opens (or creates) the durable data directory and resumes from
+    /// whatever committed state survives there: the newest snapshot
+    /// whose every frame checksums, plus the WAL tail replayed past
+    /// its sequence number. Logged-but-uncommitted updates return to
+    /// the pending buffer; a torn WAL tail is truncated; the recovered
+    /// epoch fences the result cache, so no answer from a pre-crash
+    /// epoch can ever be served. On a directory with no usable state
+    /// this *is* the fresh durable start, ingesting `edges` at epoch
+    /// 0 — so one call site handles first boot and every restart:
+    ///
+    /// `edges` must be the same base graph the original run started
+    /// from (recovery replays the WAL from sequence 0 onto it when no
+    /// snapshot survived).
+    pub fn open_or_recover(
+        edges: &EdgeList,
+        engine_config: EngineConfig,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryOutcome), ServiceError> {
+        validate_config(&config)?;
+        let (engine, plane, pending, outcome) = open_recovered(edges, engine_config, &config)?;
+        let core = SharedCore::new(engine, config, Some(plane), pending, Some(&outcome), None);
+        Ok((Self::attach(&core, 0), outcome))
+    }
+
+    /// Attaches one front-end replica to `core` and spawns its
+    /// dispatcher — the one construction path for both the solo
+    /// service and every [`ServiceGroup`] member.
+    fn attach(core: &Arc<SharedCore>, id: usize) -> Self {
+        let replica = Replica::new(id, &core.config.query_plane);
+        lock(&core.replicas).push(Arc::downgrade(&replica));
+        core.open_replicas.fetch_add(1, Ordering::SeqCst);
+        core.live_replicas.fetch_add(1, Ordering::SeqCst);
+        let dispatcher = {
+            let core = Arc::clone(core);
+            let replica = Arc::clone(&replica);
+            std::thread::Builder::new()
+                .name(format!("cgraph-dispatcher-{id}"))
+                .spawn(move || replica::dispatch_loop(&core, &replica))
+                .expect("spawn dispatcher thread")
+        };
+        Self { core: Arc::clone(core), replica, dispatcher: Mutex::new(Some(dispatcher)) }
+    }
+
+    /// Lanes per batch after the memory budget (fixed at start-up).
+    pub fn effective_lanes(&self) -> usize {
+        self.core.lanes
+    }
+
+    /// Admits `query`, blocking while the admission queue is full.
+    /// Returns a ticket redeemable for the result, or
+    /// [`ServiceError::ShutDown`] once the service is closed.
+    pub fn submit(&self, query: KhopQuery) -> Result<QueryTicket, ServiceError> {
+        replica::submit(&self.core, &self.replica, query)
+    }
+
+    /// Submits `query` and blocks for its result (submit + wait).
+    pub fn query(&self, query: KhopQuery) -> Result<QueryResult, ServiceError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Buffers `batch`'s edge updates for the next epoch commit. The
+    /// serving snapshot is untouched until [`QueryService::commit_epoch`]
+    /// runs (explicitly, or automatically once the buffer crosses
+    /// [`MutationConfig::commit_threshold`]) — queries keep answering
+    /// against the current epoch meanwhile. Out-of-range endpoints are
+    /// rejected whole-batch with [`ServiceError::InvalidQuery`], so a
+    /// malformed update can never poison a commit.
+    pub fn apply_updates(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
+        apply_updates_core(&self.core, batch.into_updates())
+    }
+
+    /// Asks a dispatcher to fold every buffered update into a new
+    /// serving snapshot and blocks until it has: batch formation is
+    /// quiesced — group-wide, under the shared execution lock — the
+    /// buffered updates become a new engine snapshot, the graph epoch
+    /// advances by one, and cached results of older epochs are fenced
+    /// on **every** attached replica. Returns the new epoch. An empty
+    /// buffer still commits — the epoch bump alone invalidates the
+    /// caches, which is exactly what [`QueryService::invalidate_cache`]
+    /// does.
+    pub fn commit_epoch(&self) -> Result<u64, ServiceError> {
+        commit_epoch_core(&self.core)
+    }
+
+    /// Current graph epoch (bumped by [`QueryService::commit_epoch`]).
+    pub fn graph_epoch(&self) -> u64 {
+        self.core.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Runs the **full commit protocol** with whatever updates happen
+    /// to be buffered (usually none) and returns the new epoch. This
+    /// *is* [`QueryService::commit_epoch`] — there is exactly one
+    /// epoch-advancement path, and it performs every fence step, not
+    /// just the cache drop the name suggests:
+    ///
+    /// 1. a dispatcher quiesces batch formation group-wide (commits
+    ///    run under the shared execution lock, strictly between
+    ///    batches on every replica), and — with durability on — a
+    ///    commit fence is appended and synced to the WAL *before* the
+    ///    in-memory commit;
+    /// 2. buffered updates (if any) become a new engine snapshot and
+    ///    the graph epoch advances by one;
+    /// 3. every replica's result cache is fenced: entries keyed to
+    ///    older epochs are dropped, new queries key against the new
+    ///    epoch, and a batch still in flight for an old epoch is
+    ///    barred from committing its results;
+    /// 4. the reachability index is **rebuilt** for the new snapshot
+    ///    (with [`ServiceConfig::index`] set) — until the rebuild
+    ///    lands, the epoch fence keeps the old index from answering
+    ///    or pruning anything.
+    ///
+    /// Batches already dispatched finish against their admission-epoch
+    /// snapshot and carry that epoch in their results. On a shut-down
+    /// service the epoch is frozen and returned unchanged.
+    pub fn invalidate_cache(&self) -> u64 {
+        self.commit_epoch().unwrap_or_else(|_| self.graph_epoch())
+    }
+
+    /// Snapshot of the lifetime latency/volume counters, taken under
+    /// the stats fence: no epoch commit can be half-visible across the
+    /// cache/mutation/durability planes of one snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.stats()
+    }
+
+    /// Stops admission, drains every already-admitted query, then
+    /// parks the cluster and joins all service threads. Idempotent;
+    /// also runs on drop. In a [`ServiceGroup`] this closes **this
+    /// replica only** — the shared cluster, WAL and sibling replicas
+    /// keep serving, and the group-wide barrier (WAL sync + cluster
+    /// park) runs exactly once, from the last replica out.
+    pub fn shutdown(&self) {
+        let newly_closed = {
+            let mut st = lock(&self.replica.state);
+            let newly = !st.closed;
+            st.closed = true;
+            self.replica.work.notify_all();
+            self.replica.space.notify_all();
+            newly
+        };
+        if newly_closed {
+            // One decrement per replica, however many times shutdown
+            // is called: admission-refusal accounting for
+            // `commit_epoch`/`apply_updates` after the group closes.
+            self.core.open_replicas.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Some(h) = lock(&self.dispatcher).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Rejects configuration values the service cannot run with — caught
+/// here, at construction, instead of surfacing later as a stuck
+/// dispatcher (a zero commit threshold would commit on every update)
+/// or a batch-time engine error (a zero checkpoint interval).
+fn validate_config(config: &ServiceConfig) -> Result<(), ServiceError> {
+    if config.recovery.checkpoint_interval == 0 {
+        return Err(ServiceError::InvalidConfig(
+            "recovery.checkpoint_interval must be non-zero (a zero interval can never \
+             commit a checkpoint)"
+                .into(),
+        ));
+    }
+    if config.mutation.commit_threshold == Some(0) {
+        return Err(ServiceError::InvalidConfig(
+            "mutation.commit_threshold must be non-zero; use None for explicit-only commits".into(),
+        ));
+    }
+    if let Some(d) = &config.durability {
+        if d.snapshot_every == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "durability.snapshot_every must be non-zero (the cadence counts commits \
+                 between snapshots)"
+                    .into(),
+            ));
+        }
+        if d.keep_snapshots == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "durability.keep_snapshots must be at least 1 (retaining zero snapshots \
+                 would prune the recovery point itself)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The disk-fault injector selected by the service's chaos plan, if
+/// any of its disk probabilities are armed. Disk faults are seeded by
+/// the plan but scoped by operation count, not by chaos job — WAL
+/// appends and snapshot writes are not batches.
+fn disk_faults(config: &ServiceConfig) -> Option<DiskFaults> {
+    config.fault_plan.as_ref().filter(|p| p.disk_faulty()).map(|p| {
+        DiskFaults::new(
+            p.seed,
+            p.torn_write_prob,
+            p.short_write_prob,
+            p.bit_flip_prob,
+            p.rename_lost_prob,
+        )
+    })
+}
+
+/// Lock helper that survives a poisoned mutex (a dispatcher panic must
+/// not cascade into every submitter).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineError;
+    use crate::scheduler::QueryScheduler;
+    use std::sync::atomic::AtomicBool;
+
+    fn ring_engine(n: u64, p: usize) -> Arc<DistributedEngine> {
+        let g: EdgeList = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Arc::new(DistributedEngine::new(&g, EngineConfig::new(p)))
+    }
+
+    #[test]
+    fn service_matches_scheduler_counts() {
+        let engine = ring_engine(60, 2);
+        let queries: Vec<KhopQuery> =
+            (0..12).map(|i| KhopQuery::single(i, (i * 5) as u64, 4)).collect();
+        let expected = QueryScheduler::new(&engine, SchedulerConfig::default()).execute(&queries);
+
+        let service = QueryService::start(Arc::clone(&engine), ServiceConfig::default());
+        let tickets: Vec<QueryTicket> =
+            queries.iter().map(|q| service.submit(q.clone()).unwrap()).collect();
+        for (ticket, exp) in tickets.into_iter().zip(&expected) {
+            let got = ticket.wait().unwrap();
+            assert_eq!(got.id, exp.id);
+            assert_eq!(got.visited, exp.visited);
+            assert_eq!(got.per_level, exp.per_level);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_completed, 12);
+        assert_eq!(stats.queries_failed, 0);
+        assert!(stats.batches_dispatched >= 1);
+        assert_eq!(stats.response.len(), 12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn multi_source_query_folds_traversals() {
+        let engine = ring_engine(40, 2);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let r = service.query(KhopQuery::multi(3, vec![0, 20], 2)).unwrap();
+        assert_eq!(r.visited, 6); // two independent 3-vertex traversals
+        assert_eq!(r.per_level, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let engine = ring_engine(30, 1);
+        let config =
+            ServiceConfig { max_batch_delay: Duration::from_millis(1), ..Default::default() };
+        let service = QueryService::start(engine, config);
+        // One traversal nowhere near 64 lanes: only the deadline can
+        // flush it.
+        let r = service.query(KhopQuery::single(0, 0, 3)).unwrap();
+        assert_eq!(r.visited, 4);
+        assert!(r.response_time >= r.exec_time);
+    }
+
+    #[test]
+    fn backpressure_blocks_but_everything_completes() {
+        let engine = ring_engine(50, 2);
+        let config = ServiceConfig {
+            max_queue_depth: 2,
+            max_batch_delay: Duration::from_micros(200),
+            ..Default::default()
+        };
+        let service = Arc::new(QueryService::start(engine, config));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    (0..8)
+                        .map(|i| {
+                            let q = KhopQuery::single(t * 8 + i, ((t * 8 + i) % 50) as u64, 2);
+                            service.query(q).unwrap().visited
+                        })
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 4 * 8 * 3); // every 2-hop ring query reaches 3
+        assert_eq!(service.stats().queries_completed, 32);
+    }
+
+    #[test]
+    fn empty_source_query_completes_immediately() {
+        let engine = ring_engine(20, 1);
+        // `KhopQuery::multi` rejects empty sources, but the fields are
+        // public, so the service must still handle the case.
+        let empty = KhopQuery { id: 9, sources: Vec::new(), k: 3 };
+        // Scheduler semantics for zero sources: an all-zero result.
+        let expected = QueryScheduler::new(&engine, SchedulerConfig::default())
+            .execute(std::slice::from_ref(&empty));
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let ticket = service.submit(empty).unwrap();
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.id, expected[0].id);
+        assert_eq!(got.visited, expected[0].visited);
+        assert_eq!(got.per_level, expected[0].per_level);
+        assert_eq!(got.response_time, Duration::ZERO);
+        assert_eq!(service.stats().queries_completed, 1);
+        service.shutdown();
+    }
+
+    /// A deterministic index for fence/fast-path plumbing tests: it
+    /// answers exactly `(source 5, k 3)` with a sentinel value no ring
+    /// traversal could produce, so a sentinel in a result *proves* the
+    /// index-only path served it.
+    struct SentinelIndex {
+        epoch: u64,
+    }
+    impl crate::index_api::ReachIndex for SentinelIndex {
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
+        fn answer(&self, source: u64, k: u32) -> Option<crate::index_api::IndexAnswer> {
+            (source == 5 && k == 3)
+                .then(|| crate::index_api::IndexAnswer { visited: 42, per_level: vec![42] })
+        }
+        fn prune_plan(&self, _: &[u64]) -> Option<crate::index_api::PrunePlan> {
+            None
+        }
+        fn reaches(&self, _: u64, _: u64) -> Option<bool> {
+            None
+        }
+        fn size_bytes(&self) -> usize {
+            64
+        }
+        fn num_sources(&self) -> usize {
+            1
+        }
+    }
+
+    /// Builds a [`SentinelIndex`] at the engine's current epoch (so
+    /// rebuilds track commits) or, with `stale` set, at an epoch no
+    /// engine will ever reach (so the fence must reject it).
+    struct SentinelBuilder {
+        stale: bool,
+    }
+    impl crate::index_api::IndexBuilder for SentinelBuilder {
+        fn build(
+            &self,
+            engine: &DistributedEngine,
+        ) -> Result<Arc<dyn crate::index_api::ReachIndex>, EngineError> {
+            let epoch = if self.stale { u64::MAX } else { engine.graph_epoch() };
+            Ok(Arc::new(SentinelIndex { epoch }))
+        }
+    }
+
+    #[test]
+    fn index_fast_path_answers_covered_queries_only() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            index: Some(Arc::new(SentinelBuilder { stale: false })),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        // Covered: the sentinel proves the index answered, not a lane.
+        let covered = service.query(KhopQuery::single(0, 5, 3)).unwrap();
+        assert_eq!(covered.visited, 42);
+        assert_eq!(covered.per_level, vec![42]);
+        // Uncovered: traverses as usual.
+        let uncovered = service.query(KhopQuery::single(1, 6, 3)).unwrap();
+        assert_eq!(uncovered.visited, 4);
+        let stats = service.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.index_only_answers, 1);
+        assert_eq!(stats.index_sources, 1);
+        assert_eq!(stats.index_bytes, 64);
+        assert_eq!(stats.queries_completed, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn index_rebuilds_inside_commit_fence() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            index: Some(Arc::new(SentinelBuilder { stale: false })),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        assert_eq!(service.query(KhopQuery::single(0, 5, 3)).unwrap().visited, 42);
+        let e1 = service.commit_epoch().unwrap();
+        assert_eq!(e1, 1);
+        // The rebuilt index carries the new epoch, so it still answers.
+        assert_eq!(service.query(KhopQuery::single(1, 5, 3)).unwrap().visited, 42);
+        let stats = service.stats();
+        assert_eq!(stats.index_builds, 2, "start-up build + commit rebuild");
+        assert_eq!(stats.index_only_answers, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn stale_index_never_answers() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            index: Some(Arc::new(SentinelBuilder { stale: true })),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        // The epoch fence rejects the stale index: the covered query
+        // traverses and gets the *real* answer, not the sentinel.
+        let r = service.query(KhopQuery::single(0, 5, 3)).unwrap();
+        assert_eq!(r.visited, 4);
+        let stats = service.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.index_only_answers, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_polls_to_completion() {
+        let engine = ring_engine(20, 1);
+        let config =
+            ServiceConfig { max_batch_delay: Duration::from_micros(100), ..Default::default() };
+        let service = QueryService::start(engine, config);
+        let ticket = service.submit(KhopQuery::single(0, 0, 3)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            match ticket.try_wait() {
+                Some(reply) => break reply.unwrap(),
+                None => {
+                    assert!(Instant::now() < deadline, "query never completed");
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(got.visited, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_reports_shutdown_on_disconnect() {
+        // A ticket whose reply channel died without a reply must not
+        // read as "still in flight" — pollers would spin forever.
+        let (tx, rx) = crossbeam_channel::unbounded();
+        drop(tx);
+        let ticket = QueryTicket { rx, deadline: None };
+        assert_eq!(ticket.try_wait(), Some(Err(ServiceError::ShutDown)));
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let engine = ring_engine(20, 1);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        service.shutdown();
+        let err = service.submit(KhopQuery::single(0, 0, 2)).unwrap_err();
+        assert_eq!(err, ServiceError::ShutDown);
+        service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn out_of_range_source_rejected_at_admission() {
+        let engine = ring_engine(20, 2);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let err = service.submit(KhopQuery::single(0, 99, 2)).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidQuery(_)), "{err:?}");
+        // Rejection is per-query: the service keeps serving.
+        let ok = service.query(KhopQuery::single(1, 3, 2)).unwrap();
+        assert_eq!(ok.visited, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn chaos_crash_recovers_with_zero_failed_queries() {
+        // The acceptance scenario: a machine crash mid-batch in sync
+        // mode recovers via confined partition replay from a
+        // checkpoint — no query fails, no full rollback happens.
+        let engine = ring_engine(64, 4);
+        let plan = FaultPlan::new(11).crash(2, 7).heal_after(1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            recovery: RecoveryConfig { checkpoint_interval: 3, max_recoveries: 2 },
+            ..Default::default()
+        };
+        let expected = ring_engine(64, 4).run_traversal_batch(&[0, 16], &[20, 20]).unwrap();
+        let service = QueryService::start(engine, config);
+        // One multi-source query: both traversals are admitted under a
+        // single lock, so they land in exactly one batch (one chaos job).
+        let r = service.query(KhopQuery::multi(7, vec![0, 16], 20)).unwrap();
+        assert_eq!(r.visited, expected.per_lane_visited.iter().sum::<u64>());
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.queries_completed, 1);
+        assert!(stats.recoveries >= 1, "the crash must trigger a recovery");
+        assert!(stats.checkpoints_restored >= 1, "recovery must restore from a checkpoint");
+        assert_eq!(stats.partitions_replayed, 1, "only the crashed partition replays");
+        assert_eq!(stats.full_rollbacks, 0, "confined replay must not roll back globally");
+        assert_eq!(stats.retries, 0, "in-batch recovery must not consume service retries");
+        service.shutdown();
+    }
+
+    #[test]
+    fn unrecoverable_plan_fails_only_poisoned_batch() {
+        // A never-healing crash armed for job 0 only: the first batch's
+        // lanes fail after retries are exhausted, while later queries
+        // complete on the same service.
+        let engine = ring_engine(40, 2);
+        let plan = FaultPlan::new(3).crash(1, 1).arm_jobs(0..1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let err = service.query(KhopQuery::single(0, 0, 5)).unwrap_err();
+        assert!(matches!(err, ServiceError::BatchFailed(_)), "{err:?}");
+        // Batch 1 is outside the armed window: it must succeed.
+        let ok = service.query(KhopQuery::single(1, 0, 5)).unwrap();
+        assert_eq!(ok.visited, 6);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 1);
+        assert_eq!(stats.queries_completed, 1);
+        assert_eq!(stats.retries, 1, "the poisoned batch consumed its retry");
+        service.shutdown();
+    }
+
+    #[test]
+    fn retry_rescues_batch_that_heals_on_resubmission() {
+        // The plan heals only after the engine's own recoveries are
+        // exhausted (first_attempt of retry 1 = 1 × (0 + 1) = 1), so
+        // success requires a service-level retry.
+        let engine = ring_engine(40, 2);
+        let plan = FaultPlan::new(8).crash(0, 1).heal_after(1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 0 },
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let r = service.query(KhopQuery::single(0, 0, 5)).unwrap();
+        assert_eq!(r.visited, 6);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recoveries, 0, "max_recoveries = 0 leaves recovery to the retry");
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_machine_failures_degrade_to_smaller_cluster() {
+        // Machine 1 dies on every attempt, forever. With degrade_after
+        // = 2 the service re-partitions onto one machine — where the
+        // plan's machine-1 crash can no longer fire — and the query
+        // completes without ever failing.
+        let engine = ring_engine(40, 2);
+        let plan = FaultPlan::new(5).crash(1, 1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(plan),
+            max_retries: 4,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 0 },
+            degrade_after: Some(2),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let r = service.query(KhopQuery::single(0, 0, 5)).unwrap();
+        assert_eq!(r.visited, 6);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.degraded_generations, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_queries_fail_with_deadline_exceeded() {
+        let engine = ring_engine(30, 1);
+        let config = ServiceConfig {
+            // The dispatcher flushes only after 50 ms, far past the
+            // 1 ms query deadline — every query expires pre-dispatch.
+            max_batch_delay: Duration::from_millis(50),
+            query_deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let ticket = service.submit(KhopQuery::single(0, 0, 3)).unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        // The dispatcher eventually drains the expired traversal and
+        // records it.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = service.stats();
+            if stats.queries_deadline_exceeded == 1 {
+                assert_eq!(stats.queries_failed, 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "expiry never recorded");
+            std::thread::yield_now();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_does_not_affect_results() {
+        let engine = ring_engine(30, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_deadline: Some(Duration::from_secs(60)),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let r = service.query(KhopQuery::single(0, 0, 4)).unwrap();
+        assert_eq!(r.visited, 5);
+        assert_eq!(service.stats().queries_deadline_exceeded, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_reports_expired_deadline() {
+        let (_tx, rx) = crossbeam_channel::unbounded();
+        let ticket = QueryTicket { rx, deadline: Some(Instant::now() - Duration::from_millis(1)) };
+        assert_eq!(ticket.try_wait(), Some(Err(ServiceError::DeadlineExceeded)));
+    }
+
+    fn plane(cache_mb: Option<usize>, coalesce: bool, locality: bool) -> QueryPlaneConfig {
+        QueryPlaneConfig {
+            cache_capacity_bytes: cache_mb.map(|mb| mb << 20),
+            coalesce,
+            pack_locality: locality,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cache_hit_serves_repeat_query_without_a_lane() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_plane: plane(Some(1), false, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let a = service.query(KhopQuery::single(0, 4, 3)).unwrap();
+        let b = service.query(KhopQuery::single(1, 4, 3)).unwrap();
+        assert_eq!((a.visited, &a.per_level), (b.visited, &b.per_level));
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1, "second identical query must hit");
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_insertions, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert!(stats.cache_bytes > 0);
+        assert_eq!(stats.batches_dispatched, 1, "the hit must not dispatch a batch");
+        assert_eq!(stats.queries_completed, 2);
+        // A cache hit costs zero execution time by definition.
+        assert_eq!(b.exec_time, Duration::ZERO);
+        service.shutdown();
+    }
+
+    #[test]
+    fn in_batch_duplicates_never_take_two_lanes() {
+        // Regression: even with the whole query plane OFF, identical
+        // (source, k) traversals inside one batch window must collapse
+        // into a single lane — while still folding per scheduler
+        // semantics (each duplicate contributes its own counts).
+        let engine = ring_engine(40, 2);
+        let service = QueryService::start(engine, ServiceConfig::default());
+        let r = service.query(KhopQuery::multi(0, vec![5, 5, 5, 7], 3)).unwrap();
+        assert_eq!(r.visited, 16); // 4 traversals × 4 vertices each
+        assert_eq!(r.per_level, vec![4, 4, 4, 4]); // levels 0..=3, all 4 folded
+
+        let stats = service.stats();
+        assert_eq!(stats.coalesced_traversals, 2, "both duplicate 5s must share the first lane");
+        assert_eq!(stats.queries_completed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalescing_single_flights_a_queued_burst() {
+        let engine = ring_engine(60, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_millis(2),
+            query_plane: plane(None, true, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        // A burst of identical queries admitted together: exactly one
+        // lane executes, everyone shares its result.
+        let tickets: Vec<_> =
+            (0..16).map(|i| service.submit(KhopQuery::single(i, 30, 4)).unwrap()).collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().visited, 5);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_completed, 16);
+        assert_eq!(stats.coalesced_traversals, 15, "15 of 16 must share the one execution");
+        service.shutdown();
+    }
+
+    #[test]
+    fn epoch_invalidation_blocks_stale_hits() {
+        let engine = ring_engine(40, 2);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            query_plane: plane(Some(1), false, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        service.query(KhopQuery::single(0, 2, 3)).unwrap();
+        assert_eq!(service.stats().cache_entries, 1);
+        assert_eq!(service.graph_epoch(), 0);
+        assert_eq!(service.invalidate_cache(), 1);
+        assert_eq!(service.graph_epoch(), 1);
+        assert_eq!(service.stats().cache_entries, 0, "invalidation must drop old-epoch entries");
+        // The repeat query is a miss under the new epoch and re-executes.
+        service.query(KhopQuery::single(1, 2, 3)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.batches_dispatched, 2);
+        // ... and is cached again under the new epoch.
+        service.query(KhopQuery::single(2, 2, 3)).unwrap();
+        assert_eq!(service.stats().cache_hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn failed_batches_never_populate_the_cache() {
+        // A never-healing crash armed for job 0: the poisoned batch
+        // must leave the cache untouched; the retried identical query
+        // then executes cleanly and commits.
+        let engine = ring_engine(40, 2);
+        let fault = FaultPlan::new(3).crash(1, 1).arm_jobs(0..1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_plan: Some(fault),
+            max_retries: 1,
+            retry_backoff: Duration::from_micros(50),
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 1 },
+            query_plane: plane(Some(1), false, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let err = service.query(KhopQuery::single(0, 0, 5)).unwrap_err();
+        assert!(matches!(err, ServiceError::BatchFailed(_)), "{err:?}");
+        let stats = service.stats();
+        assert_eq!(stats.cache_insertions, 0, "a failed batch must not commit results");
+        assert_eq!(stats.cache_entries, 0);
+        // Job 1 is clean: the same query succeeds and only now commits.
+        let ok = service.query(KhopQuery::single(1, 0, 5)).unwrap();
+        assert_eq!(ok.visited, 6);
+        assert_eq!(service.stats().cache_insertions, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn coalesced_waiters_share_a_batch_failure() {
+        // Identical queries coalesced onto a poisoned execution must
+        // all observe its failure (and none may hang).
+        let engine = ring_engine(40, 2);
+        let fault = FaultPlan::new(3).crash(1, 1).arm_jobs(0..1);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_millis(2),
+            fault_plan: Some(fault),
+            max_retries: 0,
+            recovery: RecoveryConfig { checkpoint_interval: 2, max_recoveries: 0 },
+            query_plane: plane(None, true, false),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+        let tickets: Vec<_> =
+            (0..4).map(|i| service.submit(KhopQuery::single(i, 9, 4)).unwrap()).collect();
+        for t in tickets {
+            let err = t.wait().unwrap_err();
+            assert!(matches!(err, ServiceError::BatchFailed(_)), "{err:?}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 4);
+        // After the failure the key left the in-flight table: a fresh
+        // identical query gets a fresh (clean, job 1) execution.
+        assert_eq!(service.query(KhopQuery::single(9, 9, 4)).unwrap().visited, 5);
+        service.shutdown();
+    }
+
+    #[test]
+    fn locality_packing_preserves_results() {
+        let engine = ring_engine(120, 4);
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(200),
+            query_plane: plane(None, false, true),
+            ..Default::default()
+        };
+        let service = Arc::new(QueryService::start(engine, config));
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for i in 0..20u64 {
+                        let src = (t * 40 + i * 7) % 120;
+                        let r = service.query(KhopQuery::single(0, src, 3)).unwrap();
+                        assert_eq!(r.visited, 4, "ring 3-hop from {src}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(service.stats().queries_completed, 60);
+        service.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn fault_hook_fails_batch_but_service_survives() {
+        let engine = ring_engine(40, 2);
+        let blow_once = Arc::new(AtomicBool::new(true));
+        let hook = {
+            let blow_once = Arc::clone(&blow_once);
+            Arc::new(move |machine: usize| {
+                if machine == 1 && blow_once.swap(false, Ordering::SeqCst) {
+                    panic!("injected machine fault");
+                }
+            })
+        };
+        let config = ServiceConfig {
+            max_batch_delay: Duration::from_micros(100),
+            fault_hook: Some(hook),
+            ..Default::default()
+        };
+        let service = QueryService::start(engine, config);
+
+        let err = service.query(KhopQuery::single(0, 0, 3)).unwrap_err();
+        match err {
+            ServiceError::BatchFailed(msg) => {
+                assert!(msg.contains("injected machine fault"), "{msg}")
+            }
+            other => panic!("expected BatchFailed, got {other:?}"),
+        }
+        // The hook disarmed itself: the very next query succeeds on the
+        // same (surviving) persistent cluster.
+        let ok = service.query(KhopQuery::single(1, 0, 3)).unwrap();
+        assert_eq!(ok.visited, 4);
+        let stats = service.stats();
+        assert_eq!(stats.queries_failed, 1);
+        assert_eq!(stats.queries_completed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_panicking_at_extremes() {
+        // Regression: the old arithmetic computed the jitter modulus as
+        // `base.as_nanos().max(1) as u64` (silently truncating a
+        // >64-bit nanosecond count) and then `exp + jitter`, which
+        // panics once the exponential part has saturated. A service
+        // configured with a huge retry_backoff and enough faults to
+        // reach deep retries would crash its dispatcher instead of
+        // retrying.
+        let huge = Duration::new(u64::MAX, 0);
+        for retry in [0u32, 1, 31, 32, 63, 200] {
+            for job in [0u64, 1, 7, u64::MAX] {
+                let d = replica::backoff_delay_for_test(huge, retry, job);
+                assert!(d >= huge, "backoff must never shrink below the saturated base");
+            }
+        }
+        assert_eq!(replica::backoff_delay_for_test(huge, 32, 7), Duration::MAX);
+
+        // Moderate bases stay within [exp, 2*exp) and never panic.
+        let base = Duration::from_millis(3);
+        for retry in 0..40 {
+            for job in 0..8 {
+                let d = replica::backoff_delay_for_test(base, retry, job);
+                let exp = base.saturating_mul(1u32 << retry.min(16));
+                assert!(d >= exp && d <= exp.saturating_add(base));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_is_cross_plane_consistent_under_mutation() {
+        // Regression: stats() used to take five independent locks, so
+        // a commit in flight could be half-visible — updates already
+        // drained from the pending buffer but not yet counted as
+        // applied, making `updates_applied + pending_updates` dip
+        // below the number of accepted updates. Under the stats fence
+        // every snapshot must reconcile.
+        const TOTAL: u64 = 200;
+        let engine = ring_engine(64, 2);
+        let service = Arc::new(QueryService::start(engine, ServiceConfig::default()));
+        let svc = Arc::clone(&service);
+        let mutator = std::thread::spawn(move || {
+            for i in 0..TOTAL {
+                let mut batch = UpdateBatch::new();
+                batch.insert(i % 64, (i * 7 + 3) % 64);
+                svc.apply_updates(batch).unwrap();
+                if i % 10 == 9 {
+                    svc.commit_epoch().unwrap();
+                }
+            }
+            svc.commit_epoch().unwrap();
+        });
+        let mut last_accounted = 0u64;
+        while !mutator.is_finished() {
+            let st = service.stats();
+            let accounted = st.updates_applied + st.pending_updates;
+            assert!(
+                accounted <= TOTAL,
+                "snapshot invented updates: applied={} pending={}",
+                st.updates_applied,
+                st.pending_updates
+            );
+            assert!(
+                accounted >= last_accounted,
+                "snapshot lost accepted updates: {accounted} < {last_accounted}"
+            );
+            last_accounted = accounted;
+        }
+        mutator.join().unwrap();
+        let st = service.stats();
+        assert_eq!(st.updates_applied, TOTAL);
+        assert_eq!(st.pending_updates, 0);
+        service.shutdown();
+    }
+}

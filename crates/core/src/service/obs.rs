@@ -1,0 +1,298 @@
+//! Cached observability handles of the serving tier.
+//!
+//! One [`ServiceObs`] is registered per [`SharedCore`](super::shared::SharedCore)
+//! — replicas of a [`ServiceGroup`](super::ServiceGroup) share it, so
+//! every counter aggregates across the whole group and a registry
+//! snapshot always agrees with the group-wide
+//! [`stats`](super::QueryService::stats) line. Gauges that describe
+//! per-replica state (queue depth, cache occupancy) are published as
+//! deltas against each replica's last-published value, so the gauge
+//! holds the group-wide sum without replicas clobbering each other.
+
+use crate::durability::DurabilityStats;
+use cgraph_obs::{
+    log2_edges, Counter, Gauge, Histogram, Obs, TraceCtx, Tracer, COORD, PAPER_LATENCY_EDGES_SECS,
+};
+use std::sync::Arc;
+
+/// The service's cached observability handles: registered once at
+/// start-up, then only atomic operations on the submit/complete paths.
+/// Counter increments sit exactly next to the matching `MetricsAcc`
+/// field updates, so a registry snapshot always agrees with
+/// [`QueryService::stats`](super::QueryService::stats).
+pub(super) struct ServiceObs {
+    pub(super) tracer: Tracer,
+    pub(super) queries_submitted: Arc<Counter>,
+    pub(super) queries_completed: Arc<Counter>,
+    pub(super) queries_failed: Arc<Counter>,
+    pub(super) queries_deadline_exceeded: Arc<Counter>,
+    pub(super) batches_dispatched: Arc<Counter>,
+    pub(super) retries: Arc<Counter>,
+    pub(super) degraded_generations: Arc<Counter>,
+    pub(super) queue_depth: Arc<Gauge>,
+    pub(super) batch_width: Arc<Gauge>,
+    pub(super) batch_lanes: Arc<Histogram>,
+    pub(super) admission_wait: Arc<Histogram>,
+    pub(super) exec: Arc<Histogram>,
+    pub(super) response: Arc<Histogram>,
+    pub(super) cache_hits: Arc<Counter>,
+    pub(super) cache_misses: Arc<Counter>,
+    pub(super) cache_insertions: Arc<Counter>,
+    pub(super) cache_evictions: Arc<Counter>,
+    pub(super) cache_coalesced: Arc<Counter>,
+    pub(super) cache_entries: Arc<Gauge>,
+    pub(super) cache_bytes: Arc<Gauge>,
+    pub(super) index_builds: Arc<Counter>,
+    pub(super) index_build_seconds: Arc<Histogram>,
+    pub(super) index_only_answers: Arc<Counter>,
+    pub(super) index_pruned_sends: Arc<Counter>,
+    pub(super) index_pruned_partitions: Arc<Counter>,
+    pub(super) index_sources: Arc<Gauge>,
+    pub(super) index_bytes: Arc<Gauge>,
+    pub(super) mutation_updates_applied: Arc<Counter>,
+    pub(super) mutation_edges_inserted: Arc<Counter>,
+    pub(super) mutation_edges_deleted: Arc<Counter>,
+    pub(super) mutation_commits: Arc<Counter>,
+    pub(super) mutation_folds: Arc<Counter>,
+    pub(super) mutation_pending: Arc<Gauge>,
+    pub(super) mutation_delta_entries: Arc<Gauge>,
+    pub(super) mutation_delta_bytes: Arc<Gauge>,
+    pub(super) durability_wal_records: Arc<Counter>,
+    pub(super) durability_wal_bytes: Arc<Counter>,
+    pub(super) durability_snapshots_written: Arc<Counter>,
+    pub(super) durability_snapshot_bytes: Arc<Counter>,
+    pub(super) durability_wal_replayed: Arc<Counter>,
+    pub(super) durability_snapshots_corrupt: Arc<Counter>,
+    pub(super) durability_recoveries: Arc<Counter>,
+    pub(super) durability_last_snapshot_epoch: Arc<Gauge>,
+    pub(super) router_queries_routed: Arc<Counter>,
+    pub(super) router_locality: Arc<Counter>,
+    pub(super) router_heat_steered: Arc<Counter>,
+    pub(super) router_replicas: Arc<Gauge>,
+}
+
+impl ServiceObs {
+    pub(super) fn new(obs: &Obs, lanes: usize) -> Self {
+        let m = &obs.metrics;
+        Self {
+            tracer: obs.trace.tracer(COORD),
+            queries_submitted: m.counter(
+                "cgraph_service_queries_submitted_total",
+                "Queries admitted to the service (before batching).",
+            ),
+            queries_completed: m.counter(
+                "cgraph_service_queries_completed_total",
+                "Queries answered successfully.",
+            ),
+            queries_failed: m.counter(
+                "cgraph_service_queries_failed_total",
+                "Queries failed by a dying batch or an expired deadline.",
+            ),
+            queries_deadline_exceeded: m.counter(
+                "cgraph_service_queries_deadline_exceeded_total",
+                "Queries failed because their deadline elapsed (subset of failures).",
+            ),
+            batches_dispatched: m.counter(
+                "cgraph_service_batches_dispatched_total",
+                "Batches the dispatcher completed on the persistent cluster.",
+            ),
+            retries: m.counter(
+                "cgraph_service_retries_total",
+                "Whole-batch resubmissions by the service retry policy.",
+            ),
+            degraded_generations: m.counter(
+                "cgraph_service_degraded_generations_total",
+                "Times the service re-partitioned onto a smaller cluster.",
+            ),
+            queue_depth: m.gauge(
+                "cgraph_service_queue_depth",
+                "Traversals currently in the admission queue(s), summed over replicas.",
+            ),
+            batch_width: m.gauge(
+                "cgraph_service_batch_width",
+                "Bit width of the packed traversal state (64/128/256/512); \
+                 fixed at start-up by the lane count and memory budget.",
+            ),
+            batch_lanes: m.histogram(
+                "cgraph_service_batch_lanes",
+                "Lane occupancy of dispatched batches (fill-or-deadline packing).",
+                &log2_edges(lanes.next_power_of_two().trailing_zeros() + 1),
+            ),
+            admission_wait: m.histogram(
+                "cgraph_service_admission_wait_seconds",
+                "Per-query admission wait: submission to batch dispatch.",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            exec: m.histogram(
+                "cgraph_service_exec_seconds",
+                "Per-query execution time: the lane-completion share of its batch.",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            response: m.histogram(
+                "cgraph_service_response_seconds",
+                "Per-query end-to-end response time (admission wait + execution).",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            cache_hits: m.counter(
+                "cgraph_cache_hits_total",
+                "Traversals answered from the result cache (no lane spent).",
+            ),
+            cache_misses: m.counter(
+                "cgraph_cache_misses_total",
+                "Admission-time cache lookups that found nothing.",
+            ),
+            cache_insertions: m.counter(
+                "cgraph_cache_insertions_total",
+                "Entries committed into the result cache by successful batches.",
+            ),
+            cache_evictions: m.counter(
+                "cgraph_cache_evictions_total",
+                "Entries the CLOCK hand evicted to make room.",
+            ),
+            cache_coalesced: m.counter(
+                "cgraph_cache_coalesced_total",
+                "Traversals that shared another traversal's execution \
+                 (in-batch duplicates, queued duplicates, mid-flight attaches).",
+            ),
+            cache_entries: m.gauge(
+                "cgraph_cache_entries",
+                "Entries currently resident in the result cache(s), summed over replicas.",
+            ),
+            cache_bytes: m.gauge(
+                "cgraph_cache_bytes",
+                "Bytes currently charged against the result-cache capacity.",
+            ),
+            index_builds: m.counter(
+                "cgraph_index_builds_total",
+                "Reachability-index builds (start-up, epoch commits, degradations).",
+            ),
+            index_build_seconds: m.histogram(
+                "cgraph_index_build_seconds",
+                "Wall time of each reachability-index build.",
+                &PAPER_LATENCY_EDGES_SECS,
+            ),
+            index_only_answers: m.counter(
+                "cgraph_index_only_answers_total",
+                "Traversals answered index-only from a distance sketch (no lane spent).",
+            ),
+            index_pruned_sends: m.counter(
+                "cgraph_index_pruned_sends_total",
+                "Cross-machine frontier entries suppressed by index pruning.",
+            ),
+            index_pruned_partitions: m.counter(
+                "cgraph_index_pruned_partitions_total",
+                "Whole per-partition frontier messages index pruning emptied.",
+            ),
+            index_sources: m.gauge(
+                "cgraph_index_sources",
+                "Boundary sources the live reachability index holds sketches for.",
+            ),
+            index_bytes: m.gauge(
+                "cgraph_index_bytes",
+                "Estimated resident bytes of the live reachability index.",
+            ),
+            mutation_updates_applied: m.counter(
+                "cgraph_mutation_updates_applied_total",
+                "Edge updates folded into a committed epoch.",
+            ),
+            mutation_edges_inserted: m.counter(
+                "cgraph_mutation_edges_inserted_total",
+                "Edge insertions among the committed updates.",
+            ),
+            mutation_edges_deleted: m.counter(
+                "cgraph_mutation_edges_deleted_total",
+                "Edge deletions among the committed updates.",
+            ),
+            mutation_commits: m.counter(
+                "cgraph_mutation_commits_total",
+                "Epoch commits (explicit, threshold-triggered, and cache invalidations).",
+            ),
+            mutation_folds: m.counter(
+                "cgraph_mutation_folds_total",
+                "Commits that folded the delta overlay into fresh base edge-sets.",
+            ),
+            mutation_pending: m.gauge(
+                "cgraph_mutation_pending_updates",
+                "Edge updates buffered but not yet committed.",
+            ),
+            mutation_delta_entries: m.gauge(
+                "cgraph_mutation_delta_entries",
+                "Delta-overlay adjacency rows live in the serving snapshot.",
+            ),
+            mutation_delta_bytes: m.gauge(
+                "cgraph_mutation_delta_bytes",
+                "Estimated bytes of the live delta overlays.",
+            ),
+            durability_wal_records: m.counter(
+                "cgraph_durability_wal_records_total",
+                "WAL records appended (update batches plus commit fences).",
+            ),
+            durability_wal_bytes: m
+                .counter("cgraph_durability_wal_bytes_total", "Bytes appended to the update WAL."),
+            durability_snapshots_written: m.counter(
+                "cgraph_durability_snapshots_total",
+                "Epoch snapshots that reached their final name on disk.",
+            ),
+            durability_snapshot_bytes: m.counter(
+                "cgraph_durability_snapshot_bytes_total",
+                "Bytes of encoded snapshot data written.",
+            ),
+            durability_wal_replayed: m.counter(
+                "cgraph_durability_wal_replayed_total",
+                "WAL records replayed by crash recovery.",
+            ),
+            durability_snapshots_corrupt: m.counter(
+                "cgraph_durability_snapshots_corrupt_total",
+                "Snapshot files rejected by checksum/decode during recovery.",
+            ),
+            durability_recoveries: m.counter(
+                "cgraph_durability_recoveries_total",
+                "Crash recoveries performed (service rebuilt from durable state).",
+            ),
+            durability_last_snapshot_epoch: m.gauge(
+                "cgraph_durability_last_snapshot_epoch",
+                "Epoch of the newest snapshot on disk.",
+            ),
+            router_queries_routed: m.counter(
+                "cgraph_router_queries_routed_total",
+                "Queries steered to a replica by the serving-tier router.",
+            ),
+            router_locality: m.counter(
+                "cgraph_router_locality_total",
+                "Routed queries that landed on their partition's home replica.",
+            ),
+            router_heat_steered: m.counter(
+                "cgraph_router_heat_steered_total",
+                "Routed queries steered off-home by the cache-heat tiebreak.",
+            ),
+            router_replicas: {
+                let g = m.gauge(
+                    "cgraph_router_replicas",
+                    "Live query front-end replicas behind the router.",
+                );
+                g.set(1);
+                g
+            },
+        }
+    }
+
+    /// Folds a durability-stats snapshot into the counters — used once
+    /// at start-up to seed recovery-time and initial-snapshot counts
+    /// accumulated before the metric handles existed.
+    pub(super) fn seed_durability(&self, d: &DurabilityStats) {
+        self.durability_wal_records.add(d.wal_records);
+        self.durability_wal_bytes.add(d.wal_bytes);
+        self.durability_snapshots_written.add(d.snapshots_written);
+        self.durability_snapshot_bytes.add(d.snapshot_bytes);
+        self.durability_wal_replayed.add(d.wal_replayed);
+        self.durability_snapshots_corrupt.add(d.snapshots_corrupt);
+        self.durability_recoveries.add(d.recoveries);
+        self.durability_last_snapshot_epoch.set(d.last_snapshot_epoch as i64);
+    }
+
+    /// Trace context for dispatcher events of batch `job`, attempt
+    /// `retry` (service retry ordinal, not the chaos attempt salt).
+    pub(super) fn ctx(&self, job: u64, retry: u32) -> TraceCtx {
+        TraceCtx { job, attempt: retry, superstep: 0, machine: COORD }
+    }
+}

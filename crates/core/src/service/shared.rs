@@ -1,0 +1,670 @@
+//! State shared by every front-end replica of a service (group).
+//!
+//! A [`SharedCore`] is the singleton half of the serving tier: one
+//! engine snapshot chain + persistent cluster (inside [`ExecCtx`]),
+//! one mutation pending buffer, one durability plane, one graph epoch,
+//! one metrics accumulator, and one [`ServiceObs`](super::obs). Every
+//! [`Replica`](super::replica::Replica) — whether the single replica
+//! behind a plain [`QueryService`](super::QueryService) or the N
+//! replicas of a [`ServiceGroup`](super::ServiceGroup) — holds only
+//! per-replica state (admission queue, result cache, coalescer) and
+//! funnels execution and commits through here.
+//!
+//! Lock order (outermost first): `exec` → `stats_gate` → per-replica
+//! cache/coalescer → `pending` → `durability` → `index` → `metrics`.
+//! Replica `state` locks are taken without any of these held except on
+//! the submit path (state → cache/metrics), which never takes `exec`,
+//! `stats_gate` or `pending`.
+
+use super::obs::ServiceObs;
+use super::replica::Replica;
+use super::{disk_faults, lock, ServiceConfig, ServiceError, ServiceStats};
+use crate::config::EngineConfig;
+use crate::durability::{recover, DurabilityPlane, DurabilityStats, RecoveryOutcome};
+use crate::engine::DistributedEngine;
+use crate::index_api::{IndexBuilder, ReachIndex};
+use crate::metrics::ResponseStats;
+use crate::scheduler::QueryScheduler;
+use cgraph_cache::HeatTable;
+use cgraph_comm::PersistentCluster;
+use cgraph_graph::delta::EdgeUpdate;
+use cgraph_graph::{EdgeList, LaneWidth};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Buffered edge updates awaiting the next epoch commit, plus the
+/// commit-request handshake between mutators and the dispatchers.
+#[derive(Default)]
+pub(super) struct PendingUpdates {
+    pub(super) updates: Vec<EdgeUpdate>,
+    /// Waiters blocked in [`QueryService::commit_epoch`]
+    /// (super::QueryService::commit_epoch); each receives the new
+    /// epoch once a dispatcher performs the commit.
+    pub(super) waiters: Vec<crossbeam_channel::Sender<u64>>,
+    /// A commit is due — an explicit request or a crossed
+    /// [`MutationConfig::commit_threshold`](super::MutationConfig::commit_threshold).
+    /// Cleared when a dispatcher takes the batch.
+    pub(super) requested: bool,
+    /// Set — under the pending lock — by the last dispatcher to exit.
+    /// From then on `commit_epoch` refuses instead of registering a
+    /// waiter no thread would ever answer.
+    pub(super) serving_done: bool,
+}
+
+#[derive(Default)]
+pub(super) struct MetricsAcc {
+    pub(super) completed: u64,
+    pub(super) failed: u64,
+    pub(super) deadline_exceeded: u64,
+    pub(super) batches: u64,
+    pub(super) retries: u64,
+    pub(super) recoveries: u64,
+    pub(super) checkpoints_taken: u64,
+    pub(super) checkpoints_restored: u64,
+    pub(super) partitions_replayed: u64,
+    pub(super) full_rollbacks: u64,
+    pub(super) degraded_generations: u64,
+    pub(super) cache_hits: u64,
+    pub(super) cache_misses: u64,
+    pub(super) cache_insertions: u64,
+    pub(super) cache_evictions: u64,
+    pub(super) coalesced: u64,
+    pub(super) index_builds: u64,
+    pub(super) index_only: u64,
+    pub(super) index_pruned_sends: u64,
+    pub(super) index_pruned_partitions: u64,
+    pub(super) updates_applied: u64,
+    pub(super) updates_inserted: u64,
+    pub(super) updates_deleted: u64,
+    pub(super) epoch_commits: u64,
+    pub(super) epoch_folds: u64,
+    /// Mirrored from the live engine at each commit — the exec lock
+    /// owns the live engine, so [`SharedCore::stats`] reads the last
+    /// committed value here.
+    pub(super) delta_entries: u64,
+    pub(super) delta_bytes: u64,
+    pub(super) wait: Vec<Duration>,
+    pub(super) exec: Vec<Duration>,
+    pub(super) response: Vec<Duration>,
+}
+
+/// The execution context every replica dispatches through: the live
+/// engine snapshot, the one persistent cluster, panic blame, and the
+/// global batch sequence (the chaos *job* space). Holding this lock
+/// IS the group-wide quiesce — a commit or degradation that owns it
+/// is guaranteed no batch is in flight on any replica.
+pub(super) struct ExecCtx {
+    pub(super) engine: Arc<DistributedEngine>,
+    pub(super) cluster: PersistentCluster,
+    /// Per-machine panic blame since the last degradation.
+    pub(super) blame: Vec<u32>,
+}
+
+/// State shared by every replica of one service (group). See the
+/// module doc for the lock order.
+pub(super) struct SharedCore {
+    pub(super) config: ServiceConfig,
+    pub(super) lanes: usize,
+    /// Monotone graph epoch baked into every cache key; bumping it
+    /// makes every existing entry unreachable and blocks stale
+    /// in-flight batches from committing results.
+    pub(super) epoch: AtomicU64,
+    /// The dispatch path: engine + cluster + blame.
+    pub(super) exec: Mutex<ExecCtx>,
+    /// Monotone batch sequence number — the chaos *job* identity, so a
+    /// [`FaultPlan`](cgraph_comm::chaos::FaultPlan) armed for a job
+    /// window poisons specific batches, group-wide. Incremented under
+    /// the exec lock (so job order equals execution order); read
+    /// lock-free for trace labels.
+    pub(super) batch_seq: AtomicU64,
+    /// Mirror of [`ExecCtx::engine`] readable without blocking behind
+    /// a running batch — the submit path and batch formation use it
+    /// for vertex-range checks and partition lookups.
+    pub(super) live_engine: Mutex<Arc<DistributedEngine>>,
+    /// Buffered mutations + commit handshake. [`SharedCore::durability`]
+    /// nests inside it on the write-ahead path.
+    pub(super) pending: Mutex<PendingUpdates>,
+    /// The durability plane (WAL + snapshots); `None` runs in memory
+    /// only. Strict leaf under `pending`: acquired *inside* it on the
+    /// write-ahead path, so WAL order always equals buffer order.
+    pub(super) durability: Option<Mutex<DurabilityPlane>>,
+    pub(super) metrics: Mutex<MetricsAcc>,
+    /// The stats fence: [`SharedCore::stats`] and every cross-plane
+    /// mutation (commit drain+apply, batch cache-commit) hold it, so a
+    /// stats snapshot can never observe half a commit — the fix for
+    /// the torn five-lock read the old `QueryService::stats` did.
+    pub(super) stats_gate: Mutex<()>,
+    /// Cached metric handles + coordinator tracer; `None` when
+    /// [`ServiceConfig::obs`] is unset. Shared by all replicas —
+    /// counters aggregate group-wide by construction.
+    pub(super) obs: Option<ServiceObs>,
+    /// The live reachability index (leaf lock): rebuilt inside every
+    /// epoch commit and degradation, group-wide.
+    pub(super) index: Mutex<Option<Arc<dyn ReachIndex>>>,
+    /// Every replica ever attached (weak: a dropped service frees its
+    /// replica). Commits walk this list to fence all caches.
+    pub(super) replicas: Mutex<Vec<Weak<Replica>>>,
+    /// Replicas still accepting queries (shutdown not yet called).
+    pub(super) open_replicas: AtomicUsize,
+    /// Dispatcher threads still running. The one that decrements this
+    /// to zero is last-out: it syncs the WAL, parks the cluster and
+    /// marks `serving_done` — exactly once, however many replicas the
+    /// group ran.
+    pub(super) live_replicas: AtomicUsize,
+    /// Cache-heat grid feeding the group router; `None` for a solo
+    /// service (no router reads it).
+    pub(super) heat: Option<Arc<HeatTable>>,
+}
+
+impl SharedCore {
+    /// Wires the shared half of a service: persistent cluster, obs
+    /// registration, initial index build. `restored_pending` updates
+    /// are already in the WAL (recovery restored them) — they enter
+    /// the buffer without being re-appended. No replica is attached
+    /// yet; [`QueryService::attach`](super::QueryService) adds them.
+    pub(super) fn new(
+        engine: Arc<DistributedEngine>,
+        config: ServiceConfig,
+        durability: Option<DurabilityPlane>,
+        restored_pending: Vec<EdgeUpdate>,
+        recovery: Option<&RecoveryOutcome>,
+        heat: Option<Arc<HeatTable>>,
+    ) -> Arc<Self> {
+        let lanes = QueryScheduler::new(&engine, config.scheduler).effective_lanes();
+        let cluster =
+            PersistentCluster::with_model(engine.num_machines(), engine.config().net_model);
+        let obs = config.obs.as_ref().map(|o| {
+            cluster.set_obs(Arc::clone(o));
+            let so = ServiceObs::new(o, lanes);
+            so.batch_width.set(LaneWidth::for_lanes(lanes).bits() as i64);
+            if let Some(p) = &durability {
+                so.seed_durability(&p.stats());
+            }
+            so.mutation_pending.set(restored_pending.len() as i64);
+            if let Some(rec) = recovery.filter(|r| r.recovered) {
+                // Emitted before any dispatcher exists, so its position
+                // in the coordinator trace is deterministic.
+                so.tracer.instant("durable_recover", so.ctx(0, 0), rec.epoch);
+            }
+            so
+        });
+        let metrics = Mutex::new(MetricsAcc::default());
+        // Initial index build, before the first query can be admitted.
+        let index = match &config.index {
+            Some(b) => build_index(&**b, &engine, &metrics, obs.as_ref()),
+            None => None,
+        };
+        let epoch = engine.graph_epoch();
+        Arc::new(Self {
+            lanes,
+            epoch: AtomicU64::new(epoch),
+            exec: Mutex::new(ExecCtx {
+                engine: Arc::clone(&engine),
+                cluster,
+                blame: vec![0; engine.num_machines()],
+            }),
+            batch_seq: AtomicU64::new(0),
+            live_engine: Mutex::new(engine),
+            pending: Mutex::new(PendingUpdates {
+                updates: restored_pending,
+                ..PendingUpdates::default()
+            }),
+            durability: durability.map(Mutex::new),
+            metrics,
+            stats_gate: Mutex::new(()),
+            obs,
+            index: Mutex::new(index),
+            replicas: Mutex::new(Vec::new()),
+            open_replicas: AtomicUsize::new(0),
+            live_replicas: AtomicUsize::new(0),
+            heat,
+            config,
+        })
+    }
+
+    /// Every replica still alive, strongly held for the duration of a
+    /// fence or stats sweep.
+    pub(super) fn replica_list(&self) -> Vec<Arc<Replica>> {
+        lock(&self.replicas).iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// The live index iff it matches `epoch` — the fence that keeps a
+    /// stale index (pre-commit, or mid-rebuild) out of the query path.
+    pub(super) fn current_index(&self, epoch: u64) -> Option<Arc<dyn ReachIndex>> {
+        lock(&self.index).as_ref().filter(|ix| ix.epoch() == epoch).cloned()
+    }
+
+    /// Wakes every replica's dispatcher (a commit became due). The
+    /// per-replica state lock is taken around each notify so a
+    /// dispatcher that just checked `requested` and is about to wait
+    /// cannot miss the wake-up.
+    pub(super) fn notify_dispatchers(&self) {
+        for r in self.replica_list() {
+            let _st = lock(&r.state);
+            r.work.notify_all();
+        }
+    }
+
+    /// Group-wide stats snapshot under the stats fence: no commit can
+    /// be half-applied while the planes are read, so cross-plane sums
+    /// (e.g. `updates_applied + pending_updates`) are exact at every
+    /// sample. Per-replica cache occupancy is summed over the group.
+    pub(super) fn stats(&self) -> ServiceStats {
+        let _gate = lock(&self.stats_gate);
+        let (mut cache_entries, mut cache_bytes) = (0u64, 0u64);
+        for r in self.replica_list() {
+            if let Some(cm) = &r.plane.cache {
+                let c = lock(cm);
+                cache_entries += c.len() as u64;
+                cache_bytes += c.used_bytes() as u64;
+            }
+        }
+        let pending_updates = lock(&self.pending).updates.len() as u64;
+        let (index_sources, index_bytes) = lock(&self.index)
+            .as_ref()
+            .map(|ix| (ix.num_sources() as u64, ix.size_bytes() as u64))
+            .unwrap_or((0, 0));
+        let dur: DurabilityStats =
+            self.durability.as_ref().map(|dm| lock(dm).stats()).unwrap_or_default();
+        let m = lock(&self.metrics);
+        ServiceStats {
+            queries_completed: m.completed,
+            queries_failed: m.failed,
+            queries_deadline_exceeded: m.deadline_exceeded,
+            batches_dispatched: m.batches,
+            retries: m.retries,
+            recoveries: m.recoveries,
+            checkpoints_taken: m.checkpoints_taken,
+            checkpoints_restored: m.checkpoints_restored,
+            partitions_replayed: m.partitions_replayed,
+            full_rollbacks: m.full_rollbacks,
+            degraded_generations: m.degraded_generations,
+            cache_hits: m.cache_hits,
+            cache_misses: m.cache_misses,
+            cache_insertions: m.cache_insertions,
+            cache_evictions: m.cache_evictions,
+            cache_entries,
+            cache_bytes,
+            coalesced_traversals: m.coalesced,
+            index_builds: m.index_builds,
+            index_only_answers: m.index_only,
+            index_pruned_sends: m.index_pruned_sends,
+            index_pruned_partitions: m.index_pruned_partitions,
+            index_sources,
+            index_bytes,
+            updates_applied: m.updates_applied,
+            updates_inserted: m.updates_inserted,
+            updates_deleted: m.updates_deleted,
+            epoch_commits: m.epoch_commits,
+            epoch_folds: m.epoch_folds,
+            pending_updates,
+            delta_entries: m.delta_entries,
+            delta_bytes: m.delta_bytes,
+            wal_records: dur.wal_records,
+            wal_bytes: dur.wal_bytes,
+            snapshots_written: dur.snapshots_written,
+            snapshot_bytes: dur.snapshot_bytes,
+            wal_replayed: dur.wal_replayed,
+            snapshots_corrupt: dur.snapshots_corrupt,
+            durable_recoveries: dur.recoveries,
+            last_snapshot_epoch: dur.last_snapshot_epoch,
+            admission_wait: ResponseStats::new(m.wait.clone()),
+            exec: ResponseStats::new(m.exec.clone()),
+            response: ResponseStats::new(m.response.clone()),
+        }
+    }
+}
+
+/// Opens the durability plane for a *fresh* durable run (refusing a
+/// directory that already holds state) and writes the initial epoch
+/// snapshot. `None` durability config returns `None`.
+pub(super) fn open_fresh_plane(
+    engine: &DistributedEngine,
+    config: &ServiceConfig,
+) -> Result<Option<DurabilityPlane>, ServiceError> {
+    match &config.durability {
+        Some(dcfg) => {
+            let scan = crate::durability::scan_for_start(&dcfg.dir)
+                .map_err(|e| ServiceError::Durability(e.to_string()))?;
+            if scan.has_state() {
+                return Err(ServiceError::Durability(format!(
+                    "data directory {} already holds durable state; \
+                     use open_or_recover to resume from it",
+                    dcfg.dir.display()
+                )));
+            }
+            let mut plane = DurabilityPlane::open(dcfg.clone(), &scan, disk_faults(config), false)
+                .map_err(|e| ServiceError::Durability(e.to_string()))?;
+            plane.write_snapshot(engine).map_err(|e| ServiceError::Durability(e.to_string()))?;
+            Ok(Some(plane))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Opens (or creates) the durable data directory and recovers whatever
+/// committed state survives there — the shared construction half of
+/// `open_or_recover`, used by both the solo service and the group.
+pub(super) type Recovered =
+    (Arc<DistributedEngine>, DurabilityPlane, Vec<EdgeUpdate>, RecoveryOutcome);
+
+pub(super) fn open_recovered(
+    edges: &EdgeList,
+    engine_config: EngineConfig,
+    config: &ServiceConfig,
+) -> Result<Recovered, ServiceError> {
+    let dcfg = config.durability.clone().ok_or_else(|| {
+        ServiceError::InvalidConfig("open_or_recover needs ServiceConfig::durability set".into())
+    })?;
+    std::fs::create_dir_all(&dcfg.dir).map_err(|e| ServiceError::Durability(e.to_string()))?;
+    let (state, scan) = recover(&dcfg.dir, engine_config, config.mutation.fold_threshold, || {
+        DistributedEngine::new(edges, engine_config)
+    })
+    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+    let mut plane =
+        DurabilityPlane::open(dcfg, &scan, disk_faults(config), state.outcome.recovered)
+            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+    plane.note_recovery(&state.outcome);
+    // Checkpoint the recovered (or fresh) state right away: the next
+    // restart resumes from here instead of replaying the whole WAL,
+    // and a fresh directory gets its base snapshot.
+    plane.write_snapshot(&state.engine).map_err(|e| ServiceError::Durability(e.to_string()))?;
+    let outcome = state.outcome.clone();
+    Ok((Arc::new(state.engine), plane, state.pending, outcome))
+}
+
+/// Runs the configured index builder against `engine`'s current
+/// snapshot, recording build count, duration and size. A failed build
+/// logs and returns `None`: the service keeps serving unindexed.
+pub(super) fn build_index(
+    builder: &dyn IndexBuilder,
+    engine: &DistributedEngine,
+    metrics: &Mutex<MetricsAcc>,
+    obs: Option<&ServiceObs>,
+) -> Option<Arc<dyn ReachIndex>> {
+    let started = Instant::now();
+    let built = builder.build(engine);
+    let dur = started.elapsed();
+    lock(metrics).index_builds += 1;
+    if let Some(o) = obs {
+        o.index_builds.inc();
+        o.index_build_seconds.observe_duration(dur);
+    }
+    match built {
+        Ok(ix) => {
+            if let Some(o) = obs {
+                o.index_sources.set(ix.num_sources() as i64);
+                o.index_bytes.set(ix.size_bytes() as i64);
+            }
+            Some(ix)
+        }
+        Err(e) => {
+            eprintln!("cgraph index: build failed, serving unindexed: {e}");
+            if let Some(o) = obs {
+                o.index_sources.set(0);
+                o.index_bytes.set(0);
+            }
+            None
+        }
+    }
+}
+
+/// Rebuilds the live index for `engine`'s (new) epoch — called inside
+/// epoch commits and degradations, under the exec lock, strictly
+/// between batches. Without a configured builder this is a no-op and
+/// the epoch fence alone retires the old index.
+pub(super) fn rebuild_index(core: &SharedCore, engine: &DistributedEngine) {
+    if let Some(b) = &core.config.index {
+        let ix = build_index(&**b, engine, &core.metrics, core.obs.as_ref());
+        *lock(&core.index) = ix;
+    }
+}
+
+/// What [`take_commit_request`] hands the committing dispatcher: the
+/// drained update buffer, the commit waiters to reply to, and — with
+/// durability on — the sequence number of the fence appended to the
+/// WAL.
+pub(super) type CommitRequest = (Vec<EdgeUpdate>, Vec<crossbeam_channel::Sender<u64>>, Option<u64>);
+
+/// Takes the pending commit request, if one is due: the buffered
+/// updates, the waiters to reply to, and — with durability on — the
+/// sequence number of the commit fence appended (and synced) to the
+/// WAL. Clears the request flag so a request enqueued *during* the
+/// commit is seen as a fresh one. The fence is written under the
+/// pending lock, in the same critical section that drains the buffer:
+/// every update record logged before it is exactly the drained batch,
+/// so replay reconstructs this commit bit-identically. Idempotent
+/// across racing dispatchers — the first taker gets the batch, the
+/// rest see `requested == false` and back off.
+pub(super) fn take_commit_request(core: &SharedCore, next_epoch: u64) -> Option<CommitRequest> {
+    let mut p = lock(&core.pending);
+    if !p.requested {
+        return None;
+    }
+    p.requested = false;
+    let updates = std::mem::take(&mut p.updates);
+    let waiters = std::mem::take(&mut p.waiters);
+    let mut wal_seq = None;
+    if let Some(dm) = &core.durability {
+        match lock(dm).append_commit(next_epoch) {
+            Ok((seq, bytes)) => {
+                wal_seq = Some(seq);
+                if let Some(o) = &core.obs {
+                    o.durability_wal_records.inc();
+                    o.durability_wal_bytes.add(bytes);
+                }
+            }
+            // The in-memory commit still proceeds: durability degrades
+            // (this epoch may replay short after a crash) but serving
+            // must not stall on a sick disk.
+            Err(e) => eprintln!("cgraph durability: commit fence append failed: {e}"),
+        }
+    }
+    Some((updates, waiters, wal_seq))
+}
+
+/// Performs one epoch commit under the exec lock (the group-wide
+/// quiesce — no batch is in flight on any replica): folds `updates`
+/// into a new engine snapshot, swaps it in, publishes the new epoch,
+/// fences **every** replica's cache, cools the heat grid, rebuilds the
+/// index, and replies the new epoch to every commit waiter. The caller
+/// holds the stats gate, so no stats snapshot can observe the drained
+/// buffer without the matching applied counters.
+pub(super) fn perform_commit(
+    core: &SharedCore,
+    ctx: &mut ExecCtx,
+    updates: Vec<EdgeUpdate>,
+    waiters: Vec<crossbeam_channel::Sender<u64>>,
+    wal_seq: Option<u64>,
+) {
+    let (engine, folded) = ctx.engine.with_updates(&updates, core.config.mutation.fold_threshold);
+    let new_epoch = engine.graph_epoch();
+    ctx.engine = Arc::new(engine);
+    *lock(&core.live_engine) = Arc::clone(&ctx.engine);
+    core.epoch.store(new_epoch, Ordering::SeqCst);
+    // Fence every replica's cache: entries of epochs before
+    // `new_epoch` are unreachable anyway (keys embed the epoch) —
+    // dropping them frees their bytes immediately. Gauges publish the
+    // per-replica delta so the group-wide sum stays exact.
+    for r in core.replica_list() {
+        if let Some(cm) = &r.plane.cache {
+            let (entries, bytes) = {
+                let mut c = lock(cm);
+                c.invalidate_before(new_epoch);
+                (c.len() as i64, c.used_bytes() as i64)
+            };
+            if let Some(o) = &core.obs {
+                o.cache_entries.add(entries - r.pub_entries.swap(entries, Ordering::SeqCst));
+                o.cache_bytes.add(bytes - r.pub_bytes.swap(bytes, Ordering::SeqCst));
+            }
+        }
+    }
+    // The fenced caches no longer hold what the heat described.
+    if let Some(h) = &core.heat {
+        h.halve();
+    }
+    // The old index is already fenced (its epoch no longer matches);
+    // rebuild for the new snapshot before the next batch forms.
+    rebuild_index(core, &ctx.engine);
+    let inserted = updates.iter().filter(|u| u.is_insert()).count() as u64;
+    let deleted = updates.len() as u64 - inserted;
+    let delta_entries = ctx.engine.delta_entries() as u64;
+    let delta_bytes = ctx.engine.delta_bytes() as u64;
+    {
+        let mut m = lock(&core.metrics);
+        m.updates_applied += updates.len() as u64;
+        m.updates_inserted += inserted;
+        m.updates_deleted += deleted;
+        m.epoch_commits += 1;
+        m.epoch_folds += u64::from(folded);
+        m.delta_entries = delta_entries;
+        m.delta_bytes = delta_bytes;
+    }
+    if let Some(o) = &core.obs {
+        o.mutation_updates_applied.add(updates.len() as u64);
+        o.mutation_edges_inserted.add(inserted);
+        o.mutation_edges_deleted.add(deleted);
+        o.mutation_commits.inc();
+        if folded {
+            o.mutation_folds.inc();
+        }
+        o.mutation_pending.set(lock(&core.pending).updates.len() as i64);
+        o.mutation_delta_entries.set(delta_entries as i64);
+        o.mutation_delta_bytes.set(delta_bytes as i64);
+        let seq_now = core.batch_seq.load(Ordering::SeqCst);
+        o.tracer.instant("epoch_commit", o.ctx(seq_now, 0), new_epoch);
+        if let Some(seq) = wal_seq {
+            o.tracer.instant("wal_commit", o.ctx(seq_now, 0), seq);
+        }
+    }
+    // Snapshot cadence: every `snapshot_every`-th commit persists the
+    // whole new engine value, bounding how much WAL a restart replays.
+    // A failed or rename-lost write is survivable — the WAL alone
+    // recovers this epoch; the cadence counter stays primed so the
+    // next commit retries.
+    if let Some(dm) = &core.durability {
+        let mut d = lock(dm);
+        if d.snapshot_due() {
+            match d.write_snapshot(&ctx.engine) {
+                Ok((bytes, renamed)) => {
+                    if let Some(o) = &core.obs {
+                        o.durability_snapshot_bytes.add(bytes);
+                        if renamed {
+                            o.durability_snapshots_written.inc();
+                            o.durability_last_snapshot_epoch.set(new_epoch as i64);
+                            let seq_now = core.batch_seq.load(Ordering::SeqCst);
+                            o.tracer.instant("snapshot_write", o.ctx(seq_now, 0), new_epoch);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("cgraph durability: snapshot write failed: {e}"),
+            }
+        }
+    }
+    for w in waiters {
+        let _ = w.send(new_epoch);
+    }
+}
+
+/// Re-partitions onto one fewer machine and swaps in a fresh
+/// persistent cluster; the old cluster (which may hold a poisoned or
+/// repeatedly-failing machine) is parked and shut down. Runs under the
+/// exec lock, so every replica observes the swap atomically.
+pub(super) fn degrade(core: &SharedCore, ctx: &mut ExecCtx) {
+    let p = ctx.engine.num_machines() - 1;
+    let engine = Arc::new(ctx.engine.repartitioned(p));
+    let cluster = PersistentCluster::with_model(p, engine.config().net_model);
+    if let Some(o) = &core.config.obs {
+        // The replacement cluster must keep feeding the same registry.
+        cluster.set_obs(Arc::clone(o));
+    }
+    let old = std::mem::replace(&mut ctx.cluster, cluster);
+    old.shutdown();
+    ctx.engine = Arc::clone(&engine);
+    *lock(&core.live_engine) = engine;
+    ctx.blame = vec![0; p];
+    // The partition count changed: the index's per-partition masks are
+    // meaningless on the new layout. Rebuild (or drop) before any
+    // further batch can consult it.
+    rebuild_index(core, &ctx.engine);
+    lock(&core.metrics).degraded_generations += 1;
+    if let Some(o) = &core.obs {
+        o.degraded_generations.inc();
+        let seq_now = core.batch_seq.load(Ordering::SeqCst);
+        o.tracer.instant("degrade", o.ctx(seq_now.saturating_sub(1), 0), p as u64);
+    }
+}
+
+/// Core-level [`QueryService::apply_updates`](super::QueryService::apply_updates):
+/// validates, WAL-logs and buffers `updates` for the next commit.
+pub(super) fn apply_updates_core(
+    core: &SharedCore,
+    updates: Vec<EdgeUpdate>,
+) -> Result<(), ServiceError> {
+    let n = lock(&core.live_engine).num_vertices();
+    if let Some(bad) = updates.iter().find(|u| u.src() >= n || u.dst() >= n) {
+        return Err(ServiceError::InvalidQuery(format!(
+            "edge update {bad:?} out of range for a graph of {n} vertices"
+        )));
+    }
+    let mut p = lock(&core.pending);
+    if p.serving_done || core.open_replicas.load(Ordering::SeqCst) == 0 {
+        return Err(ServiceError::ShutDown);
+    }
+    // Write-ahead: the batch is in the WAL before it is buffered
+    // anywhere. Appending under the pending lock keeps WAL order
+    // identical to buffer order, so replay reconstructs the exact
+    // commit contents. A failed append refuses the batch whole —
+    // accepting updates a crash would lose is the one thing a durable
+    // service must never do.
+    if !updates.is_empty() {
+        if let Some(dm) = &core.durability {
+            match lock(dm).append_updates(&updates) {
+                Ok((_seq, bytes)) => {
+                    if let Some(o) = &core.obs {
+                        o.durability_wal_records.inc();
+                        o.durability_wal_bytes.add(bytes);
+                    }
+                }
+                Err(e) => return Err(ServiceError::Durability(e.to_string())),
+            }
+        }
+    }
+    p.updates.extend(updates);
+    let depth = p.updates.len();
+    let threshold_hit =
+        core.config.mutation.commit_threshold.is_some_and(|t| depth >= t) && !p.requested;
+    if threshold_hit {
+        p.requested = true;
+    }
+    // Published under the pending lock so concurrent mutators cannot
+    // clobber each other with stale depths.
+    if let Some(o) = &core.obs {
+        o.mutation_pending.set(depth as i64);
+    }
+    drop(p);
+    if threshold_hit {
+        core.notify_dispatchers();
+    }
+    Ok(())
+}
+
+/// Core-level [`QueryService::commit_epoch`](super::QueryService::commit_epoch):
+/// registers a commit request + waiter and wakes every dispatcher; any
+/// replica's dispatcher may perform the commit.
+pub(super) fn commit_epoch_core(core: &SharedCore) -> Result<u64, ServiceError> {
+    let rx = {
+        let mut p = lock(&core.pending);
+        if p.serving_done || core.open_replicas.load(Ordering::SeqCst) == 0 {
+            return Err(ServiceError::ShutDown);
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        p.waiters.push(tx);
+        p.requested = true;
+        drop(p);
+        core.notify_dispatchers();
+        rx
+    };
+    rx.recv().map_err(|_| ServiceError::ShutDown)
+}

@@ -70,10 +70,11 @@ pub mod prelude {
     pub use cgraph_core::traverse::ValueMode;
     pub use cgraph_core::{
         DistributedEngine, DurabilityConfig, DurabilityError, DurabilityStats, EdgeUpdate,
-        EngineConfig, FaultPlan, IndexAnswer, IndexBuilder, IndexConfig, KhopQuery, MutationConfig,
-        PrunePlan, QueryPlaneConfig, QueryResult, QueryScheduler, QueryService, ReachIndex,
-        RecoveryConfig, RecoveryOutcome, RecoveryReport, ResponseStats, SchedulerConfig,
-        ServiceConfig, ServiceError, ServiceStats, UpdateBatch, UpdateMode, VertexProgram,
+        EngineConfig, FaultPlan, GroupConfig, IndexAnswer, IndexBuilder, IndexConfig, KhopQuery,
+        MutationConfig, PrunePlan, QueryPlaneConfig, QueryResult, QueryScheduler, QueryService,
+        ReachIndex, RecoveryConfig, RecoveryOutcome, RecoveryReport, ResponseStats, RouterConfig,
+        RouterStats, SchedulerConfig, ServiceConfig, ServiceError, ServiceGroup, ServiceStats,
+        UpdateBatch, UpdateMode, VertexProgram,
     };
     pub use cgraph_gen::Dataset;
     pub use cgraph_graph::{

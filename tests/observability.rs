@@ -165,6 +165,7 @@ fn chaos_stream_covers_every_layer_and_matches_service_stats() {
         "cgraph_index_",
         "cgraph_mutation_",
         "cgraph_durability_",
+        "cgraph_router_",
     ] {
         assert!(
             names.iter().any(|n| n.starts_with(layer)),
@@ -315,6 +316,7 @@ fn observability_doc_catalogues_every_registered_metric() {
         "cgraph_cache_",
         "cgraph_mutation_",
         "cgraph_durability_",
+        "cgraph_router_",
     ];
     let registered: std::collections::BTreeSet<String> = obs
         .metrics
